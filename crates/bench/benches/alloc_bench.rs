@@ -1,0 +1,55 @@
+//! Criterion micro-benchmark: the Algorithm-1 greedy allocator as the
+//! users × tasks instance grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eta2_core::allocation::MaxQualityAllocator;
+use eta2_core::model::{DomainId, ExpertiseMatrix, Task, TaskId, UserId, UserProfile};
+use rand::{Rng, SeedableRng};
+
+fn instance(
+    n_users: usize,
+    n_tasks: u32,
+    seed: u64,
+) -> (Vec<Task>, Vec<UserProfile>, ExpertiseMatrix) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let tasks: Vec<Task> = (0..n_tasks)
+        .map(|j| {
+            Task::new(
+                TaskId(j),
+                DomainId(rng.gen_range(0..8)),
+                rng.gen_range(0.5..1.5),
+                1.0,
+            )
+        })
+        .collect();
+    let users: Vec<UserProfile> = (0..n_users)
+        .map(|i| UserProfile::new(UserId(i as u32), rng.gen_range(8.0..16.0)))
+        .collect();
+    let mut ex = ExpertiseMatrix::new(n_users);
+    for i in 0..n_users {
+        for d in 0..8 {
+            ex.set(UserId(i as u32), DomainId(d), rng.gen_range(0.05..3.0));
+        }
+    }
+    (tasks, users, ex)
+}
+
+fn bench_max_quality(c: &mut Criterion) {
+    let mut group = c.benchmark_group("max_quality_allocation");
+    group.sample_size(10);
+    for &(users, tasks) in &[(50usize, 100u32), (100, 200), (100, 500)] {
+        let inst = instance(users, tasks, 0);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{users}u_x_{tasks}t")),
+            &inst,
+            |b, (tasks, users, ex)| {
+                let alloc = MaxQualityAllocator::default();
+                b.iter(|| alloc.allocate(tasks, users, ex));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_max_quality);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion micro-benchmark: the four comparison truth-discovery methods
+//! on a common observation set.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eta2_core::model::{ObservationSet, TaskId, UserId};
+use eta2_core::truth::baselines::{
+    AverageLog, HubsAuthorities, MeanBaseline, TruthFinder, TruthMethod,
+};
+use rand::{Rng, SeedableRng};
+
+fn observations(n_users: usize, n_tasks: u32, seed: u64) -> ObservationSet {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut obs = ObservationSet::new();
+    for j in 0..n_tasks {
+        let mu: f64 = rng.gen_range(0.0..20.0);
+        for i in 0..n_users {
+            obs.insert(UserId(i as u32), TaskId(j), mu + rng.gen_range(-3.0..3.0));
+        }
+    }
+    obs
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_truth_methods");
+    group.sample_size(10);
+    let n_users = 60;
+    let obs = observations(n_users, 150, 0);
+    let methods: Vec<Box<dyn TruthMethod>> = vec![
+        Box::new(MeanBaseline),
+        Box::new(HubsAuthorities::default()),
+        Box::new(AverageLog::default()),
+        Box::new(TruthFinder::default()),
+    ];
+    for method in methods {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(method.name().replace(' ', "_")),
+            &obs,
+            |b, obs| b.iter(|| method.estimate(obs, n_users)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion micro-benchmark: average-linkage agglomeration and dynamic
+//! insertion as the task count grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eta2_cluster::{DistanceMatrix, DynamicClusterer, HierarchicalClusterer};
+use rand::{Rng, SeedableRng};
+
+fn points(n: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let center = (i % 8) as f32 * 10.0;
+            (0..16).map(|_| center + rng.gen_range(-1.0..1.0f32)).collect()
+        })
+        .collect()
+}
+
+fn metric(a: &Vec<f32>, b: &Vec<f32>) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| ((x - y) as f64).powi(2))
+        .sum()
+}
+
+fn bench_batch_clustering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hierarchical_clustering");
+    group.sample_size(10);
+    for &n in &[100usize, 400, 800] {
+        let pts = points(n, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &pts, |b, pts| {
+            b.iter(|| {
+                let dm = DistanceMatrix::from_fn(pts.len(), |i, j| metric(&pts[i], &pts[j]));
+                HierarchicalClusterer::new(0.3).cluster(&dm)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_dynamic_insertion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dynamic_insertion");
+    group.sample_size(10);
+    for &n in &[100usize, 400] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut dc = DynamicClusterer::new(metric, 0.3);
+                dc.warm_up(points(n, 1));
+                dc.add(points(n / 5, 2))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_clustering, bench_dynamic_insertion);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion micro-benchmark: expertise-aware MLE truth analysis as the
+//! batch grows in users × tasks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eta2_core::model::{DomainId, ObservationSet, Task, TaskId, UserId};
+use eta2_core::truth::mle::ExpertiseAwareMle;
+use rand::{Rng, SeedableRng};
+
+fn batch(n_users: usize, n_tasks: u32, n_domains: u32, seed: u64) -> (Vec<Task>, ObservationSet) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let tasks: Vec<Task> = (0..n_tasks)
+        .map(|j| Task::new(TaskId(j), DomainId(j % n_domains), 1.0, 1.0))
+        .collect();
+    let mut obs = ObservationSet::new();
+    for t in &tasks {
+        let mu: f64 = rng.gen_range(0.0..20.0);
+        for i in 0..n_users {
+            obs.insert(UserId(i as u32), t.id, mu + rng.gen_range(-2.0..2.0));
+        }
+    }
+    (tasks, obs)
+}
+
+fn bench_mle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mle_truth_analysis");
+    group.sample_size(10);
+    for &(users, tasks) in &[(20usize, 50u32), (50, 200), (100, 500)] {
+        let (task_list, obs) = batch(users, tasks, 8, 0);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{users}u_x_{tasks}t")),
+            &(task_list, obs),
+            |b, (task_list, obs)| {
+                let mle = ExpertiseAwareMle::default();
+                b.iter(|| mle.estimate(task_list, obs, users));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mle);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion micro-benchmark: skip-gram training throughput on the topic
+//! corpus.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eta2_embed::corpus::TopicCorpus;
+use eta2_embed::{SkipGramConfig, SkipGramTrainer};
+
+fn bench_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("skipgram_training");
+    group.sample_size(10);
+    for &docs in &[50usize, 200] {
+        let sentences = TopicCorpus::builtin().generate(docs, 1);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{docs}docs")),
+            &sentences,
+            |b, sentences| {
+                let trainer = SkipGramTrainer::new(SkipGramConfig {
+                    dim: 24,
+                    epochs: 1,
+                    ..SkipGramConfig::default()
+                });
+                b.iter(|| trainer.train_sentences(sentences).expect("vocab"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! Experiment binary: regenerates the paper artifact via
+//! `eta2_bench::experiments::fig5`. Seeds via `ETA2_SEEDS` (default 10).
+
+fn main() {
+    let settings = eta2_bench::Settings::from_env();
+    let value = eta2_bench::experiments::fig5(&settings);
+    settings.write_json("fig5", &value);
+}

@@ -1,0 +1,35 @@
+//! Runs the full experiment battery — every table and figure of the
+//! paper's evaluation plus the DESIGN.md ablations — and writes all JSON
+//! results to `target/experiments/`.
+
+use eta2_bench::{experiments, Settings};
+
+fn main() {
+    let settings = Settings::from_env();
+    println!(
+        "running full ETA2 experiment battery: seeds = {}, fast = {}",
+        settings.seeds, settings.fast
+    );
+    let battery: [(&str, fn(&Settings) -> serde_json::Value); 12] = [
+        ("fig2", experiments::fig2),
+        ("table1", experiments::table1),
+        ("fig4", experiments::fig4),
+        ("fig5", experiments::fig5),
+        ("fig6", experiments::fig6),
+        ("fig7", experiments::fig7),
+        ("fig8", experiments::fig8),
+        ("fig9_10", experiments::fig9_10),
+        ("fig11", experiments::fig11),
+        ("fig12", experiments::fig12),
+        ("table2", experiments::table2),
+        ("ablations", experiments::ablations),
+    ];
+    for (id, f) in battery {
+        let start = std::time::Instant::now();
+        let value = f(&settings);
+        settings.write_json(id, &value);
+        println!("[{id} took {:.1?}]", start.elapsed());
+    }
+    println!();
+    println!("battery complete — results in target/experiments/");
+}

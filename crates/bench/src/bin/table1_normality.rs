@@ -1,0 +1,8 @@
+//! Experiment binary: regenerates the paper artifact via
+//! `eta2_bench::experiments::table1`. Seeds via `ETA2_SEEDS` (default 10).
+
+fn main() {
+    let settings = eta2_bench::Settings::from_env();
+    let value = eta2_bench::experiments::table1(&settings);
+    settings.write_json("table1", &value);
+}

@@ -1,0 +1,21 @@
+//! Experiment harness for the ETA² reproduction.
+//!
+//! Every table and figure of the paper's evaluation (§6) has a
+//! corresponding experiment function in [`experiments`] and a thin binary
+//! in `src/bin/`; `run_all` executes the full battery. Results are printed
+//! as tables mirroring the paper's rows/series and also written as JSON to
+//! `target/experiments/` so EXPERIMENTS.md numbers are regenerable.
+//!
+//! Knobs (environment variables):
+//!
+//! * `ETA2_SEEDS` — seeds averaged per experiment point (default 10; the
+//!   paper uses 100).
+//! * `ETA2_FAST` — set to shrink datasets for a smoke run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod harness;
+
+pub use harness::Settings;

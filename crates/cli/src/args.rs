@@ -1,0 +1,107 @@
+//! A small, dependency-free argument parser: `--key value` flags and
+//! positional arguments.
+
+use std::collections::BTreeMap;
+
+/// Parsed command-line arguments: positionals in order plus `--key value`
+/// options (`--flag` with no value stores an empty string).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Args {
+    positionals: Vec<String>,
+    options: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parses an iterator of raw arguments (without the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Self {
+        let mut args = Args::default();
+        let mut iter = raw.into_iter().peekable();
+        while let Some(a) = iter.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let value = match iter.peek() {
+                    Some(v) if !v.starts_with("--") => iter.next().unwrap_or_default(),
+                    _ => String::new(),
+                };
+                args.options.insert(key.to_string(), value);
+            } else {
+                args.positionals.push(a);
+            }
+        }
+        args
+    }
+
+    /// The `i`-th positional argument.
+    pub fn positional(&self, i: usize) -> Option<&str> {
+        self.positionals.get(i).map(String::as_str)
+    }
+
+    /// The string value of `--key`, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// Whether `--key` was passed (with or without a value).
+    #[allow(dead_code)] // part of the parser's natural API; used in tests
+    pub fn has(&self, key: &str) -> bool {
+        self.options.contains_key(key)
+    }
+
+    /// Parses `--key` as `T`, with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the flag when the value does not parse.
+    pub fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value for --{key}: {v:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(parts: &[&str]) -> Args {
+        Args::parse(parts.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn positionals_and_options() {
+        // Note: a non-`--` token right after a flag is consumed as that
+        // flag's value, so positionals must precede flags or follow a
+        // valueless flag at the end.
+        let a = parse(&["simulate", "extra", "--seed", "7", "--fast"]);
+        assert_eq!(a.positional(0), Some("simulate"));
+        assert_eq!(a.positional(1), Some("extra"));
+        assert_eq!(a.get("seed"), Some("7"));
+        assert!(a.has("fast"));
+        assert_eq!(a.get("fast"), Some(""));
+        assert!(!a.has("missing"));
+    }
+
+    #[test]
+    fn get_parsed_with_default() {
+        let a = parse(&["--seeds", "12"]);
+        assert_eq!(a.get_parsed("seeds", 5u64), Ok(12));
+        assert_eq!(a.get_parsed("other", 5u64), Ok(5));
+        let bad = parse(&["--seeds", "twelve"]);
+        assert!(bad.get_parsed("seeds", 5u64).is_err());
+    }
+
+    #[test]
+    fn flag_followed_by_flag_gets_empty_value() {
+        let a = parse(&["--fast", "--seed", "3"]);
+        assert_eq!(a.get("fast"), Some(""));
+        assert_eq!(a.get("seed"), Some("3"));
+    }
+
+    #[test]
+    fn empty_input() {
+        let a = parse(&[]);
+        assert_eq!(a.positional(0), None);
+    }
+}

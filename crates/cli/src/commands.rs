@@ -1,0 +1,199 @@
+//! CLI subcommands: dataset generation, simulation, domain inspection and
+//! the experiment battery.
+
+use crate::args::Args;
+use eta2_datasets::sfv::SfvConfig;
+use eta2_datasets::survey::SurveyConfig;
+use eta2_datasets::synthetic::SyntheticConfig;
+use eta2_datasets::Dataset;
+use eta2_sim::{train_embedding_for, ApproachKind, SimConfig, Simulation};
+
+/// Usage text printed by `help` and on errors.
+pub const USAGE: &str = "\
+eta2-cli — ETA2 reproduction toolkit
+
+USAGE:
+  eta2-cli generate --dataset <synthetic|survey|sfv> [--seed N] [--out FILE]
+  eta2-cli simulate --dataset <name|FILE.json> [--approach NAME] [--seeds N]
+                    [--alpha F] [--gamma F] [--tau F] [--days N]
+  eta2-cli domains  --dataset <survey|sfv|FILE.json> [--gamma F]
+  eta2-cli bench    [<experiment-id>]        (default: all; ids: fig2 table1
+                    fig4 fig5 fig6 fig7 fig8 fig9_10 fig11 fig12 table2
+                    ablations)
+  eta2-cli help
+
+Approaches: eta2, eta2-mc, hubs, avglog, truthfinder, baseline, crh
+            (default eta2)
+";
+
+/// Builds or loads the dataset named by `--dataset`.
+fn resolve_dataset(args: &Args) -> Result<Dataset, String> {
+    let name = args
+        .get("dataset")
+        .ok_or_else(|| "missing --dataset".to_string())?;
+    let seed = args.get_parsed("seed", 0u64)?;
+    match name {
+        "synthetic" => Ok(SyntheticConfig::default().generate(seed)),
+        "survey" => Ok(SurveyConfig::default().generate(seed)),
+        "sfv" => Ok(SfvConfig::default().generate(seed)),
+        path if path.ends_with(".json") => {
+            eta2_datasets::io::load_dataset(path).map_err(|e| e.to_string())
+        }
+        other => Err(format!("unknown dataset {other:?}")),
+    }
+}
+
+fn resolve_approach(args: &Args) -> Result<ApproachKind, String> {
+    match args.get("approach").unwrap_or("eta2") {
+        "eta2" => Ok(ApproachKind::Eta2),
+        "eta2-mc" | "mc" => Ok(ApproachKind::Eta2MinCost),
+        "hubs" => Ok(ApproachKind::HubsAuthorities),
+        "avglog" => Ok(ApproachKind::AverageLog),
+        "truthfinder" => Ok(ApproachKind::TruthFinder),
+        "baseline" => Ok(ApproachKind::Baseline),
+        "crh" => Ok(ApproachKind::Crh),
+        other => Err(format!("unknown approach {other:?}")),
+    }
+}
+
+/// `generate` — write a dataset to JSON.
+pub fn generate(args: &Args) -> Result<(), String> {
+    let ds = resolve_dataset(args)?;
+    let out = args
+        .get("out")
+        .map(String::from)
+        .unwrap_or_else(|| format!("{}.json", ds.name));
+    eta2_datasets::io::save_dataset(&ds, &out).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {}: {} users, {} tasks, {} domains",
+        out,
+        ds.users.len(),
+        ds.tasks.len(),
+        ds.n_domains
+    );
+    Ok(())
+}
+
+/// `simulate` — run one approach and print per-day metrics.
+pub fn simulate(args: &Args) -> Result<(), String> {
+    let mut ds = resolve_dataset(args)?;
+    let approach = resolve_approach(args)?;
+    let seeds: u64 = args.get_parsed("seeds", 5u64)?;
+    let config = SimConfig {
+        alpha: args.get_parsed("alpha", SimConfig::default().alpha)?,
+        gamma: args.get_parsed("gamma", SimConfig::default().gamma)?,
+        days: args.get_parsed("days", SimConfig::default().days)?,
+        ..SimConfig::default()
+    };
+    if let Some(tau) = args.get("tau") {
+        use rand::SeedableRng;
+        let tau: f64 = tau
+            .parse()
+            .map_err(|_| format!("invalid value for --tau: {tau:?}"))?;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(args.get_parsed("seed", 0u64)?);
+        ds.regenerate_capacities(tau, 4.0, &mut rng);
+    }
+    config.validate();
+
+    let sim = Simulation::new(config);
+    let embedding = train_embedding_for(&ds, sim.config());
+    println!(
+        "simulating {} on {} ({} users, {} tasks), {} seeds",
+        approach.name(),
+        ds.name,
+        ds.users.len(),
+        ds.tasks.len(),
+        seeds
+    );
+    let avg = eta2_sim::sweep::average_over_seeds(
+        &sim,
+        approach,
+        seeds,
+        0,
+        |_| ds.clone(),
+        embedding.as_ref(),
+    );
+    for (d, e) in avg.daily_error.iter().enumerate() {
+        println!("  day {}: error {e:.4}", d + 1);
+    }
+    println!("  overall error: {:.4}", avg.overall_error);
+    println!("  total cost:    {:.1}", avg.total_cost);
+    if let Some(ee) = avg.expertise_error {
+        println!("  expertise MAE: {ee:.4}");
+    }
+    Ok(())
+}
+
+/// `domains` — run the §3 pipeline and print the discovered domains with a
+/// few sample descriptions each.
+pub fn domains(args: &Args) -> Result<(), String> {
+    let ds = resolve_dataset(args)?;
+    if ds.domains_known {
+        return Err("dataset has pre-known domains; nothing to discover".into());
+    }
+    let config = SimConfig {
+        gamma: args.get_parsed("gamma", SimConfig::default().gamma)?,
+        ..SimConfig::default()
+    };
+    let embedding =
+        train_embedding_for(&ds, &config).ok_or("dataset needs descriptions".to_string())?;
+    let mut tracker = eta2_sim::pipeline::DomainTracker::new(&ds, Some(&embedding), &config);
+    let all: Vec<usize> = (0..ds.tasks.len()).collect();
+    let batch = tracker.identify(&ds, &all);
+
+    let mut by_domain: std::collections::BTreeMap<u32, Vec<usize>> = Default::default();
+    for (i, d) in batch.domains.iter().enumerate() {
+        by_domain.entry(d.0).or_default().push(i);
+    }
+    println!(
+        "discovered {} domains over {} tasks (oracle: {}):",
+        by_domain.len(),
+        ds.tasks.len(),
+        ds.n_domains
+    );
+    for (d, members) in &by_domain {
+        println!("domain #{d} — {} tasks", members.len());
+        for &i in members.iter().take(3) {
+            println!("    {}", ds.tasks[i].description.as_deref().unwrap_or("?"));
+        }
+    }
+    Ok(())
+}
+
+/// `bench` — run one experiment (or all of them).
+pub fn bench(args: &Args) -> Result<(), String> {
+    use eta2_bench::experiments as ex;
+    let settings = eta2_bench::Settings::from_env();
+    let runs: Vec<(&str, fn(&eta2_bench::Settings) -> serde_json::Value)> = vec![
+        ("fig2", ex::fig2),
+        ("table1", ex::table1),
+        ("fig4", ex::fig4),
+        ("fig5", ex::fig5),
+        ("fig6", ex::fig6),
+        ("fig7", ex::fig7),
+        ("fig8", ex::fig8),
+        ("fig9_10", ex::fig9_10),
+        ("fig11", ex::fig11),
+        ("fig12", ex::fig12),
+        ("table2", ex::table2),
+        ("ablations", ex::ablations),
+    ];
+    match args.positional(1) {
+        None => {
+            for (id, f) in runs {
+                let v = f(&settings);
+                settings.write_json(id, &v);
+            }
+            Ok(())
+        }
+        Some(want) => {
+            let (id, f) = runs
+                .into_iter()
+                .find(|(id, _)| *id == want)
+                .ok_or_else(|| format!("unknown experiment {want:?}"))?;
+            let v = f(&settings);
+            settings.write_json(id, &v);
+            Ok(())
+        }
+    }
+}

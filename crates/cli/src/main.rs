@@ -1,0 +1,35 @@
+//! `eta2-cli` — command-line interface for the ETA² reproduction.
+//!
+//! ```sh
+//! eta2-cli generate --dataset survey --out survey.json
+//! eta2-cli simulate --dataset synthetic --approach eta2 --seeds 10
+//! eta2-cli domains  --dataset survey
+//! eta2-cli bench fig5
+//! ```
+
+mod args;
+mod commands;
+
+use args::Args;
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = Args::parse(raw);
+    let result = match parsed.positional(0) {
+        Some("generate") => commands::generate(&parsed),
+        Some("simulate") => commands::simulate(&parsed),
+        Some("domains") => commands::domains(&parsed),
+        Some("bench") => commands::bench(&parsed),
+        Some("help") | None => {
+            print!("{}", commands::USAGE);
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}")),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        eprintln!();
+        eprint!("{}", commands::USAGE);
+        std::process::exit(2);
+    }
+}

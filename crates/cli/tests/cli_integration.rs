@@ -1,0 +1,113 @@
+//! End-to-end tests of the `eta2-cli` binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_eta2-cli"))
+}
+
+fn temp_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join("eta2_cli_integration");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = cli().arg("help").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("generate"));
+}
+
+#[test]
+fn no_args_prints_usage_successfully() {
+    let out = cli().output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8(out.stdout).unwrap().contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = cli().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown command"));
+    assert!(err.contains("USAGE"));
+}
+
+#[test]
+fn generate_writes_loadable_dataset() {
+    let path = temp_dir().join("cli_synthetic.json");
+    let out = cli()
+        .args([
+            "generate",
+            "--dataset",
+            "synthetic",
+            "--seed",
+            "3",
+            "--out",
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let ds = eta2_datasets::io::load_dataset(&path).unwrap();
+    assert_eq!(ds.name, "synthetic");
+    assert_eq!(ds.users.len(), 100);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn generate_requires_dataset_flag() {
+    let out = cli().arg("generate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("missing --dataset"));
+}
+
+#[test]
+fn simulate_runs_on_generated_file() {
+    let path = temp_dir().join("cli_sim_input.json");
+    // A small dataset so the debug-build simulation is quick.
+    let ds = eta2_datasets::synthetic::SyntheticConfig {
+        n_users: 10,
+        n_tasks: 30,
+        n_domains: 2,
+        ..eta2_datasets::synthetic::SyntheticConfig::default()
+    }
+    .generate(0);
+    eta2_datasets::io::save_dataset(&ds, &path).unwrap();
+
+    let out = cli()
+        .args([
+            "simulate",
+            "--dataset",
+            path.to_str().unwrap(),
+            "--approach",
+            "baseline",
+            "--seeds",
+            "1",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("overall error"), "{text}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn simulate_rejects_unknown_approach() {
+    let out = cli()
+        .args(["simulate", "--dataset", "synthetic", "--approach", "magic"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("unknown approach"));
+}

@@ -1,0 +1,139 @@
+//! Symmetric pairwise distance storage.
+
+use serde::{Deserialize, Serialize};
+
+/// A symmetric `n × n` distance matrix stored in condensed form (upper
+/// triangle, no diagonal).
+///
+/// # Examples
+///
+/// ```
+/// use eta2_cluster::DistanceMatrix;
+///
+/// let dm = DistanceMatrix::from_fn(3, |i, j| (i as f64 - j as f64).abs());
+/// assert_eq!(dm.get(0, 2), 2.0);
+/// assert_eq!(dm.get(2, 0), 2.0);
+/// assert_eq!(dm.get(1, 1), 0.0);
+/// assert_eq!(dm.max(), 2.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DistanceMatrix {
+    n: usize,
+    // Condensed upper triangle: entry (i, j), i < j, at
+    // i*n - i*(i+1)/2 + (j - i - 1).
+    data: Vec<f64>,
+}
+
+impl DistanceMatrix {
+    /// Builds the matrix by evaluating `dist(i, j)` for every pair `i < j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dist` returns a negative or non-finite value.
+    pub fn from_fn<F: FnMut(usize, usize) -> f64>(n: usize, mut dist: F) -> Self {
+        let mut data = Vec::with_capacity(n * n.saturating_sub(1) / 2);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = dist(i, j);
+                assert!(
+                    d.is_finite() && d >= 0.0,
+                    "distance({i}, {j}) = {d} must be finite and non-negative"
+                );
+                data.push(d);
+            }
+        }
+        DistanceMatrix { n, data }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the matrix covers zero items.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Distance between items `i` and `j` (0 on the diagonal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "index out of range");
+        if i == j {
+            return 0.0;
+        }
+        let (i, j) = if i < j { (i, j) } else { (j, i) };
+        self.data[i * self.n - i * (i + 1) / 2 + (j - i - 1)]
+    }
+
+    /// The largest pairwise distance — the paper's `d*` (0 for fewer than
+    /// two items).
+    pub fn max(&self) -> f64 {
+        self.data.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn indexing_roundtrip() {
+        let dm = DistanceMatrix::from_fn(5, |i, j| (i * 10 + j) as f64);
+        for i in 0..5 {
+            for j in 0..5 {
+                if i < j {
+                    assert_eq!(dm.get(i, j), (i * 10 + j) as f64);
+                    assert_eq!(dm.get(j, i), dm.get(i, j));
+                } else if i == j {
+                    assert_eq!(dm.get(i, j), 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let dm = DistanceMatrix::from_fn(0, |_, _| unreachable!());
+        assert!(dm.is_empty());
+        assert_eq!(dm.max(), 0.0);
+        let dm = DistanceMatrix::from_fn(1, |_, _| unreachable!());
+        assert_eq!(dm.len(), 1);
+        assert_eq!(dm.get(0, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite and non-negative")]
+    fn rejects_negative_distance() {
+        DistanceMatrix::from_fn(2, |_, _| -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of range")]
+    fn get_bounds_checked() {
+        let dm = DistanceMatrix::from_fn(2, |_, _| 1.0);
+        dm.get(0, 2);
+    }
+
+    proptest! {
+        #[test]
+        fn max_is_an_upper_bound(n in 2usize..12, seed in 0u64..1000) {
+            let vals: Vec<f64> = (0..n*n).map(|k| {
+                // Cheap deterministic pseudo-random values.
+                let h = (k as u64).wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(seed);
+                (h % 1000) as f64 / 10.0
+            }).collect();
+            let dm = DistanceMatrix::from_fn(n, |i, j| vals[i * n + j]);
+            let m = dm.max();
+            for i in 0..n {
+                for j in 0..n {
+                    prop_assert!(dm.get(i, j) <= m);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,376 @@
+//! Dynamic hierarchical clustering (ETA² §3.3.2).
+//!
+//! After a warm-up batch establishes the initial expertise domains and the
+//! reference distance `d*`, newly created tasks are inserted as singleton
+//! clusters next to the existing domains and the same average-linkage merge
+//! loop runs. Three things can happen to a new task — it joins an existing
+//! domain, founds a new domain, or causes two existing domains to merge —
+//! and all of them are reported as [`DomainEvent`]s so the expertise
+//! bookkeeping in `eta2-core` can follow.
+
+use crate::distance::DistanceMatrix;
+use crate::hierarchical::agglomerate;
+use serde::{Deserialize, Serialize};
+
+/// Stable identifier of an expertise domain produced by the clusterer.
+pub type DomainId = u32;
+
+/// A change to the domain set caused by one batch of task arrivals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DomainEvent {
+    /// A brand-new domain was founded (by tasks matching no existing one).
+    Created {
+        /// The new domain's id.
+        domain: DomainId,
+    },
+    /// Two pre-existing domains merged; `absorbed` no longer exists and its
+    /// tasks/expertise belong to `kept` (paper §4.2, second special case).
+    Merged {
+        /// The surviving domain.
+        kept: DomainId,
+        /// The deleted domain.
+        absorbed: DomainId,
+    },
+}
+
+/// Result of one warm-up or arrival batch.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DynamicUpdate {
+    /// Domain id assigned to each point of the batch, in input order.
+    pub assignments: Vec<DomainId>,
+    /// Domain-set changes, creations first, then merges.
+    pub events: Vec<DomainEvent>,
+}
+
+/// Dynamic hierarchical clusterer over points of type `P` with metric `M`.
+///
+/// # Examples
+///
+/// ```
+/// use eta2_cluster::DynamicClusterer;
+///
+/// let metric = |a: &f64, b: &f64| (a - b).abs();
+/// let mut dc = DynamicClusterer::new(metric, 0.3);
+/// let warm = dc.warm_up(vec![0.0, 0.1, 10.0, 10.1]);
+/// assert_eq!(warm.assignments[0], warm.assignments[1]);
+/// assert_ne!(warm.assignments[0], warm.assignments[2]);
+///
+/// // A task near the first group joins its domain…
+/// let upd = dc.add(vec![0.05]);
+/// assert_eq!(upd.assignments[0], warm.assignments[0]);
+/// // …and a far-away task founds a new domain.
+/// let upd = dc.add(vec![100.0]);
+/// assert!(matches!(upd.events[0], eta2_cluster::DomainEvent::Created { .. }));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DynamicClusterer<P, M> {
+    metric: M,
+    gamma: f64,
+    points: Vec<P>,
+    /// Live domains: `(id, member point indices)`.
+    domains: Vec<(DomainId, Vec<usize>)>,
+    d_star: f64,
+    next_id: DomainId,
+    warmed: bool,
+}
+
+impl<P, M: Fn(&P, &P) -> f64> DynamicClusterer<P, M> {
+    /// Creates a clusterer with the given metric and threshold fraction
+    /// `gamma`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ gamma ≤ 1`.
+    pub fn new(metric: M, gamma: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&gamma),
+            "gamma must be in [0, 1], got {gamma}"
+        );
+        DynamicClusterer {
+            metric,
+            gamma,
+            points: Vec::new(),
+            domains: Vec::new(),
+            d_star: 0.0,
+            next_id: 0,
+            warmed: false,
+        }
+    }
+
+    /// Threshold fraction `γ`.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// The reference distance `d*` fixed at warm-up (0 before warm-up).
+    pub fn d_star(&self) -> f64 {
+        self.d_star
+    }
+
+    /// Total points seen so far.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether no point has been added yet.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Live domains as `(id, member point indices)`, sorted by id.
+    pub fn domains(&self) -> &[(DomainId, Vec<usize>)] {
+        &self.domains
+    }
+
+    /// Domain of the point with global index `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn domain_of(&self, idx: usize) -> DomainId {
+        assert!(idx < self.points.len(), "point index {idx} out of range");
+        self.domains
+            .iter()
+            .find(|(_, members)| members.contains(&idx))
+            .map(|&(id, _)| id)
+            .expect("every point belongs to a domain")
+    }
+
+    /// Clusters the warm-up batch, fixing `d*` to the largest pairwise
+    /// distance among these points (paper §3.3.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice or with an empty batch.
+    pub fn warm_up(&mut self, batch: Vec<P>) -> DynamicUpdate {
+        assert!(!self.warmed, "warm_up may only be called once");
+        assert!(!batch.is_empty(), "warm-up batch must not be empty");
+        self.points = batch;
+        let dm = self.full_distance_matrix();
+        self.d_star = dm.max();
+        self.warmed = true;
+
+        let singletons = (0..self.points.len()).map(|i| vec![i]).collect();
+        let clustering = agglomerate(&dm, singletons, self.gamma * self.d_star);
+
+        let mut assignments = vec![0; self.points.len()];
+        let mut events = Vec::with_capacity(clustering.cluster_count());
+        for c in 0..clustering.cluster_count() {
+            let id = self.next_id;
+            self.next_id += 1;
+            self.domains.push((id, clustering.members(c).to_vec()));
+            events.push(DomainEvent::Created { domain: id });
+            for &m in clustering.members(c) {
+                assignments[m] = id;
+            }
+        }
+        DynamicUpdate {
+            assignments,
+            events,
+        }
+    }
+
+    /// Inserts a batch of new points as singleton clusters and re-runs the
+    /// merge loop against the existing domains (paper §3.3.2). Returns the
+    /// domain assigned to each new point plus any domain creations/merges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`DynamicClusterer::warm_up`].
+    pub fn add(&mut self, batch: Vec<P>) -> DynamicUpdate {
+        assert!(self.warmed, "call warm_up before add");
+        if batch.is_empty() {
+            return DynamicUpdate {
+                assignments: Vec::new(),
+                events: Vec::new(),
+            };
+        }
+        let first_new = self.points.len();
+        self.points.extend(batch);
+        let dm = self.full_distance_matrix();
+
+        // Existing domains keep their member groups; each new point starts
+        // its own singleton.
+        let mut initial: Vec<Vec<usize>> =
+            self.domains.iter().map(|(_, m)| m.clone()).collect();
+        initial.extend((first_new..self.points.len()).map(|i| vec![i]));
+        let clustering = agglomerate(&dm, initial, self.gamma * self.d_star);
+
+        // Re-derive domain identity: a result cluster containing members of
+        // k old domains keeps the smallest old id (absorbing the others); a
+        // cluster of only-new points founds a fresh domain.
+        let old_domain_of: std::collections::HashMap<usize, DomainId> = self
+            .domains
+            .iter()
+            .flat_map(|(id, m)| m.iter().map(move |&i| (i, *id)))
+            .collect();
+
+        let mut new_domains = Vec::with_capacity(clustering.cluster_count());
+        let mut assignments = vec![0; self.points.len() - first_new];
+        let mut created = Vec::new();
+        let mut merged = Vec::new();
+        for c in 0..clustering.cluster_count() {
+            let members = clustering.members(c).to_vec();
+            let mut old_ids: Vec<DomainId> = members
+                .iter()
+                .filter_map(|i| old_domain_of.get(i).copied())
+                .collect();
+            old_ids.sort_unstable();
+            old_ids.dedup();
+            let id = match old_ids.first() {
+                Some(&kept) => {
+                    for &absorbed in &old_ids[1..] {
+                        merged.push(DomainEvent::Merged { kept, absorbed });
+                    }
+                    kept
+                }
+                None => {
+                    let id = self.next_id;
+                    self.next_id += 1;
+                    created.push(DomainEvent::Created { domain: id });
+                    id
+                }
+            };
+            for &m in &members {
+                if m >= first_new {
+                    assignments[m - first_new] = id;
+                }
+            }
+            new_domains.push((id, members));
+        }
+        new_domains.sort_by_key(|&(id, _)| id);
+        self.domains = new_domains;
+
+        let mut events = created;
+        events.extend(merged);
+        DynamicUpdate {
+            assignments,
+            events,
+        }
+    }
+
+    fn full_distance_matrix(&self) -> DistanceMatrix {
+        DistanceMatrix::from_fn(self.points.len(), |i, j| {
+            (self.metric)(&self.points[i], &self.points[j])
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abs_metric(a: &f64, b: &f64) -> f64 {
+        (a - b).abs()
+    }
+
+    fn warmed() -> (DynamicClusterer<f64, fn(&f64, &f64) -> f64>, DynamicUpdate) {
+        let mut dc = DynamicClusterer::new(abs_metric as fn(&f64, &f64) -> f64, 0.3);
+        let upd = dc.warm_up(vec![0.0, 0.2, 0.4, 10.0, 10.2, 10.4]);
+        (dc, upd)
+    }
+
+    #[test]
+    fn warm_up_founds_domains() {
+        let (dc, upd) = warmed();
+        assert_eq!(dc.domains().len(), 2);
+        assert_eq!(upd.events.len(), 2);
+        assert!(upd
+            .events
+            .iter()
+            .all(|e| matches!(e, DomainEvent::Created { .. })));
+        assert_eq!(upd.assignments[0], upd.assignments[2]);
+        assert_ne!(upd.assignments[0], upd.assignments[3]);
+        assert!((dc.d_star() - 10.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn new_task_joins_existing_domain() {
+        let (mut dc, warm) = warmed();
+        let upd = dc.add(vec![0.3]);
+        assert_eq!(upd.assignments, vec![warm.assignments[0]]);
+        assert!(upd.events.is_empty());
+        assert_eq!(dc.domain_of(6), warm.assignments[0]);
+    }
+
+    #[test]
+    fn far_task_founds_new_domain() {
+        let (mut dc, _) = warmed();
+        let upd = dc.add(vec![50.0]);
+        assert_eq!(upd.events, vec![DomainEvent::Created { domain: 2 }]);
+        assert_eq!(upd.assignments, vec![2]);
+        assert_eq!(dc.domains().len(), 3);
+    }
+
+    #[test]
+    fn bridge_tasks_merge_existing_domains() {
+        // γ·d* = 0.75·10.4 = 7.8. The two groups alone sit at average
+        // distance 10 (> 7.8) so the warm-up keeps them apart; a dense
+        // bridge of points between them first joins the left group (average
+        // distance 4.9) and pulls the combined cluster close enough to the
+        // right group (average distance 7.2 < 7.8) that the domains merge.
+        let mut dc = DynamicClusterer::new(abs_metric as fn(&f64, &f64) -> f64, 0.75);
+        let warm = dc.warm_up(vec![0.0, 0.2, 0.4, 10.0, 10.2, 10.4]);
+        let (a, b) = (warm.assignments[0], warm.assignments[3]);
+        let upd = dc.add(vec![4.8, 5.0, 5.2, 5.4]);
+        let merged: Vec<_> = upd
+            .events
+            .iter()
+            .filter(|e| matches!(e, DomainEvent::Merged { .. }))
+            .collect();
+        assert!(
+            !merged.is_empty(),
+            "expected a merge, got events {:?}",
+            upd.events
+        );
+        if let DomainEvent::Merged { kept, absorbed } = merged[0] {
+            assert_eq!(*kept, a.min(b));
+            assert_eq!(*absorbed, a.max(b));
+        }
+        assert_eq!(dc.domains().len(), 1);
+    }
+
+    #[test]
+    fn merged_domain_ids_never_reused() {
+        let (mut dc, _) = warmed();
+        let before = dc.domains().len() as u32;
+        dc.add(vec![50.0]);
+        dc.add(vec![99.0]);
+        let ids: Vec<DomainId> = dc.domains().iter().map(|&(id, _)| id).collect();
+        assert_eq!(ids, vec![0, 1, before, before + 1]);
+    }
+
+    #[test]
+    fn add_empty_batch_is_noop() {
+        let (mut dc, _) = warmed();
+        let before = dc.domains().to_vec();
+        let upd = dc.add(vec![]);
+        assert!(upd.assignments.is_empty() && upd.events.is_empty());
+        assert_eq!(dc.domains(), &before[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "warm_up may only be called once")]
+    fn double_warm_up_panics() {
+        let (mut dc, _) = warmed();
+        dc.warm_up(vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "call warm_up before add")]
+    fn add_before_warm_up_panics() {
+        let mut dc = DynamicClusterer::new(abs_metric as fn(&f64, &f64) -> f64, 0.3);
+        dc.add(vec![1.0]);
+    }
+
+    #[test]
+    fn every_point_always_assigned() {
+        let (mut dc, _) = warmed();
+        dc.add(vec![0.1, 50.0, 10.3]);
+        for i in 0..dc.len() {
+            let _ = dc.domain_of(i); // panics internally if unassigned
+        }
+        let total: usize = dc.domains().iter().map(|(_, m)| m.len()).sum();
+        assert_eq!(total, dc.len());
+    }
+}

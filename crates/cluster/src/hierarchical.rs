@@ -1,0 +1,430 @@
+//! Average-linkage agglomerative clustering with a distance floor
+//! (ETA² §3.3.1).
+
+use crate::distance::DistanceMatrix;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// The result of a clustering run: a partition of `0..n` into clusters.
+///
+/// Clusters are ordered by their smallest member index and members are
+/// sorted, so the representation is canonical — two equal partitions compare
+/// equal.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Clustering {
+    clusters: Vec<Vec<usize>>,
+    assignment: Vec<usize>,
+}
+
+impl Clustering {
+    /// Builds a canonical clustering from raw member groups over `n` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the groups are not a partition of `0..n`.
+    pub fn from_groups(mut groups: Vec<Vec<usize>>, n: usize) -> Self {
+        for g in &mut groups {
+            g.sort_unstable();
+        }
+        groups.retain(|g| !g.is_empty());
+        groups.sort_by_key(|g| g[0]);
+        let mut assignment = vec![usize::MAX; n];
+        for (c, g) in groups.iter().enumerate() {
+            for &item in g {
+                assert!(item < n, "item {item} out of range");
+                assert_eq!(
+                    assignment[item],
+                    usize::MAX,
+                    "item {item} appears in two clusters"
+                );
+                assignment[item] = c;
+            }
+        }
+        assert!(
+            assignment.iter().all(|&a| a != usize::MAX),
+            "groups do not cover all items"
+        );
+        Clustering {
+            clusters: groups,
+            assignment,
+        }
+    }
+
+    /// Number of clusters.
+    pub fn cluster_count(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Number of clustered items.
+    pub fn item_count(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// The cluster index of `item`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `item >= item_count()`.
+    pub fn cluster_of(&self, item: usize) -> usize {
+        self.assignment[item]
+    }
+
+    /// Members of cluster `c`, sorted ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= cluster_count()`.
+    pub fn members(&self, c: usize) -> &[usize] {
+        &self.clusters[c]
+    }
+
+    /// All clusters.
+    pub fn clusters(&self) -> &[Vec<usize>] {
+        &self.clusters
+    }
+
+    /// Average inter-cluster distance between clusters `a` and `b` under
+    /// `dm` — the linkage quantity the merge loop minimizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cluster index is out of range.
+    pub fn average_distance(&self, dm: &DistanceMatrix, a: usize, b: usize) -> f64 {
+        let (ga, gb) = (&self.clusters[a], &self.clusters[b]);
+        let mut sum = 0.0;
+        for &i in ga {
+            for &j in gb {
+                sum += dm.get(i, j);
+            }
+        }
+        sum / (ga.len() * gb.len()) as f64
+    }
+}
+
+/// Average-linkage hierarchical clusterer with relative threshold `γ`.
+///
+/// The merge loop stops when the closest pair of clusters is at least
+/// `γ · d*` apart, `d*` being the largest pairwise distance in the input
+/// (paper §3.3.1).
+///
+/// # Examples
+///
+/// ```
+/// use eta2_cluster::{DistanceMatrix, HierarchicalClusterer};
+///
+/// let points = [0.0_f64, 0.2, 5.0, 5.3, 11.0];
+/// let dm = DistanceMatrix::from_fn(5, |i, j| (points[i] - points[j]).abs());
+/// let c = HierarchicalClusterer::new(0.2).cluster(&dm);
+/// assert_eq!(c.cluster_count(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HierarchicalClusterer {
+    gamma: f64,
+}
+
+impl HierarchicalClusterer {
+    /// Creates a clusterer with threshold fraction `gamma`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ gamma ≤ 1`.
+    pub fn new(gamma: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&gamma),
+            "gamma must be in [0, 1], got {gamma}"
+        );
+        HierarchicalClusterer { gamma }
+    }
+
+    /// The threshold fraction `γ`.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// Clusters all items of `dm`, starting from singletons, with threshold
+    /// `γ · d*` where `d* = dm.max()`.
+    pub fn cluster(&self, dm: &DistanceMatrix) -> Clustering {
+        let singletons = (0..dm.len()).map(|i| vec![i]).collect();
+        agglomerate(dm, singletons, self.gamma * dm.max())
+    }
+}
+
+/// Heap entry for the merge loop; ordered so the *smallest* distance pops
+/// first, with deterministic tie-breaking on the cluster slots.
+#[derive(Debug, PartialEq)]
+struct Candidate {
+    dist: f64,
+    a: usize,
+    b: usize,
+    version_a: u64,
+    version_b: u64,
+}
+
+impl Eq for Candidate {}
+
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: reverse distance order, then indices.
+        other
+            .dist
+            .total_cmp(&self.dist)
+            .then_with(|| other.a.cmp(&self.a))
+            .then_with(|| other.b.cmp(&self.b))
+    }
+}
+
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Core merge loop: agglomerates `initial` groups under average linkage
+/// until the closest pair is at or above `threshold`.
+///
+/// Average linkage is maintained incrementally with the Lance–Williams
+/// update `d(k, i∪j) = (nᵢ·d(k,i) + nⱼ·d(k,j)) / (nᵢ+nⱼ)`, and the closest
+/// pair is tracked with a lazily invalidated binary heap, giving
+/// `O(C² log C)` for `C` initial groups.
+///
+/// # Panics
+///
+/// Panics if `initial` is not a partition of `0..dm.len()`.
+pub fn agglomerate(dm: &DistanceMatrix, initial: Vec<Vec<usize>>, threshold: f64) -> Clustering {
+    let n = dm.len();
+    // Validate via the canonical constructor (cheap) before doing real work.
+    let seed_clustering = Clustering::from_groups(initial, n);
+    let c0 = seed_clustering.cluster_count();
+    if c0 <= 1 {
+        return seed_clustering;
+    }
+
+    // Active cluster slots.
+    let mut members: Vec<Option<Vec<usize>>> = seed_clustering
+        .clusters()
+        .iter()
+        .cloned()
+        .map(Some)
+        .collect();
+    let mut sizes: Vec<usize> = members
+        .iter()
+        .map(|m| m.as_ref().expect("all alive").len())
+        .collect();
+    let mut version: Vec<u64> = vec![0; c0];
+
+    // Full (symmetric) inter-cluster distance table for the initial groups.
+    let mut cdist = vec![0.0f64; c0 * c0];
+    for a in 0..c0 {
+        for b in (a + 1)..c0 {
+            let d = seed_clustering.average_distance(dm, a, b);
+            cdist[a * c0 + b] = d;
+            cdist[b * c0 + a] = d;
+        }
+    }
+
+    let mut heap = BinaryHeap::with_capacity(c0 * c0 / 2);
+    for a in 0..c0 {
+        for b in (a + 1)..c0 {
+            heap.push(Candidate {
+                dist: cdist[a * c0 + b],
+                a,
+                b,
+                version_a: 0,
+                version_b: 0,
+            });
+        }
+    }
+
+    while let Some(cand) = heap.pop() {
+        let Candidate {
+            dist,
+            a,
+            b,
+            version_a,
+            version_b,
+        } = cand;
+        if members[a].is_none() || members[b].is_none() {
+            continue;
+        }
+        if version[a] != version_a || version[b] != version_b {
+            continue; // stale entry
+        }
+        if dist >= threshold {
+            break; // closest remaining pair already too far apart
+        }
+
+        // Merge b into a.
+        let absorbed = members[b].take().expect("checked alive");
+        let keep = members[a].as_mut().expect("checked alive");
+        keep.extend(absorbed);
+        let (na, nb) = (sizes[a], sizes[b]);
+        sizes[a] = na + nb;
+        version[a] += 1;
+
+        // Lance–Williams update of d(k, a∪b) for every other live cluster.
+        for k in 0..c0 {
+            if k == a || k == b || members[k].is_none() {
+                continue;
+            }
+            let d = (na as f64 * cdist[k * c0 + a] + nb as f64 * cdist[k * c0 + b])
+                / (na + nb) as f64;
+            cdist[k * c0 + a] = d;
+            cdist[a * c0 + k] = d;
+            let (lo, hi) = if k < a { (k, a) } else { (a, k) };
+            heap.push(Candidate {
+                dist: d,
+                a: lo,
+                b: hi,
+                version_a: version[lo],
+                version_b: version[hi],
+            });
+        }
+    }
+
+    let groups: Vec<Vec<usize>> = members.into_iter().flatten().collect();
+    Clustering::from_groups(groups, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn line_dm(points: &[f64]) -> DistanceMatrix {
+        DistanceMatrix::from_fn(points.len(), |i, j| (points[i] - points[j]).abs())
+    }
+
+    #[test]
+    fn two_obvious_groups() {
+        let dm = line_dm(&[0.0, 0.1, 0.2, 10.0, 10.1, 10.2]);
+        let c = HierarchicalClusterer::new(0.5).cluster(&dm);
+        assert_eq!(c.cluster_count(), 2);
+        assert_eq!(c.members(0), &[0, 1, 2]);
+        assert_eq!(c.members(1), &[3, 4, 5]);
+    }
+
+    #[test]
+    fn gamma_zero_keeps_singletons() {
+        let dm = line_dm(&[0.0, 0.1, 0.2]);
+        let c = HierarchicalClusterer::new(0.0).cluster(&dm);
+        assert_eq!(c.cluster_count(), 3);
+    }
+
+    #[test]
+    fn gamma_one_merges_almost_everything() {
+        let dm = line_dm(&[0.0, 1.0, 2.0, 3.0]);
+        let c = HierarchicalClusterer::new(1.0).cluster(&dm);
+        assert_eq!(c.cluster_count(), 1);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let dm = line_dm(&[]);
+        assert_eq!(HierarchicalClusterer::new(0.5).cluster(&dm).cluster_count(), 0);
+        let dm = line_dm(&[7.0]);
+        let c = HierarchicalClusterer::new(0.5).cluster(&dm);
+        assert_eq!(c.cluster_count(), 1);
+        assert_eq!(c.cluster_of(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma must be in [0, 1]")]
+    fn gamma_out_of_range_panics() {
+        HierarchicalClusterer::new(1.5);
+    }
+
+    #[test]
+    fn from_groups_rejects_non_partition() {
+        let r = std::panic::catch_unwind(|| {
+            Clustering::from_groups(vec![vec![0], vec![0]], 2)
+        });
+        assert!(r.is_err(), "duplicate item accepted");
+        let r = std::panic::catch_unwind(|| Clustering::from_groups(vec![vec![0]], 2));
+        assert!(r.is_err(), "missing item accepted");
+    }
+
+    #[test]
+    fn termination_respects_threshold() {
+        // After clustering, every pair of clusters must be >= threshold
+        // apart in average linkage.
+        let points = [0.0, 0.5, 1.0, 4.0, 4.4, 9.0, 9.1, 9.2, 15.0];
+        let dm = line_dm(&points);
+        for gamma in [0.05, 0.1, 0.2, 0.4, 0.8] {
+            let c = HierarchicalClusterer::new(gamma).cluster(&dm);
+            let threshold = gamma * dm.max();
+            for a in 0..c.cluster_count() {
+                for b in (a + 1)..c.cluster_count() {
+                    let d = c.average_distance(&dm, a, b);
+                    assert!(
+                        d >= threshold - 1e-9,
+                        "gamma={gamma}: clusters {a},{b} at {d} < {threshold}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn agglomerate_respects_initial_groups() {
+        // Pre-grouped far-apart items must never be split; here we force
+        // items 0 and 8 together and check they stay together.
+        let points = [0.0, 0.1, 0.2, 10.0, 10.1, 10.2, 20.0, 20.1, 20.2];
+        let dm = line_dm(&points);
+        let initial = vec![
+            vec![0, 8],
+            vec![1],
+            vec![2],
+            vec![3],
+            vec![4],
+            vec![5],
+            vec![6],
+            vec![7],
+        ];
+        let c = agglomerate(&dm, initial, 0.01 * dm.max());
+        assert_eq!(c.cluster_of(0), c.cluster_of(8));
+    }
+
+    #[test]
+    fn clustering_is_deterministic_under_tie_breaks() {
+        // All pairwise distances equal: merges are tie-broken by index, so
+        // repeated runs must agree.
+        let dm = DistanceMatrix::from_fn(6, |_, _| 1.0);
+        let a = HierarchicalClusterer::new(0.9).cluster(&dm);
+        let b = HierarchicalClusterer::new(0.9).cluster(&dm);
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #[test]
+        fn always_a_partition(
+            points in proptest::collection::vec(0.0..100.0f64, 0..40),
+            gamma in 0.0..1.0f64,
+        ) {
+            let dm = line_dm(&points);
+            let c = HierarchicalClusterer::new(gamma).cluster(&dm);
+            // Every item in exactly one cluster.
+            let mut seen = vec![false; points.len()];
+            for k in 0..c.cluster_count() {
+                for &m in c.members(k) {
+                    prop_assert!(!seen[m]);
+                    seen[m] = true;
+                }
+            }
+            prop_assert!(seen.iter().all(|&s| s));
+        }
+
+        #[test]
+        fn larger_gamma_never_increases_cluster_count(
+            points in proptest::collection::vec(0.0..100.0f64, 2..30),
+        ) {
+            let dm = line_dm(&points);
+            let mut prev = usize::MAX;
+            for gamma in [0.0, 0.25, 0.5, 0.75, 1.0] {
+                let c = HierarchicalClusterer::new(gamma).cluster(&dm);
+                prop_assert!(c.cluster_count() <= prev);
+                prev = c.cluster_count();
+            }
+        }
+    }
+}

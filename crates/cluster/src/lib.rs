@@ -1,0 +1,41 @@
+//! Hierarchical and *dynamic* hierarchical clustering for expertise-domain
+//! identification (ETA² §3.3).
+//!
+//! The paper clusters tasks by the pair-word semantic distance so that each
+//! cluster becomes one expertise domain. Two properties drive the design:
+//!
+//! 1. **Average linkage with a distance floor.** Clusters are merged
+//!    greedily by smallest average inter-cluster distance until the closest
+//!    pair is at least `γ·d*` apart, where `d*` is the largest pairwise task
+//!    distance observed in the warm-up period and `γ ∈ [0, 1]` is the single
+//!    tuning knob (the paper's Fig. 4 sweeps it).
+//! 2. **Dynamic arrivals.** New tasks enter as singleton clusters next to
+//!    the `M` existing clusters and the same merge loop runs; this can
+//!    assign a task to an existing domain, spawn a brand-new domain, or
+//!    merge two existing domains — all three outcomes are reported so the
+//!    expertise bookkeeping in `eta2-core` can follow along.
+//!
+//! # Examples
+//!
+//! ```
+//! use eta2_cluster::{DistanceMatrix, HierarchicalClusterer};
+//!
+//! // Two tight groups far apart.
+//! let points = [0.0_f64, 0.1, 0.2, 10.0, 10.1];
+//! let dm = DistanceMatrix::from_fn(points.len(), |i, j| (points[i] - points[j]).abs());
+//! let clustering = HierarchicalClusterer::new(0.5).cluster(&dm);
+//! assert_eq!(clustering.cluster_count(), 2);
+//! assert_eq!(clustering.cluster_of(0), clustering.cluster_of(2));
+//! assert_ne!(clustering.cluster_of(0), clustering.cluster_of(4));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod distance;
+pub mod dynamic;
+pub mod hierarchical;
+
+pub use distance::DistanceMatrix;
+pub use dynamic::{DomainEvent, DynamicClusterer, DynamicUpdate};
+pub use hierarchical::{Clustering, HierarchicalClusterer};

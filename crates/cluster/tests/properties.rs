@@ -1,0 +1,113 @@
+//! Property-based tests for the clustering substrate.
+
+use eta2_cluster::{DistanceMatrix, DomainEvent, DynamicClusterer, HierarchicalClusterer};
+use proptest::prelude::*;
+
+fn abs_metric(a: &f64, b: &f64) -> f64 {
+    (a - b).abs()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The final partition always respects the γ·d* floor under average
+    /// linkage.
+    #[test]
+    fn threshold_respected(
+        points in proptest::collection::vec(0.0..100.0f64, 2..25),
+        gamma in 0.0..1.0f64,
+    ) {
+        let dm = DistanceMatrix::from_fn(points.len(), |i, j| abs_metric(&points[i], &points[j]));
+        let c = HierarchicalClusterer::new(gamma).cluster(&dm);
+        let threshold = gamma * dm.max();
+        for a in 0..c.cluster_count() {
+            for b in (a + 1)..c.cluster_count() {
+                prop_assert!(c.average_distance(&dm, a, b) >= threshold - 1e-9);
+            }
+        }
+    }
+
+    /// Clustering is invariant to input permutation (up to relabeling): the
+    /// induced co-membership relation is identical.
+    #[test]
+    fn permutation_invariant_comembership(
+        points in proptest::collection::vec(0.0..100.0f64, 2..15),
+        gamma in 0.1..0.9f64,
+        seed in 0u64..100,
+    ) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let n = points.len();
+        let dm = DistanceMatrix::from_fn(n, |i, j| abs_metric(&points[i], &points[j]));
+        let c1 = HierarchicalClusterer::new(gamma).cluster(&dm);
+
+        let mut perm: Vec<usize> = (0..n).collect();
+        perm.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed));
+        let dm2 = DistanceMatrix::from_fn(n, |i, j| {
+            abs_metric(&points[perm[i]], &points[perm[j]])
+        });
+        let c2 = HierarchicalClusterer::new(gamma).cluster(&dm2);
+
+        // Ties in average linkage are broken by index, so permutations can
+        // legitimately change the partition when exact ties exist. Real
+        // inputs here are floats from a continuous range: ties are
+        // essentially impossible, so require identical co-membership.
+        for i in 0..n {
+            for j in 0..n {
+                let same1 = c1.cluster_of(perm[i]) == c1.cluster_of(perm[j]);
+                let same2 = c2.cluster_of(i) == c2.cluster_of(j);
+                prop_assert_eq!(same1, same2, "items {} and {}", perm[i], perm[j]);
+            }
+        }
+    }
+
+    /// Dynamic insertion keeps a consistent world: every point assigned to
+    /// exactly one live domain, ids never recycled, and every merge event
+    /// references a previously live domain.
+    #[test]
+    fn dynamic_world_consistent(
+        warm in proptest::collection::vec(0.0..100.0f64, 1..10),
+        batches in proptest::collection::vec(
+            proptest::collection::vec(0.0..100.0f64, 0..5), 0..4),
+        gamma in 0.1..0.9f64,
+    ) {
+        let mut dc = DynamicClusterer::new(abs_metric as fn(&f64, &f64) -> f64, gamma);
+        let warm_update = dc.warm_up(warm.clone());
+        let mut live: std::collections::BTreeSet<u32> = warm_update
+            .events
+            .iter()
+            .map(|e| match e {
+                DomainEvent::Created { domain } => *domain,
+                DomainEvent::Merged { .. } => unreachable!("warm-up only creates"),
+            })
+            .collect();
+        let mut max_id_seen = live.iter().max().copied().unwrap_or(0);
+
+        for batch in batches {
+            let update = dc.add(batch.clone());
+            for e in &update.events {
+                match e {
+                    DomainEvent::Created { domain } => {
+                        prop_assert!(*domain > max_id_seen, "id {domain} recycled");
+                        max_id_seen = max_id_seen.max(*domain);
+                        live.insert(*domain);
+                    }
+                    DomainEvent::Merged { kept, absorbed } => {
+                        prop_assert!(live.contains(kept));
+                        prop_assert!(live.remove(absorbed), "{absorbed} not live");
+                    }
+                }
+            }
+            for &d in &update.assignments {
+                prop_assert!(live.contains(&d), "assigned to dead domain {d}");
+            }
+            // Clusterer's view matches our event-derived view.
+            let clusterer_live: std::collections::BTreeSet<u32> =
+                dc.domains().iter().map(|&(id, _)| id).collect();
+            prop_assert_eq!(&clusterer_live, &live);
+            // Partition covers all points.
+            let covered: usize = dc.domains().iter().map(|(_, m)| m.len()).sum();
+            prop_assert_eq!(covered, dc.len());
+        }
+    }
+}

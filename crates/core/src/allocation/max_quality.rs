@@ -1,0 +1,521 @@
+//! Max-quality task allocation (paper §5.1).
+//!
+//! The optimization problem (Eq. 14) maximizes
+//! `Σ_j [1 − Π_i (1 − p_ij)^{s_ij}]` — the expected number of tasks for
+//! which at least one assigned user reports accurately — subject to each
+//! user's processing capability, with
+//! `p_ij = Φ(ε·u_ij) − Φ(−ε·u_ij)` (Eq. 11). The problem is NP-hard
+//! (knapsack reduction), so Algorithm 1 greedily picks the user–task pair of
+//! highest *efficiency* — marginal objective gain `p_ij·(1−p_j)` per hour of
+//! processing time — maintaining a per-task best-pair cache exactly as the
+//! paper describes (`O(K(m+n))` for `K` selected pairs).
+//!
+//! Because time-normalized greedy can be arbitrarily bad when task durations
+//! vary wildly, §5.1.2 adds a second greedy pass that ignores durations and
+//! keeps whichever of the two allocations scores higher, recovering the
+//! classical ½-approximation for monotone submodular maximization under a
+//! knapsack constraint. That pass is always on here (disable it via
+//! [`MaxQualityConfig::use_approximation_pass`] for ablations).
+
+use crate::allocation::Allocation;
+use crate::model::{ExpertiseMatrix, Task, UserProfile};
+use eta2_stats::normal::accuracy_probability;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the max-quality allocator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MaxQualityConfig {
+    /// Accuracy threshold `ε` of Eq. 11 (the paper fixes 0.1).
+    pub epsilon: f64,
+    /// Whether to run the duration-agnostic second greedy pass and keep the
+    /// better allocation (the ½-approximation step of §5.1.2).
+    pub use_approximation_pass: bool,
+}
+
+impl Default for MaxQualityConfig {
+    fn default() -> Self {
+        MaxQualityConfig {
+            epsilon: 0.1,
+            use_approximation_pass: true,
+        }
+    }
+}
+
+/// The greedy max-quality allocator (Algorithm 1 + §5.1.2's extra pass).
+///
+/// # Examples
+///
+/// ```
+/// use eta2_core::allocation::MaxQualityAllocator;
+/// use eta2_core::model::{DomainId, ExpertiseMatrix, Task, TaskId, UserId, UserProfile};
+///
+/// let tasks = vec![Task::new(TaskId(0), DomainId(0), 1.0, 1.0)];
+/// let users = vec![
+///     UserProfile::new(UserId(0), 10.0),
+///     UserProfile::new(UserId(1), 10.0),
+/// ];
+/// let mut ex = ExpertiseMatrix::new(2);
+/// ex.set(UserId(0), DomainId(0), 3.0);
+/// ex.set(UserId(1), DomainId(0), 0.2);
+///
+/// let alloc = MaxQualityAllocator::default().allocate(&tasks, &users, &ex);
+/// // Both users fit, but the expert is picked first.
+/// assert_eq!(alloc.users_for(TaskId(0))[0], UserId(0));
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MaxQualityAllocator {
+    config: MaxQualityConfig,
+}
+
+impl MaxQualityAllocator {
+    /// Creates an allocator with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `epsilon` is finite and positive.
+    pub fn new(config: MaxQualityConfig) -> Self {
+        assert!(
+            config.epsilon.is_finite() && config.epsilon > 0.0,
+            "epsilon must be finite and > 0, got {}",
+            config.epsilon
+        );
+        MaxQualityAllocator { config }
+    }
+
+    /// The allocator configuration.
+    pub fn config(&self) -> &MaxQualityConfig {
+        &self.config
+    }
+
+    /// Allocates `tasks` to `users` given the current expertise estimates.
+    pub fn allocate(
+        &self,
+        tasks: &[Task],
+        users: &[UserProfile],
+        expertise: &ExpertiseMatrix,
+    ) -> Allocation {
+        let timed = greedy(
+            tasks,
+            users,
+            expertise,
+            self.config.epsilon,
+            EfficiencyKind::PerHour,
+            &mut NoBudget,
+        );
+        if !self.config.use_approximation_pass {
+            return timed;
+        }
+        let untimed = greedy(
+            tasks,
+            users,
+            expertise,
+            self.config.epsilon,
+            EfficiencyKind::Plain,
+            &mut NoBudget,
+        );
+        let obj_timed = self.objective(tasks, expertise, &timed);
+        let obj_untimed = self.objective(tasks, expertise, &untimed);
+        if obj_untimed > obj_timed {
+            untimed
+        } else {
+            timed
+        }
+    }
+
+    /// The objective value `Σ_j [1 − Π_{i assigned}(1 − p_ij)]` (Eq. 12) of
+    /// an allocation.
+    pub fn objective(
+        &self,
+        tasks: &[Task],
+        expertise: &ExpertiseMatrix,
+        allocation: &Allocation,
+    ) -> f64 {
+        tasks
+            .iter()
+            .map(|t| {
+                let mut q = 1.0;
+                for &u in allocation.users_for(t.id) {
+                    let p = accuracy_probability(self.config.epsilon, expertise.get(u, t.domain));
+                    q *= 1.0 - p;
+                }
+                1.0 - q
+            })
+            .sum()
+    }
+}
+
+/// How a pair's efficiency is scored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum EfficiencyKind {
+    /// Marginal gain divided by processing time (Algorithm 1 proper).
+    PerHour,
+    /// Marginal gain alone (the §5.1.2 approximation pass).
+    Plain,
+}
+
+/// Budget hook used by the min-cost allocator to cap per-round spending;
+/// the max-quality path uses [`NoBudget`].
+pub(crate) trait BudgetGate {
+    /// Whether assigning a task of cost `cost` is still allowed.
+    fn admits(&self, cost: f64) -> bool;
+    /// Records that a task of cost `cost` was assigned.
+    fn charge(&mut self, cost: f64);
+}
+
+/// No budget restriction.
+pub(crate) struct NoBudget;
+
+impl BudgetGate for NoBudget {
+    fn admits(&self, _cost: f64) -> bool {
+        true
+    }
+    fn charge(&mut self, _cost: f64) {}
+}
+
+/// The shared greedy core of Algorithm 1 (and of each min-cost round).
+///
+/// Maintains, per task, the cached best `(efficiency, user)` pair and a
+/// dirty flag; each round selects the global best cached pair, assigns it,
+/// and invalidates only the caches the assignment can have changed (the
+/// selected task, and every task whose cached best user lost capacity) —
+/// the `O(K(m+n))` bookkeeping of §5.1.2.
+///
+/// `start` carries pre-existing assignments (min-cost rounds accumulate);
+/// `remaining` the corresponding leftover capacities.
+pub(crate) fn greedy_with_state(
+    tasks: &[Task],
+    users: &[UserProfile],
+    expertise: &ExpertiseMatrix,
+    epsilon: f64,
+    kind: EfficiencyKind,
+    budget: &mut dyn BudgetGate,
+    start: &Allocation,
+    remaining: &mut [f64],
+) -> Allocation {
+    let m = tasks.len();
+    let n = users.len();
+    assert_eq!(remaining.len(), n, "one remaining-capacity slot per user");
+
+    // p[j*n + i] — accuracy probability of user i on task j.
+    let mut p = vec![0.0f64; m * n];
+    for (j, t) in tasks.iter().enumerate() {
+        for (i, u) in users.iter().enumerate() {
+            p[j * n + i] = accuracy_probability(epsilon, expertise.get(u.id, t.domain));
+        }
+    }
+
+    // q[j] = Π (1 − p_ij) over assigned users (so the marginal gain of
+    // adding i is p_ij · q_j).
+    let mut q = vec![1.0f64; m];
+    let mut assigned = vec![false; m * n];
+    for (j, t) in tasks.iter().enumerate() {
+        for &u in start.users_for(t.id) {
+            if let Some(i) = users.iter().position(|up| up.id == u) {
+                assigned[j * n + i] = true;
+                q[j] *= 1.0 - p[j * n + i];
+            }
+        }
+    }
+
+    let mut out = Allocation::new();
+    let mut best: Vec<Option<(f64, usize)>> = vec![None; m];
+    let mut dirty = vec![true; m];
+
+    let recompute = |j: usize,
+                     q: &[f64],
+                     assigned: &[bool],
+                     remaining: &[f64]|
+     -> Option<(f64, usize)> {
+        let t = &tasks[j];
+        let mut best: Option<(f64, usize)> = None;
+        for i in 0..n {
+            if assigned[j * n + i] || remaining[i] < t.processing_time {
+                continue;
+            }
+            let gain = p[j * n + i] * q[j];
+            let eff = match kind {
+                EfficiencyKind::PerHour => gain / t.processing_time,
+                EfficiencyKind::Plain => gain,
+            };
+            if eff > 0.0 && best.is_none_or(|(b, _)| eff > b) {
+                best = Some((eff, i));
+            }
+        }
+        best
+    };
+
+    loop {
+        for j in 0..m {
+            if dirty[j] {
+                best[j] = recompute(j, &q, &assigned, remaining);
+                dirty[j] = false;
+            }
+        }
+        // Global best cached pair (ties: lowest task index).
+        let Some((j_star, (eff, i_star))) = best
+            .iter()
+            .enumerate()
+            .filter_map(|(j, b)| b.map(|b| (j, b)))
+            .max_by(|a, b| a.1 .0.total_cmp(&b.1 .0).then(b.0.cmp(&a.0)))
+        else {
+            break;
+        };
+        if eff <= 0.0 {
+            break;
+        }
+        let t = &tasks[j_star];
+        if !budget.admits(t.cost) {
+            break;
+        }
+
+        budget.charge(t.cost);
+        out.assign(users[i_star].id, t.id);
+        assigned[j_star * n + i_star] = true;
+        q[j_star] *= 1.0 - p[j_star * n + i_star];
+        remaining[i_star] -= t.processing_time;
+
+        dirty[j_star] = true;
+        for j in 0..m {
+            if let Some((_, bi)) = best[j] {
+                if bi == i_star {
+                    dirty[j] = true;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Greedy from a blank allocation with fresh capacities.
+pub(crate) fn greedy(
+    tasks: &[Task],
+    users: &[UserProfile],
+    expertise: &ExpertiseMatrix,
+    epsilon: f64,
+    kind: EfficiencyKind,
+    budget: &mut dyn BudgetGate,
+) -> Allocation {
+    let mut remaining: Vec<f64> = users.iter().map(|u| u.capacity).collect();
+    greedy_with_state(
+        tasks,
+        users,
+        expertise,
+        epsilon,
+        kind,
+        budget,
+        &Allocation::new(),
+        &mut remaining,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{DomainId, TaskId, UserId};
+    use proptest::prelude::*;
+
+    fn uniform_tasks(m: u32, time: f64) -> Vec<Task> {
+        (0..m)
+            .map(|j| Task::new(TaskId(j), DomainId(0), time, 1.0))
+            .collect()
+    }
+
+    fn users_with_capacity(caps: &[f64]) -> Vec<UserProfile> {
+        caps.iter()
+            .enumerate()
+            .map(|(i, &c)| UserProfile::new(UserId(i as u32), c))
+            .collect()
+    }
+
+    #[test]
+    fn prefers_high_expertise_users() {
+        let tasks = uniform_tasks(1, 1.0);
+        let users = users_with_capacity(&[1.0, 1.0, 1.0]);
+        let mut ex = ExpertiseMatrix::new(3);
+        ex.set(UserId(0), DomainId(0), 0.2);
+        ex.set(UserId(1), DomainId(0), 3.0);
+        ex.set(UserId(2), DomainId(0), 1.0);
+        let alloc = MaxQualityAllocator::default().allocate(&tasks, &users, &ex);
+        assert_eq!(alloc.users_for(TaskId(0))[0], UserId(1));
+    }
+
+    #[test]
+    fn respects_capacity() {
+        // One user with capacity for exactly 2 of 5 unit tasks.
+        let tasks = uniform_tasks(5, 1.0);
+        let users = users_with_capacity(&[2.0]);
+        let ex = ExpertiseMatrix::new(1);
+        let alloc = MaxQualityAllocator::default().allocate(&tasks, &users, &ex);
+        assert_eq!(alloc.tasks_for(UserId(0)).len(), 2);
+    }
+
+    #[test]
+    fn fills_all_capacity_when_tasks_abound() {
+        let tasks = uniform_tasks(20, 1.0);
+        let users = users_with_capacity(&[3.0, 5.0]);
+        let ex = ExpertiseMatrix::new(2);
+        let alloc = MaxQualityAllocator::default().allocate(&tasks, &users, &ex);
+        assert_eq!(alloc.assignment_count(), 8);
+    }
+
+    #[test]
+    fn no_user_fits_long_task() {
+        let tasks = vec![Task::new(TaskId(0), DomainId(0), 10.0, 1.0)];
+        let users = users_with_capacity(&[5.0, 9.9]);
+        let ex = ExpertiseMatrix::new(2);
+        let alloc = MaxQualityAllocator::default().allocate(&tasks, &users, &ex);
+        assert!(alloc.is_empty());
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let ex = ExpertiseMatrix::new(0);
+        let alloc = MaxQualityAllocator::default().allocate(&[], &[], &ex);
+        assert!(alloc.is_empty());
+        let ex = ExpertiseMatrix::new(1);
+        let alloc =
+            MaxQualityAllocator::default().allocate(&[], &users_with_capacity(&[5.0]), &ex);
+        assert!(alloc.is_empty());
+    }
+
+    #[test]
+    fn efficiency_prefers_short_tasks_at_equal_gain() {
+        // Same expertise everywhere; the per-hour efficiency must fill the
+        // capacity with the short tasks first.
+        let tasks = vec![
+            Task::new(TaskId(0), DomainId(0), 4.0, 1.0),
+            Task::new(TaskId(1), DomainId(0), 1.0, 1.0),
+            Task::new(TaskId(2), DomainId(0), 1.0, 1.0),
+        ];
+        let users = users_with_capacity(&[2.0]);
+        let ex = ExpertiseMatrix::new(1);
+        let alloc = MaxQualityAllocator::default().allocate(&tasks, &users, &ex);
+        let mut got: Vec<TaskId> = alloc.tasks_for(UserId(0)).to_vec();
+        got.sort();
+        assert_eq!(got, vec![TaskId(1), TaskId(2)]);
+    }
+
+    #[test]
+    fn approximation_pass_rescues_pathological_durations() {
+        // Classic greedy pathology: a tiny-gain, tiny-duration task has
+        // higher per-hour efficiency than a huge-gain task that consumes the
+        // whole capacity; taking the tiny task first locks the big one out.
+        let tasks = vec![
+            Task::new(TaskId(0), DomainId(0), 0.1, 1.0), // low value, high eff
+            Task::new(TaskId(1), DomainId(1), 10.0, 1.0), // high value
+        ];
+        let users = users_with_capacity(&[10.0]);
+        let mut ex = ExpertiseMatrix::new(1);
+        ex.set(UserId(0), DomainId(0), 0.3);
+        ex.set(UserId(0), DomainId(1), 10.0);
+
+        let with = MaxQualityAllocator::default();
+        let without = MaxQualityAllocator::new(MaxQualityConfig {
+            use_approximation_pass: false,
+            ..MaxQualityConfig::default()
+        });
+        let a_with = with.allocate(&tasks, &users, &ex);
+        let a_without = without.allocate(&tasks, &users, &ex);
+        let obj_with = with.objective(&tasks, &ex, &a_with);
+        let obj_without = with.objective(&tasks, &ex, &a_without);
+        assert!(
+            obj_with >= obj_without,
+            "approximation pass made things worse: {obj_with} < {obj_without}"
+        );
+        // The high-value task must be covered when the pass is on.
+        assert!(!a_with.users_for(TaskId(1)).is_empty());
+    }
+
+    #[test]
+    fn objective_matches_manual_computation() {
+        let tasks = uniform_tasks(1, 1.0);
+        let mut ex = ExpertiseMatrix::new(2);
+        ex.set(UserId(0), DomainId(0), 2.0);
+        ex.set(UserId(1), DomainId(0), 1.0);
+        let mut alloc = Allocation::new();
+        alloc.assign(UserId(0), TaskId(0));
+        alloc.assign(UserId(1), TaskId(0));
+        let a = MaxQualityAllocator::default();
+        let p0 = eta2_stats::normal::accuracy_probability(0.1, 2.0);
+        let p1 = eta2_stats::normal::accuracy_probability(0.1, 1.0);
+        let want = 1.0 - (1.0 - p0) * (1.0 - p1);
+        assert!((a.objective(&tasks, &ex, &alloc) - want).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be finite and > 0")]
+    fn epsilon_validated() {
+        MaxQualityAllocator::new(MaxQualityConfig {
+            epsilon: 0.0,
+            ..MaxQualityConfig::default()
+        });
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Capacity constraints hold on arbitrary instances, and no pair is
+        /// assigned twice.
+        #[test]
+        fn capacity_never_exceeded(
+            seed in 0u64..1000,
+            m in 1u32..15,
+            n in 1usize..6,
+        ) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let tasks: Vec<Task> = (0..m)
+                .map(|j| Task::new(
+                    TaskId(j),
+                    DomainId(rng.gen_range(0..3)),
+                    rng.gen_range(0.5..4.0),
+                    1.0,
+                ))
+                .collect();
+            let users: Vec<UserProfile> = (0..n)
+                .map(|i| UserProfile::new(UserId(i as u32), rng.gen_range(0.0..12.0)))
+                .collect();
+            let mut ex = ExpertiseMatrix::new(n);
+            for i in 0..n {
+                for d in 0..3 {
+                    ex.set(UserId(i as u32), DomainId(d), rng.gen_range(0.05..3.0));
+                }
+            }
+            let alloc = MaxQualityAllocator::default().allocate(&tasks, &users, &ex);
+            for u in &users {
+                prop_assert!(alloc.load(u.id, &tasks) <= u.capacity + 1e-9);
+            }
+            // No duplicates: by_task lists are sets.
+            for (t, us) in alloc.iter() {
+                let mut v = us.to_vec();
+                v.sort();
+                v.dedup();
+                prop_assert_eq!(v.len(), alloc.users_for(t).len());
+            }
+        }
+
+        /// The greedy solution is never worse than assigning nothing and
+        /// never better than the trivial upper bound (every task certain).
+        #[test]
+        fn objective_bounds(seed in 0u64..300) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let m = rng.gen_range(1..10u32);
+            let tasks: Vec<Task> = (0..m)
+                .map(|j| Task::new(TaskId(j), DomainId(0), rng.gen_range(0.5..2.0), 1.0))
+                .collect();
+            let users: Vec<UserProfile> = (0..4)
+                .map(|i| UserProfile::new(UserId(i), rng.gen_range(1.0..8.0)))
+                .collect();
+            let mut ex = ExpertiseMatrix::new(4);
+            for i in 0..4 {
+                ex.set(UserId(i), DomainId(0), rng.gen_range(0.1..3.0));
+            }
+            let a = MaxQualityAllocator::default();
+            let alloc = a.allocate(&tasks, &users, &ex);
+            let obj = a.objective(&tasks, &ex, &alloc);
+            prop_assert!(obj >= 0.0);
+            prop_assert!(obj <= m as f64 + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,476 @@
+//! Min-cost task allocation — ETA²-mc (paper §5.2, Algorithm 2).
+//!
+//! The goal is to spend as little recruiting cost `Σ s_ij·c_j` as possible
+//! while guaranteeing, with confidence `1 − α`, that every task's estimation
+//! error stays below `ε̄` (Eq. 19/20). Because data quality cannot be
+//! evaluated before data exists, allocation proceeds in rounds:
+//!
+//! 1. allocate greedily (the Algorithm 1 core) until the round's cost cap
+//!    `c°` or the users' capacities are hit;
+//! 2. collect data from the newly assigned pairs;
+//! 3. run expertise-aware MLE over *all* data collected so far;
+//! 4. for every task, accept if the `1 − α` confidence interval of the MLE
+//!    truth (Eq. 24, via asymptotic normality) is narrower than `2·ε̄·σ_j`;
+//! 5. repeat with the still-failing tasks.
+//!
+//! The gate in step 4 reduces to `Σ_{i assigned} (u_i^{d_j})² ≥ (Z_{α/2}/ε̄)²`
+//! (see `eta2_stats::ci`).
+
+use crate::allocation::max_quality::{greedy_with_state, BudgetGate, EfficiencyKind};
+use crate::allocation::Allocation;
+use crate::model::{ExpertiseMatrix, ObservationSet, Task, TaskId, UserProfile};
+use crate::truth::mle::{ExpertiseAwareMle, MleConfig, TruthEstimate};
+use eta2_stats::ci::required_expertise_sq;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Where the allocator gets data from once it has assigned a pair.
+///
+/// In the simulator this samples the observation model; in a deployment it
+/// would query the actual mobile user.
+pub trait DataSource {
+    /// The value user `user` reports for `task`.
+    fn collect(&mut self, user: crate::model::UserId, task: &Task) -> f64;
+}
+
+impl<F: FnMut(crate::model::UserId, &Task) -> f64> DataSource for F {
+    fn collect(&mut self, user: crate::model::UserId, task: &Task) -> f64 {
+        self(user, task)
+    }
+}
+
+/// Configuration of ETA²-mc.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MinCostConfig {
+    /// Accuracy threshold `ε` for the allocation efficiency (Eq. 11).
+    pub epsilon: f64,
+    /// Maximum tolerated normalized estimation error `ε̄` (the paper uses
+    /// 0.5 in §6.4.3).
+    pub max_error: f64,
+    /// Significance level `α` of the quality confidence (0.05 → 95 %).
+    pub confidence_alpha: f64,
+    /// Per-round cost cap `c°`.
+    pub round_budget: f64,
+    /// Safety cap on rounds.
+    pub max_rounds: usize,
+    /// MLE settings for the per-round truth analysis.
+    pub mle: MleConfig,
+}
+
+impl Default for MinCostConfig {
+    fn default() -> Self {
+        MinCostConfig {
+            epsilon: 0.1,
+            max_error: 0.5,
+            confidence_alpha: 0.05,
+            round_budget: 50.0,
+            max_rounds: 100,
+            mle: MleConfig::default(),
+        }
+    }
+}
+
+/// Everything a min-cost run produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinCostOutcome {
+    /// The cumulative allocation over all rounds.
+    pub allocation: Allocation,
+    /// Every observation collected.
+    pub observations: ObservationSet,
+    /// Final truth estimates.
+    pub truths: BTreeMap<TaskId, TruthEstimate>,
+    /// Final expertise estimates.
+    pub expertise: ExpertiseMatrix,
+    /// Total recruiting cost spent.
+    pub total_cost: f64,
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Whether every task met the quality gate.
+    pub all_passed: bool,
+    /// MLE iterations per round (feeds the paper's Fig. 12).
+    pub mle_iterations: Vec<usize>,
+}
+
+/// Budget gate capping one round's spending at `c°`.
+struct RoundBudget {
+    spent: f64,
+    cap: f64,
+}
+
+impl BudgetGate for RoundBudget {
+    fn admits(&self, _cost: f64) -> bool {
+        // Algorithm 2 line 4 keeps allocating while the spent cost is below
+        // c°, so the final assignment may touch the cap.
+        self.spent < self.cap
+    }
+    fn charge(&mut self, cost: f64) {
+        self.spent += cost;
+    }
+}
+
+/// The iterative min-cost allocator (Algorithm 2).
+///
+/// # Examples
+///
+/// ```
+/// use eta2_core::allocation::{MinCostAllocator, MinCostConfig};
+/// use eta2_core::model::{DomainId, ExpertiseMatrix, Task, TaskId, UserId, UserProfile};
+///
+/// let tasks = vec![Task::new(TaskId(0), DomainId(0), 1.0, 1.0)];
+/// let users: Vec<UserProfile> = (0..8)
+///     .map(|i| UserProfile::new(UserId(i), 10.0))
+///     .collect();
+/// let prior = ExpertiseMatrix::new(8);
+/// // A perfectly clean data source: quality is reached quickly.
+/// let mut source = |_u: UserId, _t: &Task| 42.0_f64;
+/// let outcome = MinCostAllocator::default()
+///     .allocate(&tasks, &users, &prior, &mut source);
+/// assert!(outcome.all_passed);
+/// assert!((outcome.truths[&TaskId(0)].mu - 42.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MinCostAllocator {
+    config: MinCostConfig,
+}
+
+impl MinCostAllocator {
+    /// Creates an allocator with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `epsilon`, `max_error` and `round_budget` are finite
+    /// and positive and `0 < confidence_alpha < 1`.
+    pub fn new(config: MinCostConfig) -> Self {
+        assert!(
+            config.epsilon.is_finite() && config.epsilon > 0.0,
+            "epsilon must be finite and > 0"
+        );
+        assert!(
+            config.max_error.is_finite() && config.max_error > 0.0,
+            "max_error must be finite and > 0"
+        );
+        assert!(
+            config.confidence_alpha > 0.0 && config.confidence_alpha < 1.0,
+            "confidence_alpha must be in (0, 1)"
+        );
+        assert!(
+            config.round_budget.is_finite() && config.round_budget > 0.0,
+            "round_budget must be finite and > 0"
+        );
+        MinCostAllocator { config }
+    }
+
+    /// The allocator configuration.
+    pub fn config(&self) -> &MinCostConfig {
+        &self.config
+    }
+
+    /// Runs the iterative allocation against `source`, starting from the
+    /// expertise `prior` (typically the output of previous time steps).
+    pub fn allocate<S: DataSource>(
+        &self,
+        tasks: &[Task],
+        users: &[UserProfile],
+        prior: &ExpertiseMatrix,
+        source: &mut S,
+    ) -> MinCostOutcome {
+        let cfg = &self.config;
+        let need_sq = required_expertise_sq(cfg.confidence_alpha, cfg.max_error)
+            .expect("validated in new()");
+        let mle = ExpertiseAwareMle::new(cfg.mle);
+
+        let mut allocation = Allocation::new();
+        let mut observations = ObservationSet::new();
+        let mut remaining: Vec<f64> = users.iter().map(|u| u.capacity).collect();
+        let mut expertise = prior.clone();
+        let mut truths: BTreeMap<TaskId, TruthEstimate> = BTreeMap::new();
+        let mut mle_iterations = Vec::new();
+
+        let mut pending: Vec<Task> = tasks.to_vec();
+        let mut rounds = 0;
+
+        while !pending.is_empty() && rounds < cfg.max_rounds {
+            rounds += 1;
+
+            // (1) One budget-capped greedy round over the pending tasks,
+            // continuing from the cumulative assignment and capacities.
+            let mut budget = RoundBudget {
+                spent: 0.0,
+                cap: cfg.round_budget,
+            };
+            let round_alloc = greedy_with_state(
+                &pending,
+                users,
+                &expertise,
+                cfg.epsilon,
+                EfficiencyKind::PerHour,
+                &mut budget,
+                &allocation,
+                &mut remaining,
+            );
+            if round_alloc.is_empty() {
+                break; // capacity exhausted: quality unreachable for the rest
+            }
+
+            // (2) Collect data for the new pairs.
+            let by_id: BTreeMap<TaskId, &Task> =
+                pending.iter().map(|t| (t.id, t)).collect();
+            for (task, users_assigned) in round_alloc.iter() {
+                let t = by_id[&task];
+                for &u in users_assigned {
+                    let x = source.collect(u, t);
+                    observations.insert(u, task, x);
+                }
+            }
+            allocation.merge(&round_alloc);
+
+            // (3) Expertise-aware truth analysis on everything so far,
+            // warm-started from the current expertise.
+            let result = mle.estimate_with_initial(tasks, &observations, expertise.clone());
+            mle_iterations.push(result.iterations);
+            expertise = result.expertise;
+            truths = result.truths;
+
+            // (4) Quality gate per pending task:
+            // Σ_{i assigned} u_ij² ≥ (Z_{α/2}/ε̄)².
+            pending.retain(|t| {
+                let sq: f64 = allocation
+                    .users_for(t.id)
+                    .iter()
+                    .map(|&u| expertise.get(u, t.domain).powi(2))
+                    .sum();
+                sq < need_sq // keep (still pending) if not yet enough
+            });
+        }
+
+        let total_cost = allocation.total_cost(tasks);
+        MinCostOutcome {
+            all_passed: pending.is_empty(),
+            allocation,
+            observations,
+            truths,
+            expertise,
+            total_cost,
+            rounds,
+            mle_iterations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocation::MaxQualityAllocator;
+    use crate::model::{DomainId, UserId};
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    /// A data source backed by the paper's observation model with known
+    /// per-user expertise.
+    struct ModelSource {
+        rng: rand::rngs::StdRng,
+        truths: BTreeMap<TaskId, f64>,
+        sigma: f64,
+        user_expertise: Vec<f64>,
+    }
+
+    impl DataSource for ModelSource {
+        fn collect(&mut self, user: UserId, task: &Task) -> f64 {
+            let mu = self.truths[&task.id];
+            let u = self.user_expertise[user.0 as usize];
+            mu + eta2_stats::normal::standard_sample(&mut self.rng) * self.sigma / u
+        }
+    }
+
+    fn world(
+        m: u32,
+        user_expertise: Vec<f64>,
+        seed: u64,
+    ) -> (Vec<Task>, Vec<UserProfile>, ModelSource) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let tasks: Vec<Task> = (0..m)
+            .map(|j| Task::new(TaskId(j), DomainId(0), 1.0, 1.0))
+            .collect();
+        let users: Vec<UserProfile> = (0..user_expertise.len())
+            .map(|i| UserProfile::new(UserId(i as u32), 1e6))
+            .collect();
+        let truths: BTreeMap<TaskId, f64> = tasks
+            .iter()
+            .map(|t| (t.id, rng.gen_range(0.0..20.0)))
+            .collect();
+        let source = ModelSource {
+            rng,
+            truths,
+            sigma: 1.0,
+            user_expertise,
+        };
+        (tasks, users, source)
+    }
+
+    #[test]
+    fn reaches_quality_and_stops() {
+        // With leave-one-out scoring, homogeneous users learn u ≈ (k−1)/k,
+        // so the ε̄ = 0.5 gate needs ≈ (Z/ε̄)²/u² ≈ 19 users per task.
+        let (tasks, users, mut source) = world(5, vec![2.0; 25], 1);
+        let out = MinCostAllocator::default().allocate(
+            &tasks,
+            &users,
+            &ExpertiseMatrix::new(25),
+            &mut source,
+        );
+        assert!(out.all_passed);
+        assert!(out.rounds >= 1);
+        assert!(out.total_cost > 0.0);
+        assert_eq!(out.truths.len(), 5);
+    }
+
+    #[test]
+    fn cheaper_than_max_quality() {
+        // Max-quality fills every user's capacity; min-cost must stop at
+        // the quality gate and spend less.
+        let (tasks, _, mut source) = world(10, vec![2.0; 30], 2);
+        let users: Vec<UserProfile> = (0..30)
+            .map(|i| UserProfile::new(UserId(i), 10.0))
+            .collect();
+        let prior = ExpertiseMatrix::new(30);
+
+        // ε̄ = 0.7 so the gate needs well under the 30 available users.
+        let mc = MinCostAllocator::new(MinCostConfig {
+            max_error: 0.7,
+            ..MinCostConfig::default()
+        })
+        .allocate(&tasks, &users, &prior, &mut source);
+        let mq = MaxQualityAllocator::default().allocate(&tasks, &users, &prior);
+        assert!(mc.all_passed);
+        assert!(
+            mc.total_cost < mq.total_cost(&tasks),
+            "min-cost {} not below max-quality {}",
+            mc.total_cost,
+            mq.total_cost(&tasks)
+        );
+    }
+
+    #[test]
+    fn respects_round_budget_pacing() {
+        let (tasks, users, mut source) = world(20, vec![0.8; 30], 3);
+        let cfg = MinCostConfig {
+            round_budget: 5.0,
+            ..MinCostConfig::default()
+        };
+        let out = MinCostAllocator::new(cfg).allocate(
+            &tasks,
+            &users,
+            &ExpertiseMatrix::new(30),
+            &mut source,
+        );
+        // With c° = 5 and unit costs, rounds must be numerous: at most
+        // 5 + 1 assignments fit per round (one may cross the cap).
+        assert!(
+            out.rounds >= (out.allocation.assignment_count() / 6).max(1),
+            "rounds = {}, assignments = {}",
+            out.rounds,
+            out.allocation.assignment_count()
+        );
+    }
+
+    #[test]
+    fn capacity_exhaustion_reports_failure() {
+        // Users so weak and few that the gate is unreachable.
+        let (tasks, _, mut source) = world(3, vec![0.05, 0.05], 4);
+        let users = vec![
+            UserProfile::new(UserId(0), 2.0),
+            UserProfile::new(UserId(1), 2.0),
+        ];
+        let out = MinCostAllocator::default().allocate(
+            &tasks,
+            &users,
+            &ExpertiseMatrix::new(2),
+            &mut source,
+        );
+        assert!(!out.all_passed);
+        // Every user is saturated.
+        for u in &users {
+            assert!(out.allocation.load(u.id, &tasks) <= u.capacity + 1e-9);
+        }
+    }
+
+    #[test]
+    fn no_pair_collected_twice() {
+        let (tasks, users, mut source) = world(8, vec![1.0; 12], 5);
+        let out = MinCostAllocator::default().allocate(
+            &tasks,
+            &users,
+            &ExpertiseMatrix::new(12),
+            &mut source,
+        );
+        // Each (user, task) appears at most once in the allocation, and
+        // observations mirror the allocation exactly.
+        assert_eq!(out.observations.len(), out.allocation.assignment_count());
+    }
+
+    #[test]
+    fn tighter_quality_costs_more() {
+        // Uniform true expertise: the scale indeterminacy of the model
+        // makes the learned u ≈ 1, so the gate needs ≈ (Z/ε̄)² users per
+        // task. 50 users cover both error levels tested here.
+        let mk = |max_error: f64, seed: u64| {
+            let (tasks, users, mut source) = world(10, vec![1.5; 50], seed);
+            MinCostAllocator::new(MinCostConfig {
+                max_error,
+                ..MinCostConfig::default()
+            })
+            .allocate(&tasks, &users, &ExpertiseMatrix::new(50), &mut source)
+        };
+        let loose = mk(0.8, 6);
+        let tight = mk(0.35, 6);
+        assert!(loose.all_passed && tight.all_passed);
+        assert!(
+            tight.total_cost > loose.total_cost,
+            "tight {} vs loose {}",
+            tight.total_cost,
+            loose.total_cost
+        );
+    }
+
+    #[test]
+    fn config_validation() {
+        for cfg in [
+            MinCostConfig {
+                epsilon: 0.0,
+                ..MinCostConfig::default()
+            },
+            MinCostConfig {
+                max_error: -1.0,
+                ..MinCostConfig::default()
+            },
+            MinCostConfig {
+                confidence_alpha: 1.0,
+                ..MinCostConfig::default()
+            },
+            MinCostConfig {
+                round_budget: 0.0,
+                ..MinCostConfig::default()
+            },
+        ] {
+            assert!(
+                std::panic::catch_unwind(|| MinCostAllocator::new(cfg)).is_err(),
+                "{cfg:?} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_task_list_passes_trivially() {
+        let users = vec![UserProfile::new(UserId(0), 5.0)];
+        let mut source = |_: UserId, _: &Task| 0.0;
+        let out = MinCostAllocator::default().allocate(
+            &[],
+            &users,
+            &ExpertiseMatrix::new(1),
+            &mut source,
+        );
+        assert!(out.all_passed);
+        assert_eq!(out.rounds, 0);
+        assert_eq!(out.total_cost, 0.0);
+    }
+}

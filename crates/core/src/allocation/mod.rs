@@ -1,0 +1,175 @@
+//! Task allocation: max-quality (Algorithm 1, §5.1), min-cost
+//! (Algorithm 2, §5.2) and the reliability-based/random allocators used by
+//! the comparison approaches.
+
+pub mod max_quality;
+pub mod min_cost;
+pub mod reliability;
+
+pub use max_quality::{MaxQualityAllocator, MaxQualityConfig};
+pub use min_cost::{DataSource, MinCostAllocator, MinCostConfig, MinCostOutcome};
+pub use reliability::{RandomAllocator, ReliabilityGreedyAllocator};
+
+use crate::model::{Task, TaskId, UserId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// An assignment of tasks to users — the decision variables `s_ij` of the
+/// paper's optimization problems.
+///
+/// # Examples
+///
+/// ```
+/// use eta2_core::allocation::Allocation;
+/// use eta2_core::model::{TaskId, UserId};
+///
+/// let mut a = Allocation::new();
+/// assert!(a.assign(UserId(0), TaskId(3)));
+/// assert!(!a.assign(UserId(0), TaskId(3))); // duplicate
+/// assert_eq!(a.users_for(TaskId(3)), &[UserId(0)]);
+/// assert_eq!(a.assignment_count(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Allocation {
+    by_task: BTreeMap<TaskId, Vec<UserId>>,
+    by_user: BTreeMap<UserId, Vec<TaskId>>,
+}
+
+impl Allocation {
+    /// Creates an empty allocation.
+    pub fn new() -> Self {
+        Allocation::default()
+    }
+
+    /// Records that `task` is allocated to `user`. Returns `false` (and
+    /// changes nothing) if the pair was already assigned.
+    pub fn assign(&mut self, user: UserId, task: TaskId) -> bool {
+        let users = self.by_task.entry(task).or_default();
+        if users.contains(&user) {
+            return false;
+        }
+        users.push(user);
+        self.by_user.entry(user).or_default().push(task);
+        true
+    }
+
+    /// Whether the pair is assigned.
+    pub fn contains(&self, user: UserId, task: TaskId) -> bool {
+        self.by_task
+            .get(&task)
+            .is_some_and(|users| users.contains(&user))
+    }
+
+    /// Users assigned to `task`, in assignment order (empty if none).
+    pub fn users_for(&self, task: TaskId) -> &[UserId] {
+        self.by_task.get(&task).map_or(&[], Vec::as_slice)
+    }
+
+    /// Tasks assigned to `user`, in assignment order (empty if none).
+    pub fn tasks_for(&self, user: UserId) -> &[TaskId] {
+        self.by_user.get(&user).map_or(&[], Vec::as_slice)
+    }
+
+    /// Total number of `(user, task)` pairs.
+    pub fn assignment_count(&self) -> usize {
+        self.by_task.values().map(Vec::len).sum()
+    }
+
+    /// Whether nothing is assigned.
+    pub fn is_empty(&self) -> bool {
+        self.by_task.is_empty()
+    }
+
+    /// Iterates `(task, users)` in task order.
+    pub fn iter(&self) -> impl Iterator<Item = (TaskId, &[UserId])> + '_ {
+        self.by_task.iter().map(|(&t, u)| (t, u.as_slice()))
+    }
+
+    /// Total recruiting cost `Σ_ij s_ij · c_j` against the given task list
+    /// (the objective of §5.2's Eq. 18).
+    ///
+    /// Tasks absent from `tasks` contribute nothing.
+    pub fn total_cost(&self, tasks: &[Task]) -> f64 {
+        tasks
+            .iter()
+            .map(|t| t.cost * self.users_for(t.id).len() as f64)
+            .sum()
+    }
+
+    /// Total processing time user `user` spends under this allocation.
+    pub fn load(&self, user: UserId, tasks: &[Task]) -> f64 {
+        let by_id: BTreeMap<TaskId, f64> =
+            tasks.iter().map(|t| (t.id, t.processing_time)).collect();
+        self.tasks_for(user)
+            .iter()
+            .filter_map(|t| by_id.get(t))
+            .sum()
+    }
+
+    /// Merges `other` into `self`, skipping duplicate pairs.
+    pub fn merge(&mut self, other: &Allocation) {
+        for (task, users) in other.iter() {
+            for &u in users {
+                self.assign(u, task);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::DomainId;
+
+    #[test]
+    fn assign_and_lookup() {
+        let mut a = Allocation::new();
+        assert!(a.is_empty());
+        assert!(a.assign(UserId(1), TaskId(0)));
+        assert!(a.assign(UserId(2), TaskId(0)));
+        assert!(a.assign(UserId(1), TaskId(5)));
+        assert!(!a.assign(UserId(1), TaskId(0)));
+        assert_eq!(a.users_for(TaskId(0)), &[UserId(1), UserId(2)]);
+        assert_eq!(a.tasks_for(UserId(1)), &[TaskId(0), TaskId(5)]);
+        assert_eq!(a.users_for(TaskId(9)), &[] as &[UserId]);
+        assert!(a.contains(UserId(2), TaskId(0)));
+        assert!(!a.contains(UserId(2), TaskId(5)));
+        assert_eq!(a.assignment_count(), 3);
+    }
+
+    #[test]
+    fn cost_and_load() {
+        let tasks = vec![
+            Task::new(TaskId(0), DomainId(0), 2.0, 1.5),
+            Task::new(TaskId(1), DomainId(0), 3.0, 1.0),
+        ];
+        let mut a = Allocation::new();
+        a.assign(UserId(0), TaskId(0));
+        a.assign(UserId(1), TaskId(0));
+        a.assign(UserId(0), TaskId(1));
+        assert_eq!(a.total_cost(&tasks), 2.0 * 1.5 + 1.0);
+        assert_eq!(a.load(UserId(0), &tasks), 5.0);
+        assert_eq!(a.load(UserId(1), &tasks), 2.0);
+        assert_eq!(a.load(UserId(9), &tasks), 0.0);
+    }
+
+    #[test]
+    fn merge_skips_duplicates() {
+        let mut a = Allocation::new();
+        a.assign(UserId(0), TaskId(0));
+        let mut b = Allocation::new();
+        b.assign(UserId(0), TaskId(0));
+        b.assign(UserId(1), TaskId(1));
+        a.merge(&b);
+        assert_eq!(a.assignment_count(), 2);
+    }
+
+    #[test]
+    fn iter_is_task_ordered() {
+        let mut a = Allocation::new();
+        a.assign(UserId(0), TaskId(5));
+        a.assign(UserId(0), TaskId(1));
+        let order: Vec<TaskId> = a.iter().map(|(t, _)| t).collect();
+        assert_eq!(order, vec![TaskId(1), TaskId(5)]);
+    }
+}

@@ -1,0 +1,250 @@
+//! Allocators for the comparison approaches (paper §6.3).
+//!
+//! The reliability-based methods (Hubs & Authorities, Average·Log,
+//! TruthFinder) "greedily allocate tasks to users with high reliability",
+//! prioritizing tasks with lower sensing time so high-reliability users can
+//! finish as many tasks as possible; the lower-bound Baseline allocates
+//! randomly. Both respect the same per-user capacity constraint as ETA².
+
+use crate::allocation::Allocation;
+use crate::model::{Task, UserProfile};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Greedy reliability-based allocator used with the reliability-inferring
+/// baselines.
+///
+/// Tasks are sorted by ascending processing time; allocation proceeds in
+/// passes, each pass giving every task (in that order) one more user — the
+/// most reliable user with enough remaining capacity that doesn't already
+/// hold the task — until a full pass assigns nothing.
+///
+/// # Examples
+///
+/// ```
+/// use eta2_core::allocation::ReliabilityGreedyAllocator;
+/// use eta2_core::model::{DomainId, Task, TaskId, UserId, UserProfile};
+///
+/// let tasks = vec![Task::new(TaskId(0), DomainId(0), 1.0, 1.0)];
+/// let users = vec![
+///     UserProfile::new(UserId(0), 2.0),
+///     UserProfile::new(UserId(1), 2.0),
+/// ];
+/// let reliability = vec![0.5, 2.0];
+/// let alloc = ReliabilityGreedyAllocator::new().allocate(&tasks, &users, &reliability);
+/// // The reliable user is chosen first.
+/// assert_eq!(alloc.users_for(TaskId(0))[0], UserId(1));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReliabilityGreedyAllocator {
+    _private: (),
+}
+
+impl ReliabilityGreedyAllocator {
+    /// Creates the allocator.
+    pub fn new() -> Self {
+        ReliabilityGreedyAllocator::default()
+    }
+
+    /// Allocates `tasks` to `users` by descending `reliability`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `reliability.len() == users.len()`.
+    pub fn allocate(
+        &self,
+        tasks: &[Task],
+        users: &[UserProfile],
+        reliability: &[f64],
+    ) -> Allocation {
+        assert_eq!(
+            reliability.len(),
+            users.len(),
+            "one reliability score per user"
+        );
+        let mut order: Vec<usize> = (0..tasks.len()).collect();
+        order.sort_by(|&a, &b| {
+            tasks[a]
+                .processing_time
+                .total_cmp(&tasks[b].processing_time)
+                .then(tasks[a].id.cmp(&tasks[b].id))
+        });
+        let mut user_order: Vec<usize> = (0..users.len()).collect();
+        user_order.sort_by(|&a, &b| {
+            reliability[b]
+                .total_cmp(&reliability[a])
+                .then(users[a].id.cmp(&users[b].id))
+        });
+
+        let mut remaining: Vec<f64> = users.iter().map(|u| u.capacity).collect();
+        let mut alloc = Allocation::new();
+        loop {
+            let mut assigned_any = false;
+            for &j in &order {
+                let t = &tasks[j];
+                for &i in &user_order {
+                    if remaining[i] >= t.processing_time && !alloc.contains(users[i].id, t.id) {
+                        alloc.assign(users[i].id, t.id);
+                        remaining[i] -= t.processing_time;
+                        assigned_any = true;
+                        break;
+                    }
+                }
+            }
+            if !assigned_any {
+                break;
+            }
+        }
+        alloc
+    }
+}
+
+/// Random allocator used with the mean Baseline (and during ETA²'s warm-up
+/// period, §2.2).
+///
+/// Proceeds in passes over a shuffled task order, each pass assigning one
+/// more random eligible user per task, until nothing can be assigned.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RandomAllocator {
+    _private: (),
+}
+
+impl RandomAllocator {
+    /// Creates the allocator.
+    pub fn new() -> Self {
+        RandomAllocator::default()
+    }
+
+    /// Allocates randomly, respecting capacities.
+    pub fn allocate<R: Rng + ?Sized>(
+        &self,
+        tasks: &[Task],
+        users: &[UserProfile],
+        rng: &mut R,
+    ) -> Allocation {
+        let mut remaining: Vec<f64> = users.iter().map(|u| u.capacity).collect();
+        let mut alloc = Allocation::new();
+        let mut task_order: Vec<usize> = (0..tasks.len()).collect();
+        loop {
+            task_order.shuffle(rng);
+            let mut assigned_any = false;
+            for &j in &task_order {
+                let t = &tasks[j];
+                let eligible: Vec<usize> = (0..users.len())
+                    .filter(|&i| {
+                        remaining[i] >= t.processing_time && !alloc.contains(users[i].id, t.id)
+                    })
+                    .collect();
+                if let Some(&i) = eligible.as_slice().choose(rng) {
+                    alloc.assign(users[i].id, t.id);
+                    remaining[i] -= t.processing_time;
+                    assigned_any = true;
+                }
+            }
+            if !assigned_any {
+                break;
+            }
+        }
+        alloc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{DomainId, TaskId, UserId};
+    use rand::SeedableRng;
+
+    fn tasks_with_times(times: &[f64]) -> Vec<Task> {
+        times
+            .iter()
+            .enumerate()
+            .map(|(j, &t)| Task::new(TaskId(j as u32), DomainId(0), t, 1.0))
+            .collect()
+    }
+
+    fn users_with_capacity(caps: &[f64]) -> Vec<UserProfile> {
+        caps.iter()
+            .enumerate()
+            .map(|(i, &c)| UserProfile::new(UserId(i as u32), c))
+            .collect()
+    }
+
+    #[test]
+    fn greedy_prefers_reliable_users_and_short_tasks() {
+        let tasks = tasks_with_times(&[3.0, 1.0]);
+        let users = users_with_capacity(&[1.0, 1.0]);
+        // User 1 most reliable but can only fit the short task.
+        let alloc =
+            ReliabilityGreedyAllocator::new().allocate(&tasks, &users, &[0.2, 5.0]);
+        // Short task (id 1) is considered first and goes to user 1; the
+        // second pass adds user 0 (who also still has capacity for it).
+        assert_eq!(alloc.users_for(TaskId(1)), &[UserId(1), UserId(0)]);
+        // The long task fits nobody (capacity 1 < 3).
+        assert!(alloc.users_for(TaskId(0)).is_empty());
+    }
+
+    #[test]
+    fn greedy_fills_capacity_with_multiple_passes() {
+        let tasks = tasks_with_times(&[1.0, 1.0, 1.0]);
+        let users = users_with_capacity(&[3.0, 3.0]);
+        let alloc = ReliabilityGreedyAllocator::new().allocate(&tasks, &users, &[1.0, 1.0]);
+        // 6 capacity-hours, 3 unit tasks × 2 users = all pairs assigned.
+        assert_eq!(alloc.assignment_count(), 6);
+    }
+
+    #[test]
+    fn greedy_respects_capacity() {
+        let tasks = tasks_with_times(&[2.0; 10]);
+        let users = users_with_capacity(&[5.0]);
+        let alloc = ReliabilityGreedyAllocator::new().allocate(&tasks, &users, &[1.0]);
+        assert!(alloc.load(UserId(0), &tasks) <= 5.0);
+        assert_eq!(alloc.assignment_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "one reliability score per user")]
+    fn greedy_validates_reliability_length() {
+        let tasks = tasks_with_times(&[1.0]);
+        let users = users_with_capacity(&[1.0]);
+        ReliabilityGreedyAllocator::new().allocate(&tasks, &users, &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn random_respects_capacity_and_terminates() {
+        let tasks = tasks_with_times(&[1.5, 2.5, 0.5, 1.0]);
+        let users = users_with_capacity(&[4.0, 3.0, 0.0]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let alloc = RandomAllocator::new().allocate(&tasks, &users, &mut rng);
+        for u in &users {
+            assert!(alloc.load(u.id, &tasks) <= u.capacity + 1e-9);
+        }
+        // Zero-capacity user gets nothing.
+        assert!(alloc.tasks_for(UserId(2)).is_empty());
+        assert!(!alloc.is_empty());
+    }
+
+    #[test]
+    fn random_is_seed_deterministic() {
+        let tasks = tasks_with_times(&[1.0; 6]);
+        let users = users_with_capacity(&[3.0, 3.0, 3.0]);
+        let a = RandomAllocator::new().allocate(
+            &tasks,
+            &users,
+            &mut rand::rngs::StdRng::seed_from_u64(7),
+        );
+        let b = RandomAllocator::new().allocate(
+            &tasks,
+            &users,
+            &mut rand::rngs::StdRng::seed_from_u64(7),
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn random_with_empty_inputs() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let alloc = RandomAllocator::new().allocate(&[], &[], &mut rng);
+        assert!(alloc.is_empty());
+    }
+}

@@ -1,0 +1,76 @@
+//! Error type for the ETA² core algorithms.
+
+use std::fmt;
+
+/// Error returned by core truth-analysis and allocation routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A configuration parameter was outside its valid range.
+    InvalidConfig {
+        /// Name of the offending field.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Human-readable requirement.
+        requirement: &'static str,
+    },
+    /// A task referenced a user index at or beyond the declared user count.
+    UnknownUser {
+        /// The out-of-range user id.
+        user: u32,
+        /// The declared number of users.
+        n_users: usize,
+    },
+    /// An observation referenced a task that is not part of the batch.
+    UnknownTask {
+        /// The unreferenced task id.
+        task: u32,
+    },
+    /// The min-cost allocator exhausted all user capacity without meeting
+    /// the quality requirement on every task.
+    QualityUnreachable {
+        /// How many tasks still fail the quality gate.
+        failing_tasks: usize,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidConfig {
+                field,
+                value,
+                requirement,
+            } => write!(f, "invalid config `{field}` = {value}: {requirement}"),
+            CoreError::UnknownUser { user, n_users } => {
+                write!(f, "user id {user} out of range for {n_users} users")
+            }
+            CoreError::UnknownTask { task } => write!(f, "task id {task} not in batch"),
+            CoreError::QualityUnreachable { failing_tasks } => write!(
+                f,
+                "capacity exhausted with {failing_tasks} tasks below the quality requirement"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = CoreError::UnknownUser { user: 7, n_users: 3 };
+        assert!(e.to_string().contains('7'));
+        let e = CoreError::QualityUnreachable { failing_tasks: 2 };
+        assert!(e.to_string().contains("2 tasks"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

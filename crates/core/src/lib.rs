@@ -1,0 +1,55 @@
+//! ETA² core: expertise model, expertise-aware truth analysis and
+//! expertise-aware task allocation.
+//!
+//! This crate implements the primary contribution of *"Expertise-Aware Truth
+//! Analysis and Task Allocation in Mobile Crowdsourcing"* (Zhang et al.,
+//! ICDCS 2017):
+//!
+//! * [`model`] — users, tasks, observations and the expertise matrix of
+//!   §2.4, where a user's observation for a task is
+//!   `N(μ_j, (σ_j / u_i^{d_j})²)`.
+//! * [`truth`] — the expertise-aware maximum-likelihood truth analysis of
+//!   §4 ([`truth::mle`]), the decayed dynamic expertise update of §4.2
+//!   ([`truth::dynamic`]) and the four comparison approaches of §6.3
+//!   ([`truth::baselines`]).
+//! * [`allocation`] — max-quality task allocation (Algorithm 1 with the
+//!   ½-approximation second pass, §5.1) in [`allocation::max_quality`], the
+//!   iterative min-cost allocation (Algorithm 2, §5.2) in
+//!   [`allocation::min_cost`], and the reliability-greedy / random
+//!   allocators used by the baselines in [`allocation::reliability`].
+//!
+//! # Examples
+//!
+//! Estimate truth and expertise from noisy observations:
+//!
+//! ```
+//! use eta2_core::model::{DomainId, ObservationSet, Task, TaskId, UserId};
+//! use eta2_core::truth::mle::{ExpertiseAwareMle, MleConfig};
+//!
+//! let tasks = vec![
+//!     Task::new(TaskId(0), DomainId(0), 1.0, 1.0),
+//!     Task::new(TaskId(1), DomainId(0), 1.0, 1.0),
+//! ];
+//! let mut obs = ObservationSet::new();
+//! // User 0 is accurate, user 1 noisy.
+//! obs.insert(UserId(0), TaskId(0), 10.02);
+//! obs.insert(UserId(1), TaskId(0), 12.5);
+//! obs.insert(UserId(0), TaskId(1), 5.01);
+//! obs.insert(UserId(1), TaskId(1), 3.0);
+//!
+//! let result = ExpertiseAwareMle::new(MleConfig::default()).estimate(&tasks, &obs, 2);
+//! assert!(result.truths[&TaskId(0)].mu > 9.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allocation;
+pub mod error;
+pub mod model;
+pub mod truth;
+
+pub use error::CoreError;
+pub use model::{
+    DomainId, ExpertiseMatrix, Observation, ObservationSet, Task, TaskId, UserId, UserProfile,
+};

@@ -1,0 +1,429 @@
+//! Domain model: users, tasks, observations and the expertise matrix
+//! (paper §2.4).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of a mobile user (a data source).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct UserId(pub u32);
+
+/// Identifier of a sensing task.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct TaskId(pub u32);
+
+/// Identifier of an expertise domain (a task cluster).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct DomainId(pub u32);
+
+impl fmt::Display for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "user#{}", self.0)
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task#{}", self.0)
+    }
+}
+
+impl fmt::Display for DomainId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "domain#{}", self.0)
+    }
+}
+
+/// A sensing task as the allocator sees it: its expertise domain, the
+/// processing time `t_j` it costs a user, and the payment `c_j` it costs the
+/// server.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Task {
+    /// Task identifier.
+    pub id: TaskId,
+    /// The expertise domain `d_j` the task belongs to.
+    pub domain: DomainId,
+    /// Processing time `t_j` (hours) a user spends completing it.
+    pub processing_time: f64,
+    /// Recruiting cost `c_j` paid per user assigned to it.
+    pub cost: f64,
+}
+
+impl Task {
+    /// Creates a task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `processing_time` is not finite and positive, or `cost` is
+    /// negative or non-finite.
+    pub fn new(id: TaskId, domain: DomainId, processing_time: f64, cost: f64) -> Self {
+        assert!(
+            processing_time.is_finite() && processing_time > 0.0,
+            "processing_time must be finite and > 0, got {processing_time}"
+        );
+        assert!(
+            cost.is_finite() && cost >= 0.0,
+            "cost must be finite and >= 0, got {cost}"
+        );
+        Task {
+            id,
+            domain,
+            processing_time,
+            cost,
+        }
+    }
+}
+
+/// A user as the allocator sees it: identifier and processing capability
+/// `T_i` (available hours per time step).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UserProfile {
+    /// User identifier.
+    pub id: UserId,
+    /// Processing capability `T_i` in hours per time step.
+    pub capacity: f64,
+}
+
+impl UserProfile {
+    /// Creates a profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is negative or non-finite.
+    pub fn new(id: UserId, capacity: f64) -> Self {
+        assert!(
+            capacity.is_finite() && capacity >= 0.0,
+            "capacity must be finite and >= 0, got {capacity}"
+        );
+        UserProfile { id, capacity }
+    }
+}
+
+/// One collected data point: user `i` reported `value` for task `j`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Observation {
+    /// Reporting user.
+    pub user: UserId,
+    /// Observed task.
+    pub task: TaskId,
+    /// Reported (numerical) value `x_ij`.
+    pub value: f64,
+}
+
+/// A set of observations indexed by task — the `X = {X₁ … X_m}` of §4.1.
+///
+/// At most one observation per `(user, task)` pair is kept; re-inserting
+/// replaces and returns the previous value.
+///
+/// # Examples
+///
+/// ```
+/// use eta2_core::model::{ObservationSet, TaskId, UserId};
+///
+/// let mut obs = ObservationSet::new();
+/// assert_eq!(obs.insert(UserId(1), TaskId(0), 3.5), None);
+/// assert_eq!(obs.insert(UserId(1), TaskId(0), 4.0), Some(3.5));
+/// assert_eq!(obs.for_task(TaskId(0)).unwrap().len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ObservationSet {
+    by_task: BTreeMap<TaskId, BTreeMap<UserId, f64>>,
+}
+
+impl ObservationSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        ObservationSet::default()
+    }
+
+    /// Inserts (or replaces) an observation; returns the replaced value.
+    pub fn insert(&mut self, user: UserId, task: TaskId, value: f64) -> Option<f64> {
+        self.by_task.entry(task).or_default().insert(user, value)
+    }
+
+    /// Adds every observation of `other`, replacing collisions.
+    pub fn merge(&mut self, other: &ObservationSet) {
+        for (&task, per_user) in &other.by_task {
+            for (&user, &value) in per_user {
+                self.insert(user, task, value);
+            }
+        }
+    }
+
+    /// The observations for one task, as `(user, value)` pairs in user
+    /// order, or `None` if the task has none.
+    pub fn for_task(&self, task: TaskId) -> Option<Vec<(UserId, f64)>> {
+        self.by_task
+            .get(&task)
+            .map(|m| m.iter().map(|(&u, &v)| (u, v)).collect())
+    }
+
+    /// Whether user `user` has reported for `task`.
+    pub fn contains(&self, user: UserId, task: TaskId) -> bool {
+        self.by_task
+            .get(&task)
+            .is_some_and(|m| m.contains_key(&user))
+    }
+
+    /// Tasks that have at least one observation, ascending.
+    pub fn tasks(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.by_task.keys().copied()
+    }
+
+    /// Total observation count.
+    pub fn len(&self) -> usize {
+        self.by_task.values().map(BTreeMap::len).sum()
+    }
+
+    /// Whether the set holds no observations.
+    pub fn is_empty(&self) -> bool {
+        self.by_task.is_empty()
+    }
+
+    /// Iterates over all observations in (task, user) order.
+    pub fn iter(&self) -> impl Iterator<Item = Observation> + '_ {
+        self.by_task.iter().flat_map(|(&task, per_user)| {
+            per_user
+                .iter()
+                .map(move |(&user, &value)| Observation { user, task, value })
+        })
+    }
+}
+
+impl FromIterator<Observation> for ObservationSet {
+    fn from_iter<I: IntoIterator<Item = Observation>>(iter: I) -> Self {
+        let mut set = ObservationSet::new();
+        for o in iter {
+            set.insert(o.user, o.task, o.value);
+        }
+        set
+    }
+}
+
+impl Extend<Observation> for ObservationSet {
+    fn extend<I: IntoIterator<Item = Observation>>(&mut self, iter: I) {
+        for o in iter {
+            self.insert(o.user, o.task, o.value);
+        }
+    }
+}
+
+/// The per-user per-domain expertise values `u_i^k` of §2.4.
+///
+/// Unseen `(user, domain)` combinations read as the initial value `1.0`,
+/// matching the paper's MLE initialization (`u = 1, ∀ i, k`).
+///
+/// # Examples
+///
+/// ```
+/// use eta2_core::model::{DomainId, ExpertiseMatrix, UserId};
+///
+/// let mut m = ExpertiseMatrix::new(2);
+/// assert_eq!(m.get(UserId(0), DomainId(5)), 1.0);
+/// m.set(UserId(0), DomainId(5), 2.5);
+/// assert_eq!(m.get(UserId(0), DomainId(5)), 2.5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExpertiseMatrix {
+    n_users: usize,
+    default: f64,
+    domains: BTreeMap<DomainId, Vec<f64>>,
+}
+
+impl ExpertiseMatrix {
+    /// Creates a matrix for `n_users` users with default expertise `1.0`.
+    pub fn new(n_users: usize) -> Self {
+        Self::with_default(n_users, 1.0)
+    }
+
+    /// Creates a matrix with an explicit default for unseen entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `default` is not finite and positive.
+    pub fn with_default(n_users: usize, default: f64) -> Self {
+        assert!(
+            default.is_finite() && default > 0.0,
+            "default expertise must be finite and > 0, got {default}"
+        );
+        ExpertiseMatrix {
+            n_users,
+            default,
+            domains: BTreeMap::new(),
+        }
+    }
+
+    /// Number of users.
+    pub fn n_users(&self) -> usize {
+        self.n_users
+    }
+
+    /// Expertise `u_i^k` of `user` in `domain` (the default if never set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `user` is out of range.
+    pub fn get(&self, user: UserId, domain: DomainId) -> f64 {
+        assert!(
+            (user.0 as usize) < self.n_users,
+            "user {user} out of range for {} users",
+            self.n_users
+        );
+        self.domains
+            .get(&domain)
+            .map_or(self.default, |v| v[user.0 as usize])
+    }
+
+    /// Sets the expertise of `user` in `domain`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `user` is out of range or `value` is negative/non-finite.
+    pub fn set(&mut self, user: UserId, domain: DomainId, value: f64) {
+        assert!(
+            (user.0 as usize) < self.n_users,
+            "user {user} out of range for {} users",
+            self.n_users
+        );
+        assert!(
+            value.is_finite() && value >= 0.0,
+            "expertise must be finite and >= 0, got {value}"
+        );
+        let n = self.n_users;
+        let d = self.default;
+        self.domains
+            .entry(domain)
+            .or_insert_with(|| vec![d; n])[user.0 as usize] = value;
+    }
+
+    /// Domains with at least one explicit entry, ascending.
+    pub fn domains(&self) -> impl Iterator<Item = DomainId> + '_ {
+        self.domains.keys().copied()
+    }
+
+    /// Removes `absorbed`, re-pointing nothing — used after a domain merge
+    /// when the caller has already folded the expertise into the kept
+    /// domain. Returns the absorbed column if present.
+    pub fn remove_domain(&mut self, absorbed: DomainId) -> Option<Vec<f64>> {
+        self.domains.remove(&absorbed)
+    }
+
+    /// The full expertise column of `domain` (default-filled if unset).
+    pub fn column(&self, domain: DomainId) -> Vec<f64> {
+        self.domains
+            .get(&domain)
+            .cloned()
+            .unwrap_or_else(|| vec![self.default; self.n_users])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(UserId(3).to_string(), "user#3");
+        assert_eq!(TaskId(1).to_string(), "task#1");
+        assert_eq!(DomainId(0).to_string(), "domain#0");
+    }
+
+    #[test]
+    fn task_validation() {
+        let t = Task::new(TaskId(0), DomainId(1), 2.0, 1.0);
+        assert_eq!(t.domain, DomainId(1));
+        assert!(std::panic::catch_unwind(|| Task::new(TaskId(0), DomainId(0), 0.0, 1.0)).is_err());
+        assert!(std::panic::catch_unwind(|| Task::new(TaskId(0), DomainId(0), 1.0, -1.0)).is_err());
+    }
+
+    #[test]
+    fn user_profile_validation() {
+        assert_eq!(UserProfile::new(UserId(0), 12.0).capacity, 12.0);
+        assert!(std::panic::catch_unwind(|| UserProfile::new(UserId(0), f64::NAN)).is_err());
+    }
+
+    #[test]
+    fn observation_set_insert_replace_iterate() {
+        let mut obs = ObservationSet::new();
+        assert!(obs.is_empty());
+        obs.insert(UserId(0), TaskId(0), 1.0);
+        obs.insert(UserId(1), TaskId(0), 2.0);
+        obs.insert(UserId(0), TaskId(1), 3.0);
+        assert_eq!(obs.len(), 3);
+        assert!(obs.contains(UserId(0), TaskId(0)));
+        assert!(!obs.contains(UserId(1), TaskId(1)));
+        assert_eq!(
+            obs.for_task(TaskId(0)),
+            Some(vec![(UserId(0), 1.0), (UserId(1), 2.0)])
+        );
+        assert_eq!(obs.for_task(TaskId(9)), None);
+        assert_eq!(obs.tasks().collect::<Vec<_>>(), vec![TaskId(0), TaskId(1)]);
+        let all: Vec<Observation> = obs.iter().collect();
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[0].task, TaskId(0));
+    }
+
+    #[test]
+    fn observation_set_merge_and_collect() {
+        let a: ObservationSet = [
+            Observation {
+                user: UserId(0),
+                task: TaskId(0),
+                value: 1.0,
+            },
+            Observation {
+                user: UserId(1),
+                task: TaskId(0),
+                value: 2.0,
+            },
+        ]
+        .into_iter()
+        .collect();
+        let mut b = ObservationSet::new();
+        b.insert(UserId(0), TaskId(0), 9.0);
+        b.merge(&a);
+        // Merge replaces collisions with the incoming value.
+        assert_eq!(b.for_task(TaskId(0)).unwrap()[0].1, 1.0);
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn expertise_matrix_defaults_and_set() {
+        let mut m = ExpertiseMatrix::new(3);
+        assert_eq!(m.n_users(), 3);
+        assert_eq!(m.get(UserId(2), DomainId(7)), 1.0);
+        m.set(UserId(2), DomainId(7), 0.5);
+        assert_eq!(m.get(UserId(2), DomainId(7)), 0.5);
+        // Other users of the touched domain keep the default.
+        assert_eq!(m.get(UserId(0), DomainId(7)), 1.0);
+        assert_eq!(m.domains().collect::<Vec<_>>(), vec![DomainId(7)]);
+        assert_eq!(m.column(DomainId(7)), vec![1.0, 1.0, 0.5]);
+        assert_eq!(m.column(DomainId(9)), vec![1.0; 3]);
+    }
+
+    #[test]
+    fn expertise_matrix_remove_domain() {
+        let mut m = ExpertiseMatrix::new(1);
+        m.set(UserId(0), DomainId(1), 2.0);
+        assert_eq!(m.remove_domain(DomainId(1)), Some(vec![2.0]));
+        assert_eq!(m.remove_domain(DomainId(1)), None);
+        assert_eq!(m.get(UserId(0), DomainId(1)), 1.0);
+    }
+
+    #[test]
+    fn expertise_matrix_bounds_checks() {
+        let mut m = ExpertiseMatrix::new(1);
+        assert!(std::panic::catch_unwind(|| m.get(UserId(1), DomainId(0))).is_err());
+        assert!(
+            std::panic::catch_unwind(move || m.set(UserId(0), DomainId(0), f64::NAN)).is_err()
+        );
+        assert!(std::panic::catch_unwind(|| ExpertiseMatrix::with_default(1, 0.0)).is_err());
+    }
+}

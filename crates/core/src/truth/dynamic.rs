@@ -1,0 +1,513 @@
+//! Dynamic update of user expertise across time steps (paper §4.2).
+//!
+//! Expertise `u_i^k = sqrt(N/D)` is maintained through two accumulators per
+//! `(user, domain)` pair:
+//!
+//! * `N(u_i^k)` — the (decayed) count of the user's observations in the
+//!   domain (paper Eq. 7), and
+//! * `D(u_i^k)` — the (decayed) sum of normalized squared errors
+//!   `(x_ij − μ_j)²/σ_j²` (paper Eq. 8),
+//!
+//! with decay factor `α ∈ [0, 1]` applied to the historical value whenever a
+//! new batch contributes to the pair. Because `u` is the ratio `sqrt(N/D)`,
+//! pairs untouched by a batch need no decay — `sqrt(αN/αD) = sqrt(N/D)`.
+//!
+//! When a batch arrives, `μ_j`/`σ_j` of the *new* tasks and the affected
+//! expertise values are re-estimated jointly: truths are first computed with
+//! the time-`T` expertise, then truths and the candidate `u` values iterate
+//! until the 5 % truth criterion holds (the same loop as §4.1), and only
+//! then are the accumulators committed.
+//!
+//! Domain lifecycle: a new domain simply starts accumulating from zero; when
+//! the clusterer merges domain `k₂` into `k₁`, the accumulators are summed
+//! (`N ← N₁+N₂`, `D ← D₁+D₂`), which is exactly "recalculate the expertise
+//! in `k₁` by further including the tasks of `k₂`" under Eq. 6.
+
+use crate::model::{DomainId, ExpertiseMatrix, ObservationSet, Task, TaskId, UserId};
+use crate::truth::mle::{relative_change, MleConfig, TruthEstimate};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Result of ingesting one batch of finished tasks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchOutcome {
+    /// Truth estimates for the batch's tasks.
+    pub truths: BTreeMap<TaskId, TruthEstimate>,
+    /// Joint re-estimation iterations executed.
+    pub iterations: usize,
+    /// Whether the 5 % criterion was met before the iteration cap.
+    pub converged: bool,
+}
+
+/// Per-`(user, domain)` accumulator pair `(N, D)`.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+struct Acc {
+    n: f64,
+    d: f64,
+}
+
+/// Decayed expertise state across time steps.
+///
+/// # Examples
+///
+/// ```
+/// use eta2_core::model::{DomainId, ObservationSet, Task, TaskId, UserId};
+/// use eta2_core::truth::dynamic::DynamicExpertise;
+/// use eta2_core::truth::mle::MleConfig;
+///
+/// let mut dyn_ex = DynamicExpertise::new(2, 0.5, MleConfig::default());
+/// let tasks = vec![Task::new(TaskId(0), DomainId(0), 1.0, 1.0)];
+/// let mut obs = ObservationSet::new();
+/// obs.insert(UserId(0), TaskId(0), 10.0);
+/// obs.insert(UserId(1), TaskId(0), 10.4);
+/// let out = dyn_ex.ingest_batch(&tasks, &obs);
+/// assert!(out.truths.contains_key(&TaskId(0)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DynamicExpertise {
+    n_users: usize,
+    alpha: f64,
+    config: MleConfig,
+    acc: BTreeMap<DomainId, Vec<Acc>>,
+}
+
+impl DynamicExpertise {
+    /// Creates an empty expertise state.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ alpha ≤ 1`.
+    pub fn new(n_users: usize, alpha: f64, config: MleConfig) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&alpha),
+            "alpha must be in [0, 1], got {alpha}"
+        );
+        DynamicExpertise {
+            n_users,
+            alpha,
+            config,
+            acc: BTreeMap::new(),
+        }
+    }
+
+    /// Number of users.
+    pub fn n_users(&self) -> usize {
+        self.n_users
+    }
+
+    /// The decay factor `α`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Current expertise `u_i^k` of `user` in `domain` (1.0 — the paper's
+    /// initialization — when no data has been accumulated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `user` is out of range.
+    pub fn expertise(&self, user: UserId, domain: DomainId) -> f64 {
+        assert!(
+            (user.0 as usize) < self.n_users,
+            "user {user} out of range for {} users",
+            self.n_users
+        );
+        match self.acc.get(&domain) {
+            Some(per_user) => {
+                let a = per_user[user.0 as usize];
+                if a.n > 0.0 {
+                    let s = self.config.prior_strength;
+                    ((a.n + s) / (a.d + s).max(1e-12))
+                        .sqrt()
+                        .clamp(self.config.expertise_floor, self.config.expertise_cap)
+                } else {
+                    1.0
+                }
+            }
+            None => 1.0,
+        }
+    }
+
+    /// A snapshot of all accumulated expertise as an [`ExpertiseMatrix`].
+    pub fn matrix(&self) -> ExpertiseMatrix {
+        let mut m = ExpertiseMatrix::new(self.n_users);
+        for (&domain, per_user) in &self.acc {
+            for (i, a) in per_user.iter().enumerate() {
+                if a.n > 0.0 {
+                    m.set(UserId(i as u32), domain, self.expertise(UserId(i as u32), domain));
+                }
+            }
+        }
+        m
+    }
+
+    /// Domains with accumulated data, ascending.
+    pub fn domains(&self) -> impl Iterator<Item = DomainId> + '_ {
+        self.acc.keys().copied()
+    }
+
+    /// Ingests a finished batch: jointly re-estimates the batch's truths and
+    /// the affected expertise values (Eqs. 5, 7–9), then commits the decayed
+    /// accumulators.
+    pub fn ingest_batch(&mut self, tasks: &[Task], obs: &ObservationSet) -> BatchOutcome {
+        let cfg = self.config;
+        // Materialize the batch.
+        struct TaskData {
+            id: TaskId,
+            domain: DomainId,
+            obs: Vec<(UserId, f64)>,
+        }
+        let batch: Vec<TaskData> = tasks
+            .iter()
+            .filter_map(|t| {
+                obs.for_task(t.id).map(|o| TaskData {
+                    id: t.id,
+                    domain: t.domain,
+                    obs: o,
+                })
+            })
+            .collect();
+        if batch.is_empty() {
+            return BatchOutcome {
+                truths: BTreeMap::new(),
+                iterations: 0,
+                converged: true,
+            };
+        }
+
+        // Working expertise: starts from the time-T values; updated through
+        // candidate accumulators during the joint iteration.
+        let affected: Vec<DomainId> = {
+            let mut d: Vec<DomainId> = batch.iter().map(|t| t.domain).collect();
+            d.sort_unstable();
+            d.dedup();
+            d
+        };
+        let mut work: BTreeMap<DomainId, Vec<f64>> = affected
+            .iter()
+            .map(|&d| {
+                (
+                    d,
+                    (0..self.n_users)
+                        .map(|i| self.expertise(UserId(i as u32), d))
+                        .collect(),
+                )
+            })
+            .collect();
+
+        let mut truths: BTreeMap<TaskId, TruthEstimate> = BTreeMap::new();
+        let mut prev_mu: BTreeMap<TaskId, f64> = BTreeMap::new();
+        let mut delta: BTreeMap<DomainId, Vec<Acc>> = BTreeMap::new();
+        let mut iterations = 0;
+        let mut converged = false;
+
+        while iterations < cfg.max_iterations.max(1) {
+            iterations += 1;
+
+            // (1) Truths of the new tasks from the working expertise.
+            for t in &batch {
+                let u_col = &work[&t.domain];
+                let mut wsum = 0.0;
+                let mut wxsum = 0.0;
+                for &(user, x) in &t.obs {
+                    let u = u_col[user.0 as usize].max(cfg.expertise_floor);
+                    wsum += u * u;
+                    wxsum += u * u * x;
+                }
+                let mu = wxsum / wsum;
+                let mut ss = 0.0;
+                for &(user, x) in &t.obs {
+                    let u = u_col[user.0 as usize].max(cfg.expertise_floor);
+                    ss += u * u * (x - mu) * (x - mu);
+                }
+                let sigma = (ss / t.obs.len() as f64).sqrt().max(cfg.sigma_floor);
+                truths.insert(t.id, TruthEstimate { mu, sigma });
+            }
+
+            // (2) Batch contributions ΔN/ΔD, then candidate expertise
+            // u = sqrt((αN + ΔN)/(αD + ΔD)) per Eq. 9.
+            delta = affected
+                .iter()
+                .map(|&d| (d, vec![Acc::default(); self.n_users]))
+                .collect();
+            for t in &batch {
+                let est = truths[&t.id];
+                let u_col = &work[&t.domain];
+                // Weighted sums for the leave-one-out truth (see
+                // `MleConfig::leave_one_out`).
+                let (mut wsum, mut wxsum) = (0.0, 0.0);
+                if cfg.leave_one_out {
+                    for &(user, x) in &t.obs {
+                        let u = u_col[user.0 as usize].max(cfg.expertise_floor);
+                        wsum += u * u;
+                        wxsum += u * u * x;
+                    }
+                }
+                let per_user = delta.get_mut(&t.domain).expect("affected domain");
+                for &(user, x) in &t.obs {
+                    let reference = if cfg.leave_one_out && t.obs.len() > 1 {
+                        let u = u_col[user.0 as usize].max(cfg.expertise_floor);
+                        (wxsum - u * u * x) / (wsum - u * u)
+                    } else {
+                        est.mu
+                    };
+                    let e = (x - reference) / est.sigma;
+                    let slot = &mut per_user[user.0 as usize];
+                    slot.n += 1.0;
+                    slot.d += e * e;
+                }
+            }
+            for &d in &affected {
+                let hist = self.acc.get(&d);
+                let dd = &delta[&d];
+                let col = work.get_mut(&d).expect("affected domain");
+                for i in 0..self.n_users {
+                    let h = hist.map_or(Acc::default(), |v| v[i]);
+                    let n = self.alpha * h.n + dd[i].n;
+                    let den = self.alpha * h.d + dd[i].d;
+                    if n > 0.0 {
+                        let s = cfg.prior_strength;
+                        col[i] = ((n + s) / (den + s).max(1e-12))
+                            .sqrt()
+                            .clamp(cfg.expertise_floor, cfg.expertise_cap);
+                    }
+                }
+            }
+
+            // (3) Convergence on the batch truths.
+            if !prev_mu.is_empty() {
+                let all_small = truths.iter().all(|(id, est)| {
+                    relative_change(prev_mu[id], est.mu) < cfg.convergence_threshold
+                });
+                if all_small {
+                    converged = true;
+                    break;
+                }
+            }
+            prev_mu = truths.iter().map(|(&id, est)| (id, est.mu)).collect();
+        }
+
+        // Commit: decay history once, add the batch contribution — but only
+        // for (user, domain) pairs this batch touched (untouched pairs keep
+        // an unchanged N/D ratio, so skipping their decay is equivalent).
+        for &d in &affected {
+            let dd = &delta[&d];
+            let per_user = self
+                .acc
+                .entry(d)
+                .or_insert_with(|| vec![Acc::default(); self.n_users]);
+            for i in 0..self.n_users {
+                if dd[i].n > 0.0 {
+                    per_user[i].n = self.alpha * per_user[i].n + dd[i].n;
+                    per_user[i].d = self.alpha * per_user[i].d + dd[i].d;
+                }
+            }
+        }
+
+        BatchOutcome {
+            truths,
+            iterations,
+            converged,
+        }
+    }
+
+    /// Folds domain `absorbed` into `kept` after a cluster merge (paper
+    /// §4.2, second special case): accumulators are summed and `absorbed`
+    /// is deleted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kept == absorbed`.
+    pub fn merge_domains(&mut self, kept: DomainId, absorbed: DomainId) {
+        assert_ne!(kept, absorbed, "cannot merge a domain into itself");
+        let Some(old) = self.acc.remove(&absorbed) else {
+            return;
+        };
+        let per_user = self
+            .acc
+            .entry(kept)
+            .or_insert_with(|| vec![Acc::default(); self.n_users]);
+        for (slot, o) in per_user.iter_mut().zip(old) {
+            slot.n += o.n;
+            slot.d += o.d;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    fn batch(domain: u32, first_task: u32, m: u32) -> Vec<Task> {
+        (first_task..first_task + m)
+            .map(|j| Task::new(TaskId(j), DomainId(domain), 1.0, 1.0))
+            .collect()
+    }
+
+    fn observe(
+        tasks: &[Task],
+        expertise: &[f64],
+        rng: &mut impl Rng,
+    ) -> (ObservationSet, Vec<f64>) {
+        let mut obs = ObservationSet::new();
+        let mut truths = Vec::new();
+        for t in tasks {
+            let mu: f64 = rng.gen_range(0.0..20.0);
+            truths.push(mu);
+            for (i, &u) in expertise.iter().enumerate() {
+                let z = eta2_stats::normal::standard_sample(rng);
+                obs.insert(UserId(i as u32), t.id, mu + z / u);
+            }
+        }
+        (obs, truths)
+    }
+
+    #[test]
+    fn first_batch_learns_expertise() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut de = DynamicExpertise::new(3, 0.5, MleConfig::default());
+        let tasks = batch(0, 0, 30);
+        let (obs, _) = observe(&tasks, &[3.0, 1.0, 0.3], &mut rng);
+        let out = de.ingest_batch(&tasks, &obs);
+        assert!(out.converged);
+        let d = DomainId(0);
+        assert!(de.expertise(UserId(0), d) > de.expertise(UserId(1), d));
+        assert!(de.expertise(UserId(1), d) > de.expertise(UserId(2), d));
+    }
+
+    #[test]
+    fn unseen_domain_reads_one() {
+        let de = DynamicExpertise::new(2, 0.5, MleConfig::default());
+        assert_eq!(de.expertise(UserId(0), DomainId(9)), 1.0);
+        assert_eq!(de.matrix().get(UserId(0), DomainId(9)), 1.0);
+    }
+
+    #[test]
+    fn decay_forgets_old_behaviour() {
+        // User 0 starts accurate, becomes awful. With strong decay (α
+        // small) the expertise estimate must track the recent behaviour.
+        // (Several users per task: with exactly two observations the MLE
+        // update is provably data-independent, and with very few users the
+        // expertise²-weighted mean lets a dominant user mask their own
+        // errors.)
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let mut fast = DynamicExpertise::new(8, 0.1, MleConfig::default());
+        let mut slow = DynamicExpertise::new(8, 1.0, MleConfig::default());
+        let mut good_skills = vec![1.0; 8];
+        good_skills[0] = 3.0;
+        let mut bad_skills = vec![1.0; 8];
+        bad_skills[0] = 0.3;
+
+        let good = batch(0, 0, 25);
+        let (obs_good, _) = observe(&good, &good_skills, &mut rng);
+        fast.ingest_batch(&good, &obs_good);
+        slow.ingest_batch(&good, &obs_good);
+
+        for step in 0..2 {
+            let bad = batch(0, 100 + step * 25, 25);
+            let (obs_bad, _) = observe(&bad, &bad_skills, &mut rng);
+            fast.ingest_batch(&bad, &obs_bad);
+            slow.ingest_batch(&bad, &obs_bad);
+        }
+        let d = DomainId(0);
+        assert!(
+            fast.expertise(UserId(0), d) < slow.expertise(UserId(0), d),
+            "fast = {:.3}, slow = {:.3}",
+            fast.expertise(UserId(0), d),
+            slow.expertise(UserId(0), d)
+        );
+    }
+
+    #[test]
+    fn new_domain_starts_fresh() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut de = DynamicExpertise::new(4, 0.5, MleConfig::default());
+        let t0 = batch(0, 0, 20);
+        let (o0, _) = observe(&t0, &[3.0, 0.4, 1.0, 1.0], &mut rng);
+        de.ingest_batch(&t0, &o0);
+        // Same users, opposite skill in a new domain.
+        let t1 = batch(1, 100, 20);
+        let (o1, _) = observe(&t1, &[0.4, 3.0, 1.0, 1.0], &mut rng);
+        de.ingest_batch(&t1, &o1);
+        assert!(de.expertise(UserId(0), DomainId(0)) > de.expertise(UserId(0), DomainId(1)));
+        assert!(de.expertise(UserId(1), DomainId(1)) > de.expertise(UserId(1), DomainId(0)));
+        assert_eq!(de.domains().count(), 2);
+    }
+
+    #[test]
+    fn merge_domains_sums_accumulators() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let mut de = DynamicExpertise::new(2, 1.0, MleConfig::default());
+        let t0 = batch(0, 0, 15);
+        let (o0, _) = observe(&t0, &[2.0, 0.5], &mut rng);
+        de.ingest_batch(&t0, &o0);
+        let t1 = batch(1, 100, 15);
+        let (o1, _) = observe(&t1, &[2.0, 0.5], &mut rng);
+        de.ingest_batch(&t1, &o1);
+
+        let before = de.expertise(UserId(0), DomainId(0));
+        de.merge_domains(DomainId(0), DomainId(1));
+        assert_eq!(de.domains().count(), 1);
+        let after = de.expertise(UserId(0), DomainId(0));
+        // Both domains had the same behaviour, so the merged estimate stays
+        // in the same ballpark.
+        assert!((after - before).abs() < 1.0, "before {before}, after {after}");
+        // Absorbed domain reads as fresh again.
+        assert_eq!(de.expertise(UserId(0), DomainId(1)), 1.0);
+    }
+
+    #[test]
+    fn merge_missing_absorbed_is_noop() {
+        let mut de = DynamicExpertise::new(1, 0.5, MleConfig::default());
+        de.merge_domains(DomainId(0), DomainId(7));
+        assert_eq!(de.domains().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot merge a domain into itself")]
+    fn merge_self_panics() {
+        let mut de = DynamicExpertise::new(1, 0.5, MleConfig::default());
+        de.merge_domains(DomainId(0), DomainId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in [0, 1]")]
+    fn alpha_validated() {
+        DynamicExpertise::new(1, 1.5, MleConfig::default());
+    }
+
+    #[test]
+    fn empty_batch_is_noop() {
+        let mut de = DynamicExpertise::new(2, 0.5, MleConfig::default());
+        let out = de.ingest_batch(&[], &ObservationSet::new());
+        assert!(out.truths.is_empty());
+        assert!(out.converged);
+        assert_eq!(de.domains().count(), 0);
+    }
+
+    #[test]
+    fn batch_truths_are_reasonable() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        let mut de = DynamicExpertise::new(4, 0.5, MleConfig::default());
+        // Warm the expertise.
+        let warm = batch(0, 0, 30);
+        let skills = [3.0, 2.0, 0.5, 0.4];
+        let (o, _) = observe(&warm, &skills, &mut rng);
+        de.ingest_batch(&warm, &o);
+        // New tasks: truth recovery should beat the plain mean.
+        let new = batch(0, 100, 30);
+        let (o2, truths) = observe(&new, &skills, &mut rng);
+        let out = de.ingest_batch(&new, &o2);
+        let mut err_dyn = 0.0;
+        let mut err_mean = 0.0;
+        for (j, t) in new.iter().enumerate() {
+            let o = o2.for_task(t.id).unwrap();
+            let mean = o.iter().map(|&(_, x)| x).sum::<f64>() / o.len() as f64;
+            err_dyn += (out.truths[&t.id].mu - truths[j]).abs();
+            err_mean += (mean - truths[j]).abs();
+        }
+        assert!(err_dyn < err_mean, "dyn {err_dyn:.3} vs mean {err_mean:.3}");
+    }
+}

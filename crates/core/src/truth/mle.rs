@@ -1,0 +1,531 @@
+//! Expertise-aware truth analysis by maximum-likelihood estimation
+//! (paper §4.1).
+//!
+//! The observation model is `x_ij ~ N(μ_j, (σ_j / u_i^{d_j})²)` (§2.4).
+//! Setting the derivatives of the log-likelihood (paper Eq. 4) to zero gives
+//! the coordinate updates iterated here:
+//!
+//! ```text
+//! μ_j  = Σ_i ω_ij u_ij² x_ij   /  Σ_i ω_ij u_ij²
+//! σ_j² = Σ_i ω_ij u_ij² (x_ij − μ_j)²  /  Σ_i ω_ij
+//! u_i^k = sqrt( Σ_j 1[d_j=k] ω_ij  /  Σ_j 1[d_j=k] ω_ij (x_ij − μ_j)²/σ_j² )
+//! ```
+//!
+//! (the camera-ready's typeset Eq. 5/6 are OCR-damaged in our source; these
+//! forms are re-derived from Eq. 4 and are consistent with the incremental
+//! N/D update the paper gives in Eqs. 7–9 — see DESIGN.md §2).
+//!
+//! Iteration starts from `u = 1` for every user and domain and stops when
+//! every task's truth estimate changes by less than 5 % between successive
+//! iterations (§4.1), with a hard iteration cap as a safety net.
+
+use crate::model::{DomainId, ExpertiseMatrix, ObservationSet, Task, TaskId, UserId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Configuration of the MLE iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MleConfig {
+    /// Relative truth-change threshold below which the iteration is
+    /// considered converged (the paper uses 5 %).
+    pub convergence_threshold: f64,
+    /// Hard cap on coordinate-update iterations.
+    pub max_iterations: usize,
+    /// Lower clamp on expertise: `u = 0` would mean infinite observation
+    /// variance, which the likelihood cannot represent.
+    pub expertise_floor: f64,
+    /// Upper clamp on expertise, guarding the degenerate "single
+    /// observation fits exactly" blow-up.
+    pub expertise_cap: f64,
+    /// Lower clamp on the base number `σ_j`.
+    pub sigma_floor: f64,
+    /// Score each user's error against the *leave-one-out* truth estimate
+    /// (their own observation excluded) in the expertise update.
+    ///
+    /// The paper's Eq. 6 uses the plain estimate, which is self-fulfilling:
+    /// once a user's weight dominates the expertise²-weighted mean, their
+    /// error is measured against (almost) their own value, collapses to
+    /// zero, and their expertise diverges regardless of actual quality.
+    /// Leave-one-out scoring removes the self-term and is the default; set
+    /// to `false` for the paper-exact update (the
+    /// `ablation_loo_expertise` bench quantifies the difference).
+    pub leave_one_out: bool,
+    /// Pseudo-count prior pulling small-sample expertise toward the
+    /// initialization `u = 1`: the estimate becomes
+    /// `u = sqrt((N + s)/(D + s))` with `s = prior_strength`.
+    ///
+    /// A user's expertise in a domain is often estimated from one or two
+    /// observations per time step; the raw ratio `sqrt(N/D)` is then wildly
+    /// noisy, and the expertise²-weighted mean amplifies that noise. The
+    /// prior (a MAP estimate under a Gamma prior on `u²`) vanishes as data
+    /// accumulates. `0` disables it (the paper-exact update).
+    pub prior_strength: f64,
+}
+
+impl Default for MleConfig {
+    fn default() -> Self {
+        MleConfig {
+            convergence_threshold: 0.05,
+            max_iterations: 100,
+            expertise_floor: 1e-3,
+            expertise_cap: 50.0,
+            sigma_floor: 1e-6,
+            leave_one_out: true,
+            prior_strength: 1.0,
+        }
+    }
+}
+
+/// Estimated truth `μ̂_j` and base number `σ̂_j` for one task.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TruthEstimate {
+    /// Estimated ground truth.
+    pub mu: f64,
+    /// Estimated base number (the normalization scale of the task).
+    pub sigma: f64,
+}
+
+/// The output of one MLE run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MleResult {
+    /// Truth estimate per task (only tasks that had observations).
+    pub truths: BTreeMap<TaskId, TruthEstimate>,
+    /// Learned expertise for every user and every domain seen in the batch.
+    pub expertise: ExpertiseMatrix,
+    /// Coordinate-update iterations executed.
+    pub iterations: usize,
+    /// Whether the 5 % criterion was met before the iteration cap.
+    pub converged: bool,
+}
+
+/// The expertise-aware MLE estimator of §4.1.
+///
+/// # Examples
+///
+/// ```
+/// use eta2_core::model::{DomainId, ObservationSet, Task, TaskId, UserId};
+/// use eta2_core::truth::mle::ExpertiseAwareMle;
+///
+/// let tasks: Vec<Task> = (0..4)
+///     .map(|j| Task::new(TaskId(j), DomainId(0), 1.0, 1.0))
+///     .collect();
+/// let mut obs = ObservationSet::new();
+/// for j in 0..4 {
+///     obs.insert(UserId(0), TaskId(j), 10.0 + 0.01 * j as f64); // expert
+///     obs.insert(UserId(1), TaskId(j), 10.0 + 3.0 * (j as f64 - 1.5)); // noisy
+///     obs.insert(UserId(2), TaskId(j), 10.0 - 2.0 * (j as f64 - 1.5)); // noisy
+/// }
+/// let r = ExpertiseAwareMle::default().estimate(&tasks, &obs, 3);
+/// let u0 = r.expertise.get(UserId(0), DomainId(0));
+/// let u1 = r.expertise.get(UserId(1), DomainId(0));
+/// assert!(u0 > u1);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExpertiseAwareMle {
+    config: MleConfig,
+}
+
+impl ExpertiseAwareMle {
+    /// Creates an estimator with the given configuration.
+    pub fn new(config: MleConfig) -> Self {
+        ExpertiseAwareMle { config }
+    }
+
+    /// The estimator configuration.
+    pub fn config(&self) -> &MleConfig {
+        &self.config
+    }
+
+    /// Runs the MLE from the paper's cold-start initialization
+    /// (`u_i^k = 1` for all users and domains).
+    pub fn estimate(&self, tasks: &[Task], obs: &ObservationSet, n_users: usize) -> MleResult {
+        self.estimate_with_initial(tasks, obs, ExpertiseMatrix::new(n_users))
+    }
+
+    /// Runs the MLE starting from `initial` expertise — used by the dynamic
+    /// update (§4.2), which warm-starts from the time-`T` values.
+    ///
+    /// Tasks without observations are skipped; observations for tasks not
+    /// in `tasks` are ignored.
+    pub fn estimate_with_initial(
+        &self,
+        tasks: &[Task],
+        obs: &ObservationSet,
+        initial: ExpertiseMatrix,
+    ) -> MleResult {
+        let cfg = &self.config;
+        let n_users = initial.n_users();
+
+        // Materialize the batch: per task, its domain and observations.
+        struct TaskData {
+            id: TaskId,
+            domain: DomainId,
+            obs: Vec<(UserId, f64)>,
+        }
+        let batch: Vec<TaskData> = tasks
+            .iter()
+            .filter_map(|t| {
+                obs.for_task(t.id).map(|o| TaskData {
+                    id: t.id,
+                    domain: t.domain,
+                    obs: o,
+                })
+            })
+            .collect();
+
+        let mut expertise = initial;
+        let mut truths: BTreeMap<TaskId, TruthEstimate> = BTreeMap::new();
+        let mut prev_mu: BTreeMap<TaskId, f64> = BTreeMap::new();
+
+        let mut iterations = 0;
+        let mut converged = false;
+        while iterations < cfg.max_iterations.max(1) {
+            iterations += 1;
+
+            // (1) μ_j and σ_j given current expertise.
+            for t in &batch {
+                let mut wsum = 0.0;
+                let mut wxsum = 0.0;
+                for &(user, x) in &t.obs {
+                    let u = expertise.get(user, t.domain).max(cfg.expertise_floor);
+                    let w = u * u;
+                    wsum += w;
+                    wxsum += w * x;
+                }
+                let mu = wxsum / wsum;
+                let mut ss = 0.0;
+                for &(user, x) in &t.obs {
+                    let u = expertise.get(user, t.domain).max(cfg.expertise_floor);
+                    ss += u * u * (x - mu) * (x - mu);
+                }
+                let sigma = (ss / t.obs.len() as f64).sqrt().max(cfg.sigma_floor);
+                truths.insert(t.id, TruthEstimate { mu, sigma });
+            }
+
+            // (2) u_i^k given current truths: accumulate the N/D ratio.
+            let mut acc: BTreeMap<DomainId, Vec<(f64, f64)>> = BTreeMap::new();
+            for t in &batch {
+                let est = truths[&t.id];
+                // Weighted sums for the leave-one-out truth.
+                let (mut wsum, mut wxsum) = (0.0, 0.0);
+                if cfg.leave_one_out {
+                    for &(user, x) in &t.obs {
+                        let u = expertise.get(user, t.domain).max(cfg.expertise_floor);
+                        wsum += u * u;
+                        wxsum += u * u * x;
+                    }
+                }
+                let per_user = acc.entry(t.domain).or_insert_with(|| vec![(0.0, 0.0); n_users]);
+                for &(user, x) in &t.obs {
+                    let reference = if cfg.leave_one_out && t.obs.len() > 1 {
+                        let u = expertise.get(user, t.domain).max(cfg.expertise_floor);
+                        (wxsum - u * u * x) / (wsum - u * u)
+                    } else {
+                        est.mu
+                    };
+                    let e = (x - reference) / est.sigma;
+                    let slot = &mut per_user[user.0 as usize];
+                    slot.0 += 1.0;
+                    slot.1 += e * e;
+                }
+            }
+            for (&domain, per_user) in &acc {
+                for (i, &(n, d)) in per_user.iter().enumerate() {
+                    if n > 0.0 {
+                        let s = cfg.prior_strength;
+                        let u = ((n + s) / (d + s).max(1e-12))
+                            .sqrt()
+                            .clamp(cfg.expertise_floor, cfg.expertise_cap);
+                        expertise.set(UserId(i as u32), domain, u);
+                    }
+                }
+            }
+
+            // (3) Convergence: every truth estimate moved < threshold
+            // relative to its previous value.
+            if !prev_mu.is_empty() {
+                let all_small = truths.iter().all(|(id, est)| {
+                    let prev = prev_mu[id];
+                    relative_change(prev, est.mu) < cfg.convergence_threshold
+                });
+                if all_small {
+                    converged = true;
+                    break;
+                }
+            }
+            prev_mu = truths.iter().map(|(&id, est)| (id, est.mu)).collect();
+        }
+
+        MleResult {
+            truths,
+            expertise,
+            iterations,
+            converged,
+        }
+    }
+
+    /// Single-pass truth estimation with *fixed* expertise: just Eq. 5,
+    /// no expertise update. Used to bootstrap the dynamic update (§4.2,
+    /// "μ_j and σ_j are first estimated using Equations 5, in which the
+    /// user expertise is initialized to the original values at time T").
+    pub fn truths_given_expertise(
+        &self,
+        tasks: &[Task],
+        obs: &ObservationSet,
+        expertise: &ExpertiseMatrix,
+    ) -> BTreeMap<TaskId, TruthEstimate> {
+        let cfg = &self.config;
+        let mut truths = BTreeMap::new();
+        for t in tasks {
+            let Some(observations) = obs.for_task(t.id) else {
+                continue;
+            };
+            let mut wsum = 0.0;
+            let mut wxsum = 0.0;
+            for &(user, x) in &observations {
+                let u = expertise.get(user, t.domain).max(cfg.expertise_floor);
+                wsum += u * u;
+                wxsum += u * u * x;
+            }
+            let mu = wxsum / wsum;
+            let mut ss = 0.0;
+            for &(user, x) in &observations {
+                let u = expertise.get(user, t.domain).max(cfg.expertise_floor);
+                ss += u * u * (x - mu) * (x - mu);
+            }
+            let sigma = (ss / observations.len() as f64).sqrt().max(cfg.sigma_floor);
+            truths.insert(t.id, TruthEstimate { mu, sigma });
+        }
+        truths
+    }
+}
+
+/// Relative change `|new − old| / max(|old|, 1e-9)`.
+pub(crate) fn relative_change(old: f64, new: f64) -> f64 {
+    (new - old).abs() / old.abs().max(1e-9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    fn make_tasks(m: u32, domain: u32) -> Vec<Task> {
+        (0..m)
+            .map(|j| Task::new(TaskId(j), DomainId(domain), 1.0, 1.0))
+            .collect()
+    }
+
+    /// Synthetic world with known expertise; observations drawn from the
+    /// paper's model.
+    fn synth_world(
+        n_users: usize,
+        m_tasks: u32,
+        user_expertise: &[f64],
+        seed: u64,
+    ) -> (Vec<Task>, ObservationSet, Vec<f64>) {
+        assert_eq!(user_expertise.len(), n_users);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let tasks = make_tasks(m_tasks, 0);
+        let mut obs = ObservationSet::new();
+        let mut truths = Vec::new();
+        for t in &tasks {
+            let mu: f64 = rng.gen_range(0.0..20.0);
+            let sigma: f64 = rng.gen_range(0.5..2.0);
+            truths.push(mu);
+            for (i, &u) in user_expertise.iter().enumerate() {
+                let noise = eta2_stats::normal::standard_sample(&mut rng);
+                obs.insert(UserId(i as u32), t.id, mu + noise * sigma / u);
+            }
+        }
+        (tasks, obs, truths)
+    }
+
+    #[test]
+    fn recovers_truth_on_clean_data() {
+        // All users perfectly accurate: truth must equal the common value.
+        let tasks = make_tasks(3, 0);
+        let mut obs = ObservationSet::new();
+        for t in &tasks {
+            for i in 0..4 {
+                obs.insert(UserId(i), t.id, 7.5 + t.id.0 as f64);
+            }
+        }
+        let r = ExpertiseAwareMle::default().estimate(&tasks, &obs, 4);
+        for t in &tasks {
+            assert!((r.truths[&t.id].mu - (7.5 + t.id.0 as f64)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn expert_users_get_higher_expertise() {
+        let expertise = [2.5, 2.5, 0.4, 0.4];
+        let (tasks, obs, _) = synth_world(4, 40, &expertise, 1);
+        let r = ExpertiseAwareMle::default().estimate(&tasks, &obs, 4);
+        let d = DomainId(0);
+        let hi = (r.expertise.get(UserId(0), d) + r.expertise.get(UserId(1), d)) / 2.0;
+        let lo = (r.expertise.get(UserId(2), d) + r.expertise.get(UserId(3), d)) / 2.0;
+        assert!(hi > 1.5 * lo, "hi = {hi:.2}, lo = {lo:.2}");
+    }
+
+    #[test]
+    fn weighting_beats_plain_mean() {
+        let expertise = [3.0, 0.3, 0.3, 0.3, 0.3];
+        let (tasks, obs, truths) = synth_world(5, 60, &expertise, 2);
+        let r = ExpertiseAwareMle::default().estimate(&tasks, &obs, 5);
+        let mut err_mle = 0.0;
+        let mut err_mean = 0.0;
+        for (j, t) in tasks.iter().enumerate() {
+            let o = obs.for_task(t.id).unwrap();
+            let mean = o.iter().map(|&(_, x)| x).sum::<f64>() / o.len() as f64;
+            err_mle += (r.truths[&t.id].mu - truths[j]).abs();
+            err_mean += (mean - truths[j]).abs();
+        }
+        assert!(
+            err_mle < err_mean,
+            "MLE {err_mle:.3} not better than mean {err_mean:.3}"
+        );
+    }
+
+    #[test]
+    fn iteration_terminates_and_reports() {
+        let (tasks, obs, _) = synth_world(4, 10, &[1.0, 1.0, 1.0, 1.0], 3);
+        let r = ExpertiseAwareMle::default().estimate(&tasks, &obs, 4);
+        assert!(r.iterations <= MleConfig::default().max_iterations);
+        assert!(r.iterations >= 1);
+        assert!(r.converged);
+    }
+
+    #[test]
+    fn tasks_without_observations_are_skipped() {
+        let tasks = make_tasks(2, 0);
+        let mut obs = ObservationSet::new();
+        obs.insert(UserId(0), TaskId(0), 1.0);
+        obs.insert(UserId(1), TaskId(0), 1.2);
+        let r = ExpertiseAwareMle::default().estimate(&tasks, &obs, 2);
+        assert!(r.truths.contains_key(&TaskId(0)));
+        assert!(!r.truths.contains_key(&TaskId(1)));
+    }
+
+    #[test]
+    fn empty_batch_returns_empty_result() {
+        let r = ExpertiseAwareMle::default().estimate(&[], &ObservationSet::new(), 3);
+        assert!(r.truths.is_empty());
+        assert!(r.converged || r.iterations == MleConfig::default().max_iterations);
+    }
+
+    #[test]
+    fn single_observation_task_does_not_blow_up() {
+        let tasks = make_tasks(1, 0);
+        let mut obs = ObservationSet::new();
+        obs.insert(UserId(0), TaskId(0), 5.0);
+        let cfg = MleConfig::default();
+        let r = ExpertiseAwareMle::new(cfg).estimate(&tasks, &obs, 1);
+        let est = r.truths[&TaskId(0)];
+        assert_eq!(est.mu, 5.0);
+        assert!(est.sigma >= cfg.sigma_floor);
+        let u = r.expertise.get(UserId(0), DomainId(0));
+        assert!(u <= cfg.expertise_cap);
+    }
+
+    #[test]
+    fn expertise_is_per_domain() {
+        // User 0 accurate in domain 0, awful in domain 1.
+        let mut tasks = make_tasks(10, 0);
+        tasks.extend((10..20).map(|j| Task::new(TaskId(j), DomainId(1), 1.0, 1.0)));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mut obs = ObservationSet::new();
+        for t in &tasks {
+            let mu = 10.0;
+            let u0: f64 = if t.domain == DomainId(0) { 3.0 } else { 0.3 };
+            let n0 = eta2_stats::normal::standard_sample(&mut rng);
+            obs.insert(UserId(0), t.id, mu + n0 / u0);
+            for i in 1..4u32 {
+                let n = eta2_stats::normal::standard_sample(&mut rng);
+                obs.insert(UserId(i), t.id, mu + n);
+            }
+        }
+        let r = ExpertiseAwareMle::default().estimate(&tasks, &obs, 4);
+        let u_good = r.expertise.get(UserId(0), DomainId(0));
+        let u_bad = r.expertise.get(UserId(0), DomainId(1));
+        assert!(u_good > u_bad, "u_good = {u_good:.2}, u_bad = {u_bad:.2}");
+    }
+
+    #[test]
+    fn truths_given_expertise_is_weighted_mean() {
+        let tasks = make_tasks(1, 0);
+        let mut obs = ObservationSet::new();
+        obs.insert(UserId(0), TaskId(0), 0.0);
+        obs.insert(UserId(1), TaskId(0), 10.0);
+        let mut ex = ExpertiseMatrix::new(2);
+        ex.set(UserId(0), DomainId(0), 3.0);
+        ex.set(UserId(1), DomainId(0), 1.0);
+        let truths =
+            ExpertiseAwareMle::default().truths_given_expertise(&tasks, &obs, &ex);
+        // Weighted mean with weights 9:1 → 1.0.
+        assert!((truths[&TaskId(0)].mu - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_change_handles_zero_old() {
+        assert!(relative_change(0.0, 1.0) > 1.0);
+        assert_eq!(relative_change(2.0, 2.0), 0.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The MLE never diverges: finite truths, clamped expertise,
+        /// bounded iterations — on arbitrary observation patterns.
+        #[test]
+        fn never_diverges(seed in 0u64..500, n_users in 1usize..6, m in 1u32..12) {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let tasks = make_tasks(m, 0);
+            let mut obs = ObservationSet::new();
+            for t in &tasks {
+                for i in 0..n_users {
+                    if rng.gen_bool(0.7) {
+                        obs.insert(UserId(i as u32), t.id, rng.gen_range(-100.0..100.0));
+                    }
+                }
+            }
+            let cfg = MleConfig::default();
+            let r = ExpertiseAwareMle::new(cfg).estimate(&tasks, &obs, n_users);
+            for est in r.truths.values() {
+                prop_assert!(est.mu.is_finite());
+                prop_assert!(est.sigma >= cfg.sigma_floor);
+            }
+            for d in r.expertise.domains() {
+                for i in 0..n_users {
+                    let u = r.expertise.get(UserId(i as u32), d);
+                    prop_assert!((cfg.expertise_floor..=cfg.expertise_cap.max(1.0)).contains(&u));
+                }
+            }
+            prop_assert!(r.iterations <= cfg.max_iterations);
+        }
+
+        /// Truth estimates always lie within the observed range (they are
+        /// convex combinations of the observations).
+        #[test]
+        fn truth_within_observation_hull(seed in 0u64..200) {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let tasks = make_tasks(5, 0);
+            let mut obs = ObservationSet::new();
+            for t in &tasks {
+                for i in 0..4u32 {
+                    obs.insert(UserId(i), t.id, rng.gen_range(-50.0..50.0));
+                }
+            }
+            let r = ExpertiseAwareMle::default().estimate(&tasks, &obs, 4);
+            for t in &tasks {
+                let o = obs.for_task(t.id).unwrap();
+                let lo = o.iter().map(|&(_, x)| x).fold(f64::INFINITY, f64::min);
+                let hi = o.iter().map(|&(_, x)| x).fold(f64::NEG_INFINITY, f64::max);
+                let mu = r.truths[&t.id].mu;
+                prop_assert!(mu >= lo - 1e-9 && mu <= hi + 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! Truth analysis: the paper's expertise-aware MLE (§4), the dynamic
+//! expertise update (§4.2) and the comparison approaches (§6.3).
+
+pub mod baselines;
+pub mod dynamic;
+pub mod mle;
+
+pub use baselines::{
+    AverageLog, BaselineResult, Crh, HubsAuthorities, MeanBaseline, TruthFinder, TruthMethod,
+};
+pub use dynamic::{BatchOutcome, DynamicExpertise};
+pub use mle::{ExpertiseAwareMle, MleConfig, MleResult, TruthEstimate};

@@ -1,0 +1,207 @@
+//! Property-based tests across the core algorithms.
+
+use eta2_core::allocation::{
+    Allocation, MaxQualityAllocator, MinCostAllocator, MinCostConfig, RandomAllocator,
+    ReliabilityGreedyAllocator,
+};
+use eta2_core::model::{
+    DomainId, ExpertiseMatrix, ObservationSet, Task, TaskId, UserId, UserProfile,
+};
+use eta2_core::truth::baselines::{
+    AverageLog, HubsAuthorities, MeanBaseline, TruthFinder, TruthMethod,
+};
+use eta2_core::truth::mle::ExpertiseAwareMle;
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+
+fn arb_instance(
+    seed: u64,
+    m: u32,
+    n: usize,
+) -> (Vec<Task>, Vec<UserProfile>, ExpertiseMatrix, ObservationSet) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let tasks: Vec<Task> = (0..m)
+        .map(|j| {
+            Task::new(
+                TaskId(j),
+                DomainId(rng.gen_range(0..3)),
+                rng.gen_range(0.3..3.0),
+                rng.gen_range(0.5..2.0),
+            )
+        })
+        .collect();
+    let users: Vec<UserProfile> = (0..n)
+        .map(|i| UserProfile::new(UserId(i as u32), rng.gen_range(0.0..15.0)))
+        .collect();
+    let mut ex = ExpertiseMatrix::new(n);
+    for i in 0..n {
+        for d in 0..3 {
+            ex.set(UserId(i as u32), DomainId(d), rng.gen_range(0.05..3.0));
+        }
+    }
+    let mut obs = ObservationSet::new();
+    for t in &tasks {
+        for i in 0..n {
+            if rng.gen_bool(0.8) {
+                obs.insert(UserId(i as u32), t.id, rng.gen_range(-20.0..20.0));
+            }
+        }
+    }
+    (tasks, users, ex, obs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every allocator respects capacity and never duplicates a pair.
+    #[test]
+    fn all_allocators_respect_capacity(seed in 0u64..500, m in 1u32..15, n in 1usize..8) {
+        let (tasks, users, ex, _) = arb_instance(seed, m, n);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let reliability: Vec<f64> = (0..n).map(|_| rng.gen_range(0.1..3.0)).collect();
+
+        let allocations: Vec<Allocation> = vec![
+            MaxQualityAllocator::default().allocate(&tasks, &users, &ex),
+            ReliabilityGreedyAllocator::new().allocate(&tasks, &users, &reliability),
+            RandomAllocator::new().allocate(&tasks, &users, &mut rng),
+        ];
+        for alloc in allocations {
+            for u in &users {
+                prop_assert!(alloc.load(u.id, &tasks) <= u.capacity + 1e-9);
+            }
+            for (t, us) in alloc.iter() {
+                let mut v = us.to_vec();
+                v.sort();
+                v.dedup();
+                prop_assert_eq!(v.len(), alloc.users_for(t).len());
+            }
+        }
+    }
+
+    /// The min-cost allocator's observations mirror its allocation exactly,
+    /// its cost equals the assignment-weighted task costs, and capacity
+    /// holds.
+    #[test]
+    fn min_cost_bookkeeping(seed in 0u64..200, m in 1u32..8, n in 2usize..10) {
+        let (tasks, users, ex, _) = arb_instance(seed, m, n);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xdead);
+        let mut source = |_u: UserId, _t: &Task| rng.gen_range(-5.0..5.0f64);
+        let out = MinCostAllocator::new(MinCostConfig {
+            max_rounds: 10,
+            ..MinCostConfig::default()
+        })
+        .allocate(&tasks, &users, &ex, &mut source);
+
+        prop_assert_eq!(out.observations.len(), out.allocation.assignment_count());
+        let expected_cost: f64 = tasks
+            .iter()
+            .map(|t| t.cost * out.allocation.users_for(t.id).len() as f64)
+            .sum();
+        prop_assert!((out.total_cost - expected_cost).abs() < 1e-9);
+        for u in &users {
+            prop_assert!(out.allocation.load(u.id, &tasks) <= u.capacity + 1e-9);
+        }
+        prop_assert!(out.rounds <= 10);
+    }
+
+    /// Truth estimates of every method stay inside the observation hull.
+    #[test]
+    fn all_methods_stay_in_hull(seed in 0u64..200) {
+        let (tasks, _, _, obs) = arb_instance(seed, 6, 5);
+        let methods: Vec<Box<dyn TruthMethod>> = vec![
+            Box::new(MeanBaseline),
+            Box::new(HubsAuthorities::default()),
+            Box::new(AverageLog::default()),
+            Box::new(TruthFinder::default()),
+        ];
+        for m in methods {
+            let r = m.estimate(&obs, 5);
+            for (&id, &mu) in &r.truths {
+                let o = obs.for_task(id).unwrap();
+                let lo = o.iter().map(|&(_, x)| x).fold(f64::INFINITY, f64::min);
+                let hi = o.iter().map(|&(_, x)| x).fold(f64::NEG_INFINITY, f64::max);
+                prop_assert!(mu >= lo - 1e-9 && mu <= hi + 1e-9, "{}", m.name());
+            }
+        }
+        let mle = ExpertiseAwareMle::default().estimate(&tasks, &obs, 5);
+        for (&id, est) in &mle.truths {
+            let o = obs.for_task(id).unwrap();
+            let lo = o.iter().map(|&(_, x)| x).fold(f64::INFINITY, f64::min);
+            let hi = o.iter().map(|&(_, x)| x).fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(est.mu >= lo - 1e-9 && est.mu <= hi + 1e-9);
+        }
+    }
+
+    /// The max-quality objective is monotone in assignments: adding a user
+    /// never decreases it.
+    #[test]
+    fn objective_monotone_in_assignments(seed in 0u64..200) {
+        let (tasks, users, ex, _) = arb_instance(seed, 5, 5);
+        let a = MaxQualityAllocator::default();
+        let mut alloc = Allocation::new();
+        let mut prev = a.objective(&tasks, &ex, &alloc);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..10 {
+            let t = &tasks[rng.gen_range(0..tasks.len())];
+            let u = users[rng.gen_range(0..users.len())].id;
+            alloc.assign(u, t.id);
+            let now = a.objective(&tasks, &ex, &alloc);
+            prop_assert!(now >= prev - 1e-12);
+            prev = now;
+        }
+    }
+
+    /// Greedy max-quality weakly dominates any single-task random
+    /// allocation of the same capacity when durations are uniform (a
+    /// sanity lower bound — not the 1/2-approximation proof, but a cheap
+    /// falsifier for gross regressions).
+    #[test]
+    fn greedy_beats_random_on_uniform_durations(seed in 0u64..100) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let tasks: Vec<Task> = (0..8)
+            .map(|j| Task::new(TaskId(j), DomainId(j % 2), 1.0, 1.0))
+            .collect();
+        let users: Vec<UserProfile> = (0..5)
+            .map(|i| UserProfile::new(UserId(i), rng.gen_range(1.0..5.0f64).floor()))
+            .collect();
+        let mut ex = ExpertiseMatrix::new(5);
+        for i in 0..5u32 {
+            for d in 0..2 {
+                ex.set(UserId(i), DomainId(d), rng.gen_range(0.1..3.0));
+            }
+        }
+        let a = MaxQualityAllocator::default();
+        let greedy = a.objective(&tasks, &ex, &a.allocate(&tasks, &users, &ex));
+        // Greedy is a ½-approximation, so a single lucky random draw could
+        // in principle edge past it; the *average* random value cannot.
+        let random_avg: f64 = (0..5)
+            .map(|_| {
+                let alloc = RandomAllocator::new().allocate(&tasks, &users, &mut rng);
+                a.objective(&tasks, &ex, &alloc)
+            })
+            .sum::<f64>()
+            / 5.0;
+        prop_assert!(
+            greedy >= random_avg * 0.95 - 1e-9,
+            "greedy {greedy} well below random average {random_avg}"
+        );
+    }
+}
+
+#[test]
+fn observation_set_from_iterator_roundtrip() {
+    let obs: ObservationSet = (0..10u32)
+        .map(|k| eta2_core::model::Observation {
+            user: UserId(k % 3),
+            task: TaskId(k % 4),
+            value: k as f64,
+        })
+        .collect();
+    // Later duplicates replace earlier ones: (user,task) keys collide for
+    // k and k+12, but k only goes to 9, so count distinct pairs.
+    let distinct: std::collections::HashSet<(u32, u32)> =
+        (0..10u32).map(|k| (k % 3, k % 4)).collect();
+    assert_eq!(obs.len(), distinct.len());
+    let back: ObservationSet = obs.iter().collect();
+    assert_eq!(obs, back);
+}

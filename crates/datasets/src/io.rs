@@ -1,0 +1,112 @@
+//! JSON persistence for datasets and experiment artifacts.
+//!
+//! Generated datasets are cheap to re-create, but persisting them lets
+//! experiment runs be audited and diffed (EXPERIMENTS.md references the
+//! exact inputs). Plain `serde_json` over [`crate::Dataset`].
+
+use crate::types::Dataset;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+
+/// Error returned by dataset I/O.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// (De)serialization error.
+    Json(serde_json::Error),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "dataset file i/o failed: {e}"),
+            IoError::Json(e) => write!(f, "dataset (de)serialization failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Io(e) => Some(e),
+            IoError::Json(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for IoError {
+    fn from(e: serde_json::Error) -> Self {
+        IoError::Json(e)
+    }
+}
+
+/// Saves `dataset` as pretty-printed JSON at `path`.
+///
+/// # Errors
+///
+/// Returns [`IoError`] on filesystem or serialization failure.
+pub fn save_dataset<P: AsRef<Path>>(dataset: &Dataset, path: P) -> Result<(), IoError> {
+    let file = File::create(path)?;
+    serde_json::to_writer_pretty(BufWriter::new(file), dataset)?;
+    Ok(())
+}
+
+/// Loads a dataset from JSON at `path`.
+///
+/// # Errors
+///
+/// Returns [`IoError`] on filesystem or deserialization failure.
+pub fn load_dataset<P: AsRef<Path>>(path: P) -> Result<Dataset, IoError> {
+    let file = File::open(path)?;
+    Ok(serde_json::from_reader(BufReader::new(file))?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::SyntheticConfig;
+
+    #[test]
+    fn save_load_roundtrip() {
+        let ds = SyntheticConfig {
+            n_users: 4,
+            n_tasks: 6,
+            n_domains: 2,
+            ..SyntheticConfig::default()
+        }
+        .generate(0);
+        let dir = std::env::temp_dir().join("eta2_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ds.json");
+        save_dataset(&ds, &path).unwrap();
+        let back = load_dataset(&path).unwrap();
+        assert_eq!(ds, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        let err = load_dataset("/nonexistent/definitely/missing.json").unwrap_err();
+        assert!(matches!(err, IoError::Io(_)));
+        assert!(err.to_string().contains("i/o"));
+    }
+
+    #[test]
+    fn load_garbage_errors() {
+        let dir = std::env::temp_dir().join("eta2_io_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.json");
+        std::fs::write(&path, b"not json at all").unwrap();
+        let err = load_dataset(&path).unwrap_err();
+        assert!(matches!(err, IoError::Json(_)));
+        std::fs::remove_file(&path).ok();
+    }
+}

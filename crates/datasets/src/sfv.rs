@@ -1,0 +1,283 @@
+//! The SFV-like dataset (paper §6.1.2).
+//!
+//! The original data — 18 slot-filling systems answering ~2 000 numeric
+//! questions about 100 entities from the TAC-KBP 2013 Slot-Filling
+//! Validation track — is LDC-licensed. This generator reproduces the shape
+//! the evaluation depends on: *few* users (the 18 systems), *many* tasks,
+//! and expertise varying by slot family (a system good at biographical
+//! slots may be poor at financial ones). Slot families play the role of
+//! expertise domains; each question's description names the slot and a
+//! family context word, so the pair-word pipeline can cluster questions by
+//! family even though entity names are out-of-vocabulary.
+
+use crate::types::{Dataset, NoiseModel, TaskSpec, UserSpec};
+use eta2_core::model::{DomainId, TaskId, UserId};
+use eta2_embed::corpus::Topic;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Slot families of the SFV-like dataset; these drive both the question
+/// templates and the embedding corpus for the SFV pipeline.
+pub const SFV_TOPICS: &[Topic] = &[
+    Topic {
+        name: "biographical",
+        words: &[
+            "age", "birthday", "height", "weight", "children", "person", "born", "years",
+            "old", "famous", "actor", "politician", "spouse", "siblings", "biography",
+            "birthplace", "celebrity", "life", "married", "deceased",
+        ],
+    },
+    Topic {
+        name: "organizational",
+        words: &[
+            "employees", "subsidiaries", "members", "branches", "organization", "company",
+            "staff", "offices", "divisions", "departments", "workforce", "headquarters",
+            "corporation", "firm", "agency", "executives", "board", "shareholders", "ceo",
+            "managers",
+        ],
+    },
+    Topic {
+        name: "financial",
+        words: &[
+            "revenue", "profit", "assets", "shares", "earnings", "billion", "million",
+            "stock", "market", "valuation", "capital", "dividend", "quarterly", "fiscal",
+            "income", "turnover", "funding", "investment", "sales", "losses",
+        ],
+    },
+    Topic {
+        name: "geographic",
+        words: &[
+            "population", "area", "distance", "elevation", "city", "country", "region",
+            "territory", "square", "kilometers", "residents", "inhabitants", "density",
+            "border", "coast", "river", "mountain", "latitude", "longitude", "island",
+        ],
+    },
+    Topic {
+        name: "temporal",
+        words: &[
+            "founded", "established", "duration", "tenure", "year", "date", "century",
+            "decade", "anniversary", "started", "ended", "period", "era", "history",
+            "timeline", "since", "until", "lasted", "reign", "term",
+        ],
+    },
+];
+
+/// Per-family slot phrases (4 slots each → 20 slot types per entity).
+const SLOTS: [[&str; 4]; 5] = [
+    ["age", "height", "weight", "children"],
+    ["employees", "subsidiaries", "members", "branches"],
+    ["revenue", "profit", "assets", "shares"],
+    ["population", "area", "distance", "elevation"],
+    ["founded", "established", "duration", "tenure"],
+];
+
+/// Per-family ground-truth ranges (magnitudes differ wildly, as in KBP).
+const TRUTH_RANGES: [(f64, f64); 5] = [
+    (1.0, 100.0),        // biographical
+    (10.0, 50_000.0),    // organizational
+    (1.0, 900.0),        // financial (millions)
+    (100.0, 1_000_000.0), // geographic
+    (1800.0, 2013.0),    // temporal
+];
+
+/// Configuration of the SFV generator; defaults mirror §6.1.2/§6.2.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SfvConfig {
+    /// Number of slot-filling systems acting as users (paper: 18).
+    pub n_systems: usize,
+    /// Number of entities (paper: 100).
+    pub n_entities: usize,
+    /// Slots generated per entity (4 per family × 5 families = 20 →
+    /// ~2 000 tasks, matching the paper).
+    pub slots_per_entity: usize,
+    /// Per-family expertise range of each system.
+    pub expertise_range: (f64, f64),
+    /// Processing-time range in hours (§6.2: `[1, 2]`).
+    pub time_range: (f64, f64),
+    /// Average capability `τ` (§6.2: 12).
+    pub tau: f64,
+    /// Capability spread (§6.2: 4).
+    pub capacity_spread: f64,
+    /// Per-assignment recruiting cost.
+    pub cost: f64,
+    /// Fraction of answers drawn from the matched-moments uniform.
+    pub contamination: f64,
+}
+
+impl Default for SfvConfig {
+    fn default() -> Self {
+        SfvConfig {
+            n_systems: 18,
+            n_entities: 100,
+            slots_per_entity: 20,
+            expertise_range: (0.3, 3.0),
+            time_range: (1.0, 2.0),
+            tau: 12.0,
+            capacity_spread: 4.0,
+            cost: 1.0,
+            contamination: 0.08,
+        }
+    }
+}
+
+impl SfvConfig {
+    /// Generates the dataset deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if counts are zero, `slots_per_entity > 20`, or ranges are
+    /// inverted.
+    pub fn generate(&self, seed: u64) -> Dataset {
+        assert!(self.n_systems > 0 && self.n_entities > 0 && self.slots_per_entity > 0);
+        assert!(
+            self.slots_per_entity <= 20,
+            "at most 20 slot types are defined"
+        );
+        assert!(self.expertise_range.0 > 0.0 && self.expertise_range.0 < self.expertise_range.1);
+        assert!(self.time_range.0 > 0.0 && self.time_range.0 < self.time_range.1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n_families = SFV_TOPICS.len();
+
+        let users: Vec<UserSpec> = (0..self.n_systems)
+            .map(|i| UserSpec {
+                id: UserId(i as u32),
+                expertise: (0..n_families)
+                    .map(|_| rng.gen_range(self.expertise_range.0..self.expertise_range.1))
+                    .collect(),
+                capacity: (self.tau
+                    + rng.gen_range(-self.capacity_spread..=self.capacity_spread))
+                .max(0.0),
+            })
+            .collect();
+
+        let mut tasks = Vec::with_capacity(self.n_entities * self.slots_per_entity);
+        let mut next_id = 0u32;
+        for entity in 0..self.n_entities {
+            for slot_idx in 0..self.slots_per_entity {
+                let family = slot_idx % n_families;
+                let slot = SLOTS[family][slot_idx / n_families % 4];
+                let context =
+                    SFV_TOPICS[family].words[rng.gen_range(0..SFV_TOPICS[family].words.len())];
+                let (lo, hi) = TRUTH_RANGES[family];
+                let sigma = (hi - lo) * rng.gen_range(0.01..0.08);
+                tasks.push(TaskSpec {
+                    id: TaskId(next_id),
+                    description: Some(format!(
+                        "What is the {slot} of the {context} entity{entity}?"
+                    )),
+                    oracle_domain: DomainId(family as u32),
+                    ground_truth: rng.gen_range(lo..hi),
+                    base_sigma: sigma,
+                    processing_time: rng.gen_range(self.time_range.0..self.time_range.1),
+                    cost: self.cost,
+                });
+                next_id += 1;
+            }
+        }
+
+        Dataset {
+            name: "sfv".into(),
+            users,
+            tasks,
+            n_domains: n_families,
+            noise: NoiseModel {
+                uniform_bias_fraction: self.contamination,
+            },
+            domains_known: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eta2_embed::PairWordExtractor;
+    use std::collections::HashSet;
+
+    #[test]
+    fn matches_paper_shape() {
+        let ds = SfvConfig::default().generate(0);
+        assert_eq!(ds.users.len(), 18);
+        assert_eq!(ds.tasks.len(), 2000);
+        assert_eq!(ds.n_domains, 5);
+        assert!(!ds.domains_known);
+    }
+
+    #[test]
+    fn slot_topics_are_disjoint() {
+        let mut seen: HashSet<&str> = HashSet::new();
+        for t in SFV_TOPICS {
+            for w in t.words {
+                assert!(seen.insert(w), "word {w:?} in two families");
+            }
+        }
+    }
+
+    #[test]
+    fn slots_belong_to_their_family_vocabulary() {
+        for (family, slots) in SLOTS.iter().enumerate() {
+            for slot in slots {
+                assert!(
+                    SFV_TOPICS[family].words.contains(slot),
+                    "slot {slot} missing from family {family}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn descriptions_extract_with_entity_target() {
+        let ds = SfvConfig::default().generate(1);
+        let ex = PairWordExtractor::new();
+        for t in ds.tasks.iter().take(50) {
+            let s = ex.extract(t.description.as_ref().unwrap());
+            assert!(!s.query.is_empty(), "{:?}", t.description);
+            assert!(!s.target.is_empty(), "{:?}", t.description);
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(SfvConfig::default().generate(9), SfvConfig::default().generate(9));
+    }
+
+    #[test]
+    fn all_families_used_and_balanced() {
+        let ds = SfvConfig::default().generate(2);
+        let mut counts = [0usize; 5];
+        for t in &ds.tasks {
+            counts[t.oracle_domain.0 as usize] += 1;
+        }
+        for &c in &counts {
+            assert_eq!(c, 400);
+        }
+    }
+
+    #[test]
+    fn magnitudes_differ_across_families() {
+        let ds = SfvConfig::default().generate(3);
+        let geo_max = ds
+            .tasks
+            .iter()
+            .filter(|t| t.oracle_domain == DomainId(3))
+            .map(|t| t.ground_truth)
+            .fold(f64::MIN, f64::max);
+        let bio_max = ds
+            .tasks
+            .iter()
+            .filter(|t| t.oracle_domain == DomainId(0))
+            .map(|t| t.ground_truth)
+            .fold(f64::MIN, f64::max);
+        assert!(geo_max > 100.0 * bio_max);
+    }
+
+    #[test]
+    fn invalid_config_panics() {
+        let cfg = SfvConfig {
+            slots_per_entity: 25,
+            ..SfvConfig::default()
+        };
+        assert!(std::panic::catch_unwind(move || cfg.generate(0)).is_err());
+    }
+}

@@ -1,0 +1,187 @@
+//! The synthetic dataset, exactly as specified in the paper's §6.1.3.
+//!
+//! 100 users, 8 expertise domains, per-domain expertise `u ~ U[0, 3]`
+//! (floored just above 0 — see [`SyntheticConfig::expertise_floor`]),
+//! 1 000 tasks with `μ_j ~ U[0, 20]` and base number `σ_j ~ U[0.5, 5]`;
+//! each task is *explicitly* assigned to a domain known to the server, so no
+//! clustering is involved. Processing times are `U[0.5, 1.5]` hours (§6.2)
+//! and the recruiting cost is one unit per assignment (§6.4.3).
+
+use crate::types::{Dataset, NoiseModel, TaskSpec, UserSpec};
+use eta2_core::model::{DomainId, TaskId, UserId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the synthetic generator; defaults mirror §6.1.3/§6.2.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticConfig {
+    /// Number of users (paper: 100).
+    pub n_users: usize,
+    /// Number of expertise domains (paper: 8).
+    pub n_domains: usize,
+    /// Number of tasks (paper: 1000).
+    pub n_tasks: usize,
+    /// Expertise upper bound (paper: `U[0, 3]`).
+    pub expertise_max: f64,
+    /// Lower floor applied to the drawn expertise: the paper draws from
+    /// `[0, 3]` but `u = 0` means infinite observation variance, which the
+    /// model cannot represent.
+    pub expertise_floor: f64,
+    /// Ground-truth range (paper: `[0, 20]`).
+    pub truth_range: (f64, f64),
+    /// Base-number range (paper: `[0.5, 5]`).
+    pub sigma_range: (f64, f64),
+    /// Processing-time range in hours (§6.2: `[0.5, 1.5]`).
+    pub time_range: (f64, f64),
+    /// Average capability `τ` (§6.2: 12) — capacities drawn from
+    /// `[τ − spread, τ + spread]`.
+    pub tau: f64,
+    /// Capability spread (§6.2: 4).
+    pub capacity_spread: f64,
+    /// Per-assignment recruiting cost (§6.4.3: 1).
+    pub cost: f64,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        SyntheticConfig {
+            n_users: 100,
+            n_domains: 8,
+            n_tasks: 1000,
+            expertise_max: 3.0,
+            expertise_floor: 0.05,
+            truth_range: (0.0, 20.0),
+            sigma_range: (0.5, 5.0),
+            time_range: (0.5, 1.5),
+            tau: 12.0,
+            capacity_spread: 4.0,
+            cost: 1.0,
+        }
+    }
+}
+
+impl SyntheticConfig {
+    /// Generates the dataset deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any count is zero or a range is inverted.
+    pub fn generate(&self, seed: u64) -> Dataset {
+        assert!(self.n_users > 0 && self.n_domains > 0 && self.n_tasks > 0);
+        assert!(self.truth_range.0 < self.truth_range.1);
+        assert!(self.sigma_range.0 < self.sigma_range.1 && self.sigma_range.0 > 0.0);
+        assert!(self.time_range.0 < self.time_range.1 && self.time_range.0 > 0.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        let users: Vec<UserSpec> = (0..self.n_users)
+            .map(|i| UserSpec {
+                id: UserId(i as u32),
+                expertise: (0..self.n_domains)
+                    .map(|_| {
+                        rng.gen_range(0.0..self.expertise_max)
+                            .max(self.expertise_floor)
+                    })
+                    .collect(),
+                capacity: (self.tau
+                    + rng.gen_range(-self.capacity_spread..=self.capacity_spread))
+                .max(0.0),
+            })
+            .collect();
+
+        let tasks: Vec<TaskSpec> = (0..self.n_tasks)
+            .map(|j| TaskSpec {
+                id: TaskId(j as u32),
+                description: None,
+                oracle_domain: DomainId(rng.gen_range(0..self.n_domains) as u32),
+                ground_truth: rng.gen_range(self.truth_range.0..self.truth_range.1),
+                base_sigma: rng.gen_range(self.sigma_range.0..self.sigma_range.1),
+                processing_time: rng.gen_range(self.time_range.0..self.time_range.1),
+                cost: self.cost,
+            })
+            .collect();
+
+        Dataset {
+            name: "synthetic".into(),
+            users,
+            tasks,
+            n_domains: self.n_domains,
+            noise: NoiseModel::default(),
+            domains_known: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn matches_paper_defaults() {
+        let ds = SyntheticConfig::default().generate(0);
+        assert_eq!(ds.users.len(), 100);
+        assert_eq!(ds.tasks.len(), 1000);
+        assert_eq!(ds.n_domains, 8);
+        assert!(ds.domains_known);
+        for u in &ds.users {
+            assert_eq!(u.expertise.len(), 8);
+            for &e in &u.expertise {
+                assert!((0.05..=3.0).contains(&e));
+            }
+            assert!((8.0..=16.0).contains(&u.capacity));
+        }
+        for t in &ds.tasks {
+            assert!((0.0..20.0).contains(&t.ground_truth));
+            assert!((0.5..5.0).contains(&t.base_sigma));
+            assert!((0.5..1.5).contains(&t.processing_time));
+            assert_eq!(t.cost, 1.0);
+            assert!(t.description.is_none());
+            assert!((t.oracle_domain.0 as usize) < 8);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = SyntheticConfig::default().generate(42);
+        let b = SyntheticConfig::default().generate(42);
+        assert_eq!(a, b);
+        let c = SyntheticConfig::default().generate(43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn every_domain_used() {
+        let ds = SyntheticConfig::default().generate(1);
+        let used: HashSet<u32> = ds.tasks.iter().map(|t| t.oracle_domain.0).collect();
+        assert_eq!(used.len(), 8);
+    }
+
+    #[test]
+    fn custom_config_respected() {
+        let cfg = SyntheticConfig {
+            n_users: 5,
+            n_domains: 2,
+            n_tasks: 10,
+            ..SyntheticConfig::default()
+        };
+        let ds = cfg.generate(0);
+        assert_eq!(ds.users.len(), 5);
+        assert_eq!(ds.tasks.len(), 10);
+        assert_eq!(ds.n_domains, 2);
+    }
+
+    #[test]
+    fn invalid_config_panics() {
+        let cfg = SyntheticConfig {
+            n_tasks: 0,
+            ..SyntheticConfig::default()
+        };
+        assert!(std::panic::catch_unwind(move || cfg.generate(0)).is_err());
+        let cfg = SyntheticConfig {
+            sigma_range: (5.0, 0.5),
+            ..SyntheticConfig::default()
+        };
+        assert!(std::panic::catch_unwind(move || cfg.generate(0)).is_err());
+    }
+}

@@ -1,0 +1,326 @@
+//! Common dataset types: specs with hidden ground truth, and the
+//! observation model.
+
+use eta2_core::model::{DomainId, Task, TaskId, UserId, UserProfile};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A task with its *hidden* evaluation data: the oracle domain, the ground
+/// truth `μ_j` and the base number `σ_j` the observation model uses.
+///
+/// The algorithms under test never see `ground_truth`, `base_sigma` or
+/// (except for the synthetic dataset, §6.1.3) `oracle_domain`; the
+/// evaluation harness uses them for error measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskSpec {
+    /// Task identifier.
+    pub id: TaskId,
+    /// Natural-language description (None for the synthetic dataset, whose
+    /// domains are pre-known and need no clustering).
+    pub description: Option<String>,
+    /// The true expertise domain.
+    pub oracle_domain: DomainId,
+    /// The true value `μ_j`.
+    pub ground_truth: f64,
+    /// The base number `σ_j` scaling observation noise.
+    pub base_sigma: f64,
+    /// Processing time `t_j` (hours).
+    pub processing_time: f64,
+    /// Recruiting cost `c_j`.
+    pub cost: f64,
+}
+
+impl TaskSpec {
+    /// The allocator-facing [`Task`] with the given (estimated or oracle)
+    /// domain.
+    pub fn to_task(&self, domain: DomainId) -> Task {
+        Task::new(self.id, domain, self.processing_time, self.cost)
+    }
+
+    /// The allocator-facing [`Task`] using the oracle domain.
+    pub fn to_oracle_task(&self) -> Task {
+        self.to_task(self.oracle_domain)
+    }
+}
+
+/// A user with hidden true expertise per oracle domain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UserSpec {
+    /// User identifier.
+    pub id: UserId,
+    /// True expertise `u_i^k` indexed by oracle domain id.
+    pub expertise: Vec<f64>,
+    /// Processing capability `T_i` (hours per time step).
+    pub capacity: f64,
+}
+
+impl UserSpec {
+    /// The allocator-facing profile.
+    pub fn to_profile(&self) -> UserProfile {
+        UserProfile::new(self.id, self.capacity)
+    }
+}
+
+/// How observation noise is drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseModel {
+    /// Fraction of observations drawn from a *uniform* distribution with
+    /// the same mean and standard deviation instead of the normal — the
+    /// paper's Fig. 8 robustness knob. `0.0` is the pure model.
+    pub uniform_bias_fraction: f64,
+}
+
+impl Default for NoiseModel {
+    fn default() -> Self {
+        NoiseModel {
+            uniform_bias_fraction: 0.0,
+        }
+    }
+}
+
+/// A complete generated dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Human-readable dataset name ("survey", "sfv", "synthetic").
+    pub name: String,
+    /// Users with hidden expertise.
+    pub users: Vec<UserSpec>,
+    /// Tasks with hidden truth.
+    pub tasks: Vec<TaskSpec>,
+    /// Number of oracle domains.
+    pub n_domains: usize,
+    /// The noise model for [`Dataset::observe`].
+    pub noise: NoiseModel,
+    /// Whether the oracle domains are visible to the system under test
+    /// (true only for the synthetic dataset, §6.1.3).
+    pub domains_known: bool,
+}
+
+impl Dataset {
+    /// Draws the observation of `user` for `task` from the paper's model
+    /// `N(μ_j, (σ_j/u_ij)²)`, with the configured uniform contamination.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `user` is out of range.
+    pub fn observe<R: Rng + ?Sized>(&self, user: UserId, task: &TaskSpec, rng: &mut R) -> f64 {
+        let spec = &self.users[user.0 as usize];
+        assert_eq!(spec.id, user, "user ids must be dense and ordered");
+        let u = spec.expertise[task.oracle_domain.0 as usize].max(1e-3);
+        let std = task.base_sigma / u;
+        if self.noise.uniform_bias_fraction > 0.0
+            && rng.gen::<f64>() < self.noise.uniform_bias_fraction
+        {
+            // Uniform with the same mean and std: half-width √3·std.
+            let half = 3f64.sqrt() * std;
+            rng.gen_range(task.ground_truth - half..task.ground_truth + half)
+        } else {
+            task.ground_truth + eta2_stats::normal::standard_sample(rng) * std
+        }
+    }
+
+    /// The true expertise of `user` in `domain` (evaluation only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `user` or `domain` is out of range.
+    pub fn true_expertise(&self, user: UserId, domain: DomainId) -> f64 {
+        self.users[user.0 as usize].expertise[domain.0 as usize]
+    }
+
+    /// Allocator-facing profiles for all users.
+    pub fn profiles(&self) -> Vec<UserProfile> {
+        self.users.iter().map(UserSpec::to_profile).collect()
+    }
+
+    /// Re-draws every user's capacity uniformly from
+    /// `[tau − spread, tau + spread]`, floored at 0 — the paper's §6.2
+    /// capability model, re-rolled per experiment point.
+    pub fn regenerate_capacities<R: Rng + ?Sized>(
+        &mut self,
+        tau: f64,
+        spread: f64,
+        rng: &mut R,
+    ) {
+        assert!(spread >= 0.0, "spread must be non-negative");
+        for u in &mut self.users {
+            u.capacity = (tau + rng.gen_range(-spread..=spread)).max(0.0);
+        }
+    }
+
+    /// Sets the uniform-contamination fraction (Fig. 8).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ fraction ≤ 1`.
+    pub fn set_uniform_bias(&mut self, fraction: f64) {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "fraction must be in [0, 1], got {fraction}"
+        );
+        self.noise.uniform_bias_fraction = fraction;
+    }
+
+    /// Splits the task list into `days` arrival batches of near-equal size
+    /// (§6.2: tasks evenly distributed over five days). Returns indices
+    /// into `self.tasks`.
+    pub fn arrival_schedule(&self, days: usize) -> Vec<Vec<usize>> {
+        assert!(days > 0, "need at least one day");
+        let mut schedule = vec![Vec::new(); days];
+        for (idx, _) in self.tasks.iter().enumerate() {
+            schedule[idx * days / self.tasks.len().max(1)].push(idx);
+        }
+        schedule
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn tiny_dataset() -> Dataset {
+        Dataset {
+            name: "tiny".into(),
+            users: vec![
+                UserSpec {
+                    id: UserId(0),
+                    expertise: vec![2.0, 0.5],
+                    capacity: 10.0,
+                },
+                UserSpec {
+                    id: UserId(1),
+                    expertise: vec![1.0, 1.0],
+                    capacity: 8.0,
+                },
+            ],
+            tasks: vec![
+                TaskSpec {
+                    id: TaskId(0),
+                    description: Some("What is the noise level near the building?".into()),
+                    oracle_domain: DomainId(0),
+                    ground_truth: 10.0,
+                    base_sigma: 1.0,
+                    processing_time: 1.0,
+                    cost: 1.0,
+                },
+                TaskSpec {
+                    id: TaskId(1),
+                    description: None,
+                    oracle_domain: DomainId(1),
+                    ground_truth: -4.0,
+                    base_sigma: 2.0,
+                    processing_time: 2.0,
+                    cost: 1.0,
+                },
+            ],
+            n_domains: 2,
+            noise: NoiseModel::default(),
+            domains_known: false,
+        }
+    }
+
+    #[test]
+    fn observe_concentrates_for_experts() {
+        let ds = tiny_dataset();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let n = 4000;
+        let spread = |user: UserId, task: &TaskSpec, rng: &mut rand::rngs::StdRng| -> f64 {
+            let mut ss = 0.0;
+            for _ in 0..n {
+                let x = ds.observe(user, task, rng);
+                ss += (x - task.ground_truth).powi(2);
+            }
+            (ss / n as f64).sqrt()
+        };
+        // User 0 has expertise 2.0 in domain 0 → std 0.5; user 1 → std 1.0.
+        let s0 = spread(UserId(0), &ds.tasks[0], &mut rng);
+        let s1 = spread(UserId(1), &ds.tasks[0], &mut rng);
+        assert!((s0 - 0.5).abs() < 0.05, "s0 = {s0}");
+        assert!((s1 - 1.0).abs() < 0.05, "s1 = {s1}");
+    }
+
+    #[test]
+    fn uniform_bias_keeps_mean_and_std() {
+        let mut ds = tiny_dataset();
+        ds.set_uniform_bias(1.0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let task = &ds.tasks[0];
+        let n = 30_000;
+        let (mut sum, mut ss, mut min, mut max) = (0.0, 0.0, f64::MAX, f64::MIN);
+        for _ in 0..n {
+            let x = ds.observe(UserId(1), task, &mut rng);
+            sum += x;
+            ss += (x - task.ground_truth).powi(2);
+            min = min.min(x);
+            max = max.max(x);
+        }
+        let mean = sum / n as f64;
+        let std = (ss / n as f64).sqrt();
+        assert!((mean - 10.0).abs() < 0.03, "mean = {mean}");
+        assert!((std - 1.0).abs() < 0.03, "std = {std}");
+        // Uniform support is bounded by √3·std.
+        assert!(min >= 10.0 - 3f64.sqrt() - 1e-9);
+        assert!(max <= 10.0 + 3f64.sqrt() + 1e-9);
+    }
+
+    #[test]
+    fn set_uniform_bias_validates() {
+        let mut ds = tiny_dataset();
+        assert!(std::panic::catch_unwind(move || ds.set_uniform_bias(1.5)).is_err());
+    }
+
+    #[test]
+    fn task_and_user_conversions() {
+        let ds = tiny_dataset();
+        let t = ds.tasks[1].to_oracle_task();
+        assert_eq!(t.domain, DomainId(1));
+        assert_eq!(t.processing_time, 2.0);
+        let t2 = ds.tasks[1].to_task(DomainId(5));
+        assert_eq!(t2.domain, DomainId(5));
+        let profiles = ds.profiles();
+        assert_eq!(profiles[1].capacity, 8.0);
+    }
+
+    #[test]
+    fn regenerate_capacities_within_band() {
+        let mut ds = tiny_dataset();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        ds.regenerate_capacities(12.0, 4.0, &mut rng);
+        for u in &ds.users {
+            assert!((8.0..=16.0).contains(&u.capacity), "{}", u.capacity);
+        }
+        // tau smaller than spread floors at zero.
+        ds.regenerate_capacities(1.0, 4.0, &mut rng);
+        for u in &ds.users {
+            assert!(u.capacity >= 0.0);
+        }
+    }
+
+    #[test]
+    fn arrival_schedule_partitions_tasks() {
+        let ds = tiny_dataset();
+        let schedule = ds.arrival_schedule(5);
+        assert_eq!(schedule.len(), 5);
+        let total: usize = schedule.iter().map(Vec::len).sum();
+        assert_eq!(total, ds.tasks.len());
+        // Balanced to within one task.
+        let sizes: Vec<usize> = schedule.iter().map(Vec::len).collect();
+        let (lo, hi) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        assert!(hi - lo <= 1);
+    }
+
+    #[test]
+    fn true_expertise_lookup() {
+        let ds = tiny_dataset();
+        assert_eq!(ds.true_expertise(UserId(0), DomainId(1)), 0.5);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let ds = tiny_dataset();
+        let json = serde_json::to_string(&ds).unwrap();
+        let back: Dataset = serde_json::from_str(&json).unwrap();
+        assert_eq!(ds, back);
+    }
+}

@@ -1,0 +1,250 @@
+//! Trained word embeddings with additive phrase composition.
+
+use crate::error::EmbedError;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A set of word vectors produced by [`crate::skipgram::SkipGramTrainer`].
+///
+/// Multi-word phrases are embedded with the element-wise additive model the
+/// paper adopts from Mikolov et al. (`V = x₁ + x₂ + … + x_l`, §3.2).
+///
+/// # Examples
+///
+/// ```
+/// use eta2_embed::Embedding;
+///
+/// let emb = Embedding::from_vectors(
+///     vec![("noise".into(), vec![1.0, 0.0]), ("level".into(), vec![0.0, 1.0])],
+/// )?;
+/// let phrase = emb.phrase_vector(&["noise".into(), "level".into()]).unwrap();
+/// assert_eq!(phrase, vec![1.0, 1.0]);
+/// # Ok::<(), eta2_embed::EmbedError>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Embedding {
+    dim: usize,
+    words: Vec<String>,
+    index: HashMap<String, usize>,
+    // Row-major `words.len() × dim`.
+    vectors: Vec<f32>,
+}
+
+impl Embedding {
+    /// Builds an embedding from explicit `(word, vector)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// * [`EmbedError::EmptyVocabulary`] for an empty input.
+    /// * [`EmbedError::DimensionMismatch`] if vectors differ in length.
+    pub fn from_vectors(pairs: Vec<(String, Vec<f32>)>) -> Result<Self, EmbedError> {
+        let dim = match pairs.first() {
+            None => return Err(EmbedError::EmptyVocabulary),
+            Some((_, v)) => v.len(),
+        };
+        let mut words = Vec::with_capacity(pairs.len());
+        let mut vectors = Vec::with_capacity(pairs.len() * dim);
+        let mut index = HashMap::with_capacity(pairs.len());
+        for (word, vec) in pairs {
+            if vec.len() != dim {
+                return Err(EmbedError::DimensionMismatch {
+                    left: dim,
+                    right: vec.len(),
+                });
+            }
+            index.insert(word.clone(), words.len());
+            words.push(word);
+            vectors.extend_from_slice(&vec);
+        }
+        Ok(Embedding {
+            dim,
+            words,
+            index,
+            vectors,
+        })
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the embedding holds no words (never true once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// All words, in id order.
+    pub fn words(&self) -> &[String] {
+        &self.words
+    }
+
+    /// The vector of `word`, if in vocabulary.
+    pub fn vector(&self, word: &str) -> Option<&[f32]> {
+        self.index
+            .get(word)
+            .map(|&i| &self.vectors[i * self.dim..(i + 1) * self.dim])
+    }
+
+    /// Additive phrase vector: the element-wise sum of the known words'
+    /// vectors. Returns `None` if *no* word of the phrase is in vocabulary.
+    pub fn phrase_vector(&self, words: &[String]) -> Option<Vec<f32>> {
+        let mut sum = vec![0.0f32; self.dim];
+        let mut any = false;
+        for w in words {
+            if let Some(v) = self.vector(w) {
+                for (s, x) in sum.iter_mut().zip(v) {
+                    *s += x;
+                }
+                any = true;
+            }
+        }
+        any.then_some(sum)
+    }
+
+    /// Cosine similarity between two in-vocabulary words.
+    pub fn cosine(&self, a: &str, b: &str) -> Option<f64> {
+        let va = self.vector(a)?;
+        let vb = self.vector(b)?;
+        Some(cosine(va, vb))
+    }
+
+    /// The `k` nearest in-vocabulary words to `word` by cosine similarity,
+    /// excluding `word` itself, best first.
+    pub fn nearest(&self, word: &str, k: usize) -> Vec<(String, f64)> {
+        let Some(target) = self.vector(word) else {
+            return Vec::new();
+        };
+        let mut scored: Vec<(String, f64)> = self
+            .words
+            .iter()
+            .filter(|w| w.as_str() != word)
+            .map(|w| {
+                let v = self.vector(w).expect("word in index");
+                (w.clone(), cosine(target, v))
+            })
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite similarity"));
+        scored.truncate(k);
+        scored
+    }
+}
+
+/// Cosine similarity of two equal-length vectors (0 if either is zero).
+pub fn cosine(a: &[f32], b: &[f32]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let (mut dot, mut na, mut nb) = (0.0f64, 0.0f64, 0.0f64);
+    for (&x, &y) in a.iter().zip(b) {
+        dot += x as f64 * y as f64;
+        na += (x as f64).powi(2);
+        nb += (y as f64).powi(2);
+    }
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na.sqrt() * nb.sqrt())
+    }
+}
+
+/// Squared Euclidean distance of two equal-length vectors.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn squared_euclidean(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "vector length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = x as f64 - y as f64;
+            d * d
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Embedding {
+        Embedding::from_vectors(vec![
+            ("a".into(), vec![1.0, 0.0]),
+            ("b".into(), vec![0.0, 1.0]),
+            ("c".into(), vec![1.0, 1.0]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn from_vectors_validation() {
+        assert_eq!(
+            Embedding::from_vectors(vec![]).unwrap_err(),
+            EmbedError::EmptyVocabulary
+        );
+        let err = Embedding::from_vectors(vec![
+            ("a".into(), vec![1.0]),
+            ("b".into(), vec![1.0, 2.0]),
+        ])
+        .unwrap_err();
+        assert_eq!(err, EmbedError::DimensionMismatch { left: 1, right: 2 });
+    }
+
+    #[test]
+    fn vector_lookup() {
+        let e = toy();
+        assert_eq!(e.vector("a"), Some(&[1.0f32, 0.0][..]));
+        assert_eq!(e.vector("zzz"), None);
+        assert_eq!(e.dim(), 2);
+        assert_eq!(e.len(), 3);
+    }
+
+    #[test]
+    fn phrase_vector_adds_and_skips_oov() {
+        let e = toy();
+        let v = e.phrase_vector(&["a".into(), "b".into(), "oov".into()]).unwrap();
+        assert_eq!(v, vec![1.0, 1.0]);
+        assert_eq!(e.phrase_vector(&["oov".into()]), None);
+        assert_eq!(e.phrase_vector(&[]), None);
+    }
+
+    #[test]
+    fn cosine_basics() {
+        let e = toy();
+        assert!((e.cosine("a", "b").unwrap()).abs() < 1e-9);
+        assert!((e.cosine("a", "a").unwrap() - 1.0).abs() < 1e-9);
+        let ac = e.cosine("a", "c").unwrap();
+        assert!((ac - 1.0 / 2f64.sqrt()).abs() < 1e-6);
+        assert_eq!(e.cosine("a", "zzz"), None);
+    }
+
+    #[test]
+    fn cosine_of_zero_vector_is_zero() {
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn nearest_orders_by_similarity() {
+        let e = toy();
+        let near = e.nearest("a", 2);
+        assert_eq!(near.len(), 2);
+        assert_eq!(near[0].0, "c"); // closer to a than b is
+        assert_eq!(near[1].0, "b");
+        assert!(e.nearest("zzz", 3).is_empty());
+    }
+
+    #[test]
+    fn squared_euclidean_matches_hand_value() {
+        assert_eq!(squared_euclidean(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "vector length mismatch")]
+    fn squared_euclidean_length_mismatch_panics() {
+        squared_euclidean(&[1.0], &[1.0, 2.0]);
+    }
+}

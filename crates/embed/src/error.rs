@@ -1,0 +1,61 @@
+//! Error type for the embedding substrate.
+
+use std::fmt;
+
+/// Error returned by embedding training and lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EmbedError {
+    /// The training corpus produced an empty vocabulary (no token met the
+    /// minimum count).
+    EmptyVocabulary,
+    /// A configuration field was invalid.
+    InvalidConfig {
+        /// Which field.
+        field: &'static str,
+        /// Why it was rejected.
+        reason: &'static str,
+    },
+    /// Two embeddings or vectors of different dimensionality were combined.
+    DimensionMismatch {
+        /// Dimension of the left operand.
+        left: usize,
+        /// Dimension of the right operand.
+        right: usize,
+    },
+}
+
+impl fmt::Display for EmbedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmbedError::EmptyVocabulary => {
+                write!(f, "training corpus produced an empty vocabulary")
+            }
+            EmbedError::InvalidConfig { field, reason } => {
+                write!(f, "invalid skip-gram config `{field}`: {reason}")
+            }
+            EmbedError::DimensionMismatch { left, right } => {
+                write!(f, "embedding dimension mismatch: {left} vs {right}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EmbedError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_meaningful() {
+        assert!(EmbedError::EmptyVocabulary.to_string().contains("vocabulary"));
+        let e = EmbedError::DimensionMismatch { left: 3, right: 5 };
+        assert!(e.to_string().contains("3 vs 5"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EmbedError>();
+    }
+}

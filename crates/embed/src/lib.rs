@@ -1,0 +1,59 @@
+//! Word-embedding substrate for the ETA² reproduction.
+//!
+//! ETA² (§3.2) extracts semantic information from crowdsourcing task
+//! descriptions with a *pair-word* method: each description yields a Query
+//! term and a Target term, both embedded with skip-gram word vectors and an
+//! element-wise additive model for multi-word phrases; the distance between
+//! two tasks is Eq. 2 of the paper. This crate implements the full stack:
+//!
+//! * [`text`] — tokenizer and stopword list.
+//! * [`vocab`] — vocabulary with frequency-based subsampling and the
+//!   unigram^0.75 negative-sampling distribution.
+//! * [`corpus`] — a deterministic topic-structured corpus generator that
+//!   substitutes for the Wikipedia dump the paper trains on (see DESIGN.md
+//!   §3: clustering only consumes relative distances, which the topical
+//!   co-occurrence structure induces).
+//! * [`skipgram`] — a from-scratch Continuous Skip-gram trainer with
+//!   negative sampling (Mikolov et al. 2013), SGD and linear learning-rate
+//!   decay.
+//! * [`embedding`] — the trained embedding matrix with additive phrase
+//!   composition.
+//! * [`pairword`] — Query/Target extraction and the Eq. 2 task distance.
+//!
+//! # Examples
+//!
+//! ```
+//! use eta2_embed::corpus::TopicCorpus;
+//! use eta2_embed::skipgram::{SkipGramConfig, SkipGramTrainer};
+//! use eta2_embed::pairword::PairWordExtractor;
+//!
+//! let corpus = TopicCorpus::builtin().generate(200, 42);
+//! let embedding = SkipGramTrainer::new(SkipGramConfig {
+//!     dim: 16,
+//!     epochs: 2,
+//!     ..SkipGramConfig::default()
+//! })
+//! .train_sentences(&corpus)?;
+//!
+//! let extractor = PairWordExtractor::default();
+//! let a = extractor.extract("What is the noise level around the municipal building?");
+//! assert!(!a.query.is_empty());
+//! # Ok::<(), eta2_embed::EmbedError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod embedding;
+pub mod error;
+pub mod pairword;
+pub mod skipgram;
+pub mod text;
+pub mod vocab;
+
+pub use embedding::Embedding;
+pub use error::EmbedError;
+pub use pairword::{PairWordExtractor, TaskSemantics};
+pub use skipgram::{SkipGramConfig, SkipGramTrainer};
+pub use vocab::Vocabulary;

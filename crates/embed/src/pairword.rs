@@ -1,0 +1,301 @@
+//! The pair-word semantic extractor and the Eq. 2 task distance (§3.2).
+//!
+//! Each task description yields a **Query** term (what is asked for — "noise
+//! level") and a **Target** term (the entity it is asked about — "municipal
+//! building"). Both are embedded with the additive phrase model and
+//! concatenated; the distance between two tasks is
+//!
+//! ```text
+//! E(i, j) = ½ (‖V_Q^i − V_Q^j‖² + ‖V_T^i − V_T^j‖²)      (Eq. 2)
+//! ```
+//!
+//! The paper identifies Query/Target manually in its examples; this module
+//! implements a deterministic heuristic extractor good enough for templated
+//! crowdsourcing descriptions: the Query is the first content-word chunk
+//! after the interrogative head, the Target is the content-word chunk after
+//! the first separating preposition (with a halves-split fallback).
+
+use crate::embedding::{squared_euclidean, Embedding};
+use crate::text::{is_separator, is_stopword, tokenize};
+use serde::{Deserialize, Serialize};
+
+/// The semantic decomposition of one task description.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskSemantics {
+    /// Query term — the words describing the requirement.
+    pub query: Vec<String>,
+    /// Target term — the words naming the desired entity/location.
+    pub target: Vec<String>,
+}
+
+impl TaskSemantics {
+    /// The concatenated semantic vector `[V_Q, V_T]` under `embedding`.
+    ///
+    /// Either half may fall back to the other when all of its words are
+    /// out-of-vocabulary; returns `None` only when *both* halves are fully
+    /// out-of-vocabulary.
+    pub fn semantic_vector(&self, embedding: &Embedding) -> Option<Vec<f32>> {
+        let q = embedding.phrase_vector(&self.query);
+        let t = embedding.phrase_vector(&self.target);
+        let (q, t) = match (q, t) {
+            (Some(q), Some(t)) => (q, t),
+            (Some(q), None) => (q.clone(), q),
+            (None, Some(t)) => (t.clone(), t),
+            (None, None) => return None,
+        };
+        let mut v = q;
+        v.extend_from_slice(&t);
+        Some(v)
+    }
+}
+
+/// Eq. 2: the semantic distance between two concatenated `[V_Q, V_T]`
+/// vectors, `½(‖ΔV_Q‖² + ‖ΔV_T‖²)` — which is simply half the squared
+/// Euclidean distance of the concatenations.
+///
+/// # Panics
+///
+/// Panics if the vectors differ in length or have odd length.
+pub fn pairword_distance(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "semantic vector length mismatch");
+    assert_eq!(a.len() % 2, 0, "semantic vectors must be concatenated pairs");
+    0.5 * squared_euclidean(a, b)
+}
+
+/// Heuristic Query/Target extractor.
+///
+/// # Examples
+///
+/// ```
+/// use eta2_embed::PairWordExtractor;
+///
+/// let ex = PairWordExtractor::default();
+/// let s = ex.extract("What is the noise level around the municipal building?");
+/// assert_eq!(s.query, vec!["noise", "level"]);
+/// assert_eq!(s.target, vec!["municipal", "building"]);
+///
+/// let s = ex.extract("How many students have attended the seminar today?");
+/// assert_eq!(s.query, vec!["students"]);
+/// assert_eq!(s.target, vec!["seminar"]);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PairWordExtractor {
+    _private: (),
+}
+
+impl PairWordExtractor {
+    /// Creates an extractor (equivalent to `default()`).
+    pub fn new() -> Self {
+        PairWordExtractor::default()
+    }
+
+    /// Extracts Query and Target terms from a task description.
+    ///
+    /// Never returns two empty terms for a description containing at least
+    /// one content word: the fallback splits the content words in half.
+    pub fn extract(&self, description: &str) -> TaskSemantics {
+        let tokens = tokenize(description);
+
+        // Skip the interrogative head: leading wh-words and auxiliaries
+        // ("what is the", "how many", "how long does it take").
+        let mut start = 0;
+        while start < tokens.len() {
+            let t = tokens[start].as_str();
+            let is_head = matches!(
+                t,
+                "what" | "which" | "how" | "when" | "where" | "who" | "whats" | "many" | "much"
+                    | "long" | "often"
+            ) || is_stopword(t);
+            if is_head {
+                start += 1;
+            } else {
+                break;
+            }
+        }
+
+        // Query: content words until the first separator; Target: content
+        // words after it. Verbs commonly linking the two ("attended",
+        // "spent") are not in the stopword list, so strip a small set of
+        // generic verbs from chunk boundaries.
+        let mut query = Vec::new();
+        let mut target = Vec::new();
+        let mut seen_separator = false;
+        for tok in &tokens[start..] {
+            let t = tok.as_str();
+            if is_separator(t) || is_linking_verb(t) {
+                if !query.is_empty() {
+                    seen_separator = true;
+                }
+                continue;
+            }
+            if is_stopword(t) || is_wh(t) {
+                continue;
+            }
+            if seen_separator {
+                target.push(tok.clone());
+            } else {
+                query.push(tok.clone());
+            }
+        }
+
+        // Fallback: no separator found — split content words in half
+        // (favoring the query for odd counts).
+        if target.is_empty() && query.len() > 1 {
+            let mid = query.len().div_ceil(2);
+            target = query.split_off(mid);
+        }
+        TaskSemantics { query, target }
+    }
+}
+
+/// Generic verbs that link a Query chunk to a Target chunk in templated
+/// descriptions ("students **attended** the seminar").
+fn is_linking_verb(word: &str) -> bool {
+    matches!(
+        word,
+        "attended" | "attend" | "visiting" | "visit" | "open" | "opened" | "required"
+            | "require" | "take" | "takes" | "spent" | "spend" | "reported" | "report"
+            | "serving" | "serve" | "charged" | "charge"
+    )
+}
+
+fn is_wh(word: &str) -> bool {
+    matches!(
+        word,
+        "what" | "which" | "how" | "when" | "where" | "who" | "whats" | "many" | "much"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::TopicCorpus;
+    use crate::skipgram::{SkipGramConfig, SkipGramTrainer};
+
+    #[test]
+    fn extracts_paper_examples() {
+        let ex = PairWordExtractor::new();
+        let t1 = ex.extract("What is the noise level around the municipal building?");
+        assert_eq!(t1.query, vec!["noise", "level"]);
+        assert_eq!(t1.target, vec!["municipal", "building"]);
+
+        let t2 = ex.extract("How many students have attended the seminar today?");
+        assert_eq!(t2.query, vec!["students"]);
+        assert_eq!(t2.target, vec!["seminar"]);
+    }
+
+    #[test]
+    fn fallback_splits_halves_without_separator() {
+        let ex = PairWordExtractor::new();
+        let s = ex.extract("Current cafeteria pizza price?");
+        assert!(!s.query.is_empty());
+        assert!(!s.target.is_empty());
+        let all: Vec<String> = s.query.iter().chain(&s.target).cloned().collect();
+        assert_eq!(all, vec!["current", "cafeteria", "pizza", "price"]);
+    }
+
+    #[test]
+    fn single_content_word_goes_to_query() {
+        let ex = PairWordExtractor::new();
+        let s = ex.extract("What is the temperature?");
+        assert_eq!(s.query, vec!["temperature"]);
+        assert!(s.target.is_empty());
+    }
+
+    #[test]
+    fn empty_description_yields_empty_semantics() {
+        let ex = PairWordExtractor::new();
+        let s = ex.extract("???");
+        assert!(s.query.is_empty() && s.target.is_empty());
+    }
+
+    #[test]
+    fn extraction_is_deterministic() {
+        let ex = PairWordExtractor::new();
+        let d = "What is the average salary for entry level software engineers?";
+        assert_eq!(ex.extract(d), ex.extract(d));
+    }
+
+    fn trained_embedding() -> Embedding {
+        let sentences = TopicCorpus::builtin().generate(300, 11);
+        SkipGramTrainer::new(SkipGramConfig {
+            dim: 16,
+            epochs: 3,
+            ..SkipGramConfig::default()
+        })
+        .train_sentences(&sentences)
+        .unwrap()
+    }
+
+    #[test]
+    fn semantic_vector_concatenates() {
+        let emb = trained_embedding();
+        let s = TaskSemantics {
+            query: vec!["noise".into(), "level".into()],
+            target: vec!["building".into()],
+        };
+        let v = s.semantic_vector(&emb).unwrap();
+        assert_eq!(v.len(), 2 * emb.dim());
+    }
+
+    #[test]
+    fn semantic_vector_oov_fallbacks() {
+        let emb = trained_embedding();
+        let only_query = TaskSemantics {
+            query: vec!["noise".into()],
+            target: vec!["zzzz".into()],
+        };
+        assert!(only_query.semantic_vector(&emb).is_some());
+        let nothing = TaskSemantics {
+            query: vec!["zzzz".into()],
+            target: vec!["qqqq".into()],
+        };
+        assert!(nothing.semantic_vector(&emb).is_none());
+    }
+
+    #[test]
+    fn eq2_distance_same_topic_smaller_than_cross_topic() {
+        let emb = trained_embedding();
+        let ex = PairWordExtractor::new();
+        let noise_a = ex
+            .extract("What is the noise level around the municipal building?")
+            .semantic_vector(&emb)
+            .unwrap();
+        let noise_b = ex
+            .extract("What is the decibel measurement near the construction street?")
+            .semantic_vector(&emb)
+            .unwrap();
+        let parking = ex
+            .extract("How many parking spots are open in the garage?")
+            .semantic_vector(&emb)
+            .unwrap();
+        let same = pairword_distance(&noise_a, &noise_b);
+        let cross = pairword_distance(&noise_a, &parking);
+        assert!(
+            same < cross,
+            "same-topic distance {same:.4} not below cross-topic {cross:.4}"
+        );
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_self() {
+        let emb = trained_embedding();
+        let ex = PairWordExtractor::new();
+        let v = ex
+            .extract("What is the noise level around the municipal building?")
+            .semantic_vector(&emb)
+            .unwrap();
+        let w = ex
+            .extract("How many parking spots are open in the garage?")
+            .semantic_vector(&emb)
+            .unwrap();
+        assert_eq!(pairword_distance(&v, &v), 0.0);
+        assert!((pairword_distance(&v, &w) - pairword_distance(&w, &v)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "semantic vector length mismatch")]
+    fn distance_rejects_mismatched_lengths() {
+        pairword_distance(&[1.0, 2.0], &[1.0, 2.0, 3.0, 4.0]);
+    }
+}

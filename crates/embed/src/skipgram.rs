@@ -1,0 +1,395 @@
+//! Continuous Skip-gram with negative sampling, from scratch.
+//!
+//! This is the training algorithm the paper uses for its lexical
+//! representations (§3.2, citing Mikolov et al. 2013): for each
+//! (center, context) pair inside a randomly shrunk window, take one positive
+//! update and `negative` sampled negative updates against the logistic loss,
+//! with SGD and a linearly decaying learning rate. Frequency subsampling
+//! follows word2vec's `-sample` formula (see
+//! [`crate::vocab::Vocabulary::keep_probability`]).
+
+use crate::embedding::Embedding;
+use crate::error::EmbedError;
+use crate::vocab::Vocabulary;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Hyperparameters for skip-gram training.
+///
+/// The defaults are sized for the bundled topic corpus (small vocabulary,
+/// strong topical signal), not for Wikipedia-scale text.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SkipGramConfig {
+    /// Embedding dimensionality.
+    pub dim: usize,
+    /// Maximum context window; per pair the effective window is drawn from
+    /// `1..=window` as in word2vec.
+    pub window: usize,
+    /// Negative samples per positive pair.
+    pub negative: usize,
+    /// Training epochs over the corpus.
+    pub epochs: usize,
+    /// Initial learning rate, decayed linearly to `lr_end`.
+    pub lr_start: f64,
+    /// Final learning rate.
+    pub lr_end: f64,
+    /// Frequency-subsampling threshold (`0` disables).
+    pub subsample_t: f64,
+    /// Drop words rarer than this from the vocabulary.
+    pub min_count: u64,
+    /// RNG seed — training is fully deterministic given the seed.
+    pub seed: u64,
+}
+
+impl Default for SkipGramConfig {
+    fn default() -> Self {
+        SkipGramConfig {
+            dim: 32,
+            window: 4,
+            negative: 5,
+            epochs: 5,
+            lr_start: 0.05,
+            lr_end: 0.0001,
+            subsample_t: 1e-3,
+            min_count: 2,
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl SkipGramConfig {
+    fn validate(&self) -> Result<(), EmbedError> {
+        if self.dim == 0 {
+            return Err(EmbedError::InvalidConfig {
+                field: "dim",
+                reason: "must be > 0",
+            });
+        }
+        if self.window == 0 {
+            return Err(EmbedError::InvalidConfig {
+                field: "window",
+                reason: "must be > 0",
+            });
+        }
+        if self.epochs == 0 {
+            return Err(EmbedError::InvalidConfig {
+                field: "epochs",
+                reason: "must be > 0",
+            });
+        }
+        // NaN falls through `<=` but is caught by the finiteness check.
+        if self.lr_start <= 0.0 || !self.lr_start.is_finite() {
+            return Err(EmbedError::InvalidConfig {
+                field: "lr_start",
+                reason: "must be finite and > 0",
+            });
+        }
+        if self.lr_end < 0.0 || self.lr_end > self.lr_start {
+            return Err(EmbedError::InvalidConfig {
+                field: "lr_end",
+                reason: "must satisfy 0 <= lr_end <= lr_start",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Skip-gram trainer.
+///
+/// # Examples
+///
+/// ```
+/// use eta2_embed::corpus::TopicCorpus;
+/// use eta2_embed::{SkipGramConfig, SkipGramTrainer};
+///
+/// let sentences = TopicCorpus::builtin().generate(100, 3);
+/// let emb = SkipGramTrainer::new(SkipGramConfig {
+///     dim: 8,
+///     epochs: 1,
+///     ..SkipGramConfig::default()
+/// })
+/// .train_sentences(&sentences)?;
+/// assert_eq!(emb.dim(), 8);
+/// assert!(emb.vector("parking").is_some());
+/// # Ok::<(), eta2_embed::EmbedError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SkipGramTrainer {
+    config: SkipGramConfig,
+}
+
+impl SkipGramTrainer {
+    /// Creates a trainer with the given configuration.
+    pub fn new(config: SkipGramConfig) -> Self {
+        SkipGramTrainer { config }
+    }
+
+    /// The trainer's configuration.
+    pub fn config(&self) -> &SkipGramConfig {
+        &self.config
+    }
+
+    /// Builds a vocabulary from `sentences` and trains embeddings.
+    ///
+    /// # Errors
+    ///
+    /// * [`EmbedError::InvalidConfig`] for a bad configuration.
+    /// * [`EmbedError::EmptyVocabulary`] if no word meets `min_count`.
+    pub fn train_sentences(&self, sentences: &[Vec<String>]) -> Result<Embedding, EmbedError> {
+        self.config.validate()?;
+        let vocab = Vocabulary::build(sentences, self.config.min_count)?;
+        let encoded: Vec<Vec<u32>> = sentences.iter().map(|s| vocab.encode(s)).collect();
+        Ok(self.train_encoded(&vocab, &encoded))
+    }
+
+    /// Trains on pre-encoded sentences against an existing vocabulary.
+    pub fn train_encoded(&self, vocab: &Vocabulary, sentences: &[Vec<u32>]) -> Embedding {
+        let cfg = &self.config;
+        let n = vocab.len();
+        let dim = cfg.dim;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        // word2vec init: input vectors uniform in [-0.5/dim, 0.5/dim),
+        // output vectors zero.
+        let mut w_in: Vec<f32> = (0..n * dim)
+            .map(|_| (rng.gen::<f32>() - 0.5) / dim as f32)
+            .collect();
+        let mut w_out: Vec<f32> = vec![0.0; n * dim];
+
+        // Estimate total training pairs for the LR schedule.
+        let tokens_per_epoch: usize = sentences.iter().map(Vec::len).sum();
+        let total_steps = (tokens_per_epoch * cfg.epochs).max(1);
+        let mut step = 0usize;
+
+        let mut grad = vec![0.0f32; dim];
+        for _epoch in 0..cfg.epochs {
+            for sentence in sentences {
+                // Subsample frequent words per occurrence.
+                let kept: Vec<u32> = sentence
+                    .iter()
+                    .copied()
+                    .filter(|&w| {
+                        cfg.subsample_t <= 0.0
+                            || rng.gen::<f64>() < vocab.keep_probability(w, cfg.subsample_t)
+                    })
+                    .collect();
+                for (pos, &center) in kept.iter().enumerate() {
+                    step += 1;
+                    let progress = step as f64 / total_steps as f64;
+                    let lr =
+                        (cfg.lr_start + (cfg.lr_end - cfg.lr_start) * progress).max(cfg.lr_end);
+                    let b = rng.gen_range(1..=cfg.window);
+                    let lo = pos.saturating_sub(b);
+                    let hi = (pos + b + 1).min(kept.len());
+                    for (ctx_pos, &context) in kept.iter().enumerate().take(hi).skip(lo) {
+                        if ctx_pos == pos {
+                            continue;
+                        }
+                        train_pair(
+                            &mut w_in,
+                            &mut w_out,
+                            dim,
+                            center as usize,
+                            context as usize,
+                            cfg.negative,
+                            lr as f32,
+                            vocab,
+                            &mut rng,
+                            &mut grad,
+                        );
+                    }
+                }
+            }
+        }
+
+        let pairs: Vec<(String, Vec<f32>)> = (0..n)
+            .map(|i| {
+                (
+                    vocab.word(i as u32).to_string(),
+                    w_in[i * dim..(i + 1) * dim].to_vec(),
+                )
+            })
+            .collect();
+        Embedding::from_vectors(pairs).expect("non-empty vocabulary")
+    }
+}
+
+/// One positive + `negative` negative SGD updates for a (center, context)
+/// pair — the standard SGNS inner loop.
+#[allow(clippy::too_many_arguments)]
+fn train_pair<R: Rng + ?Sized>(
+    w_in: &mut [f32],
+    w_out: &mut [f32],
+    dim: usize,
+    center: usize,
+    context: usize,
+    negative: usize,
+    lr: f32,
+    vocab: &Vocabulary,
+    rng: &mut R,
+    grad: &mut [f32],
+) {
+    grad.fill(0.0);
+    let in_range = center * dim..(center + 1) * dim;
+    for sample in 0..=negative {
+        let (target, label) = if sample == 0 {
+            (context, 1.0f32)
+        } else {
+            let mut neg = vocab.sample_negative(rng) as usize;
+            if neg == context {
+                // Resample once; if it still collides, skip (cheap and
+                // unbiased enough at these vocabulary sizes).
+                neg = vocab.sample_negative(rng) as usize;
+                if neg == context {
+                    continue;
+                }
+            }
+            (neg, 0.0f32)
+        };
+        let out_range = target * dim..(target + 1) * dim;
+        let dot: f32 = w_in[in_range.clone()]
+            .iter()
+            .zip(&w_out[out_range.clone()])
+            .map(|(a, b)| a * b)
+            .sum();
+        let pred = sigmoid(dot);
+        let g = (label - pred) * lr;
+        for k in 0..dim {
+            grad[k] += g * w_out[target * dim + k];
+            w_out[target * dim + k] += g * w_in[center * dim + k];
+        }
+    }
+    for k in 0..dim {
+        w_in[center * dim + k] += grad[k];
+    }
+}
+
+/// Numerically clamped logistic function.
+fn sigmoid(x: f32) -> f32 {
+    if x > 8.0 {
+        1.0
+    } else if x < -8.0 {
+        0.0
+    } else {
+        1.0 / (1.0 + (-x).exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::TopicCorpus;
+    use crate::embedding::cosine;
+
+    #[test]
+    fn config_validation() {
+        let bad = [
+            SkipGramConfig {
+                dim: 0,
+                ..SkipGramConfig::default()
+            },
+            SkipGramConfig {
+                window: 0,
+                ..SkipGramConfig::default()
+            },
+            SkipGramConfig {
+                epochs: 0,
+                ..SkipGramConfig::default()
+            },
+            SkipGramConfig {
+                lr_start: 0.0,
+                ..SkipGramConfig::default()
+            },
+            SkipGramConfig {
+                lr_end: 1.0,
+                lr_start: 0.05,
+                ..SkipGramConfig::default()
+            },
+        ];
+        for cfg in bad {
+            assert!(
+                SkipGramTrainer::new(cfg).train_sentences(&toy()).is_err(),
+                "{cfg:?} should be rejected"
+            );
+        }
+    }
+
+    fn toy() -> Vec<Vec<String>> {
+        TopicCorpus::builtin().generate(20, 0)
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let sentences = toy();
+        let cfg = SkipGramConfig {
+            dim: 8,
+            epochs: 1,
+            ..SkipGramConfig::default()
+        };
+        let a = SkipGramTrainer::new(cfg).train_sentences(&sentences).unwrap();
+        let b = SkipGramTrainer::new(cfg).train_sentences(&sentences).unwrap();
+        assert_eq!(a.vector("parking"), b.vector("parking"));
+    }
+
+    #[test]
+    fn empty_corpus_is_rejected() {
+        let r = SkipGramTrainer::new(SkipGramConfig::default()).train_sentences(&[]);
+        assert_eq!(r.unwrap_err(), EmbedError::EmptyVocabulary);
+    }
+
+    #[test]
+    fn sigmoid_clamps() {
+        assert_eq!(sigmoid(100.0), 1.0);
+        assert_eq!(sigmoid(-100.0), 0.0);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-6);
+    }
+
+    /// The load-bearing property: words of one topic embed closer to each
+    /// other than to words of a different topic. This is exactly what the
+    /// hierarchical clustering downstream relies on.
+    #[test]
+    fn same_topic_words_embed_closer_than_cross_topic() {
+        let sentences = TopicCorpus::builtin().generate(400, 7);
+        let emb = SkipGramTrainer::new(SkipGramConfig {
+            dim: 24,
+            epochs: 4,
+            ..SkipGramConfig::default()
+        })
+        .train_sentences(&sentences)
+        .unwrap();
+
+        let pairs_same = [("parking", "garage"), ("noise", "decibel"), ("salary", "wage")];
+        let pairs_cross = [("parking", "decibel"), ("noise", "wage"), ("salary", "garage")];
+        let avg = |pairs: &[(&str, &str)]| -> f64 {
+            pairs
+                .iter()
+                .map(|&(a, b)| {
+                    cosine(emb.vector(a).unwrap(), emb.vector(b).unwrap())
+                })
+                .sum::<f64>()
+                / pairs.len() as f64
+        };
+        let same = avg(&pairs_same);
+        let cross = avg(&pairs_cross);
+        assert!(
+            same > cross + 0.15,
+            "topical structure not learned: same = {same:.3}, cross = {cross:.3}"
+        );
+    }
+
+    #[test]
+    fn vectors_are_finite_after_training() {
+        let sentences = toy();
+        let emb = SkipGramTrainer::new(SkipGramConfig {
+            dim: 8,
+            epochs: 2,
+            ..SkipGramConfig::default()
+        })
+        .train_sentences(&sentences)
+        .unwrap();
+        for w in emb.words() {
+            assert!(emb.vector(w).unwrap().iter().all(|v| v.is_finite()));
+        }
+    }
+}

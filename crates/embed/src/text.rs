@@ -1,0 +1,135 @@
+//! Tokenization and stopwords.
+//!
+//! Task descriptions in mobile crowdsourcing are short English sentences
+//! ("What is the noise level around the municipal building?"), so a simple
+//! lowercase alphanumeric tokenizer plus a compact stopword list is all the
+//! pair-word extractor needs.
+
+/// English stopwords relevant to short interrogative task descriptions.
+///
+/// Kept deliberately small: wh-words are *not* here because the pair-word
+/// extractor keys on them before discarding them.
+pub const STOPWORDS: &[&str] = &[
+    "a", "an", "the", "is", "are", "was", "were", "be", "been", "being", "am", "do", "does",
+    "did", "have", "has", "had", "will", "would", "can", "could", "should", "shall", "may",
+    "might", "must", "of", "in", "on", "at", "to", "for", "from", "by", "with", "about",
+    "into", "through", "during", "before", "after", "above", "below", "between", "under",
+    "around", "near", "this", "that", "these", "those", "there", "here", "it", "its", "they",
+    "them", "their", "we", "our", "you", "your", "i", "my", "me", "he", "she", "his", "her",
+    "and", "or", "but", "not", "no", "so", "if", "then", "than", "as", "up", "down", "out",
+    "off", "over", "again", "today", "now", "currently", "please", "estimated", "average",
+];
+
+/// Prepositions that typically separate a Query term from a Target term in a
+/// task description ("noise level **around** the municipal building").
+pub const TERM_SEPARATORS: &[&str] = &[
+    "of", "at", "in", "on", "around", "near", "to", "for", "from", "by", "inside", "outside",
+    "within", "between", "during",
+];
+
+/// Lowercases and splits `text` into alphanumeric tokens.
+///
+/// Apostrophes are dropped in place (so `"what's"` → `"whats"` stays one
+/// token); every other non-alphanumeric byte separates tokens.
+///
+/// # Examples
+///
+/// ```
+/// use eta2_embed::text::tokenize;
+///
+/// let toks = tokenize("What is the noise level around the municipal building?");
+/// assert_eq!(toks[0], "what");
+/// assert_eq!(toks.last().unwrap(), "building");
+/// ```
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    for ch in text.chars() {
+        if ch == '\'' {
+            continue;
+        }
+        if ch.is_alphanumeric() {
+            for c in ch.to_lowercase() {
+                current.push(c);
+            }
+        } else if !current.is_empty() {
+            tokens.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        tokens.push(current);
+    }
+    tokens
+}
+
+/// Whether `word` (already lowercase) is a stopword.
+pub fn is_stopword(word: &str) -> bool {
+    STOPWORDS.contains(&word)
+}
+
+/// Whether `word` is one of the Query/Target separator prepositions.
+pub fn is_separator(word: &str) -> bool {
+    TERM_SEPARATORS.contains(&word)
+}
+
+/// Tokenizes and drops stopwords — the "content words" of a description.
+pub fn content_words(text: &str) -> Vec<String> {
+    tokenize(text)
+        .into_iter()
+        .filter(|w| !is_stopword(w))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_handles_punctuation_and_case() {
+        assert_eq!(
+            tokenize("How many STUDENTS, attended(the)seminar?"),
+            vec!["how", "many", "students", "attended", "the", "seminar"]
+        );
+    }
+
+    #[test]
+    fn tokenize_drops_apostrophes_in_place() {
+        assert_eq!(tokenize("what's up"), vec!["whats", "up"]);
+    }
+
+    #[test]
+    fn tokenize_empty_and_symbol_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("?!... --- ***").is_empty());
+    }
+
+    #[test]
+    fn tokenize_keeps_numbers() {
+        assert_eq!(tokenize("route 66 speed"), vec!["route", "66", "speed"]);
+    }
+
+    #[test]
+    fn stopwords_are_lowercase_and_detected() {
+        for w in STOPWORDS {
+            assert_eq!(&w.to_lowercase(), w);
+            assert!(is_stopword(w));
+        }
+        assert!(!is_stopword("noise"));
+    }
+
+    #[test]
+    fn separators_are_a_subset_of_reasonable_prepositions() {
+        assert!(is_separator("around"));
+        assert!(is_separator("of"));
+        assert!(!is_separator("noise"));
+    }
+
+    #[test]
+    fn content_words_strip_stopwords() {
+        let words = content_words("What is the noise level around the municipal building?");
+        assert_eq!(
+            words,
+            vec!["what", "noise", "level", "municipal", "building"]
+        );
+    }
+}

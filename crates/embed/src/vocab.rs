@@ -1,0 +1,248 @@
+//! Vocabulary: word↔id mapping, counts, subsampling and the negative-
+//! sampling distribution.
+
+use crate::error::EmbedError;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A vocabulary built from a token stream.
+///
+/// Provides the three services skip-gram training needs: id lookup,
+/// frequency-based subsampling probabilities (Mikolov et al. 2013, Eq. 5),
+/// and the unigram^0.75 distribution for negative sampling.
+///
+/// # Examples
+///
+/// ```
+/// use eta2_embed::Vocabulary;
+///
+/// let sentences = vec![
+///     vec!["the".to_string(), "noise".to_string(), "level".to_string()],
+///     vec!["the".to_string(), "noise".to_string()],
+/// ];
+/// let vocab = Vocabulary::build(&sentences, 1)?;
+/// assert_eq!(vocab.len(), 3);
+/// assert_eq!(vocab.count(vocab.id("noise").unwrap()), 2);
+/// # Ok::<(), eta2_embed::EmbedError>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Vocabulary {
+    words: Vec<String>,
+    counts: Vec<u64>,
+    index: HashMap<String, u32>,
+    total: u64,
+    /// Cumulative unigram^0.75 weights for negative sampling.
+    neg_cdf: Vec<f64>,
+}
+
+impl Vocabulary {
+    /// Builds a vocabulary from tokenized sentences, keeping words that
+    /// occur at least `min_count` times. Words are assigned ids in
+    /// descending frequency order (ties broken lexicographically), which
+    /// makes the construction deterministic.
+    ///
+    /// # Errors
+    ///
+    /// [`EmbedError::EmptyVocabulary`] if no word survives the cut.
+    pub fn build(sentences: &[Vec<String>], min_count: u64) -> Result<Self, EmbedError> {
+        let mut freq: HashMap<&str, u64> = HashMap::new();
+        for sentence in sentences {
+            for word in sentence {
+                *freq.entry(word.as_str()).or_insert(0) += 1;
+            }
+        }
+        let mut entries: Vec<(&str, u64)> = freq
+            .into_iter()
+            .filter(|&(_, c)| c >= min_count.max(1))
+            .collect();
+        if entries.is_empty() {
+            return Err(EmbedError::EmptyVocabulary);
+        }
+        entries.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+
+        let words: Vec<String> = entries.iter().map(|&(w, _)| w.to_string()).collect();
+        let counts: Vec<u64> = entries.iter().map(|&(_, c)| c).collect();
+        let index: HashMap<String, u32> = words
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (w.clone(), i as u32))
+            .collect();
+        let total = counts.iter().sum();
+
+        let mut neg_cdf = Vec::with_capacity(counts.len());
+        let mut acc = 0.0;
+        for &c in &counts {
+            acc += (c as f64).powf(0.75);
+            neg_cdf.push(acc);
+        }
+
+        Ok(Vocabulary {
+            words,
+            counts,
+            index,
+            total,
+            neg_cdf,
+        })
+    }
+
+    /// Number of distinct words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the vocabulary is empty (never true for a built vocabulary).
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// The id of `word`, if present.
+    pub fn id(&self, word: &str) -> Option<u32> {
+        self.index.get(word).copied()
+    }
+
+    /// The word with id `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn word(&self, id: u32) -> &str {
+        &self.words[id as usize]
+    }
+
+    /// Corpus frequency of the word with id `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn count(&self, id: u32) -> u64 {
+        self.counts[id as usize]
+    }
+
+    /// Total token count over the kept vocabulary.
+    pub fn total_tokens(&self) -> u64 {
+        self.total
+    }
+
+    /// All words in id order.
+    pub fn words(&self) -> &[String] {
+        &self.words
+    }
+
+    /// Probability of *keeping* an occurrence of word `id` under frequency
+    /// subsampling with threshold `t` (word2vec's `-sample`):
+    /// `p = (sqrt(f/t) + 1) · t/f`, clamped to `[0, 1]`, where `f` is the
+    /// word's relative frequency.
+    pub fn keep_probability(&self, id: u32, t: f64) -> f64 {
+        if t <= 0.0 {
+            return 1.0;
+        }
+        let f = self.counts[id as usize] as f64 / self.total as f64;
+        (((f / t).sqrt() + 1.0) * (t / f)).min(1.0)
+    }
+
+    /// Draws one word id from the unigram^0.75 negative-sampling
+    /// distribution.
+    pub fn sample_negative<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        let top = *self.neg_cdf.last().expect("non-empty vocabulary");
+        let x = rng.gen_range(0.0..top);
+        self.neg_cdf.partition_point(|&c| c <= x) as u32
+    }
+
+    /// Converts a tokenized sentence to ids, dropping out-of-vocabulary
+    /// words.
+    pub fn encode(&self, sentence: &[String]) -> Vec<u32> {
+        sentence.iter().filter_map(|w| self.id(w)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn toy_sentences() -> Vec<Vec<String>> {
+        let raw = [
+            "the noise level near the building",
+            "the noise is loud",
+            "parking lots near the building",
+        ];
+        raw.iter().map(|s| crate::text::tokenize(s)).collect()
+    }
+
+    #[test]
+    fn build_orders_by_frequency() {
+        let v = Vocabulary::build(&toy_sentences(), 1).unwrap();
+        // "the" occurs 4 times and must take id 0.
+        assert_eq!(v.id("the"), Some(0));
+        assert_eq!(v.count(0), 4);
+        assert_eq!(v.word(0), "the");
+    }
+
+    #[test]
+    fn min_count_filters_rare_words() {
+        let v = Vocabulary::build(&toy_sentences(), 2).unwrap();
+        assert!(v.id("loud").is_none());
+        assert!(v.id("noise").is_some());
+    }
+
+    #[test]
+    fn build_rejects_empty() {
+        assert_eq!(
+            Vocabulary::build(&[], 1).unwrap_err(),
+            EmbedError::EmptyVocabulary
+        );
+        let v: Vec<Vec<String>> = vec![vec!["rare".into()]];
+        assert_eq!(
+            Vocabulary::build(&v, 5).unwrap_err(),
+            EmbedError::EmptyVocabulary
+        );
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let a = Vocabulary::build(&toy_sentences(), 1).unwrap();
+        let b = Vocabulary::build(&toy_sentences(), 1).unwrap();
+        assert_eq!(a.words(), b.words());
+    }
+
+    #[test]
+    fn keep_probability_suppresses_frequent_words() {
+        let v = Vocabulary::build(&toy_sentences(), 1).unwrap();
+        let the = v.id("the").unwrap();
+        let loud = v.id("loud").unwrap();
+        let t = 0.01;
+        assert!(v.keep_probability(the, t) < v.keep_probability(loud, t));
+        assert!((0.0..=1.0).contains(&v.keep_probability(the, t)));
+        // t = 0 disables subsampling.
+        assert_eq!(v.keep_probability(the, 0.0), 1.0);
+    }
+
+    #[test]
+    fn negative_sampling_follows_powered_unigram() {
+        let v = Vocabulary::build(&toy_sentences(), 1).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let draws = 60_000;
+        let mut hist = vec![0u64; v.len()];
+        for _ in 0..draws {
+            hist[v.sample_negative(&mut rng) as usize] += 1;
+        }
+        // Every word must be sampled at least once and "the" (most frequent)
+        // must dominate the rarest.
+        assert!(hist.iter().all(|&h| h > 0));
+        let the = v.id("the").unwrap() as usize;
+        let loud = v.id("loud").unwrap() as usize;
+        assert!(hist[the] > hist[loud]);
+        // Check the ratio against (4/1)^0.75 ≈ 2.83 within sampling noise.
+        let ratio = hist[the] as f64 / hist[loud] as f64;
+        assert!((ratio - 4f64.powf(0.75)).abs() < 0.4, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn encode_drops_oov() {
+        let v = Vocabulary::build(&toy_sentences(), 1).unwrap();
+        let ids = v.encode(&crate::text::tokenize("the unknown noise"));
+        assert_eq!(ids.len(), 2);
+        assert_eq!(ids[0], v.id("the").unwrap());
+        assert_eq!(ids[1], v.id("noise").unwrap());
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests for the embedding substrate.
+
+use eta2_embed::corpus::TopicCorpus;
+use eta2_embed::embedding::{cosine, squared_euclidean, Embedding};
+use eta2_embed::pairword::{pairword_distance, PairWordExtractor};
+use eta2_embed::text::{content_words, tokenize};
+use eta2_embed::Vocabulary;
+use proptest::prelude::*;
+
+proptest! {
+    /// Tokenization is idempotent: re-tokenizing the joined tokens yields
+    /// the same tokens.
+    #[test]
+    fn tokenize_idempotent(s in "[ -~]{0,120}") {
+        let once = tokenize(&s);
+        let again = tokenize(&once.join(" "));
+        prop_assert_eq!(once, again);
+    }
+
+    /// Tokens are alphanumeric and lowercase-stable (re-lowercasing them
+    /// changes nothing; some scripts have caseless "uppercase" letters like
+    /// mathematical alphanumerics, which is fine).
+    #[test]
+    fn tokens_are_normalized(s in "\\PC{0,80}") {
+        for t in tokenize(&s) {
+            prop_assert!(!t.is_empty());
+            prop_assert!(t.chars().all(|c| c.is_alphanumeric()));
+            let relowered: String = t.chars().flat_map(char::to_lowercase).collect();
+            prop_assert_eq!(&relowered, &t);
+        }
+    }
+
+    /// Content words are a subsequence of the tokens.
+    #[test]
+    fn content_words_subset_of_tokens(s in "[a-zA-Z ?,.]{0,100}") {
+        let tokens = tokenize(&s);
+        let content = content_words(&s);
+        let mut it = tokens.iter();
+        for w in &content {
+            prop_assert!(it.any(|t| t == w), "{w} out of order");
+        }
+    }
+
+    /// Extraction always yields at least one term when a content word
+    /// exists, and query/target are disjoint from stopword-only inputs.
+    #[test]
+    fn extraction_total(s in "[a-z ]{1,80}") {
+        let sem = PairWordExtractor::new().extract(&s);
+        let total = sem.query.len() + sem.target.len();
+        let content = content_words(&s)
+            .into_iter()
+            .filter(|w| !matches!(w.as_str(), "what"|"which"|"how"|"when"|"where"|"who"|"whats"|"many"|"much"|"long"|"often"))
+            .count();
+        // Extraction may drop linking verbs/separators, never add words.
+        prop_assert!(total <= content);
+    }
+
+    /// Cosine similarity is bounded and symmetric.
+    #[test]
+    fn cosine_bounded_symmetric(
+        a in proptest::collection::vec(-10.0..10.0f32, 4),
+        b in proptest::collection::vec(-10.0..10.0f32, 4),
+    ) {
+        let c1 = cosine(&a, &b);
+        let c2 = cosine(&b, &a);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&c1));
+        prop_assert!((c1 - c2).abs() < 1e-12);
+    }
+
+    /// Squared Euclidean distance satisfies the metric-squared basics.
+    #[test]
+    fn sqeuclid_positive_symmetric(
+        a in proptest::collection::vec(-10.0..10.0f32, 6),
+        b in proptest::collection::vec(-10.0..10.0f32, 6),
+    ) {
+        prop_assert_eq!(squared_euclidean(&a, &a), 0.0);
+        let d1 = squared_euclidean(&a, &b);
+        prop_assert!(d1 >= 0.0);
+        prop_assert!((d1 - squared_euclidean(&b, &a)).abs() < 1e-9);
+    }
+
+    /// The Eq. 2 distance equals half the squared Euclidean distance of the
+    /// concatenation.
+    #[test]
+    fn pairword_distance_is_half_sq(
+        a in proptest::collection::vec(-5.0..5.0f32, 8),
+        b in proptest::collection::vec(-5.0..5.0f32, 8),
+    ) {
+        let d = pairword_distance(&a, &b);
+        prop_assert!((d - 0.5 * squared_euclidean(&a, &b)).abs() < 1e-9);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Vocabulary invariants on generated corpora: dense ids, counts match
+    /// raw frequencies, encode drops nothing in-vocabulary.
+    #[test]
+    fn vocabulary_invariants(docs in 1usize..6, seed in 0u64..100) {
+        let sentences = TopicCorpus::builtin().generate(docs, seed);
+        let vocab = Vocabulary::build(&sentences, 1).unwrap();
+        // Every token is in vocabulary at min_count 1.
+        for s in &sentences {
+            prop_assert_eq!(vocab.encode(s).len(), s.len());
+        }
+        // Counts sum to the corpus token count.
+        let total: u64 = sentences.iter().map(|s| s.len() as u64).sum();
+        prop_assert_eq!(vocab.total_tokens(), total);
+        // Ids are dense and consistent.
+        for id in 0..vocab.len() as u32 {
+            prop_assert_eq!(vocab.id(vocab.word(id)), Some(id));
+        }
+        // Frequency ordering: counts are non-increasing in id.
+        for id in 1..vocab.len() as u32 {
+            prop_assert!(vocab.count(id - 1) >= vocab.count(id));
+        }
+    }
+}
+
+#[test]
+fn phrase_vector_is_additive() {
+    let emb = Embedding::from_vectors(vec![
+        ("a".into(), vec![1.0, 2.0]),
+        ("b".into(), vec![-3.0, 4.0]),
+        ("c".into(), vec![10.0, -1.0]),
+    ])
+    .unwrap();
+    let ab = emb.phrase_vector(&["a".into(), "b".into()]).unwrap();
+    let abc = emb
+        .phrase_vector(&["a".into(), "b".into(), "c".into()])
+        .unwrap();
+    for k in 0..2 {
+        assert!((abc[k] - (ab[k] + emb.vector("c").unwrap()[k])).abs() < 1e-6);
+    }
+}

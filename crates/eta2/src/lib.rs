@@ -1,0 +1,60 @@
+//! # ETA² — Expertise-Aware Truth Analysis and Task Allocation
+//!
+//! A from-scratch Rust reproduction of *"Expertise-Aware Truth Analysis and
+//! Task Allocation in Mobile Crowdsourcing"* (Zhang, Wu, Huang, Ji, Cao —
+//! ICDCS 2017).
+//!
+//! This facade crate re-exports the full public API:
+//!
+//! * [`stats`] — special functions, normal/χ² distributions, the normality
+//!   goodness-of-fit test, descriptive statistics, confidence intervals.
+//! * [`embed`] — tokenizer, skip-gram-with-negative-sampling trainer, topic
+//!   corpus generator and the paper's pair-word semantic extractor (§3.2).
+//! * [`cluster`] — (dynamic) average-linkage hierarchical clustering for
+//!   expertise-domain identification (§3.3).
+//! * [`core`] — the expertise model (§2.4), expertise-aware MLE truth
+//!   analysis (§4), max-quality and min-cost task allocation (§5), and the
+//!   comparison truth-discovery methods (§6.3).
+//! * [`datasets`] — survey-like, SFV-like and synthetic dataset generators
+//!   (§6.1).
+//! * [`sim`] — the day-by-day crowdsourcing simulator and sweep harness
+//!   (§6.2).
+//! * [`server`] — the paper's Figure-1 loop as an embeddable, stateful
+//!   online API (`Eta2Server`).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use eta2::datasets::synthetic::SyntheticConfig;
+//! use eta2::sim::{ApproachKind, SimConfig, Simulation};
+//!
+//! // A small instance of the paper's synthetic dataset (§6.1.3).
+//! let dataset = SyntheticConfig {
+//!     n_users: 20,
+//!     n_tasks: 50,
+//!     n_domains: 3,
+//!     ..SyntheticConfig::default()
+//! }
+//! .generate(42);
+//!
+//! // Run ETA² for five simulated days and read the error trajectory.
+//! let sim = Simulation::new(SimConfig::default());
+//! let metrics = sim.run(&dataset, ApproachKind::Eta2, 0);
+//! println!("daily estimation error: {:?}", metrics.daily_error);
+//! assert!(metrics.overall_error.is_finite());
+//! ```
+//!
+//! The runnable examples in `examples/` cover the full pipeline (noise
+//! mapping with textual task descriptions), budgeted campaigns with
+//! ETA²-mc, and streaming task arrival with dynamic domain discovery.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use eta2_cluster as cluster;
+pub use eta2_core as core;
+pub use eta2_datasets as datasets;
+pub use eta2_embed as embed;
+pub use eta2_server as server;
+pub use eta2_sim as sim;
+pub use eta2_stats as stats;

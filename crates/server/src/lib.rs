@@ -1,0 +1,63 @@
+//! The ETA² crowdsourcing server as an online library.
+//!
+//! This crate packages the repetitive loop of the paper's Figure 1 —
+//! *identify task expertise → allocate → collect → analyse truth → update
+//! expertise* — behind one stateful type, [`Eta2Server`], so the system can
+//! be embedded in an application instead of driven by the evaluation
+//! simulator:
+//!
+//! ```
+//! use eta2_core::model::{ObservationSet, UserId, UserProfile};
+//! use eta2_embed::corpus::TopicCorpus;
+//! use eta2_embed::{SkipGramConfig, SkipGramTrainer};
+//! use eta2_server::{Eta2Server, ServerConfig, TaskInput};
+//!
+//! // 1. Train (or load) word embeddings once.
+//! let corpus = TopicCorpus::builtin().generate(150, 1);
+//! let embedding = SkipGramTrainer::new(SkipGramConfig {
+//!     dim: 16,
+//!     epochs: 2,
+//!     ..SkipGramConfig::default()
+//! })
+//! .train_sentences(&corpus)?;
+//!
+//! // 2. Boot a server for 4 registered users.
+//! let mut server = Eta2Server::discovering(4, ServerConfig::default(), embedding);
+//!
+//! // 3. Day 1: tasks arrive as plain text.
+//! let ids = server.register_tasks(vec![
+//!     TaskInput::described("What is the noise level around the municipal building?", 1.0, 1.0),
+//!     TaskInput::described("How many parking spots are at the garage?", 1.0, 1.0),
+//! ])?;
+//!
+//! // 4. Allocate to users and collect their reports however you like.
+//! let users: Vec<UserProfile> = (0..4).map(|i| UserProfile::new(UserId(i), 8.0)).collect();
+//! let allocation = server.allocate_max_quality(&ids, &users);
+//! let mut reports = ObservationSet::new();
+//! for (task, assigned) in allocation.iter() {
+//!     for &u in assigned {
+//!         reports.insert(u, task, 42.0); // your collection mechanism here
+//!     }
+//! }
+//!
+//! // 5. Ingest: truths come back, expertise is updated for the next day.
+//! let outcome = server.ingest(&reports);
+//! assert_eq!(outcome.truths.len(), 2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! Two modes cover the paper's two dataset situations:
+//!
+//! * [`Eta2Server::discovering`] — tasks arrive as natural-language
+//!   descriptions; expertise domains are discovered with the pair-word +
+//!   dynamic-clustering pipeline (§3). The first registered batch plays the
+//!   warm-up role and fixes `d*`.
+//! * [`Eta2Server::with_known_domains`] — tasks arrive already labeled
+//!   with a domain (the synthetic-dataset situation, §6.1.3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod server;
+
+pub use server::{Eta2Server, ServerConfig, ServerError, TaskInput};

@@ -1,0 +1,555 @@
+//! The stateful ETA² server.
+
+use eta2_cluster::{DomainEvent, DynamicClusterer};
+use eta2_core::allocation::{
+    Allocation, MaxQualityAllocator, MaxQualityConfig, MinCostAllocator, MinCostConfig,
+    MinCostOutcome,
+};
+use eta2_core::allocation::min_cost::DataSource;
+use eta2_core::model::{
+    DomainId, ExpertiseMatrix, ObservationSet, Task, TaskId, UserProfile,
+};
+use eta2_core::truth::dynamic::{BatchOutcome, DynamicExpertise};
+use eta2_core::truth::mle::{MleConfig, TruthEstimate};
+use eta2_embed::pairword::pairword_distance;
+use eta2_embed::{Embedding, PairWordExtractor};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Server configuration (the knobs of §3–§5 that are not per-call).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServerConfig {
+    /// Expertise decay factor `α` (§4.2).
+    pub alpha: f64,
+    /// Clustering threshold fraction `γ` (§3.3); ignored in known-domain
+    /// mode.
+    pub gamma: f64,
+    /// Accuracy threshold `ε` of the allocation objective (§5.1).
+    pub epsilon: f64,
+    /// MLE settings (§4.1).
+    pub mle: MleConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            alpha: 0.5,
+            gamma: 0.6,
+            epsilon: 0.1,
+            mle: MleConfig::default(),
+        }
+    }
+}
+
+/// Error returned by server operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerError {
+    /// A described task was registered on a known-domain server, or vice
+    /// versa.
+    WrongTaskKind {
+        /// What the server expects: `"described"` or `"domained"`.
+        expected: &'static str,
+    },
+    /// An operation referenced a task id the server has never issued.
+    UnknownTask(TaskId),
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::WrongTaskKind { expected } => {
+                write!(f, "this server only accepts {expected} tasks")
+            }
+            ServerError::UnknownTask(id) => write!(f, "unknown {id}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+/// One task handed to [`Eta2Server::register_tasks`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TaskInput {
+    /// A natural-language task for domain discovery.
+    Described {
+        /// The task description sentence.
+        description: String,
+        /// Processing time `t_j` in hours.
+        processing_time: f64,
+        /// Recruiting cost `c_j`.
+        cost: f64,
+    },
+    /// A task with a pre-known expertise domain.
+    Domained {
+        /// The expertise domain.
+        domain: DomainId,
+        /// Processing time `t_j` in hours.
+        processing_time: f64,
+        /// Recruiting cost `c_j`.
+        cost: f64,
+    },
+}
+
+impl TaskInput {
+    /// Convenience constructor for a described task.
+    pub fn described(description: &str, processing_time: f64, cost: f64) -> Self {
+        TaskInput::Described {
+            description: description.to_string(),
+            processing_time,
+            cost,
+        }
+    }
+
+    /// Convenience constructor for a pre-domained task.
+    pub fn domained(domain: DomainId, processing_time: f64, cost: f64) -> Self {
+        TaskInput::Domained {
+            domain,
+            processing_time,
+            cost,
+        }
+    }
+}
+
+/// Domain-identification state: discovery pipeline or trust-the-caller.
+enum Domains {
+    Discover {
+        embedding: Embedding,
+        extractor: PairWordExtractor,
+        clusterer: DynamicClusterer<Vec<f32>, fn(&Vec<f32>, &Vec<f32>) -> f64>,
+    },
+    Known,
+}
+
+/// The stateful ETA² crowdsourcing server (see the crate docs for the
+/// end-to-end walkthrough).
+pub struct Eta2Server {
+    config: ServerConfig,
+    domains: Domains,
+    expertise: DynamicExpertise,
+    tasks: BTreeMap<TaskId, Task>,
+    truths: BTreeMap<TaskId, TruthEstimate>,
+    next_task: u32,
+}
+
+fn metric(a: &Vec<f32>, b: &Vec<f32>) -> f64 {
+    pairword_distance(a, b)
+}
+
+impl Eta2Server {
+    /// Creates a server that *discovers* expertise domains from task
+    /// descriptions with the given trained embedding (§3 pipeline).
+    pub fn discovering(n_users: usize, config: ServerConfig, embedding: Embedding) -> Self {
+        Eta2Server {
+            expertise: DynamicExpertise::new(n_users, config.alpha, config.mle),
+            domains: Domains::Discover {
+                embedding,
+                extractor: PairWordExtractor::new(),
+                clusterer: DynamicClusterer::new(
+                    metric as fn(&Vec<f32>, &Vec<f32>) -> f64,
+                    config.gamma,
+                ),
+            },
+            config,
+            tasks: BTreeMap::new(),
+            truths: BTreeMap::new(),
+            next_task: 0,
+        }
+    }
+
+    /// Creates a server whose tasks arrive with pre-known domains.
+    pub fn with_known_domains(n_users: usize, config: ServerConfig) -> Self {
+        Eta2Server {
+            expertise: DynamicExpertise::new(n_users, config.alpha, config.mle),
+            domains: Domains::Known,
+            config,
+            tasks: BTreeMap::new(),
+            truths: BTreeMap::new(),
+            next_task: 0,
+        }
+    }
+
+    /// The server configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Number of registered tasks.
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Number of live expertise domains.
+    pub fn domain_count(&self) -> usize {
+        match &self.domains {
+            Domains::Discover { clusterer, .. } => clusterer.domains().len(),
+            Domains::Known => self
+                .tasks
+                .values()
+                .map(|t| t.domain)
+                .collect::<std::collections::BTreeSet<_>>()
+                .len(),
+        }
+    }
+
+    /// Registers a batch of tasks, identifying their expertise domains
+    /// (§3). The first described batch doubles as the clustering warm-up
+    /// and fixes `d*`. Returns the new task ids in input order.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::WrongTaskKind`] if the input kind does not match the
+    /// server's mode.
+    pub fn register_tasks(&mut self, inputs: Vec<TaskInput>) -> Result<Vec<TaskId>, ServerError> {
+        if inputs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let resolved_domains: Vec<DomainId> = match &mut self.domains {
+            Domains::Known => inputs
+                .iter()
+                .map(|i| match i {
+                    TaskInput::Domained { domain, .. } => Ok(*domain),
+                    TaskInput::Described { .. } => Err(ServerError::WrongTaskKind {
+                        expected: "domained",
+                    }),
+                })
+                .collect::<Result<_, _>>()?,
+            Domains::Discover {
+                embedding,
+                extractor,
+                clusterer,
+            } => {
+                let points: Vec<Vec<f32>> = inputs
+                    .iter()
+                    .map(|i| match i {
+                        TaskInput::Described { description, .. } => Ok(extractor
+                            .extract(description)
+                            .semantic_vector(embedding)
+                            .unwrap_or_else(|| vec![0.0; 2 * embedding.dim()])),
+                        TaskInput::Domained { .. } => Err(ServerError::WrongTaskKind {
+                            expected: "described",
+                        }),
+                    })
+                    .collect::<Result<_, _>>()?;
+                let update = if clusterer.is_empty() {
+                    clusterer.warm_up(points)
+                } else {
+                    clusterer.add(points)
+                };
+                // Fold domain merges into the expertise accumulators and
+                // re-label affected tasks (paper §4.2, special case 2).
+                for event in &update.events {
+                    if let DomainEvent::Merged { kept, absorbed } = event {
+                        self.expertise
+                            .merge_domains(DomainId(*kept), DomainId(*absorbed));
+                        for t in self.tasks.values_mut() {
+                            if t.domain == DomainId(*absorbed) {
+                                t.domain = DomainId(*kept);
+                            }
+                        }
+                    }
+                }
+                update.assignments.iter().map(|&d| DomainId(d)).collect()
+            }
+        };
+
+        let mut ids = Vec::with_capacity(inputs.len());
+        for (input, domain) in inputs.iter().zip(resolved_domains) {
+            let (time, cost) = match input {
+                TaskInput::Described {
+                    processing_time,
+                    cost,
+                    ..
+                }
+                | TaskInput::Domained {
+                    processing_time,
+                    cost,
+                    ..
+                } => (*processing_time, *cost),
+            };
+            let id = TaskId(self.next_task);
+            self.next_task += 1;
+            self.tasks.insert(id, Task::new(id, domain, time, cost));
+            ids.push(id);
+        }
+        Ok(ids)
+    }
+
+    /// The resolved domain of a registered task.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::UnknownTask`] for an unregistered id.
+    pub fn domain_of(&self, task: TaskId) -> Result<DomainId, ServerError> {
+        self.tasks
+            .get(&task)
+            .map(|t| t.domain)
+            .ok_or(ServerError::UnknownTask(task))
+    }
+
+    /// Max-quality allocation (§5.1) of the given tasks to `users`, using
+    /// the current expertise estimates.
+    ///
+    /// Unknown task ids are ignored (allocating a subset is the common
+    /// case; validate with [`Eta2Server::domain_of`] first if needed).
+    pub fn allocate_max_quality(&self, tasks: &[TaskId], users: &[UserProfile]) -> Allocation {
+        let batch: Vec<Task> = tasks
+            .iter()
+            .filter_map(|id| self.tasks.get(id).copied())
+            .collect();
+        MaxQualityAllocator::new(MaxQualityConfig {
+            epsilon: self.config.epsilon,
+            use_approximation_pass: true,
+        })
+        .allocate(&batch, users, &self.expertise.matrix())
+    }
+
+    /// Min-cost allocation (§5.2): drives `source` through collection
+    /// rounds until each task's quality gate is met. Observations collected
+    /// by the rounds are *also* ingested into the server's expertise state,
+    /// so a follow-up [`Eta2Server::ingest`] is not needed.
+    pub fn allocate_min_cost<S: DataSource>(
+        &mut self,
+        tasks: &[TaskId],
+        users: &[UserProfile],
+        config: MinCostConfig,
+        source: &mut S,
+    ) -> MinCostOutcome {
+        let batch: Vec<Task> = tasks
+            .iter()
+            .filter_map(|id| self.tasks.get(id).copied())
+            .collect();
+        let outcome =
+            MinCostAllocator::new(config).allocate(&batch, users, &self.expertise.matrix(), source);
+        let ingest = self.expertise.ingest_batch(&batch, &outcome.observations);
+        self.truths.extend(ingest.truths);
+        outcome
+    }
+
+    /// Ingests collected reports: runs the §4 expertise-aware truth
+    /// analysis over the registered tasks they belong to, updates the
+    /// decayed expertise, caches and returns the truth estimates.
+    ///
+    /// Observations for unregistered tasks are ignored.
+    pub fn ingest(&mut self, reports: &ObservationSet) -> BatchOutcome {
+        let batch: Vec<Task> = reports
+            .tasks()
+            .filter_map(|id| self.tasks.get(&id).copied())
+            .collect();
+        let outcome = self.expertise.ingest_batch(&batch, reports);
+        self.truths
+            .extend(outcome.truths.iter().map(|(&k, &v)| (k, v)));
+        outcome
+    }
+
+    /// The latest truth estimate for a task, if it has been analysed.
+    pub fn truth(&self, task: TaskId) -> Option<TruthEstimate> {
+        self.truths.get(&task).copied()
+    }
+
+    /// A snapshot of the current expertise estimates.
+    pub fn expertise(&self) -> ExpertiseMatrix {
+        self.expertise.matrix()
+    }
+}
+
+impl fmt::Debug for Eta2Server {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Eta2Server")
+            .field("mode", &match self.domains {
+                Domains::Discover { .. } => "discover",
+                Domains::Known => "known-domains",
+            })
+            .field("tasks", &self.tasks.len())
+            .field("domains", &self.domain_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eta2_core::model::UserId;
+    use eta2_embed::corpus::TopicCorpus;
+    use eta2_embed::{SkipGramConfig, SkipGramTrainer};
+    use rand::{Rng, SeedableRng};
+
+    fn embedding() -> Embedding {
+        let corpus = TopicCorpus::builtin().generate(150, 1);
+        SkipGramTrainer::new(SkipGramConfig {
+            dim: 16,
+            epochs: 2,
+            ..SkipGramConfig::default()
+        })
+        .train_sentences(&corpus)
+        .unwrap()
+    }
+
+    fn users(n: u32, capacity: f64) -> Vec<UserProfile> {
+        (0..n).map(|i| UserProfile::new(UserId(i), capacity)).collect()
+    }
+
+    #[test]
+    fn known_domain_lifecycle() {
+        let mut server = Eta2Server::with_known_domains(3, ServerConfig::default());
+        let ids = server
+            .register_tasks(vec![
+                TaskInput::domained(DomainId(0), 1.0, 1.0),
+                TaskInput::domained(DomainId(1), 1.0, 1.0),
+            ])
+            .unwrap();
+        assert_eq!(ids.len(), 2);
+        assert_eq!(server.task_count(), 2);
+        assert_eq!(server.domain_count(), 2);
+        assert_eq!(server.domain_of(ids[0]).unwrap(), DomainId(0));
+
+        let alloc = server.allocate_max_quality(&ids, &users(3, 5.0));
+        assert!(!alloc.is_empty());
+        let mut reports = ObservationSet::new();
+        for (task, assigned) in alloc.iter() {
+            for &u in assigned {
+                reports.insert(u, task, 10.0 + u.0 as f64 * 0.01);
+            }
+        }
+        let outcome = server.ingest(&reports);
+        assert_eq!(outcome.truths.len(), 2);
+        assert!(server.truth(ids[0]).is_some());
+        assert!(server.truth(TaskId(99)).is_none());
+    }
+
+    #[test]
+    fn kind_mismatch_rejected() {
+        let mut known = Eta2Server::with_known_domains(1, ServerConfig::default());
+        let err = known
+            .register_tasks(vec![TaskInput::described("what is this?", 1.0, 1.0)])
+            .unwrap_err();
+        assert_eq!(err, ServerError::WrongTaskKind { expected: "domained" });
+
+        let mut disco = Eta2Server::discovering(1, ServerConfig::default(), embedding());
+        let err = disco
+            .register_tasks(vec![TaskInput::domained(DomainId(0), 1.0, 1.0)])
+            .unwrap_err();
+        assert_eq!(err, ServerError::WrongTaskKind { expected: "described" });
+    }
+
+    #[test]
+    fn discovery_assigns_same_topic_to_same_domain() {
+        let mut server = Eta2Server::discovering(4, ServerConfig::default(), embedding());
+        let ids = server
+            .register_tasks(vec![
+                TaskInput::described(
+                    "What is the noise level around the municipal building?",
+                    1.0,
+                    1.0,
+                ),
+                TaskInput::described(
+                    "What is the decibel measurement near the construction street?",
+                    1.0,
+                    1.0,
+                ),
+                TaskInput::described("How many parking spots are at the garage?", 1.0, 1.0),
+            ])
+            .unwrap();
+        let d0 = server.domain_of(ids[0]).unwrap();
+        let d1 = server.domain_of(ids[1]).unwrap();
+        let d2 = server.domain_of(ids[2]).unwrap();
+        assert_eq!(d0, d1, "noise tasks split across domains");
+        assert_ne!(d0, d2, "noise and parking merged");
+
+        // A later arrival joins the existing noise domain.
+        let later = server
+            .register_tasks(vec![TaskInput::described(
+                "What is the ambient sound volume near the street?",
+                1.0,
+                1.0,
+            )])
+            .unwrap();
+        assert_eq!(server.domain_of(later[0]).unwrap(), d0);
+    }
+
+    #[test]
+    fn expertise_learned_over_batches() {
+        let mut server = Eta2Server::with_known_domains(4, ServerConfig::default());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let skills = [3.0, 1.0, 1.0, 0.3];
+        for _day in 0..3 {
+            let ids = server
+                .register_tasks(
+                    (0..15)
+                        .map(|_| TaskInput::domained(DomainId(0), 1.0, 1.0))
+                        .collect(),
+                )
+                .unwrap();
+            let mut reports = ObservationSet::new();
+            for &id in &ids {
+                let truth: f64 = rng.gen_range(0.0..20.0);
+                for (i, &u) in skills.iter().enumerate() {
+                    let z = eta2_stats::normal::standard_sample(&mut rng);
+                    reports.insert(UserId(i as u32), id, truth + z / u);
+                }
+            }
+            server.ingest(&reports);
+        }
+        let ex = server.expertise();
+        assert!(
+            ex.get(UserId(0), DomainId(0)) > ex.get(UserId(3), DomainId(0)),
+            "expertise ordering not learned: {:?}",
+            (0..4)
+                .map(|i| ex.get(UserId(i), DomainId(0)))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn min_cost_path_ingests_automatically() {
+        let mut server = Eta2Server::with_known_domains(10, ServerConfig::default());
+        let ids = server
+            .register_tasks(
+                (0..3)
+                    .map(|_| TaskInput::domained(DomainId(0), 1.0, 1.0))
+                    .collect(),
+            )
+            .unwrap();
+        let mut source = |_u: UserId, _t: &Task| 7.0_f64;
+        let outcome = server.allocate_min_cost(
+            &ids,
+            &users(10, 100.0),
+            MinCostConfig::default(),
+            &mut source,
+        );
+        assert!(outcome.all_passed);
+        // Truths are queryable without a separate ingest.
+        for id in ids {
+            assert!((server.truth(id).unwrap().mu - 7.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ingest_ignores_unregistered_tasks() {
+        let mut server = Eta2Server::with_known_domains(2, ServerConfig::default());
+        let mut reports = ObservationSet::new();
+        reports.insert(UserId(0), TaskId(123), 1.0);
+        let outcome = server.ingest(&reports);
+        assert!(outcome.truths.is_empty());
+    }
+
+    #[test]
+    fn empty_registration_is_noop() {
+        let mut server = Eta2Server::with_known_domains(2, ServerConfig::default());
+        assert_eq!(server.register_tasks(vec![]).unwrap(), vec![]);
+        assert_eq!(server.task_count(), 0);
+    }
+
+    #[test]
+    fn allocate_ignores_unknown_ids() {
+        let server = Eta2Server::with_known_domains(2, ServerConfig::default());
+        let alloc = server.allocate_max_quality(&[TaskId(5)], &users(2, 5.0));
+        assert!(alloc.is_empty());
+    }
+
+    #[test]
+    fn debug_shows_mode() {
+        let server = Eta2Server::with_known_domains(2, ServerConfig::default());
+        assert!(format!("{server:?}").contains("known-domains"));
+    }
+}

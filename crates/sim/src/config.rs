@@ -1,0 +1,187 @@
+//! Simulation configuration.
+
+use eta2_core::truth::mle::MleConfig;
+use eta2_embed::SkipGramConfig;
+use serde::{Deserialize, Serialize};
+
+/// The approach under test — ETA² variants and the §6.3 comparison methods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ApproachKind {
+    /// ETA² with max-quality task allocation (§5.1).
+    Eta2,
+    /// ETA²-mc with min-cost task allocation (§5.2).
+    Eta2MinCost,
+    /// Hubs & Authorities truth discovery + reliability-greedy allocation.
+    HubsAuthorities,
+    /// Average·Log truth discovery + reliability-greedy allocation.
+    AverageLog,
+    /// TruthFinder truth discovery + reliability-greedy allocation.
+    TruthFinder,
+    /// Mean truth + random allocation (the paper's lower bound).
+    Baseline,
+    /// CRH truth discovery + reliability-greedy allocation — an extension
+    /// beyond the paper's comparison set (not part of
+    /// [`ApproachKind::ALL`]).
+    Crh,
+}
+
+impl ApproachKind {
+    /// All six approaches in the paper's legend order.
+    pub const ALL: [ApproachKind; 6] = [
+        ApproachKind::Eta2,
+        ApproachKind::Eta2MinCost,
+        ApproachKind::HubsAuthorities,
+        ApproachKind::AverageLog,
+        ApproachKind::TruthFinder,
+        ApproachKind::Baseline,
+    ];
+
+    /// The five approaches compared in Figs. 5/6 (everything except
+    /// ETA²-mc).
+    pub const COMPARISON: [ApproachKind; 5] = [
+        ApproachKind::Eta2,
+        ApproachKind::HubsAuthorities,
+        ApproachKind::AverageLog,
+        ApproachKind::TruthFinder,
+        ApproachKind::Baseline,
+    ];
+
+    /// Display name matching the paper's legends.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ApproachKind::Eta2 => "ETA2",
+            ApproachKind::Eta2MinCost => "ETA2-mc",
+            ApproachKind::HubsAuthorities => "Hubs and Authorities",
+            ApproachKind::AverageLog => "Average-Log",
+            ApproachKind::TruthFinder => "TruthFinder",
+            ApproachKind::Baseline => "Baseline",
+            ApproachKind::Crh => "CRH",
+        }
+    }
+
+    /// Whether the approach learns per-domain expertise (the ETA² family).
+    pub fn is_expertise_aware(&self) -> bool {
+        matches!(self, ApproachKind::Eta2 | ApproachKind::Eta2MinCost)
+    }
+}
+
+/// Tuning of the min-cost allocation (§6.4.3 experimental setting).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MinCostTuning {
+    /// Maximum tolerated normalized error `ε̄` (paper: 0.5).
+    pub max_error: f64,
+    /// Significance `α` of the quality confidence (paper: 0.05).
+    pub confidence_alpha: f64,
+    /// Per-round cost cap `c°`.
+    pub round_budget: f64,
+}
+
+impl Default for MinCostTuning {
+    fn default() -> Self {
+        MinCostTuning {
+            max_error: 0.5,
+            confidence_alpha: 0.05,
+            round_budget: 50.0,
+        }
+    }
+}
+
+/// Full simulation configuration; defaults mirror §6.2 and the best
+/// parameters of §6.4.1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Days of task arrival (paper: 5, the first being the warm-up).
+    pub days: usize,
+    /// Expertise decay factor `α` (paper: dataset-dependent, 0.5 default).
+    pub alpha: f64,
+    /// Clustering threshold fraction `γ` (paper: dataset-dependent, 0.6
+    /// default; unused when the dataset's domains are known).
+    pub gamma: f64,
+    /// Accuracy threshold `ε` of the allocation objective (paper: 0.1).
+    pub epsilon: f64,
+    /// MLE settings.
+    pub mle: MleConfig,
+    /// Min-cost tuning (only used by [`ApproachKind::Eta2MinCost`]).
+    pub min_cost: MinCostTuning,
+    /// Skip-gram settings for the description pipeline.
+    pub skipgram: SkipGramConfig,
+    /// Documents generated for the embedding training corpus.
+    pub corpus_documents: usize,
+    /// Record per-observation (expertise, error) pairs (Fig. 7) — off by
+    /// default, it is memory-heavy.
+    pub record_observations: bool,
+    /// Ablation: make the *system* see a single expertise domain (data is
+    /// still generated from the true per-domain expertise). Quantifies the
+    /// value of expertise-awareness — ETA² collapses to a reliability-style
+    /// method when set.
+    pub collapse_domains: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            days: 5,
+            alpha: 0.5,
+            gamma: 0.6,
+            epsilon: 0.1,
+            mle: MleConfig::default(),
+            min_cost: MinCostTuning::default(),
+            skipgram: SkipGramConfig {
+                dim: 24,
+                epochs: 3,
+                ..SkipGramConfig::default()
+            },
+            corpus_documents: 300,
+            record_observations: false,
+            collapse_domains: false,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Validates ranges; called by the engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range values.
+    pub fn validate(&self) {
+        assert!(self.days >= 1, "need at least one day");
+        assert!((0.0..=1.0).contains(&self.alpha), "alpha in [0,1]");
+        assert!((0.0..=1.0).contains(&self.gamma), "gamma in [0,1]");
+        assert!(self.epsilon > 0.0, "epsilon > 0");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approach_names_and_partitions() {
+        assert_eq!(ApproachKind::ALL.len(), 6);
+        assert_eq!(ApproachKind::COMPARISON.len(), 5);
+        assert!(!ApproachKind::COMPARISON.contains(&ApproachKind::Eta2MinCost));
+        assert!(ApproachKind::Eta2.is_expertise_aware());
+        assert!(ApproachKind::Eta2MinCost.is_expertise_aware());
+        assert!(!ApproachKind::TruthFinder.is_expertise_aware());
+        assert_eq!(ApproachKind::Eta2.name(), "ETA2");
+    }
+
+    #[test]
+    fn default_config_validates() {
+        SimConfig::default().validate();
+    }
+
+    #[test]
+    fn invalid_configs_panic() {
+        let mut c = SimConfig::default();
+        c.days = 0;
+        assert!(std::panic::catch_unwind(move || c.validate()).is_err());
+        let mut c = SimConfig::default();
+        c.alpha = 1.5;
+        assert!(std::panic::catch_unwind(move || c.validate()).is_err());
+        let mut c = SimConfig::default();
+        c.gamma = -0.1;
+        assert!(std::panic::catch_unwind(move || c.validate()).is_err());
+    }
+}

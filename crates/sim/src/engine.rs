@@ -1,0 +1,499 @@
+//! The day-by-day simulation engine.
+
+use crate::config::{ApproachKind, SimConfig};
+use crate::metrics::RunMetrics;
+use crate::pipeline::{train_embedding_for, DomainTracker};
+use eta2_core::allocation::{
+    Allocation, MaxQualityAllocator, MaxQualityConfig, MinCostAllocator, MinCostConfig,
+    RandomAllocator, ReliabilityGreedyAllocator,
+};
+use eta2_core::model::{DomainId, ObservationSet, Task, TaskId, UserId};
+use eta2_core::truth::baselines::{
+    AverageLog, Crh, HubsAuthorities, MeanBaseline, TruthFinder, TruthMethod,
+};
+use eta2_core::truth::dynamic::DynamicExpertise;
+use eta2_core::truth::mle::TruthEstimate;
+use eta2_datasets::{Dataset, TaskSpec};
+use eta2_embed::Embedding;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+/// The simulator: replays the paper's crowdsourcing loop (§2.2) for one
+/// approach on one dataset.
+///
+/// See the crate docs for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct Simulation {
+    config: SimConfig,
+}
+
+impl Simulation {
+    /// Creates a simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is out of range
+    /// (see [`SimConfig::validate`]).
+    pub fn new(config: SimConfig) -> Self {
+        config.validate();
+        Simulation { config }
+    }
+
+    /// The simulator configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Runs one simulation, training the embedding internally if the
+    /// dataset needs one. For sweeps, train once with
+    /// [`train_embedding_for`] and use [`Simulation::run_with_embedding`].
+    pub fn run(&self, dataset: &Dataset, approach: ApproachKind, seed: u64) -> RunMetrics {
+        let embedding = train_embedding_for(dataset, &self.config);
+        self.run_with_embedding(dataset, approach, seed, embedding.as_ref())
+    }
+
+    /// Runs one simulation with a pre-trained embedding (ignored for
+    /// datasets whose domains are known).
+    pub fn run_with_embedding(
+        &self,
+        dataset: &Dataset,
+        approach: ApproachKind,
+        seed: u64,
+        embedding: Option<&Embedding>,
+    ) -> RunMetrics {
+        let cfg = &self.config;
+        let n_users = dataset.users.len();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let schedule = dataset.arrival_schedule(cfg.days);
+        let profiles = dataset.profiles();
+
+        let mut tracker = if approach.is_expertise_aware() && !cfg.collapse_domains {
+            Some(DomainTracker::new(dataset, embedding, cfg))
+        } else {
+            None
+        };
+        let mut dynexp = DynamicExpertise::new(n_users, cfg.alpha, cfg.mle);
+        let baseline_method: Option<Box<dyn TruthMethod>> = match approach {
+            ApproachKind::HubsAuthorities => Some(Box::new(HubsAuthorities::default())),
+            ApproachKind::AverageLog => Some(Box::new(AverageLog::default())),
+            ApproachKind::TruthFinder => Some(Box::new(TruthFinder::default())),
+            ApproachKind::Baseline => Some(Box::new(MeanBaseline)),
+            ApproachKind::Crh => Some(Box::new(Crh::default())),
+            ApproachKind::Eta2 | ApproachKind::Eta2MinCost => None,
+        };
+
+        let mut metrics = RunMetrics::default();
+        let mut reliability = vec![1.0; n_users];
+        let mut cumulative_obs = ObservationSet::new();
+        let mut final_error: BTreeMap<TaskId, f64> = BTreeMap::new();
+        // Per-task bookkeeping for Fig. 7 / Table 2.
+        let mut task_domain: BTreeMap<TaskId, DomainId> = BTreeMap::new();
+        let mut all_observations: Vec<(UserId, TaskId, f64)> = Vec::new();
+
+        let spec_of = |id: TaskId| -> &TaskSpec { &dataset.tasks[id.0 as usize] };
+
+        for (day, indices) in schedule.iter().enumerate() {
+            if indices.is_empty() {
+                metrics.daily_error.push(f64::NAN);
+                continue;
+            }
+            let specs: Vec<&TaskSpec> = indices.iter().map(|&i| &dataset.tasks[i]).collect();
+
+            // (1) Identify domains (ETA² family only).
+            let tasks_core: Vec<Task> = if cfg.collapse_domains {
+                // Ablation: the system is blind to domains.
+                specs.iter().map(|s| s.to_task(DomainId(0))).collect()
+            } else if let Some(tracker) = tracker.as_mut() {
+                let batch = tracker.identify(dataset, indices);
+                for &(kept, absorbed) in &batch.merges {
+                    dynexp.merge_domains(kept, absorbed);
+                    for d in task_domain.values_mut() {
+                        if *d == absorbed {
+                            *d = kept;
+                        }
+                    }
+                }
+                specs
+                    .iter()
+                    .zip(&batch.domains)
+                    .map(|(s, &d)| s.to_task(d))
+                    .collect()
+            } else {
+                // Baselines ignore domains entirely.
+                specs.iter().map(|s| s.to_task(DomainId(0))).collect()
+            };
+            for t in &tasks_core {
+                task_domain.insert(t.id, t.domain);
+            }
+
+            // (2) Allocate, collect, analyse.
+            let day_truths: BTreeMap<TaskId, TruthEstimate> =
+                if approach == ApproachKind::Eta2MinCost && day > 0 {
+                    // ETA²-mc runs its own allocate→collect→analyse rounds.
+                    let prior = dynexp.matrix();
+                    let mut collected: Vec<(UserId, TaskId, f64)> = Vec::new();
+                    let outcome = {
+                        let mut source = |user: UserId, task: &Task| {
+                            let x = dataset.observe(user, spec_of(task.id), &mut rng);
+                            collected.push((user, task.id, x));
+                            x
+                        };
+                        MinCostAllocator::new(MinCostConfig {
+                            epsilon: cfg.epsilon,
+                            max_error: cfg.min_cost.max_error,
+                            confidence_alpha: cfg.min_cost.confidence_alpha,
+                            round_budget: cfg.min_cost.round_budget,
+                            max_rounds: 100,
+                            mle: cfg.mle,
+                        })
+                        .allocate(&tasks_core, &profiles, &prior, &mut source)
+                    };
+                    metrics.total_cost += outcome.total_cost;
+                    metrics.mle_iterations.extend(outcome.mle_iterations.clone());
+                    all_observations.extend(collected);
+                    record_assignments(
+                        &mut metrics,
+                        dataset,
+                        &tasks_core,
+                        &outcome.allocation,
+                    );
+                    let out = dynexp.ingest_batch(&tasks_core, &outcome.observations);
+                    metrics.mle_iterations.push(out.iterations);
+                    out.truths
+                } else {
+                    // Warm-up day, ETA² proper, or a comparison approach.
+                    let allocation = match approach {
+                        _ if day == 0 => {
+                            RandomAllocator::new().allocate(&tasks_core, &profiles, &mut rng)
+                        }
+                        ApproachKind::Eta2 | ApproachKind::Eta2MinCost => {
+                            MaxQualityAllocator::new(MaxQualityConfig {
+                                epsilon: cfg.epsilon,
+                                use_approximation_pass: true,
+                            })
+                            .allocate(&tasks_core, &profiles, &dynexp.matrix())
+                        }
+                        ApproachKind::Baseline => {
+                            RandomAllocator::new().allocate(&tasks_core, &profiles, &mut rng)
+                        }
+                        _ => ReliabilityGreedyAllocator::new().allocate(
+                            &tasks_core,
+                            &profiles,
+                            &reliability,
+                        ),
+                    };
+                    let mut day_obs = ObservationSet::new();
+                    for (task, users) in allocation.iter() {
+                        for &u in users {
+                            let x = dataset.observe(u, spec_of(task), &mut rng);
+                            day_obs.insert(u, task, x);
+                            all_observations.push((u, task, x));
+                        }
+                    }
+                    metrics.total_cost += allocation.total_cost(&tasks_core);
+                    if approach.is_expertise_aware() && day > 0 {
+                        record_assignments(&mut metrics, dataset, &tasks_core, &allocation);
+                    }
+
+                    if let Some(method) = baseline_method.as_deref() {
+                        cumulative_obs.merge(&day_obs);
+                        let result = method.estimate(&cumulative_obs, n_users);
+                        reliability = result.reliability;
+                        metrics.mle_iterations.push(result.iterations);
+                        // Baselines re-estimate every task each day: refresh
+                        // all final errors.
+                        for (&id, &mu) in &result.truths {
+                            let spec = spec_of(id);
+                            final_error
+                                .insert(id, (mu - spec.ground_truth).abs() / spec.base_sigma);
+                        }
+                        result
+                            .truths
+                            .iter()
+                            .map(|(&id, &mu)| {
+                                (
+                                    id,
+                                    TruthEstimate {
+                                        mu,
+                                        sigma: spec_of(id).base_sigma,
+                                    },
+                                )
+                            })
+                            .collect()
+                    } else {
+                        let out = dynexp.ingest_batch(&tasks_core, &day_obs);
+                        metrics.mle_iterations.push(out.iterations);
+                        out.truths
+                    }
+                };
+
+            // (3) Daily error over the day's estimated tasks.
+            let mut day_err = 0.0;
+            let mut estimated = 0usize;
+            for t in &tasks_core {
+                if let Some(est) = day_truths.get(&t.id) {
+                    let spec = spec_of(t.id);
+                    let err = (est.mu - spec.ground_truth).abs() / spec.base_sigma;
+                    day_err += err;
+                    estimated += 1;
+                    if approach.is_expertise_aware() || baseline_method.is_none() {
+                        final_error.insert(t.id, err);
+                    }
+                } else {
+                    metrics.uncovered_tasks += 1;
+                }
+            }
+            metrics
+                .daily_error
+                .push(if estimated > 0 { day_err / estimated as f64 } else { f64::NAN });
+        }
+
+        metrics.overall_error = if final_error.is_empty() {
+            f64::NAN
+        } else {
+            final_error.values().sum::<f64>() / final_error.len() as f64
+        };
+
+        // Fig. 11: expertise estimation error on datasets with oracle
+        // domains (the learned-cluster ids don't align with oracle ids).
+        // The model identifies expertise only up to a per-domain scale
+        // (multiplying every u in a domain and the domain's σ_j by the same
+        // constant leaves the likelihood unchanged), so each domain's
+        // estimates are least-squares aligned to the truth before the MAE.
+        if approach.is_expertise_aware() && dataset.domains_known {
+            let mut err = 0.0;
+            let mut count = 0usize;
+            for d in 0..dataset.n_domains {
+                let ests: Vec<f64> = (0..n_users)
+                    .map(|u| dynexp.expertise(UserId(u as u32), DomainId(d as u32)))
+                    .collect();
+                let truths: Vec<f64> = (0..n_users)
+                    .map(|u| dataset.true_expertise(UserId(u as u32), DomainId(d as u32)))
+                    .collect();
+                let dot: f64 = ests.iter().zip(&truths).map(|(e, t)| e * t).sum();
+                let sq: f64 = ests.iter().map(|e| e * e).sum();
+                let scale = if sq > 0.0 { dot / sq } else { 1.0 };
+                for (e, t) in ests.iter().zip(&truths) {
+                    err += (scale * e - t).abs();
+                    count += 1;
+                }
+            }
+            metrics.expertise_error = Some(err / count as f64);
+        }
+
+        // Fig. 7: observation error vs final estimated (and true) expertise.
+        if cfg.record_observations {
+            let matrix = dynexp.matrix();
+            for &(user, task, x) in &all_observations {
+                let spec = spec_of(task);
+                let err = (x - spec.ground_truth).abs() / spec.base_sigma;
+                let estimated = if approach.is_expertise_aware() {
+                    matrix.get(user, task_domain[&task])
+                } else {
+                    reliability[user.0 as usize]
+                };
+                let truth = dataset.true_expertise(user, spec.oracle_domain);
+                metrics.observation_records.push((estimated, truth, err));
+            }
+        }
+
+        metrics.final_domains = tracker
+            .as_ref()
+            .map_or(0, |t| t.domain_count(dataset));
+        metrics
+    }
+}
+
+/// Records Table 2 rows: users per task and their average *true* expertise
+/// in the task's oracle domain.
+fn record_assignments(
+    metrics: &mut RunMetrics,
+    dataset: &Dataset,
+    tasks: &[Task],
+    allocation: &Allocation,
+) {
+    for t in tasks {
+        let users = allocation.users_for(t.id);
+        if users.is_empty() {
+            continue;
+        }
+        let oracle = dataset.tasks[t.id.0 as usize].oracle_domain;
+        let avg: f64 = users
+            .iter()
+            .map(|&u| dataset.true_expertise(u, oracle))
+            .sum::<f64>()
+            / users.len() as f64;
+        metrics.assignment_stats.push((users.len(), avg));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eta2_datasets::survey::SurveyConfig;
+    use eta2_datasets::synthetic::SyntheticConfig;
+
+    fn small_synth() -> Dataset {
+        SyntheticConfig {
+            n_users: 25,
+            n_tasks: 80,
+            n_domains: 4,
+            ..SyntheticConfig::default()
+        }
+        .generate(11)
+    }
+
+    fn sim() -> Simulation {
+        Simulation::new(SimConfig::default())
+    }
+
+    #[test]
+    fn all_approaches_complete_on_synthetic() {
+        let ds = small_synth();
+        let s = sim();
+        for approach in ApproachKind::ALL.into_iter().chain([ApproachKind::Crh]) {
+            let m = s.run(&ds, approach, 1);
+            assert_eq!(m.daily_error.len(), 5, "{}", approach.name());
+            assert!(
+                m.daily_error.iter().all(|e| e.is_finite()),
+                "{}: {:?}",
+                approach.name(),
+                m.daily_error
+            );
+            assert!(m.overall_error.is_finite(), "{}", approach.name());
+            assert!(m.total_cost > 0.0, "{}", approach.name());
+            assert!(!m.mle_iterations.is_empty(), "{}", approach.name());
+        }
+    }
+
+    #[test]
+    fn runs_are_seed_deterministic() {
+        let ds = small_synth();
+        let s = sim();
+        let a = s.run(&ds, ApproachKind::Eta2, 3);
+        let b = s.run(&ds, ApproachKind::Eta2, 3);
+        assert_eq!(a, b);
+        let c = s.run(&ds, ApproachKind::Eta2, 4);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn eta2_beats_baseline_on_synthetic() {
+        let ds = small_synth();
+        let s = sim();
+        // Average a few seeds to smooth noise.
+        let avg = |approach: ApproachKind| -> f64 {
+            (0..5).map(|seed| s.run(&ds, approach, seed).overall_error).sum::<f64>() / 5.0
+        };
+        let eta2 = avg(ApproachKind::Eta2);
+        let baseline = avg(ApproachKind::Baseline);
+        assert!(
+            eta2 < baseline,
+            "ETA2 {eta2:.4} not below Baseline {baseline:.4}"
+        );
+    }
+
+    #[test]
+    fn eta2_error_decreases_from_warmup() {
+        // Daily errors are noisy on a small instance (each day carries
+        // different tasks), so compare the warm-up day against the average
+        // of the post-learning days over several seeds.
+        let ds = SyntheticConfig {
+            n_users: 40,
+            n_tasks: 150,
+            n_domains: 4,
+            ..SyntheticConfig::default()
+        }
+        .generate(11);
+        let s = sim();
+        let mut first = 0.0;
+        let mut late = 0.0;
+        for seed in 0..10 {
+            let m = s.run(&ds, ApproachKind::Eta2, seed);
+            first += m.daily_error[0];
+            late += (m.daily_error[2] + m.daily_error[3] + m.daily_error[4]) / 3.0;
+        }
+        assert!(
+            late < first,
+            "late-day error {late:.4} not below warm-up {first:.4}"
+        );
+    }
+
+    #[test]
+    fn min_cost_cheaper_than_max_quality() {
+        let ds = small_synth();
+        let s = sim();
+        let mut mq_cost = 0.0;
+        let mut mc_cost = 0.0;
+        for seed in 0..3 {
+            mq_cost += s.run(&ds, ApproachKind::Eta2, seed).total_cost;
+            mc_cost += s.run(&ds, ApproachKind::Eta2MinCost, seed).total_cost;
+        }
+        assert!(
+            mc_cost < mq_cost,
+            "ETA2-mc cost {mc_cost:.0} not below ETA2 {mq_cost:.0}"
+        );
+    }
+
+    #[test]
+    fn expertise_error_reported_only_when_meaningful() {
+        let ds = small_synth();
+        let s = sim();
+        assert!(s.run(&ds, ApproachKind::Eta2, 0).expertise_error.is_some());
+        assert!(s.run(&ds, ApproachKind::Baseline, 0).expertise_error.is_none());
+    }
+
+    #[test]
+    fn observation_records_gated_by_config() {
+        let ds = small_synth();
+        let off = Simulation::new(SimConfig::default());
+        assert!(off
+            .run(&ds, ApproachKind::Eta2, 0)
+            .observation_records
+            .is_empty());
+        let on = Simulation::new(SimConfig {
+            record_observations: true,
+            ..SimConfig::default()
+        });
+        let m = on.run(&ds, ApproachKind::Eta2, 0);
+        assert!(!m.observation_records.is_empty());
+        assert!(m
+            .observation_records
+            .iter()
+            .all(|&(est, tru, e)| est >= 0.0 && tru >= 0.0 && e >= 0.0));
+    }
+
+    #[test]
+    fn assignment_stats_recorded_for_eta2() {
+        let ds = small_synth();
+        let m = sim().run(&ds, ApproachKind::Eta2, 0);
+        assert!(!m.assignment_stats.is_empty());
+        for &(n, avg) in &m.assignment_stats {
+            assert!(n >= 1);
+            assert!(avg > 0.0);
+        }
+        // Baselines don't record Table 2 rows.
+        let m = sim().run(&ds, ApproachKind::TruthFinder, 0);
+        assert!(m.assignment_stats.is_empty());
+    }
+
+    #[test]
+    fn survey_pipeline_end_to_end() {
+        // Full description pipeline: embedding + clustering + allocation.
+        let ds = SurveyConfig {
+            n_users: 20,
+            n_tasks: 60,
+            ..SurveyConfig::default()
+        }
+        .generate(2);
+        let cfg = SimConfig {
+            corpus_documents: 150,
+            ..SimConfig::default()
+        };
+        let s = Simulation::new(cfg);
+        let m = s.run(&ds, ApproachKind::Eta2, 0);
+        assert!(m.overall_error.is_finite());
+        assert!(m.final_domains > 1, "learned {} domains", m.final_domains);
+    }
+}

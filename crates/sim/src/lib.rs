@@ -1,0 +1,51 @@
+//! Day-by-day mobile-crowdsourcing simulation engine for the ETA²
+//! reproduction (paper §2.2 and §6.2).
+//!
+//! One *run* replays the paper's loop on a generated dataset:
+//!
+//! 1. **Warm-up** (day 0): tasks are allocated randomly — no expertise
+//!    knowledge exists yet.
+//! 2. Each following day: new tasks arrive → their expertise domains are
+//!    identified (oracle domains for the synthetic dataset; the full
+//!    pair-word + skip-gram + dynamic-clustering pipeline otherwise) →
+//!    tasks are allocated by the approach under test → users report data →
+//!    truth analysis runs → expertise/reliability is updated.
+//!
+//! Six approaches are supported ([`ApproachKind`]): ETA², ETA²-mc, the
+//! three reliability-based comparison methods, and the random/mean
+//! Baseline. [`metrics::RunMetrics`] captures everything the paper's
+//! figures need; [`sweep`] averages runs over seeds and sweeps parameters
+//! (τ, α, γ, c°, bias) for the evaluation harness.
+//!
+//! # Examples
+//!
+//! ```
+//! use eta2_datasets::synthetic::SyntheticConfig;
+//! use eta2_sim::{ApproachKind, SimConfig, Simulation};
+//!
+//! let dataset = SyntheticConfig {
+//!     n_users: 20,
+//!     n_tasks: 60,
+//!     n_domains: 3,
+//!     ..SyntheticConfig::default()
+//! }
+//! .generate(1);
+//! let sim = Simulation::new(SimConfig::default());
+//! let metrics = sim.run(&dataset, ApproachKind::Eta2, 7);
+//! assert_eq!(metrics.daily_error.len(), SimConfig::default().days);
+//! assert!(metrics.overall_error.is_finite());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod metrics;
+pub mod pipeline;
+pub mod sweep;
+
+pub use config::{ApproachKind, SimConfig};
+pub use engine::Simulation;
+pub use metrics::RunMetrics;
+pub use pipeline::train_embedding_for;

@@ -1,0 +1,162 @@
+//! Metrics recorded per simulation run — everything the paper's figures
+//! consume.
+
+use serde::{Deserialize, Serialize};
+
+/// Metrics of one simulation run.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Average normalized estimation error per day (`|μ̂ − μ|/σ` averaged
+    /// over the day's estimated tasks) — Figs. 5/6/8/9.
+    pub daily_error: Vec<f64>,
+    /// Average normalized estimation error over all tasks, final
+    /// estimates.
+    pub overall_error: f64,
+    /// Tasks that never received an observation (possible under tight
+    /// capability) — excluded from the error averages.
+    pub uncovered_tasks: usize,
+    /// Total recruiting cost `Σ s_ij · c_j` — Fig. 10.
+    pub total_cost: f64,
+    /// Iterations of every truth-analysis invocation — Fig. 12.
+    pub mle_iterations: Vec<usize>,
+    /// Mean absolute error of the expertise estimate vs the dataset's true
+    /// expertise, after per-domain least-squares scale alignment (the
+    /// model's per-domain expertise scale is unidentifiable — only ratios
+    /// matter; see `eta2-core::truth::mle` docs). Only for expertise-aware
+    /// approaches — Fig. 11.
+    pub expertise_error: Option<f64>,
+    /// Per task: `(users assigned, average true expertise of those users in
+    /// the task's domain)` — Table 2.
+    pub assignment_stats: Vec<(usize, f64)>,
+    /// Per observation: `(estimated expertise, true expertise, |x − μ|/σ)`
+    /// of the reporting user in the task's domain — Fig. 7. Only recorded
+    /// when `SimConfig::record_observations` is set.
+    pub observation_records: Vec<(f64, f64, f64)>,
+    /// Number of expertise domains at the end of the run (learned or
+    /// oracle).
+    pub final_domains: usize,
+}
+
+impl RunMetrics {
+    /// Mean of `daily_error` (NaN if empty).
+    pub fn mean_daily_error(&self) -> f64 {
+        if self.daily_error.is_empty() {
+            f64::NAN
+        } else {
+            self.daily_error.iter().sum::<f64>() / self.daily_error.len() as f64
+        }
+    }
+}
+
+/// Element-wise average of several runs' metrics — the paper averages every
+/// experiment over 100 seeds (§6.2).
+///
+/// `daily_error` vectors must have equal lengths; scalar fields are
+/// averaged; `mle_iterations`, `assignment_stats` and `observation_records`
+/// are concatenated (they feed distribution plots, not averages).
+///
+/// # Panics
+///
+/// Panics on an empty slice or mismatched `daily_error` lengths.
+pub fn average(runs: &[RunMetrics]) -> RunMetrics {
+    assert!(!runs.is_empty(), "cannot average zero runs");
+    let days = runs[0].daily_error.len();
+    assert!(
+        runs.iter().all(|r| r.daily_error.len() == days),
+        "runs disagree on day count"
+    );
+    let n = runs.len() as f64;
+    let mut daily_error = vec![0.0; days];
+    for r in runs {
+        for (d, &e) in r.daily_error.iter().enumerate() {
+            daily_error[d] += e / n;
+        }
+    }
+    let expertise_errors: Vec<f64> = runs.iter().filter_map(|r| r.expertise_error).collect();
+    RunMetrics {
+        daily_error,
+        overall_error: runs.iter().map(|r| r.overall_error).sum::<f64>() / n,
+        uncovered_tasks: (runs.iter().map(|r| r.uncovered_tasks).sum::<usize>() as f64 / n)
+            .round() as usize,
+        total_cost: runs.iter().map(|r| r.total_cost).sum::<f64>() / n,
+        mle_iterations: runs.iter().flat_map(|r| r.mle_iterations.clone()).collect(),
+        expertise_error: if expertise_errors.is_empty() {
+            None
+        } else {
+            Some(expertise_errors.iter().sum::<f64>() / expertise_errors.len() as f64)
+        },
+        assignment_stats: runs
+            .iter()
+            .flat_map(|r| r.assignment_stats.clone())
+            .collect(),
+        observation_records: runs
+            .iter()
+            .flat_map(|r| r.observation_records.clone())
+            .collect(),
+        final_domains: (runs.iter().map(|r| r.final_domains).sum::<usize>() as f64 / n).round()
+            as usize,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(errors: Vec<f64>, overall: f64, cost: f64) -> RunMetrics {
+        RunMetrics {
+            daily_error: errors,
+            overall_error: overall,
+            total_cost: cost,
+            ..RunMetrics::default()
+        }
+    }
+
+    #[test]
+    fn average_of_two_runs() {
+        let a = mk(vec![1.0, 2.0], 1.5, 10.0);
+        let b = mk(vec![3.0, 4.0], 3.5, 30.0);
+        let avg = average(&[a, b]);
+        assert_eq!(avg.daily_error, vec![2.0, 3.0]);
+        assert_eq!(avg.overall_error, 2.5);
+        assert_eq!(avg.total_cost, 20.0);
+    }
+
+    #[test]
+    fn average_concatenates_distributions() {
+        let mut a = mk(vec![1.0], 1.0, 0.0);
+        a.mle_iterations = vec![3, 4];
+        let mut b = mk(vec![1.0], 1.0, 0.0);
+        b.mle_iterations = vec![7];
+        let avg = average(&[a, b]);
+        assert_eq!(avg.mle_iterations, vec![3, 4, 7]);
+    }
+
+    #[test]
+    fn average_handles_expertise_option() {
+        let mut a = mk(vec![1.0], 1.0, 0.0);
+        a.expertise_error = Some(0.4);
+        let b = mk(vec![1.0], 1.0, 0.0);
+        let avg = average(&[a.clone(), b]);
+        assert_eq!(avg.expertise_error, Some(0.4));
+        let avg2 = average(&[a.clone(), a]);
+        assert_eq!(avg2.expertise_error, Some(0.4));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot average zero runs")]
+    fn average_rejects_empty() {
+        average(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "runs disagree on day count")]
+    fn average_rejects_mismatched_days() {
+        average(&[mk(vec![1.0], 1.0, 0.0), mk(vec![1.0, 2.0], 1.0, 0.0)]);
+    }
+
+    #[test]
+    fn mean_daily_error_of_empty_is_nan() {
+        assert!(mk(vec![], 0.0, 0.0).mean_daily_error().is_nan());
+        assert_eq!(mk(vec![2.0, 4.0], 0.0, 0.0).mean_daily_error(), 3.0);
+    }
+}

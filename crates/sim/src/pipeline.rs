@@ -1,0 +1,260 @@
+//! The expertise-domain identification pipeline (paper §3) wired for the
+//! simulator: embedding training, semantic vector extraction and the
+//! dynamic clusterer.
+
+use crate::config::SimConfig;
+use eta2_cluster::{DomainEvent, DynamicClusterer};
+use eta2_core::model::DomainId;
+use eta2_datasets::sfv::SFV_TOPICS;
+use eta2_datasets::Dataset;
+use eta2_embed::corpus::TopicCorpus;
+use eta2_embed::pairword::pairword_distance;
+use eta2_embed::{Embedding, PairWordExtractor, SkipGramTrainer};
+
+/// Trains the skip-gram embedding appropriate for `dataset`, or `None` when
+/// the dataset's domains are known (synthetic — no clustering needed).
+///
+/// The corpus mirrors the dataset's topical structure: the built-in topic
+/// corpus for the survey dataset, the SFV slot-family corpus for SFV. This
+/// is the Wikipedia substitution documented in DESIGN.md §3.
+pub fn train_embedding_for(dataset: &Dataset, config: &SimConfig) -> Option<Embedding> {
+    if dataset.domains_known {
+        return None;
+    }
+    let corpus = match dataset.name.as_str() {
+        "sfv" => TopicCorpus::with_topics(SFV_TOPICS.to_vec()),
+        _ => TopicCorpus::builtin(),
+    };
+    let sentences = corpus.generate(config.corpus_documents, config.skipgram.seed);
+    Some(
+        SkipGramTrainer::new(config.skipgram)
+            .train_sentences(&sentences)
+            .expect("topic corpus always yields a vocabulary"),
+    )
+}
+
+/// A semantic point for clustering: the concatenated `[V_Q, V_T]` vector,
+/// or a zero vector for descriptions with no in-vocabulary words.
+pub type SemanticPoint = Vec<f32>;
+
+/// The Eq. 2 metric over semantic points.
+pub fn semantic_metric(a: &SemanticPoint, b: &SemanticPoint) -> f64 {
+    pairword_distance(a, b)
+}
+
+/// Domain identification for one run: either the oracle domains or a
+/// learned dynamic clustering over pair-word semantics.
+pub enum DomainTracker<'a> {
+    /// Synthetic dataset: domains are pre-known to the server (§6.1.3).
+    Oracle,
+    /// Description datasets: learn domains with the §3 pipeline.
+    Learned(Box<LearnedTracker<'a>>),
+}
+
+/// State of the learned pipeline.
+pub struct LearnedTracker<'a> {
+    embedding: &'a Embedding,
+    extractor: PairWordExtractor,
+    clusterer: DynamicClusterer<SemanticPoint, fn(&SemanticPoint, &SemanticPoint) -> f64>,
+    dim: usize,
+}
+
+/// The outcome of identifying a batch of tasks' domains.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DomainBatch {
+    /// Domain per task of the batch, in input order.
+    pub domains: Vec<DomainId>,
+    /// Domain merges triggered by this batch: `(kept, absorbed)`.
+    pub merges: Vec<(DomainId, DomainId)>,
+}
+
+impl<'a> DomainTracker<'a> {
+    /// Creates the tracker: oracle when the dataset's domains are known,
+    /// learned otherwise (requiring the trained `embedding`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset needs clustering but `embedding` is `None`.
+    pub fn new(dataset: &Dataset, embedding: Option<&'a Embedding>, config: &SimConfig) -> Self {
+        if dataset.domains_known {
+            DomainTracker::Oracle
+        } else {
+            let embedding = embedding.expect("description datasets need an embedding");
+            DomainTracker::Learned(Box::new(LearnedTracker {
+                embedding,
+                extractor: PairWordExtractor::new(),
+                clusterer: DynamicClusterer::new(
+                    semantic_metric as fn(&SemanticPoint, &SemanticPoint) -> f64,
+                    config.gamma,
+                ),
+                dim: embedding.dim(),
+            }))
+        }
+    }
+
+    /// Identifies the domains of the day's tasks (`task_indices` into
+    /// `dataset.tasks`). The first call plays the role of the warm-up
+    /// clustering; later calls insert dynamically (§3.3.2).
+    pub fn identify(&mut self, dataset: &Dataset, task_indices: &[usize]) -> DomainBatch {
+        match self {
+            DomainTracker::Oracle => DomainBatch {
+                domains: task_indices
+                    .iter()
+                    .map(|&i| dataset.tasks[i].oracle_domain)
+                    .collect(),
+                merges: Vec::new(),
+            },
+            DomainTracker::Learned(t) => {
+                let points: Vec<SemanticPoint> = task_indices
+                    .iter()
+                    .map(|&i| {
+                        let desc = dataset.tasks[i]
+                            .description
+                            .as_deref()
+                            .unwrap_or_default();
+                        t.extractor
+                            .extract(desc)
+                            .semantic_vector(t.embedding)
+                            .unwrap_or_else(|| vec![0.0; 2 * t.dim])
+                    })
+                    .collect();
+                let update = if t.clusterer.is_empty() {
+                    t.clusterer.warm_up(points)
+                } else {
+                    t.clusterer.add(points)
+                };
+                let merges = update
+                    .events
+                    .iter()
+                    .filter_map(|e| match e {
+                        DomainEvent::Merged { kept, absorbed } => {
+                            Some((DomainId(*kept), DomainId(*absorbed)))
+                        }
+                        DomainEvent::Created { .. } => None,
+                    })
+                    .collect();
+                DomainBatch {
+                    domains: update.assignments.iter().map(|&d| DomainId(d)).collect(),
+                    merges,
+                }
+            }
+        }
+    }
+
+    /// Number of live domains.
+    pub fn domain_count(&self, dataset: &Dataset) -> usize {
+        match self {
+            DomainTracker::Oracle => dataset.n_domains,
+            DomainTracker::Learned(t) => t.clusterer.domains().len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eta2_datasets::survey::SurveyConfig;
+    use eta2_datasets::synthetic::SyntheticConfig;
+    use std::collections::{HashMap, HashSet};
+
+    fn small_config() -> SimConfig {
+        SimConfig {
+            corpus_documents: 150,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn synthetic_uses_oracle_domains() {
+        let ds = SyntheticConfig {
+            n_users: 5,
+            n_tasks: 12,
+            n_domains: 3,
+            ..SyntheticConfig::default()
+        }
+        .generate(0);
+        let cfg = small_config();
+        assert!(train_embedding_for(&ds, &cfg).is_none());
+        let mut tracker = DomainTracker::new(&ds, None, &cfg);
+        let batch = tracker.identify(&ds, &[0, 1, 2]);
+        assert_eq!(batch.domains.len(), 3);
+        assert!(batch.merges.is_empty());
+        for (k, &d) in batch.domains.iter().enumerate() {
+            assert_eq!(d, ds.tasks[k].oracle_domain);
+        }
+        assert_eq!(tracker.domain_count(&ds), 3);
+    }
+
+    #[test]
+    fn survey_pipeline_learns_coherent_domains() {
+        let ds = SurveyConfig::default().generate(3);
+        let cfg = small_config();
+        let emb = train_embedding_for(&ds, &cfg).expect("survey needs embedding");
+        let mut tracker = DomainTracker::new(&ds, Some(&emb), &cfg);
+
+        // Warm up on the first 60 tasks, then add the rest.
+        let warm: Vec<usize> = (0..60).collect();
+        let rest: Vec<usize> = (60..150).collect();
+        let b1 = tracker.identify(&ds, &warm);
+        let b2 = tracker.identify(&ds, &rest);
+
+        // Quality check: learned clusters should be far better than chance
+        // at grouping same-topic tasks. Compute pairwise agreement between
+        // the learned partition and the oracle topics.
+        let mut learned: HashMap<usize, DomainId> = HashMap::new();
+        for (k, &i) in warm.iter().enumerate() {
+            learned.insert(i, b1.domains[k]);
+        }
+        for (k, &i) in rest.iter().enumerate() {
+            learned.insert(i, b2.domains[k]);
+        }
+        let n = ds.tasks.len();
+        let mut same_topic_same_cluster = 0usize;
+        let mut same_topic_pairs = 0usize;
+        let mut diff_topic_same_cluster = 0usize;
+        let mut diff_topic_pairs = 0usize;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let same_topic = ds.tasks[i].oracle_domain == ds.tasks[j].oracle_domain;
+                let same_cluster = learned[&i] == learned[&j];
+                if same_topic {
+                    same_topic_pairs += 1;
+                    same_topic_same_cluster += usize::from(same_cluster);
+                } else {
+                    diff_topic_pairs += 1;
+                    diff_topic_same_cluster += usize::from(same_cluster);
+                }
+            }
+        }
+        let recall = same_topic_same_cluster as f64 / same_topic_pairs as f64;
+        let false_merge = diff_topic_same_cluster as f64 / diff_topic_pairs as f64;
+        assert!(
+            recall > 0.5 && recall > 3.0 * false_merge,
+            "clustering too weak: recall = {recall:.2}, false-merge = {false_merge:.2}"
+        );
+    }
+
+    #[test]
+    fn learned_tracker_assigns_every_task() {
+        let ds = SurveyConfig {
+            n_tasks: 40,
+            ..SurveyConfig::default()
+        }
+        .generate(1);
+        let cfg = small_config();
+        let emb = train_embedding_for(&ds, &cfg).unwrap();
+        let mut tracker = DomainTracker::new(&ds, Some(&emb), &cfg);
+        let b = tracker.identify(&ds, &(0..40).collect::<Vec<_>>());
+        assert_eq!(b.domains.len(), 40);
+        let distinct: HashSet<DomainId> = b.domains.iter().copied().collect();
+        assert!(!distinct.is_empty());
+        assert_eq!(tracker.domain_count(&ds), distinct.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "description datasets need an embedding")]
+    fn learned_tracker_requires_embedding() {
+        let ds = SurveyConfig::default().generate(0);
+        DomainTracker::new(&ds, None, &small_config());
+    }
+}

@@ -1,0 +1,242 @@
+//! Multi-seed averaging and parameter sweeps.
+//!
+//! The paper averages every experiment point over 100 random seeds (§6.2).
+//! [`average_over_seeds`] parallelizes the seed loop over the available
+//! cores with crossbeam's scoped threads; the experiment binaries in
+//! `eta2-bench` build their τ/α/γ/c° sweeps on top of it.
+
+use crate::config::{ApproachKind, SimConfig};
+use crate::engine::Simulation;
+use crate::metrics::{average, RunMetrics};
+use eta2_datasets::Dataset;
+use eta2_embed::Embedding;
+
+/// Runs `n_seeds` simulations (seeds `base_seed..base_seed + n_seeds`) in
+/// parallel and returns the element-wise average of their metrics.
+///
+/// `make_dataset` builds the dataset for each seed — this is where per-seed
+/// randomization such as capacity re-rolls (`τ` sweeps) happens. The
+/// embedding, when needed, is trained once by the caller and shared.
+///
+/// # Panics
+///
+/// Panics if `n_seeds == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use eta2_datasets::synthetic::SyntheticConfig;
+/// use eta2_sim::{ApproachKind, SimConfig, Simulation};
+/// use eta2_sim::sweep::average_over_seeds;
+///
+/// let sim = Simulation::new(SimConfig::default());
+/// let avg = average_over_seeds(
+///     &sim,
+///     ApproachKind::Baseline,
+///     4,
+///     0,
+///     |seed| SyntheticConfig {
+///         n_users: 10,
+///         n_tasks: 30,
+///         n_domains: 2,
+///         ..SyntheticConfig::default()
+///     }
+///     .generate(seed),
+///     None,
+/// );
+/// assert_eq!(avg.daily_error.len(), 5);
+/// ```
+pub fn average_over_seeds<F>(
+    sim: &Simulation,
+    approach: ApproachKind,
+    n_seeds: u64,
+    base_seed: u64,
+    make_dataset: F,
+    embedding: Option<&Embedding>,
+) -> RunMetrics
+where
+    F: Fn(u64) -> Dataset + Sync,
+{
+    assert!(n_seeds > 0, "need at least one seed");
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(n_seeds as usize);
+
+    let runs: Vec<RunMetrics> = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let make_dataset = &make_dataset;
+            let sim = &sim;
+            handles.push(scope.spawn(move |_| {
+                let mut out = Vec::new();
+                let mut seed = base_seed + w as u64;
+                while seed < base_seed + n_seeds {
+                    let dataset = make_dataset(seed);
+                    out.push(sim.run_with_embedding(&dataset, approach, seed, embedding));
+                    seed += workers as u64;
+                }
+                out
+            }));
+        }
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("simulation worker panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope failed");
+
+    average(&runs)
+}
+
+/// One point of a one-dimensional sweep: the swept value and the averaged
+/// metrics at that value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// The swept parameter value (τ, α, γ, c°, bias fraction, …).
+    pub x: f64,
+    /// Seed-averaged metrics at `x`.
+    pub metrics: RunMetrics,
+}
+
+/// Sweeps the average processing capability `τ` (Figs. 6/9/10/11): for each
+/// `τ`, users' capacities are re-rolled per seed from `[τ − 4, τ + 4]`.
+pub fn sweep_tau<F>(
+    sim: &Simulation,
+    approach: ApproachKind,
+    taus: &[f64],
+    n_seeds: u64,
+    make_dataset: F,
+    embedding: Option<&Embedding>,
+) -> Vec<SweepPoint>
+where
+    F: Fn(u64) -> Dataset + Sync,
+{
+    taus.iter()
+        .map(|&tau| {
+            let make = |seed: u64| {
+                let mut ds = make_dataset(seed);
+                let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(
+                    seed ^ 0x7a75_0000,
+                );
+                ds.regenerate_capacities(tau, 4.0, &mut rng);
+                ds
+            };
+            SweepPoint {
+                x: tau,
+                metrics: average_over_seeds(sim, approach, n_seeds, 0, make, embedding),
+            }
+        })
+        .collect()
+}
+
+/// Sweeps the simulation configuration itself (α, γ, c°, …): `configure`
+/// maps each swept value to a [`SimConfig`].
+pub fn sweep_config<F, G>(
+    values: &[f64],
+    configure: G,
+    approach: ApproachKind,
+    n_seeds: u64,
+    make_dataset: F,
+    embedding: Option<&Embedding>,
+) -> Vec<SweepPoint>
+where
+    F: Fn(u64) -> Dataset + Sync,
+    G: Fn(f64) -> SimConfig,
+{
+    values
+        .iter()
+        .map(|&x| {
+            let sim = Simulation::new(configure(x));
+            SweepPoint {
+                x,
+                metrics: average_over_seeds(
+                    &sim,
+                    approach,
+                    n_seeds,
+                    0,
+                    &make_dataset,
+                    embedding,
+                ),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eta2_datasets::synthetic::SyntheticConfig;
+
+    fn make(seed: u64) -> Dataset {
+        SyntheticConfig {
+            n_users: 12,
+            n_tasks: 30,
+            n_domains: 2,
+            ..SyntheticConfig::default()
+        }
+        .generate(seed)
+    }
+
+    #[test]
+    fn averaging_is_deterministic() {
+        let sim = Simulation::new(SimConfig::default());
+        let a = average_over_seeds(&sim, ApproachKind::Baseline, 3, 0, make, None);
+        let b = average_over_seeds(&sim, ApproachKind::Baseline, 3, 0, make, None);
+        assert_eq!(a.daily_error, b.daily_error);
+        assert_eq!(a.overall_error, b.overall_error);
+    }
+
+    #[test]
+    fn parallel_equals_manual_average() {
+        let sim = Simulation::new(SimConfig::default());
+        let avg = average_over_seeds(&sim, ApproachKind::Baseline, 4, 10, make, None);
+        let runs: Vec<RunMetrics> = (10..14)
+            .map(|s| sim.run(&make(s), ApproachKind::Baseline, s))
+            .collect();
+        let manual = average(&runs);
+        assert!((avg.overall_error - manual.overall_error).abs() < 1e-12);
+        assert_eq!(avg.total_cost, manual.total_cost);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one seed")]
+    fn zero_seeds_panics() {
+        let sim = Simulation::new(SimConfig::default());
+        average_over_seeds(&sim, ApproachKind::Baseline, 0, 0, make, None);
+    }
+
+    #[test]
+    fn tau_sweep_rerolls_capacities() {
+        let sim = Simulation::new(SimConfig::default());
+        let points = sweep_tau(
+            &sim,
+            ApproachKind::Baseline,
+            &[6.0, 14.0],
+            2,
+            make,
+            None,
+        );
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].x, 6.0);
+        // More capability → more assignments → higher total cost.
+        assert!(points[1].metrics.total_cost > points[0].metrics.total_cost);
+    }
+
+    #[test]
+    fn config_sweep_builds_each_point() {
+        let points = sweep_config(
+            &[0.1, 0.9],
+            |alpha| SimConfig {
+                alpha,
+                ..SimConfig::default()
+            },
+            ApproachKind::Eta2,
+            2,
+            make,
+            None,
+        );
+        assert_eq!(points.len(), 2);
+        assert!(points.iter().all(|p| p.metrics.overall_error.is_finite()));
+    }
+}

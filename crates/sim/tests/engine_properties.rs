@@ -1,0 +1,99 @@
+//! Property-based tests of the simulation engine's invariants.
+
+use eta2_datasets::synthetic::SyntheticConfig;
+use eta2_sim::{ApproachKind, SimConfig, Simulation};
+use proptest::prelude::*;
+
+fn tiny(seed: u64) -> eta2_datasets::Dataset {
+    SyntheticConfig {
+        n_users: 8,
+        n_tasks: 20,
+        n_domains: 2,
+        ..SyntheticConfig::default()
+    }
+    .generate(seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every approach terminates with internally consistent metrics on
+    /// arbitrary small instances.
+    #[test]
+    fn metrics_internally_consistent(ds_seed in 0u64..50, run_seed in 0u64..50) {
+        let ds = tiny(ds_seed);
+        let sim = Simulation::new(SimConfig::default());
+        for approach in ApproachKind::ALL {
+            let m = sim.run(&ds, approach, run_seed);
+            prop_assert_eq!(m.daily_error.len(), 5, "{}", approach.name());
+            prop_assert!(m.total_cost >= 0.0);
+            prop_assert!(m.uncovered_tasks <= ds.tasks.len());
+            prop_assert!(m.mle_iterations.iter().all(|&i| i >= 1));
+            for &(n, e) in &m.assignment_stats {
+                prop_assert!(n >= 1 && e >= 0.0);
+            }
+        }
+    }
+
+    /// Day count is honored for any configured horizon.
+    #[test]
+    fn day_horizon_respected(days in 1usize..8) {
+        let ds = tiny(0);
+        let sim = Simulation::new(SimConfig {
+            days,
+            ..SimConfig::default()
+        });
+        let m = sim.run(&ds, ApproachKind::Eta2, 0);
+        prop_assert_eq!(m.daily_error.len(), days);
+    }
+
+    /// Zero-capacity users never appear in the allocation, for any
+    /// approach.
+    #[test]
+    fn zero_capacity_users_idle(run_seed in 0u64..30) {
+        let mut ds = tiny(1);
+        for u in &mut ds.users {
+            if u.id.0 % 2 == 0 {
+                u.capacity = 0.0;
+            }
+        }
+        let sim = Simulation::new(SimConfig::default());
+        for approach in [ApproachKind::Eta2, ApproachKind::Baseline, ApproachKind::TruthFinder] {
+            let m = sim.run(&ds, approach, run_seed);
+            // Half the users are idle: the cost can be at most half of the
+            // full-capacity saturation, which for this instance is bounded
+            // by users × tasks.
+            prop_assert!(m.total_cost <= (ds.users.len() / 2 * ds.tasks.len()) as f64);
+        }
+    }
+}
+
+#[test]
+fn collapse_domains_hurts_on_heterogeneous_expertise() {
+    // The ablation knob must actually change behaviour.
+    let ds = SyntheticConfig {
+        n_users: 25,
+        n_tasks: 80,
+        n_domains: 4,
+        ..SyntheticConfig::default()
+    }
+    .generate(3);
+    let normal = Simulation::new(SimConfig::default());
+    let collapsed = Simulation::new(SimConfig {
+        collapse_domains: true,
+        ..SimConfig::default()
+    });
+    let seeds = 5;
+    let avg = |sim: &Simulation| -> f64 {
+        (0..seeds)
+            .map(|s| sim.run(&ds, ApproachKind::Eta2, s).overall_error)
+            .sum::<f64>()
+            / seeds as f64
+    };
+    let e_normal = avg(&normal);
+    let e_collapsed = avg(&collapsed);
+    assert!(
+        e_normal < e_collapsed,
+        "per-domain {e_normal:.4} not below collapsed {e_collapsed:.4}"
+    );
+}

@@ -1,0 +1,221 @@
+//! Normal-theory confidence intervals (paper §5.2.2, Eq. 24).
+//!
+//! The min-cost allocator's quality gate asks: is the `1−α` confidence
+//! interval of the MLE truth estimate `μ̂_j` shorter than `2·ε̄·σ_j`?
+//! By the asymptotic normality of the MLE (Theorem 1 in the paper), the
+//! interval half-width is `Z_{α/2} / sqrt(I(μ_j))` with Fisher information
+//! `I(μ_j) = Σ_i s_ij (u_i^{d_j})² / σ_j²`.
+
+use crate::error::StatsError;
+use crate::normal::Normal;
+use serde::{Deserialize, Serialize};
+
+/// A two-sided confidence interval `[lo, hi]` at confidence `1 − α`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfidenceInterval {
+    /// Lower endpoint.
+    pub lo: f64,
+    /// Upper endpoint.
+    pub hi: f64,
+    /// Significance level `α` (e.g. 0.05 for a 95 % interval).
+    pub alpha: f64,
+}
+
+impl ConfidenceInterval {
+    /// Interval for a normal estimator with point estimate `estimate` and
+    /// standard error `std_err`, at significance level `alpha`.
+    ///
+    /// # Errors
+    ///
+    /// * [`StatsError::ProbabilityOutOfRange`] unless `0 < alpha < 1`.
+    /// * [`StatsError::InvalidParameter`] unless `std_err` is finite and
+    ///   non-negative.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use eta2_stats::ConfidenceInterval;
+    ///
+    /// let ci = ConfidenceInterval::normal(10.0, 1.0, 0.05)?;
+    /// assert!((ci.half_width() - 1.96).abs() < 1e-2);
+    /// assert!(ci.contains(10.5));
+    /// # Ok::<(), eta2_stats::StatsError>(())
+    /// ```
+    pub fn normal(estimate: f64, std_err: f64, alpha: f64) -> Result<Self, StatsError> {
+        if !(alpha > 0.0 && alpha < 1.0) {
+            return Err(StatsError::ProbabilityOutOfRange(alpha));
+        }
+        if !std_err.is_finite() || std_err < 0.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "std_err",
+                value: std_err,
+                requirement: "must be finite and >= 0",
+            });
+        }
+        let z = Normal::standard().quantile(1.0 - alpha / 2.0)?;
+        Ok(ConfidenceInterval {
+            lo: estimate - z * std_err,
+            hi: estimate + z * std_err,
+            alpha,
+        })
+    }
+
+    /// Interval for an MLE truth estimate per the paper's Eq. 24:
+    /// standard error `σ_j / sqrt(Σ_i s_ij (u_i^{d_j})²)`.
+    ///
+    /// `expertise_sq_sum` is `Σ_i s_ij (u_i^{d_j})²` over the users selected
+    /// for the task.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ConfidenceInterval::normal`], plus
+    /// [`StatsError::InvalidParameter`] if `expertise_sq_sum <= 0` or
+    /// `sigma <= 0`.
+    pub fn mle_truth(
+        estimate: f64,
+        sigma: f64,
+        expertise_sq_sum: f64,
+        alpha: f64,
+    ) -> Result<Self, StatsError> {
+        if !sigma.is_finite() || sigma <= 0.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "sigma",
+                value: sigma,
+                requirement: "must be finite and > 0",
+            });
+        }
+        if !expertise_sq_sum.is_finite() || expertise_sq_sum <= 0.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "expertise_sq_sum",
+                value: expertise_sq_sum,
+                requirement: "must be finite and > 0",
+            });
+        }
+        Self::normal(estimate, sigma / expertise_sq_sum.sqrt(), alpha)
+    }
+
+    /// Half the interval length — `Z_{α/2} · std_err`.
+    pub fn half_width(&self) -> f64 {
+        (self.hi - self.lo) / 2.0
+    }
+
+    /// Full interval length.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Whether `x` lies inside the closed interval.
+    pub fn contains(&self, x: f64) -> bool {
+        x >= self.lo && x <= self.hi
+    }
+
+    /// The paper's quality gate: the interval is narrower than
+    /// `2·ε̄·σ` (Algorithm 2, line 13 checks the negation).
+    pub fn meets_quality(&self, max_error: f64, sigma: f64) -> bool {
+        self.width() <= 2.0 * max_error * sigma
+    }
+}
+
+/// The minimum `Σ_i s_ij (u_i^{d_j})²` that satisfies the quality gate in
+/// closed form: `(Z_{α/2} / ε̄)²`.
+///
+/// Useful to predict how much aggregate expertise² a task still needs — the
+/// min-cost allocator exposes it in its diagnostics.
+///
+/// # Errors
+///
+/// [`StatsError::ProbabilityOutOfRange`] unless `0 < alpha < 1`;
+/// [`StatsError::InvalidParameter`] unless `max_error > 0`.
+pub fn required_expertise_sq(alpha: f64, max_error: f64) -> Result<f64, StatsError> {
+    // NaN falls through `<=` but is caught by the finiteness check.
+    if max_error <= 0.0 || !max_error.is_finite() {
+        return Err(StatsError::InvalidParameter {
+            name: "max_error",
+            value: max_error,
+            requirement: "must be finite and > 0",
+        });
+    }
+    let z = Normal::standard().quantile(1.0 - alpha / 2.0)?;
+    Ok((z / max_error).powi(2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn normal_interval_95_percent() {
+        let ci = ConfidenceInterval::normal(0.0, 1.0, 0.05).unwrap();
+        assert!((ci.half_width() - 1.959963984540054).abs() < 1e-9);
+        assert!(ci.contains(0.0));
+        assert!(!ci.contains(2.5));
+    }
+
+    #[test]
+    fn interval_validation() {
+        assert!(ConfidenceInterval::normal(0.0, 1.0, 0.0).is_err());
+        assert!(ConfidenceInterval::normal(0.0, 1.0, 1.0).is_err());
+        assert!(ConfidenceInterval::normal(0.0, -1.0, 0.05).is_err());
+        assert!(ConfidenceInterval::mle_truth(0.0, 0.0, 1.0, 0.05).is_err());
+        assert!(ConfidenceInterval::mle_truth(0.0, 1.0, 0.0, 0.05).is_err());
+    }
+
+    #[test]
+    fn mle_truth_matches_eq24() {
+        // σ = 2, Σ u² = 16 → std_err = 0.5; at α = 0.05 half-width ≈ 0.98.
+        let ci = ConfidenceInterval::mle_truth(5.0, 2.0, 16.0, 0.05).unwrap();
+        assert!((ci.half_width() - 1.959963984540054 * 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quality_gate_threshold() {
+        // Gate: width ≤ 2·ε̄·σ ⟺ Σu² ≥ (Z/ε̄)².
+        let alpha = 0.05;
+        let eps = 0.5;
+        let sigma = 3.0;
+        let need = required_expertise_sq(alpha, eps).unwrap();
+        let just_enough =
+            ConfidenceInterval::mle_truth(0.0, sigma, need * 1.0001, alpha).unwrap();
+        assert!(just_enough.meets_quality(eps, sigma));
+        let not_enough =
+            ConfidenceInterval::mle_truth(0.0, sigma, need * 0.9999, alpha).unwrap();
+        assert!(!not_enough.meets_quality(eps, sigma));
+    }
+
+    #[test]
+    fn required_expertise_known_value() {
+        // (1.959963.../0.5)² ≈ 15.3658
+        let v = required_expertise_sq(0.05, 0.5).unwrap();
+        assert!((v - 15.365835240817353).abs() < 1e-5, "v = {v}");
+    }
+
+    proptest! {
+        #[test]
+        fn interval_always_brackets_estimate(
+            est in -1e6..1e6f64,
+            se in 0.0..1e3f64,
+            alpha in 0.001..0.999f64,
+        ) {
+            let ci = ConfidenceInterval::normal(est, se, alpha).unwrap();
+            prop_assert!(ci.lo <= est && est <= ci.hi);
+            prop_assert!(ci.width() >= 0.0);
+        }
+
+        #[test]
+        fn narrower_alpha_means_wider_interval(se in 0.01..100.0f64) {
+            let tight = ConfidenceInterval::normal(0.0, se, 0.10).unwrap();
+            let wide = ConfidenceInterval::normal(0.0, se, 0.01).unwrap();
+            prop_assert!(wide.width() > tight.width());
+        }
+
+        #[test]
+        fn required_expertise_monotone_in_error(e1 in 0.05..1.0f64, e2 in 0.05..1.0f64) {
+            let (lo, hi) = if e1 <= e2 { (e1, e2) } else { (e2, e1) };
+            let need_lo = required_expertise_sq(0.05, lo).unwrap();
+            let need_hi = required_expertise_sq(0.05, hi).unwrap();
+            // Tighter error demand requires more aggregate expertise.
+            prop_assert!(need_lo >= need_hi);
+        }
+    }
+}

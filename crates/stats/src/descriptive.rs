@@ -1,0 +1,395 @@
+//! Descriptive statistics: summaries, quantiles and histograms.
+//!
+//! The evaluation harness uses these for the paper's Fig. 2 (error
+//! histograms vs the standard-normal pdf), Fig. 7 (boxplot quartiles of the
+//! observation error per expertise bin) and Fig. 12 (CDF of MLE iteration
+//! counts).
+
+use crate::error::StatsError;
+use serde::{Deserialize, Serialize};
+
+/// Arithmetic mean; `None` for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(eta2_stats::descriptive::mean(&[1.0, 2.0, 3.0]), Some(2.0));
+/// assert_eq!(eta2_stats::descriptive::mean(&[]), None);
+/// ```
+pub fn mean(data: &[f64]) -> Option<f64> {
+    if data.is_empty() {
+        None
+    } else {
+        Some(data.iter().sum::<f64>() / data.len() as f64)
+    }
+}
+
+/// Unbiased sample variance (`n − 1` denominator); `None` for fewer than two
+/// points.
+pub fn sample_variance(data: &[f64]) -> Option<f64> {
+    if data.len() < 2 {
+        return None;
+    }
+    let m = mean(data)?;
+    Some(data.iter().map(|v| (v - m).powi(2)).sum::<f64>() / (data.len() as f64 - 1.0))
+}
+
+/// Population variance (`n` denominator); `None` for an empty slice.
+pub fn population_variance(data: &[f64]) -> Option<f64> {
+    let m = mean(data)?;
+    Some(data.iter().map(|v| (v - m).powi(2)).sum::<f64>() / data.len() as f64)
+}
+
+/// Population standard deviation — the paper's `std_j` in the error
+/// normalization `err_ij = (x_ij − μ_j)/std_j` (§2.3).
+pub fn population_std(data: &[f64]) -> Option<f64> {
+    population_variance(data).map(f64::sqrt)
+}
+
+/// Linear-interpolation quantile of `data` at probability `q ∈ [0, 1]`.
+///
+/// Matches the common "type 7" definition (the default of R and NumPy).
+///
+/// # Errors
+///
+/// * [`StatsError::InsufficientData`] for an empty slice.
+/// * [`StatsError::ProbabilityOutOfRange`] unless `0 ≤ q ≤ 1`.
+///
+/// # Examples
+///
+/// ```
+/// use eta2_stats::descriptive::quantile;
+///
+/// let q = quantile(&[4.0, 1.0, 3.0, 2.0], 0.5)?;
+/// assert_eq!(q, 2.5);
+/// # Ok::<(), eta2_stats::StatsError>(())
+/// ```
+pub fn quantile(data: &[f64], q: f64) -> Result<f64, StatsError> {
+    if data.is_empty() {
+        return Err(StatsError::InsufficientData { got: 0, required: 1 });
+    }
+    if !(0.0..=1.0).contains(&q) {
+        return Err(StatsError::ProbabilityOutOfRange(q));
+    }
+    let mut sorted: Vec<f64> = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        Ok(sorted[lo])
+    } else {
+        let frac = pos - lo as f64;
+        Ok(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    }
+}
+
+/// A five-number summary plus mean and count — what a boxplot needs
+/// (paper Fig. 7).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes the summary of `data`.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::InsufficientData`] for an empty slice,
+    /// [`StatsError::NonFiniteInput`] if any value is NaN/∞.
+    pub fn from_slice(data: &[f64]) -> Result<Self, StatsError> {
+        if data.is_empty() {
+            return Err(StatsError::InsufficientData { got: 0, required: 1 });
+        }
+        if data.iter().any(|v| !v.is_finite()) {
+            return Err(StatsError::NonFiniteInput);
+        }
+        Ok(Summary {
+            count: data.len(),
+            mean: mean(data).expect("non-empty"),
+            min: quantile(data, 0.0)?,
+            q1: quantile(data, 0.25)?,
+            median: quantile(data, 0.5)?,
+            q3: quantile(data, 0.75)?,
+            max: quantile(data, 1.0)?,
+        })
+    }
+
+    /// Interquartile range `q3 − q1`.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+/// A fixed-range histogram with equal-width bins.
+///
+/// # Examples
+///
+/// ```
+/// use eta2_stats::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 5)?;
+/// for x in [1.0, 1.5, 9.0, -3.0, 12.0] {
+///     h.add(x);
+/// }
+/// assert_eq!(h.counts()[0], 2); // 1.0 and 1.5
+/// assert_eq!(h.underflow(), 1); // -3.0
+/// assert_eq!(h.overflow(), 1);  // 12.0
+/// # Ok::<(), eta2_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` equal-width bins.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::InvalidParameter`] if `bins == 0`, the bounds are not
+    /// finite, or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self, StatsError> {
+        if bins == 0 {
+            return Err(StatsError::InvalidParameter {
+                name: "bins",
+                value: 0.0,
+                requirement: "must be > 0",
+            });
+        }
+        if !lo.is_finite() || !hi.is_finite() || lo >= hi {
+            return Err(StatsError::InvalidParameter {
+                name: "range",
+                value: hi - lo,
+                requirement: "bounds must be finite with lo < hi",
+            });
+        }
+        Ok(Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        })
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, x: f64) {
+        if x < self.lo || x.is_nan() {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.counts.len() as f64;
+            let idx = (((x - self.lo) / w) as usize).min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Adds every observation from an iterator.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.add(x);
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Observations below the lower bound (NaN counts here too).
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total in-range observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Center of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        assert!(i < self.counts.len(), "bin index {i} out of range");
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + (i as f64 + 0.5) * w
+    }
+
+    /// The empirical density of bin `i` (count / (total · width)), comparable
+    /// to a pdf — the form Fig. 2 plots against the N(0,1) density.
+    pub fn density(&self, i: usize) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.counts[i] as f64 / (total as f64 * w)
+    }
+}
+
+/// Empirical CDF evaluated at the sorted sample points — the series the
+/// paper's Fig. 12 plots for MLE iteration counts.
+///
+/// Returns `(value, fraction ≤ value)` pairs sorted by value.
+pub fn empirical_cdf(data: &[f64]) -> Vec<(f64, f64)> {
+    let mut sorted: Vec<f64> = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in empirical_cdf input"));
+    let n = sorted.len() as f64;
+    sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, (i + 1) as f64 / n))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mean_and_variance_basics() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&data), Some(5.0));
+        assert!((population_variance(&data).unwrap() - 4.0).abs() < 1e-12);
+        assert!((population_std(&data).unwrap() - 2.0).abs() < 1e-12);
+        assert!((sample_variance(&data).unwrap() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_of_single_point() {
+        assert_eq!(sample_variance(&[3.0]), None);
+        assert_eq!(population_variance(&[3.0]), Some(0.0));
+    }
+
+    #[test]
+    fn quantile_type7_matches_reference() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&data, 0.0).unwrap(), 1.0);
+        assert_eq!(quantile(&data, 1.0).unwrap(), 4.0);
+        assert_eq!(quantile(&data, 0.5).unwrap(), 2.5);
+        // numpy.quantile([1,2,3,4], 0.25) = 1.75
+        assert!((quantile(&data, 0.25).unwrap() - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_errors() {
+        assert!(quantile(&[], 0.5).is_err());
+        assert!(quantile(&[1.0], 1.5).is_err());
+        assert!(quantile(&[1.0], -0.1).is_err());
+    }
+
+    #[test]
+    fn summary_five_numbers() {
+        let data = [7.0, 15.0, 36.0, 39.0, 40.0, 41.0];
+        let s = Summary::from_slice(&data).unwrap();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.min, 7.0);
+        assert_eq!(s.max, 41.0);
+        assert_eq!(s.median, 37.5);
+        assert!(s.iqr() > 0.0);
+        assert!(s.q1 <= s.median && s.median <= s.q3);
+    }
+
+    #[test]
+    fn summary_rejects_bad_input() {
+        assert!(Summary::from_slice(&[]).is_err());
+        assert!(Summary::from_slice(&[1.0, f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn histogram_binning_and_edges() {
+        let mut h = Histogram::new(0.0, 1.0, 10).unwrap();
+        h.extend([0.0, 0.05, 0.95, 0.999, 1.0, -0.001]);
+        assert_eq!(h.counts()[0], 2);
+        assert_eq!(h.counts()[9], 2);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.total(), 4);
+        assert!((h.bin_center(0) - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_density_sums_to_one() {
+        let mut h = Histogram::new(-3.0, 3.0, 24).unwrap();
+        h.extend((0..1000).map(|i| -2.9 + 5.8 * (i as f64 / 999.0)));
+        let w = 6.0 / 24.0;
+        let total: f64 = (0..24).map(|i| h.density(i) * w).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_rejects_bad_parameters() {
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(Histogram::new(1.0, 0.0, 4).is_err());
+        assert!(Histogram::new(0.0, f64::INFINITY, 4).is_err());
+    }
+
+    #[test]
+    fn empirical_cdf_is_a_cdf() {
+        let cdf = empirical_cdf(&[3.0, 1.0, 2.0, 2.0]);
+        assert_eq!(cdf.len(), 4);
+        assert_eq!(cdf.first().unwrap().0, 1.0);
+        assert_eq!(cdf.last().unwrap(), &(3.0, 1.0));
+        for w in cdf.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn quantile_is_monotone_in_q(
+            data in proptest::collection::vec(-1e6..1e6f64, 1..50),
+            a in 0.0..1.0f64,
+            b in 0.0..1.0f64,
+        ) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            let qa = quantile(&data, lo).unwrap();
+            let qb = quantile(&data, hi).unwrap();
+            prop_assert!(qa <= qb + 1e-9);
+        }
+
+        #[test]
+        fn histogram_conserves_count(xs in proptest::collection::vec(-10.0..10.0f64, 0..200)) {
+            let mut h = Histogram::new(-5.0, 5.0, 7).unwrap();
+            h.extend(xs.iter().copied());
+            prop_assert_eq!(h.total() + h.underflow() + h.overflow(), xs.len() as u64);
+        }
+
+        #[test]
+        fn summary_orders_quartiles(data in proptest::collection::vec(-1e3..1e3f64, 1..100)) {
+            let s = Summary::from_slice(&data).unwrap();
+            prop_assert!(s.min <= s.q1 && s.q1 <= s.median);
+            prop_assert!(s.median <= s.q3 && s.q3 <= s.max);
+            prop_assert!(s.min <= s.mean && s.mean <= s.max);
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Error type for statistical computations.
+
+use std::fmt;
+
+/// Error returned by fallible statistical computations.
+///
+/// The `Display` representation is lowercase without trailing punctuation,
+/// per the Rust API guidelines (C-GOOD-ERR).
+///
+/// # Examples
+///
+/// ```
+/// use eta2_stats::normal::Normal;
+/// use eta2_stats::StatsError;
+///
+/// let err = Normal::new(0.0, -1.0).unwrap_err();
+/// assert!(matches!(err, StatsError::InvalidParameter { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// A distribution or test parameter was outside its valid range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Human-readable requirement, e.g. `"must be finite and > 0"`.
+        requirement: &'static str,
+    },
+    /// The input sample was too small for the requested computation.
+    InsufficientData {
+        /// How many data points were provided.
+        got: usize,
+        /// How many are required.
+        required: usize,
+    },
+    /// A probability argument was outside `(0, 1)` where an open interval is
+    /// required (e.g. quantile functions).
+    ProbabilityOutOfRange(f64),
+    /// The input contained a non-finite value (NaN or ±∞).
+    NonFiniteInput,
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::InvalidParameter {
+                name,
+                value,
+                requirement,
+            } => write!(f, "invalid parameter `{name}` = {value}: {requirement}"),
+            StatsError::InsufficientData { got, required } => {
+                write!(f, "insufficient data: got {got} observations, need {required}")
+            }
+            StatsError::ProbabilityOutOfRange(p) => {
+                write!(f, "probability {p} outside the open interval (0, 1)")
+            }
+            StatsError::NonFiniteInput => write!(f, "input contains a non-finite value"),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_without_trailing_period() {
+        let cases = [
+            StatsError::InvalidParameter {
+                name: "sigma",
+                value: -1.0,
+                requirement: "must be finite and > 0",
+            },
+            StatsError::InsufficientData { got: 1, required: 2 },
+            StatsError::ProbabilityOutOfRange(1.5),
+            StatsError::NonFiniteInput,
+        ];
+        for c in cases {
+            let s = c.to_string();
+            assert!(!s.ends_with('.'), "{s}");
+            assert!(s.chars().next().unwrap().is_lowercase(), "{s}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StatsError>();
+    }
+}

@@ -1,0 +1,190 @@
+//! One-sample Kolmogorov–Smirnov test against a fitted normal.
+//!
+//! A second, binning-free opinion on the paper's Table 1 normality
+//! question: the χ² goodness-of-fit result depends on bin choices and dof
+//! conventions (see [`crate::chi_square`]), while the KS statistic
+//! `D = sup_x |F_n(x) − Φ((x−μ̂)/σ̂)|` does not. The p-value uses the
+//! asymptotic Kolmogorov distribution; with parameters estimated from the
+//! sample it is conservative (the Lilliefors correction would reject more
+//! often), which we note where it matters.
+
+use crate::error::StatsError;
+use crate::normal::Normal;
+
+/// Outcome of a KS test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KsOutcome {
+    /// The KS statistic `D`.
+    pub statistic: f64,
+    /// Asymptotic p-value `P(D_n > D)`.
+    pub p_value: f64,
+    /// Sample size.
+    pub n: usize,
+}
+
+impl KsOutcome {
+    /// Whether normality is *not* rejected at significance `alpha`.
+    pub fn passes(&self, alpha: f64) -> bool {
+        self.p_value > alpha
+    }
+}
+
+/// One-sample KS test of `sample` against a normal with mean/std fitted
+/// from the sample.
+///
+/// # Errors
+///
+/// * [`StatsError::InsufficientData`] for fewer than 8 observations.
+/// * [`StatsError::NonFiniteInput`] on NaN/∞.
+/// * [`StatsError::InvalidParameter`] for a constant sample.
+///
+/// # Examples
+///
+/// ```
+/// use eta2_stats::ks::ks_normality_test;
+/// use eta2_stats::Normal;
+/// use rand::SeedableRng;
+///
+/// let normal = Normal::new(5.0, 2.0)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let sample: Vec<f64> = (0..300).map(|_| normal.sample(&mut rng)).collect();
+/// assert!(ks_normality_test(&sample)?.passes(0.05));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn ks_normality_test(sample: &[f64]) -> Result<KsOutcome, StatsError> {
+    let n = sample.len();
+    if n < 8 {
+        return Err(StatsError::InsufficientData { got: n, required: 8 });
+    }
+    if sample.iter().any(|v| !v.is_finite()) {
+        return Err(StatsError::NonFiniteInput);
+    }
+    let mean = sample.iter().sum::<f64>() / n as f64;
+    let var = sample.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
+    if var <= 0.0 {
+        return Err(StatsError::InvalidParameter {
+            name: "sample variance",
+            value: var,
+            requirement: "must be > 0 (sample must not be constant)",
+        });
+    }
+    let fitted = Normal::new(mean, var.sqrt())?;
+
+    let mut sorted = sample.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let mut d = 0.0f64;
+    for (i, &x) in sorted.iter().enumerate() {
+        let cdf = fitted.cdf(x);
+        let upper = (i + 1) as f64 / n as f64 - cdf;
+        let lower = cdf - i as f64 / n as f64;
+        d = d.max(upper).max(lower);
+    }
+
+    Ok(KsOutcome {
+        statistic: d,
+        p_value: kolmogorov_sf((n as f64).sqrt() * d),
+        n,
+    })
+}
+
+/// Survival function of the Kolmogorov distribution,
+/// `Q(t) = 2 Σ_{k≥1} (−1)^{k−1} e^{−2k²t²}`, clamped to `[0, 1]`.
+pub fn kolmogorov_sf(t: f64) -> f64 {
+    if t <= 0.0 {
+        return 1.0;
+    }
+    if t > 8.0 {
+        return 0.0;
+    }
+    let mut sum = 0.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64).powi(2) * t * t).exp();
+        if term < 1e-18 {
+            break;
+        }
+        sum += if k % 2 == 1 { term } else { -term };
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn kolmogorov_sf_known_values() {
+        // Q(0.8276) ≈ 0.5 (the Kolmogorov distribution median).
+        assert!((kolmogorov_sf(0.82757) - 0.5).abs() < 1e-3);
+        // Classical critical value: Q(1.358) ≈ 0.05.
+        assert!((kolmogorov_sf(1.3581) - 0.05).abs() < 2e-3);
+        assert_eq!(kolmogorov_sf(0.0), 1.0);
+        assert_eq!(kolmogorov_sf(9.0), 0.0);
+    }
+
+    #[test]
+    fn kolmogorov_sf_monotone() {
+        let mut prev = 1.0;
+        for i in 1..100 {
+            let v = kolmogorov_sf(i as f64 * 0.05);
+            assert!(v <= prev + 1e-12);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn accepts_normal_rejects_uniform() {
+        let normal = Normal::new(-1.0, 3.0).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let mut accepted = 0;
+        for _ in 0..30 {
+            let s: Vec<f64> = (0..400).map(|_| normal.sample(&mut rng)).collect();
+            if ks_normality_test(&s).unwrap().passes(0.05) {
+                accepted += 1;
+            }
+        }
+        assert!(accepted >= 26, "accepted {accepted}/30 normal samples");
+
+        let mut rejected = 0;
+        for _ in 0..30 {
+            let s: Vec<f64> = (0..1500).map(|_| rng.gen_range(0.0..1.0)).collect();
+            if !ks_normality_test(&s).unwrap().passes(0.05) {
+                rejected += 1;
+            }
+        }
+        assert!(rejected >= 24, "rejected only {rejected}/30 uniform samples");
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(matches!(
+            ks_normality_test(&[1.0; 3]),
+            Err(StatsError::InsufficientData { .. })
+        ));
+        assert!(matches!(
+            ks_normality_test(&[2.0; 20]),
+            Err(StatsError::InvalidParameter { .. })
+        ));
+        let mut v = vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0];
+        v[2] = f64::NAN;
+        assert!(matches!(
+            ks_normality_test(&v),
+            Err(StatsError::NonFiniteInput)
+        ));
+    }
+
+    proptest! {
+        #[test]
+        fn statistic_and_p_are_valid(seed in 0u64..500, n in 8usize..200) {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let s: Vec<f64> = (0..n).map(|_| rng.gen_range(-10.0..10.0)).collect();
+            if let Ok(o) = ks_normality_test(&s) {
+                prop_assert!((0.0..=1.0).contains(&o.statistic));
+                prop_assert!((0.0..=1.0).contains(&o.p_value));
+                prop_assert_eq!(o.n, n);
+            }
+        }
+    }
+}

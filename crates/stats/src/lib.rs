@@ -1,0 +1,44 @@
+//! Statistics substrate for the ETA² reproduction.
+//!
+//! The ETA² system (Zhang et al., ICDCS 2017) leans on a handful of numerical
+//! building blocks that this crate provides from scratch:
+//!
+//! * [`special`] — error function, log-gamma and the regularized incomplete
+//!   gamma function, the primitives behind every distribution here.
+//! * [`normal`] — the normal distribution: pdf, CDF `Φ`, quantile
+//!   (`Z_{α/2}` in the paper's Eq. 24) and sampling.
+//! * [`chi_square`] — the χ² distribution and the goodness-of-fit test used
+//!   by the paper's Table 1 to validate the normality assumption.
+//! * [`ks`] — a one-sample Kolmogorov–Smirnov normality test, the
+//!   binning-free second opinion on Table 1.
+//! * [`descriptive`] — means, variances, quantiles and histograms used
+//!   throughout the evaluation harness (Figs. 2, 7, 12).
+//! * [`ci`] — normal-theory confidence intervals (paper §5.2.2).
+//!
+//! # Examples
+//!
+//! ```
+//! use eta2_stats::normal::Normal;
+//!
+//! let n = Normal::standard();
+//! // Φ(0) = 1/2 — the probability mass below the mean.
+//! assert!((n.cdf(0.0) - 0.5).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chi_square;
+pub mod ci;
+pub mod descriptive;
+pub mod error;
+pub mod ks;
+pub mod normal;
+pub mod special;
+
+pub use chi_square::{ChiSquared, GofOutcome, NormalityGofTest};
+pub use ks::{ks_normality_test, KsOutcome};
+pub use ci::ConfidenceInterval;
+pub use descriptive::{Histogram, Summary};
+pub use error::StatsError;
+pub use normal::Normal;

@@ -1,0 +1,360 @@
+//! The normal (Gaussian) distribution.
+//!
+//! ETA²'s observation model (paper §2.4) assumes a user's reading for a task
+//! is `N(μ_j, (σ_j/u_ij)²)`; the max-quality objective needs `Φ` (Eq. 11) and
+//! the min-cost quality gate needs the quantile `Z_{α/2}` (Eq. 24). Sampling
+//! uses the Marsaglia polar method so the dataset generators do not need an
+//! external distributions crate.
+
+use crate::error::StatsError;
+use crate::special::{erf, erfc};
+use rand::Rng;
+
+/// A normal distribution with mean `μ` and standard deviation `σ > 0`.
+///
+/// # Examples
+///
+/// ```
+/// use eta2_stats::Normal;
+///
+/// let n = Normal::new(10.0, 2.0)?;
+/// assert!((n.cdf(10.0) - 0.5).abs() < 1e-12);
+/// // ~95% of mass within ±1.96 σ
+/// let within = n.cdf(10.0 + 1.96 * 2.0) - n.cdf(10.0 - 1.96 * 2.0);
+/// assert!((within - 0.95).abs() < 1e-3);
+/// # Ok::<(), eta2_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution with the given mean and standard
+    /// deviation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if `mean` is not finite or
+    /// `std_dev` is not finite and strictly positive.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, StatsError> {
+        if !mean.is_finite() {
+            return Err(StatsError::InvalidParameter {
+                name: "mean",
+                value: mean,
+                requirement: "must be finite",
+            });
+        }
+        if !std_dev.is_finite() || std_dev <= 0.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "std_dev",
+                value: std_dev,
+                requirement: "must be finite and > 0",
+            });
+        }
+        Ok(Normal { mean, std_dev })
+    }
+
+    /// The standard normal distribution `N(0, 1)`.
+    pub fn standard() -> Self {
+        Normal {
+            mean: 0.0,
+            std_dev: 1.0,
+        }
+    }
+
+    /// The mean `μ`.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The standard deviation `σ`.
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+
+    /// Probability density function at `x`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mean) / self.std_dev;
+        (-0.5 * z * z).exp() / (self.std_dev * (2.0 * std::f64::consts::PI).sqrt())
+    }
+
+    /// Cumulative distribution function `P(X ≤ x)`.
+    ///
+    /// For the standard normal this is the paper's `Φ`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        let z = (x - self.mean) / (self.std_dev * std::f64::consts::SQRT_2);
+        0.5 * erfc(-z)
+    }
+
+    /// Survival function `P(X > x) = 1 − CDF(x)`, accurate in the far tail.
+    pub fn sf(&self, x: f64) -> f64 {
+        let z = (x - self.mean) / (self.std_dev * std::f64::consts::SQRT_2);
+        0.5 * erfc(z)
+    }
+
+    /// Quantile (inverse CDF): the `x` with `P(X ≤ x) = p`.
+    ///
+    /// Uses the Acklam rational approximation refined by one Halley step
+    /// against the exact CDF, giving ~1e-14 accuracy — plenty for the
+    /// paper's `Z_{α/2}` in Eq. 24.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::ProbabilityOutOfRange`] unless `0 < p < 1`.
+    pub fn quantile(&self, p: f64) -> Result<f64, StatsError> {
+        if !(p > 0.0 && p < 1.0) {
+            return Err(StatsError::ProbabilityOutOfRange(p));
+        }
+        let z = standard_quantile(p);
+        Ok(self.mean + self.std_dev * z)
+    }
+
+    /// Draws one sample using the Marsaglia polar method.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use eta2_stats::Normal;
+    /// use rand::SeedableRng;
+    ///
+    /// let n = Normal::new(5.0, 0.5)?;
+    /// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    /// let x = n.sample(&mut rng);
+    /// assert!(x.is_finite());
+    /// # Ok::<(), eta2_stats::StatsError>(())
+    /// ```
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * standard_sample(rng)
+    }
+
+    /// Fills `out` with independent samples.
+    pub fn sample_into<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut [f64]) {
+        for v in out {
+            *v = self.sample(rng);
+        }
+    }
+}
+
+/// Standard-normal CDF `Φ(x)` as a free function (paper Eq. 11 uses it
+/// heavily on the allocation hot path).
+pub fn phi(x: f64) -> f64 {
+    0.5 * erfc(-x / std::f64::consts::SQRT_2)
+}
+
+/// The accuracy probability of the paper's Eq. 11:
+/// `p = Φ(ε·u) − Φ(−ε·u) = erf(ε·u / √2)`.
+///
+/// Computed with a single `erf`, exact and free of cancellation.
+pub fn accuracy_probability(epsilon: f64, expertise: f64) -> f64 {
+    erf(epsilon * expertise / std::f64::consts::SQRT_2)
+}
+
+/// Draws one standard-normal sample with the Marsaglia polar method.
+pub fn standard_sample<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.gen_range(-1.0..1.0);
+        let v: f64 = rng.gen_range(-1.0..1.0);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Standard-normal quantile via Acklam's approximation + one Halley
+/// refinement step.
+fn standard_quantile(p: f64) -> f64 {
+    debug_assert!(p > 0.0 && p < 1.0);
+    // Acklam coefficients.
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+
+    // One Halley step: x <- x - 2 e / (2 phi(x) + e x), e = Φ(x) - p.
+    let e = phi(x) - p;
+    let pdf = (-0.5 * x * x).exp() / (2.0 * std::f64::consts::PI).sqrt();
+    let u = e / pdf;
+    x - u / (1.0 + 0.5 * x * u)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn new_rejects_bad_parameters() {
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, 0.0).is_err());
+        assert!(Normal::new(0.0, -2.0).is_err());
+        assert!(Normal::new(0.0, f64::INFINITY).is_err());
+        assert!(Normal::new(3.0, 0.5).is_ok());
+    }
+
+    #[test]
+    fn standard_cdf_known_values() {
+        let n = Normal::standard();
+        // Φ(1.96) ≈ 0.9750021048517795
+        assert!((n.cdf(1.96) - 0.9750021048517795).abs() < 1e-12);
+        assert!((n.cdf(-1.96) - 0.024997895148220435).abs() < 1e-12);
+        assert!((n.cdf(0.0) - 0.5).abs() < 1e-14);
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        let n = Normal::new(2.0, 3.0).unwrap();
+        let (lo, hi, steps) = (-28.0_f64, 32.0_f64, 60_000usize);
+        let h = (hi - lo) / steps as f64;
+        let mut area = 0.0;
+        for i in 0..steps {
+            let x = lo + (i as f64 + 0.5) * h;
+            area += n.pdf(x) * h;
+        }
+        assert!((area - 1.0).abs() < 1e-8, "area = {area}");
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let n = Normal::new(-1.0, 2.5).unwrap();
+        for &p in &[0.001, 0.025, 0.05, 0.1, 0.5, 0.9, 0.975, 0.999] {
+            let x = n.quantile(p).unwrap();
+            assert!((n.cdf(x) - p).abs() < 1e-10, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn quantile_z_values() {
+        let n = Normal::standard();
+        // Z_{0.025} = 1.959963984540054
+        assert!((n.quantile(0.975).unwrap() - 1.959963984540054).abs() < 1e-9);
+        // Z_{0.05} = 1.6448536269514722
+        assert!((n.quantile(0.95).unwrap() - 1.6448536269514722).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_rejects_degenerate_probability() {
+        let n = Normal::standard();
+        assert!(n.quantile(0.0).is_err());
+        assert!(n.quantile(1.0).is_err());
+        assert!(n.quantile(-0.3).is_err());
+        assert!(n.quantile(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn sf_complements_cdf_and_keeps_tail_accuracy() {
+        let n = Normal::standard();
+        for &x in &[-8.0, -3.0, 0.0, 3.0, 8.0] {
+            assert!((n.cdf(x) + n.sf(x) - 1.0).abs() < 1e-12);
+        }
+        // P(X > 8) ≈ 6.22e-16; a naive 1 - cdf would return exactly 0.
+        assert!(n.sf(8.0) > 0.0);
+    }
+
+    #[test]
+    fn accuracy_probability_matches_two_phi_form() {
+        for &(eps, u) in &[(0.1, 0.5), (0.1, 1.0), (0.1, 3.0), (0.5, 2.0)] {
+            let direct = accuracy_probability(eps, u);
+            let two_phi = phi(eps * u) - phi(-eps * u);
+            assert!((direct - two_phi).abs() < 1e-12, "eps={eps}, u={u}");
+        }
+    }
+
+    #[test]
+    fn sample_mean_and_std_converge() {
+        let n = Normal::new(4.0, 1.5).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let count = 200_000;
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        for _ in 0..count {
+            let x = n.sample(&mut rng);
+            sum += x;
+            sum_sq += x * x;
+        }
+        let mean = sum / count as f64;
+        let var = sum_sq / count as f64 - mean * mean;
+        assert!((mean - 4.0).abs() < 0.02, "mean = {mean}");
+        assert!((var.sqrt() - 1.5).abs() < 0.02, "std = {}", var.sqrt());
+    }
+
+    #[test]
+    fn sample_into_fills_buffer() {
+        let n = Normal::standard();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut buf = [0.0; 32];
+        n.sample_into(&mut rng, &mut buf);
+        assert!(buf.iter().all(|v| v.is_finite()));
+        // Astronomically unlikely that two polar-method draws are equal.
+        assert_ne!(buf[0], buf[1]);
+    }
+
+    proptest! {
+        #[test]
+        fn cdf_monotone_and_bounded(a in -50.0..50.0f64, b in -50.0..50.0f64) {
+            let n = Normal::standard();
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            let (ca, cb) = (n.cdf(lo), n.cdf(hi));
+            prop_assert!(ca <= cb + 1e-15);
+            prop_assert!((0.0..=1.0).contains(&ca));
+            prop_assert!((0.0..=1.0).contains(&cb));
+        }
+
+        #[test]
+        fn quantile_cdf_roundtrip(p in 1e-6..0.999999f64) {
+            let n = Normal::standard();
+            let x = n.quantile(p).unwrap();
+            prop_assert!((n.cdf(x) - p).abs() < 1e-8);
+        }
+
+        #[test]
+        fn accuracy_probability_in_unit_interval(eps in 0.0..2.0f64, u in 0.0..10.0f64) {
+            let p = accuracy_probability(eps, u);
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+    }
+}

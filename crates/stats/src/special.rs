@@ -1,0 +1,320 @@
+//! Special functions: `erf`, `erfc`, `ln_gamma` and the regularized
+//! incomplete gamma function.
+//!
+//! These are the numerical primitives behind the [`crate::normal`] and
+//! [`crate::chi_square`] distributions. `ln_gamma` uses the Lanczos
+//! approximation; the incomplete gamma uses the classical series /
+//! continued-fraction split; and `erf`/`erfc` are obtained through the exact
+//! identities `erf(x) = P(½, x²)` and `erfc(x) = Q(½, x²)` (for `x ≥ 0`),
+//! which keeps every distribution in this crate on one well-tested numerical
+//! core. Absolute error is ≲ 1e-13 everywhere the ETA² experiments look.
+
+/// The error function `erf(x) = 2/√π ∫₀ˣ e^{−t²} dt`.
+///
+/// `erf(-x) = -erf(x)` holds exactly by construction.
+///
+/// # Examples
+///
+/// ```
+/// use eta2_stats::special::erf;
+///
+/// assert!((erf(0.0)).abs() < 1e-15);
+/// assert!((erf(1.0) - 0.8427007929497149).abs() < 1e-12);
+/// ```
+pub fn erf(x: f64) -> f64 {
+    if x == 0.0 {
+        return 0.0;
+    }
+    let v = reg_lower_gamma(0.5, x * x);
+    if x > 0.0 {
+        v
+    } else {
+        -v
+    }
+}
+
+/// The complementary error function `erfc(x) = 1 − erf(x)`.
+///
+/// For `x ≥ 0` this is computed directly as the regularized *upper*
+/// incomplete gamma `Q(½, x²)`, so the far tail keeps full relative accuracy
+/// (no `1 − erf` cancellation); it underflows gracefully to `0` for large
+/// arguments.
+///
+/// # Examples
+///
+/// ```
+/// use eta2_stats::special::erfc;
+///
+/// assert!((erfc(0.0) - 1.0).abs() < 1e-15);
+/// // The far tail stays accurate in relative terms.
+/// let tail = erfc(5.0);
+/// assert!((tail - 1.5374597944280349e-12).abs() < 1e-24);
+/// ```
+pub fn erfc(x: f64) -> f64 {
+    if x >= 0.0 {
+        reg_upper_gamma(0.5, x * x)
+    } else {
+        1.0 + reg_lower_gamma(0.5, x * x)
+    }
+}
+
+/// Natural logarithm of the gamma function, `ln Γ(x)`, for `x > 0`.
+///
+/// Uses the Lanczos approximation with g = 7 and 9 coefficients, giving
+/// ~15 significant digits.
+///
+/// # Panics
+///
+/// Panics if `x <= 0` (the ETA² code base only ever needs positive
+/// arguments — χ² degrees of freedom and half-integers).
+///
+/// # Examples
+///
+/// ```
+/// use eta2_stats::special::ln_gamma;
+///
+/// // Γ(5) = 24
+/// assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-12);
+/// ```
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula keeps accuracy for small x.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + G + 0.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Regularized lower incomplete gamma function
+/// `P(a, x) = γ(a, x) / Γ(a)` for `a > 0`, `x >= 0`.
+///
+/// Series expansion for `x < a + 1`, Lentz continued fraction otherwise —
+/// the standard split, accurate to ~1e-13.
+///
+/// # Panics
+///
+/// Panics if `a <= 0` or `x < 0`.
+///
+/// # Examples
+///
+/// ```
+/// use eta2_stats::special::reg_lower_gamma;
+///
+/// // P(1, x) = 1 - e^{-x}
+/// let x = 2.0_f64;
+/// assert!((reg_lower_gamma(1.0, x) - (1.0 - (-x).exp())).abs() < 1e-12);
+/// ```
+pub fn reg_lower_gamma(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "reg_lower_gamma requires a > 0, got {a}");
+    assert!(x >= 0.0, "reg_lower_gamma requires x >= 0, got {x}");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        lower_gamma_series(a, x)
+    } else {
+        1.0 - upper_gamma_cf(a, x)
+    }
+}
+
+/// Regularized upper incomplete gamma function `Q(a, x) = 1 − P(a, x)`.
+///
+/// Computed directly (continued fraction) in the regime where `P ≈ 1`, so it
+/// does not lose precision to cancellation — this is what χ² p-values and
+/// `erfc` tails use.
+///
+/// # Panics
+///
+/// Panics if `a <= 0` or `x < 0`.
+pub fn reg_upper_gamma(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "reg_upper_gamma requires a > 0, got {a}");
+    assert!(x >= 0.0, "reg_upper_gamma requires x >= 0, got {x}");
+    if x == 0.0 {
+        return 1.0;
+    }
+    if x < a + 1.0 {
+        1.0 - lower_gamma_series(a, x)
+    } else {
+        upper_gamma_cf(a, x)
+    }
+}
+
+/// Series representation of `P(a, x)`, converges fast for `x < a + 1`.
+fn lower_gamma_series(a: f64, x: f64) -> f64 {
+    let mut ap = a;
+    let mut sum = 1.0 / a;
+    let mut del = sum;
+    for _ in 0..500 {
+        ap += 1.0;
+        del *= x / ap;
+        sum += del;
+        if del.abs() < sum.abs() * 1e-16 {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// Modified Lentz continued fraction for `Q(a, x)`, converges for `x >= a + 1`.
+fn upper_gamma_cf(a: f64, x: f64) -> f64 {
+    const TINY: f64 = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / TINY;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..500 {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = b + an / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < 1e-16 {
+            break;
+        }
+    }
+    (-x + a * x.ln() - ln_gamma(a)).exp() * h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_known_values() {
+        // Reference values from Abramowitz & Stegun / mpmath.
+        let cases = [
+            (0.0, 0.0),
+            (0.5, 0.5204998778130465),
+            (1.0, 0.8427007929497149),
+            (1.5, 0.9661051464753107),
+            (2.0, 0.9953222650189527),
+            (3.0, 0.9999779095030014),
+        ];
+        for (x, want) in cases {
+            assert!((erf(x) - want).abs() < 1e-12, "erf({x})");
+            assert!((erf(-x) + want).abs() < 1e-12, "erf(-{x})");
+        }
+    }
+
+    #[test]
+    fn erfc_complements_erf() {
+        for i in -40..=40 {
+            let x = i as f64 * 0.17;
+            assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-13, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn erfc_large_argument_tail() {
+        // erfc(5) ≈ 1.5374597944280349e-12 (mpmath)
+        assert!((erfc(5.0) - 1.5374597944280349e-12).abs() < 1e-24);
+        // erfc(10) ≈ 2.088487583762545e-45
+        let r = erfc(10.0);
+        assert!((r - 2.088487583762545e-45).abs() < 1e-57, "erfc(10) = {r}");
+        assert!((erfc(-10.0) - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn erf_is_monotone() {
+        let mut prev = -1.0;
+        for i in -60..=60 {
+            let v = erf(i as f64 * 0.1);
+            assert!(v >= prev, "erf not monotone at {i}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn ln_gamma_integer_factorials() {
+        let mut fact = 1.0_f64;
+        for n in 1..15u32 {
+            if n > 1 {
+                fact *= (n - 1) as f64;
+            }
+            assert!(
+                (ln_gamma(n as f64) - fact.ln()).abs() < 1e-10,
+                "ln_gamma({n})"
+            );
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half_integer() {
+        // Γ(1/2) = √π
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-12);
+        // Γ(3/2) = √π / 2
+        assert!((ln_gamma(1.5) - (std::f64::consts::PI.sqrt() / 2.0).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "ln_gamma requires x > 0")]
+    fn ln_gamma_rejects_nonpositive() {
+        ln_gamma(0.0);
+    }
+
+    #[test]
+    fn incomplete_gamma_exponential_special_case() {
+        // P(1, x) = 1 - e^{-x}
+        for &x in &[0.0, 0.1, 1.0, 2.5, 10.0] {
+            let want = 1.0 - (-x as f64).exp();
+            assert!((reg_lower_gamma(1.0, x) - want).abs() < 1e-12, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn incomplete_gamma_complementarity() {
+        for &a in &[0.5, 1.0, 2.5, 7.0, 30.0] {
+            for &x in &[0.01, 0.5, 1.0, 3.0, 10.0, 50.0] {
+                let p = reg_lower_gamma(a, x);
+                let q = reg_upper_gamma(a, x);
+                assert!((p + q - 1.0).abs() < 1e-12, "a = {a}, x = {x}");
+                assert!((0.0..=1.0).contains(&p), "a = {a}, x = {x}, p = {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn incomplete_gamma_monotone_in_x() {
+        let a = 2.5;
+        let mut prev = 0.0;
+        for i in 0..200 {
+            let x = i as f64 * 0.1;
+            let p = reg_lower_gamma(a, x);
+            assert!(p >= prev - 1e-15, "x = {x}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn incomplete_gamma_known_value() {
+        // P(3, 3) from mpmath: 0.5768099188731565
+        assert!((reg_lower_gamma(3.0, 3.0) - 0.5768099188731565).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,64 @@
+//! Budgeted crowdsourcing with ETA²-mc: meet a quality requirement at
+//! minimum recruiting cost (paper §5.2 / §6.4.3).
+//!
+//! Compares ETA² (max-quality: spend every available capacity-hour) with
+//! ETA²-mc at several per-round budgets `c°`, reporting the estimation
+//! error and the total cost of each.
+//!
+//! ```sh
+//! cargo run --release -p eta2 --example budget_campaign
+//! ```
+
+use eta2::datasets::synthetic::SyntheticConfig;
+use eta2::sim::config::MinCostTuning;
+use eta2::sim::{ApproachKind, SimConfig, Simulation};
+
+fn main() {
+    let dataset = SyntheticConfig {
+        n_users: 60,
+        n_tasks: 200,
+        n_domains: 4,
+        ..SyntheticConfig::default()
+    }
+    .generate(11);
+    let seeds = 5;
+
+    let run = |config: SimConfig, approach: ApproachKind| -> (f64, f64) {
+        let sim = Simulation::new(config);
+        let mut err = 0.0;
+        let mut cost = 0.0;
+        for seed in 0..seeds {
+            let m = sim.run(&dataset, approach, seed);
+            err += m.overall_error / seeds as f64;
+            cost += m.total_cost / seeds as f64;
+        }
+        (err, cost)
+    };
+
+    println!("budget campaign — quality requirement: error < 0.5 at 95% confidence");
+    println!("{:<28} {:>10} {:>12}", "approach", "error", "total cost");
+
+    let (err, cost) = run(SimConfig::default(), ApproachKind::Eta2);
+    println!("{:<28} {err:>10.4} {cost:>12.1}", "ETA2 (max-quality)");
+
+    for round_budget in [25.0, 50.0, 100.0] {
+        let config = SimConfig {
+            min_cost: MinCostTuning {
+                round_budget,
+                ..MinCostTuning::default()
+            },
+            ..SimConfig::default()
+        };
+        let (err, cost) = run(config, ApproachKind::Eta2MinCost);
+        println!(
+            "{:<28} {err:>10.4} {cost:>12.1}",
+            format!("ETA2-mc (c° = {round_budget})")
+        );
+    }
+
+    println!();
+    println!("ETA2-mc stops recruiting as soon as each task's confidence");
+    println!("interval (Eq. 24) is inside the quality band — the error is");
+    println!("slightly higher but the recruiting bill is a fraction of");
+    println!("max-quality's.");
+}

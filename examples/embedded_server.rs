@@ -1,0 +1,110 @@
+//! Embedding ETA² in an application with the online [`Eta2Server`] API —
+//! the paper's Figure-1 loop without the evaluation simulator.
+//!
+//! A fictional city-sensing app registers textual tasks as they are
+//! created, asks ETA² whom to query, pushes the returned reports back, and
+//! reads truths and per-domain expertise.
+//!
+//! ```sh
+//! cargo run --release -p eta2 --example embedded_server
+//! ```
+
+use eta2::core::model::{ObservationSet, UserId, UserProfile};
+use eta2::embed::corpus::TopicCorpus;
+use eta2::embed::{SkipGramConfig, SkipGramTrainer};
+use eta2::server::{Eta2Server, ServerConfig, TaskInput};
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    // One-time setup: word embeddings for the domain-discovery pipeline.
+    let corpus = TopicCorpus::builtin().generate(300, 1);
+    let embedding = SkipGramTrainer::new(SkipGramConfig {
+        dim: 24,
+        epochs: 3,
+        ..SkipGramConfig::default()
+    })
+    .train_sentences(&corpus)
+    .expect("corpus yields vocabulary");
+
+    let n_users = 12;
+    let mut server = Eta2Server::discovering(n_users, ServerConfig::default(), embedding);
+    let users: Vec<UserProfile> = (0..n_users as u32)
+        .map(|i| UserProfile::new(UserId(i), 6.0))
+        .collect();
+
+    // Ground truth for the demo: users 0-5 are noise experts, 6-11 parking
+    // experts.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let day_batches: [&[(&str, f64)]; 3] = [
+        &[
+            ("What is the noise level around the municipal building?", 61.0),
+            ("What is the decibel measurement near the construction street?", 84.0),
+            ("How many parking spots are at the garage entrance?", 42.0),
+            ("How many parking spaces are at the deck gate?", 17.0),
+        ],
+        &[
+            ("What is the ambient sound volume near the street?", 55.0),
+            ("How many cars are at the parking lot?", 130.0),
+        ],
+        &[
+            ("What is the loud siren volume around the building?", 92.0),
+            ("How many vehicle stalls are at the curb?", 8.0),
+        ],
+    ];
+
+    for (day, batch) in day_batches.iter().enumerate() {
+        println!("== day {} ==", day + 1);
+        let inputs: Vec<TaskInput> = batch
+            .iter()
+            .map(|(desc, _)| TaskInput::described(desc, 1.0, 1.0))
+            .collect();
+        let ids = server.register_tasks(inputs).expect("described mode");
+
+        let allocation = server.allocate_max_quality(&ids, &users);
+        let mut reports = ObservationSet::new();
+        for (&id, &(desc, truth)) in ids.iter().zip(batch.iter()) {
+            let domain = server.domain_of(id).expect("registered");
+            for &u in allocation.users_for(id) {
+                // Noise domain tasks mention sound words; our fake users'
+                // skill depends on the *true* topic, which we key off the
+                // description for the demo.
+                let is_noise = desc.contains("noise")
+                    || desc.contains("decibel")
+                    || desc.contains("sound")
+                    || desc.contains("siren");
+                let expert = (u.0 < 6) == is_noise;
+                let std = if expert { 1.0 } else { 12.0 };
+                let z: f64 = rng.gen_range(-1.0..1.0) + rng.gen_range(-1.0..1.0);
+                reports.insert(u, id, truth + z * std);
+            }
+            println!("  task {:>2} (domain #{}) <- {} reporters", id.0, domain.0, allocation.users_for(id).len());
+        }
+
+        let outcome = server.ingest(&reports);
+        for &id in &ids {
+            let est = server.truth(id).expect("analysed");
+            let truth = batch[ids.iter().position(|&x| x == id).unwrap()].1;
+            println!(
+                "  task {:>2}: estimated {:>7.2} (true {truth:>6.1})",
+                id.0, est.mu
+            );
+        }
+        println!(
+            "  truth analysis: {} iterations, {} domains live",
+            outcome.iterations,
+            server.domain_count()
+        );
+    }
+
+    println!();
+    println!("== final expertise snapshot ==");
+    let ex = server.expertise();
+    let domains: Vec<_> = ex.domains().collect();
+    for d in domains {
+        let row: Vec<String> = (0..n_users as u32)
+            .map(|i| format!("{:.1}", ex.get(UserId(i), d)))
+            .collect();
+        println!("  domain #{}: [{}]", d.0, row.join(", "));
+    }
+    println!("(users 0-5 were built as noise experts, 6-11 as parking experts)");
+}

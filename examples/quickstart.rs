@@ -1,0 +1,52 @@
+//! Quickstart: run ETA² against the mean baseline on the paper's synthetic
+//! dataset and watch the estimation error fall as expertise is learned.
+//!
+//! ```sh
+//! cargo run --release -p eta2 --example quickstart
+//! ```
+
+use eta2::datasets::synthetic::SyntheticConfig;
+use eta2::sim::{ApproachKind, SimConfig, Simulation};
+
+fn main() {
+    // The synthetic dataset of §6.1.3, scaled down for a fast demo:
+    // users with hidden per-domain expertise, tasks with hidden truth.
+    let dataset = SyntheticConfig {
+        n_users: 50,
+        n_tasks: 300,
+        n_domains: 5,
+        ..SyntheticConfig::default()
+    }
+    .generate(7);
+
+    let sim = Simulation::new(SimConfig::default());
+
+    println!("ETA2 quickstart — {} users, {} tasks, {} domains", 50, 300, 5);
+    println!("{:<22} {:>8} {:>8} {:>8} {:>8} {:>8} {:>9}", "approach", "day1", "day2", "day3", "day4", "day5", "overall");
+    for approach in [
+        ApproachKind::Eta2,
+        ApproachKind::TruthFinder,
+        ApproachKind::Baseline,
+    ] {
+        // Average a few seeds for stable output.
+        let seeds = 5;
+        let mut daily = vec![0.0; 5];
+        let mut overall = 0.0;
+        for seed in 0..seeds {
+            let m = sim.run(&dataset, approach, seed);
+            for (d, e) in m.daily_error.iter().enumerate() {
+                daily[d] += e / seeds as f64;
+            }
+            overall += m.overall_error / seeds as f64;
+        }
+        print!("{:<22}", approach.name());
+        for e in &daily {
+            print!(" {e:>8.4}");
+        }
+        println!(" {overall:>9.4}");
+    }
+    println!();
+    println!("ETA2's error drops after the warm-up day (day 1 is random");
+    println!("allocation); the reliability and mean baselines improve less");
+    println!("because they ignore that expertise is domain-specific.");
+}

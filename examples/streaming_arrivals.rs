@@ -1,0 +1,120 @@
+//! Streaming task arrival with dynamic domain discovery — the §3.3.2 /
+//! §4.2 machinery driven directly, without the simulator.
+//!
+//! Day by day, new textual tasks arrive; the dynamic hierarchical clusterer
+//! assigns them to existing expertise domains, founds new domains, or
+//! merges domains, and the decayed expertise accumulators follow along.
+//!
+//! ```sh
+//! cargo run --release -p eta2 --example streaming_arrivals
+//! ```
+
+use eta2::cluster::{DomainEvent, DynamicClusterer};
+use eta2::core::model::{DomainId, ObservationSet, Task, TaskId, UserId};
+use eta2::core::truth::dynamic::DynamicExpertise;
+use eta2::core::truth::mle::MleConfig;
+use eta2::embed::corpus::TopicCorpus;
+use eta2::embed::pairword::pairword_distance;
+use eta2::embed::{PairWordExtractor, SkipGramConfig, SkipGramTrainer};
+use rand::{Rng, SeedableRng};
+
+/// Three days of arriving task descriptions: day 1 establishes two topics,
+/// day 2 adds a task to each, day 3 introduces a brand-new topic.
+const DAYS: [&[&str]; 3] = [
+    &[
+        "What is the noise measurement around the municipal building?",
+        "What is the decibel volume near the construction street?",
+        "How many parking spots are at the garage entrance?",
+        "How many parking spaces are at the deck gate?",
+    ],
+    &[
+        "What is the ambient sound volume near the street?",
+        "How many cars are at the parking lot?",
+    ],
+    &[
+        "What is the average temperature of the forecast near the coast?",
+        "What is the rainfall precipitation around the storm?",
+    ],
+];
+
+fn main() {
+    // 1. Semantic substrate: skip-gram over the bundled topic corpus.
+    let sentences = TopicCorpus::builtin().generate(300, 1);
+    let embedding = SkipGramTrainer::new(SkipGramConfig {
+        dim: 24,
+        epochs: 3,
+        ..SkipGramConfig::default()
+    })
+    .train_sentences(&sentences)
+    .expect("corpus yields a vocabulary");
+    let extractor = PairWordExtractor::new();
+    let vectorize = |text: &str| -> Vec<f32> {
+        extractor
+            .extract(text)
+            .semantic_vector(&embedding)
+            .unwrap_or_else(|| vec![0.0; 2 * embedding.dim()])
+    };
+
+    // 2. Dynamic clustering + decayed expertise.
+    let mut clusterer = DynamicClusterer::new(
+        |a: &Vec<f32>, b: &Vec<f32>| pairword_distance(a, b),
+        0.6,
+    );
+    let n_users = 6;
+    let mut expertise = DynamicExpertise::new(n_users, 0.5, MleConfig::default());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    let mut next_task = 0u32;
+
+    for (day, descriptions) in DAYS.iter().enumerate() {
+        println!("== day {} ==", day + 1);
+        let points: Vec<Vec<f32>> = descriptions.iter().map(|d| vectorize(d)).collect();
+        let update = if day == 0 {
+            clusterer.warm_up(points)
+        } else {
+            clusterer.add(points)
+        };
+        for event in &update.events {
+            match event {
+                DomainEvent::Created { domain } => println!("  new domain #{domain} founded"),
+                DomainEvent::Merged { kept, absorbed } => {
+                    expertise.merge_domains(DomainId(*kept), DomainId(*absorbed));
+                    println!("  domain #{absorbed} merged into #{kept}");
+                }
+            }
+        }
+
+        // Simulate everyone answering every task: users 0-2 are experts in
+        // even domains, users 3-5 in odd domains.
+        let mut tasks = Vec::new();
+        let mut obs = ObservationSet::new();
+        for (k, (&desc, &domain)) in descriptions.iter().zip(&update.assignments).enumerate() {
+            let task = Task::new(TaskId(next_task), DomainId(domain), 1.0, 1.0);
+            next_task += 1;
+            let truth = 50.0 + 10.0 * k as f64;
+            for i in 0..n_users {
+                let expert = (i < 3) == (domain % 2 == 0);
+                let std = if expert { 0.5 } else { 4.0 };
+                let z: f64 = rng.gen_range(-1.0..1.0) + rng.gen_range(-1.0..1.0);
+                obs.insert(UserId(i as u32), task.id, truth + z * std);
+            }
+            println!("  task {:>2} -> domain #{domain}: {desc}", task.id.0);
+            tasks.push(task);
+        }
+        let out = expertise.ingest_batch(&tasks, &obs);
+        println!(
+            "  truth analysis converged in {} iterations over {} tasks",
+            out.iterations,
+            out.truths.len()
+        );
+    }
+
+    println!();
+    println!("== learned expertise (per live domain) ==");
+    for &(domain, _) in clusterer.domains() {
+        let d = DomainId(domain);
+        let row: Vec<String> = (0..n_users)
+            .map(|i| format!("{:.2}", expertise.expertise(UserId(i as u32), d)))
+            .collect();
+        println!("  domain #{domain}: [{}]", row.join(", "));
+    }
+}

@@ -1,0 +1,193 @@
+//! Cross-crate allocation tests: capacity discipline, min-cost vs
+//! max-quality economics, and allocation quality under expertise.
+
+use eta2::core::allocation::{MaxQualityAllocator, MinCostAllocator, MinCostConfig};
+use eta2::core::model::{ExpertiseMatrix, Task, UserId};
+use eta2::datasets::synthetic::SyntheticConfig;
+use eta2::sim::config::MinCostTuning;
+use eta2::sim::{ApproachKind, SimConfig, Simulation};
+use rand::SeedableRng;
+
+#[test]
+fn simulated_min_cost_is_cheaper_with_similar_error() {
+    // Sized so capacity has headroom over the quality gate: ~36 candidate
+    // users per task against a gate of ~15-25, letting ETA2-mc stop early.
+    let ds = SyntheticConfig {
+        n_users: 60,
+        n_tasks: 100,
+        n_domains: 4,
+        ..SyntheticConfig::default()
+    }
+    .generate(0);
+    let sim = Simulation::new(SimConfig::default());
+    let seeds = 4;
+    let mut mq = (0.0, 0.0);
+    let mut mc = (0.0, 0.0);
+    for seed in 0..seeds {
+        let a = sim.run(&ds, ApproachKind::Eta2, seed);
+        let b = sim.run(&ds, ApproachKind::Eta2MinCost, seed);
+        mq.0 += a.overall_error / seeds as f64;
+        mq.1 += a.total_cost / seeds as f64;
+        mc.0 += b.overall_error / seeds as f64;
+        mc.1 += b.total_cost / seeds as f64;
+    }
+    // Fig. 9/10's headline: similar error, much lower cost.
+    assert!(mc.1 < 0.8 * mq.1, "cost {:.0} vs {:.0}", mc.1, mq.1);
+    assert!(
+        mc.0 < SimConfig::default().min_cost.max_error,
+        "ETA2-mc error {:.3} misses the quality requirement",
+        mc.0
+    );
+}
+
+#[test]
+fn round_budget_extremes_still_meet_quality() {
+    let ds = SyntheticConfig {
+        n_users: 40,
+        n_tasks: 60,
+        n_domains: 3,
+        ..SyntheticConfig::default()
+    }
+    .generate(1);
+    for round_budget in [10.0, 200.0] {
+        let sim = Simulation::new(SimConfig {
+            min_cost: MinCostTuning {
+                round_budget,
+                ..MinCostTuning::default()
+            },
+            ..SimConfig::default()
+        });
+        let m = sim.run(&ds, ApproachKind::Eta2MinCost, 0);
+        assert!(
+            m.overall_error.is_finite() && m.total_cost > 0.0,
+            "c° = {round_budget}"
+        );
+    }
+}
+
+#[test]
+fn allocators_respect_capacity_through_the_simulator() {
+    // Drive the allocators directly with the dataset's profiles and verify
+    // the invariant the simulator depends on.
+    let ds = SyntheticConfig {
+        n_users: 15,
+        n_tasks: 60,
+        n_domains: 3,
+        ..SyntheticConfig::default()
+    }
+    .generate(2);
+    let tasks: Vec<Task> = ds.tasks.iter().map(|t| t.to_oracle_task()).collect();
+    let profiles = ds.profiles();
+    let expertise = ExpertiseMatrix::new(15);
+
+    let alloc = MaxQualityAllocator::default().allocate(&tasks, &profiles, &expertise);
+    for p in &profiles {
+        assert!(
+            alloc.load(p.id, &tasks) <= p.capacity + 1e-9,
+            "{} overloaded",
+            p.id
+        );
+    }
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let mut source = |user: UserId, task: &Task| {
+        ds.observe(user, &ds.tasks[task.id.0 as usize], &mut rng)
+    };
+    let outcome = MinCostAllocator::new(MinCostConfig::default()).allocate(
+        &tasks,
+        &profiles,
+        &expertise,
+        &mut source,
+    );
+    for p in &profiles {
+        assert!(
+            outcome.allocation.load(p.id, &tasks) <= p.capacity + 1e-9,
+            "{} overloaded by min-cost",
+            p.id
+        );
+    }
+}
+
+#[test]
+fn higher_capability_reduces_error() {
+    // Fig. 6's x-axis effect: more capability → more users per task →
+    // lower estimation error.
+    let base = SyntheticConfig {
+        n_users: 30,
+        n_tasks: 100,
+        n_domains: 4,
+        ..SyntheticConfig::default()
+    };
+    let sim = Simulation::new(SimConfig::default());
+    let avg_error = |tau: f64| -> f64 {
+        let seeds = 4;
+        (0..seeds)
+            .map(|seed| {
+                let mut ds = base.generate(seed);
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+                ds.regenerate_capacities(tau, 4.0, &mut rng);
+                sim.run(&ds, ApproachKind::Eta2, seed).overall_error
+            })
+            .sum::<f64>()
+            / seeds as f64
+    };
+    let tight = avg_error(6.0);
+    let roomy = avg_error(20.0);
+    assert!(
+        roomy < tight,
+        "error at tau=20 ({roomy:.4}) not below tau=6 ({tight:.4})"
+    );
+}
+
+#[test]
+fn table2_assignment_stats_shape() {
+    // Table 2's count distribution: every allocated task has at least one
+    // user, the bulk sit in small buckets, and the maximum stays bounded.
+    // (The expertise-vs-count gradient of the paper's Table 2 only appears
+    // under the paper-exact expertise update — see the next test and the
+    // `table2_allocation_stats` bench.)
+    let ds = SyntheticConfig::default().generate(5);
+    let sim = Simulation::new(SimConfig::default());
+    let m = sim.run(&ds, ApproachKind::Eta2, 0);
+    assert!(!m.assignment_stats.is_empty());
+    let counts: Vec<usize> = m.assignment_stats.iter().map(|&(n, _)| n).collect();
+    assert!(counts.iter().all(|&n| n >= 1));
+    assert!(*counts.iter().max().unwrap() <= 40);
+    let small = counts.iter().filter(|&&n| n <= 10).count() as f64 / counts.len() as f64;
+    assert!(small > 0.5, "only {small:.2} of tasks have <= 10 users");
+}
+
+#[test]
+fn table2_expertise_gradient_in_paper_exact_mode() {
+    // With the paper-exact (non-robustified) expertise update, tasks with
+    // few assigned users get distinctly higher-expertise assignees — the
+    // anti-correlation the paper's Table 2 reports.
+    use eta2::core::truth::mle::MleConfig;
+    let ds = SyntheticConfig::default().generate(5);
+    let sim = Simulation::new(SimConfig {
+        mle: MleConfig {
+            leave_one_out: false,
+            prior_strength: 0.0,
+            ..MleConfig::default()
+        },
+        ..SimConfig::default()
+    });
+    let mut stats = Vec::new();
+    for seed in 0..3 {
+        stats.extend(sim.run(&ds, ApproachKind::Eta2, seed).assignment_stats);
+    }
+    let bucket = |lo: usize, hi: usize| -> f64 {
+        let vals: Vec<f64> = stats
+            .iter()
+            .filter(|&&(n, _)| n >= lo && n <= hi)
+            .map(|&(_, e)| e)
+            .collect();
+        vals.iter().sum::<f64>() / vals.len() as f64
+    };
+    let few = bucket(1, 5);
+    let many = bucket(16, 100);
+    assert!(
+        few > many,
+        "avg expertise with few users ({few:.2}) not above many ({many:.2})"
+    );
+}

@@ -1,0 +1,151 @@
+//! Streaming domain discovery + expertise bookkeeping across crates:
+//! the §3.3.2 dynamic clustering feeding the §4.2 expertise updates.
+
+use eta2::cluster::{DomainEvent, DynamicClusterer};
+use eta2::core::model::{DomainId, ObservationSet, Task, TaskId, UserId};
+use eta2::core::truth::dynamic::DynamicExpertise;
+use eta2::core::truth::mle::MleConfig;
+use eta2::embed::corpus::TopicCorpus;
+use eta2::embed::pairword::pairword_distance;
+use eta2::embed::{Embedding, PairWordExtractor, SkipGramConfig, SkipGramTrainer};
+use rand::{Rng, SeedableRng};
+
+fn embedding() -> Embedding {
+    let sentences = TopicCorpus::builtin().generate(250, 5);
+    SkipGramTrainer::new(SkipGramConfig {
+        dim: 16,
+        epochs: 3,
+        ..SkipGramConfig::default()
+    })
+    .train_sentences(&sentences)
+    .expect("corpus yields vocabulary")
+}
+
+fn vectorize(emb: &Embedding, text: &str) -> Vec<f32> {
+    PairWordExtractor::new()
+        .extract(text)
+        .semantic_vector(emb)
+        .unwrap_or_else(|| vec![0.0; 2 * emb.dim()])
+}
+
+#[test]
+fn new_topic_founds_domain_and_expertise_starts_fresh() {
+    let emb = embedding();
+    let metric = |a: &Vec<f32>, b: &Vec<f32>| pairword_distance(a, b);
+    let mut dc = DynamicClusterer::new(metric, 0.6);
+
+    let day1 = [
+        "What is the noise volume around the municipal building?",
+        "What is the decibel measurement near the construction street?",
+        "How many parking spots are at the garage gate?",
+        "How many parking spaces are at the deck entrance?",
+    ];
+    let warm = dc.warm_up(day1.iter().map(|d| vectorize(&emb, d)).collect());
+    let initial_domains = dc.domains().len();
+    assert!(initial_domains >= 2, "day-1 topics not separated");
+    assert_eq!(warm.assignments[0], warm.assignments[1]);
+    assert_eq!(warm.assignments[2], warm.assignments[3]);
+
+    let day2 = ["What is the rainfall forecast near the coast storm?"];
+    let upd = dc.add(day2.iter().map(|d| vectorize(&emb, d)).collect());
+    assert!(
+        upd.events
+            .iter()
+            .any(|e| matches!(e, DomainEvent::Created { .. })),
+        "weather topic did not found a new domain: {:?}",
+        upd.events
+    );
+}
+
+#[test]
+fn expertise_survives_domain_merge_end_to_end() {
+    // Two artificial domains accumulate expertise, then merge; the merged
+    // domain must retain the users' relative skill ordering.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let mut de = DynamicExpertise::new(6, 0.8, MleConfig::default());
+    let skills = [3.0, 2.0, 1.0, 1.0, 0.5, 0.4];
+
+    for (domain, base_task) in [(0u32, 0u32), (1, 100)] {
+        let tasks: Vec<Task> = (0..25)
+            .map(|j| Task::new(TaskId(base_task + j), DomainId(domain), 1.0, 1.0))
+            .collect();
+        let mut obs = ObservationSet::new();
+        for t in &tasks {
+            let mu: f64 = rng.gen_range(0.0..20.0);
+            for (i, &u) in skills.iter().enumerate() {
+                let z = eta2::stats::normal::standard_sample(&mut rng);
+                obs.insert(UserId(i as u32), t.id, mu + z / u);
+            }
+        }
+        let out = de.ingest_batch(&tasks, &obs);
+        assert!(out.converged);
+    }
+
+    de.merge_domains(DomainId(0), DomainId(1));
+    assert_eq!(de.domains().count(), 1);
+    let u: Vec<f64> = (0..6)
+        .map(|i| de.expertise(UserId(i), DomainId(0)))
+        .collect();
+    assert!(u[0] > u[2], "merge lost skill ordering: {u:?}");
+    assert!(u[2] > u[5], "merge lost skill ordering: {u:?}");
+}
+
+#[test]
+fn clusterer_and_expertise_agree_on_domain_ids() {
+    // The simulator's contract: every domain id the clusterer hands out is
+    // usable by the expertise state, including after merges.
+    let emb = embedding();
+    let metric = |a: &Vec<f32>, b: &Vec<f32>| pairword_distance(a, b);
+    let mut dc = DynamicClusterer::new(metric, 0.7);
+    let mut de = DynamicExpertise::new(3, 0.5, MleConfig::default());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+
+    let batches: [&[&str]; 3] = [
+        &[
+            "What is the noise volume near the street?",
+            "How many parking spots are at the garage?",
+        ],
+        &[
+            "What is the ambient decibel measurement around the building?",
+            "What is the temperature forecast near the coast?",
+        ],
+        &["How many cars are at the parking deck entrance?"],
+    ];
+
+    let mut next_task = 0u32;
+    for (day, batch) in batches.iter().enumerate() {
+        let points: Vec<Vec<f32>> = batch.iter().map(|d| vectorize(&emb, d)).collect();
+        let upd = if day == 0 {
+            dc.warm_up(points)
+        } else {
+            dc.add(points)
+        };
+        for e in &upd.events {
+            if let DomainEvent::Merged { kept, absorbed } = e {
+                de.merge_domains(DomainId(*kept), DomainId(*absorbed));
+            }
+        }
+        let tasks: Vec<Task> = upd
+            .assignments
+            .iter()
+            .map(|&d| {
+                let t = Task::new(TaskId(next_task), DomainId(d), 1.0, 1.0);
+                next_task += 1;
+                t
+            })
+            .collect();
+        let mut obs = ObservationSet::new();
+        for t in &tasks {
+            for i in 0..3u32 {
+                obs.insert(UserId(i), t.id, rng.gen_range(0.0..10.0));
+            }
+        }
+        de.ingest_batch(&tasks, &obs);
+        // Every live cluster id must be queryable.
+        for &(id, _) in dc.domains() {
+            let _ = de.expertise(UserId(0), DomainId(id));
+        }
+    }
+    // Expertise domains are a subset of ids ever issued; none panic.
+    assert!(de.domains().count() >= 1);
+}

@@ -1,0 +1,171 @@
+//! Failure-injection integration tests (DESIGN.md §5): degenerate inputs
+//! the live system will eventually meet must degrade gracefully, never
+//! panic or poison downstream state.
+
+use eta2::core::allocation::{MaxQualityAllocator, MinCostAllocator, MinCostConfig};
+use eta2::core::model::{
+    DomainId, ExpertiseMatrix, ObservationSet, Task, TaskId, UserId, UserProfile,
+};
+use eta2::core::truth::dynamic::DynamicExpertise;
+use eta2::core::truth::mle::{ExpertiseAwareMle, MleConfig};
+use eta2::datasets::synthetic::SyntheticConfig;
+use eta2::server::{Eta2Server, ServerConfig, TaskInput};
+use eta2::sim::{ApproachKind, SimConfig, Simulation};
+
+#[test]
+fn all_users_zero_capacity_yields_uncovered_tasks_not_panics() {
+    let mut ds = SyntheticConfig {
+        n_users: 6,
+        n_tasks: 12,
+        n_domains: 2,
+        ..SyntheticConfig::default()
+    }
+    .generate(0);
+    for u in &mut ds.users {
+        u.capacity = 0.0;
+    }
+    let sim = Simulation::new(SimConfig::default());
+    for approach in ApproachKind::ALL {
+        let m = sim.run(&ds, approach, 0);
+        assert_eq!(m.total_cost, 0.0, "{}", approach.name());
+        assert_eq!(m.uncovered_tasks, 12, "{}", approach.name());
+        // No estimates exist, so daily errors are NaN by contract.
+        assert!(m.daily_error.iter().all(|e| e.is_nan()), "{}", approach.name());
+    }
+}
+
+#[test]
+fn task_longer_than_any_capacity_is_skipped_everywhere() {
+    let tasks = vec![
+        Task::new(TaskId(0), DomainId(0), 100.0, 1.0), // impossible
+        Task::new(TaskId(1), DomainId(0), 1.0, 1.0),
+    ];
+    let users = vec![
+        UserProfile::new(UserId(0), 5.0),
+        UserProfile::new(UserId(1), 5.0),
+    ];
+    let ex = ExpertiseMatrix::new(2);
+
+    let alloc = MaxQualityAllocator::default().allocate(&tasks, &users, &ex);
+    assert!(alloc.users_for(TaskId(0)).is_empty());
+    assert!(!alloc.users_for(TaskId(1)).is_empty());
+
+    let mut source = |_u: UserId, _t: &Task| 1.0_f64;
+    let out = MinCostAllocator::new(MinCostConfig {
+        max_rounds: 5,
+        ..MinCostConfig::default()
+    })
+    .allocate(&tasks, &users, &ex, &mut source);
+    assert!(out.allocation.users_for(TaskId(0)).is_empty());
+    assert!(!out.all_passed, "the impossible task cannot meet quality");
+}
+
+#[test]
+fn single_observation_per_task_stays_finite_through_dynamic_updates() {
+    let mut de = DynamicExpertise::new(3, 0.5, MleConfig::default());
+    for day in 0..4u32 {
+        let tasks = vec![Task::new(TaskId(day), DomainId(0), 1.0, 1.0)];
+        let mut obs = ObservationSet::new();
+        obs.insert(UserId(day % 3), TaskId(day), day as f64 * 3.0);
+        let out = de.ingest_batch(&tasks, &obs);
+        let est = out.truths[&TaskId(day)];
+        assert!(est.mu.is_finite() && est.sigma.is_finite());
+    }
+    for i in 0..3u32 {
+        let u = de.expertise(UserId(i), DomainId(0));
+        assert!(u.is_finite() && u > 0.0);
+    }
+}
+
+#[test]
+fn identical_observations_zero_variance_is_handled() {
+    // All users agree exactly: sigma floors, expertise caps, truth exact.
+    let tasks = vec![Task::new(TaskId(0), DomainId(0), 1.0, 1.0)];
+    let mut obs = ObservationSet::new();
+    for i in 0..5u32 {
+        obs.insert(UserId(i), TaskId(0), 3.25);
+    }
+    let cfg = MleConfig::default();
+    let r = ExpertiseAwareMle::new(cfg).estimate(&tasks, &obs, 5);
+    let est = r.truths[&TaskId(0)];
+    assert_eq!(est.mu, 3.25);
+    assert!(est.sigma >= cfg.sigma_floor);
+    for i in 0..5u32 {
+        let u = r.expertise.get(UserId(i), DomainId(0));
+        assert!(u <= cfg.expertise_cap && u > 0.0);
+    }
+}
+
+#[test]
+fn server_survives_empty_and_oov_descriptions() {
+    use eta2::embed::corpus::TopicCorpus;
+    use eta2::embed::{SkipGramConfig, SkipGramTrainer};
+    let emb = SkipGramTrainer::new(SkipGramConfig {
+        dim: 8,
+        epochs: 1,
+        ..SkipGramConfig::default()
+    })
+    .train_sentences(&TopicCorpus::builtin().generate(60, 0))
+    .unwrap();
+    let mut server = Eta2Server::discovering(2, ServerConfig::default(), emb);
+    // Empty, punctuation-only and fully out-of-vocabulary descriptions all
+    // land in *some* domain (the zero vector) without panicking.
+    let ids = server
+        .register_tasks(vec![
+            TaskInput::described("", 1.0, 1.0),
+            TaskInput::described("???!!!", 1.0, 1.0),
+            TaskInput::described("zzzz qqqq xxxx", 1.0, 1.0),
+            TaskInput::described("what is the noise level near the building?", 1.0, 1.0),
+        ])
+        .unwrap();
+    assert_eq!(ids.len(), 4);
+    for &id in &ids {
+        server.domain_of(id).unwrap();
+    }
+}
+
+#[test]
+fn extreme_outlier_contamination_degrades_gracefully() {
+    // 100% uniform observations (Fig. 8 knob at its extreme): the system
+    // still converges and the error stays bounded.
+    let mut ds = SyntheticConfig {
+        n_users: 20,
+        n_tasks: 50,
+        n_domains: 3,
+        ..SyntheticConfig::default()
+    }
+    .generate(1);
+    ds.set_uniform_bias(1.0);
+    let sim = Simulation::new(SimConfig::default());
+    let m = sim.run(&ds, ApproachKind::Eta2, 0);
+    assert!(m.overall_error.is_finite());
+    assert!(m.overall_error < 2.0, "error exploded: {}", m.overall_error);
+}
+
+#[test]
+fn empty_domain_queries_default_cleanly() {
+    let de = DynamicExpertise::new(2, 0.5, MleConfig::default());
+    // A domain nobody ever reported in reads as the initialization value.
+    assert_eq!(de.expertise(UserId(0), DomainId(42)), 1.0);
+    let m = de.matrix();
+    assert_eq!(m.get(UserId(1), DomainId(42)), 1.0);
+}
+
+#[test]
+fn negative_and_huge_magnitude_truths_normalize() {
+    // The model is translation/scale tolerant: tasks at -1e6 and +1e6 with
+    // large sigma estimate fine.
+    let tasks = vec![
+        Task::new(TaskId(0), DomainId(0), 1.0, 1.0),
+        Task::new(TaskId(1), DomainId(0), 1.0, 1.0),
+    ];
+    let mut obs = ObservationSet::new();
+    for i in 0..4u32 {
+        obs.insert(UserId(i), TaskId(0), -1e6 + i as f64 * 10.0);
+        obs.insert(UserId(i), TaskId(1), 1e6 - i as f64 * 25.0);
+    }
+    let r = ExpertiseAwareMle::default().estimate(&tasks, &obs, 4);
+    assert!((r.truths[&TaskId(0)].mu + 1e6).abs() < 100.0);
+    assert!((r.truths[&TaskId(1)].mu - 1e6).abs() < 100.0);
+    assert!(r.converged);
+}

@@ -1,0 +1,148 @@
+//! End-to-end pipeline tests across crates: datasets → embedding →
+//! clustering → allocation → truth analysis → metrics.
+
+use eta2::datasets::sfv::SfvConfig;
+use eta2::datasets::survey::SurveyConfig;
+use eta2::datasets::synthetic::SyntheticConfig;
+use eta2::sim::{train_embedding_for, ApproachKind, SimConfig, Simulation};
+
+fn small_sim() -> Simulation {
+    Simulation::new(SimConfig {
+        corpus_documents: 150,
+        ..SimConfig::default()
+    })
+}
+
+#[test]
+fn synthetic_all_approaches_produce_finite_errors() {
+    let ds = SyntheticConfig {
+        n_users: 30,
+        n_tasks: 100,
+        n_domains: 4,
+        ..SyntheticConfig::default()
+    }
+    .generate(0);
+    let sim = small_sim();
+    for approach in ApproachKind::ALL {
+        let m = sim.run(&ds, approach, 0);
+        assert!(
+            m.daily_error.iter().all(|e| e.is_finite()),
+            "{}: {:?}",
+            approach.name(),
+            m.daily_error
+        );
+        assert!(m.overall_error.is_finite(), "{}", approach.name());
+    }
+}
+
+#[test]
+fn eta2_beats_every_baseline_on_synthetic() {
+    let ds = SyntheticConfig {
+        n_users: 40,
+        n_tasks: 200,
+        n_domains: 5,
+        ..SyntheticConfig::default()
+    }
+    .generate(1);
+    let sim = small_sim();
+    let avg = |approach: ApproachKind| -> f64 {
+        (0..5)
+            .map(|seed| sim.run(&ds, approach, seed).overall_error)
+            .sum::<f64>()
+            / 5.0
+    };
+    let eta2 = avg(ApproachKind::Eta2);
+    for other in [
+        ApproachKind::HubsAuthorities,
+        ApproachKind::AverageLog,
+        ApproachKind::TruthFinder,
+        ApproachKind::Baseline,
+    ] {
+        let e = avg(other);
+        assert!(
+            eta2 < e,
+            "ETA2 {eta2:.4} not below {} {e:.4}",
+            other.name()
+        );
+    }
+}
+
+#[test]
+fn survey_full_text_pipeline_works_and_wins() {
+    let ds = SurveyConfig::default().generate(3);
+    let sim = small_sim();
+    let emb = train_embedding_for(&ds, sim.config()).expect("survey needs embedding");
+    let avg = |approach: ApproachKind| -> f64 {
+        (0..3)
+            .map(|seed| {
+                sim.run_with_embedding(&ds, approach, seed, Some(&emb))
+                    .overall_error
+            })
+            .sum::<f64>()
+            / 3.0
+    };
+    let eta2 = avg(ApproachKind::Eta2);
+    let baseline = avg(ApproachKind::Baseline);
+    assert!(
+        eta2 < baseline,
+        "survey: ETA2 {eta2:.4} not below Baseline {baseline:.4}"
+    );
+}
+
+#[test]
+fn sfv_full_text_pipeline_runs() {
+    // Scaled-down SFV (18 systems is fixed, fewer entities for speed).
+    let ds = SfvConfig {
+        n_entities: 20,
+        ..SfvConfig::default()
+    }
+    .generate(4);
+    let sim = small_sim();
+    let emb = train_embedding_for(&ds, sim.config()).expect("sfv needs embedding");
+    let m = sim.run_with_embedding(&ds, ApproachKind::Eta2, 0, Some(&emb));
+    assert!(m.overall_error.is_finite());
+    assert!(
+        m.final_domains >= 2 && m.final_domains <= 20,
+        "implausible domain count {}",
+        m.final_domains
+    );
+}
+
+#[test]
+fn runs_are_reproducible_across_processes() {
+    // Seeded end-to-end determinism is what makes EXPERIMENTS.md auditable.
+    let ds = SyntheticConfig {
+        n_users: 20,
+        n_tasks: 60,
+        n_domains: 3,
+        ..SyntheticConfig::default()
+    }
+    .generate(9);
+    let sim = small_sim();
+    let a = sim.run(&ds, ApproachKind::Eta2MinCost, 5);
+    let b = sim.run(&ds, ApproachKind::Eta2MinCost, 5);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn mle_iteration_counts_match_fig12_shape() {
+    // The paper's Fig. 12: most MLE invocations converge within ~10
+    // iterations, almost all within 60.
+    let ds = SyntheticConfig {
+        n_users: 30,
+        n_tasks: 100,
+        n_domains: 4,
+        ..SyntheticConfig::default()
+    }
+    .generate(2);
+    let sim = small_sim();
+    let m = sim.run(&ds, ApproachKind::Eta2, 0);
+    assert!(!m.mle_iterations.is_empty());
+    let within_60 = m
+        .mle_iterations
+        .iter()
+        .filter(|&&it| it <= 60)
+        .count() as f64
+        / m.mle_iterations.len() as f64;
+    assert!(within_60 >= 0.9, "only {within_60:.2} within 60 iterations");
+}
