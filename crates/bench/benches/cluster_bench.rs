@@ -10,7 +10,9 @@ fn points(n: usize, seed: u64) -> Vec<Vec<f32>> {
     (0..n)
         .map(|i| {
             let center = (i % 8) as f32 * 10.0;
-            (0..16).map(|_| center + rng.gen_range(-1.0..1.0f32)).collect()
+            (0..16)
+                .map(|_| center + rng.gen_range(-1.0..1.0f32))
+                .collect()
         })
         .collect()
 }

@@ -1,14 +1,31 @@
 //! Runs the full experiment battery — every table and figure of the
 //! paper's evaluation plus the DESIGN.md ablations — and writes all JSON
 //! results to `target/experiments/`.
+//!
+//! Observability (environment variables, since this binary takes no
+//! flags): `ETA2_TRACE=FILE` writes structured JSONL events, `ETA2_QUIET`
+//! suppresses stdout chatter, `ETA2_VERBOSE` adds per-step detail.
 
 use eta2_bench::{experiments, Settings};
 
 fn main() {
+    if eta2_obs::env_flag("ETA2_QUIET") {
+        eta2_obs::set_verbosity(eta2_obs::Verbosity::Quiet);
+    } else if eta2_obs::env_flag("ETA2_VERBOSE") {
+        eta2_obs::set_verbosity(eta2_obs::Verbosity::Verbose);
+    }
+    if let Some(path) = eta2_obs::env_path("ETA2_TRACE") {
+        if let Err(e) = eta2_obs::init_file(&path) {
+            eprintln!("error: cannot open trace file {}: {e}", path.display());
+            std::process::exit(2);
+        }
+    }
+
     let settings = Settings::from_env();
-    println!(
+    eta2_obs::progress!(
         "running full ETA2 experiment battery: seeds = {}, fast = {}",
-        settings.seeds, settings.fast
+        settings.seeds,
+        settings.fast
     );
     let battery: [(&str, fn(&Settings) -> serde_json::Value); 12] = [
         ("fig2", experiments::fig2),
@@ -28,8 +45,9 @@ fn main() {
         let start = std::time::Instant::now();
         let value = f(&settings);
         settings.write_json(id, &value);
-        println!("[{id} took {:.1?}]", start.elapsed());
+        eta2_obs::progress!("[{id} took {:.1?}]", start.elapsed());
     }
-    println!();
-    println!("battery complete — results in target/experiments/");
+    eta2_obs::flush();
+    eta2_obs::progress!();
+    eta2_obs::progress!("battery complete — results in target/experiments/");
 }

@@ -38,14 +38,14 @@ pub fn fig2(settings: &Settings) -> Value {
             hist.extend(obs.iter().map(|x| (x - t.ground_truth) / std));
         }
         let normal = Normal::standard();
-        println!("\n{name}: bin center | empirical density | N(0,1) pdf");
+        eta2_obs::progress!("\n{name}: bin center | empirical density | N(0,1) pdf");
         let mut series = Vec::new();
         for b in 0..32 {
             let c = hist.bin_center(b);
             let d = hist.density(b);
             let p = normal.pdf(c);
             if b % 2 == 0 {
-                println!("  {c:>6.2} {d:>10.4} {p:>10.4}");
+                eta2_obs::progress!("  {c:>6.2} {d:>10.4} {p:>10.4}");
             }
             series.push(json!({"center": c, "density": d, "normal_pdf": p}));
         }
@@ -116,7 +116,7 @@ pub fn table1(settings: &Settings) -> Value {
                 passed as f64 / ds.tasks.len() as f64
             })
             .collect();
-        println!("{}", row(label, &rates));
+        eta2_obs::progress!("{}", row(label, &rates));
         out.insert(
             label.to_string(),
             json!(alphas
@@ -126,7 +126,7 @@ pub fn table1(settings: &Settings) -> Value {
                 .collect::<Vec<_>>()),
         );
     }
-    println!("(paper, naive variant: 87.18 / 88.46 / 89.74 / 89.74 %)");
+    eta2_obs::progress!("(paper, naive variant: 87.18 / 88.46 / 89.74 / 89.74 %)");
     Value::Object(out)
 }
 
@@ -142,7 +142,7 @@ pub fn fig4(settings: &Settings) -> Value {
     for (name, ds) in [("survey", settings.survey(0)), ("sfv", settings.sfv(0))] {
         let base = settings.sim_config();
         let emb = train_embedding_for(&ds, &base);
-        println!("\n{name}: rows = alpha {alphas:?}, cols = gamma {gammas:?}");
+        eta2_obs::progress!("\n{name}: rows = alpha {alphas:?}, cols = gamma {gammas:?}");
         let mut grid = Vec::new();
         let mut best = (f64::INFINITY, 0.0, 0.0);
         for &alpha in &alphas {
@@ -167,9 +167,14 @@ pub fn fig4(settings: &Settings) -> Value {
                 cells.push(m.overall_error);
                 grid.push(json!({"alpha": alpha, "gamma": gamma, "error": m.overall_error}));
             }
-            println!("{}", row(&format!("alpha={alpha}"), &cells));
+            eta2_obs::progress!("{}", row(&format!("alpha={alpha}"), &cells));
         }
-        println!("best: error {:.4} at alpha={}, gamma={}", best.0, best.1, best.2);
+        eta2_obs::progress!(
+            "best: error {:.4} at alpha={}, gamma={}",
+            best.0,
+            best.1,
+            best.2
+        );
         out.insert(name.to_string(), Value::Array(grid));
     }
 
@@ -186,8 +191,8 @@ pub fn fig4(settings: &Settings) -> Value {
         cells.push(m.overall_error);
         series.push(json!({"alpha": alpha, "error": m.overall_error}));
     }
-    println!("\nsynthetic (alpha only): {alphas:?}");
-    println!("{}", row("error", &cells));
+    eta2_obs::progress!("\nsynthetic (alpha only): {alphas:?}");
+    eta2_obs::progress!("{}", row("error", &cells));
     out.insert("synthetic".into(), Value::Array(series));
     Value::Object(out)
 }
@@ -205,7 +210,7 @@ pub fn fig5(settings: &Settings) -> Value {
         let config = settings.sim_config();
         let emb = train_embedding_for(&ds, &config);
         let sim = Simulation::new(config);
-        println!("\n{name}: columns = day 1..5");
+        eta2_obs::progress!("\n{name}: columns = day 1..5");
         let mut per_ds = serde_json::Map::new();
         for approach in ApproachKind::COMPARISON {
             let m = average_over_seeds(
@@ -216,7 +221,7 @@ pub fn fig5(settings: &Settings) -> Value {
                 |_| ds.clone(),
                 emb.as_ref(),
             );
-            println!("{}", row(approach.name(), &m.daily_error));
+            eta2_obs::progress!("{}", row(approach.name(), &m.daily_error));
             per_ds.insert(approach.name().into(), json!(m.daily_error));
         }
         out.insert(name.to_string(), Value::Object(per_ds));
@@ -241,12 +246,12 @@ pub fn fig6(settings: &Settings) -> Value {
         } else {
             settings.seeds
         };
-        println!("\n{name}: columns = tau {TAUS:?}");
+        eta2_obs::progress!("\n{name}: columns = tau {TAUS:?}");
         let mut per_ds = serde_json::Map::new();
         for approach in ApproachKind::COMPARISON {
             let points = sweep_tau(&sim, approach, &TAUS, seeds, |_| ds.clone(), emb.as_ref());
             let errors: Vec<f64> = points.iter().map(|p| p.metrics.overall_error).collect();
-            println!("{}", row(approach.name(), &errors));
+            eta2_obs::progress!("{}", row(approach.name(), &errors));
             per_ds.insert(
                 approach.name().into(),
                 json!(points
@@ -283,7 +288,9 @@ pub fn fig7(settings: &Settings) -> Value {
         );
         let mut per_ds = serde_json::Map::new();
         for (label, by_true) in [("estimated", false), ("true", true)] {
-            println!("\n{name} (binned by {label} expertise): bin | n | q1 | median | q3");
+            eta2_obs::progress!(
+                "\n{name} (binned by {label} expertise): bin | n | q1 | median | q3"
+            );
             let mut bins = Vec::new();
             for w in edges.windows(2) {
                 let errs: Vec<f64> = m
@@ -299,7 +306,7 @@ pub fn fig7(settings: &Settings) -> Value {
                     continue;
                 }
                 let s = Summary::from_slice(&errs).expect("non-empty, finite");
-                println!(
+                eta2_obs::progress!(
                     "  [{:>4.1}, {:>4.1}) {:>7} {:>8.3} {:>8.3} {:>8.3}",
                     w[0],
                     w[1],
@@ -342,8 +349,8 @@ pub fn fig8(settings: &Settings) -> Value {
         );
         errors.push(m.overall_error);
     }
-    println!("fraction uniform: {fractions:?}");
-    println!("{}", row("ETA2 error", &errors));
+    eta2_obs::progress!("fraction uniform: {fractions:?}");
+    eta2_obs::progress!("{}", row("ETA2 error", &errors));
     json!(fractions
         .iter()
         .zip(&errors)
@@ -354,7 +361,10 @@ pub fn fig8(settings: &Settings) -> Value {
 /// Figs. 9 & 10 — ETA² vs ETA²-mc across capability: estimation error
 /// (Fig. 9) and allocation cost (Fig. 10), several round budgets c°.
 pub fn fig9_10(settings: &Settings) -> Value {
-    banner("FIG9/10", "ETA2 vs ETA2-mc: error and allocation cost vs tau");
+    banner(
+        "FIG9/10",
+        "ETA2 vs ETA2-mc: error and allocation cost vs tau",
+    );
     let mut out = serde_json::Map::new();
     for (name, ds) in [
         ("survey", settings.survey(0)),
@@ -364,7 +374,7 @@ pub fn fig9_10(settings: &Settings) -> Value {
         let base = settings.sim_config();
         let emb = train_embedding_for(&ds, &base);
         let seeds = (settings.seeds / 2).max(1);
-        println!("\n{name}: columns = tau {TAUS:?}");
+        eta2_obs::progress!("\n{name}: columns = tau {TAUS:?}");
         let mut per_ds = serde_json::Map::new();
 
         let mut run = |label: String, config: SimConfig, approach: ApproachKind| {
@@ -372,8 +382,8 @@ pub fn fig9_10(settings: &Settings) -> Value {
             let points = sweep_tau(&sim, approach, &TAUS, seeds, |_| ds.clone(), emb.as_ref());
             let errors: Vec<f64> = points.iter().map(|p| p.metrics.overall_error).collect();
             let costs: Vec<f64> = points.iter().map(|p| p.metrics.total_cost).collect();
-            println!("{}", row(&format!("{label} error"), &errors));
-            println!("{}", row(&format!("{label} cost"), &costs));
+            eta2_obs::progress!("{}", row(&format!("{label} error"), &errors));
+            eta2_obs::progress!("{}", row(&format!("{label} cost"), &costs));
             per_ds.insert(
                 label,
                 json!(points
@@ -418,14 +428,17 @@ pub fn fig9_10(settings: &Settings) -> Value {
         );
         out.insert(name.to_string(), Value::Object(per_ds));
     }
-    println!("(quality requirement for ETA2-mc: error < 0.5 at 95% confidence)");
+    eta2_obs::progress!("(quality requirement for ETA2-mc: error < 0.5 at 95% confidence)");
     Value::Object(out)
 }
 
 /// Fig. 11 — expertise estimation error vs capability (synthetic, where the
 /// true expertise is known).
 pub fn fig11(settings: &Settings) -> Value {
-    banner("FIG11", "expertise estimation error vs capability (synthetic)");
+    banner(
+        "FIG11",
+        "expertise estimation error vs capability (synthetic)",
+    );
     let ds = settings.synthetic(0);
     let sim = Simulation::new(settings.sim_config());
     let points = sweep_tau(
@@ -440,8 +453,8 @@ pub fn fig11(settings: &Settings) -> Value {
         .iter()
         .map(|p| p.metrics.expertise_error.expect("synthetic reports it"))
         .collect();
-    println!("tau: {TAUS:?}");
-    println!("{}", row("expertise MAE", &errors));
+    eta2_obs::progress!("tau: {TAUS:?}");
+    eta2_obs::progress!("{}", row("expertise MAE", &errors));
     json!(points
         .iter()
         .zip(&errors)
@@ -477,7 +490,7 @@ pub fn fig12(settings: &Settings) -> Value {
                 .find(|&&(v, _)| v <= x)
                 .map_or(0.0, |&(_, f)| f)
         };
-        println!(
+        eta2_obs::progress!(
             "{name:<10} P(iters<=5) = {:.2}  P(<=10) = {:.2}  P(<=20) = {:.2}  P(<=60) = {:.2}",
             at(5.0),
             at(10.0),
@@ -489,7 +502,7 @@ pub fn fig12(settings: &Settings) -> Value {
             json!({"p_le_5": at(5.0), "p_le_10": at(10.0), "p_le_20": at(20.0), "p_le_60": at(60.0)}),
         );
     }
-    println!("(paper: majority within 10; survey/SFV within 20; synthetic within 60)");
+    eta2_obs::progress!("(paper: majority within 10; survey/SFV within 20; synthetic within 60)");
     Value::Object(out)
 }
 
@@ -501,7 +514,10 @@ pub fn fig12(settings: &Settings) -> Value {
 /// update's aggressive estimates; the robustified default flattens it
 /// (both are reported).
 pub fn table2(settings: &Settings) -> Value {
-    banner("TAB2", "users per task and their average expertise (synthetic)");
+    banner(
+        "TAB2",
+        "users per task and their average expertise (synthetic)",
+    );
     let ds = settings.synthetic(0);
     let buckets = [(2usize, 5usize), (6, 10), (11, 15), (16, 20)];
     let mut out = serde_json::Map::new();
@@ -528,7 +544,7 @@ pub fn table2(settings: &Settings) -> Value {
             |_| ds.clone(),
             None,
         );
-        println!("\n{label}: users-assigned bucket | % of tasks | avg expertise");
+        eta2_obs::progress!("\n{label}: users-assigned bucket | % of tasks | avg expertise");
         let total = m.assignment_stats.len().max(1);
         let mut rows = Vec::new();
         for &(lo, hi) in &buckets {
@@ -543,12 +559,14 @@ pub fn table2(settings: &Settings) -> Value {
             } else {
                 in_bucket.iter().map(|&&(_, e)| e).sum::<f64>() / in_bucket.len() as f64
             };
-            println!("  [{lo:>2}, {hi:>2}] {pct:>8.1}% {avg:>8.2}");
+            eta2_obs::progress!("  [{lo:>2}, {hi:>2}] {pct:>8.1}% {avg:>8.2}");
             rows.push(json!({"lo": lo, "hi": hi, "pct_tasks": pct, "avg_expertise": avg}));
         }
         out.insert(label.to_string(), Value::Array(rows));
     }
-    println!("(paper: [2,5] 20.9%/2.57, [6,10] 40.3%/1.85, [11,15] 20.9%/1.37, [16,20] 17.7%/1.27)");
+    eta2_obs::progress!(
+        "(paper: [2,5] 20.9%/2.57, [6,10] 40.3%/1.85, [11,15] 20.9%/1.37, [16,20] 17.7%/1.27)"
+    );
     Value::Object(out)
 }
 
@@ -563,7 +581,7 @@ pub fn ablations(settings: &Settings) -> Value {
     // (1) Leave-one-out + prior in the expertise update.
     {
         let ds = settings.synthetic(0);
-        println!("\nablation_loo_expertise (synthetic, ETA2 overall error):");
+        eta2_obs::progress!("\nablation_loo_expertise (synthetic, ETA2 overall error):");
         let mut rows = Vec::new();
         for (label, loo, prior) in [
             ("robust (LOO + prior)", true, 1.0),
@@ -580,7 +598,7 @@ pub fn ablations(settings: &Settings) -> Value {
                 ..settings.sim_config()
             });
             let m = average_over_seeds(&sim, ApproachKind::Eta2, seeds, 0, |_| ds.clone(), None);
-            println!("  {label:<24} {:.4}", m.overall_error);
+            eta2_obs::progress!("  {label:<24} {:.4}", m.overall_error);
             rows.push(json!({"variant": label, "error": m.overall_error}));
         }
         out.insert("loo_expertise".into(), Value::Array(rows));
@@ -591,7 +609,7 @@ pub fn ablations(settings: &Settings) -> Value {
         use eta2_core::allocation::{MaxQualityAllocator, MaxQualityConfig};
         use eta2_core::model::{DomainId, ExpertiseMatrix, UserId};
         use rand::Rng;
-        println!("\nablation_approx_second_pass (objective, heavy-tailed durations):");
+        eta2_obs::progress!("\nablation_approx_second_pass (objective, heavy-tailed durations):");
         let mut rng = StdRng::seed_from_u64(1);
         let mut with_sum = 0.0;
         let mut without_sum = 0.0;
@@ -636,8 +654,8 @@ pub fn ablations(settings: &Settings) -> Value {
             with_sum += with.objective(&tasks, &ex, &with.allocate(&tasks, &users, &ex));
             without_sum += with.objective(&tasks, &ex, &without.allocate(&tasks, &users, &ex));
         }
-        println!("  with second pass   : {:.4}", with_sum / trials as f64);
-        println!("  without second pass: {:.4}", without_sum / trials as f64);
+        eta2_obs::progress!("  with second pass   : {:.4}", with_sum / trials as f64);
+        eta2_obs::progress!("  without second pass: {:.4}", without_sum / trials as f64);
         out.insert(
             "approx_second_pass".into(),
             json!({"with": with_sum / trials as f64, "without": without_sum / trials as f64}),
@@ -647,7 +665,7 @@ pub fn ablations(settings: &Settings) -> Value {
     // (3) Expertise-awareness: normal ETA2 vs domain-collapsed ETA2.
     {
         let ds = settings.synthetic(0);
-        println!("\nablation_expertise_vs_reliability (synthetic, overall error):");
+        eta2_obs::progress!("\nablation_expertise_vs_reliability (synthetic, overall error):");
         let normal = average_over_seeds(
             &Simulation::new(settings.sim_config()),
             ApproachKind::Eta2,
@@ -667,8 +685,8 @@ pub fn ablations(settings: &Settings) -> Value {
             |_| ds.clone(),
             None,
         );
-        println!("  per-domain expertise  : {:.4}", normal.overall_error);
-        println!("  collapsed (one domain): {:.4}", collapsed.overall_error);
+        eta2_obs::progress!("  per-domain expertise  : {:.4}", normal.overall_error);
+        eta2_obs::progress!("  collapsed (one domain): {:.4}", collapsed.overall_error);
         out.insert(
             "expertise_vs_reliability".into(),
             json!({"per_domain": normal.overall_error, "collapsed": collapsed.overall_error}),
@@ -678,7 +696,7 @@ pub fn ablations(settings: &Settings) -> Value {
     // (4) Clustering quality: learned clusters vs oracle domains vs none.
     {
         let ds = settings.survey(0);
-        println!("\nablation_clustering_quality (survey, overall error):");
+        eta2_obs::progress!("\nablation_clustering_quality (survey, overall error):");
         let config = settings.sim_config();
         let emb = train_embedding_for(&ds, &config);
         let learned = average_over_seeds(
@@ -710,9 +728,9 @@ pub fn ablations(settings: &Settings) -> Value {
             |_| ds.clone(),
             None,
         );
-        println!("  oracle domains : {:.4}", oracle.overall_error);
-        println!("  learned (pipeline): {:.4}", learned.overall_error);
-        println!("  no domains     : {:.4}", collapsed.overall_error);
+        eta2_obs::progress!("  oracle domains : {:.4}", oracle.overall_error);
+        eta2_obs::progress!("  learned (pipeline): {:.4}", learned.overall_error);
+        eta2_obs::progress!("  no domains     : {:.4}", collapsed.overall_error);
         out.insert(
             "clustering_quality".into(),
             json!({

@@ -28,13 +28,20 @@ impl Default for Settings {
 
 impl Settings {
     /// Reads `ETA2_SEEDS` / `ETA2_FAST` from the environment.
+    ///
+    /// `ETA2_FAST` follows the usual boolean convention: unset, empty,
+    /// `0`, `false`, `off` and `no` all mean off — not mere presence.
+    ///
+    /// Also turns on span timing so experiment runs accumulate wall-time
+    /// histograms that [`Settings::write_json`] attaches to results.
     pub fn from_env() -> Self {
+        eta2_obs::set_metrics(true);
         let seeds = std::env::var("ETA2_SEEDS")
             .ok()
             .and_then(|s| s.parse().ok())
             .unwrap_or(10)
             .max(1);
-        let fast = std::env::var("ETA2_FAST").is_ok();
+        let fast = eta2_obs::env_flag("ETA2_FAST");
         Settings {
             seeds,
             fast,
@@ -95,32 +102,54 @@ impl Settings {
         SimConfig::default()
     }
 
-    /// Writes `value` as pretty JSON to `target/experiments/<id>.json`.
+    /// Writes `value` as pretty JSON to `target/experiments/<id>.json`,
+    /// attaching the span-timing histograms accumulated since the previous
+    /// write under a `"span_timing"` key (and resetting them, so each
+    /// experiment's timings cover only that experiment).
     pub fn write_json(&self, id: &str, value: &Value) {
+        let mut value = value.clone();
+        attach_span_timing(
+            &mut value,
+            &eta2_obs::registry::global().snapshot_and_reset(),
+        );
         if let Err(e) = std::fs::create_dir_all(&self.out_dir) {
-            eprintln!("warning: cannot create {}: {e}", self.out_dir.display());
+            eta2_obs::warn!("cannot create {}: {e}", self.out_dir.display());
             return;
         }
         let path = self.out_dir.join(format!("{id}.json"));
-        match serde_json::to_string_pretty(value) {
+        match serde_json::to_string_pretty(&value) {
             Ok(s) => {
                 if let Err(e) = std::fs::write(&path, s) {
-                    eprintln!("warning: cannot write {}: {e}", path.display());
+                    eta2_obs::warn!("cannot write {}: {e}", path.display());
                 } else {
-                    println!("[results written to {}]", path.display());
+                    eta2_obs::progress!("[results written to {}]", path.display());
                 }
             }
-            Err(e) => eprintln!("warning: cannot serialize {id}: {e}"),
+            Err(e) => eta2_obs::warn!("cannot serialize {id}: {e}"),
         }
+    }
+}
+
+/// Merges a non-empty metrics snapshot into a JSON object result under
+/// `"span_timing"`. Non-object results and empty snapshots are left alone.
+fn attach_span_timing(value: &mut Value, spans: &eta2_obs::registry::Snapshot) {
+    if spans.is_empty() {
+        return;
+    }
+    if let (Some(obj), Ok(timing)) = (
+        value.as_object_mut(),
+        serde_json::from_str::<Value>(&spans.to_json()),
+    ) {
+        obj.insert("span_timing".to_string(), timing);
     }
 }
 
 /// Prints a header line for an experiment.
 pub fn banner(id: &str, title: &str) {
-    println!();
-    println!("================================================================");
-    println!("{id} — {title}");
-    println!("================================================================");
+    eta2_obs::progress!();
+    eta2_obs::progress!("================================================================");
+    eta2_obs::progress!("{id} — {title}");
+    eta2_obs::progress!("================================================================");
 }
 
 /// Formats a row of f64 cells with a leading label.
@@ -160,6 +189,29 @@ mod tests {
         let r = row("x", &[1.0, 2.5]);
         assert!(r.contains("1.0000"));
         assert!(r.contains("2.5000"));
+    }
+
+    #[test]
+    fn attach_span_timing_merges_histograms() {
+        let r = eta2_obs::Registry::new();
+        r.observe("mle.solve", 0.25);
+        r.observe("mle.solve", 0.75);
+        let mut v = serde_json::json!({"ok": true});
+        attach_span_timing(&mut v, &r.snapshot());
+        let timing = v.get("span_timing").expect("span_timing attached");
+        let h = &timing["histograms"]["mle.solve"];
+        assert_eq!(h["count"], 2);
+        assert!((h["sum"].as_f64().unwrap() - 1.0).abs() < 1e-12);
+        // The original payload is intact.
+        assert_eq!(v["ok"], true);
+    }
+
+    #[test]
+    fn attach_span_timing_skips_empty_snapshot() {
+        let r = eta2_obs::Registry::new();
+        let mut v = serde_json::json!({"ok": true});
+        attach_span_timing(&mut v, &r.snapshot());
+        assert!(v.get("span_timing").is_none());
     }
 
     #[test]

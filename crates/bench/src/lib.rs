@@ -10,7 +10,14 @@
 //!
 //! * `ETA2_SEEDS` — seeds averaged per experiment point (default 10; the
 //!   paper uses 100).
-//! * `ETA2_FAST` — set to shrink datasets for a smoke run.
+//! * `ETA2_FAST` — set to `1`/`true` to shrink datasets for a smoke run
+//!   (`0`, `false`, `off` and empty all mean off).
+//! * `ETA2_TRACE` — write structured JSONL trace events to this file.
+//! * `ETA2_QUIET` / `ETA2_VERBOSE` — adjust stdout chatter (binaries only).
+//!
+//! Span-timing histograms (`mle.solve`, `alloc.greedy`, `sim.run`, …) are
+//! recorded during every experiment and attached to each persisted JSON
+//! result under a `"span_timing"` key.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

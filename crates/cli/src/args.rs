@@ -41,7 +41,6 @@ impl Args {
     }
 
     /// Whether `--key` was passed (with or without a value).
-    #[allow(dead_code)] // part of the parser's natural API; used in tests
     pub fn has(&self, key: &str) -> bool {
         self.options.contains_key(key)
     }

@@ -24,6 +24,12 @@ USAGE:
 
 Approaches: eta2, eta2-mc, hubs, avglog, truthfinder, baseline, crh
             (default eta2)
+
+Observability (any command):
+  --trace FILE   write structured JSONL trace events to FILE
+                 (or set ETA2_TRACE=FILE)
+  --verbose      per-step progress detail
+  --quiet        suppress all stdout chatter
 ";
 
 /// Builds or loads the dataset named by `--dataset`.
@@ -64,7 +70,7 @@ pub fn generate(args: &Args) -> Result<(), String> {
         .map(String::from)
         .unwrap_or_else(|| format!("{}.json", ds.name));
     eta2_datasets::io::save_dataset(&ds, &out).map_err(|e| e.to_string())?;
-    println!(
+    eta2_obs::progress!(
         "wrote {}: {} users, {} tasks, {} domains",
         out,
         ds.users.len(),
@@ -97,7 +103,7 @@ pub fn simulate(args: &Args) -> Result<(), String> {
 
     let sim = Simulation::new(config);
     let embedding = train_embedding_for(&ds, sim.config());
-    println!(
+    eta2_obs::detail!(
         "simulating {} on {} ({} users, {} tasks), {} seeds",
         approach.name(),
         ds.name,
@@ -114,12 +120,12 @@ pub fn simulate(args: &Args) -> Result<(), String> {
         embedding.as_ref(),
     );
     for (d, e) in avg.daily_error.iter().enumerate() {
-        println!("  day {}: error {e:.4}", d + 1);
+        eta2_obs::detail!("  day {}: error {e:.4}", d + 1);
     }
-    println!("  overall error: {:.4}", avg.overall_error);
-    println!("  total cost:    {:.1}", avg.total_cost);
+    eta2_obs::progress!("  overall error: {:.4}", avg.overall_error);
+    eta2_obs::progress!("  total cost:    {:.1}", avg.total_cost);
     if let Some(ee) = avg.expertise_error {
-        println!("  expertise MAE: {ee:.4}");
+        eta2_obs::progress!("  expertise MAE: {ee:.4}");
     }
     Ok(())
 }
@@ -145,16 +151,16 @@ pub fn domains(args: &Args) -> Result<(), String> {
     for (i, d) in batch.domains.iter().enumerate() {
         by_domain.entry(d.0).or_default().push(i);
     }
-    println!(
+    eta2_obs::progress!(
         "discovered {} domains over {} tasks (oracle: {}):",
         by_domain.len(),
         ds.tasks.len(),
         ds.n_domains
     );
     for (d, members) in &by_domain {
-        println!("domain #{d} — {} tasks", members.len());
+        eta2_obs::progress!("domain #{d} — {} tasks", members.len());
         for &i in members.iter().take(3) {
-            println!("    {}", ds.tasks[i].description.as_deref().unwrap_or("?"));
+            eta2_obs::detail!("    {}", ds.tasks[i].description.as_deref().unwrap_or("?"));
         }
     }
     Ok(())

@@ -3,6 +3,7 @@
 //! ```sh
 //! eta2-cli generate --dataset survey --out survey.json
 //! eta2-cli simulate --dataset synthetic --approach eta2 --seeds 10
+//! eta2-cli simulate --dataset synthetic --trace run.jsonl --verbose
 //! eta2-cli domains  --dataset survey
 //! eta2-cli bench fig5
 //! ```
@@ -11,10 +12,34 @@ mod args;
 mod commands;
 
 use args::Args;
+use std::path::PathBuf;
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let parsed = Args::parse(raw);
+
+    // Observability flags apply to every subcommand and must be in place
+    // before any work starts.
+    if parsed.has("quiet") {
+        eta2_obs::set_verbosity(eta2_obs::Verbosity::Quiet);
+    } else if parsed.has("verbose") {
+        eta2_obs::set_verbosity(eta2_obs::Verbosity::Verbose);
+    }
+    let trace: Option<PathBuf> = match parsed.get("trace") {
+        Some("") => {
+            eprintln!("error: --trace requires a file path");
+            std::process::exit(2);
+        }
+        Some(p) => Some(PathBuf::from(p)),
+        None => eta2_obs::env_path("ETA2_TRACE"),
+    };
+    if let Some(path) = &trace {
+        if let Err(e) = eta2_obs::init_file(path) {
+            eprintln!("error: cannot open trace file {}: {e}", path.display());
+            std::process::exit(2);
+        }
+    }
+
     let result = match parsed.positional(0) {
         Some("generate") => commands::generate(&parsed),
         Some("simulate") => commands::simulate(&parsed),
@@ -26,6 +51,7 @@ fn main() {
         }
         Some(other) => Err(format!("unknown command {other:?}")),
     };
+    eta2_obs::flush();
     if let Err(e) = result {
         eprintln!("error: {e}");
         eprintln!();

@@ -53,7 +53,11 @@ fn generate_writes_loadable_dataset() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let ds = eta2_datasets::io::load_dataset(&path).unwrap();
     assert_eq!(ds.name, "synthetic");
     assert_eq!(ds.users.len(), 100);
@@ -94,10 +98,105 @@ fn simulate_runs_on_generated_file() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("overall error"), "{text}");
     std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn quiet_simulate_prints_nothing() {
+    let path = temp_dir().join("cli_quiet_input.json");
+    let ds = eta2_datasets::synthetic::SyntheticConfig {
+        n_users: 10,
+        n_tasks: 30,
+        n_domains: 2,
+        ..eta2_datasets::synthetic::SyntheticConfig::default()
+    }
+    .generate(0);
+    eta2_datasets::io::save_dataset(&ds, &path).unwrap();
+
+    let out = cli()
+        .args([
+            "simulate",
+            "--dataset",
+            path.to_str().unwrap(),
+            "--approach",
+            "baseline",
+            "--seeds",
+            "1",
+            "--quiet",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        out.stdout.is_empty(),
+        "quiet run was not quiet: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn trace_flag_writes_jsonl_events() {
+    let dir = temp_dir();
+    let input = dir.join("cli_trace_input.json");
+    let trace = dir.join("cli_trace_out.jsonl");
+    let ds = eta2_datasets::synthetic::SyntheticConfig {
+        n_users: 10,
+        n_tasks: 30,
+        n_domains: 2,
+        ..eta2_datasets::synthetic::SyntheticConfig::default()
+    }
+    .generate(0);
+    eta2_datasets::io::save_dataset(&ds, &input).unwrap();
+
+    let out = cli()
+        .args([
+            "simulate",
+            "--dataset",
+            input.to_str().unwrap(),
+            "--approach",
+            "eta2",
+            "--seeds",
+            "1",
+            "--trace",
+            trace.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let body = std::fs::read_to_string(&trace).unwrap();
+    assert!(!body.is_empty(), "trace file is empty");
+    for line in body.lines() {
+        let v: serde_json::Value = serde_json::from_str(line).unwrap_or_else(|e| {
+            panic!("unparseable trace line {line:?}: {e}");
+        });
+        assert!(v.get("seq").is_some(), "{line}");
+        assert!(v.get("ts_ms").is_some(), "{line}");
+        assert!(v.get("type").is_some(), "{line}");
+    }
+    for kind in ["mle_iteration", "alloc_pick", "sim_day", "run_summary"] {
+        assert!(
+            body.contains(&format!("\"type\":\"{kind}\"")),
+            "no {kind} event in trace"
+        );
+    }
+    std::fs::remove_file(&input).ok();
+    std::fs::remove_file(&trace).ok();
 }
 
 #[test]

@@ -191,8 +191,7 @@ impl<P, M: Fn(&P, &P) -> f64> DynamicClusterer<P, M> {
 
         // Existing domains keep their member groups; each new point starts
         // its own singleton.
-        let mut initial: Vec<Vec<usize>> =
-            self.domains.iter().map(|(_, m)| m.clone()).collect();
+        let mut initial: Vec<Vec<usize>> = self.domains.iter().map(|(_, m)| m.clone()).collect();
         initial.extend((first_new..self.points.len()).map(|i| vec![i]));
         let clustering = agglomerate(&dm, initial, self.gamma * self.d_star);
 

@@ -267,8 +267,8 @@ pub fn agglomerate(dm: &DistanceMatrix, initial: Vec<Vec<usize>>, threshold: f64
             if k == a || k == b || members[k].is_none() {
                 continue;
             }
-            let d = (na as f64 * cdist[k * c0 + a] + nb as f64 * cdist[k * c0 + b])
-                / (na + nb) as f64;
+            let d =
+                (na as f64 * cdist[k * c0 + a] + nb as f64 * cdist[k * c0 + b]) / (na + nb) as f64;
             cdist[k * c0 + a] = d;
             cdist[a * c0 + k] = d;
             let (lo, hi) = if k < a { (k, a) } else { (a, k) };
@@ -321,7 +321,10 @@ mod tests {
     #[test]
     fn empty_and_singleton_inputs() {
         let dm = line_dm(&[]);
-        assert_eq!(HierarchicalClusterer::new(0.5).cluster(&dm).cluster_count(), 0);
+        assert_eq!(
+            HierarchicalClusterer::new(0.5).cluster(&dm).cluster_count(),
+            0
+        );
         let dm = line_dm(&[7.0]);
         let c = HierarchicalClusterer::new(0.5).cluster(&dm);
         assert_eq!(c.cluster_count(), 1);
@@ -336,9 +339,7 @@ mod tests {
 
     #[test]
     fn from_groups_rejects_non_partition() {
-        let r = std::panic::catch_unwind(|| {
-            Clustering::from_groups(vec![vec![0], vec![0]], 2)
-        });
+        let r = std::panic::catch_unwind(|| Clustering::from_groups(vec![vec![0], vec![0]], 2));
         assert!(r.is_err(), "duplicate item accepted");
         let r = std::panic::catch_unwind(|| Clustering::from_groups(vec![vec![0]], 2));
         assert!(r.is_err(), "missing item accepted");

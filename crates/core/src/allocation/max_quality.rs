@@ -94,6 +94,27 @@ impl MaxQualityAllocator {
         users: &[UserProfile],
         expertise: &ExpertiseMatrix,
     ) -> Allocation {
+        let _span = eta2_obs::span!("alloc.greedy");
+        let chosen = self.allocate_inner(tasks, users, expertise);
+        eta2_obs::emit_with(|| eta2_obs::Event::AllocationOutcome {
+            strategy: "max_quality",
+            assignments: chosen.assignment_count() as u64,
+            total_cost: tasks
+                .iter()
+                .map(|t| t.cost * chosen.users_for(t.id).len() as f64)
+                .sum(),
+            rounds: 1,
+            all_passed: tasks.iter().all(|t| !chosen.users_for(t.id).is_empty()),
+        });
+        chosen
+    }
+
+    fn allocate_inner(
+        &self,
+        tasks: &[Task],
+        users: &[UserProfile],
+        expertise: &ExpertiseMatrix,
+    ) -> Allocation {
         let timed = greedy(
             tasks,
             users,
@@ -221,28 +242,25 @@ pub(crate) fn greedy_with_state(
     let mut best: Vec<Option<(f64, usize)>> = vec![None; m];
     let mut dirty = vec![true; m];
 
-    let recompute = |j: usize,
-                     q: &[f64],
-                     assigned: &[bool],
-                     remaining: &[f64]|
-     -> Option<(f64, usize)> {
-        let t = &tasks[j];
-        let mut best: Option<(f64, usize)> = None;
-        for i in 0..n {
-            if assigned[j * n + i] || remaining[i] < t.processing_time {
-                continue;
+    let recompute =
+        |j: usize, q: &[f64], assigned: &[bool], remaining: &[f64]| -> Option<(f64, usize)> {
+            let t = &tasks[j];
+            let mut best: Option<(f64, usize)> = None;
+            for i in 0..n {
+                if assigned[j * n + i] || remaining[i] < t.processing_time {
+                    continue;
+                }
+                let gain = p[j * n + i] * q[j];
+                let eff = match kind {
+                    EfficiencyKind::PerHour => gain / t.processing_time,
+                    EfficiencyKind::Plain => gain,
+                };
+                if eff > 0.0 && best.is_none_or(|(b, _)| eff > b) {
+                    best = Some((eff, i));
+                }
             }
-            let gain = p[j * n + i] * q[j];
-            let eff = match kind {
-                EfficiencyKind::PerHour => gain / t.processing_time,
-                EfficiencyKind::Plain => gain,
-            };
-            if eff > 0.0 && best.is_none_or(|(b, _)| eff > b) {
-                best = Some((eff, i));
-            }
-        }
-        best
-    };
+            best
+        };
 
     loop {
         for j in 0..m {
@@ -269,6 +287,15 @@ pub(crate) fn greedy_with_state(
         }
 
         budget.charge(t.cost);
+        eta2_obs::emit_with(|| eta2_obs::Event::AllocationPick {
+            strategy: match kind {
+                EfficiencyKind::PerHour => "per_hour",
+                EfficiencyKind::Plain => "plain",
+            },
+            task: t.id.0 as u64,
+            user: users[i_star].id.0 as u64,
+            efficiency: eff,
+        });
         out.assign(users[i_star].id, t.id);
         assigned[j_star * n + i_star] = true;
         q[j_star] *= 1.0 - p[j_star * n + i_star];
@@ -373,8 +400,7 @@ mod tests {
         let alloc = MaxQualityAllocator::default().allocate(&[], &[], &ex);
         assert!(alloc.is_empty());
         let ex = ExpertiseMatrix::new(1);
-        let alloc =
-            MaxQualityAllocator::default().allocate(&[], &users_with_capacity(&[5.0]), &ex);
+        let alloc = MaxQualityAllocator::default().allocate(&[], &users_with_capacity(&[5.0]), &ex);
         assert!(alloc.is_empty());
     }
 

@@ -174,9 +174,10 @@ impl MinCostAllocator {
         prior: &ExpertiseMatrix,
         source: &mut S,
     ) -> MinCostOutcome {
+        let _span = eta2_obs::span!("alloc.min_cost");
         let cfg = &self.config;
-        let need_sq = required_expertise_sq(cfg.confidence_alpha, cfg.max_error)
-            .expect("validated in new()");
+        let need_sq =
+            required_expertise_sq(cfg.confidence_alpha, cfg.max_error).expect("validated in new()");
         let mle = ExpertiseAwareMle::new(cfg.mle);
 
         let mut allocation = Allocation::new();
@@ -213,8 +214,7 @@ impl MinCostAllocator {
             }
 
             // (2) Collect data for the new pairs.
-            let by_id: BTreeMap<TaskId, &Task> =
-                pending.iter().map(|t| (t.id, t)).collect();
+            let by_id: BTreeMap<TaskId, &Task> = pending.iter().map(|t| (t.id, t)).collect();
             for (task, users_assigned) in round_alloc.iter() {
                 let t = by_id[&task];
                 for &u in users_assigned {
@@ -241,9 +241,23 @@ impl MinCostAllocator {
                     .sum();
                 sq < need_sq // keep (still pending) if not yet enough
             });
+
+            eta2_obs::emit_with(|| eta2_obs::Event::AllocationRound {
+                round: rounds as u64,
+                assigned: round_alloc.assignment_count() as u64,
+                round_cost: budget.spent,
+                pending_after: pending.len() as u64,
+            });
         }
 
         let total_cost = allocation.total_cost(tasks);
+        eta2_obs::emit_with(|| eta2_obs::Event::AllocationOutcome {
+            strategy: "min_cost",
+            assignments: allocation.assignment_count() as u64,
+            total_cost,
+            rounds: rounds as u64,
+            all_passed: pending.is_empty(),
+        });
         MinCostOutcome {
             all_passed: pending.is_empty(),
             allocation,
@@ -329,9 +343,7 @@ mod tests {
         // Max-quality fills every user's capacity; min-cost must stop at
         // the quality gate and spend less.
         let (tasks, _, mut source) = world(10, vec![2.0; 30], 2);
-        let users: Vec<UserProfile> = (0..30)
-            .map(|i| UserProfile::new(UserId(i), 10.0))
-            .collect();
+        let users: Vec<UserProfile> = (0..30).map(|i| UserProfile::new(UserId(i), 10.0)).collect();
         let prior = ExpertiseMatrix::new(30);
 
         // ε̄ = 0.7 so the gate needs well under the 30 available users.

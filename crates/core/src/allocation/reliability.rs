@@ -175,8 +175,7 @@ mod tests {
         let tasks = tasks_with_times(&[3.0, 1.0]);
         let users = users_with_capacity(&[1.0, 1.0]);
         // User 1 most reliable but can only fit the short task.
-        let alloc =
-            ReliabilityGreedyAllocator::new().allocate(&tasks, &users, &[0.2, 5.0]);
+        let alloc = ReliabilityGreedyAllocator::new().allocate(&tasks, &users, &[0.2, 5.0]);
         // Short task (id 1) is considered first and goes to user 1; the
         // second pass adds user 0 (who also still has capacity for it).
         assert_eq!(alloc.users_for(TaskId(1)), &[UserId(1), UserId(0)]);

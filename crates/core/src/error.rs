@@ -62,7 +62,10 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        let e = CoreError::UnknownUser { user: 7, n_users: 3 };
+        let e = CoreError::UnknownUser {
+            user: 7,
+            n_users: 3,
+        };
         assert!(e.to_string().contains('7'));
         let e = CoreError::QualityUnreachable { failing_tasks: 2 };
         assert!(e.to_string().contains("2 tasks"));

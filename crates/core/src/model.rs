@@ -298,9 +298,7 @@ impl ExpertiseMatrix {
         );
         let n = self.n_users;
         let d = self.default;
-        self.domains
-            .entry(domain)
-            .or_insert_with(|| vec![d; n])[user.0 as usize] = value;
+        self.domains.entry(domain).or_insert_with(|| vec![d; n])[user.0 as usize] = value;
     }
 
     /// Domains with at least one explicit entry, ascending.
@@ -421,9 +419,7 @@ mod tests {
     fn expertise_matrix_bounds_checks() {
         let mut m = ExpertiseMatrix::new(1);
         assert!(std::panic::catch_unwind(|| m.get(UserId(1), DomainId(0))).is_err());
-        assert!(
-            std::panic::catch_unwind(move || m.set(UserId(0), DomainId(0), f64::NAN)).is_err()
-        );
+        assert!(std::panic::catch_unwind(move || m.set(UserId(0), DomainId(0), f64::NAN)).is_err());
         assert!(std::panic::catch_unwind(|| ExpertiseMatrix::with_default(1, 0.0)).is_err());
     }
 }

@@ -105,19 +105,14 @@ impl IterState {
         (-0.5 * e * e).exp()
     }
 
-    fn finish(
-        &self,
-        truths: Vec<f64>,
-        mut weights: Vec<f64>,
-        iterations: usize,
-    ) -> BaselineResult {
+    fn finish(&self, truths: Vec<f64>, mut weights: Vec<f64>, iterations: usize) -> BaselineResult {
         // Normalize reliability to mean 1 over contributing users.
         let contributors: Vec<usize> = (0..weights.len())
             .filter(|&i| self.provided[i] > 0)
             .collect();
         if !contributors.is_empty() {
-            let mean: f64 = contributors.iter().map(|&i| weights[i]).sum::<f64>()
-                / contributors.len() as f64;
+            let mean: f64 =
+                contributors.iter().map(|&i| weights[i]).sum::<f64>() / contributors.len() as f64;
             if mean > 0.0 {
                 for &i in &contributors {
                     weights[i] /= mean;
@@ -130,12 +125,7 @@ impl IterState {
             }
         }
         BaselineResult {
-            truths: self
-                .tasks
-                .iter()
-                .copied()
-                .zip(truths)
-                .collect(),
+            truths: self.tasks.iter().copied().zip(truths).collect(),
             reliability: weights,
             iterations,
         }
@@ -347,12 +337,8 @@ impl TruthMethod for TruthFinder {
                 }
                 // Truth: confidence-weighted mean.
                 let wsum: f64 = confs.iter().sum();
-                truths[j] = o
-                    .iter()
-                    .zip(&confs)
-                    .map(|(&(_, x), &c)| c * x)
-                    .sum::<f64>()
-                    / wsum.max(1e-12);
+                truths[j] =
+                    o.iter().zip(&confs).map(|(&(_, x), &c)| c * x).sum::<f64>() / wsum.max(1e-12);
                 for (&(u, _), &c) in o.iter().zip(&confs) {
                     conf_sum[u.0 as usize] += c;
                 }

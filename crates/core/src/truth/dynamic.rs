@@ -134,7 +134,11 @@ impl DynamicExpertise {
         for (&domain, per_user) in &self.acc {
             for (i, a) in per_user.iter().enumerate() {
                 if a.n > 0.0 {
-                    m.set(UserId(i as u32), domain, self.expertise(UserId(i as u32), domain));
+                    m.set(
+                        UserId(i as u32),
+                        domain,
+                        self.expertise(UserId(i as u32), domain),
+                    );
                 }
             }
         }
@@ -150,6 +154,7 @@ impl DynamicExpertise {
     /// the affected expertise values (Eqs. 5, 7–9), then commits the decayed
     /// accumulators.
     pub fn ingest_batch(&mut self, tasks: &[Task], obs: &ObservationSet) -> BatchOutcome {
+        let _span = eta2_obs::span!("mle.ingest_batch");
         let cfg = self.config;
         // Materialize the batch.
         struct TaskData {
@@ -274,6 +279,22 @@ impl DynamicExpertise {
                 }
             }
 
+            eta2_obs::emit_with(|| eta2_obs::Event::MleIteration {
+                source: "dynamic",
+                iteration: iterations as u64,
+                tasks: batch.len() as u64,
+                max_rel_delta: if prev_mu.is_empty() {
+                    None
+                } else {
+                    Some(
+                        truths
+                            .iter()
+                            .map(|(id, est)| relative_change(prev_mu[id], est.mu))
+                            .fold(0.0, f64::max),
+                    )
+                },
+            });
+
             // (3) Convergence on the batch truths.
             if !prev_mu.is_empty() {
                 let all_small = truths.iter().all(|(id, est)| {
@@ -292,6 +313,9 @@ impl DynamicExpertise {
         // an unchanged N/D ratio, so skipping their decay is equivalent).
         for &d in &affected {
             let dd = &delta[&d];
+            if !self.acc.contains_key(&d) {
+                eta2_obs::emit_with(|| eta2_obs::Event::DomainCreated { domain: d.0 as u64 });
+            }
             let per_user = self
                 .acc
                 .entry(d)
@@ -303,6 +327,13 @@ impl DynamicExpertise {
                 }
             }
         }
+
+        eta2_obs::emit_with(|| eta2_obs::Event::MleOutcome {
+            source: "dynamic",
+            iterations: iterations as u64,
+            converged,
+            tasks: batch.len() as u64,
+        });
 
         BatchOutcome {
             truths,
@@ -323,6 +354,10 @@ impl DynamicExpertise {
         let Some(old) = self.acc.remove(&absorbed) else {
             return;
         };
+        eta2_obs::emit_with(|| eta2_obs::Event::DomainMerged {
+            kept: kept.0 as u64,
+            absorbed: absorbed.0 as u64,
+        });
         let per_user = self
             .acc
             .entry(kept)
@@ -453,7 +488,10 @@ mod tests {
         let after = de.expertise(UserId(0), DomainId(0));
         // Both domains had the same behaviour, so the merged estimate stays
         // in the same ballpark.
-        assert!((after - before).abs() < 1.0, "before {before}, after {after}");
+        assert!(
+            (after - before).abs() < 1.0,
+            "before {before}, after {after}"
+        );
         // Absorbed domain reads as fresh again.
         assert_eq!(de.expertise(UserId(0), DomainId(1)), 1.0);
     }

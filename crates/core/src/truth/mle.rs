@@ -153,6 +153,7 @@ impl ExpertiseAwareMle {
         obs: &ObservationSet,
         initial: ExpertiseMatrix,
     ) -> MleResult {
+        let _span = eta2_obs::span!("mle.solve");
         let cfg = &self.config;
         let n_users = initial.n_users();
 
@@ -215,7 +216,9 @@ impl ExpertiseAwareMle {
                         wxsum += u * u * x;
                     }
                 }
-                let per_user = acc.entry(t.domain).or_insert_with(|| vec![(0.0, 0.0); n_users]);
+                let per_user = acc
+                    .entry(t.domain)
+                    .or_insert_with(|| vec![(0.0, 0.0); n_users]);
                 for &(user, x) in &t.obs {
                     let reference = if cfg.leave_one_out && t.obs.len() > 1 {
                         let u = expertise.get(user, t.domain).max(cfg.expertise_floor);
@@ -241,6 +244,24 @@ impl ExpertiseAwareMle {
                 }
             }
 
+            // Trace the iteration. The closure only runs with tracing on,
+            // so the delta scan costs nothing in normal operation.
+            eta2_obs::emit_with(|| eta2_obs::Event::MleIteration {
+                source: "mle",
+                iteration: iterations as u64,
+                tasks: batch.len() as u64,
+                max_rel_delta: if prev_mu.is_empty() {
+                    None
+                } else {
+                    Some(
+                        truths
+                            .iter()
+                            .map(|(id, est)| relative_change(prev_mu[id], est.mu))
+                            .fold(0.0, f64::max),
+                    )
+                },
+            });
+
             // (3) Convergence: every truth estimate moved < threshold
             // relative to its previous value.
             if !prev_mu.is_empty() {
@@ -255,6 +276,13 @@ impl ExpertiseAwareMle {
             }
             prev_mu = truths.iter().map(|(&id, est)| (id, est.mu)).collect();
         }
+
+        eta2_obs::emit_with(|| eta2_obs::Event::MleOutcome {
+            source: "mle",
+            iterations: iterations as u64,
+            converged,
+            tasks: batch.len() as u64,
+        });
 
         MleResult {
             truths,
@@ -462,8 +490,7 @@ mod tests {
         let mut ex = ExpertiseMatrix::new(2);
         ex.set(UserId(0), DomainId(0), 3.0);
         ex.set(UserId(1), DomainId(0), 1.0);
-        let truths =
-            ExpertiseAwareMle::default().truths_given_expertise(&tasks, &obs, &ex);
+        let truths = ExpertiseAwareMle::default().truths_given_expertise(&tasks, &obs, &ex);
         // Weighted mean with weights 9:1 → 1.0.
         assert!((truths[&TaskId(0)].mu - 1.0).abs() < 1e-12);
     }

@@ -23,42 +23,126 @@ pub const SFV_TOPICS: &[Topic] = &[
     Topic {
         name: "biographical",
         words: &[
-            "age", "birthday", "height", "weight", "children", "person", "born", "years",
-            "old", "famous", "actor", "politician", "spouse", "siblings", "biography",
-            "birthplace", "celebrity", "life", "married", "deceased",
+            "age",
+            "birthday",
+            "height",
+            "weight",
+            "children",
+            "person",
+            "born",
+            "years",
+            "old",
+            "famous",
+            "actor",
+            "politician",
+            "spouse",
+            "siblings",
+            "biography",
+            "birthplace",
+            "celebrity",
+            "life",
+            "married",
+            "deceased",
         ],
     },
     Topic {
         name: "organizational",
         words: &[
-            "employees", "subsidiaries", "members", "branches", "organization", "company",
-            "staff", "offices", "divisions", "departments", "workforce", "headquarters",
-            "corporation", "firm", "agency", "executives", "board", "shareholders", "ceo",
+            "employees",
+            "subsidiaries",
+            "members",
+            "branches",
+            "organization",
+            "company",
+            "staff",
+            "offices",
+            "divisions",
+            "departments",
+            "workforce",
+            "headquarters",
+            "corporation",
+            "firm",
+            "agency",
+            "executives",
+            "board",
+            "shareholders",
+            "ceo",
             "managers",
         ],
     },
     Topic {
         name: "financial",
         words: &[
-            "revenue", "profit", "assets", "shares", "earnings", "billion", "million",
-            "stock", "market", "valuation", "capital", "dividend", "quarterly", "fiscal",
-            "income", "turnover", "funding", "investment", "sales", "losses",
+            "revenue",
+            "profit",
+            "assets",
+            "shares",
+            "earnings",
+            "billion",
+            "million",
+            "stock",
+            "market",
+            "valuation",
+            "capital",
+            "dividend",
+            "quarterly",
+            "fiscal",
+            "income",
+            "turnover",
+            "funding",
+            "investment",
+            "sales",
+            "losses",
         ],
     },
     Topic {
         name: "geographic",
         words: &[
-            "population", "area", "distance", "elevation", "city", "country", "region",
-            "territory", "square", "kilometers", "residents", "inhabitants", "density",
-            "border", "coast", "river", "mountain", "latitude", "longitude", "island",
+            "population",
+            "area",
+            "distance",
+            "elevation",
+            "city",
+            "country",
+            "region",
+            "territory",
+            "square",
+            "kilometers",
+            "residents",
+            "inhabitants",
+            "density",
+            "border",
+            "coast",
+            "river",
+            "mountain",
+            "latitude",
+            "longitude",
+            "island",
         ],
     },
     Topic {
         name: "temporal",
         words: &[
-            "founded", "established", "duration", "tenure", "year", "date", "century",
-            "decade", "anniversary", "started", "ended", "period", "era", "history",
-            "timeline", "since", "until", "lasted", "reign", "term",
+            "founded",
+            "established",
+            "duration",
+            "tenure",
+            "year",
+            "date",
+            "century",
+            "decade",
+            "anniversary",
+            "started",
+            "ended",
+            "period",
+            "era",
+            "history",
+            "timeline",
+            "since",
+            "until",
+            "lasted",
+            "reign",
+            "term",
         ],
     },
 ];
@@ -74,11 +158,11 @@ const SLOTS: [[&str; 4]; 5] = [
 
 /// Per-family ground-truth ranges (magnitudes differ wildly, as in KBP).
 const TRUTH_RANGES: [(f64, f64); 5] = [
-    (1.0, 100.0),        // biographical
-    (10.0, 50_000.0),    // organizational
-    (1.0, 900.0),        // financial (millions)
+    (1.0, 100.0),         // biographical
+    (10.0, 50_000.0),     // organizational
+    (1.0, 900.0),         // financial (millions)
     (100.0, 1_000_000.0), // geographic
-    (1800.0, 2013.0),    // temporal
+    (1800.0, 2013.0),     // temporal
 ];
 
 /// Configuration of the SFV generator; defaults mirror §6.1.2/§6.2.
@@ -145,9 +229,8 @@ impl SfvConfig {
                 expertise: (0..n_families)
                     .map(|_| rng.gen_range(self.expertise_range.0..self.expertise_range.1))
                     .collect(),
-                capacity: (self.tau
-                    + rng.gen_range(-self.capacity_spread..=self.capacity_spread))
-                .max(0.0),
+                capacity: (self.tau + rng.gen_range(-self.capacity_spread..=self.capacity_spread))
+                    .max(0.0),
             })
             .collect();
 
@@ -239,7 +322,10 @@ mod tests {
 
     #[test]
     fn deterministic_in_seed() {
-        assert_eq!(SfvConfig::default().generate(9), SfvConfig::default().generate(9));
+        assert_eq!(
+            SfvConfig::default().generate(9),
+            SfvConfig::default().generate(9)
+        );
     }
 
     #[test]

@@ -91,9 +91,8 @@ impl SurveyConfig {
                 expertise: (0..topics.len())
                     .map(|_| rng.gen_range(self.expertise_range.0..self.expertise_range.1))
                     .collect(),
-                capacity: (self.tau
-                    + rng.gen_range(-self.capacity_spread..=self.capacity_spread))
-                .max(0.0),
+                capacity: (self.tau + rng.gen_range(-self.capacity_spread..=self.capacity_spread))
+                    .max(0.0),
             })
             .collect();
 
@@ -200,7 +199,10 @@ mod tests {
                 .into_iter()
                 .filter(|w| !matches!(w.as_str(), "what" | "how" | "many" | "much"))
                 .collect();
-            let in_vocab = content.iter().filter(|w| vocab.contains(w.as_str())).count();
+            let in_vocab = content
+                .iter()
+                .filter(|w| vocab.contains(w.as_str()))
+                .count();
             assert!(
                 in_vocab >= 2,
                 "description {desc:?} shares too few words with topic {}",

@@ -83,9 +83,8 @@ impl SyntheticConfig {
                             .max(self.expertise_floor)
                     })
                     .collect(),
-                capacity: (self.tau
-                    + rng.gen_range(-self.capacity_spread..=self.capacity_spread))
-                .max(0.0),
+                capacity: (self.tau + rng.gen_range(-self.capacity_spread..=self.capacity_spread))
+                    .max(0.0),
             })
             .collect();
 

@@ -136,12 +136,7 @@ impl Dataset {
     /// Re-draws every user's capacity uniformly from
     /// `[tau − spread, tau + spread]`, floored at 0 — the paper's §6.2
     /// capability model, re-rolled per experiment point.
-    pub fn regenerate_capacities<R: Rng + ?Sized>(
-        &mut self,
-        tau: f64,
-        spread: f64,
-        rng: &mut R,
-    ) {
+    pub fn regenerate_capacities<R: Rng + ?Sized>(&mut self, tau: f64, spread: f64, rng: &mut R) {
         assert!(spread >= 0.0, "spread must be non-negative");
         for u in &mut self.users {
             u.capacity = (tau + rng.gen_range(-spread..=spread)).max(0.0);

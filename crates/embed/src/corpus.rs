@@ -27,81 +27,251 @@ pub const BUILTIN_TOPICS: &[Topic] = &[
     Topic {
         name: "parking",
         words: &[
-            "parking", "lot", "lots", "garage", "spots", "spaces", "permit", "car", "cars",
-            "vehicle", "meter", "curb", "valet", "deck", "stall", "occupancy", "full", "empty",
-            "entrance", "gate",
+            "parking",
+            "lot",
+            "lots",
+            "garage",
+            "spots",
+            "spaces",
+            "permit",
+            "car",
+            "cars",
+            "vehicle",
+            "meter",
+            "curb",
+            "valet",
+            "deck",
+            "stall",
+            "occupancy",
+            "full",
+            "empty",
+            "entrance",
+            "gate",
         ],
     },
     Topic {
         name: "commute",
         words: &[
-            "driving", "drive", "hours", "traffic", "highway", "road", "route", "commute",
-            "congestion", "miles", "speed", "bus", "train", "transit", "trip", "travel",
-            "departure", "arrival", "lane", "toll",
+            "driving",
+            "drive",
+            "hours",
+            "traffic",
+            "highway",
+            "road",
+            "route",
+            "commute",
+            "congestion",
+            "miles",
+            "speed",
+            "bus",
+            "train",
+            "transit",
+            "trip",
+            "travel",
+            "departure",
+            "arrival",
+            "lane",
+            "toll",
         ],
     },
     Topic {
         name: "salary",
         words: &[
-            "salary", "salaries", "wage", "wages", "pay", "income", "engineer", "engineers",
-            "software", "entry", "level", "job", "jobs", "company", "hiring", "bonus",
-            "compensation", "career", "annual", "dollars",
+            "salary",
+            "salaries",
+            "wage",
+            "wages",
+            "pay",
+            "income",
+            "engineer",
+            "engineers",
+            "software",
+            "entry",
+            "level",
+            "job",
+            "jobs",
+            "company",
+            "hiring",
+            "bonus",
+            "compensation",
+            "career",
+            "annual",
+            "dollars",
         ],
     },
     Topic {
         name: "noise",
         words: &[
-            "noise", "decibel", "decibels", "loud", "quiet", "sound", "construction",
-            "municipal", "building", "street", "measurement", "sensor", "ambient", "pollution",
-            "honking", "sirens", "volume", "acoustic", "hum", "roar",
+            "noise",
+            "decibel",
+            "decibels",
+            "loud",
+            "quiet",
+            "sound",
+            "construction",
+            "municipal",
+            "building",
+            "street",
+            "measurement",
+            "sensor",
+            "ambient",
+            "pollution",
+            "honking",
+            "sirens",
+            "volume",
+            "acoustic",
+            "hum",
+            "roar",
         ],
     },
     Topic {
         name: "dining",
         words: &[
-            "restaurant", "food", "lunch", "dinner", "menu", "price", "prices", "meal",
-            "cafeteria", "coffee", "pizza", "burger", "grocery", "supermarket", "produce",
-            "milk", "bread", "cost", "cheap", "expensive",
+            "restaurant",
+            "food",
+            "lunch",
+            "dinner",
+            "menu",
+            "price",
+            "prices",
+            "meal",
+            "cafeteria",
+            "coffee",
+            "pizza",
+            "burger",
+            "grocery",
+            "supermarket",
+            "produce",
+            "milk",
+            "bread",
+            "cost",
+            "cheap",
+            "expensive",
         ],
     },
     Topic {
         name: "weather",
         words: &[
-            "weather", "temperature", "rain", "rainfall", "snow", "wind", "humidity",
-            "forecast", "degrees", "celsius", "fahrenheit", "storm", "sunny", "cloudy", "cold",
-            "hot", "freezing", "precipitation", "umbrella", "overcast",
+            "weather",
+            "temperature",
+            "rain",
+            "rainfall",
+            "snow",
+            "wind",
+            "humidity",
+            "forecast",
+            "degrees",
+            "celsius",
+            "fahrenheit",
+            "storm",
+            "sunny",
+            "cloudy",
+            "cold",
+            "hot",
+            "freezing",
+            "precipitation",
+            "umbrella",
+            "overcast",
         ],
     },
     Topic {
         name: "sports",
         words: &[
-            "game", "stadium", "team", "score", "football", "basketball", "soccer", "players",
-            "season", "tickets", "fans", "attendance", "coach", "league", "match", "win",
-            "tournament", "court", "field", "playoff",
+            "game",
+            "stadium",
+            "team",
+            "score",
+            "football",
+            "basketball",
+            "soccer",
+            "players",
+            "season",
+            "tickets",
+            "fans",
+            "attendance",
+            "coach",
+            "league",
+            "match",
+            "win",
+            "tournament",
+            "court",
+            "field",
+            "playoff",
         ],
     },
     Topic {
         name: "academics",
         words: &[
-            "students", "seminar", "lecture", "class", "classes", "professor", "course",
-            "courses", "exam", "library", "campus", "tuition", "enrollment", "semester",
-            "graduate", "undergraduate", "degree", "credits", "attended", "homework",
+            "students",
+            "seminar",
+            "lecture",
+            "class",
+            "classes",
+            "professor",
+            "course",
+            "courses",
+            "exam",
+            "library",
+            "campus",
+            "tuition",
+            "enrollment",
+            "semester",
+            "graduate",
+            "undergraduate",
+            "degree",
+            "credits",
+            "attended",
+            "homework",
         ],
     },
     Topic {
         name: "health",
         words: &[
-            "clinic", "hospital", "doctor", "patients", "wait", "appointment", "pharmacy",
-            "flu", "vaccine", "steps", "exercise", "calories", "heart", "rate", "sleep",
-            "gym", "wellness", "nurse", "emergency", "blood",
+            "clinic",
+            "hospital",
+            "doctor",
+            "patients",
+            "wait",
+            "appointment",
+            "pharmacy",
+            "flu",
+            "vaccine",
+            "steps",
+            "exercise",
+            "calories",
+            "heart",
+            "rate",
+            "sleep",
+            "gym",
+            "wellness",
+            "nurse",
+            "emergency",
+            "blood",
         ],
     },
     Topic {
         name: "technology",
         words: &[
-            "wifi", "network", "signal", "bandwidth", "download", "upload", "latency",
-            "coverage", "phone", "battery", "charger", "laptop", "printer", "outage",
-            "router", "hotspot", "bars", "megabits", "connection", "devices",
+            "wifi",
+            "network",
+            "signal",
+            "bandwidth",
+            "download",
+            "upload",
+            "latency",
+            "coverage",
+            "phone",
+            "battery",
+            "charger",
+            "laptop",
+            "printer",
+            "outage",
+            "router",
+            "hotspot",
+            "bars",
+            "megabits",
+            "connection",
+            "devices",
         ],
     },
 ];
@@ -109,9 +279,9 @@ pub const BUILTIN_TOPICS: &[Topic] = &[
 /// Function words shared across all topics, giving skip-gram the common
 /// context glue real text has.
 const FUNCTION_WORDS: &[&str] = &[
-    "the", "a", "an", "is", "are", "was", "of", "in", "on", "at", "to", "for", "near",
-    "around", "what", "how", "many", "much", "very", "there", "today", "now", "and", "with",
-    "about", "this", "that",
+    "the", "a", "an", "is", "are", "was", "of", "in", "on", "at", "to", "for", "near", "around",
+    "what", "how", "many", "much", "very", "there", "today", "now", "and", "with", "about", "this",
+    "that",
 ];
 
 /// A topic-structured corpus generator.
@@ -221,11 +391,7 @@ mod tests {
     fn generate_covers_every_topic() {
         let g = TopicCorpus::builtin();
         let sentences = g.generate(BUILTIN_TOPICS.len() * 3, 1);
-        let all: HashSet<&str> = sentences
-            .iter()
-            .flatten()
-            .map(String::as_str)
-            .collect();
+        let all: HashSet<&str> = sentences.iter().flatten().map(String::as_str).collect();
         for t in BUILTIN_TOPICS {
             assert!(
                 t.words.iter().any(|w| all.contains(w)),

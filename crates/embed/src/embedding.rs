@@ -186,11 +186,9 @@ mod tests {
             Embedding::from_vectors(vec![]).unwrap_err(),
             EmbedError::EmptyVocabulary
         );
-        let err = Embedding::from_vectors(vec![
-            ("a".into(), vec![1.0]),
-            ("b".into(), vec![1.0, 2.0]),
-        ])
-        .unwrap_err();
+        let err =
+            Embedding::from_vectors(vec![("a".into(), vec![1.0]), ("b".into(), vec![1.0, 2.0])])
+                .unwrap_err();
         assert_eq!(err, EmbedError::DimensionMismatch { left: 1, right: 2 });
     }
 
@@ -206,7 +204,9 @@ mod tests {
     #[test]
     fn phrase_vector_adds_and_skips_oov() {
         let e = toy();
-        let v = e.phrase_vector(&["a".into(), "b".into(), "oov".into()]).unwrap();
+        let v = e
+            .phrase_vector(&["a".into(), "b".into(), "oov".into()])
+            .unwrap();
         assert_eq!(v, vec![1.0, 1.0]);
         assert_eq!(e.phrase_vector(&["oov".into()]), None);
         assert_eq!(e.phrase_vector(&[]), None);

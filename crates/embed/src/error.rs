@@ -48,7 +48,9 @@ mod tests {
 
     #[test]
     fn display_is_meaningful() {
-        assert!(EmbedError::EmptyVocabulary.to_string().contains("vocabulary"));
+        assert!(EmbedError::EmptyVocabulary
+            .to_string()
+            .contains("vocabulary"));
         let e = EmbedError::DimensionMismatch { left: 3, right: 5 };
         assert!(e.to_string().contains("3 vs 5"));
     }

@@ -58,7 +58,11 @@ impl TaskSemantics {
 /// Panics if the vectors differ in length or have odd length.
 pub fn pairword_distance(a: &[f32], b: &[f32]) -> f64 {
     assert_eq!(a.len(), b.len(), "semantic vector length mismatch");
-    assert_eq!(a.len() % 2, 0, "semantic vectors must be concatenated pairs");
+    assert_eq!(
+        a.len() % 2,
+        0,
+        "semantic vectors must be concatenated pairs"
+    );
     0.5 * squared_euclidean(a, b)
 }
 
@@ -103,8 +107,17 @@ impl PairWordExtractor {
             let t = tokens[start].as_str();
             let is_head = matches!(
                 t,
-                "what" | "which" | "how" | "when" | "where" | "who" | "whats" | "many" | "much"
-                    | "long" | "often"
+                "what"
+                    | "which"
+                    | "how"
+                    | "when"
+                    | "where"
+                    | "who"
+                    | "whats"
+                    | "many"
+                    | "much"
+                    | "long"
+                    | "often"
             ) || is_stopword(t);
             if is_head {
                 start += 1;
@@ -153,9 +166,24 @@ impl PairWordExtractor {
 fn is_linking_verb(word: &str) -> bool {
     matches!(
         word,
-        "attended" | "attend" | "visiting" | "visit" | "open" | "opened" | "required"
-            | "require" | "take" | "takes" | "spent" | "spend" | "reported" | "report"
-            | "serving" | "serve" | "charged" | "charge"
+        "attended"
+            | "attend"
+            | "visiting"
+            | "visit"
+            | "open"
+            | "opened"
+            | "required"
+            | "require"
+            | "take"
+            | "takes"
+            | "spent"
+            | "spend"
+            | "reported"
+            | "report"
+            | "serving"
+            | "serve"
+            | "charged"
+            | "charge"
     )
 }
 

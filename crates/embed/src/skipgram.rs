@@ -327,8 +327,12 @@ mod tests {
             epochs: 1,
             ..SkipGramConfig::default()
         };
-        let a = SkipGramTrainer::new(cfg).train_sentences(&sentences).unwrap();
-        let b = SkipGramTrainer::new(cfg).train_sentences(&sentences).unwrap();
+        let a = SkipGramTrainer::new(cfg)
+            .train_sentences(&sentences)
+            .unwrap();
+        let b = SkipGramTrainer::new(cfg)
+            .train_sentences(&sentences)
+            .unwrap();
         assert_eq!(a.vector("parking"), b.vector("parking"));
     }
 
@@ -359,14 +363,20 @@ mod tests {
         .train_sentences(&sentences)
         .unwrap();
 
-        let pairs_same = [("parking", "garage"), ("noise", "decibel"), ("salary", "wage")];
-        let pairs_cross = [("parking", "decibel"), ("noise", "wage"), ("salary", "garage")];
+        let pairs_same = [
+            ("parking", "garage"),
+            ("noise", "decibel"),
+            ("salary", "wage"),
+        ];
+        let pairs_cross = [
+            ("parking", "decibel"),
+            ("noise", "wage"),
+            ("salary", "garage"),
+        ];
         let avg = |pairs: &[(&str, &str)]| -> f64 {
             pairs
                 .iter()
-                .map(|&(a, b)| {
-                    cosine(emb.vector(a).unwrap(), emb.vector(b).unwrap())
-                })
+                .map(|&(a, b)| cosine(emb.vector(a).unwrap(), emb.vector(b).unwrap()))
                 .sum::<f64>()
                 / pairs.len() as f64
         };

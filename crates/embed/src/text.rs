@@ -10,14 +10,97 @@
 /// Kept deliberately small: wh-words are *not* here because the pair-word
 /// extractor keys on them before discarding them.
 pub const STOPWORDS: &[&str] = &[
-    "a", "an", "the", "is", "are", "was", "were", "be", "been", "being", "am", "do", "does",
-    "did", "have", "has", "had", "will", "would", "can", "could", "should", "shall", "may",
-    "might", "must", "of", "in", "on", "at", "to", "for", "from", "by", "with", "about",
-    "into", "through", "during", "before", "after", "above", "below", "between", "under",
-    "around", "near", "this", "that", "these", "those", "there", "here", "it", "its", "they",
-    "them", "their", "we", "our", "you", "your", "i", "my", "me", "he", "she", "his", "her",
-    "and", "or", "but", "not", "no", "so", "if", "then", "than", "as", "up", "down", "out",
-    "off", "over", "again", "today", "now", "currently", "please", "estimated", "average",
+    "a",
+    "an",
+    "the",
+    "is",
+    "are",
+    "was",
+    "were",
+    "be",
+    "been",
+    "being",
+    "am",
+    "do",
+    "does",
+    "did",
+    "have",
+    "has",
+    "had",
+    "will",
+    "would",
+    "can",
+    "could",
+    "should",
+    "shall",
+    "may",
+    "might",
+    "must",
+    "of",
+    "in",
+    "on",
+    "at",
+    "to",
+    "for",
+    "from",
+    "by",
+    "with",
+    "about",
+    "into",
+    "through",
+    "during",
+    "before",
+    "after",
+    "above",
+    "below",
+    "between",
+    "under",
+    "around",
+    "near",
+    "this",
+    "that",
+    "these",
+    "those",
+    "there",
+    "here",
+    "it",
+    "its",
+    "they",
+    "them",
+    "their",
+    "we",
+    "our",
+    "you",
+    "your",
+    "i",
+    "my",
+    "me",
+    "he",
+    "she",
+    "his",
+    "her",
+    "and",
+    "or",
+    "but",
+    "not",
+    "no",
+    "so",
+    "if",
+    "then",
+    "than",
+    "as",
+    "up",
+    "down",
+    "out",
+    "off",
+    "over",
+    "again",
+    "today",
+    "now",
+    "currently",
+    "please",
+    "estimated",
+    "average",
 ];
 
 /// Prepositions that typically separate a Query term from a Target term in a

@@ -21,6 +21,9 @@
 //!   (§6.2).
 //! * [`server`] — the paper's Figure-1 loop as an embeddable, stateful
 //!   online API (`Eta2Server`).
+//! * [`obs`] — structured observability: counters/gauges/histograms, span
+//!   timers around MLE/allocation/simulation, and typed JSONL trace events
+//!   (enable with [`obs::init_file`] or the CLI's `--trace`).
 //!
 //! # Quickstart
 //!
@@ -55,6 +58,7 @@ pub use eta2_cluster as cluster;
 pub use eta2_core as core;
 pub use eta2_datasets as datasets;
 pub use eta2_embed as embed;
+pub use eta2_obs as obs;
 pub use eta2_server as server;
 pub use eta2_sim as sim;
 pub use eta2_stats as stats;

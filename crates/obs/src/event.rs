@@ -1,0 +1,449 @@
+//! Typed trace events and their JSON Lines encoding.
+//!
+//! Every event serializes as one flat JSON object with three envelope
+//! fields — `seq` (process-global monotonic counter), `ts_ms` (Unix epoch
+//! milliseconds) and `type` (discriminator string) — followed by the
+//! variant's payload fields. Keys are emitted in a fixed order so the
+//! schema is stable across runs; consumers should nevertheless index by
+//! key, not position.
+
+use crate::json::JsonObject;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+static SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn now_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// A structured trace event from one of the instrumented subsystems.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// One MLE iteration (ETA² §4.1): largest relative truth change across
+    /// tasks this round. `max_rel_delta` is `None` on the first iteration,
+    /// where no previous estimate exists to compare against.
+    MleIteration {
+        /// `"mle"` for static batch solves, `"dynamic"` for streaming.
+        source: &'static str,
+        /// 1-based iteration number.
+        iteration: u64,
+        /// Number of tasks being estimated.
+        tasks: u64,
+        /// Max relative truth delta vs the previous iteration.
+        max_rel_delta: Option<f64>,
+    },
+    /// Terminal state of one MLE solve.
+    MleOutcome {
+        /// `"mle"` or `"dynamic"`.
+        source: &'static str,
+        /// Iterations executed.
+        iterations: u64,
+        /// Whether the 5 % convergence criterion was met (vs hitting the
+        /// iteration cap).
+        converged: bool,
+        /// Number of tasks estimated.
+        tasks: u64,
+    },
+    /// Dynamic domain discovery created a new expertise domain (§3).
+    DomainCreated {
+        /// Numeric domain id.
+        domain: u64,
+    },
+    /// Two expertise domains were merged; `absorbed`'s accumulators folded
+    /// into `kept`.
+    DomainMerged {
+        /// Surviving domain id.
+        kept: u64,
+        /// Domain id removed by the merge.
+        absorbed: u64,
+    },
+    /// Greedy allocator picked one (task, user) pair (Algorithm 1, §5.1).
+    AllocationPick {
+        /// `"per_hour"` or `"plain"` efficiency.
+        strategy: &'static str,
+        /// Task id.
+        task: u64,
+        /// User id.
+        user: u64,
+        /// Efficiency score of the winning pair at pick time.
+        efficiency: f64,
+    },
+    /// One round of min-cost allocation completed (Algorithm 2, §5.2).
+    AllocationRound {
+        /// 1-based round number.
+        round: u64,
+        /// Assignments made this round.
+        assigned: u64,
+        /// Budget spent this round.
+        round_cost: f64,
+        /// Tasks still below the quality threshold after this round.
+        pending_after: u64,
+    },
+    /// Terminal state of one allocation request.
+    AllocationOutcome {
+        /// `"max_quality"` or `"min_cost"`.
+        strategy: &'static str,
+        /// Total assignments in the final allocation.
+        assignments: u64,
+        /// Total cost of the final allocation.
+        total_cost: f64,
+        /// Rounds used (1 for single-shot max-quality).
+        rounds: u64,
+        /// Whether every task met its quality threshold.
+        all_passed: bool,
+    },
+    /// One simulated day finished.
+    SimDay {
+        /// 0-based day index.
+        day: u64,
+        /// Tasks simulated that day.
+        tasks: u64,
+        /// Mean absolute truth error for the day (non-finite when no tasks
+        /// ran; serialized as `null`).
+        error: f64,
+        /// Cost accumulated over the run so far.
+        cumulative_cost: f64,
+    },
+    /// End-of-run summary built from `RunMetrics::summary()`.
+    RunSummary {
+        /// Allocation approach name.
+        approach: String,
+        /// Days simulated.
+        days: u64,
+        /// Mean per-day error over the run.
+        overall_error: f64,
+        /// Total cost over the run.
+        total_cost: f64,
+        /// Mean of the per-day error series.
+        mean_daily_error: f64,
+        /// Median of the per-day error series.
+        p50_daily_error: f64,
+        /// 95th percentile of the per-day error series.
+        p95_daily_error: f64,
+        /// MLE iterations summed over all days.
+        total_mle_iterations: u64,
+        /// Tasks left unassigned across the run.
+        uncovered_tasks: u64,
+        /// Expertise domains at end of run.
+        final_domains: u64,
+    },
+    /// One server API call completed.
+    ServerRequest {
+        /// Operation name, e.g. `"allocate_max_quality"`.
+        op: &'static str,
+        /// Whether the call succeeded.
+        ok: bool,
+        /// Short human-readable outcome description.
+        detail: String,
+    },
+}
+
+impl Event {
+    /// The `type` discriminator this event serializes with.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Event::MleIteration { .. } => "mle_iteration",
+            Event::MleOutcome { .. } => "mle_outcome",
+            Event::DomainCreated { .. } => "domain_created",
+            Event::DomainMerged { .. } => "domain_merged",
+            Event::AllocationPick { .. } => "alloc_pick",
+            Event::AllocationRound { .. } => "alloc_round",
+            Event::AllocationOutcome { .. } => "alloc_outcome",
+            Event::SimDay { .. } => "sim_day",
+            Event::RunSummary { .. } => "run_summary",
+            Event::ServerRequest { .. } => "server_request",
+        }
+    }
+
+    /// Serializes the event as one JSON line (no trailing newline),
+    /// stamping the global sequence number and wall-clock time.
+    pub fn to_json_line(&self) -> String {
+        let mut o = JsonObject::new();
+        o.u64("seq", SEQ.fetch_add(1, Ordering::Relaxed))
+            .u64("ts_ms", now_ms())
+            .str("type", self.type_name());
+        match self {
+            Event::MleIteration {
+                source,
+                iteration,
+                tasks,
+                max_rel_delta,
+            } => {
+                o.str("source", source)
+                    .u64("iteration", *iteration)
+                    .u64("tasks", *tasks)
+                    .f64("max_rel_delta", max_rel_delta.unwrap_or(f64::NAN));
+            }
+            Event::MleOutcome {
+                source,
+                iterations,
+                converged,
+                tasks,
+            } => {
+                o.str("source", source)
+                    .u64("iterations", *iterations)
+                    .bool("converged", *converged)
+                    .u64("tasks", *tasks);
+            }
+            Event::DomainCreated { domain } => {
+                o.u64("domain", *domain);
+            }
+            Event::DomainMerged { kept, absorbed } => {
+                o.u64("kept", *kept).u64("absorbed", *absorbed);
+            }
+            Event::AllocationPick {
+                strategy,
+                task,
+                user,
+                efficiency,
+            } => {
+                o.str("strategy", strategy)
+                    .u64("task", *task)
+                    .u64("user", *user)
+                    .f64("efficiency", *efficiency);
+            }
+            Event::AllocationRound {
+                round,
+                assigned,
+                round_cost,
+                pending_after,
+            } => {
+                o.u64("round", *round)
+                    .u64("assigned", *assigned)
+                    .f64("round_cost", *round_cost)
+                    .u64("pending_after", *pending_after);
+            }
+            Event::AllocationOutcome {
+                strategy,
+                assignments,
+                total_cost,
+                rounds,
+                all_passed,
+            } => {
+                o.str("strategy", strategy)
+                    .u64("assignments", *assignments)
+                    .f64("total_cost", *total_cost)
+                    .u64("rounds", *rounds)
+                    .bool("all_passed", *all_passed);
+            }
+            Event::SimDay {
+                day,
+                tasks,
+                error,
+                cumulative_cost,
+            } => {
+                o.u64("day", *day)
+                    .u64("tasks", *tasks)
+                    .f64("error", *error)
+                    .f64("cumulative_cost", *cumulative_cost);
+            }
+            Event::RunSummary {
+                approach,
+                days,
+                overall_error,
+                total_cost,
+                mean_daily_error,
+                p50_daily_error,
+                p95_daily_error,
+                total_mle_iterations,
+                uncovered_tasks,
+                final_domains,
+            } => {
+                o.str("approach", approach)
+                    .u64("days", *days)
+                    .f64("overall_error", *overall_error)
+                    .f64("total_cost", *total_cost)
+                    .f64("mean_daily_error", *mean_daily_error)
+                    .f64("p50_daily_error", *p50_daily_error)
+                    .f64("p95_daily_error", *p95_daily_error)
+                    .u64("total_mle_iterations", *total_mle_iterations)
+                    .u64("uncovered_tasks", *uncovered_tasks)
+                    .u64("final_domains", *final_domains);
+            }
+            Event::ServerRequest { op, ok, detail } => {
+                o.str("op", op).bool("ok", *ok).str("detail", detail);
+            }
+        }
+        o.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys_of(line: &str) -> Vec<String> {
+        // Good-enough key scraper for flat objects with no nested braces:
+        // every `"key":` at top level. Values are strings without `":` or
+        // scalars, so scanning for `":"` boundaries is safe for these tests.
+        let mut keys = Vec::new();
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        let mut in_str = false;
+        let mut start = 0;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'"' if !in_str => {
+                    in_str = true;
+                    start = i + 1;
+                }
+                b'\\' if in_str => i += 1,
+                b'"' if in_str => {
+                    in_str = false;
+                    if i + 1 < bytes.len() && bytes[i + 1] == b':' {
+                        keys.push(line[start..i].to_string());
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        keys
+    }
+
+    #[test]
+    fn schema_stable_keys_per_variant() {
+        let cases: Vec<(Event, Vec<&str>)> = vec![
+            (
+                Event::MleIteration {
+                    source: "mle",
+                    iteration: 1,
+                    tasks: 10,
+                    max_rel_delta: None,
+                },
+                vec!["source", "iteration", "tasks", "max_rel_delta"],
+            ),
+            (
+                Event::MleOutcome {
+                    source: "dynamic",
+                    iterations: 4,
+                    converged: true,
+                    tasks: 10,
+                },
+                vec!["source", "iterations", "converged", "tasks"],
+            ),
+            (Event::DomainCreated { domain: 3 }, vec!["domain"]),
+            (
+                Event::DomainMerged {
+                    kept: 1,
+                    absorbed: 2,
+                },
+                vec!["kept", "absorbed"],
+            ),
+            (
+                Event::AllocationPick {
+                    strategy: "per_hour",
+                    task: 5,
+                    user: 9,
+                    efficiency: 0.75,
+                },
+                vec!["strategy", "task", "user", "efficiency"],
+            ),
+            (
+                Event::AllocationRound {
+                    round: 2,
+                    assigned: 3,
+                    round_cost: 1.5,
+                    pending_after: 0,
+                },
+                vec!["round", "assigned", "round_cost", "pending_after"],
+            ),
+            (
+                Event::AllocationOutcome {
+                    strategy: "min_cost",
+                    assignments: 12,
+                    total_cost: 8.0,
+                    rounds: 3,
+                    all_passed: true,
+                },
+                vec![
+                    "strategy",
+                    "assignments",
+                    "total_cost",
+                    "rounds",
+                    "all_passed",
+                ],
+            ),
+            (
+                Event::SimDay {
+                    day: 0,
+                    tasks: 20,
+                    error: 0.1,
+                    cumulative_cost: 4.0,
+                },
+                vec!["day", "tasks", "error", "cumulative_cost"],
+            ),
+            (
+                Event::RunSummary {
+                    approach: "eta2".into(),
+                    days: 7,
+                    overall_error: 0.2,
+                    total_cost: 30.0,
+                    mean_daily_error: 0.2,
+                    p50_daily_error: 0.19,
+                    p95_daily_error: 0.3,
+                    total_mle_iterations: 40,
+                    uncovered_tasks: 0,
+                    final_domains: 5,
+                },
+                vec![
+                    "approach",
+                    "days",
+                    "overall_error",
+                    "total_cost",
+                    "mean_daily_error",
+                    "p50_daily_error",
+                    "p95_daily_error",
+                    "total_mle_iterations",
+                    "uncovered_tasks",
+                    "final_domains",
+                ],
+            ),
+            (
+                Event::ServerRequest {
+                    op: "ingest",
+                    ok: true,
+                    detail: "3 observations".into(),
+                },
+                vec!["op", "ok", "detail"],
+            ),
+        ];
+        for (ev, payload_keys) in cases {
+            let line = ev.to_json_line();
+            let mut expected = vec!["seq".to_string(), "ts_ms".to_string(), "type".to_string()];
+            expected.extend(payload_keys.iter().map(|s| s.to_string()));
+            assert_eq!(keys_of(&line), expected, "line: {line}");
+            assert!(
+                line.contains(&format!("\"type\":\"{}\"", ev.type_name())),
+                "line: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn seq_is_monotonic() {
+        let a = Event::DomainCreated { domain: 0 }.to_json_line();
+        let b = Event::DomainCreated { domain: 0 }.to_json_line();
+        let seq_of = |line: &str| -> u64 {
+            let rest = &line["{\"seq\":".len()..];
+            rest[..rest.find(',').unwrap()].parse().unwrap()
+        };
+        assert!(seq_of(&b) > seq_of(&a), "{a} vs {b}");
+    }
+
+    #[test]
+    fn first_iteration_delta_is_null() {
+        let line = Event::MleIteration {
+            source: "mle",
+            iteration: 1,
+            tasks: 2,
+            max_rel_delta: None,
+        }
+        .to_json_line();
+        assert!(line.contains("\"max_rel_delta\":null"), "{line}");
+    }
+}

@@ -1,0 +1,383 @@
+//! Fixed-bucket histograms.
+//!
+//! A histogram owns an ascending list of bucket *upper bounds* plus an
+//! implicit overflow bucket; recording is O(log B), and quantiles are
+//! estimated by linear interpolation inside the containing bucket, clamped
+//! to the exact observed `[min, max]` range so single-value histograms
+//! report exact quantiles.
+
+/// A fixed-bucket histogram over `f64` samples.
+///
+/// Non-finite samples are ignored (JSON cannot represent them and they
+/// would poison `sum`/`mean`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given ascending, finite upper bounds.
+    /// Samples above the last bound land in the implicit overflow bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty, non-finite, or not strictly ascending.
+    pub fn new(bounds: Vec<f64>) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite"
+        );
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        let n = bounds.len();
+        Histogram {
+            bounds,
+            counts: vec![0; n + 1],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Exponential bounds `start, start·factor, …` (`n` bounds) — the usual
+    /// shape for wall-time measurements.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `start > 0`, `factor > 1` and `n ≥ 1`.
+    pub fn exponential(start: f64, factor: f64, n: usize) -> Self {
+        assert!(start > 0.0 && start.is_finite(), "start must be > 0");
+        assert!(factor > 1.0 && factor.is_finite(), "factor must be > 1");
+        assert!(n >= 1, "need at least one bound");
+        let mut bounds = Vec::with_capacity(n);
+        let mut b = start;
+        for _ in 0..n {
+            bounds.push(b);
+            b *= factor;
+        }
+        Histogram::new(bounds)
+    }
+
+    /// Default wall-time buckets: 1 µs … ~67 s, doubling (27 bounds).
+    pub fn duration_default() -> Self {
+        Histogram::exponential(1e-6, 2.0, 27)
+    }
+
+    /// Records one sample (ignored when non-finite).
+    pub fn record(&mut self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        let idx = self.bucket_index(v);
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Index of the bucket `v` falls in (last = overflow).
+    fn bucket_index(&self, v: f64) -> usize {
+        // First bound ≥ v, i.e. bucket i covers (bounds[i-1], bounds[i]].
+        self.bounds.partition_point(|&b| b < v)
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of recorded samples (NaN when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest recorded sample (NaN when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (NaN when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+
+    /// The bucket upper bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts (`bounds().len() + 1` entries; last = overflow).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Estimated `q`-quantile (`q ∈ [0, 1]`), linearly interpolated inside
+    /// the containing bucket and clamped to the observed `[min, max]`.
+    /// NaN when empty; `q ≤ 0` → min, `q ≥ 1` → max.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        if q <= 0.0 {
+            return self.min;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        // Nearest-rank target in 1..=count.
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if cum + c >= target {
+                // Interpolate inside bucket i: (lo, hi].
+                let lo = if i == 0 { self.min } else { self.bounds[i - 1] };
+                let hi = if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    self.max
+                };
+                let frac = (target - cum) as f64 / c as f64;
+                let est = lo + (hi - lo) * frac;
+                return est.clamp(self.min, self.max);
+            }
+            cum += c;
+        }
+        self.max // unreachable while counts are consistent
+    }
+
+    /// Merges another histogram with identical bounds into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics when bucket bounds differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bounds, other.bounds, "histogram bounds differ");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Clears all samples, keeping the bucket layout.
+    pub fn clear(&mut self) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.count = 0;
+        self.sum = 0.0;
+        self.min = f64::INFINITY;
+        self.max = f64::NEG_INFINITY;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tiny deterministic PRNG so the property tests below stay
+    /// dependency-free (xorshift64*).
+    pub(crate) struct XorShift(u64);
+
+    impl XorShift {
+        pub fn new(seed: u64) -> Self {
+            XorShift(seed.max(1))
+        }
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545F4914F6CDD1D)
+        }
+        /// Uniform in [0, 1).
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    #[test]
+    fn bucket_assignment_boundaries() {
+        let mut h = Histogram::new(vec![1.0, 2.0, 4.0]);
+        for v in [0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 100.0] {
+            h.record(v);
+        }
+        // (−∞,1]: 0.5, 1.0 | (1,2]: 1.5, 2.0 | (2,4]: 3.0, 4.0 | (4,∞): 100
+        assert_eq!(h.counts(), &[2, 2, 2, 1]);
+        assert_eq!(h.count(), 7);
+    }
+
+    #[test]
+    fn nonfinite_samples_ignored() {
+        let mut h = Histogram::new(vec![1.0]);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        h.record(f64::NEG_INFINITY);
+        assert_eq!(h.count(), 0);
+        assert!(h.mean().is_nan());
+        assert!(h.quantile(0.5).is_nan());
+    }
+
+    #[test]
+    fn single_value_quantiles_exact() {
+        let mut h = Histogram::duration_default();
+        h.record(0.125);
+        for q in [0.0, 0.5, 0.95, 1.0] {
+            assert_eq!(h.quantile(q), 0.125, "q = {q}");
+        }
+        assert_eq!(h.min(), 0.125);
+        assert_eq!(h.max(), 0.125);
+    }
+
+    #[test]
+    fn exponential_layout() {
+        let h = Histogram::exponential(1.0, 2.0, 4);
+        assert_eq!(h.bounds(), &[1.0, 2.0, 4.0, 8.0]);
+        assert_eq!(h.counts().len(), 5);
+    }
+
+    #[test]
+    fn merge_and_clear() {
+        let mut a = Histogram::new(vec![1.0, 2.0]);
+        let mut b = Histogram::new(vec![1.0, 2.0]);
+        a.record(0.5);
+        b.record(1.5);
+        b.record(9.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.counts(), &[1, 1, 1]);
+        assert_eq!(a.min(), 0.5);
+        assert_eq!(a.max(), 9.0);
+        a.clear();
+        assert_eq!(a.count(), 0);
+        assert_eq!(a.counts(), &[0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unsorted_bounds_rejected() {
+        Histogram::new(vec![2.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds differ")]
+    fn merge_mismatched_bounds_rejected() {
+        let mut a = Histogram::new(vec![1.0]);
+        a.merge(&Histogram::new(vec![2.0]));
+    }
+
+    /// Property: on random data, quantiles are monotone in `q`, stay within
+    /// `[min, max]`, and the bucket estimate brackets the true empirical
+    /// quantile within one bucket's width.
+    #[test]
+    fn quantile_properties_random() {
+        for seed in 1..40u64 {
+            let mut rng = XorShift::new(seed);
+            let n = 1 + (rng.next_u64() % 200) as usize;
+            let mut h = Histogram::exponential(1e-3, 2.0, 20);
+            let mut values = Vec::with_capacity(n);
+            for _ in 0..n {
+                // Log-uniform across the bucket range, plus occasional
+                // under/overflow samples.
+                let v = 1e-4 * (10f64).powf(rng.next_f64() * 8.0);
+                h.record(v);
+                values.push(v);
+            }
+            values.sort_by(f64::total_cmp);
+            let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0];
+            let mut prev = f64::NEG_INFINITY;
+            for &q in &qs {
+                let est = h.quantile(q);
+                assert!(est.is_finite(), "seed {seed} q {q}");
+                assert!(est >= prev - 1e-12, "non-monotone at seed {seed} q {q}");
+                assert!(
+                    est >= values[0] && est <= values[n - 1],
+                    "out of range at seed {seed} q {q}: {est}"
+                );
+                prev = est;
+                // Bracketing: the true nearest-rank quantile must lie in the
+                // same bucket as the estimate (or an adjacent one at bucket
+                // edges), i.e. within factor-2 (one bucket) of the estimate
+                // once both are inside the bucketed range.
+                let rank = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+                let truth = values[rank];
+                let last = *h.bounds().last().unwrap();
+                if q > 0.0
+                    && q < 1.0
+                    && truth >= 1e-3
+                    && est >= 1e-3
+                    && truth <= last
+                    && est <= last
+                {
+                    let ratio = (est / truth).max(truth / est);
+                    assert!(
+                        ratio <= 2.0 + 1e-9,
+                        "seed {seed} q {q}: est {est} vs true {truth}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Property: count/sum/min/max match the recorded data exactly.
+    #[test]
+    fn moments_match_data_random() {
+        for seed in 1..20u64 {
+            let mut rng = XorShift::new(seed * 77);
+            let n = (rng.next_u64() % 100) as usize;
+            let mut h = Histogram::new(vec![0.25, 0.5, 0.75]);
+            let mut sum = 0.0;
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for _ in 0..n {
+                let v = rng.next_f64();
+                h.record(v);
+                sum += v;
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            assert_eq!(h.count(), n as u64);
+            if n > 0 {
+                assert!((h.sum() - sum).abs() < 1e-9);
+                assert_eq!(h.min(), lo);
+                assert_eq!(h.max(), hi);
+                assert_eq!(
+                    h.counts().iter().sum::<u64>(),
+                    n as u64,
+                    "bucket counts must total the sample count"
+                );
+            }
+        }
+    }
+}

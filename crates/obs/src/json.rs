@@ -1,0 +1,174 @@
+//! A minimal JSON writer — just enough to serialize flat event objects and
+//! metric snapshots as single JSON Lines without pulling `serde_json` into
+//! every crate of the workspace.
+//!
+//! Only *emission* is implemented (consumers parse with `serde_json`, which
+//! the harness crates already depend on). Numbers use Rust's shortest
+//! round-trip `Display`, which is valid JSON; non-finite floats serialize as
+//! `null` (JSON has no NaN/Infinity).
+
+/// Appends `s` to `buf` as a JSON string literal (with surrounding quotes).
+pub fn write_str(buf: &mut String, s: &str) {
+    buf.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => buf.push_str("\\\""),
+            '\\' => buf.push_str("\\\\"),
+            '\n' => buf.push_str("\\n"),
+            '\r' => buf.push_str("\\r"),
+            '\t' => buf.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                buf.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => buf.push(c),
+        }
+    }
+    buf.push('"');
+}
+
+/// Appends `v` to `buf` as a JSON number, or `null` when non-finite.
+pub fn write_f64(buf: &mut String, v: f64) {
+    if v.is_finite() {
+        buf.push_str(&format!("{v}"));
+    } else {
+        buf.push_str("null");
+    }
+}
+
+/// Incremental writer for one flat JSON object.
+#[derive(Debug)]
+pub struct JsonObject {
+    buf: String,
+    first: bool,
+}
+
+impl JsonObject {
+    /// Starts an empty object (`{`).
+    pub fn new() -> Self {
+        JsonObject {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        write_str(&mut self.buf, key);
+        self.buf.push(':');
+    }
+
+    /// Adds a string field.
+    pub fn str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.key(key);
+        write_str(&mut self.buf, value);
+        self
+    }
+
+    /// Adds a float field (`null` when non-finite).
+    pub fn f64(&mut self, key: &str, value: f64) -> &mut Self {
+        self.key(key);
+        write_f64(&mut self.buf, value);
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64(&mut self, key: &str, value: u64) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(&format!("{value}"));
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(&mut self, key: &str, value: bool) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Adds a pre-serialized JSON value verbatim.
+    pub fn raw(&mut self, key: &str, json: &str) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(json);
+        self
+    }
+
+    /// Closes the object and returns the JSON text.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+impl Default for JsonObject {
+    fn default() -> Self {
+        JsonObject::new()
+    }
+}
+
+/// Serializes a slice of floats as a JSON array (non-finite → `null`).
+pub fn array_f64(values: &[f64]) -> String {
+    let mut buf = String::from("[");
+    for (i, &v) in values.iter().enumerate() {
+        if i > 0 {
+            buf.push(',');
+        }
+        write_f64(&mut buf, v);
+    }
+    buf.push(']');
+    buf
+}
+
+/// Serializes a slice of unsigned integers as a JSON array.
+pub fn array_u64(values: &[u64]) -> String {
+    let mut buf = String::from("[");
+    for (i, &v) in values.iter().enumerate() {
+        if i > 0 {
+            buf.push(',');
+        }
+        buf.push_str(&format!("{v}"));
+    }
+    buf.push(']');
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_with_every_field_kind() {
+        let mut o = JsonObject::new();
+        o.str("s", "a\"b\\c\nd")
+            .f64("x", 1.5)
+            .f64("nan", f64::NAN)
+            .u64("n", 7)
+            .bool("b", true)
+            .raw("arr", "[1,2]");
+        assert_eq!(
+            o.finish(),
+            r#"{"s":"a\"b\\c\nd","x":1.5,"nan":null,"n":7,"b":true,"arr":[1,2]}"#
+        );
+    }
+
+    #[test]
+    fn empty_object() {
+        assert_eq!(JsonObject::new().finish(), "{}");
+    }
+
+    #[test]
+    fn control_chars_escaped() {
+        let mut buf = String::new();
+        write_str(&mut buf, "\u{1}x");
+        assert_eq!(buf, "\"\\u0001x\"");
+    }
+
+    #[test]
+    fn arrays_and_nonfinite() {
+        assert_eq!(array_f64(&[1.0, f64::INFINITY, 0.25]), "[1,null,0.25]");
+        assert_eq!(array_u64(&[3, 0]), "[3,0]");
+        assert_eq!(array_f64(&[]), "[]");
+    }
+}

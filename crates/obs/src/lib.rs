@@ -1,0 +1,244 @@
+//! # eta2-obs — observability substrate for the ETA² reproduction
+//!
+//! Three independent facilities, each with a no-op fast path when off:
+//!
+//! * **Metrics** ([`registry`]): counters, gauges and fixed-bucket
+//!   histograms behind a thread-safe registry with atomic snapshot/reset.
+//!   Gated by [`set_metrics`]; off by default.
+//! * **Spans** ([`Span`], [`span!`]): RAII wall-time timers that record
+//!   into the global registry's histogram of the same name. Follow the
+//!   metrics gate.
+//! * **Events** ([`Event`], [`emit`]): typed trace records serialized as
+//!   JSON Lines to a pluggable [`EventWriter`] (file, stderr, or in-memory
+//!   for tests). Enabled exactly while a writer is installed.
+//!
+//! The gates are relaxed atomic loads, so instrumentation left in hot
+//! loops costs roughly one predictable branch when everything is off —
+//! and a disabled run is observably identical to an uninstrumented one.
+//!
+//! ```no_run
+//! let _guard = eta2_obs::span!("mle.solve");
+//! eta2_obs::emit_with(|| eta2_obs::Event::DomainCreated { domain: 7 });
+//! ```
+
+pub mod event;
+pub mod hist;
+pub mod json;
+pub mod registry;
+pub mod sink;
+
+mod log;
+mod span;
+
+pub use event::Event;
+pub use hist::Histogram;
+pub use log::{log_enabled, set_verbosity, verbosity, Verbosity};
+pub use registry::{HistogramSnapshot, Registry, Snapshot};
+pub use sink::{EventWriter, FileSink, MemoryHandle, MemorySink, StderrSink};
+pub use span::Span;
+
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// True while an event writer is installed. Read with a relaxed load on
+/// every emission site; written only by install/disable.
+static TRACING: AtomicBool = AtomicBool::new(false);
+
+/// True while span timers and registry recording are wanted.
+static METRICS: AtomicBool = AtomicBool::new(false);
+
+static WRITER: Mutex<Option<Box<dyn EventWriter>>> = Mutex::new(None);
+
+/// Serializes tests (which run in parallel within one binary) that flip
+/// the process-global TRACING/METRICS flags.
+#[cfg(test)]
+pub(crate) static TEST_FLAG_LOCK: Mutex<()> = Mutex::new(());
+
+/// Whether event tracing is currently enabled (a sink is installed).
+#[inline]
+pub fn enabled() -> bool {
+    TRACING.load(Ordering::Relaxed)
+}
+
+/// Whether span timers and metric recording are currently enabled.
+#[inline]
+pub fn metrics_enabled() -> bool {
+    METRICS.load(Ordering::Relaxed)
+}
+
+/// Turns span/metric recording on or off.
+pub fn set_metrics(on: bool) {
+    METRICS.store(on, Ordering::Relaxed);
+}
+
+fn writer_lock() -> std::sync::MutexGuard<'static, Option<Box<dyn EventWriter>>> {
+    WRITER.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Installs `writer` as the event sink and enables tracing (and metrics,
+/// since a trace without timings is rarely what anyone wants). Replaces
+/// any previously installed sink, flushing it first.
+pub fn install_writer(writer: Box<dyn EventWriter>) {
+    let mut slot = writer_lock();
+    if let Some(old) = slot.as_mut() {
+        old.flush();
+    }
+    *slot = Some(writer);
+    TRACING.store(true, Ordering::Relaxed);
+    METRICS.store(true, Ordering::Relaxed);
+}
+
+/// Starts tracing to a fresh JSONL file at `path`.
+pub fn init_file(path: &Path) -> std::io::Result<()> {
+    let sink = FileSink::create(path)?;
+    install_writer(Box::new(sink));
+    Ok(())
+}
+
+/// Starts tracing to standard error.
+pub fn init_stderr() {
+    install_writer(Box::new(StderrSink));
+}
+
+/// Starts tracing into memory and returns the read handle. For tests.
+pub fn install_memory() -> MemoryHandle {
+    let (sink, handle) = MemorySink::new();
+    install_writer(Box::new(sink));
+    handle
+}
+
+/// Stops tracing, flushing and dropping the installed sink. Metric
+/// recording is left as-is ([`set_metrics`] controls it independently).
+pub fn disable() {
+    TRACING.store(false, Ordering::Relaxed);
+    let mut slot = writer_lock();
+    if let Some(old) = slot.as_mut() {
+        old.flush();
+    }
+    *slot = None;
+}
+
+/// Flushes the installed sink, if any.
+pub fn flush() {
+    if let Some(w) = writer_lock().as_mut() {
+        w.flush();
+    }
+}
+
+/// Emits `event` to the installed sink. No-op when tracing is disabled;
+/// prefer [`emit_with`] in hot loops so the event is not even built.
+pub fn emit(event: &Event) {
+    if !enabled() {
+        return;
+    }
+    let line = event.to_json_line();
+    if let Some(w) = writer_lock().as_mut() {
+        w.write_line(&line);
+    }
+}
+
+/// Builds and emits an event only when tracing is enabled. The closure is
+/// never called on the disabled path, so argument computation (string
+/// formatting, summary math) is free when tracing is off.
+#[inline]
+pub fn emit_with(make: impl FnOnce() -> Event) {
+    if enabled() {
+        emit(&make());
+    }
+}
+
+/// Reads an environment boolean: `false` for unset, empty, `0`, `false`,
+/// `off` or `no` (case-insensitive); `true` for anything else.
+pub fn env_flag(name: &str) -> bool {
+    match std::env::var(name) {
+        Err(_) => false,
+        Ok(v) => {
+            let v = v.trim().to_ascii_lowercase();
+            !(v.is_empty() || v == "0" || v == "false" || v == "off" || v == "no")
+        }
+    }
+}
+
+/// Reads an environment variable as a non-empty path, if set.
+pub fn env_path(name: &str) -> Option<std::path::PathBuf> {
+    match std::env::var(name) {
+        Ok(v) if !v.trim().is_empty() => Some(std::path::PathBuf::from(v)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // These tests share the global sink/flags with the rest of this test
+    // binary; each restores the disabled state before returning.
+
+    #[test]
+    fn emit_routes_through_installed_memory_sink() {
+        let _guard = TEST_FLAG_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let handle = install_memory();
+        assert!(enabled());
+        assert!(metrics_enabled());
+        emit(&Event::DomainCreated { domain: 42 });
+        emit_with(|| Event::DomainMerged {
+            kept: 1,
+            absorbed: 2,
+        });
+        let lines = handle.lines();
+        assert!(
+            lines.iter().any(|l| l.contains("\"domain\":42")),
+            "{lines:?}"
+        );
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.contains("\"type\":\"domain_merged\"")),
+            "{lines:?}"
+        );
+
+        disable();
+        set_metrics(false);
+        assert!(!enabled());
+        let before = handle.len();
+        emit(&Event::DomainCreated { domain: 7 });
+        let mut with_called = false;
+        emit_with(|| {
+            with_called = true;
+            Event::DomainCreated { domain: 8 }
+        });
+        assert_eq!(handle.len(), before, "disabled emit must not write");
+        assert!(!with_called, "emit_with closure must not run when disabled");
+    }
+
+    #[test]
+    fn env_flag_semantics() {
+        // Unique variable names: the process environment is shared.
+        std::env::remove_var("ETA2_OBS_TEST_UNSET");
+        assert!(!env_flag("ETA2_OBS_TEST_UNSET"));
+        for off in ["", "0", "false", "FALSE", "off", "No", "  0  "] {
+            std::env::set_var("ETA2_OBS_TEST_FLAG", off);
+            assert!(!env_flag("ETA2_OBS_TEST_FLAG"), "value {off:?}");
+        }
+        for on in ["1", "true", "yes", "anything"] {
+            std::env::set_var("ETA2_OBS_TEST_FLAG", on);
+            assert!(env_flag("ETA2_OBS_TEST_FLAG"), "value {on:?}");
+        }
+        std::env::remove_var("ETA2_OBS_TEST_FLAG");
+    }
+
+    #[test]
+    fn env_path_semantics() {
+        std::env::remove_var("ETA2_OBS_TEST_PATH");
+        assert_eq!(env_path("ETA2_OBS_TEST_PATH"), None);
+        std::env::set_var("ETA2_OBS_TEST_PATH", "  ");
+        assert_eq!(env_path("ETA2_OBS_TEST_PATH"), None);
+        std::env::set_var("ETA2_OBS_TEST_PATH", "/tmp/trace.jsonl");
+        assert_eq!(
+            env_path("ETA2_OBS_TEST_PATH"),
+            Some(std::path::PathBuf::from("/tmp/trace.jsonl"))
+        );
+        std::env::remove_var("ETA2_OBS_TEST_PATH");
+    }
+}

@@ -1,0 +1,96 @@
+//! Verbosity-gated human-readable logging for the CLI and bench harness.
+//!
+//! Three levels: `Quiet` suppresses everything, `Normal` (the default)
+//! shows result-bearing output, `Verbose` adds progress detail. The
+//! [`progress!`], [`detail!`] and [`warn!`] macros route through these
+//! levels so "quiet runs are actually quiet".
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// How much human-readable output to produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Verbosity {
+    /// No stdout chatter at all (warnings still reach stderr).
+    Quiet = 0,
+    /// Result-bearing output only (default).
+    Normal = 1,
+    /// Progress and per-step detail.
+    Verbose = 2,
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(Verbosity::Normal as u8);
+
+/// Sets the process-wide verbosity level.
+pub fn set_verbosity(v: Verbosity) {
+    LEVEL.store(v as u8, Ordering::Relaxed);
+}
+
+/// Returns the current verbosity level.
+pub fn verbosity() -> Verbosity {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => Verbosity::Quiet,
+        1 => Verbosity::Normal,
+        _ => Verbosity::Verbose,
+    }
+}
+
+/// Whether output at `level` should be produced right now.
+pub fn log_enabled(level: Verbosity) -> bool {
+    verbosity() >= level
+}
+
+/// Prints to stdout at `Normal` verbosity and above. Use for the
+/// result-bearing lines a default run should show.
+#[macro_export]
+macro_rules! progress {
+    ($($arg:tt)*) => {
+        if $crate::log_enabled($crate::Verbosity::Normal) {
+            println!($($arg)*);
+        }
+    };
+}
+
+/// Prints to stdout only at `Verbose`. Use for per-step chatter.
+#[macro_export]
+macro_rules! detail {
+    ($($arg:tt)*) => {
+        if $crate::log_enabled($crate::Verbosity::Verbose) {
+            println!($($arg)*);
+        }
+    };
+}
+
+/// Prints to stderr at every verbosity level, prefixed `warning:`.
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)*) => {
+        eprintln!("warning: {}", format!($($arg)*));
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_ordering_and_gating() {
+        assert!(Verbosity::Quiet < Verbosity::Normal);
+        assert!(Verbosity::Normal < Verbosity::Verbose);
+
+        // The level is process-global; restore the default before leaving
+        // so other tests in this binary observe Normal.
+        set_verbosity(Verbosity::Quiet);
+        assert!(!log_enabled(Verbosity::Normal));
+        assert!(!log_enabled(Verbosity::Verbose));
+        assert!(log_enabled(Verbosity::Quiet));
+
+        set_verbosity(Verbosity::Verbose);
+        assert!(log_enabled(Verbosity::Normal));
+        assert!(log_enabled(Verbosity::Verbose));
+
+        set_verbosity(Verbosity::Normal);
+        assert!(log_enabled(Verbosity::Normal));
+        assert!(!log_enabled(Verbosity::Verbose));
+        assert_eq!(verbosity(), Verbosity::Normal);
+    }
+}

@@ -1,0 +1,340 @@
+//! Thread-safe metric registry: counters, gauges and fixed-bucket
+//! histograms keyed by name, with atomic snapshot/reset for test isolation.
+
+use crate::hist::Histogram;
+use crate::json::{array_f64, array_u64, JsonObject};
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// A registry of named metrics. One global instance backs the `eta2_obs`
+/// free functions; independent instances can be created for tests.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+/// Point-in-time copy of one histogram's state, with derived statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: f64,
+    /// Mean sample (NaN when empty).
+    pub mean: f64,
+    /// Smallest sample (NaN when empty).
+    pub min: f64,
+    /// Largest sample (NaN when empty).
+    pub max: f64,
+    /// Estimated median.
+    pub p50: f64,
+    /// Estimated 95th percentile.
+    pub p95: f64,
+    /// Estimated 99th percentile.
+    pub p99: f64,
+    /// Bucket upper bounds.
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts (last = overflow).
+    pub counts: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    fn of(h: &Histogram) -> Self {
+        HistogramSnapshot {
+            count: h.count(),
+            sum: h.sum(),
+            mean: h.mean(),
+            min: h.min(),
+            max: h.max(),
+            p50: h.quantile(0.50),
+            p95: h.quantile(0.95),
+            p99: h.quantile(0.99),
+            bounds: h.bounds().to_vec(),
+            counts: h.counts().to_vec(),
+        }
+    }
+}
+
+/// Point-in-time copy of a whole registry.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram states by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// Whether the snapshot holds no metrics at all.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Serializes the snapshot as one JSON object:
+    /// `{"counters":{...},"gauges":{...},"histograms":{...}}`.
+    pub fn to_json(&self) -> String {
+        let mut counters = JsonObject::new();
+        for (k, &v) in &self.counters {
+            counters.u64(k, v);
+        }
+        let mut gauges = JsonObject::new();
+        for (k, &v) in &self.gauges {
+            gauges.f64(k, v);
+        }
+        let mut hists = JsonObject::new();
+        for (k, h) in &self.histograms {
+            let mut o = JsonObject::new();
+            o.u64("count", h.count)
+                .f64("sum", h.sum)
+                .f64("mean", h.mean)
+                .f64("min", h.min)
+                .f64("max", h.max)
+                .f64("p50", h.p50)
+                .f64("p95", h.p95)
+                .f64("p99", h.p99)
+                .raw("bounds", &array_f64(&h.bounds))
+                .raw("counts", &array_u64(&h.counts));
+            hists.raw(k, &o.finish());
+        }
+        let mut out = JsonObject::new();
+        out.raw("counters", &counters.finish())
+            .raw("gauges", &gauges.finish())
+            .raw("histograms", &hists.finish());
+        out.finish()
+    }
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A poisoned lock only means another thread panicked mid-update;
+        // metrics are advisory, so keep going with whatever state is there.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Adds `delta` to the counter `name` (creating it at zero).
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        let mut inner = self.lock();
+        match inner.counters.get_mut(name) {
+            Some(c) => *c = c.saturating_add(delta),
+            None => {
+                inner.counters.insert(name.to_string(), delta);
+            }
+        }
+    }
+
+    /// Sets the gauge `name` to `value`.
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        let mut inner = self.lock();
+        match inner.gauges.get_mut(name) {
+            Some(g) => *g = value,
+            None => {
+                inner.gauges.insert(name.to_string(), value);
+            }
+        }
+    }
+
+    /// Records `value` into the histogram `name`, creating it with the
+    /// default wall-time buckets if absent.
+    pub fn observe(&self, name: &str, value: f64) {
+        self.observe_with(name, value, Histogram::duration_default);
+    }
+
+    /// Records `value` into the histogram `name`, creating it with `make`
+    /// if absent. The bucket layout of an existing histogram wins.
+    pub fn observe_with(&self, name: &str, value: f64, make: impl FnOnce() -> Histogram) {
+        let mut inner = self.lock();
+        match inner.histograms.get_mut(name) {
+            Some(h) => h.record(value),
+            None => {
+                let mut h = make();
+                h.record(value);
+                inner.histograms.insert(name.to_string(), h);
+            }
+        }
+    }
+
+    /// Copies the current state.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.lock();
+        Snapshot {
+            counters: inner.counters.clone(),
+            gauges: inner.gauges.clone(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), HistogramSnapshot::of(h)))
+                .collect(),
+        }
+    }
+
+    /// Clears every metric.
+    pub fn reset(&self) {
+        let mut inner = self.lock();
+        inner.counters.clear();
+        inner.gauges.clear();
+        inner.histograms.clear();
+    }
+
+    /// Atomically snapshots and clears — one lock acquisition, so no sample
+    /// recorded concurrently is either lost or double-counted.
+    pub fn snapshot_and_reset(&self) -> Snapshot {
+        let mut inner = self.lock();
+        Snapshot {
+            counters: std::mem::take(&mut inner.counters),
+            gauges: std::mem::take(&mut inner.gauges),
+            histograms: std::mem::take(&mut inner.histograms)
+                .iter()
+                .map(|(k, h)| (k.clone(), HistogramSnapshot::of(h)))
+                .collect(),
+        }
+    }
+}
+
+/// The process-wide registry behind the crate's free functions.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counters_and_gauges() {
+        let r = Registry::new();
+        r.counter_add("a", 2);
+        r.counter_add("a", 3);
+        r.counter_add("b", 1);
+        r.gauge_set("g", 1.5);
+        r.gauge_set("g", 2.5);
+        let s = r.snapshot();
+        assert_eq!(s.counters["a"], 5);
+        assert_eq!(s.counters["b"], 1);
+        assert_eq!(s.gauges["g"], 2.5);
+    }
+
+    #[test]
+    fn histograms_via_observe() {
+        let r = Registry::new();
+        r.observe("h", 0.5);
+        r.observe("h", 1.5);
+        let s = r.snapshot();
+        assert_eq!(s.histograms["h"].count, 2);
+        assert!((s.histograms["h"].sum - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_reset_isolation() {
+        let r = Registry::new();
+        r.counter_add("x", 1);
+        r.observe("h", 1.0);
+        let first = r.snapshot_and_reset();
+        assert_eq!(first.counters["x"], 1);
+        assert!(r.snapshot().is_empty());
+        // Post-reset activity lands in a fresh state.
+        r.counter_add("x", 7);
+        assert_eq!(r.snapshot().counters["x"], 7);
+    }
+
+    #[test]
+    fn snapshot_json_is_parseable_shape() {
+        let r = Registry::new();
+        r.counter_add("c", 1);
+        r.gauge_set("g", 0.5);
+        r.observe("h", 2.0);
+        let json = r.snapshot().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        for key in ["\"counters\"", "\"gauges\"", "\"histograms\"", "\"p95\""] {
+            assert!(json.contains(key), "{json}");
+        }
+    }
+
+    /// Property: concurrent counter increments are never lost.
+    #[test]
+    fn concurrent_counter_adds() {
+        let r = Arc::new(Registry::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        r.counter_add("n", 1);
+                        r.observe("h", 1.0);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let s = r.snapshot();
+        assert_eq!(s.counters["n"], 4000);
+        assert_eq!(s.histograms["h"].count, 4000);
+    }
+
+    /// Property: across random interleavings of add/observe/reset, the
+    /// state after the final reset only reflects post-reset operations.
+    #[test]
+    fn snapshot_reset_random_sequences() {
+        use crate::hist::Histogram;
+        for seed in 1..30u64 {
+            let mut state = seed;
+            let mut next = move || {
+                state ^= state >> 12;
+                state ^= state << 25;
+                state ^= state >> 27;
+                state.wrapping_mul(0x2545F4914F6CDD1D)
+            };
+            let r = Registry::new();
+            let mut since_reset_count = 0u64;
+            let mut since_reset_obs = 0u64;
+            for _ in 0..200 {
+                match next() % 4 {
+                    0 => {
+                        r.counter_add("c", 1);
+                        since_reset_count += 1;
+                    }
+                    1 => {
+                        r.observe_with("h", 1.0, || Histogram::new(vec![10.0]));
+                        since_reset_obs += 1;
+                    }
+                    2 => {
+                        r.gauge_set("g", 3.0);
+                    }
+                    _ => {
+                        r.reset();
+                        since_reset_count = 0;
+                        since_reset_obs = 0;
+                    }
+                }
+            }
+            let s = r.snapshot();
+            assert_eq!(
+                s.counters.get("c").copied().unwrap_or(0),
+                since_reset_count,
+                "seed {seed}"
+            );
+            assert_eq!(
+                s.histograms.get("h").map_or(0, |h| h.count),
+                since_reset_obs,
+                "seed {seed}"
+            );
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Pluggable event writers: file, stderr, and an in-memory sink for tests.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// Destination for serialized JSON event lines.
+///
+/// Implementations receive one complete JSON object per call, without a
+/// trailing newline, and must be callable from any thread.
+pub trait EventWriter: Send {
+    /// Persists one event line.
+    fn write_line(&mut self, line: &str);
+    /// Flushes any buffered output (default: nothing to do).
+    fn flush(&mut self) {}
+}
+
+/// Appends events to a file, flushing after every line. The installed sink
+/// lives in a `static` that is never dropped, so per-line flushes are the
+/// only way lines reliably reach disk before process exit.
+#[derive(Debug)]
+pub struct FileSink {
+    out: BufWriter<File>,
+}
+
+impl FileSink {
+    /// Creates (truncating) the trace file at `path`.
+    pub fn create(path: &Path) -> std::io::Result<FileSink> {
+        Ok(FileSink {
+            out: BufWriter::new(File::create(path)?),
+        })
+    }
+}
+
+impl EventWriter for FileSink {
+    fn write_line(&mut self, line: &str) {
+        // Tracing is best-effort: losing a line (e.g. disk full) must not
+        // take the run down with it.
+        let _ = writeln!(self.out, "{line}");
+        let _ = self.out.flush();
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+/// Writes events to standard error, one per line.
+#[derive(Debug, Default)]
+pub struct StderrSink;
+
+impl EventWriter for StderrSink {
+    fn write_line(&mut self, line: &str) {
+        eprintln!("{line}");
+    }
+}
+
+/// Collects events in memory. `MemorySink` is the writer half; cloning the
+/// [`MemoryHandle`] returned alongside it lets a test read what was written
+/// while the sink itself is owned by the global dispatcher.
+#[derive(Debug)]
+pub struct MemorySink {
+    lines: Arc<Mutex<Vec<String>>>,
+}
+
+/// Read handle onto a [`MemorySink`]'s captured lines.
+#[derive(Debug, Clone)]
+pub struct MemoryHandle {
+    lines: Arc<Mutex<Vec<String>>>,
+}
+
+impl MemorySink {
+    /// Creates an empty sink plus a handle for reading it back.
+    pub fn new() -> (MemorySink, MemoryHandle) {
+        let lines = Arc::new(Mutex::new(Vec::new()));
+        (
+            MemorySink {
+                lines: Arc::clone(&lines),
+            },
+            MemoryHandle { lines },
+        )
+    }
+}
+
+impl EventWriter for MemorySink {
+    fn write_line(&mut self, line: &str) {
+        self.lines
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(line.to_string());
+    }
+}
+
+impl MemoryHandle {
+    /// Copies out every line captured so far.
+    pub fn lines(&self) -> Vec<String> {
+        self.lines.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Number of lines captured so far.
+    pub fn len(&self) -> usize {
+        self.lines.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether nothing has been captured.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Discards everything captured so far.
+    pub fn clear(&self) {
+        self.lines.lock().unwrap_or_else(|e| e.into_inner()).clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_sink_round_trip() {
+        let (mut sink, handle) = MemorySink::new();
+        assert!(handle.is_empty());
+        sink.write_line("{\"a\":1}");
+        sink.write_line("{\"b\":2}");
+        assert_eq!(handle.lines(), vec!["{\"a\":1}", "{\"b\":2}"]);
+        handle.clear();
+        assert!(handle.is_empty());
+        sink.write_line("{\"c\":3}");
+        assert_eq!(handle.len(), 1);
+    }
+
+    #[test]
+    fn file_sink_persists_lines() {
+        let path = std::env::temp_dir().join("eta2_obs_sink_test.jsonl");
+        {
+            let mut sink = FileSink::create(&path).unwrap();
+            sink.write_line("{\"x\":1}");
+            sink.write_line("{\"y\":2}");
+            // No explicit flush/drop ordering: write_line flushes per line.
+        }
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body, "{\"x\":1}\n{\"y\":2}\n");
+        let _ = std::fs::remove_file(&path);
+    }
+}

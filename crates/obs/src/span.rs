@@ -1,0 +1,112 @@
+//! RAII span timers. `Span::start("mle.solve")` (or the [`span!`] macro)
+//! returns a guard that, when dropped, records the elapsed wall time in
+//! seconds into the global registry's histogram of the same name.
+//!
+//! When metrics are disabled the guard holds no state and drop is a no-op,
+//! so spans may be left in hot loops unconditionally.
+
+use std::time::Instant;
+
+/// A live span. Records its wall time on drop.
+#[derive(Debug)]
+pub struct Span {
+    // `None` when metrics were disabled at start: the drop path then costs
+    // only a branch on an already-loaded Option.
+    started: Option<(&'static str, Instant)>,
+}
+
+impl Span {
+    /// Starts timing `name` if metrics are enabled, else returns an inert
+    /// guard.
+    pub fn start(name: &'static str) -> Span {
+        if crate::metrics_enabled() {
+            Span {
+                started: Some((name, Instant::now())),
+            }
+        } else {
+            Span { started: None }
+        }
+    }
+
+    /// Ends the span early and records its duration (equivalent to drop).
+    pub fn finish(self) {}
+
+    /// Discards the span without recording anything.
+    pub fn cancel(mut self) {
+        self.started = None;
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((name, at)) = self.started.take() {
+            crate::registry::global().observe(name, at.elapsed().as_secs_f64());
+        }
+    }
+}
+
+/// Starts an RAII span timer bound to the enclosing scope:
+/// `let _span = eta2_obs::span!("mle.solve");`
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::Span::start($name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The global registry and metrics flag are shared across tests in this
+    // binary; use span names unique to each test, avoid global resets, and
+    // hold TEST_FLAG_LOCK while flipping the metrics flag.
+
+    #[test]
+    fn disabled_span_records_nothing() {
+        let _guard = crate::TEST_FLAG_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        crate::set_metrics(false);
+        {
+            let _s = Span::start("test.span.disabled");
+        }
+        crate::set_metrics(true);
+        {
+            let _s = Span::start("test.span.enabled");
+        }
+        let snap = crate::registry::global().snapshot();
+        assert!(!snap.histograms.contains_key("test.span.disabled"));
+        assert_eq!(snap.histograms["test.span.enabled"].count, 1);
+    }
+
+    #[test]
+    fn cancel_records_nothing_finish_records() {
+        let _guard = crate::TEST_FLAG_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        crate::set_metrics(true);
+        Span::start("test.span.cancelled").cancel();
+        Span::start("test.span.finished").finish();
+        let snap = crate::registry::global().snapshot();
+        assert!(!snap.histograms.contains_key("test.span.cancelled"));
+        assert_eq!(snap.histograms["test.span.finished"].count, 1);
+    }
+
+    #[test]
+    fn span_duration_is_nonnegative_and_bounded() {
+        let _guard = crate::TEST_FLAG_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        crate::set_metrics(true);
+        {
+            let _s = crate::span!("test.span.timed");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let snap = crate::registry::global().snapshot();
+        let h = &snap.histograms["test.span.timed"];
+        assert_eq!(h.count, 1);
+        assert!(h.sum >= 0.002, "elapsed {} too small", h.sum);
+        assert!(h.sum < 60.0, "elapsed {} absurdly large", h.sum);
+    }
+}

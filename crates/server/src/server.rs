@@ -1,14 +1,12 @@
 //! The stateful ETA² server.
 
 use eta2_cluster::{DomainEvent, DynamicClusterer};
+use eta2_core::allocation::min_cost::DataSource;
 use eta2_core::allocation::{
     Allocation, MaxQualityAllocator, MaxQualityConfig, MinCostAllocator, MinCostConfig,
     MinCostOutcome,
 };
-use eta2_core::allocation::min_cost::DataSource;
-use eta2_core::model::{
-    DomainId, ExpertiseMatrix, ObservationSet, Task, TaskId, UserProfile,
-};
+use eta2_core::model::{DomainId, ExpertiseMatrix, ObservationSet, Task, TaskId, UserProfile};
 use eta2_core::truth::dynamic::{BatchOutcome, DynamicExpertise};
 use eta2_core::truth::mle::{MleConfig, TruthEstimate};
 use eta2_embed::pairword::pairword_distance;
@@ -201,6 +199,20 @@ impl Eta2Server {
     /// [`ServerError::WrongTaskKind`] if the input kind does not match the
     /// server's mode.
     pub fn register_tasks(&mut self, inputs: Vec<TaskInput>) -> Result<Vec<TaskId>, ServerError> {
+        let _span = eta2_obs::span!("server.register_tasks");
+        let result = self.register_tasks_inner(inputs);
+        eta2_obs::emit_with(|| eta2_obs::Event::ServerRequest {
+            op: "register_tasks",
+            ok: result.is_ok(),
+            detail: match &result {
+                Ok(ids) => format!("registered {} tasks", ids.len()),
+                Err(e) => e.to_string(),
+            },
+        });
+        result
+    }
+
+    fn register_tasks_inner(&mut self, inputs: Vec<TaskInput>) -> Result<Vec<TaskId>, ServerError> {
         if inputs.is_empty() {
             return Ok(Vec::new());
         }
@@ -293,15 +305,26 @@ impl Eta2Server {
     /// Unknown task ids are ignored (allocating a subset is the common
     /// case; validate with [`Eta2Server::domain_of`] first if needed).
     pub fn allocate_max_quality(&self, tasks: &[TaskId], users: &[UserProfile]) -> Allocation {
+        let _span = eta2_obs::span!("server.allocate_max_quality");
         let batch: Vec<Task> = tasks
             .iter()
             .filter_map(|id| self.tasks.get(id).copied())
             .collect();
-        MaxQualityAllocator::new(MaxQualityConfig {
+        let alloc = MaxQualityAllocator::new(MaxQualityConfig {
             epsilon: self.config.epsilon,
             use_approximation_pass: true,
         })
-        .allocate(&batch, users, &self.expertise.matrix())
+        .allocate(&batch, users, &self.expertise.matrix());
+        eta2_obs::emit_with(|| eta2_obs::Event::ServerRequest {
+            op: "allocate_max_quality",
+            ok: true,
+            detail: format!(
+                "{} assignments over {} tasks",
+                alloc.assignment_count(),
+                batch.len()
+            ),
+        });
+        alloc
     }
 
     /// Min-cost allocation (§5.2): drives `source` through collection
@@ -315,6 +338,7 @@ impl Eta2Server {
         config: MinCostConfig,
         source: &mut S,
     ) -> MinCostOutcome {
+        let _span = eta2_obs::span!("server.allocate_min_cost");
         let batch: Vec<Task> = tasks
             .iter()
             .filter_map(|id| self.tasks.get(id).copied())
@@ -323,6 +347,14 @@ impl Eta2Server {
             MinCostAllocator::new(config).allocate(&batch, users, &self.expertise.matrix(), source);
         let ingest = self.expertise.ingest_batch(&batch, &outcome.observations);
         self.truths.extend(ingest.truths);
+        eta2_obs::emit_with(|| eta2_obs::Event::ServerRequest {
+            op: "allocate_min_cost",
+            ok: outcome.all_passed,
+            detail: format!(
+                "{} rounds, cost {:.3}, all_passed={}",
+                outcome.rounds, outcome.total_cost, outcome.all_passed
+            ),
+        });
         outcome
     }
 
@@ -332,6 +364,7 @@ impl Eta2Server {
     ///
     /// Observations for unregistered tasks are ignored.
     pub fn ingest(&mut self, reports: &ObservationSet) -> BatchOutcome {
+        let _span = eta2_obs::span!("server.ingest");
         let batch: Vec<Task> = reports
             .tasks()
             .filter_map(|id| self.tasks.get(&id).copied())
@@ -339,6 +372,15 @@ impl Eta2Server {
         let outcome = self.expertise.ingest_batch(&batch, reports);
         self.truths
             .extend(outcome.truths.iter().map(|(&k, &v)| (k, v)));
+        eta2_obs::emit_with(|| eta2_obs::Event::ServerRequest {
+            op: "ingest",
+            ok: outcome.converged,
+            detail: format!(
+                "{} tasks analysed in {} iterations",
+                outcome.truths.len(),
+                outcome.iterations
+            ),
+        });
         outcome
     }
 
@@ -356,10 +398,13 @@ impl Eta2Server {
 impl fmt::Debug for Eta2Server {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Eta2Server")
-            .field("mode", &match self.domains {
-                Domains::Discover { .. } => "discover",
-                Domains::Known => "known-domains",
-            })
+            .field(
+                "mode",
+                &match self.domains {
+                    Domains::Discover { .. } => "discover",
+                    Domains::Known => "known-domains",
+                },
+            )
             .field("tasks", &self.tasks.len())
             .field("domains", &self.domain_count())
             .finish()
@@ -386,7 +431,9 @@ mod tests {
     }
 
     fn users(n: u32, capacity: f64) -> Vec<UserProfile> {
-        (0..n).map(|i| UserProfile::new(UserId(i), capacity)).collect()
+        (0..n)
+            .map(|i| UserProfile::new(UserId(i), capacity))
+            .collect()
     }
 
     #[test]
@@ -423,13 +470,23 @@ mod tests {
         let err = known
             .register_tasks(vec![TaskInput::described("what is this?", 1.0, 1.0)])
             .unwrap_err();
-        assert_eq!(err, ServerError::WrongTaskKind { expected: "domained" });
+        assert_eq!(
+            err,
+            ServerError::WrongTaskKind {
+                expected: "domained"
+            }
+        );
 
         let mut disco = Eta2Server::discovering(1, ServerConfig::default(), embedding());
         let err = disco
             .register_tasks(vec![TaskInput::domained(DomainId(0), 1.0, 1.0)])
             .unwrap_err();
-        assert_eq!(err, ServerError::WrongTaskKind { expected: "described" });
+        assert_eq!(
+            err,
+            ServerError::WrongTaskKind {
+                expected: "described"
+            }
+        );
     }
 
     #[test]

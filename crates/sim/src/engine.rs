@@ -62,6 +62,7 @@ impl Simulation {
         seed: u64,
         embedding: Option<&Embedding>,
     ) -> RunMetrics {
+        let _span = eta2_obs::span!("sim.run");
         let cfg = &self.config;
         let n_users = dataset.users.len();
         let mut rng = StdRng::seed_from_u64(seed);
@@ -96,6 +97,12 @@ impl Simulation {
         for (day, indices) in schedule.iter().enumerate() {
             if indices.is_empty() {
                 metrics.daily_error.push(f64::NAN);
+                eta2_obs::emit_with(|| eta2_obs::Event::SimDay {
+                    day: day as u64,
+                    tasks: 0,
+                    error: f64::NAN,
+                    cumulative_cost: metrics.total_cost,
+                });
                 continue;
             }
             let specs: Vec<&TaskSpec> = indices.iter().map(|&i| &dataset.tasks[i]).collect();
@@ -128,105 +135,107 @@ impl Simulation {
             }
 
             // (2) Allocate, collect, analyse.
-            let day_truths: BTreeMap<TaskId, TruthEstimate> =
-                if approach == ApproachKind::Eta2MinCost && day > 0 {
-                    // ETA²-mc runs its own allocate→collect→analyse rounds.
-                    let prior = dynexp.matrix();
-                    let mut collected: Vec<(UserId, TaskId, f64)> = Vec::new();
-                    let outcome = {
-                        let mut source = |user: UserId, task: &Task| {
-                            let x = dataset.observe(user, spec_of(task.id), &mut rng);
-                            collected.push((user, task.id, x));
-                            x
-                        };
-                        MinCostAllocator::new(MinCostConfig {
-                            epsilon: cfg.epsilon,
-                            max_error: cfg.min_cost.max_error,
-                            confidence_alpha: cfg.min_cost.confidence_alpha,
-                            round_budget: cfg.min_cost.round_budget,
-                            max_rounds: 100,
-                            mle: cfg.mle,
-                        })
-                        .allocate(&tasks_core, &profiles, &prior, &mut source)
+            let day_truths: BTreeMap<TaskId, TruthEstimate> = if approach
+                == ApproachKind::Eta2MinCost
+                && day > 0
+            {
+                // ETA²-mc runs its own allocate→collect→analyse rounds.
+                let prior = dynexp.matrix();
+                let mut collected: Vec<(UserId, TaskId, f64)> = Vec::new();
+                let outcome = {
+                    let mut source = |user: UserId, task: &Task| {
+                        let x = dataset.observe(user, spec_of(task.id), &mut rng);
+                        collected.push((user, task.id, x));
+                        x
                     };
-                    metrics.total_cost += outcome.total_cost;
-                    metrics.mle_iterations.extend(outcome.mle_iterations.clone());
-                    all_observations.extend(collected);
-                    record_assignments(
-                        &mut metrics,
-                        dataset,
-                        &tasks_core,
-                        &outcome.allocation,
-                    );
-                    let out = dynexp.ingest_batch(&tasks_core, &outcome.observations);
-                    metrics.mle_iterations.push(out.iterations);
-                    out.truths
-                } else {
-                    // Warm-up day, ETA² proper, or a comparison approach.
-                    let allocation = match approach {
-                        _ if day == 0 => {
-                            RandomAllocator::new().allocate(&tasks_core, &profiles, &mut rng)
-                        }
-                        ApproachKind::Eta2 | ApproachKind::Eta2MinCost => {
-                            MaxQualityAllocator::new(MaxQualityConfig {
-                                epsilon: cfg.epsilon,
-                                use_approximation_pass: true,
-                            })
-                            .allocate(&tasks_core, &profiles, &dynexp.matrix())
-                        }
-                        ApproachKind::Baseline => {
-                            RandomAllocator::new().allocate(&tasks_core, &profiles, &mut rng)
-                        }
-                        _ => ReliabilityGreedyAllocator::new().allocate(
+                    MinCostAllocator::new(MinCostConfig {
+                        epsilon: cfg.epsilon,
+                        max_error: cfg.min_cost.max_error,
+                        confidence_alpha: cfg.min_cost.confidence_alpha,
+                        round_budget: cfg.min_cost.round_budget,
+                        max_rounds: 100,
+                        mle: cfg.mle,
+                    })
+                    .allocate(&tasks_core, &profiles, &prior, &mut source)
+                };
+                metrics.total_cost += outcome.total_cost;
+                metrics
+                    .mle_iterations
+                    .extend(outcome.mle_iterations.clone());
+                all_observations.extend(collected);
+                record_assignments(&mut metrics, dataset, &tasks_core, &outcome.allocation);
+                let out = dynexp.ingest_batch(&tasks_core, &outcome.observations);
+                metrics.mle_iterations.push(out.iterations);
+                out.truths
+            } else {
+                // Warm-up day, ETA² proper, or a comparison approach.
+                let allocation = match approach {
+                    _ if day == 0 => {
+                        RandomAllocator::new().allocate(&tasks_core, &profiles, &mut rng)
+                    }
+                    ApproachKind::Eta2 | ApproachKind::Eta2MinCost => {
+                        MaxQualityAllocator::new(MaxQualityConfig {
+                            epsilon: cfg.epsilon,
+                            use_approximation_pass: true,
+                        })
+                        .allocate(
                             &tasks_core,
                             &profiles,
-                            &reliability,
-                        ),
-                    };
-                    let mut day_obs = ObservationSet::new();
-                    for (task, users) in allocation.iter() {
-                        for &u in users {
-                            let x = dataset.observe(u, spec_of(task), &mut rng);
-                            day_obs.insert(u, task, x);
-                            all_observations.push((u, task, x));
-                        }
+                            &dynexp.matrix(),
+                        )
                     }
-                    metrics.total_cost += allocation.total_cost(&tasks_core);
-                    if approach.is_expertise_aware() && day > 0 {
-                        record_assignments(&mut metrics, dataset, &tasks_core, &allocation);
+                    ApproachKind::Baseline => {
+                        RandomAllocator::new().allocate(&tasks_core, &profiles, &mut rng)
                     }
-
-                    if let Some(method) = baseline_method.as_deref() {
-                        cumulative_obs.merge(&day_obs);
-                        let result = method.estimate(&cumulative_obs, n_users);
-                        reliability = result.reliability;
-                        metrics.mle_iterations.push(result.iterations);
-                        // Baselines re-estimate every task each day: refresh
-                        // all final errors.
-                        for (&id, &mu) in &result.truths {
-                            let spec = spec_of(id);
-                            final_error
-                                .insert(id, (mu - spec.ground_truth).abs() / spec.base_sigma);
-                        }
-                        result
-                            .truths
-                            .iter()
-                            .map(|(&id, &mu)| {
-                                (
-                                    id,
-                                    TruthEstimate {
-                                        mu,
-                                        sigma: spec_of(id).base_sigma,
-                                    },
-                                )
-                            })
-                            .collect()
-                    } else {
-                        let out = dynexp.ingest_batch(&tasks_core, &day_obs);
-                        metrics.mle_iterations.push(out.iterations);
-                        out.truths
-                    }
+                    _ => ReliabilityGreedyAllocator::new().allocate(
+                        &tasks_core,
+                        &profiles,
+                        &reliability,
+                    ),
                 };
+                let mut day_obs = ObservationSet::new();
+                for (task, users) in allocation.iter() {
+                    for &u in users {
+                        let x = dataset.observe(u, spec_of(task), &mut rng);
+                        day_obs.insert(u, task, x);
+                        all_observations.push((u, task, x));
+                    }
+                }
+                metrics.total_cost += allocation.total_cost(&tasks_core);
+                if approach.is_expertise_aware() && day > 0 {
+                    record_assignments(&mut metrics, dataset, &tasks_core, &allocation);
+                }
+
+                if let Some(method) = baseline_method.as_deref() {
+                    cumulative_obs.merge(&day_obs);
+                    let result = method.estimate(&cumulative_obs, n_users);
+                    reliability = result.reliability;
+                    metrics.mle_iterations.push(result.iterations);
+                    // Baselines re-estimate every task each day: refresh
+                    // all final errors.
+                    for (&id, &mu) in &result.truths {
+                        let spec = spec_of(id);
+                        final_error.insert(id, (mu - spec.ground_truth).abs() / spec.base_sigma);
+                    }
+                    result
+                        .truths
+                        .iter()
+                        .map(|(&id, &mu)| {
+                            (
+                                id,
+                                TruthEstimate {
+                                    mu,
+                                    sigma: spec_of(id).base_sigma,
+                                },
+                            )
+                        })
+                        .collect()
+                } else {
+                    let out = dynexp.ingest_batch(&tasks_core, &day_obs);
+                    metrics.mle_iterations.push(out.iterations);
+                    out.truths
+                }
+            };
 
             // (3) Daily error over the day's estimated tasks.
             let mut day_err = 0.0;
@@ -244,9 +253,17 @@ impl Simulation {
                     metrics.uncovered_tasks += 1;
                 }
             }
-            metrics
-                .daily_error
-                .push(if estimated > 0 { day_err / estimated as f64 } else { f64::NAN });
+            metrics.daily_error.push(if estimated > 0 {
+                day_err / estimated as f64
+            } else {
+                f64::NAN
+            });
+            eta2_obs::emit_with(|| eta2_obs::Event::SimDay {
+                day: day as u64,
+                tasks: tasks_core.len() as u64,
+                error: *metrics.daily_error.last().expect("just pushed"),
+                cumulative_cost: metrics.total_cost,
+            });
         }
 
         metrics.overall_error = if final_error.is_empty() {
@@ -298,9 +315,23 @@ impl Simulation {
             }
         }
 
-        metrics.final_domains = tracker
-            .as_ref()
-            .map_or(0, |t| t.domain_count(dataset));
+        metrics.final_domains = tracker.as_ref().map_or(0, |t| t.domain_count(dataset));
+
+        eta2_obs::emit_with(|| {
+            let s = metrics.summary();
+            eta2_obs::Event::RunSummary {
+                approach: approach.name().to_string(),
+                days: metrics.daily_error.len() as u64,
+                overall_error: metrics.overall_error,
+                total_cost: metrics.total_cost,
+                mean_daily_error: s.mean_daily_error,
+                p50_daily_error: s.p50_daily_error,
+                p95_daily_error: s.p95_daily_error,
+                total_mle_iterations: s.total_mle_iterations as u64,
+                uncovered_tasks: metrics.uncovered_tasks as u64,
+                final_domains: metrics.final_domains as u64,
+            }
+        });
         metrics
     }
 }
@@ -384,7 +415,10 @@ mod tests {
         let s = sim();
         // Average a few seeds to smooth noise.
         let avg = |approach: ApproachKind| -> f64 {
-            (0..5).map(|seed| s.run(&ds, approach, seed).overall_error).sum::<f64>() / 5.0
+            (0..5)
+                .map(|seed| s.run(&ds, approach, seed).overall_error)
+                .sum::<f64>()
+                / 5.0
         };
         let eta2 = avg(ApproachKind::Eta2);
         let baseline = avg(ApproachKind::Baseline);
@@ -441,7 +475,10 @@ mod tests {
         let ds = small_synth();
         let s = sim();
         assert!(s.run(&ds, ApproachKind::Eta2, 0).expertise_error.is_some());
-        assert!(s.run(&ds, ApproachKind::Baseline, 0).expertise_error.is_none());
+        assert!(s
+            .run(&ds, ApproachKind::Baseline, 0)
+            .expertise_error
+            .is_none());
     }
 
     #[test]

@@ -47,5 +47,5 @@ pub mod sweep;
 
 pub use config::{ApproachKind, SimConfig};
 pub use engine::Simulation;
-pub use metrics::RunMetrics;
+pub use metrics::{MetricsSummary, RunMetrics};
 pub use pipeline::train_embedding_for;

@@ -46,6 +46,51 @@ impl RunMetrics {
             self.daily_error.iter().sum::<f64>() / self.daily_error.len() as f64
         }
     }
+
+    /// Distribution summary of the run, computed over the *finite* entries
+    /// of `daily_error` (days without estimated tasks record NaN and are
+    /// excluded). Feeds the end-of-run trace event.
+    pub fn summary(&self) -> MetricsSummary {
+        let mut finite: Vec<f64> = self
+            .daily_error
+            .iter()
+            .copied()
+            .filter(|e| e.is_finite())
+            .collect();
+        finite.sort_by(f64::total_cmp);
+        let percentile = |q: f64| -> f64 {
+            if finite.is_empty() {
+                return f64::NAN;
+            }
+            // Nearest-rank: the smallest value with at least q of the mass
+            // at or below it.
+            let rank = ((q * finite.len() as f64).ceil() as usize).clamp(1, finite.len());
+            finite[rank - 1]
+        };
+        MetricsSummary {
+            mean_daily_error: if finite.is_empty() {
+                f64::NAN
+            } else {
+                finite.iter().sum::<f64>() / finite.len() as f64
+            },
+            p50_daily_error: percentile(0.50),
+            p95_daily_error: percentile(0.95),
+            total_mle_iterations: self.mle_iterations.iter().sum(),
+        }
+    }
+}
+
+/// Distribution summary of one run — see [`RunMetrics::summary`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSummary {
+    /// Mean of the finite per-day errors (NaN when no day estimated).
+    pub mean_daily_error: f64,
+    /// Median (nearest-rank) of the finite per-day errors.
+    pub p50_daily_error: f64,
+    /// 95th percentile (nearest-rank) of the finite per-day errors.
+    pub p95_daily_error: f64,
+    /// MLE iterations summed over every truth-analysis invocation.
+    pub total_mle_iterations: usize,
 }
 
 /// Element-wise average of several runs' metrics — the paper averages every
@@ -76,8 +121,8 @@ pub fn average(runs: &[RunMetrics]) -> RunMetrics {
     RunMetrics {
         daily_error,
         overall_error: runs.iter().map(|r| r.overall_error).sum::<f64>() / n,
-        uncovered_tasks: (runs.iter().map(|r| r.uncovered_tasks).sum::<usize>() as f64 / n)
-            .round() as usize,
+        uncovered_tasks: (runs.iter().map(|r| r.uncovered_tasks).sum::<usize>() as f64 / n).round()
+            as usize,
         total_cost: runs.iter().map(|r| r.total_cost).sum::<f64>() / n,
         mle_iterations: runs.iter().flat_map(|r| r.mle_iterations.clone()).collect(),
         expertise_error: if expertise_errors.is_empty() {
@@ -158,5 +203,34 @@ mod tests {
     fn mean_daily_error_of_empty_is_nan() {
         assert!(mk(vec![], 0.0, 0.0).mean_daily_error().is_nan());
         assert_eq!(mk(vec![2.0, 4.0], 0.0, 0.0).mean_daily_error(), 3.0);
+    }
+
+    #[test]
+    fn summary_basic_statistics() {
+        let mut m = mk(vec![1.0, 2.0, 3.0, 4.0], 0.0, 0.0);
+        m.mle_iterations = vec![3, 5, 2];
+        let s = m.summary();
+        assert_eq!(s.mean_daily_error, 2.5);
+        assert_eq!(s.p50_daily_error, 2.0); // nearest-rank: ceil(0.5·4) = 2nd
+        assert_eq!(s.p95_daily_error, 4.0); // ceil(0.95·4) = 4th
+        assert_eq!(s.total_mle_iterations, 10);
+    }
+
+    #[test]
+    fn summary_skips_nan_days() {
+        let m = mk(vec![f64::NAN, 2.0, f64::NAN, 6.0], 0.0, 0.0);
+        let s = m.summary();
+        assert_eq!(s.mean_daily_error, 4.0);
+        assert_eq!(s.p50_daily_error, 2.0);
+        assert_eq!(s.p95_daily_error, 6.0);
+    }
+
+    #[test]
+    fn summary_of_empty_run_is_nan() {
+        let s = mk(vec![], 0.0, 0.0).summary();
+        assert!(s.mean_daily_error.is_nan());
+        assert!(s.p50_daily_error.is_nan());
+        assert!(s.p95_daily_error.is_nan());
+        assert_eq!(s.total_mle_iterations, 0);
     }
 }

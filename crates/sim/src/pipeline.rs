@@ -108,10 +108,7 @@ impl<'a> DomainTracker<'a> {
                 let points: Vec<SemanticPoint> = task_indices
                     .iter()
                     .map(|&i| {
-                        let desc = dataset.tasks[i]
-                            .description
-                            .as_deref()
-                            .unwrap_or_default();
+                        let desc = dataset.tasks[i].description.as_deref().unwrap_or_default();
                         t.extractor
                             .extract(desc)
                             .semantic_vector(t.embedding)

@@ -116,9 +116,8 @@ where
         .map(|&tau| {
             let make = |seed: u64| {
                 let mut ds = make_dataset(seed);
-                let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(
-                    seed ^ 0x7a75_0000,
-                );
+                let mut rng =
+                    <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed ^ 0x7a75_0000);
                 ds.regenerate_capacities(tau, 4.0, &mut rng);
                 ds
             };
@@ -150,14 +149,7 @@ where
             let sim = Simulation::new(configure(x));
             SweepPoint {
                 x,
-                metrics: average_over_seeds(
-                    &sim,
-                    approach,
-                    n_seeds,
-                    0,
-                    &make_dataset,
-                    embedding,
-                ),
+                metrics: average_over_seeds(&sim, approach, n_seeds, 0, &make_dataset, embedding),
             }
         })
         .collect()
@@ -209,14 +201,7 @@ mod tests {
     #[test]
     fn tau_sweep_rerolls_capacities() {
         let sim = Simulation::new(SimConfig::default());
-        let points = sweep_tau(
-            &sim,
-            ApproachKind::Baseline,
-            &[6.0, 14.0],
-            2,
-            make,
-            None,
-        );
+        let points = sweep_tau(&sim, ApproachKind::Baseline, &[6.0, 14.0], 2, make, None);
         assert_eq!(points.len(), 2);
         assert_eq!(points[0].x, 6.0);
         // More capability → more assignments → higher total cost.

@@ -1,0 +1,145 @@
+//! End-to-end observability test: a traced simulation run must emit
+//! parseable, schema-stable JSONL with at least one event from every
+//! instrumented subsystem, and tracing must not perturb the simulation
+//! itself.
+//!
+//! Kept as a single `#[test]` because the event sink is process-global:
+//! one sequential scenario avoids cross-test interleaving.
+
+use eta2_datasets::synthetic::SyntheticConfig;
+use eta2_sim::{ApproachKind, RunMetrics, SimConfig, Simulation};
+use serde_json::Value;
+use std::collections::BTreeMap;
+
+fn small_dataset() -> eta2_datasets::Dataset {
+    SyntheticConfig {
+        n_users: 10,
+        n_tasks: 30,
+        n_domains: 2,
+        ..SyntheticConfig::default()
+    }
+    .generate(0)
+}
+
+/// Envelope + per-type payload keys every consumer may rely on.
+fn required_keys(kind: &str) -> &'static [&'static str] {
+    match kind {
+        "mle_iteration" => &["source", "iteration", "tasks", "max_rel_delta"],
+        "mle_outcome" => &["source", "iterations", "converged", "tasks"],
+        "domain_created" => &["domain"],
+        "domain_merged" => &["kept", "absorbed"],
+        "alloc_pick" => &["strategy", "task", "user", "efficiency"],
+        "alloc_round" => &["round", "assigned", "round_cost", "pending_after"],
+        "alloc_outcome" => &[
+            "strategy",
+            "assignments",
+            "total_cost",
+            "rounds",
+            "all_passed",
+        ],
+        "sim_day" => &["day", "tasks", "error", "cumulative_cost"],
+        "run_summary" => &[
+            "approach",
+            "days",
+            "overall_error",
+            "total_cost",
+            "mean_daily_error",
+            "p50_daily_error",
+            "p95_daily_error",
+            "total_mle_iterations",
+            "uncovered_tasks",
+            "final_domains",
+        ],
+        other => panic!("unexpected event type {other:?}"),
+    }
+}
+
+#[test]
+fn traced_run_emits_all_subsystems_and_leaves_metrics_unchanged() {
+    let dataset = small_dataset();
+    let sim = Simulation::new(SimConfig::default());
+
+    // Reference run with tracing disabled (the default state).
+    let untraced: RunMetrics = sim.run(&dataset, ApproachKind::Eta2, 0);
+
+    // Same run, traced into memory; min-cost afterwards for its round
+    // events.
+    let handle = eta2_obs::install_memory();
+    let traced: RunMetrics = sim.run(&dataset, ApproachKind::Eta2, 0);
+    let _mc = sim.run(&dataset, ApproachKind::Eta2MinCost, 0);
+    eta2_obs::disable();
+
+    // Tracing must not perturb the simulation: identical serialized
+    // metrics for the same dataset and seed (NaNs serialize as null, so
+    // this comparison is total).
+    assert_eq!(
+        serde_json::to_string(&untraced).unwrap(),
+        serde_json::to_string(&traced).unwrap(),
+        "tracing changed the simulation outcome"
+    );
+
+    let lines = handle.lines();
+    assert!(!lines.is_empty(), "traced run emitted no events");
+
+    let mut by_type: BTreeMap<String, u64> = BTreeMap::new();
+    let mut last_seq: Option<u64> = None;
+    for line in &lines {
+        let v: Value = serde_json::from_str(line)
+            .unwrap_or_else(|e| panic!("unparseable trace line {line:?}: {e}"));
+        let obj = v.as_object().expect("event is a JSON object");
+
+        // Envelope: monotonic sequence number, timestamp, discriminator.
+        let seq = obj["seq"].as_u64().expect("seq is u64");
+        if let Some(prev) = last_seq {
+            assert!(seq > prev, "seq not monotonic: {prev} then {seq}");
+        }
+        last_seq = Some(seq);
+        assert!(obj["ts_ms"].as_u64().is_some(), "{line}");
+        let kind = obj["type"].as_str().expect("type is a string").to_string();
+
+        // Payload: every documented key is present.
+        for key in required_keys(&kind) {
+            assert!(
+                obj.contains_key(*key),
+                "{kind} event missing {key:?}: {line}"
+            );
+        }
+        *by_type.entry(kind).or_insert(0) += 1;
+    }
+
+    // At least one event from each instrumented subsystem: truth analysis
+    // (MLE iterations + outcome), domain tracking, both allocators, and
+    // the simulation loop.
+    for kind in [
+        "mle_iteration",
+        "mle_outcome",
+        "domain_created",
+        "alloc_pick",
+        "alloc_outcome",
+        "alloc_round",
+        "sim_day",
+        "run_summary",
+    ] {
+        assert!(
+            by_type.get(kind).copied().unwrap_or(0) > 0,
+            "no {kind} events; saw {by_type:?}"
+        );
+    }
+
+    // The run summaries name the approaches that produced them.
+    let summaries: Vec<Value> = lines
+        .iter()
+        .filter_map(|l| serde_json::from_str::<Value>(l).ok())
+        .filter(|v| v["type"] == "run_summary")
+        .collect();
+    assert_eq!(summaries.len(), 2, "one summary per traced run");
+    let names: Vec<&str> = summaries
+        .iter()
+        .map(|v| v["approach"].as_str().unwrap())
+        .collect();
+    assert!(names.contains(&ApproachKind::Eta2.name()), "{names:?}");
+    assert!(
+        names.contains(&ApproachKind::Eta2MinCost.name()),
+        "{names:?}"
+    );
+}

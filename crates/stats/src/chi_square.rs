@@ -175,7 +175,10 @@ impl NormalityGofTest {
     pub fn test(&self, sample: &[f64]) -> Result<GofOutcome, StatsError> {
         let n = sample.len();
         if n < 8 {
-            return Err(StatsError::InsufficientData { got: n, required: 8 });
+            return Err(StatsError::InsufficientData {
+                got: n,
+                required: 8,
+            });
         }
         if sample.iter().any(|v| !v.is_finite()) {
             return Err(StatsError::NonFiniteInput);
@@ -287,7 +290,11 @@ mod tests {
         let trials = 50;
         for _ in 0..trials {
             let sample: Vec<f64> = (0..300).map(|_| normal.sample(&mut rng)).collect();
-            if NormalityGofTest::default().test(&sample).unwrap().passes(0.05) {
+            if NormalityGofTest::default()
+                .test(&sample)
+                .unwrap()
+                .passes(0.05)
+            {
                 accepted += 1;
             }
         }
@@ -302,7 +309,11 @@ mod tests {
         let trials = 30;
         for _ in 0..trials {
             let sample: Vec<f64> = (0..1000).map(|_| rng.gen_range(0.0..1.0)).collect();
-            if !NormalityGofTest::default().test(&sample).unwrap().passes(0.05) {
+            if !NormalityGofTest::default()
+                .test(&sample)
+                .unwrap()
+                .passes(0.05)
+            {
                 rejected += 1;
             }
         }
@@ -316,7 +327,13 @@ mod tests {
         let b = Normal::new(4.0, 0.5).unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(17);
         let sample: Vec<f64> = (0..600)
-            .map(|i| if i % 2 == 0 { a.sample(&mut rng) } else { b.sample(&mut rng) })
+            .map(|i| {
+                if i % 2 == 0 {
+                    a.sample(&mut rng)
+                } else {
+                    b.sample(&mut rng)
+                }
+            })
             .collect();
         let outcome = NormalityGofTest::default().test(&sample).unwrap();
         assert!(!outcome.passes(0.05), "p = {}", outcome.p_value);
@@ -337,7 +354,8 @@ mod tests {
         with_nan[3] = f64::NAN;
         assert!(matches!(t.test(&with_nan), Err(StatsError::NonFiniteInput)));
         assert!(matches!(
-            NormalityGofTest::with_bins(2).test(&[0.0, 1.0, 2.0, 0.5, 1.5, 0.2, 1.8, 0.9, 2.2, 1.1]),
+            NormalityGofTest::with_bins(2)
+                .test(&[0.0, 1.0, 2.0, 0.5, 1.5, 0.2, 1.8, 0.9, 2.2, 1.1]),
             Err(StatsError::InvalidParameter { .. })
         ));
     }

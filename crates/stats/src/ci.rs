@@ -175,11 +175,9 @@ mod tests {
         let eps = 0.5;
         let sigma = 3.0;
         let need = required_expertise_sq(alpha, eps).unwrap();
-        let just_enough =
-            ConfidenceInterval::mle_truth(0.0, sigma, need * 1.0001, alpha).unwrap();
+        let just_enough = ConfidenceInterval::mle_truth(0.0, sigma, need * 1.0001, alpha).unwrap();
         assert!(just_enough.meets_quality(eps, sigma));
-        let not_enough =
-            ConfidenceInterval::mle_truth(0.0, sigma, need * 0.9999, alpha).unwrap();
+        let not_enough = ConfidenceInterval::mle_truth(0.0, sigma, need * 0.9999, alpha).unwrap();
         assert!(!not_enough.meets_quality(eps, sigma));
     }
 

@@ -66,7 +66,10 @@ pub fn population_std(data: &[f64]) -> Option<f64> {
 /// ```
 pub fn quantile(data: &[f64], q: f64) -> Result<f64, StatsError> {
     if data.is_empty() {
-        return Err(StatsError::InsufficientData { got: 0, required: 1 });
+        return Err(StatsError::InsufficientData {
+            got: 0,
+            required: 1,
+        });
     }
     if !(0.0..=1.0).contains(&q) {
         return Err(StatsError::ProbabilityOutOfRange(q));
@@ -113,7 +116,10 @@ impl Summary {
     /// [`StatsError::NonFiniteInput`] if any value is NaN/∞.
     pub fn from_slice(data: &[f64]) -> Result<Self, StatsError> {
         if data.is_empty() {
-            return Err(StatsError::InsufficientData { got: 0, required: 1 });
+            return Err(StatsError::InsufficientData {
+                got: 0,
+                required: 1,
+            });
         }
         if data.iter().any(|v| !v.is_finite()) {
             return Err(StatsError::NonFiniteInput);

@@ -50,7 +50,10 @@ impl fmt::Display for StatsError {
                 requirement,
             } => write!(f, "invalid parameter `{name}` = {value}: {requirement}"),
             StatsError::InsufficientData { got, required } => {
-                write!(f, "insufficient data: got {got} observations, need {required}")
+                write!(
+                    f,
+                    "insufficient data: got {got} observations, need {required}"
+                )
             }
             StatsError::ProbabilityOutOfRange(p) => {
                 write!(f, "probability {p} outside the open interval (0, 1)")
@@ -74,7 +77,10 @@ mod tests {
                 value: -1.0,
                 requirement: "must be finite and > 0",
             },
-            StatsError::InsufficientData { got: 1, required: 2 },
+            StatsError::InsufficientData {
+                got: 1,
+                required: 2,
+            },
             StatsError::ProbabilityOutOfRange(1.5),
             StatsError::NonFiniteInput,
         ];

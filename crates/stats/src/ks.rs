@@ -54,7 +54,10 @@ impl KsOutcome {
 pub fn ks_normality_test(sample: &[f64]) -> Result<KsOutcome, StatsError> {
     let n = sample.len();
     if n < 8 {
-        return Err(StatsError::InsufficientData { got: n, required: 8 });
+        return Err(StatsError::InsufficientData {
+            got: n,
+            required: 8,
+        });
     }
     if sample.iter().any(|v| !v.is_finite()) {
         return Err(StatsError::NonFiniteInput);
@@ -154,7 +157,10 @@ mod tests {
                 rejected += 1;
             }
         }
-        assert!(rejected >= 24, "rejected only {rejected}/30 uniform samples");
+        assert!(
+            rejected >= 24,
+            "rejected only {rejected}/30 uniform samples"
+        );
     }
 
     #[test]

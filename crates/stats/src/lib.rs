@@ -37,8 +37,8 @@ pub mod normal;
 pub mod special;
 
 pub use chi_square::{ChiSquared, GofOutcome, NormalityGofTest};
-pub use ks::{ks_normality_test, KsOutcome};
 pub use ci::ConfidenceInterval;
 pub use descriptive::{Histogram, Summary};
 pub use error::StatsError;
+pub use ks::{ks_normality_test, KsOutcome};
 pub use normal::Normal;

@@ -37,8 +37,14 @@ fn main() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(7);
     let day_batches: [&[(&str, f64)]; 3] = [
         &[
-            ("What is the noise level around the municipal building?", 61.0),
-            ("What is the decibel measurement near the construction street?", 84.0),
+            (
+                "What is the noise level around the municipal building?",
+                61.0,
+            ),
+            (
+                "What is the decibel measurement near the construction street?",
+                84.0,
+            ),
             ("How many parking spots are at the garage entrance?", 42.0),
             ("How many parking spaces are at the deck gate?", 17.0),
         ],
@@ -77,7 +83,12 @@ fn main() {
                 let z: f64 = rng.gen_range(-1.0..1.0) + rng.gen_range(-1.0..1.0);
                 reports.insert(u, id, truth + z * std);
             }
-            println!("  task {:>2} (domain #{}) <- {} reporters", id.0, domain.0, allocation.users_for(id).len());
+            println!(
+                "  task {:>2} (domain #{}) <- {} reporters",
+                id.0,
+                domain.0,
+                allocation.users_for(id).len()
+            );
         }
 
         let outcome = server.ingest(&reports);

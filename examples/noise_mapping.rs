@@ -20,8 +20,8 @@ fn main() {
     let config = SimConfig::default();
 
     println!("== 1. semantic substrate ==");
-    let embedding = train_embedding_for(&dataset, &config)
-        .expect("survey descriptions need an embedding");
+    let embedding =
+        train_embedding_for(&dataset, &config).expect("survey descriptions need an embedding");
     println!(
         "skip-gram trained: {} words x {} dims",
         embedding.len(),

@@ -21,8 +21,14 @@ fn main() {
 
     let sim = Simulation::new(SimConfig::default());
 
-    println!("ETA2 quickstart — {} users, {} tasks, {} domains", 50, 300, 5);
-    println!("{:<22} {:>8} {:>8} {:>8} {:>8} {:>8} {:>9}", "approach", "day1", "day2", "day3", "day4", "day5", "overall");
+    println!(
+        "ETA2 quickstart — {} users, {} tasks, {} domains",
+        50, 300, 5
+    );
+    println!(
+        "{:<22} {:>8} {:>8} {:>8} {:>8} {:>8} {:>9}",
+        "approach", "day1", "day2", "day3", "day4", "day5", "overall"
+    );
     for approach in [
         ApproachKind::Eta2,
         ApproachKind::TruthFinder,

@@ -56,10 +56,8 @@ fn main() {
     };
 
     // 2. Dynamic clustering + decayed expertise.
-    let mut clusterer = DynamicClusterer::new(
-        |a: &Vec<f32>, b: &Vec<f32>| pairword_distance(a, b),
-        0.6,
-    );
+    let mut clusterer =
+        DynamicClusterer::new(|a: &Vec<f32>, b: &Vec<f32>| pairword_distance(a, b), 0.6);
     let n_users = 6;
     let mut expertise = DynamicExpertise::new(n_users, 0.5, MleConfig::default());
     let mut rng = rand::rngs::StdRng::seed_from_u64(9);

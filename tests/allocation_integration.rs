@@ -90,9 +90,8 @@ fn allocators_respect_capacity_through_the_simulator() {
     }
 
     let mut rng = rand::rngs::StdRng::seed_from_u64(3);
-    let mut source = |user: UserId, task: &Task| {
-        ds.observe(user, &ds.tasks[task.id.0 as usize], &mut rng)
-    };
+    let mut source =
+        |user: UserId, task: &Task| ds.observe(user, &ds.tasks[task.id.0 as usize], &mut rng);
     let outcome = MinCostAllocator::new(MinCostConfig::default()).allocate(
         &tasks,
         &profiles,

@@ -30,7 +30,11 @@ fn all_users_zero_capacity_yields_uncovered_tasks_not_panics() {
         assert_eq!(m.total_cost, 0.0, "{}", approach.name());
         assert_eq!(m.uncovered_tasks, 12, "{}", approach.name());
         // No estimates exist, so daily errors are NaN by contract.
-        assert!(m.daily_error.iter().all(|e| e.is_nan()), "{}", approach.name());
+        assert!(
+            m.daily_error.iter().all(|e| e.is_nan()),
+            "{}",
+            approach.name()
+        );
     }
 }
 

@@ -59,11 +59,7 @@ fn eta2_beats_every_baseline_on_synthetic() {
         ApproachKind::Baseline,
     ] {
         let e = avg(other);
-        assert!(
-            eta2 < e,
-            "ETA2 {eta2:.4} not below {} {e:.4}",
-            other.name()
-        );
+        assert!(eta2 < e, "ETA2 {eta2:.4} not below {} {e:.4}", other.name());
     }
 }
 
@@ -138,11 +134,7 @@ fn mle_iteration_counts_match_fig12_shape() {
     let sim = small_sim();
     let m = sim.run(&ds, ApproachKind::Eta2, 0);
     assert!(!m.mle_iterations.is_empty());
-    let within_60 = m
-        .mle_iterations
-        .iter()
-        .filter(|&&it| it <= 60)
-        .count() as f64
+    let within_60 = m.mle_iterations.iter().filter(|&&it| it <= 60).count() as f64
         / m.mle_iterations.len() as f64;
     assert!(within_60 >= 0.9, "only {within_60:.2} within 60 iterations");
 }
