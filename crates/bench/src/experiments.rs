@@ -6,7 +6,7 @@ use crate::harness::{banner, row, Settings};
 use eta2_core::truth::mle::MleConfig;
 use eta2_sim::config::MinCostTuning;
 use eta2_sim::sweep::{average_over_seeds, sweep_tau};
-use eta2_sim::{train_embedding_for, ApproachKind, SimConfig, Simulation};
+use eta2_sim::{train_embedding_for, ApproachKind, FaultConfig, SimConfig, Simulation};
 use eta2_stats::chi_square::NormalityGofTest;
 use eta2_stats::descriptive::{empirical_cdf, Histogram, Summary};
 use eta2_stats::Normal;
@@ -141,7 +141,7 @@ pub fn fig4(settings: &Settings) -> Value {
 
     for (name, ds) in [("survey", settings.survey(0)), ("sfv", settings.sfv(0))] {
         let base = settings.sim_config();
-        let emb = train_embedding_for(&ds, &base);
+        let emb = train_embedding_for(&ds, &base).expect("embedding trains");
         eta2_obs::progress!("\n{name}: rows = alpha {alphas:?}, cols = gamma {gammas:?}");
         let mut grid = Vec::new();
         let mut best = (f64::INFINITY, 0.0, 0.0);
@@ -160,7 +160,8 @@ pub fn fig4(settings: &Settings) -> Value {
                     0,
                     |_| ds.clone(),
                     emb.as_ref(),
-                );
+                )
+                .expect("simulation runs");
                 if m.overall_error < best.0 {
                     best = (m.overall_error, alpha, gamma);
                 }
@@ -187,7 +188,8 @@ pub fn fig4(settings: &Settings) -> Value {
             alpha,
             ..settings.sim_config()
         });
-        let m = average_over_seeds(&sim, ApproachKind::Eta2, seeds, 0, |_| ds.clone(), None);
+        let m = average_over_seeds(&sim, ApproachKind::Eta2, seeds, 0, |_| ds.clone(), None)
+            .expect("simulation runs");
         cells.push(m.overall_error);
         series.push(json!({"alpha": alpha, "error": m.overall_error}));
     }
@@ -208,7 +210,7 @@ pub fn fig5(settings: &Settings) -> Value {
         ("synthetic", settings.synthetic(0)),
     ] {
         let config = settings.sim_config();
-        let emb = train_embedding_for(&ds, &config);
+        let emb = train_embedding_for(&ds, &config).expect("embedding trains");
         let sim = Simulation::new(config);
         eta2_obs::progress!("\n{name}: columns = day 1..5");
         let mut per_ds = serde_json::Map::new();
@@ -220,7 +222,8 @@ pub fn fig5(settings: &Settings) -> Value {
                 0,
                 |_| ds.clone(),
                 emb.as_ref(),
-            );
+            )
+            .expect("simulation runs");
             eta2_obs::progress!("{}", row(approach.name(), &m.daily_error));
             per_ds.insert(approach.name().into(), json!(m.daily_error));
         }
@@ -239,7 +242,7 @@ pub fn fig6(settings: &Settings) -> Value {
         ("synthetic", settings.synthetic(0)),
     ] {
         let config = settings.sim_config();
-        let emb = train_embedding_for(&ds, &config);
+        let emb = train_embedding_for(&ds, &config).expect("embedding trains");
         let sim = Simulation::new(config);
         let seeds = if name == "sfv" {
             (settings.seeds / 2).max(1)
@@ -249,7 +252,8 @@ pub fn fig6(settings: &Settings) -> Value {
         eta2_obs::progress!("\n{name}: columns = tau {TAUS:?}");
         let mut per_ds = serde_json::Map::new();
         for approach in ApproachKind::COMPARISON {
-            let points = sweep_tau(&sim, approach, &TAUS, seeds, |_| ds.clone(), emb.as_ref());
+            let points = sweep_tau(&sim, approach, &TAUS, seeds, |_| ds.clone(), emb.as_ref())
+                .expect("tau sweep runs");
             let errors: Vec<f64> = points.iter().map(|p| p.metrics.overall_error).collect();
             eta2_obs::progress!("{}", row(approach.name(), &errors));
             per_ds.insert(
@@ -276,7 +280,7 @@ pub fn fig7(settings: &Settings) -> Value {
             record_observations: true,
             ..settings.sim_config()
         };
-        let emb = train_embedding_for(&ds, &config);
+        let emb = train_embedding_for(&ds, &config).expect("embedding trains");
         let sim = Simulation::new(config);
         let m = average_over_seeds(
             &sim,
@@ -285,7 +289,8 @@ pub fn fig7(settings: &Settings) -> Value {
             0,
             |_| ds.clone(),
             emb.as_ref(),
-        );
+        )
+        .expect("simulation runs");
         let mut per_ds = serde_json::Map::new();
         for (label, by_true) in [("estimated", false), ("true", true)] {
             eta2_obs::progress!(
@@ -346,7 +351,8 @@ pub fn fig8(settings: &Settings) -> Value {
                 ds
             },
             None,
-        );
+        )
+        .expect("simulation runs");
         errors.push(m.overall_error);
     }
     eta2_obs::progress!("fraction uniform: {fractions:?}");
@@ -372,14 +378,15 @@ pub fn fig9_10(settings: &Settings) -> Value {
         ("synthetic", settings.synthetic(0)),
     ] {
         let base = settings.sim_config();
-        let emb = train_embedding_for(&ds, &base);
+        let emb = train_embedding_for(&ds, &base).expect("embedding trains");
         let seeds = (settings.seeds / 2).max(1);
         eta2_obs::progress!("\n{name}: columns = tau {TAUS:?}");
         let mut per_ds = serde_json::Map::new();
 
         let mut run = |label: String, config: SimConfig, approach: ApproachKind| {
             let sim = Simulation::new(config);
-            let points = sweep_tau(&sim, approach, &TAUS, seeds, |_| ds.clone(), emb.as_ref());
+            let points = sweep_tau(&sim, approach, &TAUS, seeds, |_| ds.clone(), emb.as_ref())
+                .expect("tau sweep runs");
             let errors: Vec<f64> = points.iter().map(|p| p.metrics.overall_error).collect();
             let costs: Vec<f64> = points.iter().map(|p| p.metrics.total_cost).collect();
             eta2_obs::progress!("{}", row(&format!("{label} error"), &errors));
@@ -448,7 +455,8 @@ pub fn fig11(settings: &Settings) -> Value {
         settings.seeds,
         |_| ds.clone(),
         None,
-    );
+    )
+    .expect("tau sweep runs");
     let errors: Vec<f64> = points
         .iter()
         .map(|p| p.metrics.expertise_error.expect("synthetic reports it"))
@@ -472,7 +480,7 @@ pub fn fig12(settings: &Settings) -> Value {
         ("synthetic", settings.synthetic(0)),
     ] {
         let config = settings.sim_config();
-        let emb = train_embedding_for(&ds, &config);
+        let emb = train_embedding_for(&ds, &config).expect("embedding trains");
         let sim = Simulation::new(config);
         let m = average_over_seeds(
             &sim,
@@ -481,7 +489,8 @@ pub fn fig12(settings: &Settings) -> Value {
             0,
             |_| ds.clone(),
             emb.as_ref(),
-        );
+        )
+        .expect("simulation runs");
         let iters: Vec<f64> = m.mle_iterations.iter().map(|&i| i as f64).collect();
         let cdf = empirical_cdf(&iters);
         let at = |x: f64| -> f64 {
@@ -543,7 +552,8 @@ pub fn table2(settings: &Settings) -> Value {
             0,
             |_| ds.clone(),
             None,
-        );
+        )
+        .expect("simulation runs");
         eta2_obs::progress!("\n{label}: users-assigned bucket | % of tasks | avg expertise");
         let total = m.assignment_stats.len().max(1);
         let mut rows = Vec::new();
@@ -597,7 +607,8 @@ pub fn ablations(settings: &Settings) -> Value {
                 },
                 ..settings.sim_config()
             });
-            let m = average_over_seeds(&sim, ApproachKind::Eta2, seeds, 0, |_| ds.clone(), None);
+            let m = average_over_seeds(&sim, ApproachKind::Eta2, seeds, 0, |_| ds.clone(), None)
+                .expect("simulation runs");
             eta2_obs::progress!("  {label:<24} {:.4}", m.overall_error);
             rows.push(json!({"variant": label, "error": m.overall_error}));
         }
@@ -673,7 +684,8 @@ pub fn ablations(settings: &Settings) -> Value {
             0,
             |_| ds.clone(),
             None,
-        );
+        )
+        .expect("simulation runs");
         let collapsed = average_over_seeds(
             &Simulation::new(SimConfig {
                 collapse_domains: true,
@@ -684,7 +696,8 @@ pub fn ablations(settings: &Settings) -> Value {
             0,
             |_| ds.clone(),
             None,
-        );
+        )
+        .expect("simulation runs");
         eta2_obs::progress!("  per-domain expertise  : {:.4}", normal.overall_error);
         eta2_obs::progress!("  collapsed (one domain): {:.4}", collapsed.overall_error);
         out.insert(
@@ -698,7 +711,7 @@ pub fn ablations(settings: &Settings) -> Value {
         let ds = settings.survey(0);
         eta2_obs::progress!("\nablation_clustering_quality (survey, overall error):");
         let config = settings.sim_config();
-        let emb = train_embedding_for(&ds, &config);
+        let emb = train_embedding_for(&ds, &config).expect("embedding trains");
         let learned = average_over_seeds(
             &Simulation::new(config),
             ApproachKind::Eta2,
@@ -706,7 +719,8 @@ pub fn ablations(settings: &Settings) -> Value {
             0,
             |_| ds.clone(),
             emb.as_ref(),
-        );
+        )
+        .expect("simulation runs");
         let mut oracle_ds = ds.clone();
         oracle_ds.domains_known = true;
         let oracle = average_over_seeds(
@@ -716,7 +730,8 @@ pub fn ablations(settings: &Settings) -> Value {
             0,
             |_| oracle_ds.clone(),
             None,
-        );
+        )
+        .expect("simulation runs");
         let collapsed = average_over_seeds(
             &Simulation::new(SimConfig {
                 collapse_domains: true,
@@ -727,7 +742,8 @@ pub fn ablations(settings: &Settings) -> Value {
             0,
             |_| ds.clone(),
             None,
-        );
+        )
+        .expect("simulation runs");
         eta2_obs::progress!("  oracle domains : {:.4}", oracle.overall_error);
         eta2_obs::progress!("  learned (pipeline): {:.4}", learned.overall_error);
         eta2_obs::progress!("  no domains     : {:.4}", collapsed.overall_error);
@@ -741,6 +757,57 @@ pub fn ablations(settings: &Settings) -> Value {
         );
     }
 
+    Value::Object(out)
+}
+
+/// Fault sweep — not a paper figure: estimation error and the robustness
+/// counters as the injected dropout / corruption rate grows (synthetic,
+/// ETA² vs the random baseline). Documents the graceful-degradation
+/// behaviour specified in DESIGN.md §7: error should rise smoothly with the
+/// fault rate while every run still completes.
+pub fn fault_sweep(settings: &Settings) -> Value {
+    banner("FAULTS", "graceful degradation vs injected fault rate");
+    let rates = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5];
+    let seeds = (settings.seeds / 2).max(1);
+    let ds = settings.synthetic(0);
+    let mut out = serde_json::Map::new();
+    for axis in ["dropout", "corrupt"] {
+        eta2_obs::progress!("\n{axis} rate: {rates:?}");
+        let mut per_axis = serde_json::Map::new();
+        for approach in [ApproachKind::Eta2, ApproachKind::Baseline] {
+            let mut errors = Vec::new();
+            let mut points = Vec::new();
+            for &rate in &rates {
+                let faults = match axis {
+                    "dropout" => FaultConfig {
+                        dropout_rate: rate,
+                        ..FaultConfig::default()
+                    },
+                    _ => FaultConfig {
+                        corrupt_rate: rate,
+                        ..FaultConfig::default()
+                    },
+                };
+                let sim = Simulation::new(SimConfig {
+                    faults,
+                    ..settings.sim_config()
+                });
+                let m = average_over_seeds(&sim, approach, seeds, 0, |_| ds.clone(), None)
+                    .expect("faulty runs degrade instead of failing");
+                errors.push(m.overall_error);
+                points.push(json!({
+                    "rate": rate,
+                    "error": m.overall_error,
+                    "faults_injected": m.faults_injected,
+                    "alloc_retries": m.alloc_retries,
+                    "uncovered_tasks": m.uncovered_tasks,
+                }));
+            }
+            eta2_obs::progress!("{}", row(approach.name(), &errors));
+            per_axis.insert(approach.name().into(), Value::Array(points));
+        }
+        out.insert(axis.to_string(), Value::Object(per_axis));
+    }
     Value::Object(out)
 }
 
@@ -779,6 +846,18 @@ mod tests {
         let v = fig8(&fast_settings());
         for point in v.as_array().unwrap() {
             assert!(point["error"].as_f64().unwrap().is_finite());
+        }
+    }
+
+    #[test]
+    fn fault_sweep_completes_with_finite_errors() {
+        let v = fault_sweep(&fast_settings());
+        for (_, per_axis) in v.as_object().unwrap() {
+            for (_, points) in per_axis.as_object().unwrap() {
+                for p in points.as_array().unwrap() {
+                    assert!(p["error"].as_f64().unwrap().is_finite());
+                }
+            }
         }
     }
 

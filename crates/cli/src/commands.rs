@@ -16,14 +16,21 @@ USAGE:
   eta2-cli generate --dataset <synthetic|survey|sfv> [--seed N] [--out FILE]
   eta2-cli simulate --dataset <name|FILE.json> [--approach NAME] [--seeds N]
                     [--alpha F] [--gamma F] [--tau F] [--days N]
+                    [--fault-dropout F] [--fault-corrupt F]
+                    [--fault-straggler F]
   eta2-cli domains  --dataset <survey|sfv|FILE.json> [--gamma F]
   eta2-cli bench    [<experiment-id>]        (default: all; ids: fig2 table1
                     fig4 fig5 fig6 fig7 fig8 fig9_10 fig11 fig12 table2
-                    ablations)
+                    ablations fault_sweep)
   eta2-cli help
 
 Approaches: eta2, eta2-mc, hubs, avglog, truthfinder, baseline, crh
             (default eta2)
+
+Fault injection (simulate): --fault-dropout / --fault-corrupt /
+  --fault-straggler take per-report rates in [0, 1]; faults are injected
+  deterministically from the run seed and the run degrades instead of
+  crashing.
 
 Observability (any command):
   --trace FILE   write structured JSONL trace events to FILE
@@ -85,10 +92,26 @@ pub fn simulate(args: &Args) -> Result<(), String> {
     let mut ds = resolve_dataset(args)?;
     let approach = resolve_approach(args)?;
     let seeds: u64 = args.get_parsed("seeds", 5u64)?;
+    let faults = eta2_sim::FaultConfig {
+        dropout_rate: args.get_parsed("fault-dropout", 0.0f64)?,
+        corrupt_rate: args.get_parsed("fault-corrupt", 0.0f64)?,
+        straggler_rate: args.get_parsed("fault-straggler", 0.0f64)?,
+        ..eta2_sim::FaultConfig::default()
+    };
+    for (flag, rate) in [
+        ("--fault-dropout", faults.dropout_rate),
+        ("--fault-corrupt", faults.corrupt_rate),
+        ("--fault-straggler", faults.straggler_rate),
+    ] {
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(format!("{flag} must be in [0, 1], got {rate}"));
+        }
+    }
     let config = SimConfig {
         alpha: args.get_parsed("alpha", SimConfig::default().alpha)?,
         gamma: args.get_parsed("gamma", SimConfig::default().gamma)?,
         days: args.get_parsed("days", SimConfig::default().days)?,
+        faults,
         ..SimConfig::default()
     };
     if let Some(tau) = args.get("tau") {
@@ -102,7 +125,7 @@ pub fn simulate(args: &Args) -> Result<(), String> {
     config.validate();
 
     let sim = Simulation::new(config);
-    let embedding = train_embedding_for(&ds, sim.config());
+    let embedding = train_embedding_for(&ds, sim.config()).map_err(|e| e.to_string())?;
     eta2_obs::detail!(
         "simulating {} on {} ({} users, {} tasks), {} seeds",
         approach.name(),
@@ -118,7 +141,8 @@ pub fn simulate(args: &Args) -> Result<(), String> {
         0,
         |_| ds.clone(),
         embedding.as_ref(),
-    );
+    )
+    .map_err(|e| e.to_string())?;
     for (d, e) in avg.daily_error.iter().enumerate() {
         eta2_obs::detail!("  day {}: error {e:.4}", d + 1);
     }
@@ -126,6 +150,14 @@ pub fn simulate(args: &Args) -> Result<(), String> {
     eta2_obs::progress!("  total cost:    {:.1}", avg.total_cost);
     if let Some(ee) = avg.expertise_error {
         eta2_obs::progress!("  expertise MAE: {ee:.4}");
+    }
+    if faults.is_active() {
+        eta2_obs::progress!(
+            "  faults injected: {} ({} re-allocations, {} uncovered)",
+            avg.faults_injected,
+            avg.alloc_retries,
+            avg.uncovered_tasks
+        );
     }
     Ok(())
 }
@@ -141,9 +173,11 @@ pub fn domains(args: &Args) -> Result<(), String> {
         gamma: args.get_parsed("gamma", SimConfig::default().gamma)?,
         ..SimConfig::default()
     };
-    let embedding =
-        train_embedding_for(&ds, &config).ok_or("dataset needs descriptions".to_string())?;
-    let mut tracker = eta2_sim::pipeline::DomainTracker::new(&ds, Some(&embedding), &config);
+    let embedding = train_embedding_for(&ds, &config)
+        .map_err(|e| e.to_string())?
+        .ok_or("dataset needs descriptions".to_string())?;
+    let mut tracker = eta2_sim::pipeline::DomainTracker::new(&ds, Some(&embedding), &config)
+        .map_err(|e| e.to_string())?;
     let all: Vec<usize> = (0..ds.tasks.len()).collect();
     let batch = tracker.identify(&ds, &all);
 
@@ -183,6 +217,7 @@ pub fn bench(args: &Args) -> Result<(), String> {
         ("fig12", ex::fig12),
         ("table2", ex::table2),
         ("ablations", ex::ablations),
+        ("fault_sweep", ex::fault_sweep),
     ];
     match args.positional(1) {
         None => {

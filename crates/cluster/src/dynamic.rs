@@ -253,6 +253,66 @@ impl<P, M: Fn(&P, &P) -> f64> DynamicClusterer<P, M> {
             (self.metric)(&self.points[i], &self.points[j])
         })
     }
+
+    /// Captures everything but the metric as a serializable snapshot, for
+    /// checkpoint/restore of long-running services.
+    pub fn state(&self) -> ClustererState<P>
+    where
+        P: Clone,
+    {
+        ClustererState {
+            gamma: self.gamma,
+            points: self.points.clone(),
+            domains: self.domains.clone(),
+            d_star: self.d_star,
+            next_id: self.next_id,
+            warmed: self.warmed,
+        }
+    }
+
+    /// Rebuilds a clusterer from a [`ClustererState`] snapshot and the
+    /// (non-serializable) metric it was running with. The restored
+    /// clusterer continues exactly where [`DynamicClusterer::state`] left
+    /// off.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ state.gamma ≤ 1`.
+    pub fn from_state(metric: M, state: ClustererState<P>) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&state.gamma),
+            "gamma must be in [0, 1], got {}",
+            state.gamma
+        );
+        DynamicClusterer {
+            metric,
+            gamma: state.gamma,
+            points: state.points,
+            domains: state.domains,
+            d_star: state.d_star,
+            next_id: state.next_id,
+            warmed: state.warmed,
+        }
+    }
+}
+
+/// Serializable snapshot of a [`DynamicClusterer`], minus its metric —
+/// produced by [`DynamicClusterer::state`], consumed by
+/// [`DynamicClusterer::from_state`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClustererState<P> {
+    /// Threshold fraction `γ`.
+    pub gamma: f64,
+    /// Every point seen so far, in insertion order.
+    pub points: Vec<P>,
+    /// Live domains: `(id, member point indices)`.
+    pub domains: Vec<(DomainId, Vec<usize>)>,
+    /// The reference distance `d*` fixed at warm-up.
+    pub d_star: f64,
+    /// Next fresh domain id.
+    pub next_id: DomainId,
+    /// Whether warm-up has run.
+    pub warmed: bool,
 }
 
 #[cfg(test)]
@@ -360,6 +420,33 @@ mod tests {
     fn add_before_warm_up_panics() {
         let mut dc = DynamicClusterer::new(abs_metric as fn(&f64, &f64) -> f64, 0.3);
         dc.add(vec![1.0]);
+    }
+
+    #[test]
+    fn state_roundtrip_continues_identically() {
+        let (mut dc, _) = warmed();
+        dc.add(vec![0.1, 50.0]);
+        let state = dc.state();
+        let json = serde_json::to_string(&state).unwrap();
+        let back: ClustererState<f64> = serde_json::from_str(&json).unwrap();
+        assert_eq!(state, back);
+        let mut restored = DynamicClusterer::from_state(abs_metric as fn(&f64, &f64) -> f64, back);
+        assert_eq!(restored.domains(), dc.domains());
+        assert_eq!(restored.d_star(), dc.d_star());
+        // Both continue identically on the same batch.
+        let a = dc.add(vec![10.3, 99.0]);
+        let b = restored.add(vec![10.3, 99.0]);
+        assert_eq!(a, b);
+        assert_eq!(restored.domains(), dc.domains());
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma must be in [0, 1]")]
+    fn from_state_validates_gamma() {
+        let (dc, _) = warmed();
+        let mut state = dc.state();
+        state.gamma = 7.0;
+        DynamicClusterer::from_state(abs_metric as fn(&f64, &f64) -> f64, state);
     }
 
     #[test]

@@ -37,5 +37,5 @@ pub mod dynamic;
 pub mod hierarchical;
 
 pub use distance::DistanceMatrix;
-pub use dynamic::{DomainEvent, DynamicClusterer, DynamicUpdate};
+pub use dynamic::{ClustererState, DomainEvent, DynamicClusterer, DynamicUpdate};
 pub use hierarchical::{Clustering, HierarchicalClusterer};

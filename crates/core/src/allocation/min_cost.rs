@@ -29,13 +29,16 @@ use std::collections::BTreeMap;
 /// In the simulator this samples the observation model; in a deployment it
 /// would query the actual mobile user.
 pub trait DataSource {
-    /// The value user `user` reports for `task`.
-    fn collect(&mut self, user: crate::model::UserId, task: &Task) -> f64;
+    /// The value user `user` reports for `task`, or `None` when the user
+    /// drops out (never reports). The assignment stays made — and charged —
+    /// either way; a dropped task is retried with other users in later
+    /// rounds, up to [`MinCostConfig::max_retries`].
+    fn try_collect(&mut self, user: crate::model::UserId, task: &Task) -> Option<f64>;
 }
 
 impl<F: FnMut(crate::model::UserId, &Task) -> f64> DataSource for F {
-    fn collect(&mut self, user: crate::model::UserId, task: &Task) -> f64 {
-        self(user, task)
+    fn try_collect(&mut self, user: crate::model::UserId, task: &Task) -> Option<f64> {
+        Some(self(user, task))
     }
 }
 
@@ -53,8 +56,16 @@ pub struct MinCostConfig {
     pub round_budget: f64,
     /// Safety cap on rounds.
     pub max_rounds: usize,
+    /// How many rounds a task whose assignment produced no usable report
+    /// (dropout) is re-queued before being abandoned.
+    #[serde(default = "default_max_retries")]
+    pub max_retries: usize,
     /// MLE settings for the per-round truth analysis.
     pub mle: MleConfig,
+}
+
+fn default_max_retries() -> usize {
+    3
 }
 
 impl Default for MinCostConfig {
@@ -65,6 +76,7 @@ impl Default for MinCostConfig {
             confidence_alpha: 0.05,
             round_budget: 50.0,
             max_rounds: 100,
+            max_retries: default_max_retries(),
             mle: MleConfig::default(),
         }
     }
@@ -87,6 +99,8 @@ pub struct MinCostOutcome {
     pub rounds: usize,
     /// Whether every task met the quality gate.
     pub all_passed: bool,
+    /// Tasks given up on after `max_retries` dropout-wasted rounds.
+    pub abandoned: Vec<TaskId>,
     /// MLE iterations per round (feeds the paper's Fig. 12).
     pub mle_iterations: Vec<usize>,
 }
@@ -189,6 +203,8 @@ impl MinCostAllocator {
 
         let mut pending: Vec<Task> = tasks.to_vec();
         let mut rounds = 0;
+        let mut retry_counts: BTreeMap<TaskId, usize> = BTreeMap::new();
+        let mut abandoned: Vec<TaskId> = Vec::new();
 
         while !pending.is_empty() && rounds < cfg.max_rounds {
             rounds += 1;
@@ -213,13 +229,20 @@ impl MinCostAllocator {
                 break; // capacity exhausted: quality unreachable for the rest
             }
 
-            // (2) Collect data for the new pairs.
+            // (2) Collect data for the new pairs. A dropped-out user's
+            // assignment stays made (and charged), but contributes no
+            // observation; the affected task is retried below.
             let by_id: BTreeMap<TaskId, &Task> = pending.iter().map(|t| (t.id, t)).collect();
+            let mut dropped_this_round: Vec<TaskId> = Vec::new();
             for (task, users_assigned) in round_alloc.iter() {
                 let t = by_id[&task];
                 for &u in users_assigned {
-                    let x = source.collect(u, t);
-                    observations.insert(u, task, x);
+                    match source.try_collect(u, t) {
+                        Some(x) => {
+                            observations.insert(u, task, x);
+                        }
+                        None => dropped_this_round.push(task),
+                    }
                 }
             }
             allocation.merge(&round_alloc);
@@ -232,15 +255,48 @@ impl MinCostAllocator {
             truths = result.truths;
 
             // (4) Quality gate per pending task:
-            // Σ_{i assigned} u_ij² ≥ (Z_{α/2}/ε̄)².
+            // Σ_{i reported} u_ij² ≥ (Z_{α/2}/ε̄)².
+            // Summed over the users whose finite observation actually
+            // arrived — identical to summing over the assignment when no
+            // user drops out or corrupts their report.
             pending.retain(|t| {
-                let sq: f64 = allocation
-                    .users_for(t.id)
-                    .iter()
-                    .map(|&u| expertise.get(u, t.domain).powi(2))
-                    .sum();
+                let sq: f64 = observations
+                    .for_task(t.id)
+                    .map(|obs| {
+                        obs.iter()
+                            .filter(|&&(_, x)| x.is_finite())
+                            .map(|&(u, _)| expertise.get(u, t.domain).powi(2))
+                            .sum()
+                    })
+                    .unwrap_or(0.0);
                 sq < need_sq // keep (still pending) if not yet enough
             });
+
+            // (5) Dropout retries: a task that lost a report this round and
+            // is still below the gate gets a bounded number of extra
+            // chances; past the cap it is abandoned so one unreachable
+            // task cannot burn the whole budget.
+            dropped_this_round.sort_unstable();
+            dropped_this_round.dedup();
+            for task in dropped_this_round {
+                if !pending.iter().any(|t| t.id == task) {
+                    continue;
+                }
+                let attempts = retry_counts.entry(task).or_insert(0);
+                *attempts += 1;
+                if *attempts > cfg.max_retries {
+                    pending.retain(|t| t.id != task);
+                    abandoned.push(task);
+                } else {
+                    eta2_obs::counter("alloc.retry", 1);
+                    let attempt = *attempts as u64;
+                    eta2_obs::emit_with(|| eta2_obs::Event::AllocationRetry {
+                        strategy: "min_cost",
+                        task: task.0 as u64,
+                        attempt,
+                    });
+                }
+            }
 
             eta2_obs::emit_with(|| eta2_obs::Event::AllocationRound {
                 round: rounds as u64,
@@ -251,21 +307,23 @@ impl MinCostAllocator {
         }
 
         let total_cost = allocation.total_cost(tasks);
+        let all_passed = pending.is_empty() && abandoned.is_empty();
         eta2_obs::emit_with(|| eta2_obs::Event::AllocationOutcome {
             strategy: "min_cost",
             assignments: allocation.assignment_count() as u64,
             total_cost,
             rounds: rounds as u64,
-            all_passed: pending.is_empty(),
+            all_passed,
         });
         MinCostOutcome {
-            all_passed: pending.is_empty(),
+            all_passed,
             allocation,
             observations,
             truths,
             expertise,
             total_cost,
             rounds,
+            abandoned,
             mle_iterations,
         }
     }
@@ -289,10 +347,10 @@ mod tests {
     }
 
     impl DataSource for ModelSource {
-        fn collect(&mut self, user: UserId, task: &Task) -> f64 {
+        fn try_collect(&mut self, user: UserId, task: &Task) -> Option<f64> {
             let mu = self.truths[&task.id];
             let u = self.user_expertise[user.0 as usize];
-            mu + eta2_stats::normal::standard_sample(&mut self.rng) * self.sigma / u
+            Some(mu + eta2_stats::normal::standard_sample(&mut self.rng) * self.sigma / u)
         }
     }
 
@@ -442,6 +500,78 @@ mod tests {
             tight.total_cost,
             loose.total_cost
         );
+    }
+
+    #[test]
+    fn dropped_task_is_retried_and_recovers() {
+        // The first report for task 0 is dropped; everything afterwards
+        // arrives. The allocator must re-queue the task and still pass.
+        struct FirstDropSource {
+            inner: ModelSource,
+            dropped_once: bool,
+        }
+        impl DataSource for FirstDropSource {
+            fn try_collect(&mut self, user: UserId, task: &Task) -> Option<f64> {
+                if task.id == TaskId(0) && !self.dropped_once {
+                    self.dropped_once = true;
+                    return None;
+                }
+                self.inner.try_collect(user, task)
+            }
+        }
+        let (tasks, users, inner) = world(3, vec![2.0; 25], 7);
+        let mut source = FirstDropSource {
+            inner,
+            dropped_once: false,
+        };
+        let out = MinCostAllocator::default().allocate(
+            &tasks,
+            &users,
+            &ExpertiseMatrix::new(25),
+            &mut source,
+        );
+        assert!(source.dropped_once);
+        assert!(out.all_passed, "abandoned: {:?}", out.abandoned);
+        assert!(out.abandoned.is_empty());
+        // The dropped pair was charged but yielded no observation.
+        assert_eq!(
+            out.observations.len() + 1,
+            out.allocation.assignment_count()
+        );
+    }
+
+    #[test]
+    fn fully_dropped_task_is_abandoned_after_capped_retries() {
+        // Nobody ever reports for task 1: after max_retries wasted rounds
+        // the allocator must give up on it, while the others still pass.
+        struct BlackHoleSource {
+            inner: ModelSource,
+        }
+        impl DataSource for BlackHoleSource {
+            fn try_collect(&mut self, user: UserId, task: &Task) -> Option<f64> {
+                if task.id == TaskId(1) {
+                    return None;
+                }
+                self.inner.try_collect(user, task)
+            }
+        }
+        let (tasks, users, inner) = world(3, vec![2.0; 40], 8);
+        let mut source = BlackHoleSource { inner };
+        let cfg = MinCostConfig {
+            max_retries: 2,
+            ..MinCostConfig::default()
+        };
+        let out = MinCostAllocator::new(cfg).allocate(
+            &tasks,
+            &users,
+            &ExpertiseMatrix::new(40),
+            &mut source,
+        );
+        assert!(!out.all_passed);
+        assert_eq!(out.abandoned, vec![TaskId(1)]);
+        assert!(out.truths.contains_key(&TaskId(0)));
+        assert!(out.truths.contains_key(&TaskId(2)));
+        assert!(!out.observations.tasks().any(|t| t == TaskId(1)));
     }
 
     #[test]

@@ -32,6 +32,16 @@ pub enum CoreError {
         /// How many tasks still fail the quality gate.
         failing_tasks: usize,
     },
+    /// A report carried a non-finite value (NaN or ±Inf) where ingestion
+    /// requires finite numbers.
+    NonFiniteObservation {
+        /// Reporting user id.
+        user: u32,
+        /// Reported task id.
+        task: u32,
+        /// The offending value.
+        value: f64,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -49,6 +59,10 @@ impl fmt::Display for CoreError {
             CoreError::QualityUnreachable { failing_tasks } => write!(
                 f,
                 "capacity exhausted with {failing_tasks} tasks below the quality requirement"
+            ),
+            CoreError::NonFiniteObservation { user, task, value } => write!(
+                f,
+                "non-finite observation {value} from user {user} for task {task}"
             ),
         }
     }
@@ -69,6 +83,12 @@ mod tests {
         assert!(e.to_string().contains('7'));
         let e = CoreError::QualityUnreachable { failing_tasks: 2 };
         assert!(e.to_string().contains("2 tasks"));
+        let e = CoreError::NonFiniteObservation {
+            user: 1,
+            task: 4,
+            value: f64::NAN,
+        };
+        assert!(e.to_string().contains("non-finite"));
     }
 
     #[test]

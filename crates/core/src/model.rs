@@ -195,6 +195,14 @@ impl ObservationSet {
                 .map(move |(&user, &value)| Observation { user, task, value })
         })
     }
+
+    /// The first non-finite observation in (task, user) order, if any —
+    /// used by ingestion boundaries that reject corrupted batches outright.
+    pub fn first_non_finite(&self) -> Option<(UserId, TaskId, f64)> {
+        self.iter()
+            .find(|o| !o.value.is_finite())
+            .map(|o| (o.user, o.task, o.value))
+    }
 }
 
 impl FromIterator<Observation> for ObservationSet {
@@ -390,6 +398,17 @@ mod tests {
         // Merge replaces collisions with the incoming value.
         assert_eq!(b.for_task(TaskId(0)).unwrap()[0].1, 1.0);
         assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn first_non_finite_finds_corruption() {
+        let mut obs = ObservationSet::new();
+        obs.insert(UserId(0), TaskId(0), 1.0);
+        assert_eq!(obs.first_non_finite(), None);
+        obs.insert(UserId(2), TaskId(1), f64::NAN);
+        let (u, t, v) = obs.first_non_finite().unwrap();
+        assert_eq!((u, t), (UserId(2), TaskId(1)));
+        assert!(v.is_nan());
     }
 
     #[test]

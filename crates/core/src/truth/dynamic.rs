@@ -162,16 +162,35 @@ impl DynamicExpertise {
             domain: DomainId,
             obs: Vec<(UserId, f64)>,
         }
-        let batch: Vec<TaskData> = tasks
-            .iter()
-            .filter_map(|t| {
-                obs.for_task(t.id).map(|o| TaskData {
-                    id: t.id,
-                    domain: t.domain,
-                    obs: o,
-                })
-            })
-            .collect();
+        // Non-finite observations (corrupted reports) are rejected at the
+        // boundary, mirroring `ExpertiseAwareMle::estimate_with_initial`.
+        let mut batch: Vec<TaskData> = Vec::new();
+        for t in tasks {
+            let Some(raw) = obs.for_task(t.id) else {
+                continue;
+            };
+            let n_raw = raw.len();
+            let finite: Vec<(UserId, f64)> =
+                raw.into_iter().filter(|&(_, x)| x.is_finite()).collect();
+            if finite.len() < n_raw {
+                eta2_obs::counter("mle.rejected_observations", (n_raw - finite.len()) as u64);
+            }
+            if finite.is_empty() {
+                eta2_obs::counter("mle.fallback", 1);
+                eta2_obs::emit_with(|| eta2_obs::Event::MleFallback {
+                    source: "dynamic",
+                    task: t.id.0 as u64,
+                    observations: 0,
+                    reason: "no_finite_observations",
+                });
+                continue;
+            }
+            batch.push(TaskData {
+                id: t.id,
+                domain: t.domain,
+                obs: finite,
+            });
+        }
         if batch.is_empty() {
             return BatchOutcome {
                 truths: BTreeMap::new(),
@@ -226,7 +245,14 @@ impl DynamicExpertise {
                     ss += u * u * (x - mu) * (x - mu);
                 }
                 let sigma = (ss / t.obs.len() as f64).sqrt().max(cfg.sigma_floor);
-                truths.insert(t.id, TruthEstimate { mu, sigma });
+                truths.insert(
+                    t.id,
+                    TruthEstimate {
+                        mu,
+                        sigma,
+                        fallback: false,
+                    },
+                );
             }
 
             // (2) Batch contributions ΔN/ΔD, then candidate expertise
@@ -272,9 +298,14 @@ impl DynamicExpertise {
                     let den = self.alpha * h.d + dd[i].d;
                     if n > 0.0 {
                         let s = cfg.prior_strength;
-                        col[i] = ((n + s) / (den + s).max(1e-12))
-                            .sqrt()
-                            .clamp(cfg.expertise_floor, cfg.expertise_cap);
+                        let raw = ((n + s) / (den + s).max(1e-12)).sqrt();
+                        // NaN only arises when gross (finite but enormous)
+                        // observations overflow the error accumulator.
+                        col[i] = if raw.is_finite() {
+                            raw.clamp(cfg.expertise_floor, cfg.expertise_cap)
+                        } else {
+                            cfg.expertise_floor
+                        };
                     }
                 }
             }
@@ -308,9 +339,43 @@ impl DynamicExpertise {
             prev_mu = truths.iter().map(|(&id, est)| (id, est.mu)).collect();
         }
 
+        // Degradation provenance on the batch truths: repair non-finite
+        // estimates with the plain mean, flag single-observation tasks.
+        for t in &batch {
+            let Some(est) = truths.get_mut(&t.id) else {
+                continue;
+            };
+            if !est.mu.is_finite() || !est.sigma.is_finite() {
+                let mean = t.obs.iter().map(|&(_, x)| x).sum::<f64>() / t.obs.len() as f64;
+                est.mu = mean;
+                est.sigma = cfg.sigma_floor;
+                est.fallback = true;
+                eta2_obs::counter("mle.fallback", 1);
+                eta2_obs::emit_with(|| eta2_obs::Event::MleFallback {
+                    source: "dynamic",
+                    task: t.id.0 as u64,
+                    observations: t.obs.len() as u64,
+                    reason: "diverged",
+                });
+            } else if t.obs.len() == 1 {
+                est.fallback = true;
+                eta2_obs::counter("mle.fallback", 1);
+                eta2_obs::emit_with(|| eta2_obs::Event::MleFallback {
+                    source: "dynamic",
+                    task: t.id.0 as u64,
+                    observations: 1,
+                    reason: "single_observation",
+                });
+            }
+        }
+
         // Commit: decay history once, add the batch contribution — but only
         // for (user, domain) pairs this batch touched (untouched pairs keep
         // an unchanged N/D ratio, so skipping their decay is equivalent).
+        // A pair whose batch error diverged (mean squared normalized error
+        // above the quarantine threshold — gross corruption or collusion)
+        // is quarantined: its contribution is dropped so one poisoned batch
+        // cannot destroy a user's accumulated standing in the domain.
         for &d in &affected {
             let dd = &delta[&d];
             if !self.acc.contains_key(&d) {
@@ -322,6 +387,16 @@ impl DynamicExpertise {
                 .or_insert_with(|| vec![Acc::default(); self.n_users]);
             for i in 0..self.n_users {
                 if dd[i].n > 0.0 {
+                    let mean_sq = dd[i].d / dd[i].n;
+                    if !mean_sq.is_finite() || mean_sq > cfg.quarantine_threshold {
+                        eta2_obs::counter("dynamic.quarantined", 1);
+                        eta2_obs::emit_with(|| eta2_obs::Event::UserQuarantined {
+                            user: i as u64,
+                            domain: d.0 as u64,
+                            mean_sq_error: mean_sq,
+                        });
+                        continue;
+                    }
                     per_user[i].n = self.alpha * per_user[i].n + dd[i].n;
                     per_user[i].d = self.alpha * per_user[i].d + dd[i].d;
                 }
@@ -523,6 +598,64 @@ mod tests {
         assert!(out.truths.is_empty());
         assert!(out.converged);
         assert_eq!(de.domains().count(), 0);
+    }
+
+    #[test]
+    fn quarantine_discards_diverging_update() {
+        // Users 0–3 agree closely; user 4 reports gross outliers. With a
+        // low quarantine threshold the outlier's batch contribution is
+        // dropped, leaving their expertise at the unseen-pair default.
+        let cfg = MleConfig {
+            quarantine_threshold: 2.0,
+            ..MleConfig::default()
+        };
+        let mut de = DynamicExpertise::new(5, 0.5, cfg);
+        let tasks = batch(0, 0, 20);
+        let mut obs = ObservationSet::new();
+        for t in &tasks {
+            for i in 0..4u32 {
+                obs.insert(UserId(i), t.id, 10.0 + 0.05 * i as f64);
+            }
+            obs.insert(UserId(4), t.id, 10_000.0);
+        }
+        de.ingest_batch(&tasks, &obs);
+        let d = DomainId(0);
+        assert_eq!(
+            de.expertise(UserId(4), d),
+            1.0,
+            "quarantined user must keep the fresh-pair default"
+        );
+        // Honest users' updates commit normally.
+        for i in 0..4u32 {
+            assert!(de.expertise(UserId(i), d) > 1.0, "user {i}");
+        }
+    }
+
+    #[test]
+    fn non_finite_reports_do_not_poison_expertise() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut clean = DynamicExpertise::new(4, 0.5, MleConfig::default());
+        let mut dirty = DynamicExpertise::new(4, 0.5, MleConfig::default());
+        let tasks = batch(0, 0, 25);
+        let (obs, _) = observe(&tasks, &[3.0, 1.0, 1.0, 0.4], &mut rng);
+        let mut corrupted = obs.clone();
+        // An extra all-garbage task plus NaN reports on a fresh task id
+        // must leave the shared tasks' outcome identical.
+        corrupted.insert(UserId(0), TaskId(900), f64::NAN);
+        corrupted.insert(UserId(1), TaskId(900), f64::INFINITY);
+        let mut tasks_plus = tasks.clone();
+        tasks_plus.push(Task::new(TaskId(900), DomainId(0), 1.0, 1.0));
+
+        let a = clean.ingest_batch(&tasks, &obs);
+        let b = dirty.ingest_batch(&tasks_plus, &corrupted);
+        assert!(!b.truths.contains_key(&TaskId(900)));
+        for t in &tasks {
+            assert_eq!(a.truths[&t.id], b.truths[&t.id]);
+        }
+        let d = DomainId(0);
+        for i in 0..4u32 {
+            assert_eq!(clean.expertise(UserId(i), d), dirty.expertise(UserId(i), d));
+        }
     }
 
     #[test]

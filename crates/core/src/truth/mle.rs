@@ -60,6 +60,18 @@ pub struct MleConfig {
     /// prior (a MAP estimate under a Gamma prior on `u²`) vanishes as data
     /// accumulates. `0` disables it (the paper-exact update).
     pub prior_strength: f64,
+    /// Mean squared normalized error above which a user's batch expertise
+    /// update is quarantined (discarded) by the dynamic update instead of
+    /// committed — see `truth::dynamic`. The default is far above anything
+    /// honest noise produces (clean-data errors are a few σ², i.e. ≲ 10²),
+    /// so only gross corruption or collusion trips it. Must be finite so
+    /// configs survive a JSON round trip.
+    #[serde(default = "default_quarantine_threshold")]
+    pub quarantine_threshold: f64,
+}
+
+fn default_quarantine_threshold() -> f64 {
+    1e9
 }
 
 impl Default for MleConfig {
@@ -72,6 +84,7 @@ impl Default for MleConfig {
             sigma_floor: 1e-6,
             leave_one_out: true,
             prior_strength: 1.0,
+            quarantine_threshold: default_quarantine_threshold(),
         }
     }
 }
@@ -83,6 +96,12 @@ pub struct TruthEstimate {
     pub mu: f64,
     /// Estimated base number (the normalization scale of the task).
     pub sigma: f64,
+    /// Degradation provenance: `true` when this estimate did not come from
+    /// the full expertise-weighted MLE — the task was under-observed (a
+    /// single usable report) or the iteration diverged and the estimate
+    /// fell back to the plain mean of the finite observations.
+    #[serde(default)]
+    pub fallback: bool,
 }
 
 /// The output of one MLE run.
@@ -158,21 +177,41 @@ impl ExpertiseAwareMle {
         let n_users = initial.n_users();
 
         // Materialize the batch: per task, its domain and observations.
+        // Non-finite observations (corrupted reports) are rejected here so
+        // the coordinate updates only ever see finite data; a task left
+        // with no usable observation is skipped entirely.
         struct TaskData {
             id: TaskId,
             domain: DomainId,
             obs: Vec<(UserId, f64)>,
         }
-        let batch: Vec<TaskData> = tasks
-            .iter()
-            .filter_map(|t| {
-                obs.for_task(t.id).map(|o| TaskData {
-                    id: t.id,
-                    domain: t.domain,
-                    obs: o,
-                })
-            })
-            .collect();
+        let mut batch: Vec<TaskData> = Vec::new();
+        for t in tasks {
+            let Some(raw) = obs.for_task(t.id) else {
+                continue;
+            };
+            let n_raw = raw.len();
+            let finite: Vec<(UserId, f64)> =
+                raw.into_iter().filter(|&(_, x)| x.is_finite()).collect();
+            if finite.len() < n_raw {
+                eta2_obs::counter("mle.rejected_observations", (n_raw - finite.len()) as u64);
+            }
+            if finite.is_empty() {
+                eta2_obs::counter("mle.fallback", 1);
+                eta2_obs::emit_with(|| eta2_obs::Event::MleFallback {
+                    source: "mle",
+                    task: t.id.0 as u64,
+                    observations: 0,
+                    reason: "no_finite_observations",
+                });
+                continue;
+            }
+            batch.push(TaskData {
+                id: t.id,
+                domain: t.domain,
+                obs: finite,
+            });
+        }
 
         let mut expertise = initial;
         let mut truths: BTreeMap<TaskId, TruthEstimate> = BTreeMap::new();
@@ -200,7 +239,14 @@ impl ExpertiseAwareMle {
                     ss += u * u * (x - mu) * (x - mu);
                 }
                 let sigma = (ss / t.obs.len() as f64).sqrt().max(cfg.sigma_floor);
-                truths.insert(t.id, TruthEstimate { mu, sigma });
+                truths.insert(
+                    t.id,
+                    TruthEstimate {
+                        mu,
+                        sigma,
+                        fallback: false,
+                    },
+                );
             }
 
             // (2) u_i^k given current truths: accumulate the N/D ratio.
@@ -236,9 +282,15 @@ impl ExpertiseAwareMle {
                 for (i, &(n, d)) in per_user.iter().enumerate() {
                     if n > 0.0 {
                         let s = cfg.prior_strength;
-                        let u = ((n + s) / (d + s).max(1e-12))
-                            .sqrt()
-                            .clamp(cfg.expertise_floor, cfg.expertise_cap);
+                        let raw = ((n + s) / (d + s).max(1e-12)).sqrt();
+                        // NaN only arises when gross (finite but enormous)
+                        // observations overflow the error accumulator;
+                        // treat that as "no demonstrated expertise".
+                        let u = if raw.is_finite() {
+                            raw.clamp(cfg.expertise_floor, cfg.expertise_cap)
+                        } else {
+                            cfg.expertise_floor
+                        };
                         expertise.set(UserId(i as u32), domain, u);
                     }
                 }
@@ -277,6 +329,39 @@ impl ExpertiseAwareMle {
             prev_mu = truths.iter().map(|(&id, est)| (id, est.mu)).collect();
         }
 
+        // Degradation provenance. A single-observation task's "MLE" is
+        // just that observation echoed back (mu = x, sigma = floor) — mark
+        // it as the mean-baseline fallback it effectively is. And if the
+        // iteration somehow produced a non-finite estimate, repair it with
+        // the plain mean of the task's finite observations.
+        for t in &batch {
+            let Some(est) = truths.get_mut(&t.id) else {
+                continue;
+            };
+            if !est.mu.is_finite() || !est.sigma.is_finite() {
+                let mean = t.obs.iter().map(|&(_, x)| x).sum::<f64>() / t.obs.len() as f64;
+                est.mu = mean;
+                est.sigma = cfg.sigma_floor;
+                est.fallback = true;
+                eta2_obs::counter("mle.fallback", 1);
+                eta2_obs::emit_with(|| eta2_obs::Event::MleFallback {
+                    source: "mle",
+                    task: t.id.0 as u64,
+                    observations: t.obs.len() as u64,
+                    reason: "diverged",
+                });
+            } else if t.obs.len() == 1 {
+                est.fallback = true;
+                eta2_obs::counter("mle.fallback", 1);
+                eta2_obs::emit_with(|| eta2_obs::Event::MleFallback {
+                    source: "mle",
+                    task: t.id.0 as u64,
+                    observations: 1,
+                    reason: "single_observation",
+                });
+            }
+        }
+
         eta2_obs::emit_with(|| eta2_obs::Event::MleOutcome {
             source: "mle",
             iterations: iterations as u64,
@@ -305,9 +390,21 @@ impl ExpertiseAwareMle {
         let cfg = &self.config;
         let mut truths = BTreeMap::new();
         for t in tasks {
-            let Some(observations) = obs.for_task(t.id) else {
+            let Some(raw) = obs.for_task(t.id) else {
                 continue;
             };
+            let observations: Vec<(UserId, f64)> =
+                raw.into_iter().filter(|&(_, x)| x.is_finite()).collect();
+            if observations.is_empty() {
+                eta2_obs::counter("mle.fallback", 1);
+                eta2_obs::emit_with(|| eta2_obs::Event::MleFallback {
+                    source: "dynamic",
+                    task: t.id.0 as u64,
+                    observations: 0,
+                    reason: "no_finite_observations",
+                });
+                continue;
+            }
             let mut wsum = 0.0;
             let mut wxsum = 0.0;
             for &(user, x) in &observations {
@@ -322,7 +419,31 @@ impl ExpertiseAwareMle {
                 ss += u * u * (x - mu) * (x - mu);
             }
             let sigma = (ss / observations.len() as f64).sqrt().max(cfg.sigma_floor);
-            truths.insert(t.id, TruthEstimate { mu, sigma });
+            let est = if mu.is_finite() && sigma.is_finite() {
+                TruthEstimate {
+                    mu,
+                    sigma,
+                    fallback: observations.len() == 1,
+                }
+            } else {
+                // Enormous-but-finite observations can overflow the
+                // weighted sums; degrade to the plain mean.
+                eta2_obs::counter("mle.fallback", 1);
+                eta2_obs::emit_with(|| eta2_obs::Event::MleFallback {
+                    source: "dynamic",
+                    task: t.id.0 as u64,
+                    observations: observations.len() as u64,
+                    reason: "diverged",
+                });
+                let mean =
+                    observations.iter().map(|&(_, x)| x).sum::<f64>() / observations.len() as f64;
+                TruthEstimate {
+                    mu: mean,
+                    sigma: cfg.sigma_floor,
+                    fallback: true,
+                }
+            };
+            truths.insert(t.id, est);
         }
         truths
     }
@@ -501,6 +622,53 @@ mod tests {
         assert_eq!(relative_change(2.0, 2.0), 0.0);
     }
 
+    #[test]
+    fn non_finite_observations_are_rejected() {
+        let tasks = make_tasks(2, 0);
+        let mut obs = ObservationSet::new();
+        // Task 0: two finite observations plus garbage — estimate must use
+        // only the finite pair and stay unflagged.
+        obs.insert(UserId(0), TaskId(0), 4.0);
+        obs.insert(UserId(1), TaskId(0), 6.0);
+        obs.insert(UserId(2), TaskId(0), f64::NAN);
+        obs.insert(UserId(3), TaskId(0), f64::INFINITY);
+        // Task 1: nothing but garbage — skipped entirely.
+        obs.insert(UserId(0), TaskId(1), f64::NEG_INFINITY);
+        let r = ExpertiseAwareMle::default().estimate(&tasks, &obs, 4);
+        let est = r.truths[&TaskId(0)];
+        assert!(est.mu.is_finite());
+        assert!((4.0..=6.0).contains(&est.mu));
+        assert!(!est.fallback);
+        assert!(!r.truths.contains_key(&TaskId(1)));
+    }
+
+    #[test]
+    fn single_observation_estimate_is_flagged_as_fallback() {
+        let tasks = make_tasks(1, 0);
+        let mut obs = ObservationSet::new();
+        obs.insert(UserId(0), TaskId(0), 5.0);
+        let r = ExpertiseAwareMle::default().estimate(&tasks, &obs, 1);
+        assert!(r.truths[&TaskId(0)].fallback);
+
+        let ex = ExpertiseMatrix::new(1);
+        let truths = ExpertiseAwareMle::default().truths_given_expertise(&tasks, &obs, &ex);
+        assert!(truths[&TaskId(0)].fallback);
+    }
+
+    #[test]
+    fn truths_given_expertise_rejects_non_finite() {
+        let tasks = make_tasks(1, 0);
+        let mut obs = ObservationSet::new();
+        obs.insert(UserId(0), TaskId(0), f64::NAN);
+        obs.insert(UserId(1), TaskId(0), 3.0);
+        obs.insert(UserId(2), TaskId(0), 5.0);
+        let ex = ExpertiseMatrix::new(3);
+        let truths = ExpertiseAwareMle::default().truths_given_expertise(&tasks, &obs, &ex);
+        let est = truths[&TaskId(0)];
+        assert!((est.mu - 4.0).abs() < 1e-12);
+        assert!(!est.fallback);
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(32))]
 
@@ -531,6 +699,56 @@ mod tests {
                 }
             }
             prop_assert!(r.iterations <= cfg.max_iterations);
+        }
+
+        /// Corrupted crowds never panic the solver: observation sets laced
+        /// with NaN/±Inf (and tasks left with no usable report) yield
+        /// finite estimates for every estimated task, or no estimate at
+        /// all — never a crash, never a non-finite truth.
+        #[test]
+        fn corrupted_observations_never_panic(
+            seed in 0u64..300,
+            n_users in 1usize..6,
+            m in 1u32..10,
+            corrupt_pct in 0u32..=100,
+        ) {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let tasks = make_tasks(m, 0);
+            let mut obs = ObservationSet::new();
+            for t in &tasks {
+                for i in 0..n_users {
+                    if !rng.gen_bool(0.8) {
+                        continue; // some tasks end up empty
+                    }
+                    let x = if rng.gen_range(0..100) < corrupt_pct {
+                        *[f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 1e300]
+                            .iter()
+                            .nth(rng.gen_range(0..4))
+                            .unwrap()
+                    } else {
+                        rng.gen_range(-100.0..100.0)
+                    };
+                    obs.insert(UserId(i as u32), t.id, x);
+                }
+            }
+            let cfg = MleConfig::default();
+            let r = ExpertiseAwareMle::new(cfg).estimate(&tasks, &obs, n_users);
+            for est in r.truths.values() {
+                prop_assert!(est.mu.is_finite());
+                prop_assert!(est.sigma.is_finite() && est.sigma >= cfg.sigma_floor);
+            }
+            for d in r.expertise.domains() {
+                for i in 0..n_users {
+                    let u = r.expertise.get(UserId(i as u32), d);
+                    prop_assert!(u.is_finite());
+                }
+            }
+            let truths = ExpertiseAwareMle::new(cfg)
+                .truths_given_expertise(&tasks, &obs, &ExpertiseMatrix::new(n_users));
+            for est in truths.values() {
+                prop_assert!(est.mu.is_finite());
+                prop_assert!(est.sigma.is_finite());
+            }
         }
 
         /// Truth estimates always lie within the observed range (they are

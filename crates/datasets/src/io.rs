@@ -2,27 +2,61 @@
 //!
 //! Generated datasets are cheap to re-create, but persisting them lets
 //! experiment runs be audited and diffed (EXPERIMENTS.md references the
-//! exact inputs). Plain `serde_json` over [`crate::Dataset`].
+//! exact inputs). Plain `serde_json` over [`crate::Dataset`], plus boundary
+//! validation on load so corrupt files are rejected before they reach the
+//! simulation or the solver.
 
 use crate::types::Dataset;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
-/// Error returned by dataset I/O.
+/// Error returned by dataset I/O. Every variant carries the offending path
+/// so failures deep in an experiment sweep remain diagnosable.
 #[derive(Debug)]
 pub enum IoError {
     /// Underlying filesystem error.
-    Io(std::io::Error),
+    Io {
+        /// The file the operation targeted.
+        path: PathBuf,
+        /// Underlying cause.
+        source: std::io::Error,
+    },
     /// (De)serialization error.
-    Json(serde_json::Error),
+    Json {
+        /// The file the operation targeted.
+        path: PathBuf,
+        /// Underlying cause.
+        source: serde_json::Error,
+    },
+    /// The file parsed, but its contents violate a dataset invariant
+    /// (non-finite numbers, inconsistent dimensions, …).
+    Corrupt {
+        /// The file the dataset was loaded from.
+        path: PathBuf,
+        /// What invariant was violated.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for IoError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            IoError::Io(e) => write!(f, "dataset file i/o failed: {e}"),
-            IoError::Json(e) => write!(f, "dataset (de)serialization failed: {e}"),
+            IoError::Io { path, source } => {
+                write!(
+                    f,
+                    "dataset file i/o failed for {}: {source}",
+                    path.display()
+                )
+            }
+            IoError::Json { path, source } => write!(
+                f,
+                "dataset (de)serialization failed for {}: {source}",
+                path.display()
+            ),
+            IoError::Corrupt { path, detail } => {
+                write!(f, "corrupt dataset {}: {detail}", path.display())
+            }
         }
     }
 }
@@ -30,22 +64,84 @@ impl std::fmt::Display for IoError {
 impl std::error::Error for IoError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            IoError::Io(e) => Some(e),
-            IoError::Json(e) => Some(e),
+            IoError::Io { source, .. } => Some(source),
+            IoError::Json { source, .. } => Some(source),
+            IoError::Corrupt { .. } => None,
         }
     }
 }
 
-impl From<std::io::Error> for IoError {
-    fn from(e: std::io::Error) -> Self {
-        IoError::Io(e)
+/// Checks the invariants every well-formed [`Dataset`] satisfies. Returns
+/// the first violation as a human-readable description.
+fn validate(ds: &Dataset) -> Result<(), String> {
+    if ds.n_domains == 0 {
+        return Err("n_domains must be positive".into());
     }
-}
-
-impl From<serde_json::Error> for IoError {
-    fn from(e: serde_json::Error) -> Self {
-        IoError::Json(e)
+    if !(0.0..=1.0).contains(&ds.noise.uniform_bias_fraction) {
+        return Err(format!(
+            "noise.uniform_bias_fraction {} outside [0, 1]",
+            ds.noise.uniform_bias_fraction
+        ));
     }
+    for (i, u) in ds.users.iter().enumerate() {
+        if u.id.0 as usize != i {
+            return Err(format!(
+                "user ids must be dense and ordered; slot {i} holds id {}",
+                u.id.0
+            ));
+        }
+        if !u.capacity.is_finite() || u.capacity < 0.0 {
+            return Err(format!(
+                "user {i} capacity {} is not finite and non-negative",
+                u.capacity
+            ));
+        }
+        if u.expertise.len() != ds.n_domains {
+            return Err(format!(
+                "user {i} has {} expertise entries for {} domains",
+                u.expertise.len(),
+                ds.n_domains
+            ));
+        }
+        if let Some(e) = u.expertise.iter().find(|e| !e.is_finite() || **e < 0.0) {
+            return Err(format!(
+                "user {i} expertise {e} is not finite and non-negative"
+            ));
+        }
+    }
+    for (i, t) in ds.tasks.iter().enumerate() {
+        if (t.oracle_domain.0 as usize) >= ds.n_domains {
+            return Err(format!(
+                "task {i} oracle_domain {} out of range for {} domains",
+                t.oracle_domain.0, ds.n_domains
+            ));
+        }
+        if !t.ground_truth.is_finite() {
+            return Err(format!(
+                "task {i} ground_truth {} is not finite",
+                t.ground_truth
+            ));
+        }
+        if !t.base_sigma.is_finite() || t.base_sigma <= 0.0 {
+            return Err(format!(
+                "task {i} base_sigma {} is not finite and positive",
+                t.base_sigma
+            ));
+        }
+        if !t.processing_time.is_finite() || t.processing_time <= 0.0 {
+            return Err(format!(
+                "task {i} processing_time {} is not finite and positive",
+                t.processing_time
+            ));
+        }
+        if !t.cost.is_finite() || t.cost < 0.0 {
+            return Err(format!(
+                "task {i} cost {} is not finite and non-negative",
+                t.cost
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// Saves `dataset` as pretty-printed JSON at `path`.
@@ -54,19 +150,45 @@ impl From<serde_json::Error> for IoError {
 ///
 /// Returns [`IoError`] on filesystem or serialization failure.
 pub fn save_dataset<P: AsRef<Path>>(dataset: &Dataset, path: P) -> Result<(), IoError> {
-    let file = File::create(path)?;
-    serde_json::to_writer_pretty(BufWriter::new(file), dataset)?;
+    let path = path.as_ref();
+    let file = File::create(path).map_err(|source| IoError::Io {
+        path: path.to_path_buf(),
+        source,
+    })?;
+    serde_json::to_writer_pretty(BufWriter::new(file), dataset).map_err(|source| {
+        IoError::Json {
+            path: path.to_path_buf(),
+            source,
+        }
+    })?;
     Ok(())
 }
 
-/// Loads a dataset from JSON at `path`.
+/// Loads a dataset from JSON at `path` and validates it: all numeric fields
+/// must be finite, dimensions consistent, domains in range. A file that
+/// parses but violates an invariant is rejected with [`IoError::Corrupt`]
+/// so garbage never reaches the solver.
 ///
 /// # Errors
 ///
-/// Returns [`IoError`] on filesystem or deserialization failure.
+/// Returns [`IoError`] on filesystem or deserialization failure, or
+/// [`IoError::Corrupt`] when the parsed dataset is invalid.
 pub fn load_dataset<P: AsRef<Path>>(path: P) -> Result<Dataset, IoError> {
-    let file = File::open(path)?;
-    Ok(serde_json::from_reader(BufReader::new(file))?)
+    let path = path.as_ref();
+    let file = File::open(path).map_err(|source| IoError::Io {
+        path: path.to_path_buf(),
+        source,
+    })?;
+    let ds: Dataset =
+        serde_json::from_reader(BufReader::new(file)).map_err(|source| IoError::Json {
+            path: path.to_path_buf(),
+            source,
+        })?;
+    validate(&ds).map_err(|detail| IoError::Corrupt {
+        path: path.to_path_buf(),
+        detail,
+    })?;
+    Ok(ds)
 }
 
 #[cfg(test)]
@@ -74,15 +196,19 @@ mod tests {
     use super::*;
     use crate::synthetic::SyntheticConfig;
 
-    #[test]
-    fn save_load_roundtrip() {
-        let ds = SyntheticConfig {
+    fn small_dataset() -> Dataset {
+        SyntheticConfig {
             n_users: 4,
             n_tasks: 6,
             n_domains: 2,
             ..SyntheticConfig::default()
         }
-        .generate(0);
+        .generate(0)
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let ds = small_dataset();
         let dir = std::env::temp_dir().join("eta2_io_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("ds.json");
@@ -95,8 +221,9 @@ mod tests {
     #[test]
     fn load_missing_file_errors() {
         let err = load_dataset("/nonexistent/definitely/missing.json").unwrap_err();
-        assert!(matches!(err, IoError::Io(_)));
+        assert!(matches!(err, IoError::Io { .. }));
         assert!(err.to_string().contains("i/o"));
+        assert!(err.to_string().contains("missing.json"));
     }
 
     #[test]
@@ -106,7 +233,44 @@ mod tests {
         let path = dir.join("garbage.json");
         std::fs::write(&path, b"not json at all").unwrap();
         let err = load_dataset(&path).unwrap_err();
-        assert!(matches!(err, IoError::Json(_)));
+        assert!(matches!(err, IoError::Json { .. }));
+        assert!(err.to_string().contains("garbage.json"));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_out_of_range_domain() {
+        let mut ds = small_dataset();
+        ds.tasks[2].oracle_domain = eta2_core::model::DomainId(99);
+        let dir = std::env::temp_dir().join("eta2_io_test3");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad_domain.json");
+        save_dataset(&ds, &path).unwrap();
+        let err = load_dataset(&path).unwrap_err();
+        assert!(matches!(err, IoError::Corrupt { .. }), "{err}");
+        assert!(err.to_string().contains("oracle_domain"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_negative_sigma() {
+        let mut ds = small_dataset();
+        ds.tasks[0].base_sigma = -1.0;
+        let dir = std::env::temp_dir().join("eta2_io_test4");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad_sigma.json");
+        save_dataset(&ds, &path).unwrap();
+        let err = load_dataset(&path).unwrap_err();
+        assert!(matches!(err, IoError::Corrupt { .. }), "{err}");
+        assert!(err.to_string().contains("base_sigma"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn validate_catches_expertise_dimension_mismatch() {
+        let mut ds = small_dataset();
+        ds.users[1].expertise.pop();
+        let detail = validate(&ds).unwrap_err();
+        assert!(detail.contains("expertise entries"));
     }
 }

@@ -42,9 +42,10 @@
 //!
 //! // Run ETA² for five simulated days and read the error trajectory.
 //! let sim = Simulation::new(SimConfig::default());
-//! let metrics = sim.run(&dataset, ApproachKind::Eta2, 0);
+//! let metrics = sim.run(&dataset, ApproachKind::Eta2, 0)?;
 //! println!("daily estimation error: {:?}", metrics.daily_error);
 //! assert!(metrics.overall_error.is_finite());
+//! # Ok::<(), eta2::sim::PipelineError>(())
 //! ```
 //!
 //! The runnable examples in `examples/` cover the full pipeline (noise

@@ -140,6 +140,49 @@ pub enum Event {
         /// Short human-readable outcome description.
         detail: String,
     },
+    /// The fault harness injected one fault into the crowd's behaviour.
+    FaultInjected {
+        /// `"dropout"`, `"corrupt"`, `"straggler"` or `"collusion"`.
+        kind: &'static str,
+        /// 0-based simulated day.
+        day: u64,
+        /// Affected user id.
+        user: u64,
+        /// Affected task id.
+        task: u64,
+    },
+    /// Truth analysis fell back from the full MLE for one task.
+    MleFallback {
+        /// `"mle"` or `"dynamic"`.
+        source: &'static str,
+        /// Task id.
+        task: u64,
+        /// Finite observations available for the task.
+        observations: u64,
+        /// Why the fallback fired, e.g. `"no_finite_observations"`.
+        reason: &'static str,
+    },
+    /// An allocator re-queued a task whose assignment produced no usable
+    /// report (dropout).
+    AllocationRetry {
+        /// `"min_cost"` or `"engine"` (day-level re-allocation).
+        strategy: &'static str,
+        /// Task id.
+        task: u64,
+        /// 1-based retry attempt for this task.
+        attempt: u64,
+    },
+    /// Dynamic expertise quarantined a diverging user's update instead of
+    /// committing it to the domain.
+    UserQuarantined {
+        /// User id.
+        user: u64,
+        /// Domain id.
+        domain: u64,
+        /// Mean squared normalized error that tripped the threshold
+        /// (non-finite serializes as `null`).
+        mean_sq_error: f64,
+    },
 }
 
 impl Event {
@@ -156,6 +199,10 @@ impl Event {
             Event::SimDay { .. } => "sim_day",
             Event::RunSummary { .. } => "run_summary",
             Event::ServerRequest { .. } => "server_request",
+            Event::FaultInjected { .. } => "fault_injected",
+            Event::MleFallback { .. } => "mle_fallback",
+            Event::AllocationRetry { .. } => "alloc_retry",
+            Event::UserQuarantined { .. } => "user_quarantined",
         }
     }
 
@@ -266,6 +313,46 @@ impl Event {
             }
             Event::ServerRequest { op, ok, detail } => {
                 o.str("op", op).bool("ok", *ok).str("detail", detail);
+            }
+            Event::FaultInjected {
+                kind,
+                day,
+                user,
+                task,
+            } => {
+                o.str("kind", kind)
+                    .u64("day", *day)
+                    .u64("user", *user)
+                    .u64("task", *task);
+            }
+            Event::MleFallback {
+                source,
+                task,
+                observations,
+                reason,
+            } => {
+                o.str("source", source)
+                    .u64("task", *task)
+                    .u64("observations", *observations)
+                    .str("reason", reason);
+            }
+            Event::AllocationRetry {
+                strategy,
+                task,
+                attempt,
+            } => {
+                o.str("strategy", strategy)
+                    .u64("task", *task)
+                    .u64("attempt", *attempt);
+            }
+            Event::UserQuarantined {
+                user,
+                domain,
+                mean_sq_error,
+            } => {
+                o.u64("user", *user)
+                    .u64("domain", *domain)
+                    .f64("mean_sq_error", *mean_sq_error);
             }
         }
         o.finish()
@@ -410,6 +497,40 @@ mod tests {
                     detail: "3 observations".into(),
                 },
                 vec!["op", "ok", "detail"],
+            ),
+            (
+                Event::FaultInjected {
+                    kind: "dropout",
+                    day: 2,
+                    user: 7,
+                    task: 11,
+                },
+                vec!["kind", "day", "user", "task"],
+            ),
+            (
+                Event::MleFallback {
+                    source: "mle",
+                    task: 4,
+                    observations: 0,
+                    reason: "no_finite_observations",
+                },
+                vec!["source", "task", "observations", "reason"],
+            ),
+            (
+                Event::AllocationRetry {
+                    strategy: "min_cost",
+                    task: 6,
+                    attempt: 1,
+                },
+                vec!["strategy", "task", "attempt"],
+            ),
+            (
+                Event::UserQuarantined {
+                    user: 3,
+                    domain: 1,
+                    mean_sq_error: f64::INFINITY,
+                },
+                vec!["user", "domain", "mean_sq_error"],
             ),
         ];
         for (ev, payload_keys) in cases {

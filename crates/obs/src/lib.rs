@@ -148,6 +148,15 @@ pub fn emit_with(make: impl FnOnce() -> Event) {
     }
 }
 
+/// Adds `delta` to the named counter in the global registry. No-op while
+/// metric recording is off, so call sites in hot loops cost one branch.
+#[inline]
+pub fn counter(name: &str, delta: u64) {
+    if metrics_enabled() {
+        registry::global().counter_add(name, delta);
+    }
+}
+
 /// Reads an environment boolean: `false` for unset, empty, `0`, `false`,
 /// `off` or `no` (case-insensitive); `true` for anything else.
 pub fn env_flag(name: &str) -> bool {

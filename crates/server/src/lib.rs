@@ -41,7 +41,7 @@
 //! }
 //!
 //! // 5. Ingest: truths come back, expertise is updated for the next day.
-//! let outcome = server.ingest(&reports);
+//! let outcome = server.ingest(&reports)?;
 //! assert_eq!(outcome.truths.len(), 2);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
@@ -54,10 +54,16 @@
 //!   warm-up role and fixes `d*`.
 //! * [`Eta2Server::with_known_domains`] — tasks arrive already labeled
 //!   with a domain (the synthetic-dataset situation, §6.1.3).
+//!
+//! Inputs are validated at the boundary (non-finite task numerics and
+//! reports are rejected as [`ServerError`]s before any state changes), and
+//! the whole server state checkpoints to a serde-serializable
+//! [`ServerSnapshot`] — [`Eta2Server::restore`] resumes exactly where
+//! [`Eta2Server::snapshot`] left off.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod server;
 
-pub use server::{Eta2Server, ServerConfig, ServerError, TaskInput};
+pub use server::{Eta2Server, ServerConfig, ServerError, ServerSnapshot, TaskInput};

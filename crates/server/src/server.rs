@@ -1,12 +1,14 @@
 //! The stateful ETA² server.
 
-use eta2_cluster::{DomainEvent, DynamicClusterer};
+use eta2_cluster::{ClustererState, DomainEvent, DynamicClusterer};
 use eta2_core::allocation::min_cost::DataSource;
 use eta2_core::allocation::{
     Allocation, MaxQualityAllocator, MaxQualityConfig, MinCostAllocator, MinCostConfig,
     MinCostOutcome,
 };
-use eta2_core::model::{DomainId, ExpertiseMatrix, ObservationSet, Task, TaskId, UserProfile};
+use eta2_core::model::{
+    DomainId, ExpertiseMatrix, ObservationSet, Task, TaskId, UserId, UserProfile,
+};
 use eta2_core::truth::dynamic::{BatchOutcome, DynamicExpertise};
 use eta2_core::truth::mle::{MleConfig, TruthEstimate};
 use eta2_embed::pairword::pairword_distance;
@@ -41,7 +43,7 @@ impl Default for ServerConfig {
 }
 
 /// Error returned by server operations.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ServerError {
     /// A described task was registered on a known-domain server, or vice
     /// versa.
@@ -51,6 +53,26 @@ pub enum ServerError {
     },
     /// An operation referenced a task id the server has never issued.
     UnknownTask(TaskId),
+    /// A registered task carried a non-finite or out-of-range numeric
+    /// field. The whole batch is rejected; no task of it is registered.
+    InvalidTaskInput {
+        /// Position of the offending task in the input batch.
+        index: usize,
+        /// Which field was rejected: `"processing_time"` or `"cost"`.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A report batch carried a NaN or infinite value. The whole batch is
+    /// rejected before any truth analysis runs.
+    NonFiniteReport {
+        /// The reporting user.
+        user: UserId,
+        /// The reported task.
+        task: TaskId,
+        /// The offending value.
+        value: f64,
+    },
 }
 
 impl fmt::Display for ServerError {
@@ -60,6 +82,16 @@ impl fmt::Display for ServerError {
                 write!(f, "this server only accepts {expected} tasks")
             }
             ServerError::UnknownTask(id) => write!(f, "unknown {id}"),
+            ServerError::InvalidTaskInput {
+                index,
+                field,
+                value,
+            } => {
+                write!(f, "task #{index}: invalid {field} {value}")
+            }
+            ServerError::NonFiniteReport { user, task, value } => {
+                write!(f, "non-finite report {value} from {user} for {task}")
+            }
         }
     }
 }
@@ -216,6 +248,37 @@ impl Eta2Server {
         if inputs.is_empty() {
             return Ok(Vec::new());
         }
+        // Validate every numeric field before anything mutates — a rejected
+        // batch must leave the clusterer and task table untouched, and
+        // `Task::new` would panic on these values further down.
+        for (index, input) in inputs.iter().enumerate() {
+            let (time, cost) = match input {
+                TaskInput::Described {
+                    processing_time,
+                    cost,
+                    ..
+                }
+                | TaskInput::Domained {
+                    processing_time,
+                    cost,
+                    ..
+                } => (*processing_time, *cost),
+            };
+            if !(time.is_finite() && time > 0.0) {
+                return Err(ServerError::InvalidTaskInput {
+                    index,
+                    field: "processing_time",
+                    value: time,
+                });
+            }
+            if !(cost.is_finite() && cost >= 0.0) {
+                return Err(ServerError::InvalidTaskInput {
+                    index,
+                    field: "cost",
+                    value: cost,
+                });
+            }
+        }
         let resolved_domains: Vec<DomainId> = match &mut self.domains {
             Domains::Known => inputs
                 .iter()
@@ -363,8 +426,22 @@ impl Eta2Server {
     /// decayed expertise, caches and returns the truth estimates.
     ///
     /// Observations for unregistered tasks are ignored.
-    pub fn ingest(&mut self, reports: &ObservationSet) -> BatchOutcome {
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::NonFiniteReport`] when any report is NaN or infinite;
+    /// the whole batch is rejected and no state changes.
+    pub fn ingest(&mut self, reports: &ObservationSet) -> Result<BatchOutcome, ServerError> {
         let _span = eta2_obs::span!("server.ingest");
+        if let Some((user, task, value)) = reports.first_non_finite() {
+            let err = ServerError::NonFiniteReport { user, task, value };
+            eta2_obs::emit_with(|| eta2_obs::Event::ServerRequest {
+                op: "ingest",
+                ok: false,
+                detail: err.to_string(),
+            });
+            return Err(err);
+        }
         let batch: Vec<Task> = reports
             .tasks()
             .filter_map(|id| self.tasks.get(&id).copied())
@@ -381,7 +458,7 @@ impl Eta2Server {
                 outcome.iterations
             ),
         });
-        outcome
+        Ok(outcome)
     }
 
     /// The latest truth estimate for a task, if it has been analysed.
@@ -393,6 +470,102 @@ impl Eta2Server {
     pub fn expertise(&self) -> ExpertiseMatrix {
         self.expertise.matrix()
     }
+
+    /// Captures the complete server state as a serializable checkpoint.
+    ///
+    /// The snapshot holds everything a restart needs — configuration,
+    /// expertise accumulators, task table, cached truths, the id counter
+    /// and (in discovery mode) the embedding plus clustering state — so
+    /// [`Eta2Server::restore`] continues bit-identically to a server that
+    /// never stopped.
+    pub fn snapshot(&self) -> ServerSnapshot {
+        let _span = eta2_obs::span!("server.snapshot");
+        let snap = ServerSnapshot {
+            config: self.config,
+            expertise: self.expertise.clone(),
+            tasks: self.tasks.clone(),
+            truths: self.truths.clone(),
+            next_task: self.next_task,
+            domains: match &self.domains {
+                Domains::Known => DomainsSnapshot::Known,
+                Domains::Discover {
+                    embedding,
+                    clusterer,
+                    ..
+                } => DomainsSnapshot::Discover {
+                    embedding: embedding.clone(),
+                    clusterer: clusterer.state(),
+                },
+            },
+        };
+        eta2_obs::emit_with(|| eta2_obs::Event::ServerRequest {
+            op: "snapshot",
+            ok: true,
+            detail: format!("{} tasks, {} truths", snap.tasks.len(), snap.truths.len()),
+        });
+        snap
+    }
+
+    /// Rebuilds a server from a [`ServerSnapshot`] checkpoint.
+    pub fn restore(snapshot: ServerSnapshot) -> Self {
+        let _span = eta2_obs::span!("server.restore");
+        eta2_obs::emit_with(|| eta2_obs::Event::ServerRequest {
+            op: "restore",
+            ok: true,
+            detail: format!(
+                "{} tasks, {} truths",
+                snapshot.tasks.len(),
+                snapshot.truths.len()
+            ),
+        });
+        Eta2Server {
+            config: snapshot.config,
+            expertise: snapshot.expertise,
+            tasks: snapshot.tasks,
+            truths: snapshot.truths,
+            next_task: snapshot.next_task,
+            domains: match snapshot.domains {
+                DomainsSnapshot::Known => Domains::Known,
+                DomainsSnapshot::Discover {
+                    embedding,
+                    clusterer,
+                } => Domains::Discover {
+                    embedding,
+                    extractor: PairWordExtractor::new(),
+                    clusterer: DynamicClusterer::from_state(
+                        metric as fn(&Vec<f32>, &Vec<f32>) -> f64,
+                        clusterer,
+                    ),
+                },
+            },
+        }
+    }
+}
+
+/// Serializable checkpoint of an [`Eta2Server`] — produced by
+/// [`Eta2Server::snapshot`], consumed by [`Eta2Server::restore`].
+///
+/// Serialized with serde; the JSON form is the checkpoint format documented
+/// in DESIGN.md §7. Only the pair-word extractor (stateless) and the
+/// clustering metric (a function pointer) are rebuilt on restore.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServerSnapshot {
+    config: ServerConfig,
+    expertise: DynamicExpertise,
+    tasks: BTreeMap<TaskId, Task>,
+    truths: BTreeMap<TaskId, TruthEstimate>,
+    next_task: u32,
+    domains: DomainsSnapshot,
+}
+
+/// Serializable mirror of the private [`Domains`] state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum DomainsSnapshot {
+    Known,
+    Discover {
+        embedding: Embedding,
+        clusterer: ClustererState<Vec<f32>>,
+    },
 }
 
 impl fmt::Debug for Eta2Server {
@@ -458,7 +631,7 @@ mod tests {
                 reports.insert(u, task, 10.0 + u.0 as f64 * 0.01);
             }
         }
-        let outcome = server.ingest(&reports);
+        let outcome = server.ingest(&reports).unwrap();
         assert_eq!(outcome.truths.len(), 2);
         assert!(server.truth(ids[0]).is_some());
         assert!(server.truth(TaskId(99)).is_none());
@@ -545,7 +718,7 @@ mod tests {
                     reports.insert(UserId(i as u32), id, truth + z / u);
                 }
             }
-            server.ingest(&reports);
+            server.ingest(&reports).unwrap();
         }
         let ex = server.expertise();
         assert!(
@@ -586,7 +759,7 @@ mod tests {
         let mut server = Eta2Server::with_known_domains(2, ServerConfig::default());
         let mut reports = ObservationSet::new();
         reports.insert(UserId(0), TaskId(123), 1.0);
-        let outcome = server.ingest(&reports);
+        let outcome = server.ingest(&reports).unwrap();
         assert!(outcome.truths.is_empty());
     }
 
@@ -608,5 +781,160 @@ mod tests {
     fn debug_shows_mode() {
         let server = Eta2Server::with_known_domains(2, ServerConfig::default());
         assert!(format!("{server:?}").contains("known-domains"));
+    }
+
+    #[test]
+    fn register_rejects_bad_numerics_atomically() {
+        let mut server = Eta2Server::with_known_domains(2, ServerConfig::default());
+        let err = server
+            .register_tasks(vec![
+                TaskInput::domained(DomainId(0), 1.0, 1.0),
+                TaskInput::domained(DomainId(0), f64::NAN, 1.0),
+            ])
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ServerError::InvalidTaskInput {
+                    index: 1,
+                    field: "processing_time",
+                    value,
+                } if value.is_nan()
+            ),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("processing_time"));
+
+        let err = server
+            .register_tasks(vec![TaskInput::domained(DomainId(0), 1.0, -3.0)])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ServerError::InvalidTaskInput { field: "cost", .. }
+        ));
+
+        let err = server
+            .register_tasks(vec![TaskInput::domained(DomainId(0), f64::INFINITY, 1.0)])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ServerError::InvalidTaskInput {
+                field: "processing_time",
+                ..
+            }
+        ));
+
+        // Rejection is atomic: the valid head of a bad batch was not kept.
+        assert_eq!(server.task_count(), 0);
+    }
+
+    #[test]
+    fn ingest_rejects_non_finite_reports_without_state_change() {
+        let mut server = Eta2Server::with_known_domains(2, ServerConfig::default());
+        let ids = server
+            .register_tasks(vec![TaskInput::domained(DomainId(0), 1.0, 1.0)])
+            .unwrap();
+        let before = server.expertise();
+
+        let mut reports = ObservationSet::new();
+        reports.insert(UserId(0), ids[0], 5.0);
+        reports.insert(UserId(1), ids[0], f64::NAN);
+        let err = server.ingest(&reports).unwrap_err();
+        assert!(matches!(
+            err,
+            ServerError::NonFiniteReport {
+                user: UserId(1),
+                ..
+            }
+        ));
+        assert_eq!(server.expertise(), before, "rejected batch mutated state");
+        assert!(server.truth(ids[0]).is_none());
+    }
+
+    /// Drives `server` through one day of a deterministic workload.
+    fn one_day(server: &mut Eta2Server, day: u64) -> Vec<TaskId> {
+        let ids = server
+            .register_tasks(
+                (0..4)
+                    .map(|k| TaskInput::domained(DomainId((k % 2) as u32), 1.0, 1.0))
+                    .collect(),
+            )
+            .unwrap();
+        let mut reports = ObservationSet::new();
+        for (k, &id) in ids.iter().enumerate() {
+            for u in 0..3u32 {
+                let value = 10.0 + day as f64 + k as f64 * 0.5 + u as f64 * 0.05;
+                reports.insert(UserId(u), id, value);
+            }
+        }
+        server.ingest(&reports).unwrap();
+        ids
+    }
+
+    #[test]
+    fn known_domain_checkpoint_restores_bit_identically() {
+        // Uninterrupted reference run: four days straight through.
+        let mut reference = Eta2Server::with_known_domains(3, ServerConfig::default());
+        let mut ref_ids = Vec::new();
+        for day in 0..4 {
+            ref_ids.extend(one_day(&mut reference, day));
+        }
+
+        // Interrupted run: two days, checkpoint through JSON, two more.
+        let mut first_half = Eta2Server::with_known_domains(3, ServerConfig::default());
+        for day in 0..2 {
+            one_day(&mut first_half, day);
+        }
+        let json = serde_json::to_string(&first_half.snapshot()).unwrap();
+        drop(first_half);
+        let snap: ServerSnapshot = serde_json::from_str(&json).unwrap();
+        let mut restored = Eta2Server::restore(snap);
+        for day in 2..4 {
+            one_day(&mut restored, day);
+        }
+
+        assert_eq!(restored.task_count(), reference.task_count());
+        assert_eq!(restored.expertise(), reference.expertise());
+        for &id in &ref_ids {
+            assert_eq!(restored.truth(id), reference.truth(id), "{id}");
+        }
+    }
+
+    #[test]
+    fn discovery_checkpoint_keeps_clustering_state() {
+        let emb = embedding();
+        let mut original = Eta2Server::discovering(4, ServerConfig::default(), emb);
+        original
+            .register_tasks(vec![
+                TaskInput::described(
+                    "What is the noise level around the municipal building?",
+                    1.0,
+                    1.0,
+                ),
+                TaskInput::described("How many parking spots are at the garage?", 1.0, 1.0),
+            ])
+            .unwrap();
+
+        let json = serde_json::to_string(&original.snapshot()).unwrap();
+        let mut restored =
+            Eta2Server::restore(serde_json::from_str::<ServerSnapshot>(&json).unwrap());
+        assert_eq!(restored.task_count(), original.task_count());
+        assert_eq!(restored.domain_count(), original.domain_count());
+
+        // Both servers classify the next arrival identically: the restored
+        // clusterer kept its points, domains and reference distance d*.
+        let next = TaskInput::described(
+            "What is the decibel measurement near the construction street?",
+            1.0,
+            1.0,
+        );
+        let a = original.register_tasks(vec![next.clone()]).unwrap();
+        let b = restored.register_tasks(vec![next]).unwrap();
+        assert_eq!(a, b, "restored server issued different task ids");
+        assert_eq!(
+            original.domain_of(a[0]).unwrap(),
+            restored.domain_of(b[0]).unwrap(),
+            "restored server clustered the arrival differently"
+        );
     }
 }

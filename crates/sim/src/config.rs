@@ -1,5 +1,6 @@
 //! Simulation configuration.
 
+use crate::faults::FaultConfig;
 use eta2_core::truth::mle::MleConfig;
 use eta2_embed::SkipGramConfig;
 use serde::{Deserialize, Serialize};
@@ -115,6 +116,10 @@ pub struct SimConfig {
     /// value of expertise-awareness — ETA² collapses to a reliability-style
     /// method when set.
     pub collapse_domains: bool,
+    /// Fault injection (dropout, corruption, stragglers, collusion) —
+    /// inactive by default.
+    #[serde(default)]
+    pub faults: FaultConfig,
 }
 
 impl Default for SimConfig {
@@ -134,6 +139,7 @@ impl Default for SimConfig {
             corpus_documents: 300,
             record_observations: false,
             collapse_domains: false,
+            faults: FaultConfig::default(),
         }
     }
 }
@@ -149,6 +155,7 @@ impl SimConfig {
         assert!((0.0..=1.0).contains(&self.alpha), "alpha in [0,1]");
         assert!((0.0..=1.0).contains(&self.gamma), "gamma in [0,1]");
         assert!(self.epsilon > 0.0, "epsilon > 0");
+        self.faults.validate();
     }
 }
 
@@ -183,5 +190,19 @@ mod tests {
         let mut c = SimConfig::default();
         c.gamma = -0.1;
         assert!(std::panic::catch_unwind(move || c.validate()).is_err());
+        let mut c = SimConfig::default();
+        c.faults.corrupt_rate = 2.0;
+        assert!(std::panic::catch_unwind(move || c.validate()).is_err());
+    }
+
+    #[test]
+    fn sim_config_without_faults_field_still_deserializes() {
+        // Configs serialized before fault injection existed must keep
+        // loading: the `faults` block is optional and defaults to inactive.
+        let mut json = serde_json::to_value(SimConfig::default()).unwrap();
+        json.as_object_mut().unwrap().remove("faults");
+        let cfg: SimConfig = serde_json::from_value(json).unwrap();
+        assert_eq!(cfg, SimConfig::default());
+        assert!(!cfg.faults.is_active());
     }
 }

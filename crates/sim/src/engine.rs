@@ -1,10 +1,11 @@
 //! The day-by-day simulation engine.
 
 use crate::config::{ApproachKind, SimConfig};
+use crate::faults::{FaultAction, FaultPlan};
 use crate::metrics::RunMetrics;
-use crate::pipeline::{train_embedding_for, DomainTracker};
+use crate::pipeline::{train_embedding_for, DomainTracker, PipelineError};
 use eta2_core::allocation::{
-    Allocation, MaxQualityAllocator, MaxQualityConfig, MinCostAllocator, MinCostConfig,
+    Allocation, DataSource, MaxQualityAllocator, MaxQualityConfig, MinCostAllocator, MinCostConfig,
     RandomAllocator, ReliabilityGreedyAllocator,
 };
 use eta2_core::model::{DomainId, ObservationSet, Task, TaskId, UserId};
@@ -48,29 +49,45 @@ impl Simulation {
     /// Runs one simulation, training the embedding internally if the
     /// dataset needs one. For sweeps, train once with
     /// [`train_embedding_for`] and use [`Simulation::run_with_embedding`].
-    pub fn run(&self, dataset: &Dataset, approach: ApproachKind, seed: u64) -> RunMetrics {
-        let embedding = train_embedding_for(dataset, &self.config);
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError`] when the identification pipeline cannot be
+    /// set up (embedding training failure).
+    pub fn run(
+        &self,
+        dataset: &Dataset,
+        approach: ApproachKind,
+        seed: u64,
+    ) -> Result<RunMetrics, PipelineError> {
+        let embedding = train_embedding_for(dataset, &self.config)?;
         self.run_with_embedding(dataset, approach, seed, embedding.as_ref())
     }
 
     /// Runs one simulation with a pre-trained embedding (ignored for
     /// datasets whose domains are known).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::MissingEmbedding`] when the dataset needs
+    /// clustering but no embedding was supplied.
     pub fn run_with_embedding(
         &self,
         dataset: &Dataset,
         approach: ApproachKind,
         seed: u64,
         embedding: Option<&Embedding>,
-    ) -> RunMetrics {
+    ) -> Result<RunMetrics, PipelineError> {
         let _span = eta2_obs::span!("sim.run");
         let cfg = &self.config;
         let n_users = dataset.users.len();
         let mut rng = StdRng::seed_from_u64(seed);
         let schedule = dataset.arrival_schedule(cfg.days);
         let profiles = dataset.profiles();
+        let plan = FaultPlan::new(cfg.faults, seed);
 
         let mut tracker = if approach.is_expertise_aware() && !cfg.collapse_domains {
-            Some(DomainTracker::new(dataset, embedding, cfg))
+            Some(DomainTracker::new(dataset, embedding, cfg)?)
         } else {
             None
         };
@@ -94,8 +111,30 @@ impl Simulation {
 
         let spec_of = |id: TaskId| -> &TaskSpec { &dataset.tasks[id.0 as usize] };
 
+        // Fault-tolerance state: straggler reports waiting to arrive,
+        // tasks re-queued after a day without a usable observation, per-task
+        // re-allocation budgets, and (straggler runs only) the delivered
+        // reports per task so a late arrival can be re-estimated together
+        // with its original observations.
+        let mut straggler_buf: Vec<(usize, UserId, TaskId, f64)> = Vec::new();
+        let mut carryover: Vec<Task> = Vec::new();
+        let mut engine_retries: BTreeMap<TaskId, usize> = BTreeMap::new();
+        let mut history: BTreeMap<TaskId, Vec<(UserId, f64)>> = BTreeMap::new();
+        let keep_history = cfg.faults.straggler_rate > 0.0;
+
         for (day, indices) in schedule.iter().enumerate() {
-            if indices.is_empty() {
+            // Straggler reports due today (or overdue).
+            let mut due: Vec<(UserId, TaskId, f64)> = Vec::new();
+            straggler_buf.retain(|&(due_day, u, t, x)| {
+                if due_day <= day {
+                    due.push((u, t, x));
+                    false
+                } else {
+                    true
+                }
+            });
+
+            if indices.is_empty() && carryover.is_empty() && due.is_empty() {
                 metrics.daily_error.push(f64::NAN);
                 eta2_obs::emit_with(|| eta2_obs::Event::SimDay {
                     day: day as u64,
@@ -108,7 +147,9 @@ impl Simulation {
             let specs: Vec<&TaskSpec> = indices.iter().map(|&i| &dataset.tasks[i]).collect();
 
             // (1) Identify domains (ETA² family only).
-            let tasks_core: Vec<Task> = if cfg.collapse_domains {
+            let mut tasks_core: Vec<Task> = if indices.is_empty() {
+                Vec::new()
+            } else if cfg.collapse_domains {
                 // Ablation: the system is blind to domains.
                 specs.iter().map(|s| s.to_task(DomainId(0))).collect()
             } else if let Some(tracker) = tracker.as_mut() {
@@ -133,111 +174,219 @@ impl Simulation {
             for t in &tasks_core {
                 task_domain.insert(t.id, t.domain);
             }
+            // Re-queued tasks join today's batch. They were identified on
+            // arrival; only a domain merge since then can rename them.
+            for mut t in std::mem::take(&mut carryover) {
+                if let Some(&d) = task_domain.get(&t.id) {
+                    t.domain = d;
+                }
+                tasks_core.push(t);
+            }
+
+            // Straggler reports for tasks outside today's batch re-open
+            // those tasks for truth analysis only (no re-allocation).
+            let mut late_tasks: Vec<Task> = Vec::new();
+            for &(_, t, _) in &due {
+                if !tasks_core.iter().any(|task| task.id == t)
+                    && !late_tasks.iter().any(|task| task.id == t)
+                {
+                    let domain = task_domain.get(&t).copied().unwrap_or(DomainId(0));
+                    late_tasks.push(spec_of(t).to_task(domain));
+                }
+            }
 
             // (2) Allocate, collect, analyse.
-            let day_truths: BTreeMap<TaskId, TruthEstimate> = if approach
-                == ApproachKind::Eta2MinCost
-                && day > 0
-            {
-                // ETA²-mc runs its own allocate→collect→analyse rounds.
-                let prior = dynexp.matrix();
-                let mut collected: Vec<(UserId, TaskId, f64)> = Vec::new();
-                let outcome = {
-                    let mut source = |user: UserId, task: &Task| {
-                        let x = dataset.observe(user, spec_of(task.id), &mut rng);
-                        collected.push((user, task.id, x));
-                        x
+            let day_truths: BTreeMap<TaskId, TruthEstimate> =
+                if approach == ApproachKind::Eta2MinCost && day > 0 {
+                    // ETA²-mc runs its own allocate→collect→analyse rounds.
+                    let prior = dynexp.matrix();
+                    let mut source = SimSource {
+                        dataset,
+                        rng: &mut rng,
+                        plan: &plan,
+                        day,
+                        collected: Vec::new(),
+                        delayed: Vec::new(),
+                        faults: 0,
                     };
-                    MinCostAllocator::new(MinCostConfig {
+                    let outcome = MinCostAllocator::new(MinCostConfig {
                         epsilon: cfg.epsilon,
                         max_error: cfg.min_cost.max_error,
                         confidence_alpha: cfg.min_cost.confidence_alpha,
                         round_budget: cfg.min_cost.round_budget,
                         max_rounds: 100,
                         mle: cfg.mle,
+                        ..MinCostConfig::default()
                     })
-                    .allocate(&tasks_core, &profiles, &prior, &mut source)
-                };
-                metrics.total_cost += outcome.total_cost;
-                metrics
-                    .mle_iterations
-                    .extend(outcome.mle_iterations.clone());
-                all_observations.extend(collected);
-                record_assignments(&mut metrics, dataset, &tasks_core, &outcome.allocation);
-                let out = dynexp.ingest_batch(&tasks_core, &outcome.observations);
-                metrics.mle_iterations.push(out.iterations);
-                out.truths
-            } else {
-                // Warm-up day, ETA² proper, or a comparison approach.
-                let allocation = match approach {
-                    _ if day == 0 => {
-                        RandomAllocator::new().allocate(&tasks_core, &profiles, &mut rng)
+                    .allocate(&tasks_core, &profiles, &prior, &mut source);
+                    metrics.faults_injected += source.faults;
+                    straggler_buf.append(&mut source.delayed);
+                    metrics.total_cost += outcome.total_cost;
+                    metrics
+                        .mle_iterations
+                        .extend(outcome.mle_iterations.clone());
+                    all_observations.extend(
+                        source
+                            .collected
+                            .iter()
+                            .copied()
+                            .filter(|&(_, _, x)| x.is_finite()),
+                    );
+                    record_assignments(&mut metrics, dataset, &tasks_core, &outcome.allocation);
+                    let mut obs = outcome.observations;
+                    for &(u, t, x) in &due {
+                        obs.insert(u, t, x);
+                        if x.is_finite() {
+                            all_observations.push((u, t, x));
+                        }
                     }
-                    ApproachKind::Eta2 | ApproachKind::Eta2MinCost => {
-                        MaxQualityAllocator::new(MaxQualityConfig {
-                            epsilon: cfg.epsilon,
-                            use_approximation_pass: true,
-                        })
-                        .allocate(
-                            &tasks_core,
-                            &profiles,
-                            &dynexp.matrix(),
-                        )
+                    for lt in &late_tasks {
+                        if let Some(h) = history.get(&lt.id) {
+                            for &(u, x) in h {
+                                obs.insert(u, lt.id, x);
+                            }
+                        }
                     }
-                    ApproachKind::Baseline => {
-                        RandomAllocator::new().allocate(&tasks_core, &profiles, &mut rng)
+                    if keep_history {
+                        for &(u, t, x) in source.collected.iter().chain(&due) {
+                            history.entry(t).or_default().push((u, x));
+                        }
                     }
-                    _ => ReliabilityGreedyAllocator::new().allocate(
-                        &tasks_core,
-                        &profiles,
-                        &reliability,
-                    ),
-                };
-                let mut day_obs = ObservationSet::new();
-                for (task, users) in allocation.iter() {
-                    for &u in users {
-                        let x = dataset.observe(u, spec_of(task), &mut rng);
-                        day_obs.insert(u, task, x);
-                        all_observations.push((u, task, x));
-                    }
-                }
-                metrics.total_cost += allocation.total_cost(&tasks_core);
-                if approach.is_expertise_aware() && day > 0 {
-                    record_assignments(&mut metrics, dataset, &tasks_core, &allocation);
-                }
-
-                if let Some(method) = baseline_method.as_deref() {
-                    cumulative_obs.merge(&day_obs);
-                    let result = method.estimate(&cumulative_obs, n_users);
-                    reliability = result.reliability;
-                    metrics.mle_iterations.push(result.iterations);
-                    // Baselines re-estimate every task each day: refresh
-                    // all final errors.
-                    for (&id, &mu) in &result.truths {
-                        let spec = spec_of(id);
-                        final_error.insert(id, (mu - spec.ground_truth).abs() / spec.base_sigma);
-                    }
-                    result
-                        .truths
-                        .iter()
-                        .map(|(&id, &mu)| {
-                            (
-                                id,
-                                TruthEstimate {
-                                    mu,
-                                    sigma: spec_of(id).base_sigma,
-                                },
-                            )
-                        })
-                        .collect()
-                } else {
-                    let out = dynexp.ingest_batch(&tasks_core, &day_obs);
+                    let out = if late_tasks.is_empty() {
+                        dynexp.ingest_batch(&tasks_core, &obs)
+                    } else {
+                        let mut ingest_tasks = tasks_core.clone();
+                        ingest_tasks.extend(late_tasks.iter().copied());
+                        dynexp.ingest_batch(&ingest_tasks, &obs)
+                    };
                     metrics.mle_iterations.push(out.iterations);
                     out.truths
-                }
-            };
+                } else {
+                    // Warm-up day, ETA² proper, or a comparison approach.
+                    let allocation = match approach {
+                        _ if day == 0 => {
+                            RandomAllocator::new().allocate(&tasks_core, &profiles, &mut rng)
+                        }
+                        ApproachKind::Eta2 | ApproachKind::Eta2MinCost => {
+                            MaxQualityAllocator::new(MaxQualityConfig {
+                                epsilon: cfg.epsilon,
+                                use_approximation_pass: true,
+                            })
+                            .allocate(
+                                &tasks_core,
+                                &profiles,
+                                &dynexp.matrix(),
+                            )
+                        }
+                        ApproachKind::Baseline => {
+                            RandomAllocator::new().allocate(&tasks_core, &profiles, &mut rng)
+                        }
+                        _ => ReliabilityGreedyAllocator::new().allocate(
+                            &tasks_core,
+                            &profiles,
+                            &reliability,
+                        ),
+                    };
+                    let mut day_obs = ObservationSet::new();
+                    for (task, users) in allocation.iter() {
+                        for &u in users {
+                            let clean = dataset.observe(u, spec_of(task), &mut rng);
+                            let (action, fired) = plan.apply(day, u, task, clean);
+                            metrics.faults_injected += fired;
+                            match action {
+                                FaultAction::Deliver(x) => {
+                                    day_obs.insert(u, task, x);
+                                    if x.is_finite() {
+                                        all_observations.push((u, task, x));
+                                    }
+                                    if keep_history {
+                                        history.entry(task).or_default().push((u, x));
+                                    }
+                                }
+                                FaultAction::Drop => {}
+                                FaultAction::Delay { due_in, value } => {
+                                    straggler_buf.push((day + due_in, u, task, value));
+                                }
+                            }
+                        }
+                    }
+                    metrics.total_cost += allocation.total_cost(&tasks_core);
+                    if approach.is_expertise_aware() && day > 0 {
+                        record_assignments(&mut metrics, dataset, &tasks_core, &allocation);
+                    }
 
-            // (3) Daily error over the day's estimated tasks.
+                    // Straggler reports arriving today join the day's batch.
+                    for &(u, t, x) in &due {
+                        day_obs.insert(u, t, x);
+                        if x.is_finite() {
+                            all_observations.push((u, t, x));
+                        }
+                        if keep_history {
+                            history.entry(t).or_default().push((u, x));
+                        }
+                    }
+
+                    if let Some(method) = baseline_method.as_deref() {
+                        // The reliability-based comparison methods are not
+                        // hardened against non-finite payloads; the platform
+                        // validates reports at ingestion on their behalf.
+                        if plan.is_active() {
+                            for o in day_obs.iter() {
+                                if o.value.is_finite() {
+                                    cumulative_obs.insert(o.user, o.task, o.value);
+                                }
+                            }
+                        } else {
+                            cumulative_obs.merge(&day_obs);
+                        }
+                        let result = method.estimate(&cumulative_obs, n_users);
+                        reliability = result.reliability;
+                        metrics.mle_iterations.push(result.iterations);
+                        // Baselines re-estimate every task each day: refresh
+                        // all final errors.
+                        for (&id, &mu) in &result.truths {
+                            let spec = spec_of(id);
+                            final_error
+                                .insert(id, (mu - spec.ground_truth).abs() / spec.base_sigma);
+                        }
+                        result
+                            .truths
+                            .iter()
+                            .map(|(&id, &mu)| {
+                                (
+                                    id,
+                                    TruthEstimate {
+                                        mu,
+                                        sigma: spec_of(id).base_sigma,
+                                    },
+                                )
+                            })
+                            .collect()
+                    } else {
+                        for lt in &late_tasks {
+                            if let Some(h) = history.get(&lt.id) {
+                                for &(u, x) in h {
+                                    day_obs.insert(u, lt.id, x);
+                                }
+                            }
+                        }
+                        let out = if late_tasks.is_empty() {
+                            dynexp.ingest_batch(&tasks_core, &day_obs)
+                        } else {
+                            let mut ingest_tasks = tasks_core.clone();
+                            ingest_tasks.extend(late_tasks.iter().copied());
+                            dynexp.ingest_batch(&ingest_tasks, &day_obs)
+                        };
+                        metrics.mle_iterations.push(out.iterations);
+                        out.truths
+                    }
+                };
+
+            // (3) Daily error over the day's estimated tasks. A task that
+            // ends the day without an estimate (all reports dropped or
+            // rejected) is re-queued for tomorrow's allocation, up to
+            // `max_task_retries` extra days; past the budget it is
+            // declared uncovered.
             let mut day_err = 0.0;
             let mut estimated = 0usize;
             for t in &tasks_core {
@@ -250,7 +399,29 @@ impl Simulation {
                         final_error.insert(t.id, err);
                     }
                 } else {
-                    metrics.uncovered_tasks += 1;
+                    let attempts = engine_retries.entry(t.id).or_insert(0);
+                    if plan.is_active() && *attempts < cfg.faults.max_task_retries {
+                        *attempts += 1;
+                        metrics.alloc_retries += 1;
+                        eta2_obs::counter("alloc.retry", 1);
+                        let (attempt, id) = (*attempts as u64, t.id.0 as u64);
+                        eta2_obs::emit_with(|| eta2_obs::Event::AllocationRetry {
+                            strategy: "engine",
+                            task: id,
+                            attempt,
+                        });
+                        carryover.push(*t);
+                    } else {
+                        metrics.uncovered_tasks += 1;
+                    }
+                }
+            }
+            // Straggler-reopened tasks refresh their final error but stay
+            // out of the daily average (they belong to an earlier day).
+            for lt in &late_tasks {
+                if let Some(est) = day_truths.get(&lt.id) {
+                    let spec = spec_of(lt.id);
+                    final_error.insert(lt.id, (est.mu - spec.ground_truth).abs() / spec.base_sigma);
                 }
             }
             metrics.daily_error.push(if estimated > 0 {
@@ -265,6 +436,10 @@ impl Simulation {
                 cumulative_cost: metrics.total_cost,
             });
         }
+
+        // Tasks still waiting for a retry when the horizon ends never got
+        // a usable report.
+        metrics.uncovered_tasks += carryover.len();
 
         metrics.overall_error = if final_error.is_empty() {
             f64::NAN
@@ -332,7 +507,41 @@ impl Simulation {
                 final_domains: metrics.final_domains as u64,
             }
         });
-        metrics
+        Ok(metrics)
+    }
+}
+
+/// The min-cost allocator's interactive data source wired to the dataset's
+/// observation model with fault injection in between.
+struct SimSource<'a> {
+    dataset: &'a Dataset,
+    rng: &'a mut StdRng,
+    plan: &'a FaultPlan,
+    day: usize,
+    /// Reports actually delivered (possibly corrupted).
+    collected: Vec<(UserId, TaskId, f64)>,
+    /// Straggler reports: `(due day, user, task, value)`.
+    delayed: Vec<(usize, UserId, TaskId, f64)>,
+    faults: usize,
+}
+
+impl DataSource for SimSource<'_> {
+    fn try_collect(&mut self, user: UserId, task: &Task) -> Option<f64> {
+        let spec = &self.dataset.tasks[task.id.0 as usize];
+        let clean = self.dataset.observe(user, spec, &mut *self.rng);
+        let (action, fired) = self.plan.apply(self.day, user, task.id, clean);
+        self.faults += fired;
+        match action {
+            FaultAction::Deliver(x) => {
+                self.collected.push((user, task.id, x));
+                Some(x)
+            }
+            FaultAction::Drop => None,
+            FaultAction::Delay { due_in, value } => {
+                self.delayed.push((self.day + due_in, user, task.id, value));
+                None
+            }
+        }
     }
 }
 
@@ -362,6 +571,7 @@ fn record_assignments(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::FaultConfig;
     use eta2_datasets::survey::SurveyConfig;
     use eta2_datasets::synthetic::SyntheticConfig;
 
@@ -384,7 +594,7 @@ mod tests {
         let ds = small_synth();
         let s = sim();
         for approach in ApproachKind::ALL.into_iter().chain([ApproachKind::Crh]) {
-            let m = s.run(&ds, approach, 1);
+            let m = s.run(&ds, approach, 1).unwrap();
             assert_eq!(m.daily_error.len(), 5, "{}", approach.name());
             assert!(
                 m.daily_error.iter().all(|e| e.is_finite()),
@@ -402,10 +612,10 @@ mod tests {
     fn runs_are_seed_deterministic() {
         let ds = small_synth();
         let s = sim();
-        let a = s.run(&ds, ApproachKind::Eta2, 3);
-        let b = s.run(&ds, ApproachKind::Eta2, 3);
+        let a = s.run(&ds, ApproachKind::Eta2, 3).unwrap();
+        let b = s.run(&ds, ApproachKind::Eta2, 3).unwrap();
         assert_eq!(a, b);
-        let c = s.run(&ds, ApproachKind::Eta2, 4);
+        let c = s.run(&ds, ApproachKind::Eta2, 4).unwrap();
         assert_ne!(a, c);
     }
 
@@ -416,7 +626,7 @@ mod tests {
         // Average a few seeds to smooth noise.
         let avg = |approach: ApproachKind| -> f64 {
             (0..5)
-                .map(|seed| s.run(&ds, approach, seed).overall_error)
+                .map(|seed| s.run(&ds, approach, seed).unwrap().overall_error)
                 .sum::<f64>()
                 / 5.0
         };
@@ -444,7 +654,7 @@ mod tests {
         let mut first = 0.0;
         let mut late = 0.0;
         for seed in 0..10 {
-            let m = s.run(&ds, ApproachKind::Eta2, seed);
+            let m = s.run(&ds, ApproachKind::Eta2, seed).unwrap();
             first += m.daily_error[0];
             late += (m.daily_error[2] + m.daily_error[3] + m.daily_error[4]) / 3.0;
         }
@@ -461,8 +671,11 @@ mod tests {
         let mut mq_cost = 0.0;
         let mut mc_cost = 0.0;
         for seed in 0..3 {
-            mq_cost += s.run(&ds, ApproachKind::Eta2, seed).total_cost;
-            mc_cost += s.run(&ds, ApproachKind::Eta2MinCost, seed).total_cost;
+            mq_cost += s.run(&ds, ApproachKind::Eta2, seed).unwrap().total_cost;
+            mc_cost += s
+                .run(&ds, ApproachKind::Eta2MinCost, seed)
+                .unwrap()
+                .total_cost;
         }
         assert!(
             mc_cost < mq_cost,
@@ -474,9 +687,14 @@ mod tests {
     fn expertise_error_reported_only_when_meaningful() {
         let ds = small_synth();
         let s = sim();
-        assert!(s.run(&ds, ApproachKind::Eta2, 0).expertise_error.is_some());
+        assert!(s
+            .run(&ds, ApproachKind::Eta2, 0)
+            .unwrap()
+            .expertise_error
+            .is_some());
         assert!(s
             .run(&ds, ApproachKind::Baseline, 0)
+            .unwrap()
             .expertise_error
             .is_none());
     }
@@ -487,13 +705,14 @@ mod tests {
         let off = Simulation::new(SimConfig::default());
         assert!(off
             .run(&ds, ApproachKind::Eta2, 0)
+            .unwrap()
             .observation_records
             .is_empty());
         let on = Simulation::new(SimConfig {
             record_observations: true,
             ..SimConfig::default()
         });
-        let m = on.run(&ds, ApproachKind::Eta2, 0);
+        let m = on.run(&ds, ApproachKind::Eta2, 0).unwrap();
         assert!(!m.observation_records.is_empty());
         assert!(m
             .observation_records
@@ -504,15 +723,97 @@ mod tests {
     #[test]
     fn assignment_stats_recorded_for_eta2() {
         let ds = small_synth();
-        let m = sim().run(&ds, ApproachKind::Eta2, 0);
+        let m = sim().run(&ds, ApproachKind::Eta2, 0).unwrap();
         assert!(!m.assignment_stats.is_empty());
         for &(n, avg) in &m.assignment_stats {
             assert!(n >= 1);
             assert!(avg > 0.0);
         }
         // Baselines don't record Table 2 rows.
-        let m = sim().run(&ds, ApproachKind::TruthFinder, 0);
+        let m = sim().run(&ds, ApproachKind::TruthFinder, 0).unwrap();
         assert!(m.assignment_stats.is_empty());
+    }
+
+    #[test]
+    fn fault_free_runs_report_zero_fault_metrics() {
+        let ds = small_synth();
+        let m = sim().run(&ds, ApproachKind::Eta2, 0).unwrap();
+        assert_eq!(m.faults_injected, 0);
+        assert_eq!(m.alloc_retries, 0);
+    }
+
+    #[test]
+    fn faulty_runs_degrade_gracefully_and_deterministically() {
+        let ds = small_synth();
+        let s = Simulation::new(SimConfig {
+            faults: FaultConfig {
+                dropout_rate: 0.3,
+                corrupt_rate: 0.05,
+                ..FaultConfig::default()
+            },
+            ..SimConfig::default()
+        });
+        let m = s.run(&ds, ApproachKind::Eta2, 1).unwrap();
+        assert!(m.faults_injected > 0);
+        assert!(m.overall_error.is_finite());
+        assert!(
+            m.daily_error.iter().all(|e| e.is_finite()),
+            "{:?}",
+            m.daily_error
+        );
+        let again = s.run(&ds, ApproachKind::Eta2, 1).unwrap();
+        assert_eq!(m, again);
+    }
+
+    #[test]
+    fn stragglers_arrive_late_but_still_count() {
+        let ds = small_synth();
+        let s = Simulation::new(SimConfig {
+            faults: FaultConfig {
+                straggler_rate: 0.3,
+                straggler_delay_days: 1,
+                ..FaultConfig::default()
+            },
+            ..SimConfig::default()
+        });
+        for approach in [
+            ApproachKind::Eta2,
+            ApproachKind::Eta2MinCost,
+            ApproachKind::Baseline,
+        ] {
+            let m = s.run(&ds, approach, 2).unwrap();
+            assert!(m.faults_injected > 0, "{}", approach.name());
+            assert!(m.overall_error.is_finite(), "{}", approach.name());
+        }
+    }
+
+    #[test]
+    fn collusion_inflates_error() {
+        let ds = small_synth();
+        let clean = sim();
+        let biased = Simulation::new(SimConfig {
+            faults: FaultConfig {
+                collusion_fraction: 0.4,
+                collusion_bias: 25.0,
+                ..FaultConfig::default()
+            },
+            ..SimConfig::default()
+        });
+        let avg = |s: &Simulation| -> f64 {
+            (0..4)
+                .map(|seed| {
+                    s.run(&ds, ApproachKind::Baseline, seed)
+                        .unwrap()
+                        .overall_error
+                })
+                .sum::<f64>()
+                / 4.0
+        };
+        let (e_clean, e_biased) = (avg(&clean), avg(&biased));
+        assert!(
+            e_biased > 2.0 * e_clean,
+            "collusion barely moved error: clean {e_clean:.3}, biased {e_biased:.3}"
+        );
     }
 
     #[test]
@@ -529,7 +830,7 @@ mod tests {
             ..SimConfig::default()
         };
         let s = Simulation::new(cfg);
-        let m = s.run(&ds, ApproachKind::Eta2, 0);
+        let m = s.run(&ds, ApproachKind::Eta2, 0).unwrap();
         assert!(m.overall_error.is_finite());
         assert!(m.final_domains > 1, "learned {} domains", m.final_domains);
     }

@@ -1,0 +1,429 @@
+//! Deterministic fault injection for robustness experiments.
+//!
+//! A [`FaultPlan`] decides, per `(day, user, task)` report, whether the
+//! report is delivered cleanly, dropped (user dropout), corrupted
+//! (NaN/±Inf/gross outlier), delayed (straggler) or biased (colluding
+//! clique). Every decision is a *pure hash* of the run seed and the report
+//! coordinates — no sequential RNG state — so injection is reproducible,
+//! order-independent, and leaves the simulator's own random stream
+//! untouched. With all rates at zero the plan is inert and the simulation
+//! is bit-identical to a fault-free run.
+
+use eta2_core::model::{TaskId, UserId};
+use serde::{Deserialize, Serialize};
+
+/// Per-report fault rates and shapes. All-zero rates (the default) disable
+/// injection entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct FaultConfig {
+    /// Probability an allocated user never reports.
+    pub dropout_rate: f64,
+    /// Probability a delivered report is replaced by NaN, ±Inf or a gross
+    /// outlier.
+    pub corrupt_rate: f64,
+    /// Probability a report arrives [`FaultConfig::straggler_delay_days`]
+    /// days late instead of same-day.
+    pub straggler_rate: f64,
+    /// How many days late a straggler report arrives (≥ 1 when
+    /// `straggler_rate > 0`).
+    pub straggler_delay_days: usize,
+    /// Fraction of users belonging to a colluding clique that biases every
+    /// report by ±`collusion_bias` (sign fixed per task).
+    pub collusion_fraction: f64,
+    /// Magnitude of the colluders' systematic bias.
+    pub collusion_bias: f64,
+    /// How many extra days the *engine* re-allocates a task that ended a
+    /// day with no usable observation before declaring it uncovered.
+    pub max_task_retries: usize,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            dropout_rate: 0.0,
+            corrupt_rate: 0.0,
+            straggler_rate: 0.0,
+            straggler_delay_days: 1,
+            collusion_fraction: 0.0,
+            collusion_bias: 0.0,
+            max_task_retries: 2,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// Whether any fault can ever fire under this configuration.
+    pub fn is_active(&self) -> bool {
+        self.dropout_rate > 0.0
+            || self.corrupt_rate > 0.0
+            || self.straggler_rate > 0.0
+            || (self.collusion_fraction > 0.0 && self.collusion_bias != 0.0)
+    }
+
+    /// Validates ranges; called by `SimConfig::validate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range values.
+    pub fn validate(&self) {
+        assert!(
+            (0.0..=1.0).contains(&self.dropout_rate),
+            "dropout_rate in [0,1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.corrupt_rate),
+            "corrupt_rate in [0,1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.straggler_rate),
+            "straggler_rate in [0,1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.collusion_fraction),
+            "collusion_fraction in [0,1]"
+        );
+        assert!(self.collusion_bias.is_finite(), "collusion_bias finite");
+        assert!(
+            self.straggler_rate == 0.0 || self.straggler_delay_days >= 1,
+            "straggler_delay_days >= 1 when stragglers are enabled"
+        );
+    }
+}
+
+/// What happens to one allocated report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultAction {
+    /// The report arrives today with this value (possibly collusion-biased
+    /// or corrupted).
+    Deliver(f64),
+    /// The user never reports.
+    Drop,
+    /// The report arrives `due_in` days from now with this value.
+    Delay {
+        /// Days until arrival (≥ 1).
+        due_in: usize,
+        /// The (possibly biased) value that will arrive.
+        value: f64,
+    },
+}
+
+// splitmix64 finalizer — a full-avalanche 64-bit mix.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn hash4(a: u64, b: u64, c: u64, d: u64) -> u64 {
+    mix(mix(mix(mix(a) ^ b) ^ c) ^ d)
+}
+
+/// Maps a hash to a uniform value in `[0, 1)`.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / 9_007_199_254_740_992.0)
+}
+
+const SALT_DROPOUT: u64 = 0xD80F;
+const SALT_CORRUPT: u64 = 0xC0FF;
+const SALT_CORRUPT_KIND: u64 = 0xC14D;
+const SALT_STRAGGLER: u64 = 0x51AC;
+const SALT_CLIQUE: u64 = 0xC11C;
+const SALT_SIGN: u64 = 0x5168;
+
+/// A seeded fault schedule for one simulation run.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    config: FaultConfig,
+    seed: u64,
+}
+
+impl FaultPlan {
+    /// Builds the plan for one run. The same `(config, run_seed)` pair
+    /// always yields the same decisions.
+    pub fn new(config: FaultConfig, run_seed: u64) -> Self {
+        FaultPlan {
+            config,
+            seed: run_seed,
+        }
+    }
+
+    /// Whether any fault can fire.
+    pub fn is_active(&self) -> bool {
+        self.config.is_active()
+    }
+
+    /// Whether `user` belongs to the colluding clique.
+    pub fn is_colluder(&self, user: UserId) -> bool {
+        self.config.collusion_fraction > 0.0
+            && unit(hash4(self.seed ^ SALT_CLIQUE, user.0 as u64, 0, 0))
+                < self.config.collusion_fraction
+    }
+
+    /// Decides the fate of the report `user` makes for `task` on `day`,
+    /// given the `clean` value the observation model produced. Returns the
+    /// action plus the number of faults that fired (0–2: collusion can
+    /// combine with dropout/corruption/delay). Each fired fault emits a
+    /// `fault_injected` trace event and bumps the `fault.injected` counter.
+    pub fn apply(
+        &self,
+        day: usize,
+        user: UserId,
+        task: TaskId,
+        clean: f64,
+    ) -> (FaultAction, usize) {
+        let cfg = &self.config;
+        if !self.is_active() {
+            return (FaultAction::Deliver(clean), 0);
+        }
+        let (d, u, t) = (day as u64, user.0 as u64, task.0 as u64);
+        let mut fired = 0usize;
+
+        // (1) Collusion: a clique member's report carries a systematic
+        // bias whose sign is fixed per task (the clique "agrees" on a
+        // wrong answer).
+        let mut value = clean;
+        if cfg.collusion_bias != 0.0 && self.is_colluder(user) {
+            let sign = if hash4(self.seed ^ SALT_SIGN, t, 0, 0) & 1 == 0 {
+                1.0
+            } else {
+                -1.0
+            };
+            value += sign * cfg.collusion_bias;
+            fired += 1;
+            self.record("collusion", d, u, t);
+        }
+
+        // (2) Dropout preempts everything: the report never exists.
+        if cfg.dropout_rate > 0.0
+            && unit(hash4(self.seed ^ SALT_DROPOUT, d, u, t)) < cfg.dropout_rate
+        {
+            fired += 1;
+            self.record("dropout", d, u, t);
+            return (FaultAction::Drop, fired);
+        }
+
+        // (3) Corruption: the report arrives but its payload is garbage.
+        if cfg.corrupt_rate > 0.0
+            && unit(hash4(self.seed ^ SALT_CORRUPT, d, u, t)) < cfg.corrupt_rate
+        {
+            let corrupted = match hash4(self.seed ^ SALT_CORRUPT_KIND, d, u, t) % 4 {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                2 => f64::NEG_INFINITY,
+                // A gross but finite outlier — the hard case: it parses,
+                // it's finite, and it's three orders of magnitude off.
+                _ => value * 1e3 + 1e4,
+            };
+            fired += 1;
+            self.record("corrupt", d, u, t);
+            return (FaultAction::Deliver(corrupted), fired);
+        }
+
+        // (4) Straggler: the report is fine but late.
+        if cfg.straggler_rate > 0.0
+            && unit(hash4(self.seed ^ SALT_STRAGGLER, d, u, t)) < cfg.straggler_rate
+        {
+            fired += 1;
+            self.record("straggler", d, u, t);
+            return (
+                FaultAction::Delay {
+                    due_in: cfg.straggler_delay_days.max(1),
+                    value,
+                },
+                fired,
+            );
+        }
+
+        (FaultAction::Deliver(value), fired)
+    }
+
+    fn record(&self, kind: &'static str, day: u64, user: u64, task: u64) {
+        eta2_obs::counter("fault.injected", 1);
+        eta2_obs::emit_with(|| eta2_obs::Event::FaultInjected {
+            kind,
+            day,
+            user,
+            task,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(config: FaultConfig) -> FaultPlan {
+        FaultPlan::new(config, 42)
+    }
+
+    #[test]
+    fn inactive_plan_is_transparent() {
+        let p = plan(FaultConfig::default());
+        assert!(!p.is_active());
+        for (day, user, task) in [(0, 0, 0), (3, 7, 11), (4, 100, 999)] {
+            let (action, fired) = p.apply(day, UserId(user), TaskId(task), 1.5);
+            assert_eq!(action, FaultAction::Deliver(1.5));
+            assert_eq!(fired, 0);
+        }
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_order_independent() {
+        let cfg = FaultConfig {
+            dropout_rate: 0.3,
+            corrupt_rate: 0.2,
+            straggler_rate: 0.1,
+            collusion_fraction: 0.2,
+            collusion_bias: 5.0,
+            ..FaultConfig::default()
+        };
+        let p = plan(cfg);
+        let coords: Vec<(usize, u32, u32)> = (0..5)
+            .flat_map(|d| (0..20).map(move |u| (d, u, u * 3)))
+            .collect();
+        let forward: Vec<(FaultAction, usize)> = coords
+            .iter()
+            .map(|&(d, u, t)| p.apply(d, UserId(u), TaskId(t), 2.0))
+            .collect();
+        let backward: Vec<(FaultAction, usize)> = coords
+            .iter()
+            .rev()
+            .map(|&(d, u, t)| p.apply(d, UserId(u), TaskId(t), 2.0))
+            .collect();
+        let mut backward = backward;
+        backward.reverse();
+        // Same decision regardless of query order; NaN corruptions break
+        // PartialEq so compare debug strings.
+        assert_eq!(format!("{forward:?}"), format!("{backward:?}"));
+        // A different seed makes different decisions.
+        let other = FaultPlan::new(cfg, 43);
+        let moved: Vec<(FaultAction, usize)> = coords
+            .iter()
+            .map(|&(d, u, t)| other.apply(d, UserId(u), TaskId(t), 2.0))
+            .collect();
+        assert_ne!(format!("{forward:?}"), format!("{moved:?}"));
+    }
+
+    #[test]
+    fn rates_are_approximately_honored() {
+        let p = plan(FaultConfig {
+            dropout_rate: 0.3,
+            ..FaultConfig::default()
+        });
+        let n = 10_000;
+        let dropped = (0..n)
+            .filter(|&i| {
+                matches!(
+                    p.apply(1, UserId(i % 50), TaskId(i), 0.0).0,
+                    FaultAction::Drop
+                )
+            })
+            .count();
+        let rate = dropped as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.02, "observed dropout rate {rate}");
+    }
+
+    #[test]
+    fn corruption_produces_garbage_values() {
+        let p = plan(FaultConfig {
+            corrupt_rate: 1.0,
+            ..FaultConfig::default()
+        });
+        let mut saw_nonfinite = false;
+        let mut saw_outlier = false;
+        for i in 0..100 {
+            match p.apply(2, UserId(i), TaskId(i), 1.0).0 {
+                FaultAction::Deliver(x) if !x.is_finite() => saw_nonfinite = true,
+                FaultAction::Deliver(x) => {
+                    assert!(x.abs() > 1e3, "corrupted value {x} suspiciously clean");
+                    saw_outlier = true;
+                }
+                other => panic!("corrupt_rate 1.0 must corrupt, got {other:?}"),
+            }
+        }
+        assert!(saw_nonfinite && saw_outlier);
+    }
+
+    #[test]
+    fn stragglers_carry_their_value_and_delay() {
+        let p = plan(FaultConfig {
+            straggler_rate: 1.0,
+            straggler_delay_days: 2,
+            ..FaultConfig::default()
+        });
+        match p.apply(1, UserId(3), TaskId(9), 7.25).0 {
+            FaultAction::Delay { due_in, value } => {
+                assert_eq!(due_in, 2);
+                assert_eq!(value, 7.25);
+            }
+            other => panic!("expected delay, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn colluders_bias_consistently_per_task() {
+        let cfg = FaultConfig {
+            collusion_fraction: 0.5,
+            collusion_bias: 10.0,
+            ..FaultConfig::default()
+        };
+        let p = plan(cfg);
+        let colluders: Vec<u32> = (0..40).filter(|&u| p.is_colluder(UserId(u))).collect();
+        assert!(
+            colluders.len() >= 10 && colluders.len() <= 30,
+            "clique size {} far from 50% of 40",
+            colluders.len()
+        );
+        // All clique members shift the same task the same way.
+        for task in [TaskId(0), TaskId(5)] {
+            let shifts: Vec<f64> = colluders
+                .iter()
+                .map(|&u| match p.apply(2, UserId(u), task, 1.0).0 {
+                    FaultAction::Deliver(x) => x - 1.0,
+                    other => panic!("unexpected {other:?}"),
+                })
+                .collect();
+            assert!(shifts.iter().all(|&s| s == shifts[0]));
+            assert_eq!(shifts[0].abs(), 10.0);
+        }
+        // Clique membership does not depend on day or task.
+        for &u in &colluders {
+            assert!(p.is_colluder(UserId(u)));
+        }
+        // Non-members deliver clean values.
+        for u in (0..40).filter(|&u| !p.is_colluder(UserId(u))) {
+            assert_eq!(
+                p.apply(2, UserId(u), TaskId(0), 1.0).0,
+                FaultAction::Deliver(1.0)
+            );
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        FaultConfig::default().validate();
+        let bad = FaultConfig {
+            dropout_rate: 1.5,
+            ..FaultConfig::default()
+        };
+        assert!(std::panic::catch_unwind(move || bad.validate()).is_err());
+        let bad = FaultConfig {
+            straggler_rate: 0.1,
+            straggler_delay_days: 0,
+            ..FaultConfig::default()
+        };
+        assert!(std::panic::catch_unwind(move || bad.validate()).is_err());
+    }
+
+    #[test]
+    fn serde_defaults_keep_old_configs_loading() {
+        let cfg: FaultConfig = serde_json::from_str("{}").unwrap();
+        assert_eq!(cfg, FaultConfig::default());
+        assert!(!cfg.is_active());
+        let cfg: FaultConfig = serde_json::from_str(r#"{"dropout_rate":0.25}"#).unwrap();
+        assert_eq!(cfg.dropout_rate, 0.25);
+        assert_eq!(cfg.max_task_retries, 2);
+    }
+}

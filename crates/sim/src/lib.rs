@@ -15,7 +15,9 @@
 //! three reliability-based comparison methods, and the random/mean
 //! Baseline. [`metrics::RunMetrics`] captures everything the paper's
 //! figures need; [`sweep`] averages runs over seeds and sweeps parameters
-//! (τ, α, γ, c°, bias) for the evaluation harness.
+//! (τ, α, γ, c°, bias) for the evaluation harness. [`faults`] injects
+//! deterministic user dropout, report corruption, stragglers and colluding
+//! cliques for robustness experiments.
 //!
 //! # Examples
 //!
@@ -31,8 +33,34 @@
 //! }
 //! .generate(1);
 //! let sim = Simulation::new(SimConfig::default());
-//! let metrics = sim.run(&dataset, ApproachKind::Eta2, 7);
+//! let metrics = sim.run(&dataset, ApproachKind::Eta2, 7).unwrap();
 //! assert_eq!(metrics.daily_error.len(), SimConfig::default().days);
+//! assert!(metrics.overall_error.is_finite());
+//! ```
+//!
+//! A faulty world degrades quality instead of crashing:
+//!
+//! ```
+//! use eta2_datasets::synthetic::SyntheticConfig;
+//! use eta2_sim::{ApproachKind, FaultConfig, SimConfig, Simulation};
+//!
+//! let dataset = SyntheticConfig {
+//!     n_users: 20,
+//!     n_tasks: 60,
+//!     n_domains: 3,
+//!     ..SyntheticConfig::default()
+//! }
+//! .generate(1);
+//! let sim = Simulation::new(SimConfig {
+//!     faults: FaultConfig {
+//!         dropout_rate: 0.3,
+//!         corrupt_rate: 0.05,
+//!         ..FaultConfig::default()
+//!     },
+//!     ..SimConfig::default()
+//! });
+//! let metrics = sim.run(&dataset, ApproachKind::Eta2, 7).unwrap();
+//! assert!(metrics.faults_injected > 0);
 //! assert!(metrics.overall_error.is_finite());
 //! ```
 
@@ -41,11 +69,13 @@
 
 pub mod config;
 pub mod engine;
+pub mod faults;
 pub mod metrics;
 pub mod pipeline;
 pub mod sweep;
 
 pub use config::{ApproachKind, SimConfig};
 pub use engine::Simulation;
+pub use faults::{FaultAction, FaultConfig, FaultPlan};
 pub use metrics::{MetricsSummary, RunMetrics};
-pub use pipeline::train_embedding_for;
+pub use pipeline::{train_embedding_for, PipelineError};

@@ -35,6 +35,14 @@ pub struct RunMetrics {
     /// Number of expertise domains at the end of the run (learned or
     /// oracle).
     pub final_domains: usize,
+    /// Faults fired by the injection plan (dropouts, corruptions,
+    /// stragglers, collusion-biased reports) — 0 in fault-free runs.
+    #[serde(default)]
+    pub faults_injected: usize,
+    /// Day-level re-allocations of tasks that ended a day with no usable
+    /// observation — 0 in fault-free runs.
+    #[serde(default)]
+    pub alloc_retries: usize,
 }
 
 impl RunMetrics {
@@ -140,6 +148,10 @@ pub fn average(runs: &[RunMetrics]) -> RunMetrics {
             .collect(),
         final_domains: (runs.iter().map(|r| r.final_domains).sum::<usize>() as f64 / n).round()
             as usize,
+        faults_injected: (runs.iter().map(|r| r.faults_injected).sum::<usize>() as f64 / n).round()
+            as usize,
+        alloc_retries: (runs.iter().map(|r| r.alloc_retries).sum::<usize>() as f64 / n).round()
+            as usize,
     }
 }
 
@@ -158,12 +170,16 @@ mod tests {
 
     #[test]
     fn average_of_two_runs() {
-        let a = mk(vec![1.0, 2.0], 1.5, 10.0);
+        let mut a = mk(vec![1.0, 2.0], 1.5, 10.0);
+        a.faults_injected = 4;
+        a.alloc_retries = 2;
         let b = mk(vec![3.0, 4.0], 3.5, 30.0);
         let avg = average(&[a, b]);
         assert_eq!(avg.daily_error, vec![2.0, 3.0]);
         assert_eq!(avg.overall_error, 2.5);
         assert_eq!(avg.total_cost, 20.0);
+        assert_eq!(avg.faults_injected, 2);
+        assert_eq!(avg.alloc_retries, 1);
     }
 
     #[test]

@@ -9,7 +9,38 @@ use eta2_datasets::sfv::SFV_TOPICS;
 use eta2_datasets::Dataset;
 use eta2_embed::corpus::TopicCorpus;
 use eta2_embed::pairword::pairword_distance;
-use eta2_embed::{Embedding, PairWordExtractor, SkipGramTrainer};
+use eta2_embed::{EmbedError, Embedding, PairWordExtractor, SkipGramTrainer};
+
+/// Error raised while setting up or running the identification pipeline.
+/// These were panics historically; surfacing them as values lets sweep
+/// drivers and the server degrade instead of aborting.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// Skip-gram training failed (empty vocabulary, bad config, …).
+    EmbeddingTraining(EmbedError),
+    /// A description dataset was run without a trained embedding.
+    MissingEmbedding,
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::EmbeddingTraining(e) => write!(f, "embedding training failed: {e}"),
+            PipelineError::MissingEmbedding => {
+                write!(f, "description datasets need an embedding")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::EmbeddingTraining(e) => Some(e),
+            PipelineError::MissingEmbedding => None,
+        }
+    }
+}
 
 /// Trains the skip-gram embedding appropriate for `dataset`, or `None` when
 /// the dataset's domains are known (synthetic — no clustering needed).
@@ -17,20 +48,27 @@ use eta2_embed::{Embedding, PairWordExtractor, SkipGramTrainer};
 /// The corpus mirrors the dataset's topical structure: the built-in topic
 /// corpus for the survey dataset, the SFV slot-family corpus for SFV. This
 /// is the Wikipedia substitution documented in DESIGN.md §3.
-pub fn train_embedding_for(dataset: &Dataset, config: &SimConfig) -> Option<Embedding> {
+///
+/// # Errors
+///
+/// Returns [`PipelineError::EmbeddingTraining`] when skip-gram training
+/// fails (e.g. the corpus yields an empty vocabulary).
+pub fn train_embedding_for(
+    dataset: &Dataset,
+    config: &SimConfig,
+) -> Result<Option<Embedding>, PipelineError> {
     if dataset.domains_known {
-        return None;
+        return Ok(None);
     }
     let corpus = match dataset.name.as_str() {
         "sfv" => TopicCorpus::with_topics(SFV_TOPICS.to_vec()),
         _ => TopicCorpus::builtin(),
     };
     let sentences = corpus.generate(config.corpus_documents, config.skipgram.seed);
-    Some(
-        SkipGramTrainer::new(config.skipgram)
-            .train_sentences(&sentences)
-            .expect("topic corpus always yields a vocabulary"),
-    )
+    SkipGramTrainer::new(config.skipgram)
+        .train_sentences(&sentences)
+        .map(Some)
+        .map_err(PipelineError::EmbeddingTraining)
 }
 
 /// A semantic point for clustering: the concatenated `[V_Q, V_T]` vector,
@@ -72,15 +110,20 @@ impl<'a> DomainTracker<'a> {
     /// Creates the tracker: oracle when the dataset's domains are known,
     /// learned otherwise (requiring the trained `embedding`).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the dataset needs clustering but `embedding` is `None`.
-    pub fn new(dataset: &Dataset, embedding: Option<&'a Embedding>, config: &SimConfig) -> Self {
+    /// Returns [`PipelineError::MissingEmbedding`] when the dataset needs
+    /// clustering but `embedding` is `None`.
+    pub fn new(
+        dataset: &Dataset,
+        embedding: Option<&'a Embedding>,
+        config: &SimConfig,
+    ) -> Result<Self, PipelineError> {
         if dataset.domains_known {
-            DomainTracker::Oracle
+            Ok(DomainTracker::Oracle)
         } else {
-            let embedding = embedding.expect("description datasets need an embedding");
-            DomainTracker::Learned(Box::new(LearnedTracker {
+            let embedding = embedding.ok_or(PipelineError::MissingEmbedding)?;
+            Ok(DomainTracker::Learned(Box::new(LearnedTracker {
                 embedding,
                 extractor: PairWordExtractor::new(),
                 clusterer: DynamicClusterer::new(
@@ -88,7 +131,7 @@ impl<'a> DomainTracker<'a> {
                     config.gamma,
                 ),
                 dim: embedding.dim(),
-            }))
+            })))
         }
     }
 
@@ -171,8 +214,8 @@ mod tests {
         }
         .generate(0);
         let cfg = small_config();
-        assert!(train_embedding_for(&ds, &cfg).is_none());
-        let mut tracker = DomainTracker::new(&ds, None, &cfg);
+        assert!(train_embedding_for(&ds, &cfg).unwrap().is_none());
+        let mut tracker = DomainTracker::new(&ds, None, &cfg).unwrap();
         let batch = tracker.identify(&ds, &[0, 1, 2]);
         assert_eq!(batch.domains.len(), 3);
         assert!(batch.merges.is_empty());
@@ -186,8 +229,10 @@ mod tests {
     fn survey_pipeline_learns_coherent_domains() {
         let ds = SurveyConfig::default().generate(3);
         let cfg = small_config();
-        let emb = train_embedding_for(&ds, &cfg).expect("survey needs embedding");
-        let mut tracker = DomainTracker::new(&ds, Some(&emb), &cfg);
+        let emb = train_embedding_for(&ds, &cfg)
+            .unwrap()
+            .expect("survey needs embedding");
+        let mut tracker = DomainTracker::new(&ds, Some(&emb), &cfg).unwrap();
 
         // Warm up on the first 60 tasks, then add the rest.
         let warm: Vec<usize> = (0..60).collect();
@@ -239,8 +284,8 @@ mod tests {
         }
         .generate(1);
         let cfg = small_config();
-        let emb = train_embedding_for(&ds, &cfg).unwrap();
-        let mut tracker = DomainTracker::new(&ds, Some(&emb), &cfg);
+        let emb = train_embedding_for(&ds, &cfg).unwrap().unwrap();
+        let mut tracker = DomainTracker::new(&ds, Some(&emb), &cfg).unwrap();
         let b = tracker.identify(&ds, &(0..40).collect::<Vec<_>>());
         assert_eq!(b.domains.len(), 40);
         let distinct: HashSet<DomainId> = b.domains.iter().copied().collect();
@@ -249,9 +294,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "description datasets need an embedding")]
     fn learned_tracker_requires_embedding() {
         let ds = SurveyConfig::default().generate(0);
-        DomainTracker::new(&ds, None, &small_config());
+        let err = DomainTracker::new(&ds, None, &small_config()).unwrap_err();
+        assert!(matches!(err, PipelineError::MissingEmbedding));
+        assert!(err.to_string().contains("need an embedding"));
     }
 }

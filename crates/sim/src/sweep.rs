@@ -8,6 +8,7 @@
 use crate::config::{ApproachKind, SimConfig};
 use crate::engine::Simulation;
 use crate::metrics::{average, RunMetrics};
+use crate::pipeline::PipelineError;
 use eta2_datasets::Dataset;
 use eta2_embed::Embedding;
 
@@ -21,6 +22,10 @@ use eta2_embed::Embedding;
 /// # Panics
 ///
 /// Panics if `n_seeds == 0`.
+///
+/// # Errors
+///
+/// Returns the first [`PipelineError`] any seed's run raised.
 ///
 /// # Examples
 ///
@@ -43,7 +48,8 @@ use eta2_embed::Embedding;
 ///     }
 ///     .generate(seed),
 ///     None,
-/// );
+/// )
+/// .unwrap();
 /// assert_eq!(avg.daily_error.len(), 5);
 /// ```
 pub fn average_over_seeds<F>(
@@ -53,7 +59,7 @@ pub fn average_over_seeds<F>(
     base_seed: u64,
     make_dataset: F,
     embedding: Option<&Embedding>,
-) -> RunMetrics
+) -> Result<RunMetrics, PipelineError>
 where
     F: Fn(u64) -> Dataset + Sync,
 {
@@ -63,30 +69,33 @@ where
         .unwrap_or(1)
         .min(n_seeds as usize);
 
-    let runs: Vec<RunMetrics> = crossbeam::thread::scope(|scope| {
+    let runs: Result<Vec<RunMetrics>, PipelineError> = crossbeam::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         for w in 0..workers {
             let make_dataset = &make_dataset;
             let sim = &sim;
-            handles.push(scope.spawn(move |_| {
-                let mut out = Vec::new();
-                let mut seed = base_seed + w as u64;
-                while seed < base_seed + n_seeds {
-                    let dataset = make_dataset(seed);
-                    out.push(sim.run_with_embedding(&dataset, approach, seed, embedding));
-                    seed += workers as u64;
-                }
-                out
-            }));
+            handles.push(
+                scope.spawn(move |_| -> Result<Vec<RunMetrics>, PipelineError> {
+                    let mut out = Vec::new();
+                    let mut seed = base_seed + w as u64;
+                    while seed < base_seed + n_seeds {
+                        let dataset = make_dataset(seed);
+                        out.push(sim.run_with_embedding(&dataset, approach, seed, embedding)?);
+                        seed += workers as u64;
+                    }
+                    Ok(out)
+                }),
+            );
         }
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("simulation worker panicked"))
-            .collect()
+        let mut all = Vec::new();
+        for h in handles {
+            all.extend(h.join().expect("simulation worker panicked")?);
+        }
+        Ok(all)
     })
     .expect("crossbeam scope failed");
 
-    average(&runs)
+    Ok(average(&runs?))
 }
 
 /// One point of a one-dimensional sweep: the swept value and the averaged
@@ -101,6 +110,10 @@ pub struct SweepPoint {
 
 /// Sweeps the average processing capability `τ` (Figs. 6/9/10/11): for each
 /// `τ`, users' capacities are re-rolled per seed from `[τ − 4, τ + 4]`.
+///
+/// # Errors
+///
+/// Returns the first [`PipelineError`] any point's runs raised.
 pub fn sweep_tau<F>(
     sim: &Simulation,
     approach: ApproachKind,
@@ -108,29 +121,33 @@ pub fn sweep_tau<F>(
     n_seeds: u64,
     make_dataset: F,
     embedding: Option<&Embedding>,
-) -> Vec<SweepPoint>
+) -> Result<Vec<SweepPoint>, PipelineError>
 where
     F: Fn(u64) -> Dataset + Sync,
 {
-    taus.iter()
-        .map(|&tau| {
-            let make = |seed: u64| {
-                let mut ds = make_dataset(seed);
-                let mut rng =
-                    <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed ^ 0x7a75_0000);
-                ds.regenerate_capacities(tau, 4.0, &mut rng);
-                ds
-            };
-            SweepPoint {
-                x: tau,
-                metrics: average_over_seeds(sim, approach, n_seeds, 0, make, embedding),
-            }
-        })
-        .collect()
+    let mut points = Vec::with_capacity(taus.len());
+    for &tau in taus {
+        let make = |seed: u64| {
+            let mut ds = make_dataset(seed);
+            let mut rng =
+                <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed ^ 0x7a75_0000);
+            ds.regenerate_capacities(tau, 4.0, &mut rng);
+            ds
+        };
+        points.push(SweepPoint {
+            x: tau,
+            metrics: average_over_seeds(sim, approach, n_seeds, 0, make, embedding)?,
+        });
+    }
+    Ok(points)
 }
 
 /// Sweeps the simulation configuration itself (α, γ, c°, …): `configure`
 /// maps each swept value to a [`SimConfig`].
+///
+/// # Errors
+///
+/// Returns the first [`PipelineError`] any point's runs raised.
 pub fn sweep_config<F, G>(
     values: &[f64],
     configure: G,
@@ -138,21 +155,20 @@ pub fn sweep_config<F, G>(
     n_seeds: u64,
     make_dataset: F,
     embedding: Option<&Embedding>,
-) -> Vec<SweepPoint>
+) -> Result<Vec<SweepPoint>, PipelineError>
 where
     F: Fn(u64) -> Dataset + Sync,
     G: Fn(f64) -> SimConfig,
 {
-    values
-        .iter()
-        .map(|&x| {
-            let sim = Simulation::new(configure(x));
-            SweepPoint {
-                x,
-                metrics: average_over_seeds(&sim, approach, n_seeds, 0, &make_dataset, embedding),
-            }
-        })
-        .collect()
+    let mut points = Vec::with_capacity(values.len());
+    for &x in values {
+        let sim = Simulation::new(configure(x));
+        points.push(SweepPoint {
+            x,
+            metrics: average_over_seeds(&sim, approach, n_seeds, 0, &make_dataset, embedding)?,
+        });
+    }
+    Ok(points)
 }
 
 #[cfg(test)]
@@ -173,8 +189,8 @@ mod tests {
     #[test]
     fn averaging_is_deterministic() {
         let sim = Simulation::new(SimConfig::default());
-        let a = average_over_seeds(&sim, ApproachKind::Baseline, 3, 0, make, None);
-        let b = average_over_seeds(&sim, ApproachKind::Baseline, 3, 0, make, None);
+        let a = average_over_seeds(&sim, ApproachKind::Baseline, 3, 0, make, None).unwrap();
+        let b = average_over_seeds(&sim, ApproachKind::Baseline, 3, 0, make, None).unwrap();
         assert_eq!(a.daily_error, b.daily_error);
         assert_eq!(a.overall_error, b.overall_error);
     }
@@ -182,9 +198,9 @@ mod tests {
     #[test]
     fn parallel_equals_manual_average() {
         let sim = Simulation::new(SimConfig::default());
-        let avg = average_over_seeds(&sim, ApproachKind::Baseline, 4, 10, make, None);
+        let avg = average_over_seeds(&sim, ApproachKind::Baseline, 4, 10, make, None).unwrap();
         let runs: Vec<RunMetrics> = (10..14)
-            .map(|s| sim.run(&make(s), ApproachKind::Baseline, s))
+            .map(|s| sim.run(&make(s), ApproachKind::Baseline, s).unwrap())
             .collect();
         let manual = average(&runs);
         assert!((avg.overall_error - manual.overall_error).abs() < 1e-12);
@@ -195,13 +211,13 @@ mod tests {
     #[should_panic(expected = "need at least one seed")]
     fn zero_seeds_panics() {
         let sim = Simulation::new(SimConfig::default());
-        average_over_seeds(&sim, ApproachKind::Baseline, 0, 0, make, None);
+        let _ = average_over_seeds(&sim, ApproachKind::Baseline, 0, 0, make, None);
     }
 
     #[test]
     fn tau_sweep_rerolls_capacities() {
         let sim = Simulation::new(SimConfig::default());
-        let points = sweep_tau(&sim, ApproachKind::Baseline, &[6.0, 14.0], 2, make, None);
+        let points = sweep_tau(&sim, ApproachKind::Baseline, &[6.0, 14.0], 2, make, None).unwrap();
         assert_eq!(points.len(), 2);
         assert_eq!(points[0].x, 6.0);
         // More capability → more assignments → higher total cost.
@@ -220,7 +236,8 @@ mod tests {
             2,
             make,
             None,
-        );
+        )
+        .unwrap();
         assert_eq!(points.len(), 2);
         assert!(points.iter().all(|p| p.metrics.overall_error.is_finite()));
     }

@@ -24,7 +24,7 @@ proptest! {
         let ds = tiny(ds_seed);
         let sim = Simulation::new(SimConfig::default());
         for approach in ApproachKind::ALL {
-            let m = sim.run(&ds, approach, run_seed);
+            let m = sim.run(&ds, approach, run_seed).unwrap();
             prop_assert_eq!(m.daily_error.len(), 5, "{}", approach.name());
             prop_assert!(m.total_cost >= 0.0);
             prop_assert!(m.uncovered_tasks <= ds.tasks.len());
@@ -43,7 +43,7 @@ proptest! {
             days,
             ..SimConfig::default()
         });
-        let m = sim.run(&ds, ApproachKind::Eta2, 0);
+        let m = sim.run(&ds, ApproachKind::Eta2, 0).unwrap();
         prop_assert_eq!(m.daily_error.len(), days);
     }
 
@@ -59,7 +59,7 @@ proptest! {
         }
         let sim = Simulation::new(SimConfig::default());
         for approach in [ApproachKind::Eta2, ApproachKind::Baseline, ApproachKind::TruthFinder] {
-            let m = sim.run(&ds, approach, run_seed);
+            let m = sim.run(&ds, approach, run_seed).unwrap();
             // Half the users are idle: the cost can be at most half of the
             // full-capacity saturation, which for this instance is bounded
             // by users × tasks.
@@ -86,7 +86,7 @@ fn collapse_domains_hurts_on_heterogeneous_expertise() {
     let seeds = 5;
     let avg = |sim: &Simulation| -> f64 {
         (0..seeds)
-            .map(|s| sim.run(&ds, ApproachKind::Eta2, s).overall_error)
+            .map(|s| sim.run(&ds, ApproachKind::Eta2, s).unwrap().overall_error)
             .sum::<f64>()
             / seeds as f64
     };

@@ -1,0 +1,133 @@
+//! End-to-end robustness test: seeded fault injection (dropout, report
+//! corruption, stragglers, collusion) must degrade quality — never crash —
+//! for every approach, and the degradation must be observable through the
+//! metrics registry and the event trace.
+//!
+//! Kept as a single `#[test]` because the obs sink and metrics gate are
+//! process-global: one sequential scenario avoids cross-test interleaving.
+
+use eta2_datasets::synthetic::SyntheticConfig;
+use eta2_sim::{ApproachKind, FaultConfig, SimConfig, Simulation};
+use serde_json::Value;
+
+fn dataset() -> eta2_datasets::Dataset {
+    SyntheticConfig {
+        n_users: 20,
+        n_tasks: 60,
+        n_domains: 3,
+        ..SyntheticConfig::default()
+    }
+    .generate(42)
+}
+
+fn faulty_config(faults: FaultConfig) -> SimConfig {
+    SimConfig {
+        faults,
+        ..SimConfig::default()
+    }
+}
+
+#[test]
+fn faulty_runs_complete_for_every_approach_with_observable_degradation() {
+    let ds = dataset();
+
+    // The issue's headline scenario: 30% dropout + 5% corruption.
+    let cfg = faulty_config(FaultConfig {
+        dropout_rate: 0.3,
+        corrupt_rate: 0.05,
+        ..FaultConfig::default()
+    });
+    let sim = Simulation::new(cfg.clone());
+
+    eta2_obs::registry::global().reset();
+    let handle = eta2_obs::install_memory();
+
+    let approaches: Vec<ApproachKind> = ApproachKind::ALL
+        .iter()
+        .copied()
+        .chain([ApproachKind::Crh])
+        .collect();
+    for approach in &approaches {
+        let m = sim
+            .run(&ds, *approach, 7)
+            .unwrap_or_else(|e| panic!("{} failed under faults: {e}", approach.name()));
+        assert_eq!(m.daily_error.len(), cfg.days, "{}", approach.name());
+        for (day, e) in m.daily_error.iter().enumerate() {
+            assert!(
+                e.is_finite(),
+                "{}: day {day} error not finite: {e}",
+                approach.name()
+            );
+        }
+        assert!(
+            m.overall_error.is_finite(),
+            "{}: overall error {}",
+            approach.name(),
+            m.overall_error
+        );
+        assert!(
+            m.faults_injected > 0,
+            "{}: plan injected nothing",
+            approach.name()
+        );
+    }
+
+    // A harsher world — heavy dropout plus stragglers and a colluding
+    // clique — exercises the whole degradation ladder (mean fallback,
+    // re-allocation retries) so every robustness counter fires.
+    let harsh = Simulation::new(faulty_config(FaultConfig {
+        dropout_rate: 0.7,
+        corrupt_rate: 0.1,
+        straggler_rate: 0.1,
+        collusion_fraction: 0.2,
+        collusion_bias: 3.0,
+        ..FaultConfig::default()
+    }));
+    for approach in [ApproachKind::Eta2, ApproachKind::Eta2MinCost] {
+        let m = harsh.run(&ds, approach, 7).unwrap();
+        assert!(m.overall_error.is_finite(), "{}", approach.name());
+    }
+
+    eta2_obs::disable();
+    eta2_obs::flush();
+
+    // Degradation is visible in the metrics snapshot.
+    let snap = eta2_obs::registry::global().snapshot_and_reset();
+    for counter in ["fault.injected", "mle.fallback", "alloc.retry"] {
+        assert!(
+            snap.counters.get(counter).copied().unwrap_or(0) > 0,
+            "counter {counter:?} missing or zero; counters = {:?}",
+            snap.counters
+        );
+    }
+    eta2_obs::set_metrics(false);
+
+    // The trace stays valid JSONL under fault injection, and the injected
+    // faults show up as events.
+    let lines = handle.lines();
+    assert!(!lines.is_empty());
+    // CI sets ETA2_TRACE and re-validates the dump out of process.
+    if let Some(path) = eta2_obs::env_path("ETA2_TRACE") {
+        std::fs::write(&path, lines.join("\n") + "\n").expect("trace dump writes");
+    }
+    let mut fault_events = 0usize;
+    for line in &lines {
+        let v: Value = serde_json::from_str(line)
+            .unwrap_or_else(|e| panic!("unparseable trace line {line:?}: {e}"));
+        if v["type"] == "fault_injected" {
+            fault_events += 1;
+            assert!(v["kind"].as_str().is_some(), "{line}");
+            assert!(v["day"].as_u64().is_some(), "{line}");
+        }
+    }
+    assert!(fault_events > 0, "no fault_injected events traced");
+
+    // Same seed, same plan: fault injection is deterministic end to end.
+    let a = sim.run(&ds, ApproachKind::Eta2, 7).unwrap();
+    let b = sim.run(&ds, ApproachKind::Eta2, 7).unwrap();
+    assert_eq!(
+        serde_json::to_string(&a).unwrap(),
+        serde_json::to_string(&b).unwrap(),
+        "faulty runs with one seed diverged"
+    );
+}

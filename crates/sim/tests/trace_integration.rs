@@ -38,6 +38,10 @@ fn required_keys(kind: &str) -> &'static [&'static str] {
             "all_passed",
         ],
         "sim_day" => &["day", "tasks", "error", "cumulative_cost"],
+        "fault_injected" => &["kind", "day", "user", "task"],
+        "mle_fallback" => &["source", "task", "observations", "reason"],
+        "alloc_retry" => &["strategy", "task", "attempt"],
+        "user_quarantined" => &["user", "domain", "mean_sq_error"],
         "run_summary" => &[
             "approach",
             "days",
@@ -60,13 +64,13 @@ fn traced_run_emits_all_subsystems_and_leaves_metrics_unchanged() {
     let sim = Simulation::new(SimConfig::default());
 
     // Reference run with tracing disabled (the default state).
-    let untraced: RunMetrics = sim.run(&dataset, ApproachKind::Eta2, 0);
+    let untraced: RunMetrics = sim.run(&dataset, ApproachKind::Eta2, 0).unwrap();
 
     // Same run, traced into memory; min-cost afterwards for its round
     // events.
     let handle = eta2_obs::install_memory();
-    let traced: RunMetrics = sim.run(&dataset, ApproachKind::Eta2, 0);
-    let _mc = sim.run(&dataset, ApproachKind::Eta2MinCost, 0);
+    let traced: RunMetrics = sim.run(&dataset, ApproachKind::Eta2, 0).unwrap();
+    let _mc = sim.run(&dataset, ApproachKind::Eta2MinCost, 0).unwrap();
     eta2_obs::disable();
 
     // Tracing must not perturb the simulation: identical serialized

@@ -28,7 +28,7 @@ fn main() {
         let mut err = 0.0;
         let mut cost = 0.0;
         for seed in 0..seeds {
-            let m = sim.run(&dataset, approach, seed);
+            let m = sim.run(&dataset, approach, seed).expect("simulation runs");
             err += m.overall_error / seeds as f64;
             cost += m.total_cost / seeds as f64;
         }

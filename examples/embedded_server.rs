@@ -91,7 +91,7 @@ fn main() {
             );
         }
 
-        let outcome = server.ingest(&reports);
+        let outcome = server.ingest(&reports).expect("finite reports");
         for &id in &ids {
             let est = server.truth(id).expect("analysed");
             let truth = batch[ids.iter().position(|&x| x == id).unwrap()].1;

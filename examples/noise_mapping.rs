@@ -20,8 +20,9 @@ fn main() {
     let config = SimConfig::default();
 
     println!("== 1. semantic substrate ==");
-    let embedding =
-        train_embedding_for(&dataset, &config).expect("survey descriptions need an embedding");
+    let embedding = train_embedding_for(&dataset, &config)
+        .expect("embedding trains")
+        .expect("survey descriptions need an embedding");
     println!(
         "skip-gram trained: {} words x {} dims",
         embedding.len(),
@@ -64,7 +65,9 @@ fn main() {
         let mut daily = vec![0.0; 5];
         let mut domains = 0;
         for seed in 0..seeds {
-            let m = sim.run_with_embedding(&dataset, approach, seed, Some(&embedding));
+            let m = sim
+                .run_with_embedding(&dataset, approach, seed, Some(&embedding))
+                .expect("simulation runs");
             for (d, e) in m.daily_error.iter().enumerate() {
                 daily[d] += e / seeds as f64;
             }

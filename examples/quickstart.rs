@@ -39,7 +39,7 @@ fn main() {
         let mut daily = vec![0.0; 5];
         let mut overall = 0.0;
         for seed in 0..seeds {
-            let m = sim.run(&dataset, approach, seed);
+            let m = sim.run(&dataset, approach, seed).expect("simulation runs");
             for (d, e) in m.daily_error.iter().enumerate() {
                 daily[d] += e / seeds as f64;
             }

@@ -24,8 +24,8 @@ fn simulated_min_cost_is_cheaper_with_similar_error() {
     let mut mq = (0.0, 0.0);
     let mut mc = (0.0, 0.0);
     for seed in 0..seeds {
-        let a = sim.run(&ds, ApproachKind::Eta2, seed);
-        let b = sim.run(&ds, ApproachKind::Eta2MinCost, seed);
+        let a = sim.run(&ds, ApproachKind::Eta2, seed).unwrap();
+        let b = sim.run(&ds, ApproachKind::Eta2MinCost, seed).unwrap();
         mq.0 += a.overall_error / seeds as f64;
         mq.1 += a.total_cost / seeds as f64;
         mc.0 += b.overall_error / seeds as f64;
@@ -57,7 +57,7 @@ fn round_budget_extremes_still_meet_quality() {
             },
             ..SimConfig::default()
         });
-        let m = sim.run(&ds, ApproachKind::Eta2MinCost, 0);
+        let m = sim.run(&ds, ApproachKind::Eta2MinCost, 0).unwrap();
         assert!(
             m.overall_error.is_finite() && m.total_cost > 0.0,
             "c° = {round_budget}"
@@ -125,7 +125,9 @@ fn higher_capability_reduces_error() {
                 let mut ds = base.generate(seed);
                 let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
                 ds.regenerate_capacities(tau, 4.0, &mut rng);
-                sim.run(&ds, ApproachKind::Eta2, seed).overall_error
+                sim.run(&ds, ApproachKind::Eta2, seed)
+                    .unwrap()
+                    .overall_error
             })
             .sum::<f64>()
             / seeds as f64
@@ -147,7 +149,7 @@ fn table2_assignment_stats_shape() {
     // `table2_allocation_stats` bench.)
     let ds = SyntheticConfig::default().generate(5);
     let sim = Simulation::new(SimConfig::default());
-    let m = sim.run(&ds, ApproachKind::Eta2, 0);
+    let m = sim.run(&ds, ApproachKind::Eta2, 0).unwrap();
     assert!(!m.assignment_stats.is_empty());
     let counts: Vec<usize> = m.assignment_stats.iter().map(|&(n, _)| n).collect();
     assert!(counts.iter().all(|&n| n >= 1));
@@ -173,7 +175,11 @@ fn table2_expertise_gradient_in_paper_exact_mode() {
     });
     let mut stats = Vec::new();
     for seed in 0..3 {
-        stats.extend(sim.run(&ds, ApproachKind::Eta2, seed).assignment_stats);
+        stats.extend(
+            sim.run(&ds, ApproachKind::Eta2, seed)
+                .unwrap()
+                .assignment_stats,
+        );
     }
     let bucket = |lo: usize, hi: usize| -> f64 {
         let vals: Vec<f64> = stats

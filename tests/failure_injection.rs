@@ -26,7 +26,7 @@ fn all_users_zero_capacity_yields_uncovered_tasks_not_panics() {
     }
     let sim = Simulation::new(SimConfig::default());
     for approach in ApproachKind::ALL {
-        let m = sim.run(&ds, approach, 0);
+        let m = sim.run(&ds, approach, 0).unwrap();
         assert_eq!(m.total_cost, 0.0, "{}", approach.name());
         assert_eq!(m.uncovered_tasks, 12, "{}", approach.name());
         // No estimates exist, so daily errors are NaN by contract.
@@ -141,7 +141,7 @@ fn extreme_outlier_contamination_degrades_gracefully() {
     .generate(1);
     ds.set_uniform_bias(1.0);
     let sim = Simulation::new(SimConfig::default());
-    let m = sim.run(&ds, ApproachKind::Eta2, 0);
+    let m = sim.run(&ds, ApproachKind::Eta2, 0).unwrap();
     assert!(m.overall_error.is_finite());
     assert!(m.overall_error < 2.0, "error exploded: {}", m.overall_error);
 }

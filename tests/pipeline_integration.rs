@@ -24,7 +24,7 @@ fn synthetic_all_approaches_produce_finite_errors() {
     .generate(0);
     let sim = small_sim();
     for approach in ApproachKind::ALL {
-        let m = sim.run(&ds, approach, 0);
+        let m = sim.run(&ds, approach, 0).unwrap();
         assert!(
             m.daily_error.iter().all(|e| e.is_finite()),
             "{}: {:?}",
@@ -47,7 +47,7 @@ fn eta2_beats_every_baseline_on_synthetic() {
     let sim = small_sim();
     let avg = |approach: ApproachKind| -> f64 {
         (0..5)
-            .map(|seed| sim.run(&ds, approach, seed).overall_error)
+            .map(|seed| sim.run(&ds, approach, seed).unwrap().overall_error)
             .sum::<f64>()
             / 5.0
     };
@@ -67,11 +67,14 @@ fn eta2_beats_every_baseline_on_synthetic() {
 fn survey_full_text_pipeline_works_and_wins() {
     let ds = SurveyConfig::default().generate(3);
     let sim = small_sim();
-    let emb = train_embedding_for(&ds, sim.config()).expect("survey needs embedding");
+    let emb = train_embedding_for(&ds, sim.config())
+        .expect("embedding trains")
+        .expect("survey needs embedding");
     let avg = |approach: ApproachKind| -> f64 {
         (0..3)
             .map(|seed| {
                 sim.run_with_embedding(&ds, approach, seed, Some(&emb))
+                    .unwrap()
                     .overall_error
             })
             .sum::<f64>()
@@ -94,8 +97,12 @@ fn sfv_full_text_pipeline_runs() {
     }
     .generate(4);
     let sim = small_sim();
-    let emb = train_embedding_for(&ds, sim.config()).expect("sfv needs embedding");
-    let m = sim.run_with_embedding(&ds, ApproachKind::Eta2, 0, Some(&emb));
+    let emb = train_embedding_for(&ds, sim.config())
+        .expect("embedding trains")
+        .expect("sfv needs embedding");
+    let m = sim
+        .run_with_embedding(&ds, ApproachKind::Eta2, 0, Some(&emb))
+        .unwrap();
     assert!(m.overall_error.is_finite());
     assert!(
         m.final_domains >= 2 && m.final_domains <= 20,
@@ -115,8 +122,8 @@ fn runs_are_reproducible_across_processes() {
     }
     .generate(9);
     let sim = small_sim();
-    let a = sim.run(&ds, ApproachKind::Eta2MinCost, 5);
-    let b = sim.run(&ds, ApproachKind::Eta2MinCost, 5);
+    let a = sim.run(&ds, ApproachKind::Eta2MinCost, 5).unwrap();
+    let b = sim.run(&ds, ApproachKind::Eta2MinCost, 5).unwrap();
     assert_eq!(a, b);
 }
 
@@ -132,7 +139,7 @@ fn mle_iteration_counts_match_fig12_shape() {
     }
     .generate(2);
     let sim = small_sim();
-    let m = sim.run(&ds, ApproachKind::Eta2, 0);
+    let m = sim.run(&ds, ApproachKind::Eta2, 0).unwrap();
     assert!(!m.mle_iterations.is_empty());
     let within_60 = m.mle_iterations.iter().filter(|&&it| it <= 60).count() as f64
         / m.mle_iterations.len() as f64;
