@@ -1,0 +1,336 @@
+//! `perf_suite` — the hot-path performance baseline.
+//!
+//! Times the optimized implementations against their pre-optimization
+//! references on fixed synthetic workloads and persists everything as one
+//! JSON document (default `BENCH_perf.json` in the working directory):
+//!
+//! * **MLE** — the frozen reference solver
+//!   (`eta2_core::truth::reference`, per-task leave-one-out rescans) vs the
+//!   incremental-sufficient-statistics solver, sequential and parallel.
+//! * **Skip-gram** — sequential training vs the opt-in Hogwild trainer.
+//! * **Allocation** — the exhaustive-rescan greedy (`allocate_scan`) vs the
+//!   lazy-heap greedy, plus the min-cost allocator end to end.
+//!
+//! Each comparison also re-checks the parity contracts (parallel MLE and
+//! heap allocation bit-identical; Hogwild vectors finite) so the numbers
+//! can never silently describe diverging implementations.
+//!
+//! ```sh
+//! cargo run --release -p eta2-bench --bin perf_suite            # full
+//! cargo run --release -p eta2-bench --bin perf_suite -- --quick # CI-sized
+//! # flags: --quick  --threads N  --repeat N  --out PATH
+//! ```
+
+use eta2_core::allocation::{MaxQualityAllocator, MinCostAllocator, MinCostConfig};
+use eta2_core::model::{
+    DomainId, ExpertiseMatrix, ObservationSet, Task, TaskId, UserId, UserProfile,
+};
+use eta2_core::truth::mle::{ExpertiseAwareMle, MleConfig};
+use eta2_core::truth::reference;
+use eta2_embed::corpus::TopicCorpus;
+use eta2_embed::{SkipGramConfig, SkipGramTrainer};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde_json::{json, Value};
+use std::time::Instant;
+
+struct Options {
+    quick: bool,
+    threads: usize,
+    repeat: usize,
+    out: String,
+}
+
+fn parse_options() -> Options {
+    let mut opts = Options {
+        quick: false,
+        threads: 0,
+        repeat: 0,
+        out: "BENCH_perf.json".to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value_of = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} requires a value"))
+        };
+        match a.as_str() {
+            "--quick" => opts.quick = true,
+            "--threads" => {
+                opts.threads = value_of("--threads").parse().expect("--threads: integer")
+            }
+            "--repeat" => opts.repeat = value_of("--repeat").parse().expect("--repeat: integer"),
+            "--out" => opts.out = value_of("--out"),
+            other => panic!("unknown flag {other:?} (try --quick/--threads/--repeat/--out)"),
+        }
+    }
+    if opts.repeat == 0 {
+        opts.repeat = if opts.quick { 2 } else { 3 };
+    }
+    opts
+}
+
+/// Runs `f` `repeat` times; reports best and mean wall seconds.
+fn time_runs<T>(repeat: usize, mut f: impl FnMut() -> T) -> (Value, T) {
+    let mut best = f64::INFINITY;
+    let mut total = 0.0;
+    let mut last = None;
+    for _ in 0..repeat {
+        let t0 = Instant::now();
+        let out = f();
+        let secs = t0.elapsed().as_secs_f64();
+        best = best.min(secs);
+        total += secs;
+        last = Some(out);
+    }
+    (
+        json!({
+            "secs_best": best,
+            "secs_mean": total / repeat as f64,
+            "runs": repeat,
+        }),
+        last.expect("repeat >= 1"),
+    )
+}
+
+fn speedup(before: &Value, after: &Value) -> f64 {
+    before["secs_best"].as_f64().unwrap() / after["secs_best"].as_f64().unwrap()
+}
+
+/// Random multi-domain MLE workload: ~80 % observation density with a
+/// heavy-tailed mix of good and bad reporters.
+fn mle_world(
+    n_tasks: u32,
+    n_users: usize,
+    n_domains: u32,
+    seed: u64,
+) -> (Vec<Task>, ObservationSet) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tasks: Vec<Task> = (0..n_tasks)
+        .map(|j| Task::new(TaskId(j), DomainId(j % n_domains), 1.0, 1.0))
+        .collect();
+    let skills: Vec<f64> = (0..n_users).map(|_| rng.gen_range(0.2..3.0)).collect();
+    let mut obs = ObservationSet::new();
+    for t in &tasks {
+        let truth = rng.gen_range(-50.0..50.0);
+        for (i, &skill) in skills.iter().enumerate() {
+            if !rng.gen_bool(0.8) {
+                continue;
+            }
+            let noise: f64 = rng.gen_range(-1.0..1.0);
+            obs.insert(UserId(i as u32), t.id, truth + 3.0 * noise / skill);
+        }
+    }
+    (tasks, obs)
+}
+
+fn bench_mle(opts: &Options, threads: usize) -> Value {
+    let (n_tasks, n_users, n_domains) = if opts.quick {
+        (120u32, 60usize, 3u32)
+    } else {
+        (500, 200, 4)
+    };
+    let (tasks, obs) = mle_world(n_tasks, n_users, n_domains, 42);
+
+    let cfg_seq = MleConfig::default();
+    let cfg_par = MleConfig {
+        threads,
+        ..MleConfig::default()
+    };
+    let (t_ref, r_ref) = time_runs(opts.repeat, || {
+        reference::estimate_with_initial(&cfg_seq, &tasks, &obs, ExpertiseMatrix::new(n_users))
+    });
+    let (t_seq, r_seq) = time_runs(opts.repeat, || {
+        ExpertiseAwareMle::new(cfg_seq).estimate(&tasks, &obs, n_users)
+    });
+    let (t_par, r_par) = time_runs(opts.repeat, || {
+        ExpertiseAwareMle::new(cfg_par).estimate(&tasks, &obs, n_users)
+    });
+    assert_eq!(r_ref, r_seq, "optimized MLE diverged from the reference");
+    assert_eq!(r_seq, r_par, "parallel MLE diverged from sequential");
+    eprintln!(
+        "mle {n_tasks}x{n_users}x{n_domains}: reference {:.3}s, sequential {:.3}s, parallel({threads}) {:.3}s",
+        t_ref["secs_best"].as_f64().unwrap(),
+        t_seq["secs_best"].as_f64().unwrap(),
+        t_par["secs_best"].as_f64().unwrap(),
+    );
+    json!({
+        "n_tasks": n_tasks,
+        "n_users": n_users,
+        "n_domains": n_domains,
+        "threads": threads,
+        "iterations": r_seq.iterations,
+        "reference": t_ref,
+        "sequential": t_seq,
+        "parallel": t_par,
+        "speedup_sequential_vs_reference": speedup(&t_ref, &t_seq),
+        "speedup_parallel_vs_sequential": speedup(&t_seq, &t_par),
+        "bit_identical": true,
+    })
+}
+
+fn bench_skipgram(opts: &Options, threads: usize) -> Value {
+    let (docs, dim, epochs) = if opts.quick {
+        (120usize, 16usize, 2usize)
+    } else {
+        (400, 24, 4)
+    };
+    let sentences = TopicCorpus::builtin().generate(docs, 9);
+    let base = SkipGramConfig {
+        dim,
+        epochs,
+        ..SkipGramConfig::default()
+    };
+    let (t_seq, _) = time_runs(opts.repeat, || {
+        SkipGramTrainer::new(base)
+            .train_sentences(&sentences)
+            .expect("sequential training")
+    });
+    let par_cfg = SkipGramConfig { threads, ..base };
+    let (t_par, emb) = time_runs(opts.repeat, || {
+        SkipGramTrainer::new(par_cfg)
+            .train_sentences(&sentences)
+            .expect("hogwild training")
+    });
+    for w in emb.words() {
+        assert!(
+            emb.vector(w).unwrap().iter().all(|v| v.is_finite()),
+            "hogwild produced a non-finite vector for {w:?}"
+        );
+    }
+    eprintln!(
+        "skipgram {docs} docs, dim {dim}, {epochs} epochs: sequential {:.3}s, hogwild({threads}) {:.3}s",
+        t_seq["secs_best"].as_f64().unwrap(),
+        t_par["secs_best"].as_f64().unwrap(),
+    );
+    json!({
+        "documents": docs,
+        "dim": dim,
+        "epochs": epochs,
+        "threads": threads,
+        "sequential": t_seq,
+        "parallel": t_par,
+        "speedup_parallel_vs_sequential": speedup(&t_seq, &t_par),
+    })
+}
+
+/// Random allocation instance: multi-domain tasks, mixed expertise.
+fn alloc_world(
+    n_tasks: u32,
+    n_users: usize,
+    seed: u64,
+) -> (Vec<Task>, Vec<UserProfile>, ExpertiseMatrix) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tasks: Vec<Task> = (0..n_tasks)
+        .map(|j| {
+            Task::new(
+                TaskId(j),
+                DomainId(j % 4),
+                rng.gen_range(0.2..4.0),
+                rng.gen_range(0.5..2.0),
+            )
+        })
+        .collect();
+    let users: Vec<UserProfile> = (0..n_users)
+        .map(|i| UserProfile::new(UserId(i as u32), rng.gen_range(2.0..12.0)))
+        .collect();
+    let mut ex = ExpertiseMatrix::new(n_users);
+    for d in 0..4 {
+        for i in 0..n_users {
+            ex.set(UserId(i as u32), DomainId(d), rng.gen_range(0.05..3.0));
+        }
+    }
+    (tasks, users, ex)
+}
+
+fn bench_allocation(opts: &Options) -> Value {
+    let sizes: &[(u32, usize)] = if opts.quick {
+        &[(60, 30), (150, 60)]
+    } else {
+        &[(100, 50), (300, 100), (600, 200)]
+    };
+    let alloc = MaxQualityAllocator::default();
+    let mut max_quality = Vec::new();
+    for &(m, n) in sizes {
+        let (tasks, users, ex) = alloc_world(m, n, 7);
+        let (t_scan, a_scan) = time_runs(opts.repeat, || alloc.allocate_scan(&tasks, &users, &ex));
+        let (t_heap, a_heap) = time_runs(opts.repeat, || alloc.allocate(&tasks, &users, &ex));
+        assert_eq!(a_scan, a_heap, "heap greedy diverged from scan greedy");
+        eprintln!(
+            "max_quality {m}x{n}: scan {:.4}s, heap {:.4}s",
+            t_scan["secs_best"].as_f64().unwrap(),
+            t_heap["secs_best"].as_f64().unwrap(),
+        );
+        max_quality.push(json!({
+            "n_tasks": m,
+            "n_users": n,
+            "scan": t_scan,
+            "heap": t_heap,
+            "speedup_heap_vs_scan": speedup(&t_scan, &t_heap),
+        }));
+    }
+
+    let (m, n) = if opts.quick {
+        (25u32, 20usize)
+    } else {
+        (40, 30)
+    };
+    let (tasks, users, ex) = alloc_world(m, n, 11);
+    let mc = MinCostAllocator::new(MinCostConfig::default());
+    let (t_mc, _) = time_runs(opts.repeat, || {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut source = |_u: UserId, t: &Task| 10.0 + t.id.0 as f64 + rng.gen_range(-0.5..0.5);
+        mc.allocate(&tasks, &users, &ex, &mut source)
+    });
+    eprintln!(
+        "min_cost {m}x{n}: {:.4}s",
+        t_mc["secs_best"].as_f64().unwrap()
+    );
+    json!({
+        "max_quality": max_quality,
+        "min_cost": {
+            "n_tasks": m,
+            "n_users": n,
+            "timing": t_mc,
+        },
+    })
+}
+
+fn main() {
+    let opts = parse_options();
+    // Span timing on: the hot paths record `mle.solve` / `alloc.greedy` /
+    // `alloc.min_cost` histograms that get attached below.
+    eta2_obs::set_metrics(true);
+    eta2_obs::registry::global().reset();
+
+    let threads = match opts.threads {
+        0 => eta2_par::available_parallelism().clamp(2, 8),
+        n => n,
+    };
+
+    let mle = bench_mle(&opts, threads);
+    let skipgram = bench_skipgram(&opts, threads);
+    let allocation = bench_allocation(&opts);
+
+    let mut out = json!({
+        "meta": {
+            "suite": "perf_suite",
+            "quick": opts.quick,
+            "threads": threads,
+            "repeat": opts.repeat,
+            "host_cores": eta2_par::available_parallelism(),
+            "regenerate": "cargo run --release -p eta2-bench --bin perf_suite [-- --quick]",
+        },
+        "mle": mle,
+        "skipgram": skipgram,
+        "allocation": allocation,
+    });
+    eta2_bench::harness::attach_span_timing(
+        &mut out,
+        &eta2_obs::registry::global().snapshot_and_reset(),
+    );
+
+    let body = serde_json::to_string_pretty(&out).expect("serialize result");
+    std::fs::write(&opts.out, body).expect("write benchmark file");
+    eprintln!("[perf baseline written to {}]", opts.out);
+}

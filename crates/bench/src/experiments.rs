@@ -820,6 +820,7 @@ mod tests {
             seeds: 2,
             fast: true,
             out_dir: std::env::temp_dir().join("eta2_experiments_test"),
+            threads: 0,
         }
     }
 

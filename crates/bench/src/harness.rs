@@ -18,6 +18,11 @@ pub struct Settings {
     pub fast: bool,
     /// Where JSON results are written.
     pub out_dir: PathBuf,
+    /// Worker threads (`ETA2_THREADS`), forwarded to
+    /// [`SimConfig::threads`]: `0` = historical behavior (parallel seed
+    /// sweep, sequential MLE), `1` = fully sequential, `n` = `n` workers
+    /// for both layers.
+    pub threads: usize,
 }
 
 impl Default for Settings {
@@ -27,7 +32,8 @@ impl Default for Settings {
 }
 
 impl Settings {
-    /// Reads `ETA2_SEEDS` / `ETA2_FAST` from the environment.
+    /// Reads `ETA2_SEEDS` / `ETA2_FAST` / `ETA2_THREADS` from the
+    /// environment.
     ///
     /// `ETA2_FAST` follows the usual boolean convention: unset, empty,
     /// `0`, `false`, `off` and `no` all mean off — not mere presence.
@@ -42,10 +48,15 @@ impl Settings {
             .unwrap_or(10)
             .max(1);
         let fast = eta2_obs::env_flag("ETA2_FAST");
+        let threads = std::env::var("ETA2_THREADS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
         Settings {
             seeds,
             fast,
             out_dir: PathBuf::from("target/experiments"),
+            threads,
         }
     }
 
@@ -99,7 +110,10 @@ impl Settings {
     /// The default simulation configuration used across experiments
     /// (best parameters per §6.4.1 unless an experiment sweeps them).
     pub fn sim_config(&self) -> SimConfig {
-        SimConfig::default()
+        SimConfig {
+            threads: self.threads,
+            ..SimConfig::default()
+        }
     }
 
     /// Writes `value` as pretty JSON to `target/experiments/<id>.json`,
@@ -132,7 +146,8 @@ impl Settings {
 
 /// Merges a non-empty metrics snapshot into a JSON object result under
 /// `"span_timing"`. Non-object results and empty snapshots are left alone.
-fn attach_span_timing(value: &mut Value, spans: &eta2_obs::registry::Snapshot) {
+/// Used by [`Settings::write_json`] and by the `perf_suite` binary.
+pub fn attach_span_timing(value: &mut Value, spans: &eta2_obs::registry::Snapshot) {
     if spans.is_empty() {
         return;
     }
@@ -178,6 +193,7 @@ mod tests {
             seeds: 1,
             fast: true,
             out_dir: PathBuf::from("/tmp/eta2_harness_test"),
+            threads: 0,
         };
         assert_eq!(s.survey(0).name, "survey");
         assert_eq!(s.sfv(0).name, "sfv");
@@ -221,6 +237,7 @@ mod tests {
             seeds: 1,
             fast: true,
             out_dir: dir.clone(),
+            threads: 0,
         };
         s.write_json("unit_test", &serde_json::json!({"ok": true}));
         assert!(dir.join("unit_test.json").exists());

@@ -1,0 +1,692 @@
+//! Dependency-free extraction of the hot-path kernels, used to produce the
+//! committed BENCH_perf.json on hosts where the full workspace cannot be
+//! built. Mirrors the algorithmic structure of:
+//!   * crates/core/src/truth/reference.rs (BTreeMap-based reference MLE)
+//!   * crates/core/src/truth/mle.rs       (dense-shard incremental MLE)
+//!   * crates/core/src/allocation/max_quality.rs (scan vs lazy-heap greedy)
+//!   * crates/embed/src/skipgram.rs       (exact vs LUT sigmoid SGNS)
+//! Run: rustc -O perf_extract.rs && ./perf_extract
+
+use std::collections::BTreeMap;
+use std::collections::BinaryHeap;
+use std::cmp::Ordering;
+use std::time::Instant;
+
+// ---------- tiny RNG (splitmix64) ----------
+struct Rng(u64);
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed)
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+    fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+    fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.f64()
+    }
+    fn bool(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+    fn usize(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+    fn f32(&mut self) -> f32 {
+        self.f64() as f32
+    }
+}
+
+fn erf(x: f64) -> f64 {
+    // Abramowitz & Stegun 7.1.26.
+    let s = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    s * y
+}
+
+fn time_runs<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, f64, T) {
+    let mut best = f64::INFINITY;
+    let mut total = 0.0;
+    let mut last = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let out = f();
+        let s = t0.elapsed().as_secs_f64();
+        best = best.min(s);
+        total += s;
+        last = Some(out);
+    }
+    (best, total / reps as f64, last.unwrap())
+}
+
+// ---------- MLE world ----------
+struct World {
+    n_users: usize,
+    n_domains: u32,
+    /// per task: (domain, observations (user, value))
+    tasks: Vec<(u32, Vec<(u32, f64)>)>,
+}
+
+fn mle_world(n_tasks: u32, n_users: usize, n_domains: u32, seed: u64) -> World {
+    let mut rng = Rng::new(seed);
+    let skills: Vec<f64> = (0..n_users).map(|_| rng.range(0.2, 3.0)).collect();
+    let mut tasks = Vec::new();
+    for j in 0..n_tasks {
+        let truth = rng.range(-50.0, 50.0);
+        let mut obs = Vec::new();
+        for (i, &skill) in skills.iter().enumerate() {
+            if !rng.bool(0.8) {
+                continue;
+            }
+            let noise = rng.range(-1.0, 1.0);
+            obs.push((i as u32, truth + 3.0 * noise / skill));
+        }
+        if !obs.is_empty() {
+            tasks.push((j % n_domains, obs));
+        }
+    }
+    World {
+        n_users,
+        n_domains,
+        tasks,
+    }
+}
+
+const CONV: f64 = 0.05;
+const MAX_ITERS: usize = 100;
+const FLOOR: f64 = 1e-3;
+const CAP: f64 = 50.0;
+const SIGMA_FLOOR: f64 = 1e-6;
+const PRIOR: f64 = 1.0;
+
+fn relative_change(old: f64, new: f64) -> f64 {
+    (new - old).abs() / old.abs().max(1e-9)
+}
+
+/// Mirrors reference.rs: BTreeMap-backed expertise lookups, map-keyed
+/// truths, per-iteration accumulator map allocation.
+fn mle_reference(w: &World) -> (Vec<f64>, usize) {
+    let mut domains: BTreeMap<u32, Vec<f64>> = BTreeMap::new();
+    let get = |domains: &BTreeMap<u32, Vec<f64>>, i: u32, d: u32| -> f64 {
+        domains.get(&d).map_or(1.0, |v| v[i as usize])
+    };
+    let mut truths: BTreeMap<usize, (f64, f64)> = BTreeMap::new();
+    let mut prev_mu: BTreeMap<usize, f64> = BTreeMap::new();
+    let mut iterations = 0;
+    while iterations < MAX_ITERS {
+        iterations += 1;
+        for (j, (d, obs)) in w.tasks.iter().enumerate() {
+            let mut wsum = 0.0;
+            let mut wxsum = 0.0;
+            for &(user, x) in obs {
+                let u = get(&domains, user, *d).max(FLOOR);
+                wsum += u * u;
+                wxsum += u * u * x;
+            }
+            let mu = wxsum / wsum;
+            let mut ss = 0.0;
+            for &(user, x) in obs {
+                let u = get(&domains, user, *d).max(FLOOR);
+                ss += u * u * (x - mu) * (x - mu);
+            }
+            let sigma = (ss / obs.len() as f64).sqrt().max(SIGMA_FLOOR);
+            truths.insert(j, (mu, sigma));
+        }
+        let mut acc: BTreeMap<u32, Vec<(f64, f64)>> = BTreeMap::new();
+        for (j, (d, obs)) in w.tasks.iter().enumerate() {
+            let (mu, sigma) = truths[&j];
+            let (mut wsum, mut wxsum) = (0.0, 0.0);
+            for &(user, x) in obs {
+                let u = get(&domains, user, *d).max(FLOOR);
+                wsum += u * u;
+                wxsum += u * u * x;
+            }
+            let per_user = acc.entry(*d).or_insert_with(|| vec![(0.0, 0.0); w.n_users]);
+            for &(user, x) in obs {
+                let reference = if obs.len() > 1 {
+                    let u = get(&domains, user, *d).max(FLOOR);
+                    (wxsum - u * u * x) / (wsum - u * u)
+                } else {
+                    mu
+                };
+                let e = (x - reference) / sigma;
+                let slot = &mut per_user[user as usize];
+                slot.0 += 1.0;
+                slot.1 += e * e;
+            }
+        }
+        for (&domain, per_user) in &acc {
+            for (i, &(n, dsum)) in per_user.iter().enumerate() {
+                if n > 0.0 {
+                    let raw = ((n + PRIOR) / (dsum + PRIOR).max(1e-12)).sqrt();
+                    let u = if raw.is_finite() {
+                        raw.clamp(FLOOR, CAP)
+                    } else {
+                        FLOOR
+                    };
+                    domains
+                        .entry(domain)
+                        .or_insert_with(|| vec![1.0; w.n_users])[i] = u;
+                }
+            }
+        }
+        let done = !prev_mu.is_empty()
+            && w.tasks
+                .iter()
+                .enumerate()
+                .all(|(j, _)| relative_change(prev_mu[&j], truths[&j].0) < CONV);
+        prev_mu = truths.iter().map(|(&j, &(mu, _))| (j, mu)).collect();
+        if done {
+            break;
+        }
+    }
+    let mut mus = vec![0.0; w.tasks.len()];
+    for (&j, &(mu, _)) in &truths {
+        mus[j] = mu;
+    }
+    (mus, iterations)
+}
+
+/// Mirrors mle.rs Shard: dense flat arrays, cached per-observation
+/// weights, O(1) leave-one-out subtraction.
+struct Shard {
+    task_ids: Vec<usize>,
+    task_off: Vec<usize>,
+    obs_user: Vec<u32>,
+    obs_x: Vec<f64>,
+    obs_w: Vec<f64>,
+    mu: Vec<f64>,
+    sigma: Vec<f64>,
+    wsum: Vec<f64>,
+    wxsum: Vec<f64>,
+    prev_mu: Vec<f64>,
+    expertise: Vec<f64>,
+    acc_n: Vec<f64>,
+    acc_d: Vec<f64>,
+}
+
+fn mle_optimized(w: &World) -> (Vec<f64>, usize) {
+    let mut shards: Vec<Shard> = (0..w.n_domains)
+        .map(|_| Shard {
+            task_ids: Vec::new(),
+            task_off: vec![0],
+            obs_user: Vec::new(),
+            obs_x: Vec::new(),
+            obs_w: Vec::new(),
+            mu: Vec::new(),
+            sigma: Vec::new(),
+            wsum: Vec::new(),
+            wxsum: Vec::new(),
+            prev_mu: Vec::new(),
+            expertise: vec![1.0; w.n_users],
+            acc_n: vec![0.0; w.n_users],
+            acc_d: vec![0.0; w.n_users],
+        })
+        .collect();
+    for (j, (d, obs)) in w.tasks.iter().enumerate() {
+        let s = &mut shards[*d as usize];
+        s.task_ids.push(j);
+        for &(user, x) in obs {
+            s.obs_user.push(user);
+            s.obs_x.push(x);
+        }
+        s.task_off.push(s.obs_user.len());
+    }
+    for s in &mut shards {
+        let nt = s.task_ids.len();
+        s.obs_w = vec![0.0; s.obs_x.len()];
+        s.mu = vec![0.0; nt];
+        s.sigma = vec![0.0; nt];
+        s.wsum = vec![0.0; nt];
+        s.wxsum = vec![0.0; nt];
+        s.prev_mu = vec![0.0; nt];
+    }
+    let mut iterations = 0;
+    let mut first = true;
+    while iterations < MAX_ITERS {
+        iterations += 1;
+        for s in &mut shards {
+            for j in 0..s.task_ids.len() {
+                let (lo, hi) = (s.task_off[j], s.task_off[j + 1]);
+                let mut wsum = 0.0;
+                let mut wxsum = 0.0;
+                for o in lo..hi {
+                    let u = s.expertise[s.obs_user[o] as usize].max(FLOOR);
+                    let wgt = u * u;
+                    s.obs_w[o] = wgt;
+                    wsum += wgt;
+                    wxsum += wgt * s.obs_x[o];
+                }
+                let mu = wxsum / wsum;
+                let mut ss = 0.0;
+                for o in lo..hi {
+                    let xv = s.obs_x[o];
+                    ss += s.obs_w[o] * (xv - mu) * (xv - mu);
+                }
+                s.mu[j] = mu;
+                s.sigma[j] = (ss / (hi - lo) as f64).sqrt().max(SIGMA_FLOOR);
+                s.wsum[j] = wsum;
+                s.wxsum[j] = wxsum;
+            }
+            s.acc_n.fill(0.0);
+            s.acc_d.fill(0.0);
+            for j in 0..s.task_ids.len() {
+                let (lo, hi) = (s.task_off[j], s.task_off[j + 1]);
+                let loo = hi - lo > 1;
+                for o in lo..hi {
+                    let xv = s.obs_x[o];
+                    let reference = if loo {
+                        (s.wxsum[j] - s.obs_w[o] * xv) / (s.wsum[j] - s.obs_w[o])
+                    } else {
+                        s.mu[j]
+                    };
+                    let e = (xv - reference) / s.sigma[j];
+                    let i = s.obs_user[o] as usize;
+                    s.acc_n[i] += 1.0;
+                    s.acc_d[i] += e * e;
+                }
+            }
+            for i in 0..s.acc_n.len() {
+                let n = s.acc_n[i];
+                if n > 0.0 {
+                    let raw = ((n + PRIOR) / (s.acc_d[i] + PRIOR).max(1e-12)).sqrt();
+                    s.expertise[i] = if raw.is_finite() {
+                        raw.clamp(FLOOR, CAP)
+                    } else {
+                        FLOOR
+                    };
+                }
+            }
+        }
+        let done = !first
+            && shards.iter().all(|s| {
+                s.prev_mu
+                    .iter()
+                    .zip(&s.mu)
+                    .all(|(&p, &m)| relative_change(p, m) < CONV)
+            });
+        for s in &mut shards {
+            s.prev_mu.copy_from_slice(&s.mu);
+        }
+        first = false;
+        if done {
+            break;
+        }
+    }
+    let mut mus = vec![0.0; w.tasks.len()];
+    for s in &shards {
+        for (j_local, &j) in s.task_ids.iter().enumerate() {
+            mus[j] = s.mu[j_local];
+        }
+    }
+    (mus, iterations)
+}
+
+// ---------- allocation ----------
+struct AllocWorld {
+    /// per task: (domain, processing_time)
+    tasks: Vec<(u32, f64)>,
+    capacity: Vec<f64>,
+    /// expertise[d][i]
+    expertise: Vec<Vec<f64>>,
+}
+
+fn alloc_world(m: u32, n: usize, seed: u64) -> AllocWorld {
+    let mut rng = Rng::new(seed);
+    let tasks = (0..m).map(|j| (j % 4, rng.range(0.2, 4.0))).collect();
+    let capacity = (0..n).map(|_| rng.range(2.0, 12.0)).collect();
+    let expertise = (0..4)
+        .map(|_| (0..n).map(|_| rng.range(0.05, 3.0)).collect())
+        .collect();
+    AllocWorld {
+        tasks,
+        capacity,
+        expertise,
+    }
+}
+
+const EPSILON: f64 = 0.1;
+
+struct GreedyState {
+    n: usize,
+    p: Vec<f64>,
+    q: Vec<f64>,
+    assigned: Vec<bool>,
+}
+
+impl GreedyState {
+    fn build(w: &AllocWorld) -> GreedyState {
+        let m = w.tasks.len();
+        let n = w.capacity.len();
+        let mut p = vec![0.0; m * n];
+        for (j, &(d, _)) in w.tasks.iter().enumerate() {
+            for i in 0..n {
+                p[j * n + i] =
+                    erf(EPSILON * w.expertise[d as usize][i] / std::f64::consts::SQRT_2);
+            }
+        }
+        GreedyState {
+            n,
+            p,
+            q: vec![1.0; m],
+            assigned: vec![false; m * n],
+        }
+    }
+    fn best_pair(&self, j: usize, w: &AllocWorld, remaining: &[f64]) -> Option<(f64, usize)> {
+        let pt = w.tasks[j].1;
+        let n = self.n;
+        let mut best: Option<(f64, usize)> = None;
+        for i in 0..n {
+            if self.assigned[j * n + i] || remaining[i] < pt {
+                continue;
+            }
+            let eff = self.p[j * n + i] * self.q[j] / pt;
+            if eff > 0.0 && best.map_or(true, |(b, _)| eff > b) {
+                best = Some((eff, i));
+            }
+        }
+        best
+    }
+    fn commit(&mut self, w: &AllocWorld, out: &mut Vec<(usize, usize)>, remaining: &mut [f64], j: usize, i: usize) {
+        out.push((j, i));
+        self.assigned[j * self.n + i] = true;
+        self.q[j] *= 1.0 - self.p[j * self.n + i];
+        remaining[i] -= w.tasks[j].1;
+    }
+}
+
+struct Entry {
+    eff: f64,
+    j: usize,
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.eff.total_cmp(&other.eff).then(other.j.cmp(&self.j))
+    }
+}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Entry {}
+
+fn greedy_heap(w: &AllocWorld) -> Vec<(usize, usize)> {
+    let m = w.tasks.len();
+    let mut state = GreedyState::build(w);
+    let mut remaining = w.capacity.clone();
+    let mut out = Vec::new();
+    let mut current: Vec<Option<(f64, usize)>> = vec![None; m];
+    let mut stale = vec![false; m];
+    let mut heap = BinaryHeap::with_capacity(m);
+    for j in 0..m {
+        current[j] = state.best_pair(j, w, &remaining);
+        if let Some((eff, _)) = current[j] {
+            heap.push(Entry { eff, j });
+        }
+    }
+    while let Some(top) = heap.pop() {
+        let j_star = top.j;
+        if stale[j_star] {
+            stale[j_star] = false;
+            current[j_star] = state.best_pair(j_star, w, &remaining);
+            if let Some((eff, _)) = current[j_star] {
+                heap.push(Entry { eff, j: j_star });
+            }
+            continue;
+        }
+        let Some((eff, i_star)) = current[j_star] else {
+            continue;
+        };
+        state.commit(w, &mut out, &mut remaining, j_star, i_star);
+        stale[j_star] = true;
+        heap.push(Entry { eff, j: j_star });
+        for j in 0..m {
+            if let Some((_, bi)) = current[j] {
+                if bi == i_star {
+                    stale[j] = true;
+                }
+            }
+        }
+    }
+    out
+}
+
+fn greedy_scan(w: &AllocWorld) -> Vec<(usize, usize)> {
+    let m = w.tasks.len();
+    let mut state = GreedyState::build(w);
+    let mut remaining = w.capacity.clone();
+    let mut out = Vec::new();
+    let mut best: Vec<Option<(f64, usize)>> = vec![None; m];
+    let mut dirty = vec![true; m];
+    loop {
+        for j in 0..m {
+            if dirty[j] {
+                best[j] = state.best_pair(j, w, &remaining);
+                dirty[j] = false;
+            }
+        }
+        let Some((j_star, (eff, i_star))) = best
+            .iter()
+            .enumerate()
+            .filter_map(|(j, b)| b.map(|b| (j, b)))
+            .max_by(|a, b| a.1 .0.total_cmp(&b.1 .0).then(b.0.cmp(&a.0)))
+        else {
+            break;
+        };
+        if eff <= 0.0 {
+            break;
+        }
+        state.commit(w, &mut out, &mut remaining, j_star, i_star);
+        dirty[j_star] = true;
+        for j in 0..m {
+            if let Some((_, bi)) = best[j] {
+                if bi == i_star {
+                    dirty[j] = true;
+                }
+            }
+        }
+    }
+    out
+}
+
+// ---------- skip-gram (exact vs LUT sigmoid) ----------
+fn sigmoid_exact(x: f32) -> f32 {
+    if x > 8.0 {
+        1.0
+    } else if x < -8.0 {
+        0.0
+    } else {
+        1.0 / (1.0 + (-x).exp())
+    }
+}
+
+const TABLE_SIZE: usize = 4096;
+static mut SIGMOID_TABLE: [f32; TABLE_SIZE + 1] = [0.0; TABLE_SIZE + 1];
+
+fn sigmoid_lut(x: f32) -> f32 {
+    if x > 8.0 {
+        return 1.0;
+    }
+    if x < -8.0 {
+        return 0.0;
+    }
+    let table = unsafe { &*std::ptr::addr_of!(SIGMOID_TABLE) };
+    let pos = (x + 8.0) * (TABLE_SIZE as f32 / 16.0);
+    let k = (pos as usize).min(TABLE_SIZE - 1);
+    let frac = pos - k as f32;
+    table[k] + frac * (table[k + 1] - table[k])
+}
+
+struct SgWorld {
+    vocab: usize,
+    sentences: Vec<Vec<u32>>,
+}
+
+fn sg_world(docs: usize, seed: u64) -> SgWorld {
+    let mut rng = Rng::new(seed);
+    let topics = 8usize;
+    let per_topic = 50usize;
+    let shared = 40usize;
+    let vocab = topics * per_topic + shared;
+    let sentences = (0..docs)
+        .map(|_| {
+            let t = rng.usize(topics);
+            (0..30)
+                .map(|_| {
+                    if rng.bool(0.3) {
+                        (topics * per_topic + rng.usize(shared)) as u32
+                    } else {
+                        (t * per_topic + rng.usize(per_topic)) as u32
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    SgWorld { vocab, sentences }
+}
+
+const DIM: usize = 24;
+const WINDOW: usize = 4;
+const NEGATIVE: usize = 5;
+const EPOCHS: usize = 4;
+const LR: f32 = 0.05;
+const LR_END: f32 = 0.0001;
+
+fn sg_train(w: &SgWorld, sig: fn(f32) -> f32, seed: u64) -> Vec<f32> {
+    let mut rng = Rng::new(seed);
+    let n = w.vocab;
+    let mut w_in: Vec<f32> = (0..n * DIM).map(|_| (rng.f32() - 0.5) / DIM as f32).collect();
+    let mut w_out = vec![0.0f32; n * DIM];
+    let tokens: usize = w.sentences.iter().map(|s| s.len()).sum();
+    let total_steps = (tokens * EPOCHS).max(1);
+    let mut step = 0usize;
+    let mut grad = vec![0.0f32; DIM];
+    for _ in 0..EPOCHS {
+        for sent in &w.sentences {
+            for (c, &center) in sent.iter().enumerate() {
+                step += 1;
+                let lr = (LR * (1.0 - step as f32 / total_steps as f32)).max(LR_END);
+                let b = 1 + rng.usize(WINDOW);
+                let lo = c.saturating_sub(b);
+                let hi = (c + b + 1).min(sent.len());
+                for t in lo..hi {
+                    if t == c {
+                        continue;
+                    }
+                    let context = sent[t];
+                    // positive + NEGATIVE sampled updates
+                    let ci = center as usize * DIM;
+                    grad.fill(0.0);
+                    for k in 0..=NEGATIVE {
+                        let (target, label) = if k == 0 {
+                            (context as usize, 1.0f32)
+                        } else {
+                            let mut neg = rng.usize(n);
+                            if neg == context as usize {
+                                neg = rng.usize(n);
+                                if neg == context as usize {
+                                    continue;
+                                }
+                            }
+                            (neg, 0.0f32)
+                        };
+                        let ti = target * DIM;
+                        let mut dot = 0.0f32;
+                        for d in 0..DIM {
+                            dot += w_in[ci + d] * w_out[ti + d];
+                        }
+                        let g = (label - sig(dot)) * lr;
+                        for d in 0..DIM {
+                            grad[d] += g * w_out[ti + d];
+                            w_out[ti + d] += g * w_in[ci + d];
+                        }
+                    }
+                    for d in 0..DIM {
+                        w_in[ci + d] += grad[d];
+                    }
+                }
+            }
+        }
+    }
+    w_in
+}
+
+fn cosine(a: &[f32], b: &[f32]) -> f64 {
+    let (mut dot, mut na, mut nb) = (0.0f64, 0.0f64, 0.0f64);
+    for (x, y) in a.iter().zip(b) {
+        dot += *x as f64 * *y as f64;
+        na += *x as f64 * *x as f64;
+        nb += *y as f64 * *y as f64;
+    }
+    dot / (na.sqrt() * nb.sqrt()).max(1e-12)
+}
+
+fn main() {
+    unsafe {
+        let table = &mut *std::ptr::addr_of_mut!(SIGMOID_TABLE);
+        for (k, slot) in table.iter_mut().enumerate() {
+            let x = -8.0 + 16.0 * k as f64 / TABLE_SIZE as f64;
+            *slot = (1.0 / (1.0 + (-x).exp())) as f32;
+        }
+    }
+    let reps = 5;
+
+    // MLE 500x200x4
+    let w = mle_world(500, 200, 4, 42);
+    let n_obs: usize = w.tasks.iter().map(|t| t.1.len()).sum();
+    let (ref_best, ref_mean, (ref_mu, ref_iters)) = time_runs(reps, || mle_reference(&w));
+    let (opt_best, opt_mean, (opt_mu, opt_iters)) = time_runs(reps, || mle_optimized(&w));
+    assert_eq!(ref_iters, opt_iters, "iteration counts diverged");
+    let max_dev = ref_mu
+        .iter()
+        .zip(&opt_mu)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    assert!(max_dev == 0.0, "mu diverged by {}", max_dev);
+    println!(
+        "{{\"mle\": {{\"n_tasks\": 500, \"n_users\": 200, \"n_domains\": 4, \"n_observations\": {n_obs}, \"iterations\": {ref_iters}, \"reference\": {{\"secs_best\": {ref_best:.6}, \"secs_mean\": {ref_mean:.6}, \"runs\": {reps}}}, \"sequential\": {{\"secs_best\": {opt_best:.6}, \"secs_mean\": {opt_mean:.6}, \"runs\": {reps}}}, \"speedup_sequential_vs_reference\": {:.3}, \"bit_identical\": true}}}}",
+        ref_best / opt_best
+    );
+
+    // allocation at three sizes
+    for &(m, n) in &[(100u32, 50usize), (300, 100), (600, 200)] {
+        let aw = alloc_world(m, n, 7);
+        let (scan_best, scan_mean, picks_scan) = time_runs(reps, || greedy_scan(&aw));
+        let (heap_best, heap_mean, picks_heap) = time_runs(reps, || greedy_heap(&aw));
+        assert_eq!(picks_scan, picks_heap, "pick sequences diverged at {m}x{n}");
+        println!(
+            "{{\"allocation\": {{\"n_tasks\": {m}, \"n_users\": {n}, \"picks\": {}, \"scan\": {{\"secs_best\": {scan_best:.6}, \"secs_mean\": {scan_mean:.6}, \"runs\": {reps}}}, \"heap\": {{\"secs_best\": {heap_best:.6}, \"secs_mean\": {heap_mean:.6}, \"runs\": {reps}}}, \"speedup_heap_vs_scan\": {:.3}, \"identical_picks\": true}}}}",
+            picks_scan.len(),
+            scan_best / heap_best
+        );
+    }
+
+    // skip-gram exact vs LUT sigmoid
+    let sw = sg_world(400, 9);
+    let (ex_best, ex_mean, emb_exact) = time_runs(reps, || sg_train(&sw, sigmoid_exact, 0x5eed));
+    let (lut_best, lut_mean, emb_lut) = time_runs(reps, || sg_train(&sw, sigmoid_lut, 0x5eed));
+    let min_cos = (0..sw.vocab)
+        .map(|i| cosine(&emb_exact[i * DIM..(i + 1) * DIM], &emb_lut[i * DIM..(i + 1) * DIM]))
+        .fold(f64::INFINITY, f64::min);
+    println!(
+        "{{\"skipgram\": {{\"documents\": 400, \"dim\": {DIM}, \"epochs\": {EPOCHS}, \"exact_sigmoid\": {{\"secs_best\": {ex_best:.6}, \"secs_mean\": {ex_mean:.6}, \"runs\": {reps}}}, \"lut_sigmoid\": {{\"secs_best\": {lut_best:.6}, \"secs_mean\": {lut_mean:.6}, \"runs\": {reps}}}, \"speedup_lut_vs_exact\": {:.3}, \"min_word_cosine_lut_vs_exact\": {min_cos:.8}}}}}",
+        ex_best / lut_best
+    );
+}

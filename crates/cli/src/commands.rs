@@ -16,16 +16,23 @@ USAGE:
   eta2-cli generate --dataset <synthetic|survey|sfv> [--seed N] [--out FILE]
   eta2-cli simulate --dataset <name|FILE.json> [--approach NAME] [--seeds N]
                     [--alpha F] [--gamma F] [--tau F] [--days N]
+                    [--threads N]
                     [--fault-dropout F] [--fault-corrupt F]
                     [--fault-straggler F]
   eta2-cli domains  --dataset <survey|sfv|FILE.json> [--gamma F]
-  eta2-cli bench    [<experiment-id>]        (default: all; ids: fig2 table1
-                    fig4 fig5 fig6 fig7 fig8 fig9_10 fig11 fig12 table2
-                    ablations fault_sweep)
+  eta2-cli bench    [<experiment-id>] [--threads N]
+                    (default: all; ids: fig2 table1 fig4 fig5 fig6 fig7
+                    fig8 fig9_10 fig11 fig12 table2 ablations fault_sweep)
   eta2-cli help
 
 Approaches: eta2, eta2-mc, hubs, avglog, truthfinder, baseline, crh
             (default eta2)
+
+Parallelism: --threads 0 (default) keeps the historical behavior — seed
+  sweeps use one worker per core, the MLE runs sequentially; --threads 1
+  is fully sequential; --threads N uses N workers for both the sweep and
+  the MLE's per-domain shards. Results are bit-identical at any setting.
+  (bench also honors ETA2_THREADS; ETA2_SEEDS / ETA2_FAST as before.)
 
 Fault injection (simulate): --fault-dropout / --fault-corrupt /
   --fault-straggler take per-report rates in [0, 1]; faults are injected
@@ -111,6 +118,7 @@ pub fn simulate(args: &Args) -> Result<(), String> {
         alpha: args.get_parsed("alpha", SimConfig::default().alpha)?,
         gamma: args.get_parsed("gamma", SimConfig::default().gamma)?,
         days: args.get_parsed("days", SimConfig::default().days)?,
+        threads: args.get_parsed("threads", 0usize)?,
         faults,
         ..SimConfig::default()
     };
@@ -203,7 +211,10 @@ pub fn domains(args: &Args) -> Result<(), String> {
 /// `bench` — run one experiment (or all of them).
 pub fn bench(args: &Args) -> Result<(), String> {
     use eta2_bench::experiments as ex;
-    let settings = eta2_bench::Settings::from_env();
+    let mut settings = eta2_bench::Settings::from_env();
+    if args.get("threads").is_some() {
+        settings.threads = args.get_parsed("threads", 0usize)?;
+    }
     let runs: Vec<(&str, fn(&eta2_bench::Settings) -> serde_json::Value)> = vec![
         ("fig2", ex::fig2),
         ("table1", ex::table1),

@@ -8,7 +8,12 @@
 //! (knapsack reduction), so Algorithm 1 greedily picks the user–task pair of
 //! highest *efficiency* — marginal objective gain `p_ij·(1−p_j)` per hour of
 //! processing time — maintaining a per-task best-pair cache exactly as the
-//! paper describes (`O(K(m+n))` for `K` selected pairs).
+//! paper describes (`O(K(m+n))` for `K` selected pairs). The selection
+//! itself runs as a *lazy* greedy over a binary heap of possibly-stale
+//! efficiency scores (see `greedy_with_state`): staleness only ever
+//! over-estimates, so a fresh score at the top of the heap is the exact
+//! argmax, and the pick sequence is identical to the full rescan — which is
+//! preserved as `greedy_with_state_scan` and parity-tested.
 //!
 //! Because time-normalized greedy can be arbitrarily bad when task durations
 //! vary wildly, §5.1.2 adds a second greedy pass that ignores durations and
@@ -21,6 +26,8 @@ use crate::allocation::Allocation;
 use crate::model::{ExpertiseMatrix, Task, UserProfile};
 use eta2_stats::normal::accuracy_probability;
 use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
 
 /// Configuration of the max-quality allocator.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -143,6 +150,45 @@ impl MaxQualityAllocator {
         }
     }
 
+    /// Full-scan twin of [`MaxQualityAllocator::allocate`]: the same two
+    /// greedy passes driven by the pre-optimization scan core. Kept for
+    /// parity testing and as the "before" timing of the `perf_suite`
+    /// benchmark; not part of the supported API.
+    #[doc(hidden)]
+    pub fn allocate_scan(
+        &self,
+        tasks: &[Task],
+        users: &[UserProfile],
+        expertise: &ExpertiseMatrix,
+    ) -> Allocation {
+        let timed = greedy_scan(
+            tasks,
+            users,
+            expertise,
+            self.config.epsilon,
+            EfficiencyKind::PerHour,
+            &mut NoBudget,
+        );
+        if !self.config.use_approximation_pass {
+            return timed;
+        }
+        let untimed = greedy_scan(
+            tasks,
+            users,
+            expertise,
+            self.config.epsilon,
+            EfficiencyKind::Plain,
+            &mut NoBudget,
+        );
+        let obj_timed = self.objective(tasks, expertise, &timed);
+        let obj_untimed = self.objective(tasks, expertise, &untimed);
+        if obj_untimed > obj_timed {
+            untimed
+        } else {
+            timed
+        }
+    }
+
     /// The objective value `Σ_j [1 − Π_{i assigned}(1 − p_ij)]` (Eq. 12) of
     /// an allocation.
     pub fn objective(
@@ -193,13 +239,151 @@ impl BudgetGate for NoBudget {
     fn charge(&mut self, _cost: f64) {}
 }
 
-/// The shared greedy core of Algorithm 1 (and of each min-cost round).
+/// Precomputed instance state shared by the lazy-greedy and full-scan
+/// cores: accuracy probabilities, per-task residual quality, and the
+/// assignment bitmap. Both cores build it identically, so the pick
+/// sequences they produce can be compared bit-for-bit.
+struct GreedyState {
+    n: usize,
+    /// p[j*n + i] — accuracy probability of user i on task j.
+    p: Vec<f64>,
+    /// q[j] = Π (1 − p_ij) over assigned users (so the marginal gain of
+    /// adding i is p_ij · q_j).
+    q: Vec<f64>,
+    assigned: Vec<bool>,
+}
+
+impl GreedyState {
+    fn build(
+        tasks: &[Task],
+        users: &[UserProfile],
+        expertise: &ExpertiseMatrix,
+        epsilon: f64,
+        start: &Allocation,
+    ) -> GreedyState {
+        let m = tasks.len();
+        let n = users.len();
+        let mut p = vec![0.0f64; m * n];
+        for (j, t) in tasks.iter().enumerate() {
+            for (i, u) in users.iter().enumerate() {
+                p[j * n + i] = accuracy_probability(epsilon, expertise.get(u.id, t.domain));
+            }
+        }
+        let mut q = vec![1.0f64; m];
+        let mut assigned = vec![false; m * n];
+        for (j, t) in tasks.iter().enumerate() {
+            for &u in start.users_for(t.id) {
+                if let Some(i) = users.iter().position(|up| up.id == u) {
+                    assigned[j * n + i] = true;
+                    q[j] *= 1.0 - p[j * n + i];
+                }
+            }
+        }
+        GreedyState { n, p, q, assigned }
+    }
+
+    /// Best feasible `(efficiency, user)` pair for task `j` under the
+    /// current state, or `None` when no user can improve it. Strictly
+    /// greater wins, so ties resolve to the lowest user index.
+    fn best_pair(
+        &self,
+        j: usize,
+        tasks: &[Task],
+        remaining: &[f64],
+        kind: EfficiencyKind,
+    ) -> Option<(f64, usize)> {
+        let t = &tasks[j];
+        let n = self.n;
+        let mut best: Option<(f64, usize)> = None;
+        for i in 0..n {
+            if self.assigned[j * n + i] || remaining[i] < t.processing_time {
+                continue;
+            }
+            let gain = self.p[j * n + i] * self.q[j];
+            let eff = match kind {
+                EfficiencyKind::PerHour => gain / t.processing_time,
+                EfficiencyKind::Plain => gain,
+            };
+            if eff > 0.0 && best.is_none_or(|(b, _)| eff > b) {
+                best = Some((eff, i));
+            }
+        }
+        best
+    }
+
+    /// Commits the pick `(j_star, i_star, eff)`: emits the trace event and
+    /// updates the allocation, bitmap, residual quality and capacity.
+    #[allow(clippy::too_many_arguments)]
+    fn commit(
+        &mut self,
+        tasks: &[Task],
+        users: &[UserProfile],
+        kind: EfficiencyKind,
+        out: &mut Allocation,
+        remaining: &mut [f64],
+        j_star: usize,
+        i_star: usize,
+        eff: f64,
+    ) {
+        let t = &tasks[j_star];
+        eta2_obs::emit_with(|| eta2_obs::Event::AllocationPick {
+            strategy: match kind {
+                EfficiencyKind::PerHour => "per_hour",
+                EfficiencyKind::Plain => "plain",
+            },
+            task: t.id.0 as u64,
+            user: users[i_star].id.0 as u64,
+            efficiency: eff,
+        });
+        out.assign(users[i_star].id, t.id);
+        self.assigned[j_star * self.n + i_star] = true;
+        self.q[j_star] *= 1.0 - self.p[j_star * self.n + i_star];
+        remaining[i_star] -= t.processing_time;
+    }
+}
+
+/// Max-heap entry for the lazy-greedy queue: highest efficiency first,
+/// ties broken toward the lowest task index — exactly the order the
+/// full-scan core's `max_by` resolves.
+struct Entry {
+    eff: f64,
+    j: usize,
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.eff.total_cmp(&other.eff).then(other.j.cmp(&self.j))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Entry {}
+
+/// The shared greedy core of Algorithm 1 (and of each min-cost round),
+/// as a *lazy* greedy: a binary heap of per-task efficiency scores that
+/// are allowed to go stale, re-evaluated only when they surface at the
+/// top.
 ///
-/// Maintains, per task, the cached best `(efficiency, user)` pair and a
-/// dirty flag; each round selects the global best cached pair, assigns it,
-/// and invalidates only the caches the assignment can have changed (the
-/// selected task, and every task whose cached best user lost capacity) —
-/// the `O(K(m+n))` bookkeeping of §5.1.2.
+/// Laziness is sound because efficiencies are monotone non-increasing as
+/// the allocation grows — `q_j` only shrinks, capacities only shrink, and
+/// assignments are never undone — so a stale heap entry is a valid upper
+/// bound on its task's true efficiency, and a *fresh* entry at the top of
+/// the heap is the exact global argmax. The pick sequence (including
+/// tie-breaks: highest efficiency, then lowest task index, then lowest
+/// user index) is identical to the full-scan core preserved in
+/// [`greedy_with_state_scan`], which the `heap_matches_scan_bitwise`
+/// property test asserts.
 ///
 /// `start` carries pre-existing assignments (min-cost rounds accumulate);
 /// `remaining` the corresponding leftover capacities.
@@ -217,55 +401,88 @@ pub(crate) fn greedy_with_state(
     let n = users.len();
     assert_eq!(remaining.len(), n, "one remaining-capacity slot per user");
 
-    // p[j*n + i] — accuracy probability of user i on task j.
-    let mut p = vec![0.0f64; m * n];
-    for (j, t) in tasks.iter().enumerate() {
-        for (i, u) in users.iter().enumerate() {
-            p[j * n + i] = accuracy_probability(epsilon, expertise.get(u.id, t.domain));
+    let mut state = GreedyState::build(tasks, users, expertise, epsilon, start);
+    let mut out = Allocation::new();
+
+    // Invariant: at most one heap entry per task; an entry's eff is an
+    // upper bound on the task's true efficiency, exact when !stale[j].
+    // Once a task's best_pair returns None it is permanently infeasible
+    // (feasibility only shrinks) and never re-enters the heap.
+    let mut current: Vec<Option<(f64, usize)>> = vec![None; m];
+    let mut stale = vec![false; m];
+    let mut heap: BinaryHeap<Entry> = BinaryHeap::with_capacity(m);
+    for j in 0..m {
+        current[j] = state.best_pair(j, tasks, remaining, kind);
+        if let Some((eff, _)) = current[j] {
+            heap.push(Entry { eff, j });
         }
     }
 
-    // q[j] = Π (1 − p_ij) over assigned users (so the marginal gain of
-    // adding i is p_ij · q_j).
-    let mut q = vec![1.0f64; m];
-    let mut assigned = vec![false; m * n];
-    for (j, t) in tasks.iter().enumerate() {
-        for &u in start.users_for(t.id) {
-            if let Some(i) = users.iter().position(|up| up.id == u) {
-                assigned[j * n + i] = true;
-                q[j] *= 1.0 - p[j * n + i];
+    while let Some(top) = heap.pop() {
+        let j_star = top.j;
+        if stale[j_star] {
+            stale[j_star] = false;
+            current[j_star] = state.best_pair(j_star, tasks, remaining, kind);
+            if let Some((eff, _)) = current[j_star] {
+                heap.push(Entry { eff, j: j_star });
+            }
+            continue;
+        }
+        let Some((eff, i_star)) = current[j_star] else {
+            continue;
+        };
+        let t = &tasks[j_star];
+        if !budget.admits(t.cost) {
+            break;
+        }
+        budget.charge(t.cost);
+        state.commit(tasks, users, kind, &mut out, remaining, j_star, i_star, eff);
+
+        // The picked task's efficiency changed (its q dropped and the user
+        // is spent for it); any task whose cached best user just lost
+        // capacity may have too. Their old entries stay in the heap as
+        // upper bounds; re-push only the picked task's (its entry was
+        // consumed by this pop).
+        stale[j_star] = true;
+        heap.push(Entry { eff, j: j_star });
+        for j in 0..m {
+            if let Some((_, bi)) = current[j] {
+                if bi == i_star {
+                    stale[j] = true;
+                }
             }
         }
     }
+    out
+}
 
+/// The pre-optimization full-scan greedy core: recompute every dirty
+/// task's best pair each round, then scan all cached pairs for the global
+/// maximum. Kept verbatim as the parity oracle for [`greedy_with_state`]
+/// and as the "before" timing of the `perf_suite` benchmark.
+pub(crate) fn greedy_with_state_scan(
+    tasks: &[Task],
+    users: &[UserProfile],
+    expertise: &ExpertiseMatrix,
+    epsilon: f64,
+    kind: EfficiencyKind,
+    budget: &mut dyn BudgetGate,
+    start: &Allocation,
+    remaining: &mut [f64],
+) -> Allocation {
+    let m = tasks.len();
+    let n = users.len();
+    assert_eq!(remaining.len(), n, "one remaining-capacity slot per user");
+
+    let mut state = GreedyState::build(tasks, users, expertise, epsilon, start);
     let mut out = Allocation::new();
     let mut best: Vec<Option<(f64, usize)>> = vec![None; m];
     let mut dirty = vec![true; m];
 
-    let recompute =
-        |j: usize, q: &[f64], assigned: &[bool], remaining: &[f64]| -> Option<(f64, usize)> {
-            let t = &tasks[j];
-            let mut best: Option<(f64, usize)> = None;
-            for i in 0..n {
-                if assigned[j * n + i] || remaining[i] < t.processing_time {
-                    continue;
-                }
-                let gain = p[j * n + i] * q[j];
-                let eff = match kind {
-                    EfficiencyKind::PerHour => gain / t.processing_time,
-                    EfficiencyKind::Plain => gain,
-                };
-                if eff > 0.0 && best.is_none_or(|(b, _)| eff > b) {
-                    best = Some((eff, i));
-                }
-            }
-            best
-        };
-
     loop {
         for j in 0..m {
             if dirty[j] {
-                best[j] = recompute(j, &q, &assigned, remaining);
+                best[j] = state.best_pair(j, tasks, remaining, kind);
                 dirty[j] = false;
             }
         }
@@ -281,25 +498,11 @@ pub(crate) fn greedy_with_state(
         if eff <= 0.0 {
             break;
         }
-        let t = &tasks[j_star];
-        if !budget.admits(t.cost) {
+        if !budget.admits(tasks[j_star].cost) {
             break;
         }
-
-        budget.charge(t.cost);
-        eta2_obs::emit_with(|| eta2_obs::Event::AllocationPick {
-            strategy: match kind {
-                EfficiencyKind::PerHour => "per_hour",
-                EfficiencyKind::Plain => "plain",
-            },
-            task: t.id.0 as u64,
-            user: users[i_star].id.0 as u64,
-            efficiency: eff,
-        });
-        out.assign(users[i_star].id, t.id);
-        assigned[j_star * n + i_star] = true;
-        q[j_star] *= 1.0 - p[j_star * n + i_star];
-        remaining[i_star] -= t.processing_time;
+        budget.charge(tasks[j_star].cost);
+        state.commit(tasks, users, kind, &mut out, remaining, j_star, i_star, eff);
 
         dirty[j_star] = true;
         for j in 0..m {
@@ -335,6 +538,28 @@ pub(crate) fn greedy(
     )
 }
 
+/// Full-scan greedy from a blank allocation with fresh capacities.
+pub(crate) fn greedy_scan(
+    tasks: &[Task],
+    users: &[UserProfile],
+    expertise: &ExpertiseMatrix,
+    epsilon: f64,
+    kind: EfficiencyKind,
+    budget: &mut dyn BudgetGate,
+) -> Allocation {
+    let mut remaining: Vec<f64> = users.iter().map(|u| u.capacity).collect();
+    greedy_with_state_scan(
+        tasks,
+        users,
+        expertise,
+        epsilon,
+        kind,
+        budget,
+        &Allocation::new(),
+        &mut remaining,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -352,6 +577,36 @@ mod tests {
             .enumerate()
             .map(|(i, &c)| UserProfile::new(UserId(i as u32), c))
             .collect()
+    }
+
+    /// Random allocation instance shared by the parity property tests.
+    fn random_instance(
+        seed: u64,
+        m: u32,
+        n: usize,
+    ) -> (Vec<Task>, Vec<UserProfile>, ExpertiseMatrix) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let tasks: Vec<Task> = (0..m)
+            .map(|j| {
+                Task::new(
+                    TaskId(j),
+                    DomainId(rng.gen_range(0..3)),
+                    rng.gen_range(0.2..4.0),
+                    rng.gen_range(0.5..2.0),
+                )
+            })
+            .collect();
+        let users: Vec<UserProfile> = (0..n)
+            .map(|i| UserProfile::new(UserId(i as u32), rng.gen_range(0.0..12.0)))
+            .collect();
+        let mut ex = ExpertiseMatrix::new(n);
+        for i in 0..n {
+            for d in 0..3 {
+                ex.set(UserId(i as u32), DomainId(d), rng.gen_range(0.05..3.0));
+            }
+        }
+        (tasks, users, ex)
     }
 
     #[test]
@@ -518,6 +773,78 @@ mod tests {
                 v.dedup();
                 prop_assert_eq!(v.len(), alloc.users_for(t).len());
             }
+        }
+
+        /// The lazy-greedy heap core reproduces the full-scan core's pick
+        /// sequence exactly: identical allocations and bitwise-identical
+        /// leftover capacities, under both efficiency kinds, with and
+        /// without a budget cap, from blank and accumulated states.
+        #[test]
+        fn heap_matches_scan_bitwise(
+            seed in 0u64..600,
+            m in 1u32..16,
+            n in 1usize..7,
+            plain in proptest::bool::ANY,
+            cap in proptest::option::of(0.0f64..8.0),
+        ) {
+            struct CapBudget {
+                left: f64,
+            }
+            impl BudgetGate for CapBudget {
+                fn admits(&self, _cost: f64) -> bool {
+                    self.left > 0.0
+                }
+                fn charge(&mut self, cost: f64) {
+                    self.left -= cost;
+                }
+            }
+            let (tasks, users, ex) = random_instance(seed, m, n);
+            let kind = if plain {
+                EfficiencyKind::Plain
+            } else {
+                EfficiencyKind::PerHour
+            };
+            let mut rem_a: Vec<f64> = users.iter().map(|u| u.capacity).collect();
+            let mut rem_b = rem_a.clone();
+            let start = Allocation::new();
+            let (a, b) = match cap {
+                Some(c) => (
+                    greedy_with_state(&tasks, &users, &ex, 0.1, kind,
+                        &mut CapBudget { left: c }, &start, &mut rem_a),
+                    greedy_with_state_scan(&tasks, &users, &ex, 0.1, kind,
+                        &mut CapBudget { left: c }, &start, &mut rem_b),
+                ),
+                None => (
+                    greedy_with_state(&tasks, &users, &ex, 0.1, kind,
+                        &mut NoBudget, &start, &mut rem_a),
+                    greedy_with_state_scan(&tasks, &users, &ex, 0.1, kind,
+                        &mut NoBudget, &start, &mut rem_b),
+                ),
+            };
+            prop_assert_eq!(&a, &b);
+            prop_assert_eq!(&rem_a, &rem_b);
+            // Second round from the accumulated state, as min-cost rounds
+            // run it.
+            let a2 = greedy_with_state(
+                &tasks, &users, &ex, 0.1, kind, &mut NoBudget, &a, &mut rem_a,
+            );
+            let b2 = greedy_with_state_scan(
+                &tasks, &users, &ex, 0.1, kind, &mut NoBudget, &b, &mut rem_b,
+            );
+            prop_assert_eq!(a2, b2);
+            prop_assert_eq!(rem_a, rem_b);
+        }
+
+        /// The full allocator (both passes plus the objective comparison)
+        /// is unchanged by the heap rewrite.
+        #[test]
+        fn allocator_heap_matches_scan(seed in 0u64..300, m in 1u32..14, n in 1usize..6) {
+            let (tasks, users, ex) = random_instance(seed, m, n);
+            let alloc = MaxQualityAllocator::default();
+            prop_assert_eq!(
+                alloc.allocate(&tasks, &users, &ex),
+                alloc.allocate_scan(&tasks, &users, &ex)
+            );
         }
 
         /// The greedy solution is never worse than assigning nothing and

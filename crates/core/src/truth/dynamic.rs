@@ -161,6 +161,9 @@ impl DynamicExpertise {
             id: TaskId,
             domain: DomainId,
             obs: Vec<(UserId, f64)>,
+            /// Plain observation sum, accumulated once here so the
+            /// divergence fallback below is O(1) per task, not a rescan.
+            xsum: f64,
         }
         // Non-finite observations (corrupted reports) are rejected at the
         // boundary, mirroring `ExpertiseAwareMle::estimate_with_initial`.
@@ -185,10 +188,12 @@ impl DynamicExpertise {
                 });
                 continue;
             }
+            let xsum = finite.iter().map(|&(_, x)| x).sum();
             batch.push(TaskData {
                 id: t.id,
                 domain: t.domain,
                 obs: finite,
+                xsum,
             });
         }
         if batch.is_empty() {
@@ -346,8 +351,7 @@ impl DynamicExpertise {
                 continue;
             };
             if !est.mu.is_finite() || !est.sigma.is_finite() {
-                let mean = t.obs.iter().map(|&(_, x)| x).sum::<f64>() / t.obs.len() as f64;
-                est.mu = mean;
+                est.mu = t.xsum / t.obs.len() as f64;
                 est.sigma = cfg.sigma_floor;
                 est.fallback = true;
                 eta2_obs::counter("mle.fallback", 1);

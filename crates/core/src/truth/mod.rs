@@ -4,6 +4,7 @@
 pub mod baselines;
 pub mod dynamic;
 pub mod mle;
+pub mod reference;
 
 pub use baselines::{
     AverageLog, BaselineResult, Crh, HubsAuthorities, MeanBaseline, TruthFinder, TruthMethod,

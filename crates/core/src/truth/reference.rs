@@ -1,0 +1,223 @@
+//! Frozen reference implementation of the §4.1 MLE coordinate updates.
+//!
+//! This is the pre-optimization solver, kept verbatim (nested-map
+//! accumulators, per-task leave-one-out rescans) for two purposes:
+//!
+//! * **Parity testing** — the optimized solver in [`crate::truth::mle`]
+//!   must produce bit-identical [`MleResult`]s on every input; the property
+//!   tests there compare against this implementation directly.
+//! * **Benchmark baseline** — the `perf_suite` binary in `eta2-bench` times
+//!   this path as the "before" column of `BENCH_perf.json`.
+//!
+//! It is not part of the supported API surface and may be removed once the
+//! recorded perf trajectory no longer needs the pre-optimization baseline.
+
+use crate::model::{DomainId, ExpertiseMatrix, ObservationSet, Task, TaskId, UserId};
+use crate::truth::mle::{relative_change, MleConfig, MleResult, TruthEstimate};
+use std::collections::BTreeMap;
+
+/// Runs the reference MLE from `initial` expertise — the exact pre-
+/// optimization control flow and floating-point expression order.
+///
+/// `cfg.threads` is ignored: this path is inherently sequential.
+pub fn estimate_with_initial(
+    cfg: &MleConfig,
+    tasks: &[Task],
+    obs: &ObservationSet,
+    initial: ExpertiseMatrix,
+) -> MleResult {
+    let n_users = initial.n_users();
+
+    // Materialize the batch: per task, its domain and observations.
+    // Non-finite observations (corrupted reports) are rejected here so
+    // the coordinate updates only ever see finite data; a task left
+    // with no usable observation is skipped entirely.
+    struct TaskData {
+        id: TaskId,
+        domain: DomainId,
+        obs: Vec<(UserId, f64)>,
+    }
+    let mut batch: Vec<TaskData> = Vec::new();
+    for t in tasks {
+        let Some(raw) = obs.for_task(t.id) else {
+            continue;
+        };
+        let n_raw = raw.len();
+        let finite: Vec<(UserId, f64)> = raw.into_iter().filter(|&(_, x)| x.is_finite()).collect();
+        if finite.len() < n_raw {
+            eta2_obs::counter("mle.rejected_observations", (n_raw - finite.len()) as u64);
+        }
+        if finite.is_empty() {
+            eta2_obs::counter("mle.fallback", 1);
+            eta2_obs::emit_with(|| eta2_obs::Event::MleFallback {
+                source: "mle",
+                task: t.id.0 as u64,
+                observations: 0,
+                reason: "no_finite_observations",
+            });
+            continue;
+        }
+        batch.push(TaskData {
+            id: t.id,
+            domain: t.domain,
+            obs: finite,
+        });
+    }
+
+    let mut expertise = initial;
+    let mut truths: BTreeMap<TaskId, TruthEstimate> = BTreeMap::new();
+    let mut prev_mu: BTreeMap<TaskId, f64> = BTreeMap::new();
+
+    let mut iterations = 0;
+    let mut converged = false;
+    while iterations < cfg.max_iterations.max(1) {
+        iterations += 1;
+
+        // (1) μ_j and σ_j given current expertise.
+        for t in &batch {
+            let mut wsum = 0.0;
+            let mut wxsum = 0.0;
+            for &(user, x) in &t.obs {
+                let u = expertise.get(user, t.domain).max(cfg.expertise_floor);
+                let w = u * u;
+                wsum += w;
+                wxsum += w * x;
+            }
+            let mu = wxsum / wsum;
+            let mut ss = 0.0;
+            for &(user, x) in &t.obs {
+                let u = expertise.get(user, t.domain).max(cfg.expertise_floor);
+                ss += u * u * (x - mu) * (x - mu);
+            }
+            let sigma = (ss / t.obs.len() as f64).sqrt().max(cfg.sigma_floor);
+            truths.insert(
+                t.id,
+                TruthEstimate {
+                    mu,
+                    sigma,
+                    fallback: false,
+                },
+            );
+        }
+
+        // (2) u_i^k given current truths: accumulate the N/D ratio.
+        let mut acc: BTreeMap<DomainId, Vec<(f64, f64)>> = BTreeMap::new();
+        for t in &batch {
+            let est = truths[&t.id];
+            // Weighted sums for the leave-one-out truth.
+            let (mut wsum, mut wxsum) = (0.0, 0.0);
+            if cfg.leave_one_out {
+                for &(user, x) in &t.obs {
+                    let u = expertise.get(user, t.domain).max(cfg.expertise_floor);
+                    wsum += u * u;
+                    wxsum += u * u * x;
+                }
+            }
+            let per_user = acc
+                .entry(t.domain)
+                .or_insert_with(|| vec![(0.0, 0.0); n_users]);
+            for &(user, x) in &t.obs {
+                let reference = if cfg.leave_one_out && t.obs.len() > 1 {
+                    let u = expertise.get(user, t.domain).max(cfg.expertise_floor);
+                    (wxsum - u * u * x) / (wsum - u * u)
+                } else {
+                    est.mu
+                };
+                let e = (x - reference) / est.sigma;
+                let slot = &mut per_user[user.0 as usize];
+                slot.0 += 1.0;
+                slot.1 += e * e;
+            }
+        }
+        for (&domain, per_user) in &acc {
+            for (i, &(n, d)) in per_user.iter().enumerate() {
+                if n > 0.0 {
+                    let s = cfg.prior_strength;
+                    let raw = ((n + s) / (d + s).max(1e-12)).sqrt();
+                    // NaN only arises when gross (finite but enormous)
+                    // observations overflow the error accumulator;
+                    // treat that as "no demonstrated expertise".
+                    let u = if raw.is_finite() {
+                        raw.clamp(cfg.expertise_floor, cfg.expertise_cap)
+                    } else {
+                        cfg.expertise_floor
+                    };
+                    expertise.set(UserId(i as u32), domain, u);
+                }
+            }
+        }
+
+        eta2_obs::emit_with(|| eta2_obs::Event::MleIteration {
+            source: "mle",
+            iteration: iterations as u64,
+            tasks: batch.len() as u64,
+            max_rel_delta: if prev_mu.is_empty() {
+                None
+            } else {
+                Some(
+                    truths
+                        .iter()
+                        .map(|(id, est)| relative_change(prev_mu[id], est.mu))
+                        .fold(0.0, f64::max),
+                )
+            },
+        });
+
+        // (3) Convergence: every truth estimate moved < threshold
+        // relative to its previous value.
+        if !prev_mu.is_empty() {
+            let all_small = truths.iter().all(|(id, est)| {
+                let prev = prev_mu[id];
+                relative_change(prev, est.mu) < cfg.convergence_threshold
+            });
+            if all_small {
+                converged = true;
+                break;
+            }
+        }
+        prev_mu = truths.iter().map(|(&id, est)| (id, est.mu)).collect();
+    }
+
+    // Degradation provenance, exactly as in the optimized solver.
+    for t in &batch {
+        let Some(est) = truths.get_mut(&t.id) else {
+            continue;
+        };
+        if !est.mu.is_finite() || !est.sigma.is_finite() {
+            let mean = t.obs.iter().map(|&(_, x)| x).sum::<f64>() / t.obs.len() as f64;
+            est.mu = mean;
+            est.sigma = cfg.sigma_floor;
+            est.fallback = true;
+            eta2_obs::counter("mle.fallback", 1);
+            eta2_obs::emit_with(|| eta2_obs::Event::MleFallback {
+                source: "mle",
+                task: t.id.0 as u64,
+                observations: t.obs.len() as u64,
+                reason: "diverged",
+            });
+        } else if t.obs.len() == 1 {
+            est.fallback = true;
+            eta2_obs::counter("mle.fallback", 1);
+            eta2_obs::emit_with(|| eta2_obs::Event::MleFallback {
+                source: "mle",
+                task: t.id.0 as u64,
+                observations: 1,
+                reason: "single_observation",
+            });
+        }
+    }
+
+    eta2_obs::emit_with(|| eta2_obs::Event::MleOutcome {
+        source: "mle",
+        iterations: iterations as u64,
+        converged,
+        tasks: batch.len() as u64,
+    });
+
+    MleResult {
+        truths,
+        expertise,
+        iterations,
+        converged,
+    }
+}

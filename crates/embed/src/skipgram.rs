@@ -7,6 +7,21 @@
 //! with SGD and a linearly decaying learning rate. Frequency subsampling
 //! follows word2vec's `-sample` formula (see
 //! [`crate::vocab::Vocabulary::keep_probability`]).
+//!
+//! # Performance architecture
+//!
+//! The logistic function is served from a 4096-interval interpolated table
+//! (word2vec's own trick), whose error is below f32 resolution — the
+//! `lut_*` tests bound both the pointwise error and the end-to-end effect
+//! on trained vectors. Training is sequential by default and fully
+//! deterministic given the seed; setting [`SkipGramConfig::threads`] > 1
+//! opts into a lock-free *Hogwild* trainer (Niu et al. 2011): sentences
+//! are sharded contiguously across workers with per-shard seeded RNGs,
+//! weights live in relaxed `AtomicU32` bit patterns (element races lose an
+//! update but can never tear a float), and the learning rate decays along
+//! a shared atomic step counter. Hogwild output depends on thread
+//! interleaving, so the sequential path remains the determinism target —
+//! the parallel one is a throughput option for large corpora.
 
 use crate::embedding::Embedding;
 use crate::error::EmbedError;
@@ -14,6 +29,8 @@ use crate::vocab::Vocabulary;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 /// Hyperparameters for skip-gram training.
 ///
@@ -38,8 +55,20 @@ pub struct SkipGramConfig {
     pub subsample_t: f64,
     /// Drop words rarer than this from the vocabulary.
     pub min_count: u64,
-    /// RNG seed — training is fully deterministic given the seed.
+    /// RNG seed — sequential training is fully deterministic given the
+    /// seed.
     pub seed: u64,
+    /// Worker threads: `1` (the default) trains sequentially and
+    /// deterministically; `0` uses one Hogwild worker per available core,
+    /// `n` exactly `n`. Hogwild training is *not* bit-reproducible — its
+    /// result depends on thread interleaving — so keep the default
+    /// wherever determinism matters (every simulation path does).
+    #[serde(default = "default_sg_threads")]
+    pub threads: usize,
+}
+
+fn default_sg_threads() -> usize {
+    1
 }
 
 impl Default for SkipGramConfig {
@@ -54,6 +83,7 @@ impl Default for SkipGramConfig {
             subsample_t: 1e-3,
             min_count: 2,
             seed: 0x5eed,
+            threads: default_sg_threads(),
         }
     }
 }
@@ -144,7 +174,27 @@ impl SkipGramTrainer {
     }
 
     /// Trains on pre-encoded sentences against an existing vocabulary.
+    ///
+    /// Dispatches to the deterministic sequential trainer, or to the
+    /// Hogwild trainer when [`SkipGramConfig::threads`] resolves to more
+    /// than one worker and there is enough work to shard.
     pub fn train_encoded(&self, vocab: &Vocabulary, sentences: &[Vec<u32>]) -> Embedding {
+        let threads = eta2_par::Parallelism::from_threads(self.config.threads).resolve();
+        if threads <= 1 || sentences.len() < 2 {
+            self.train_encoded_with(vocab, sentences, sigmoid)
+        } else {
+            self.train_encoded_hogwild(vocab, sentences, threads.min(sentences.len()))
+        }
+    }
+
+    /// The sequential trainer, parameterized over the logistic function so
+    /// the LUT can be tested end-to-end against the exact sigmoid.
+    fn train_encoded_with(
+        &self,
+        vocab: &Vocabulary,
+        sentences: &[Vec<u32>],
+        sig: fn(f32) -> f32,
+    ) -> Embedding {
         let cfg = &self.config;
         let n = vocab.len();
         let dim = cfg.dim;
@@ -197,22 +247,145 @@ impl SkipGramTrainer {
                             vocab,
                             &mut rng,
                             &mut grad,
+                            sig,
                         );
                     }
                 }
             }
         }
 
-        let pairs: Vec<(String, Vec<f32>)> = (0..n)
-            .map(|i| {
-                (
-                    vocab.word(i as u32).to_string(),
-                    w_in[i * dim..(i + 1) * dim].to_vec(),
-                )
-            })
-            .collect();
-        Embedding::from_vectors(pairs).expect("non-empty vocabulary")
+        embedding_from(vocab, &w_in, dim)
     }
+
+    /// The lock-free Hogwild trainer: contiguous sentence shards, one
+    /// worker and one seeded RNG per shard, weights in relaxed atomics, a
+    /// shared step counter driving the learning-rate decay.
+    fn train_encoded_hogwild(
+        &self,
+        vocab: &Vocabulary,
+        sentences: &[Vec<u32>],
+        threads: usize,
+    ) -> Embedding {
+        let cfg = &self.config;
+        let n = vocab.len();
+        let dim = cfg.dim;
+
+        // Same starting point as the sequential trainer: the init draws
+        // come from the seed-keyed RNG in the same order.
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let init: Vec<f32> = (0..n * dim)
+            .map(|_| (rng.gen::<f32>() - 0.5) / dim as f32)
+            .collect();
+        let w_in = AtomicWeights::from_vec(init);
+        let w_out = AtomicWeights::zeros(n * dim);
+
+        let tokens_per_epoch: usize = sentences.iter().map(Vec::len).sum();
+        let total_steps = (tokens_per_epoch * cfg.epochs).max(1);
+        let steps = AtomicUsize::new(0);
+
+        let n_sentences = sentences.len();
+        eta2_par::map_indexed(threads, threads, |shard| {
+            let lo_s = shard * n_sentences / threads;
+            let hi_s = (shard + 1) * n_sentences / threads;
+            let mut rng = StdRng::seed_from_u64(splitmix64(
+                cfg.seed.wrapping_add(shard as u64).wrapping_add(1),
+            ));
+            let mut grad = vec![0.0f32; dim];
+            let mut kept: Vec<u32> = Vec::new();
+            for _epoch in 0..cfg.epochs {
+                for sentence in &sentences[lo_s..hi_s] {
+                    kept.clear();
+                    kept.extend(sentence.iter().copied().filter(|&w| {
+                        cfg.subsample_t <= 0.0
+                            || rng.gen::<f64>() < vocab.keep_probability(w, cfg.subsample_t)
+                    }));
+                    for (pos, &center) in kept.iter().enumerate() {
+                        let step = steps.fetch_add(1, Ordering::Relaxed) + 1;
+                        let progress = step as f64 / total_steps as f64;
+                        let lr =
+                            (cfg.lr_start + (cfg.lr_end - cfg.lr_start) * progress).max(cfg.lr_end);
+                        let b = rng.gen_range(1..=cfg.window);
+                        let lo = pos.saturating_sub(b);
+                        let hi = (pos + b + 1).min(kept.len());
+                        for (ctx_pos, &context) in kept.iter().enumerate().take(hi).skip(lo) {
+                            if ctx_pos == pos {
+                                continue;
+                            }
+                            train_pair_atomic(
+                                &w_in,
+                                &w_out,
+                                dim,
+                                center as usize,
+                                context as usize,
+                                cfg.negative,
+                                lr as f32,
+                                vocab,
+                                &mut rng,
+                                &mut grad,
+                            );
+                        }
+                    }
+                }
+            }
+        });
+
+        embedding_from(vocab, &w_in.into_vec(), dim)
+    }
+}
+
+/// Builds the [`Embedding`] from the trained input matrix.
+fn embedding_from(vocab: &Vocabulary, w_in: &[f32], dim: usize) -> Embedding {
+    let pairs: Vec<(String, Vec<f32>)> = (0..vocab.len())
+        .map(|i| {
+            (
+                vocab.word(i as u32).to_string(),
+                w_in[i * dim..(i + 1) * dim].to_vec(),
+            )
+        })
+        .collect();
+    Embedding::from_vectors(pairs).expect("non-empty vocabulary")
+}
+
+/// f32 weight matrix stored as relaxed [`AtomicU32`] bit patterns, giving
+/// the Hogwild trainer lock-free element access without `unsafe`: a racing
+/// store can lose a concurrent update (which Hogwild tolerates by design)
+/// but can never tear a float, because every element is a single atomic.
+struct AtomicWeights(Vec<AtomicU32>);
+
+impl AtomicWeights {
+    fn from_vec(v: Vec<f32>) -> Self {
+        AtomicWeights(v.into_iter().map(|x| AtomicU32::new(x.to_bits())).collect())
+    }
+
+    fn zeros(len: usize) -> Self {
+        AtomicWeights((0..len).map(|_| AtomicU32::new(0.0f32.to_bits())).collect())
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> f32 {
+        f32::from_bits(self.0[i].load(Ordering::Relaxed))
+    }
+
+    #[inline]
+    fn set(&self, i: usize, v: f32) {
+        self.0[i].store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    fn into_vec(self) -> Vec<f32> {
+        self.0
+            .into_iter()
+            .map(|a| f32::from_bits(a.into_inner()))
+            .collect()
+    }
+}
+
+/// SplitMix64 finalizer — decorrelates per-shard RNG seeds derived from
+/// the single user-facing seed.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 /// One positive + `negative` negative SGD updates for a (center, context)
@@ -229,6 +402,7 @@ fn train_pair<R: Rng + ?Sized>(
     vocab: &Vocabulary,
     rng: &mut R,
     grad: &mut [f32],
+    sig: fn(f32) -> f32,
 ) {
     grad.fill(0.0);
     let in_range = center * dim..(center + 1) * dim;
@@ -253,7 +427,7 @@ fn train_pair<R: Rng + ?Sized>(
             .zip(&w_out[out_range.clone()])
             .map(|(a, b)| a * b)
             .sum();
-        let pred = sigmoid(dot);
+        let pred = sig(dot);
         let g = (label - pred) * lr;
         for k in 0..dim {
             grad[k] += g * w_out[target * dim + k];
@@ -265,11 +439,96 @@ fn train_pair<R: Rng + ?Sized>(
     }
 }
 
-/// Numerically clamped logistic function.
+/// The Hogwild twin of [`train_pair`]: identical math over atomic weights.
+/// Concurrent updates to the same element may be lost, never torn.
+#[allow(clippy::too_many_arguments)]
+fn train_pair_atomic<R: Rng + ?Sized>(
+    w_in: &AtomicWeights,
+    w_out: &AtomicWeights,
+    dim: usize,
+    center: usize,
+    context: usize,
+    negative: usize,
+    lr: f32,
+    vocab: &Vocabulary,
+    rng: &mut R,
+    grad: &mut [f32],
+) {
+    grad.fill(0.0);
+    for sample in 0..=negative {
+        let (target, label) = if sample == 0 {
+            (context, 1.0f32)
+        } else {
+            let mut neg = vocab.sample_negative(rng) as usize;
+            if neg == context {
+                neg = vocab.sample_negative(rng) as usize;
+                if neg == context {
+                    continue;
+                }
+            }
+            (neg, 0.0f32)
+        };
+        let mut dot = 0.0f32;
+        for k in 0..dim {
+            dot += w_in.get(center * dim + k) * w_out.get(target * dim + k);
+        }
+        let pred = sigmoid(dot);
+        let g = (label - pred) * lr;
+        for k in 0..dim {
+            let o = w_out.get(target * dim + k);
+            grad[k] += g * o;
+            w_out.set(target * dim + k, o + g * w_in.get(center * dim + k));
+        }
+    }
+    for k in 0..dim {
+        let idx = center * dim + k;
+        w_in.set(idx, w_in.get(idx) + grad[k]);
+    }
+}
+
+/// Interpolation intervals of the sigmoid lookup table.
+const SIGMOID_TABLE_SIZE: usize = 4096;
+/// Clamp bound: `σ(±8) ≈ 1 ∓ 3.4e-4`, matching the exact path's clamp.
+const SIGMOID_CLAMP: f32 = 8.0;
+
+/// Table nodes `σ(-8 + 16k/4096)`, built once in f64 precision.
+fn sigmoid_table() -> &'static [f32; SIGMOID_TABLE_SIZE + 1] {
+    static TABLE: OnceLock<[f32; SIGMOID_TABLE_SIZE + 1]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0.0f32; SIGMOID_TABLE_SIZE + 1];
+        for (k, v) in t.iter_mut().enumerate() {
+            let x = -8.0 + 16.0 * k as f64 / SIGMOID_TABLE_SIZE as f64;
+            *v = (1.0 / (1.0 + (-x).exp())) as f32;
+        }
+        t
+    })
+}
+
+/// Numerically clamped logistic function, served from the interpolated
+/// lookup table shared by the sequential and Hogwild trainers. The
+/// interpolation error over one 16/4096 interval is below 2e-8 — under
+/// f32 resolution at these magnitudes — so training trajectories match
+/// the exact sigmoid to within the tolerance the `lut_*` tests assert.
 fn sigmoid(x: f32) -> f32 {
-    if x > 8.0 {
+    if x > SIGMOID_CLAMP {
         1.0
-    } else if x < -8.0 {
+    } else if x < -SIGMOID_CLAMP {
+        0.0
+    } else {
+        let table = sigmoid_table();
+        let pos = (x + SIGMOID_CLAMP) * (SIGMOID_TABLE_SIZE as f32 / (2.0 * SIGMOID_CLAMP));
+        let k = (pos as usize).min(SIGMOID_TABLE_SIZE - 1);
+        let frac = pos - k as f32;
+        table[k] + frac * (table[k + 1] - table[k])
+    }
+}
+
+/// The exact logistic function the table replaces — kept for the LUT
+/// parity tests.
+fn sigmoid_exact(x: f32) -> f32 {
+    if x > SIGMOID_CLAMP {
+        1.0
+    } else if x < -SIGMOID_CLAMP {
         0.0
     } else {
         1.0 / (1.0 + (-x).exp())
@@ -347,6 +606,90 @@ mod tests {
         assert_eq!(sigmoid(100.0), 1.0);
         assert_eq!(sigmoid(-100.0), 0.0);
         assert!((sigmoid(0.0) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lut_sigmoid_matches_exact_pointwise() {
+        // Dense sweep across the clamp range plus the boundaries.
+        for k in 0..=160_000u32 {
+            let x = -8.0 + 16.0 * k as f32 / 160_000.0;
+            let lut = sigmoid(x);
+            let exact = sigmoid_exact(x);
+            assert!(
+                (lut - exact).abs() < 1e-6,
+                "sigmoid LUT off at x = {x}: {lut} vs {exact}"
+            );
+        }
+    }
+
+    /// End-to-end LUT effect: training with the table must leave every
+    /// word's vector within 1e-6 cosine similarity of training with the
+    /// exact sigmoid.
+    #[test]
+    fn lut_training_matches_exact_within_cosine_tolerance() {
+        let sentences = TopicCorpus::builtin().generate(60, 5);
+        let cfg = SkipGramConfig {
+            dim: 12,
+            epochs: 2,
+            ..SkipGramConfig::default()
+        };
+        let trainer = SkipGramTrainer::new(cfg);
+        let vocab = Vocabulary::build(&sentences, cfg.min_count).unwrap();
+        let encoded: Vec<Vec<u32>> = sentences.iter().map(|s| vocab.encode(s)).collect();
+        let with_lut = trainer.train_encoded_with(&vocab, &encoded, sigmoid);
+        let exact = trainer.train_encoded_with(&vocab, &encoded, sigmoid_exact);
+        for w in with_lut.words() {
+            let c = cosine(with_lut.vector(w).unwrap(), exact.vector(w).unwrap());
+            assert!(c >= 1.0 - 1e-6, "vector for {w:?} drifted: cosine = {c}");
+        }
+    }
+
+    #[test]
+    fn skipgram_config_without_threads_field_still_deserializes() {
+        let mut v = serde_json::to_value(SkipGramConfig::default()).unwrap();
+        v.as_object_mut().unwrap().remove("threads");
+        let cfg: SkipGramConfig = serde_json::from_value(v).unwrap();
+        assert_eq!(cfg, SkipGramConfig::default());
+    }
+
+    /// The Hogwild trainer is a throughput option, not an accuracy trade:
+    /// it must still produce finite vectors with the topical structure the
+    /// clustering downstream relies on.
+    #[test]
+    fn hogwild_training_learns_topical_structure() {
+        let sentences = TopicCorpus::builtin().generate(400, 7);
+        let emb = SkipGramTrainer::new(SkipGramConfig {
+            dim: 24,
+            epochs: 4,
+            threads: 4,
+            ..SkipGramConfig::default()
+        })
+        .train_sentences(&sentences)
+        .unwrap();
+        for w in emb.words() {
+            assert!(emb.vector(w).unwrap().iter().all(|v| v.is_finite()));
+        }
+        let avg = |pairs: &[(&str, &str)]| -> f64 {
+            pairs
+                .iter()
+                .map(|&(a, b)| cosine(emb.vector(a).unwrap(), emb.vector(b).unwrap()))
+                .sum::<f64>()
+                / pairs.len() as f64
+        };
+        let same = avg(&[
+            ("parking", "garage"),
+            ("noise", "decibel"),
+            ("salary", "wage"),
+        ]);
+        let cross = avg(&[
+            ("parking", "decibel"),
+            ("noise", "wage"),
+            ("salary", "garage"),
+        ]);
+        assert!(
+            same > cross,
+            "topical structure not learned under Hogwild: same = {same:.3}, cross = {cross:.3}"
+        );
     }
 
     /// The load-bearing property: words of one topic embed closer to each

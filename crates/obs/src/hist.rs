@@ -6,6 +6,8 @@
 //! to the exact observed `[min, max]` range so single-value histograms
 //! report exact quantiles.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 /// A fixed-bucket histogram over `f64` samples.
 ///
 /// Non-finite samples are ignored (JSON cannot represent them and they
@@ -201,6 +203,99 @@ impl Histogram {
     }
 }
 
+/// Lock-free twin of [`Histogram`] for concurrent recording.
+///
+/// Bucket counts and the sample count are plain relaxed `fetch_add`s;
+/// `sum`/`min`/`max` are `f64` bit patterns updated through compare-and-swap
+/// loops, so every recorded sample is applied exactly once (floating-point
+/// addition order — and therefore the last few ulps of `sum` — depends on
+/// thread interleaving). A reader racing with writers may observe the
+/// fields mid-update (e.g. `count` ahead of `sum`); the registry avoids
+/// this by snapshotting under a write lock that excludes recorders, and
+/// standalone users should treat racy reads as advisory.
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    bounds: Vec<f64>,
+    counts: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// `f64` bit pattern.
+    sum: AtomicU64,
+    /// `f64` bit pattern.
+    min: AtomicU64,
+    /// `f64` bit pattern.
+    max: AtomicU64,
+}
+
+impl AtomicHistogram {
+    /// Creates an empty atomic histogram with the given upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// As [`Histogram::new`].
+    pub fn new(bounds: Vec<f64>) -> Self {
+        AtomicHistogram::from_histogram(Histogram::new(bounds))
+    }
+
+    /// Wraps an existing histogram (layout and samples) in atomic storage.
+    pub fn from_histogram(h: Histogram) -> Self {
+        AtomicHistogram {
+            counts: h.counts.iter().map(|&c| AtomicU64::new(c)).collect(),
+            count: AtomicU64::new(h.count),
+            sum: AtomicU64::new(h.sum.to_bits()),
+            min: AtomicU64::new(h.min.to_bits()),
+            max: AtomicU64::new(h.max.to_bits()),
+            bounds: h.bounds,
+        }
+    }
+
+    /// Records one sample through `&self` (ignored when non-finite).
+    pub fn record(&self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let _ = self
+            .sum
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                Some((f64::from_bits(bits) + v).to_bits())
+            });
+        let _ = self
+            .min
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                (v < f64::from_bits(bits)).then_some(v.to_bits())
+            });
+        let _ = self
+            .max
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                (v > f64::from_bits(bits)).then_some(v.to_bits())
+            });
+    }
+
+    /// The bucket upper bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Materializes the current state as a plain [`Histogram`] (from which
+    /// quantiles and JSON snapshots are derived).
+    pub fn to_histogram(&self) -> Histogram {
+        Histogram {
+            bounds: self.bounds.clone(),
+            counts: self
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: f64::from_bits(self.sum.load(Ordering::Relaxed)),
+            min: f64::from_bits(self.min.load(Ordering::Relaxed)),
+            max: f64::from_bits(self.max.load(Ordering::Relaxed)),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -379,5 +474,51 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn atomic_histogram_matches_sequential_twin() {
+        let mut rng = XorShift::new(42);
+        let mut h = Histogram::exponential(1e-3, 2.0, 12);
+        let a = AtomicHistogram::from_histogram(Histogram::exponential(1e-3, 2.0, 12));
+        for _ in 0..500 {
+            let v = rng.next_f64() * 10.0;
+            h.record(v);
+            a.record(v);
+        }
+        // Also exercise the non-finite guard.
+        a.record(f64::NAN);
+        let m = a.to_histogram();
+        assert_eq!(m.counts(), h.counts());
+        assert_eq!(m.count(), h.count());
+        assert!((m.sum() - h.sum()).abs() < 1e-9);
+        assert_eq!(m.min(), h.min());
+        assert_eq!(m.max(), h.max());
+        assert_eq!(m.quantile(0.95), h.quantile(0.95));
+    }
+
+    /// Property: concurrent records are never lost and `sum` reflects every
+    /// sample (addition order varies; totals do not).
+    #[test]
+    fn atomic_histogram_concurrent_records() {
+        let a = std::sync::Arc::new(AtomicHistogram::new(vec![0.5, 1.0, 2.0]));
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let a = std::sync::Arc::clone(&a);
+                std::thread::spawn(move || {
+                    for i in 0..1000 {
+                        a.record(0.25 + (t as f64 + i as f64 % 7.0) * 0.1);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let h = a.to_histogram();
+        assert_eq!(h.count(), 4000);
+        assert_eq!(h.counts().iter().sum::<u64>(), 4000);
+        assert!(h.sum() > 0.0 && h.sum().is_finite());
+        assert!(h.min() >= 0.25 && h.max() <= 0.25 + 3.6 + 1e-9);
     }
 }

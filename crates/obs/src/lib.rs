@@ -150,10 +150,31 @@ pub fn emit_with(make: impl FnOnce() -> Event) {
 
 /// Adds `delta` to the named counter in the global registry. No-op while
 /// metric recording is off, so call sites in hot loops cost one branch.
+/// When recording is on, the bump is a shared-lock atomic increment —
+/// concurrent workers (parallel MLE shards, sweep threads) never serialize
+/// against each other.
 #[inline]
 pub fn counter(name: &str, delta: u64) {
     if metrics_enabled() {
         registry::global().counter_add(name, delta);
+    }
+}
+
+/// Sets the named gauge in the global registry. No-op while metric
+/// recording is off.
+#[inline]
+pub fn gauge(name: &str, value: f64) {
+    if metrics_enabled() {
+        registry::global().gauge_set(name, value);
+    }
+}
+
+/// Records `value` into the named global histogram (default wall-time
+/// buckets). No-op while metric recording is off.
+#[inline]
+pub fn observe(name: &str, value: f64) {
+    if metrics_enabled() {
+        registry::global().observe(name, value);
     }
 }
 

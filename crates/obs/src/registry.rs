@@ -1,23 +1,34 @@
 //! Thread-safe metric registry: counters, gauges and fixed-bucket
 //! histograms keyed by name, with atomic snapshot/reset for test isolation.
+//!
+//! # Concurrency design
+//!
+//! The hot path — bumping a counter or recording a histogram sample whose
+//! name already exists — takes a shared read lock and then mutates an
+//! atomic cell in place, so concurrent recorders from the parallel MLE and
+//! sweep workers never serialize against each other. The write lock is
+//! only taken to insert a new name (once per metric per process, in
+//! practice) and by [`Registry::reset`]/[`Registry::snapshot_and_reset`],
+//! whose exclusivity is exactly what makes snapshots atomic: every
+//! recording either completes before the snapshot (and is counted in it)
+//! or starts after (and lands in the fresh state) — nothing is lost or
+//! double-counted.
 
-use crate::hist::Histogram;
+use crate::hist::{AtomicHistogram, Histogram};
 use crate::json::{array_f64, array_u64, JsonObject};
 use std::collections::BTreeMap;
-use std::sync::{Mutex, OnceLock};
-
-#[derive(Debug, Default)]
-struct Inner {
-    counters: BTreeMap<String, u64>,
-    gauges: BTreeMap<String, f64>,
-    histograms: BTreeMap<String, Histogram>,
-}
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{OnceLock, RwLock};
 
 /// A registry of named metrics. One global instance backs the `eta2_obs`
 /// free functions; independent instances can be created for tests.
+///
+/// Gauges are stored as `f64` bit patterns inside `AtomicU64`s.
 #[derive(Debug, Default)]
 pub struct Registry {
-    inner: Mutex<Inner>,
+    counters: RwLock<BTreeMap<String, AtomicU64>>,
+    gauges: RwLock<BTreeMap<String, AtomicU64>>,
+    histograms: RwLock<BTreeMap<String, AtomicHistogram>>,
 }
 
 /// Point-in-time copy of one histogram's state, with derived statistics.
@@ -113,36 +124,65 @@ impl Snapshot {
     }
 }
 
+/// Ignores lock poisoning: a poisoned lock only means another thread
+/// panicked mid-update, and metrics are advisory, so keep going with
+/// whatever state is there.
+fn read<T>(lock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(|e| e.into_inner())
+}
+
+/// See [`read`].
+fn write<T>(lock: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Saturating counter bump. The compare-and-swap loop (rather than a plain
+/// `fetch_add`) preserves the saturating semantics of the old locked map.
+fn counter_bump(c: &AtomicU64, delta: u64) {
+    let _ = c.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+        Some(v.saturating_add(delta))
+    });
+}
+
 impl Registry {
     /// Creates an empty registry.
     pub fn new() -> Self {
         Registry::default()
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
-        // A poisoned lock only means another thread panicked mid-update;
-        // metrics are advisory, so keep going with whatever state is there.
-        self.inner.lock().unwrap_or_else(|e| e.into_inner())
-    }
-
     /// Adds `delta` to the counter `name` (creating it at zero).
     pub fn counter_add(&self, name: &str, delta: u64) {
-        let mut inner = self.lock();
-        match inner.counters.get_mut(name) {
-            Some(c) => *c = c.saturating_add(delta),
+        {
+            let map = read(&self.counters);
+            if let Some(c) = map.get(name) {
+                counter_bump(c, delta);
+                return;
+            }
+        }
+        let mut map = write(&self.counters);
+        match map.get(name) {
+            // Another thread may have inserted between our two lock scopes.
+            Some(c) => counter_bump(c, delta),
             None => {
-                inner.counters.insert(name.to_string(), delta);
+                map.insert(name.to_string(), AtomicU64::new(delta));
             }
         }
     }
 
     /// Sets the gauge `name` to `value`.
     pub fn gauge_set(&self, name: &str, value: f64) {
-        let mut inner = self.lock();
-        match inner.gauges.get_mut(name) {
-            Some(g) => *g = value,
+        {
+            let map = read(&self.gauges);
+            if let Some(g) = map.get(name) {
+                g.store(value.to_bits(), Ordering::Relaxed);
+                return;
+            }
+        }
+        let mut map = write(&self.gauges);
+        match map.get(name) {
+            Some(g) => g.store(value.to_bits(), Ordering::Relaxed),
             None => {
-                inner.gauges.insert(name.to_string(), value);
+                map.insert(name.to_string(), AtomicU64::new(value.to_bits()));
             }
         }
     }
@@ -156,49 +196,68 @@ impl Registry {
     /// Records `value` into the histogram `name`, creating it with `make`
     /// if absent. The bucket layout of an existing histogram wins.
     pub fn observe_with(&self, name: &str, value: f64, make: impl FnOnce() -> Histogram) {
-        let mut inner = self.lock();
-        match inner.histograms.get_mut(name) {
-            Some(h) => h.record(value),
-            None => {
-                let mut h = make();
+        {
+            let map = read(&self.histograms);
+            if let Some(h) = map.get(name) {
                 h.record(value);
-                inner.histograms.insert(name.to_string(), h);
+                return;
             }
         }
+        let mut map = write(&self.histograms);
+        map.entry(name.to_string())
+            .or_insert_with(|| AtomicHistogram::from_histogram(make()))
+            .record(value);
     }
 
     /// Copies the current state.
     pub fn snapshot(&self) -> Snapshot {
-        let inner = self.lock();
         Snapshot {
-            counters: inner.counters.clone(),
-            gauges: inner.gauges.clone(),
-            histograms: inner
-                .histograms
+            counters: read(&self.counters)
                 .iter()
-                .map(|(k, h)| (k.clone(), HistogramSnapshot::of(h)))
+                .map(|(k, c)| (k.clone(), c.load(Ordering::Relaxed)))
+                .collect(),
+            gauges: read(&self.gauges)
+                .iter()
+                .map(|(k, g)| (k.clone(), f64::from_bits(g.load(Ordering::Relaxed))))
+                .collect(),
+            histograms: read(&self.histograms)
+                .iter()
+                .map(|(k, h)| (k.clone(), HistogramSnapshot::of(&h.to_histogram())))
                 .collect(),
         }
     }
 
     /// Clears every metric.
     pub fn reset(&self) {
-        let mut inner = self.lock();
-        inner.counters.clear();
-        inner.gauges.clear();
-        inner.histograms.clear();
+        // Hold all three write locks together so the clear is atomic with
+        // respect to recorders (which mutate under a read lock).
+        let mut counters = write(&self.counters);
+        let mut gauges = write(&self.gauges);
+        let mut histograms = write(&self.histograms);
+        counters.clear();
+        gauges.clear();
+        histograms.clear();
     }
 
-    /// Atomically snapshots and clears — one lock acquisition, so no sample
+    /// Atomically snapshots and clears. All three write locks are held
+    /// together and recorders mutate under read locks, so no sample
     /// recorded concurrently is either lost or double-counted.
     pub fn snapshot_and_reset(&self) -> Snapshot {
-        let mut inner = self.lock();
+        let mut counters = write(&self.counters);
+        let mut gauges = write(&self.gauges);
+        let mut histograms = write(&self.histograms);
         Snapshot {
-            counters: std::mem::take(&mut inner.counters),
-            gauges: std::mem::take(&mut inner.gauges),
-            histograms: std::mem::take(&mut inner.histograms)
-                .iter()
-                .map(|(k, h)| (k.clone(), HistogramSnapshot::of(h)))
+            counters: std::mem::take(&mut *counters)
+                .into_iter()
+                .map(|(k, c)| (k, c.into_inner()))
+                .collect(),
+            gauges: std::mem::take(&mut *gauges)
+                .into_iter()
+                .map(|(k, g)| (k, f64::from_bits(g.into_inner())))
+                .collect(),
+            histograms: std::mem::take(&mut *histograms)
+                .into_iter()
+                .map(|(k, h)| (k, HistogramSnapshot::of(&h.to_histogram())))
                 .collect(),
         }
     }
@@ -286,6 +345,47 @@ mod tests {
         let s = r.snapshot();
         assert_eq!(s.counters["n"], 4000);
         assert_eq!(s.histograms["h"].count, 4000);
+    }
+
+    /// Property: with adds racing against `snapshot_and_reset`, every add
+    /// lands in exactly one snapshot (or the final state) — none lost,
+    /// none double-counted.
+    #[test]
+    fn concurrent_adds_with_snapshot_reset_conserve_total() {
+        let r = Arc::new(Registry::new());
+        let writers: Vec<_> = (0..4)
+            .map(|_| {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    for _ in 0..2000 {
+                        r.counter_add("n", 1);
+                        r.observe("h", 0.5);
+                    }
+                })
+            })
+            .collect();
+        let reader = {
+            let r = Arc::clone(&r);
+            std::thread::spawn(move || {
+                let (mut c, mut o) = (0u64, 0u64);
+                for _ in 0..50 {
+                    let s = r.snapshot_and_reset();
+                    c += s.counters.get("n").copied().unwrap_or(0);
+                    o += s.histograms.get("h").map_or(0, |h| h.count);
+                    std::thread::yield_now();
+                }
+                (c, o)
+            })
+        };
+        for w in writers {
+            w.join().unwrap();
+        }
+        let (mut c, mut o) = reader.join().unwrap();
+        let fin = r.snapshot();
+        c += fin.counters.get("n").copied().unwrap_or(0);
+        o += fin.histograms.get("h").map_or(0, |h| h.count);
+        assert_eq!(c, 8000, "counter adds lost or double-counted");
+        assert_eq!(o, 8000, "histogram samples lost or double-counted");
     }
 
     /// Property: across random interleavings of add/observe/reset, the

@@ -1,0 +1,294 @@
+//! # eta2-par — minimal data-parallel helpers
+//!
+//! The hot paths of the reproduction (the §4.1 MLE's per-domain expertise
+//! updates, seed sweeps, the opt-in Hogwild skip-gram) all share one shape:
+//! a fixed set of independent work items whose runtimes are uneven. This
+//! crate provides exactly the three primitives they need, built on
+//! `std::thread::scope` with no external dependencies:
+//!
+//! * [`Parallelism`] — the workspace-wide knob (sequential / auto / fixed),
+//!   encoded in configs as a plain `usize` (`0` = auto, `1` = sequential,
+//!   `n` = `n` threads) so config crates stay serde-agnostic here.
+//! * [`map_indexed`] — run `f(i)` for `i in 0..n`, workers claiming indices
+//!   from a shared atomic counter (self-scheduling, so uneven items never
+//!   leave a worker idle), results returned in index order.
+//! * [`for_each_shard`] — run `f` over pre-split disjoint mutable shards
+//!   (e.g. one expertise column per domain), again dynamically claimed.
+//!
+//! Determinism: both helpers produce results/effects identical to the
+//! sequential loop whenever each item only touches its own state — the
+//! claiming order varies between runs, but slot `i` always receives exactly
+//! `f(i)`. With `threads <= 1` the helpers degrade to a plain in-order loop
+//! with no thread machinery at all.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// How much parallelism a component should use.
+///
+/// Configs carry this as a `usize` (see [`Parallelism::from_threads`]) so
+/// that serde-deriving crates need no dependency on this one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Parallelism {
+    /// One thread, no pool — the deterministic default everywhere.
+    #[default]
+    Sequential,
+    /// One worker per available core.
+    Auto,
+    /// Exactly this many workers (clamped to at least 1).
+    Threads(usize),
+}
+
+impl Parallelism {
+    /// Decodes the `usize` convention used by config fields:
+    /// `0` → [`Parallelism::Auto`], `1` → [`Parallelism::Sequential`],
+    /// `n` → [`Parallelism::Threads`]`(n)`.
+    pub fn from_threads(n: usize) -> Self {
+        match n {
+            0 => Parallelism::Auto,
+            1 => Parallelism::Sequential,
+            n => Parallelism::Threads(n),
+        }
+    }
+
+    /// The concrete worker count: `Sequential` → 1, `Auto` → the number of
+    /// available cores (at least 1), `Threads(n)` → `max(n, 1)`.
+    pub fn resolve(self) -> usize {
+        match self {
+            Parallelism::Sequential => 1,
+            Parallelism::Auto => available_parallelism(),
+            Parallelism::Threads(n) => n.max(1),
+        }
+    }
+
+    /// Whether this resolves to a single worker.
+    pub fn is_sequential(self) -> bool {
+        self.resolve() <= 1
+    }
+}
+
+/// The number of cores the scheduler reports, at least 1.
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    // A poisoned lock means a sibling worker panicked; the scope join below
+    // will propagate that panic, so the state behind the lock is moot.
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Runs `f(i)` for every `i in 0..n` on up to `threads` workers and returns
+/// the results in index order.
+///
+/// Workers claim indices from a shared atomic counter (self-scheduling), so
+/// a slow item never idles the other workers — the work-stealing behaviour
+/// seed sweeps with uneven runtimes need. With `threads <= 1` (or `n <= 1`)
+/// this is a plain sequential loop.
+///
+/// # Panics
+///
+/// Propagates the first panic raised by `f`.
+///
+/// # Examples
+///
+/// ```
+/// let squares = eta2_par::map_indexed(5, 4, |i| i * i);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+/// ```
+pub fn map_indexed<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = threads.min(n);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let value = f(i);
+                    *lock(&slots[i]) = Some(value);
+                })
+            })
+            .collect();
+        // Join explicitly so a worker panic resurfaces with its original
+        // payload (scope's automatic join would replace the message).
+        for h in handles {
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            lock(&slot)
+                .take()
+                .expect("every index 0..n is claimed exactly once")
+        })
+        .collect()
+}
+
+/// Runs `f(shard_index, &mut shard)` over every shard on up to `threads`
+/// workers, shards dynamically claimed from a shared queue.
+///
+/// The caller pre-splits its state into disjoint shards (typically via
+/// `split_at_mut` / `chunks_mut` — e.g. one accumulator-plus-expertise
+/// column per domain in the MLE); each shard is visited exactly once. With
+/// `threads <= 1` the shards run in order on the calling thread.
+///
+/// # Panics
+///
+/// Propagates the first panic raised by `f`.
+///
+/// # Examples
+///
+/// ```
+/// let mut data = vec![0u64; 6];
+/// let mut shards: Vec<&mut [u64]> = data.chunks_mut(2).collect();
+/// eta2_par::for_each_shard(&mut shards, 3, |k, shard| {
+///     for v in shard.iter_mut() {
+///         *v = k as u64;
+///     }
+/// });
+/// assert_eq!(data, vec![0, 0, 1, 1, 2, 2]);
+/// ```
+pub fn for_each_shard<S, F>(shards: &mut [S], threads: usize, f: F)
+where
+    S: Send,
+    F: Fn(usize, &mut S) + Sync,
+{
+    let workers = threads.min(shards.len());
+    if workers <= 1 {
+        for (k, shard) in shards.iter_mut().enumerate() {
+            f(k, shard);
+        }
+        return;
+    }
+
+    let queue = Mutex::new(shards.iter_mut().enumerate());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let claimed = lock(&queue).next();
+                    match claimed {
+                        Some((k, shard)) => f(k, shard),
+                        None => break,
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn parallelism_decode_and_resolve() {
+        assert_eq!(Parallelism::from_threads(0), Parallelism::Auto);
+        assert_eq!(Parallelism::from_threads(1), Parallelism::Sequential);
+        assert_eq!(Parallelism::from_threads(7), Parallelism::Threads(7));
+        assert_eq!(Parallelism::Sequential.resolve(), 1);
+        assert_eq!(Parallelism::Threads(3).resolve(), 3);
+        assert!(Parallelism::Auto.resolve() >= 1);
+        assert!(Parallelism::Sequential.is_sequential());
+        assert!(!Parallelism::Threads(4).is_sequential());
+        assert_eq!(Parallelism::default(), Parallelism::Sequential);
+    }
+
+    #[test]
+    fn map_indexed_preserves_order() {
+        for threads in [1, 2, 4, 9] {
+            let out = map_indexed(17, threads, |i| 3 * i + 1);
+            assert_eq!(out, (0..17).map(|i| 3 * i + 1).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn map_indexed_handles_empty_and_single() {
+        assert_eq!(map_indexed(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(map_indexed(1, 4, |i| i + 5), vec![5]);
+    }
+
+    #[test]
+    fn map_indexed_runs_each_index_once() {
+        let calls = AtomicU64::new(0);
+        let out = map_indexed(100, 8, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 100);
+        assert_eq!(out.len(), 100);
+    }
+
+    #[test]
+    fn map_indexed_balances_uneven_items() {
+        // One item is much slower than the rest; self-scheduling must let
+        // the other workers drain the queue meanwhile. (Correctness, not a
+        // timing assertion: everything still completes with right values.)
+        let out = map_indexed(16, 4, |i| {
+            if i == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+            }
+            i * 2
+        });
+        assert_eq!(out, (0..16).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn for_each_shard_visits_disjoint_chunks() {
+        let mut data = vec![0u32; 10];
+        let mut shards: Vec<&mut [u32]> = data.chunks_mut(3).collect();
+        for threads in [1, 4] {
+            for_each_shard(&mut shards, threads, |k, shard| {
+                for v in shard.iter_mut() {
+                    *v += k as u32 + 1;
+                }
+            });
+        }
+        // Two passes, each adding (shard index + 1) to its chunk.
+        assert_eq!(data, vec![2, 2, 2, 4, 4, 4, 6, 6, 6, 8]);
+    }
+
+    #[test]
+    fn for_each_shard_empty_is_noop() {
+        let mut shards: Vec<&mut [u8]> = Vec::new();
+        for_each_shard(&mut shards, 4, |_, _| panic!("no shards to visit"));
+    }
+
+    #[test]
+    #[should_panic(expected = "worker boom")]
+    fn map_indexed_propagates_panics() {
+        map_indexed(8, 4, |i| {
+            if i == 3 {
+                panic!("worker boom");
+            }
+            i
+        });
+    }
+}

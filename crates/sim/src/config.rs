@@ -120,6 +120,14 @@ pub struct SimConfig {
     /// inactive by default.
     #[serde(default)]
     pub faults: FaultConfig,
+    /// Worker threads: `0` (the default) runs the seed sweep with one
+    /// worker per core and the MLE sequentially — the historical behavior;
+    /// `1` is fully sequential; `n > 1` uses `n` workers for both the seed
+    /// sweep and the MLE's per-domain shards. Every setting produces
+    /// bit-identical results (seeds are independent and the parallel MLE
+    /// matches sequential exactly), so this is purely a throughput knob.
+    #[serde(default)]
+    pub threads: usize,
 }
 
 impl Default for SimConfig {
@@ -140,6 +148,7 @@ impl Default for SimConfig {
             record_observations: false,
             collapse_domains: false,
             faults: FaultConfig::default(),
+            threads: 0,
         }
     }
 }
@@ -156,6 +165,19 @@ impl SimConfig {
         assert!((0.0..=1.0).contains(&self.gamma), "gamma in [0,1]");
         assert!(self.epsilon > 0.0, "epsilon > 0");
         self.faults.validate();
+    }
+
+    /// The MLE configuration with the simulation-level [`SimConfig::threads`]
+    /// knob applied: an explicit `mle.threads` setting wins; when `mle`
+    /// is at its sequential default and the simulation asked for `n > 1`
+    /// workers, the knob is copied down so `--threads` engages the
+    /// per-domain MLE shards too.
+    pub fn mle_effective(&self) -> MleConfig {
+        let mut mle = self.mle;
+        if mle.threads == 1 && self.threads > 1 {
+            mle.threads = self.threads;
+        }
+        mle
     }
 }
 
@@ -204,5 +226,27 @@ mod tests {
         let cfg: SimConfig = serde_json::from_value(json).unwrap();
         assert_eq!(cfg, SimConfig::default());
         assert!(!cfg.faults.is_active());
+    }
+
+    #[test]
+    fn sim_config_without_threads_field_still_deserializes() {
+        // Configs serialized before the parallelism knob existed must keep
+        // loading: `threads` is optional and defaults to the historical
+        // behavior (parallel sweep, sequential MLE).
+        let mut json = serde_json::to_value(SimConfig::default()).unwrap();
+        json.as_object_mut().unwrap().remove("threads");
+        let cfg: SimConfig = serde_json::from_value(json).unwrap();
+        assert_eq!(cfg, SimConfig::default());
+        assert_eq!(cfg.threads, 0);
+    }
+
+    #[test]
+    fn mle_effective_copies_the_threads_knob_down() {
+        let mut c = SimConfig::default();
+        assert_eq!(c.mle_effective().threads, 1, "default stays sequential");
+        c.threads = 4;
+        assert_eq!(c.mle_effective().threads, 4, "knob engages MLE shards");
+        c.mle.threads = 2;
+        assert_eq!(c.mle_effective().threads, 2, "explicit MLE setting wins");
     }
 }

@@ -91,7 +91,7 @@ impl Simulation {
         } else {
             None
         };
-        let mut dynexp = DynamicExpertise::new(n_users, cfg.alpha, cfg.mle);
+        let mut dynexp = DynamicExpertise::new(n_users, cfg.alpha, cfg.mle_effective());
         let baseline_method: Option<Box<dyn TruthMethod>> = match approach {
             ApproachKind::HubsAuthorities => Some(Box::new(HubsAuthorities::default())),
             ApproachKind::AverageLog => Some(Box::new(AverageLog::default())),
@@ -215,7 +215,7 @@ impl Simulation {
                         confidence_alpha: cfg.min_cost.confidence_alpha,
                         round_budget: cfg.min_cost.round_budget,
                         max_rounds: 100,
-                        mle: cfg.mle,
+                        mle: cfg.mle_effective(),
                         ..MinCostConfig::default()
                     })
                     .allocate(&tasks_core, &profiles, &prior, &mut source);
@@ -358,6 +358,7 @@ impl Simulation {
                                     TruthEstimate {
                                         mu,
                                         sigma: spec_of(id).base_sigma,
+                                        fallback: false,
                                     },
                                 )
                             })

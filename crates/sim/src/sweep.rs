@@ -1,9 +1,13 @@
 //! Multi-seed averaging and parameter sweeps.
 //!
 //! The paper averages every experiment point over 100 random seeds (§6.2).
-//! [`average_over_seeds`] parallelizes the seed loop over the available
-//! cores with crossbeam's scoped threads; the experiment binaries in
-//! `eta2-bench` build their τ/α/γ/c° sweeps on top of it.
+//! [`average_over_seeds`] parallelizes the seed loop with `eta2_par`'s
+//! self-scheduling workers: seeds are claimed from a shared counter, so an
+//! unlucky slow seed never idles the rest of the pool, and results come
+//! back in seed order regardless of which worker ran what. The worker
+//! count follows [`SimConfig::threads`] (`0` = one per core). The
+//! experiment binaries in `eta2-bench` build their τ/α/γ/c° sweeps on top
+//! of it.
 
 use crate::config::{ApproachKind, SimConfig};
 use crate::engine::Simulation;
@@ -25,7 +29,8 @@ use eta2_embed::Embedding;
 ///
 /// # Errors
 ///
-/// Returns the first [`PipelineError`] any seed's run raised.
+/// Returns the [`PipelineError`] of the lowest-numbered seed that failed
+/// (every seed still runs to completion first).
 ///
 /// # Examples
 ///
@@ -64,38 +69,23 @@ where
     F: Fn(u64) -> Dataset + Sync,
 {
     assert!(n_seeds > 0, "need at least one seed");
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    let workers = eta2_par::Parallelism::from_threads(sim.config().threads)
+        .resolve()
         .min(n_seeds as usize);
 
-    let runs: Result<Vec<RunMetrics>, PipelineError> = crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(workers);
-        for w in 0..workers {
-            let make_dataset = &make_dataset;
-            let sim = &sim;
-            handles.push(
-                scope.spawn(move |_| -> Result<Vec<RunMetrics>, PipelineError> {
-                    let mut out = Vec::new();
-                    let mut seed = base_seed + w as u64;
-                    while seed < base_seed + n_seeds {
-                        let dataset = make_dataset(seed);
-                        out.push(sim.run_with_embedding(&dataset, approach, seed, embedding)?);
-                        seed += workers as u64;
-                    }
-                    Ok(out)
-                }),
-            );
-        }
-        let mut all = Vec::new();
-        for h in handles {
-            all.extend(h.join().expect("simulation worker panicked")?);
-        }
-        Ok(all)
-    })
-    .expect("crossbeam scope failed");
-
-    Ok(average(&runs?))
+    // Self-scheduling map: each worker pulls the next unclaimed seed, so
+    // seeds with uneven runtimes balance automatically; the result vector
+    // is in seed order either way.
+    let runs = eta2_par::map_indexed(n_seeds as usize, workers, |k| {
+        let seed = base_seed + k as u64;
+        let dataset = make_dataset(seed);
+        sim.run_with_embedding(&dataset, approach, seed, embedding)
+    });
+    let mut ok = Vec::with_capacity(runs.len());
+    for r in runs {
+        ok.push(r?);
+    }
+    Ok(average(&ok))
 }
 
 /// One point of a one-dimensional sweep: the swept value and the averaged
