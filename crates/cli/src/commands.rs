@@ -23,6 +23,10 @@ USAGE:
   eta2-cli bench    [<experiment-id>] [--threads N]
                     (default: all; ids: fig2 table1 fig4 fig5 fig6 fig7
                     fig8 fig9_10 fig11 fig12 table2 ablations fault_sweep)
+  eta2-cli serve-bench [--producers N] [--shards N] [--batch N]
+                    [--reports N] [--tasks N] [--domains N] [--users N]
+                    [--threads N] [--seed N]
+                    [--fault-dropout F] [--fault-corrupt F]
   eta2-cli help
 
 Approaches: eta2, eta2-mc, hubs, avglog, truthfinder, baseline, crh
@@ -38,6 +42,16 @@ Fault injection (simulate): --fault-dropout / --fault-corrupt /
   --fault-straggler take per-report rates in [0, 1]; faults are injected
   deterministically from the run seed and the run degrades instead of
   crashing.
+
+serve-bench: stresses the concurrent serving engine — N producer threads
+  (--producers, default 4) each submit --reports report batches into a
+  --shards-sharded engine that flushes every --batch pending reports,
+  while a reader thread samples epoch-snapshot reads concurrently. Prints
+  throughput, flush and read-latency statistics; reads go through
+  immutable epoch snapshots and never block on an in-flight flush.
+  --fault-dropout / --fault-corrupt inject faults at the same rates as
+  simulate (corrupted values may go non-finite and exercise the engine's
+  quarantine path).
 
 Observability (any command):
   --trace FILE   write structured JSONL trace events to FILE
@@ -248,4 +262,192 @@ pub fn bench(args: &Args) -> Result<(), String> {
             Ok(())
         }
     }
+}
+
+/// `serve-bench` — stress the concurrent serving engine: N producer
+/// threads submit fault-injected report batches while a reader thread
+/// samples epoch-snapshot reads; prints throughput, flush-duration and
+/// read-latency statistics.
+pub fn serve_bench(args: &Args) -> Result<(), String> {
+    use eta2_core::model::{DomainId, ObservationSet, UserId};
+    use eta2_serve::{ServeConfig, ServeEngine, TaskSpec};
+    use eta2_sim::{FaultAction, FaultConfig, FaultPlan};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::time::Instant;
+
+    let producers: usize = args.get_parsed("producers", 4usize)?;
+    let reports: u64 = args.get_parsed("reports", 200u64)?;
+    let n_tasks: u32 = args.get_parsed("tasks", 64u32)?;
+    let n_domains: u32 = args.get_parsed("domains", 16u32)?;
+    let seed: u64 = args.get_parsed("seed", 0u64)?;
+    if producers == 0 {
+        return Err("--producers must be at least 1".into());
+    }
+    if n_tasks == 0 || n_domains == 0 {
+        return Err("--tasks and --domains must be at least 1".into());
+    }
+    let faults = FaultConfig {
+        dropout_rate: args.get_parsed("fault-dropout", 0.0f64)?,
+        corrupt_rate: args.get_parsed("fault-corrupt", 0.0f64)?,
+        ..FaultConfig::default()
+    };
+    for (flag, rate) in [
+        ("--fault-dropout", faults.dropout_rate),
+        ("--fault-corrupt", faults.corrupt_rate),
+    ] {
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(format!("{flag} must be in [0, 1], got {rate}"));
+        }
+    }
+
+    let mut cfg = ServeConfig::default();
+    cfg.n_users = args.get_parsed("users", 32usize)?;
+    cfg.n_shards = args.get_parsed("shards", 8usize)?;
+    cfg.batch_capacity = args.get_parsed("batch", 64usize)?;
+    cfg.threads = args.get_parsed("threads", 0usize)?;
+    cfg.validate();
+    if cfg.n_users == 0 {
+        return Err("--users must be at least 1".into());
+    }
+
+    let engine = ServeEngine::new(cfg);
+    let specs: Vec<TaskSpec> = (0..n_tasks)
+        .map(|j| TaskSpec::new(DomainId(j % n_domains), 1.0, 1.0))
+        .collect();
+    let ids = engine.register_tasks(&specs).map_err(|e| e.to_string())?;
+    let plan = FaultPlan::new(faults, seed);
+
+    // splitmix64 finalizer: deterministic per-(producer, report) values.
+    fn mix(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    let done = AtomicBool::new(false);
+    let submitted = AtomicU64::new(0);
+    let dropped = AtomicU64::new(0);
+    let delayed = AtomicU64::new(0);
+    let snapshot_reads = AtomicU64::new(0);
+    let max_read_ns = AtomicU64::new(0);
+    let max_submit_ns = AtomicU64::new(0);
+    let wall = Instant::now();
+
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..producers)
+            .map(|p| {
+                let (engine, ids, plan) = (&engine, &ids, &plan);
+                let (submitted, dropped, delayed, max_submit_ns) =
+                    (&submitted, &dropped, &delayed, &max_submit_ns);
+                s.spawn(move || {
+                    for r in 0..reports {
+                        // One submit per "collection round": a handful of
+                        // reports from this producer's user cohort.
+                        let mut obs = ObservationSet::new();
+                        for k in 0..8u64 {
+                            let h = mix(seed ^ mix(p as u64) ^ mix(r) ^ k);
+                            let task = ids[(h % ids.len() as u64) as usize];
+                            let user = UserId((mix(h) % engine.config().n_users as u64) as u32);
+                            let clean = 10.0 + (task.0 % 7) as f64 + (h % 100) as f64 * 0.01;
+                            match plan.apply(r as usize, user, task, clean).0 {
+                                FaultAction::Deliver(v) => {
+                                    obs.insert(user, task, v);
+                                }
+                                FaultAction::Drop => {
+                                    dropped.fetch_add(1, Ordering::Relaxed);
+                                }
+                                FaultAction::Delay { .. } => {
+                                    delayed.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                        let t0 = Instant::now();
+                        let receipt = engine.submit(&obs);
+                        let dt = t0.elapsed().as_nanos() as u64;
+                        if !receipt.flushes.is_empty() {
+                            // This submit crossed the batch threshold and
+                            // ran the MLE inline: the longest such call
+                            // bounds how long a flush holds a shard lock.
+                            max_submit_ns.fetch_max(dt, Ordering::Relaxed);
+                        }
+                        submitted.fetch_add(receipt.accepted as u64, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+
+        // The reader races the producers: every read goes through an
+        // immutable epoch snapshot, so its latency stays flat even while
+        // flushes are running.
+        let reader = s.spawn(|| {
+            let mut last_epoch = 0u64;
+            let mut n = 0u64;
+            while !done.load(Ordering::Acquire) {
+                let t0 = Instant::now();
+                let snap = engine.snapshot();
+                let _ = snap.truth(ids[(n % ids.len() as u64) as usize]);
+                let dt = t0.elapsed().as_nanos() as u64;
+                max_read_ns.fetch_max(dt, Ordering::Relaxed);
+                assert!(
+                    snap.epoch() >= last_epoch,
+                    "epoch went backwards: {} -> {}",
+                    last_epoch,
+                    snap.epoch()
+                );
+                last_epoch = snap.epoch();
+                if n % 64 == 0 {
+                    snap.validate().expect("torn epoch observed");
+                }
+                n += 1;
+                std::thread::yield_now();
+            }
+            n
+        });
+
+        for h in handles {
+            h.join().expect("producer panicked");
+        }
+        done.store(true, Ordering::Release);
+        snapshot_reads.store(reader.join().expect("reader panicked"), Ordering::Relaxed);
+    });
+
+    // Fold any sub-batch remainder through a final epoch flush.
+    engine.tick();
+    let elapsed = wall.elapsed();
+    let snap = engine.snapshot();
+    snap.validate()
+        .map_err(|e| format!("final snapshot invalid: {e}"))?;
+
+    let read_us = max_read_ns.load(Ordering::Relaxed) as f64 / 1_000.0;
+    let flush_ms = max_submit_ns.load(Ordering::Relaxed) as f64 / 1_000_000.0;
+    eta2_obs::progress!(
+        "serve-bench: {} producers x {} rounds over {} tasks / {} domains / {} shards",
+        producers,
+        reports,
+        n_tasks,
+        n_domains,
+        engine.config().n_shards
+    );
+    eta2_obs::progress!(
+        "  accepted {} reports in {:.2}s ({:.0} reports/s), dropped {}, delayed {}",
+        submitted.load(Ordering::Relaxed),
+        elapsed.as_secs_f64(),
+        submitted.load(Ordering::Relaxed) as f64 / elapsed.as_secs_f64().max(1e-9),
+        dropped.load(Ordering::Relaxed),
+        delayed.load(Ordering::Relaxed)
+    );
+    eta2_obs::progress!(
+        "  epochs published: {}, truths: {}, shard flushes: {:?}",
+        snap.epoch(),
+        snap.truth_count(),
+        snap.shard_flushes()
+    );
+    eta2_obs::progress!(
+        "  snapshot reads: {} concurrent, max read latency {:.1}us vs max in-line flush {:.3}ms",
+        snapshot_reads.load(Ordering::Relaxed),
+        read_us,
+        flush_ms
+    );
+    Ok(())
 }

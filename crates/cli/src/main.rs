@@ -6,6 +6,7 @@
 //! eta2-cli simulate --dataset synthetic --trace run.jsonl --verbose
 //! eta2-cli domains  --dataset survey
 //! eta2-cli bench fig5
+//! eta2-cli serve-bench --producers 4 --shards 8
 //! ```
 
 mod args;
@@ -45,6 +46,7 @@ fn main() {
         Some("simulate") => commands::simulate(&parsed),
         Some("domains") => commands::domains(&parsed),
         Some("bench") => commands::bench(&parsed),
+        Some("serve-bench") => commands::serve_bench(&parsed),
         Some("help") | None => {
             print!("{}", commands::USAGE);
             Ok(())

@@ -46,6 +46,32 @@ struct Acc {
     d: f64,
 }
 
+/// One task's materialized slice of a batch (finite observations only).
+struct TaskData {
+    id: TaskId,
+    domain: DomainId,
+    obs: Vec<(UserId, f64)>,
+    /// Plain observation sum, accumulated once at materialization so the
+    /// divergence fallback is O(1) per task, not a rescan.
+    xsum: f64,
+}
+
+/// The opaque `(N, D)` accumulator column of one domain, detached from a
+/// [`DynamicExpertise`] with [`DynamicExpertise::take_domain`] so a sharded
+/// owner (the `eta2-serve` engine) can move domains between shards on a
+/// cluster merge or re-partition a checkpoint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DomainAccumulators {
+    acc: Vec<Acc>,
+}
+
+impl DomainAccumulators {
+    /// Number of users the column covers.
+    pub fn n_users(&self) -> usize {
+        self.acc.len()
+    }
+}
+
 /// Decayed expertise state across time steps.
 ///
 /// # Examples
@@ -98,6 +124,11 @@ impl DynamicExpertise {
     /// The decay factor `α`.
     pub fn alpha(&self) -> f64 {
         self.alpha
+    }
+
+    /// The MLE configuration this state was built with.
+    pub fn mle_config(&self) -> MleConfig {
+        self.config
     }
 
     /// Current expertise `u_i^k` of `user` in `domain` (1.0 — the paper's
@@ -153,18 +184,16 @@ impl DynamicExpertise {
     /// Ingests a finished batch: jointly re-estimates the batch's truths and
     /// the affected expertise values (Eqs. 5, 7–9), then commits the decayed
     /// accumulators.
+    ///
+    /// The batch is solved **domain by domain**: a task's truth reads only
+    /// its own domain's expertise column and a user's update accumulates
+    /// only into the task's domain, so the joint iteration decomposes
+    /// exactly, with each domain converging on its own 5 % criterion. One
+    /// call over a multi-domain batch is therefore bit-identical to any
+    /// partition of that batch into per-domain (or per-domain-shard) calls
+    /// — the invariant the `eta2-serve` sharded engine relies on.
     pub fn ingest_batch(&mut self, tasks: &[Task], obs: &ObservationSet) -> BatchOutcome {
         let _span = eta2_obs::span!("mle.ingest_batch");
-        let cfg = self.config;
-        // Materialize the batch.
-        struct TaskData {
-            id: TaskId,
-            domain: DomainId,
-            obs: Vec<(UserId, f64)>,
-            /// Plain observation sum, accumulated once here so the
-            /// divergence fallback below is O(1) per task, not a rescan.
-            xsum: f64,
-        }
         // Non-finite observations (corrupted reports) are rejected at the
         // boundary, mirroring `ExpertiseAwareMle::estimate_with_initial`.
         let mut batch: Vec<TaskData> = Vec::new();
@@ -204,29 +233,53 @@ impl DynamicExpertise {
             };
         }
 
-        // Working expertise: starts from the time-T values; updated through
-        // candidate accumulators during the joint iteration.
-        let affected: Vec<DomainId> = {
-            let mut d: Vec<DomainId> = batch.iter().map(|t| t.domain).collect();
-            d.sort_unstable();
-            d.dedup();
-            d
-        };
-        let mut work: BTreeMap<DomainId, Vec<f64>> = affected
-            .iter()
-            .map(|&d| {
-                (
-                    d,
-                    (0..self.n_users)
-                        .map(|i| self.expertise(UserId(i as u32), d))
-                        .collect(),
-                )
-            })
+        // Partition by domain, preserving the batch's task order within
+        // each group, and solve the independent groups in ascending domain
+        // order (a fixed order keeps trace streams reproducible).
+        let mut by_domain: BTreeMap<DomainId, Vec<TaskData>> = BTreeMap::new();
+        for t in batch {
+            by_domain.entry(t.domain).or_default().push(t);
+        }
+
+        let mut truths: BTreeMap<TaskId, TruthEstimate> = BTreeMap::new();
+        let mut iterations = 0;
+        let mut converged = true;
+        let mut tasks_solved = 0u64;
+        for (domain, group) in &by_domain {
+            tasks_solved += group.len() as u64;
+            let solved = self.solve_domain(*domain, group);
+            iterations = iterations.max(solved.iterations);
+            converged &= solved.converged;
+            truths.extend(solved.truths);
+        }
+
+        eta2_obs::emit_with(|| eta2_obs::Event::MleOutcome {
+            source: "dynamic",
+            iterations: iterations as u64,
+            converged,
+            tasks: tasks_solved,
+        });
+
+        BatchOutcome {
+            truths,
+            iterations,
+            converged,
+        }
+    }
+
+    /// Runs the §4 joint truth/expertise iteration for one domain's slice
+    /// of a batch, then commits the decayed accumulators for that domain.
+    fn solve_domain(&mut self, domain: DomainId, batch: &[TaskData]) -> BatchOutcome {
+        let cfg = self.config;
+        // Working expertise column: starts from the time-T values; updated
+        // through candidate accumulators during the joint iteration.
+        let mut work: Vec<f64> = (0..self.n_users)
+            .map(|i| self.expertise(UserId(i as u32), domain))
             .collect();
 
         let mut truths: BTreeMap<TaskId, TruthEstimate> = BTreeMap::new();
         let mut prev_mu: BTreeMap<TaskId, f64> = BTreeMap::new();
-        let mut delta: BTreeMap<DomainId, Vec<Acc>> = BTreeMap::new();
+        let mut delta: Vec<Acc> = Vec::new();
         let mut iterations = 0;
         let mut converged = false;
 
@@ -234,19 +287,18 @@ impl DynamicExpertise {
             iterations += 1;
 
             // (1) Truths of the new tasks from the working expertise.
-            for t in &batch {
-                let u_col = &work[&t.domain];
+            for t in batch {
                 let mut wsum = 0.0;
                 let mut wxsum = 0.0;
                 for &(user, x) in &t.obs {
-                    let u = u_col[user.0 as usize].max(cfg.expertise_floor);
+                    let u = work[user.0 as usize].max(cfg.expertise_floor);
                     wsum += u * u;
                     wxsum += u * u * x;
                 }
                 let mu = wxsum / wsum;
                 let mut ss = 0.0;
                 for &(user, x) in &t.obs {
-                    let u = u_col[user.0 as usize].max(cfg.expertise_floor);
+                    let u = work[user.0 as usize].max(cfg.expertise_floor);
                     ss += u * u * (x - mu) * (x - mu);
                 }
                 let sigma = (ss / t.obs.len() as f64).sqrt().max(cfg.sigma_floor);
@@ -262,56 +314,47 @@ impl DynamicExpertise {
 
             // (2) Batch contributions ΔN/ΔD, then candidate expertise
             // u = sqrt((αN + ΔN)/(αD + ΔD)) per Eq. 9.
-            delta = affected
-                .iter()
-                .map(|&d| (d, vec![Acc::default(); self.n_users]))
-                .collect();
-            for t in &batch {
+            delta = vec![Acc::default(); self.n_users];
+            for t in batch {
                 let est = truths[&t.id];
-                let u_col = &work[&t.domain];
                 // Weighted sums for the leave-one-out truth (see
                 // `MleConfig::leave_one_out`).
                 let (mut wsum, mut wxsum) = (0.0, 0.0);
                 if cfg.leave_one_out {
                     for &(user, x) in &t.obs {
-                        let u = u_col[user.0 as usize].max(cfg.expertise_floor);
+                        let u = work[user.0 as usize].max(cfg.expertise_floor);
                         wsum += u * u;
                         wxsum += u * u * x;
                     }
                 }
-                let per_user = delta.get_mut(&t.domain).expect("affected domain");
                 for &(user, x) in &t.obs {
                     let reference = if cfg.leave_one_out && t.obs.len() > 1 {
-                        let u = u_col[user.0 as usize].max(cfg.expertise_floor);
+                        let u = work[user.0 as usize].max(cfg.expertise_floor);
                         (wxsum - u * u * x) / (wsum - u * u)
                     } else {
                         est.mu
                     };
                     let e = (x - reference) / est.sigma;
-                    let slot = &mut per_user[user.0 as usize];
+                    let slot = &mut delta[user.0 as usize];
                     slot.n += 1.0;
                     slot.d += e * e;
                 }
             }
-            for &d in &affected {
-                let hist = self.acc.get(&d);
-                let dd = &delta[&d];
-                let col = work.get_mut(&d).expect("affected domain");
-                for i in 0..self.n_users {
-                    let h = hist.map_or(Acc::default(), |v| v[i]);
-                    let n = self.alpha * h.n + dd[i].n;
-                    let den = self.alpha * h.d + dd[i].d;
-                    if n > 0.0 {
-                        let s = cfg.prior_strength;
-                        let raw = ((n + s) / (den + s).max(1e-12)).sqrt();
-                        // NaN only arises when gross (finite but enormous)
-                        // observations overflow the error accumulator.
-                        col[i] = if raw.is_finite() {
-                            raw.clamp(cfg.expertise_floor, cfg.expertise_cap)
-                        } else {
-                            cfg.expertise_floor
-                        };
-                    }
+            let hist = self.acc.get(&domain);
+            for (i, col) in work.iter_mut().enumerate() {
+                let h = hist.map_or(Acc::default(), |v| v[i]);
+                let n = self.alpha * h.n + delta[i].n;
+                let den = self.alpha * h.d + delta[i].d;
+                if n > 0.0 {
+                    let s = cfg.prior_strength;
+                    let raw = ((n + s) / (den + s).max(1e-12)).sqrt();
+                    // NaN only arises when gross (finite but enormous)
+                    // observations overflow the error accumulator.
+                    *col = if raw.is_finite() {
+                        raw.clamp(cfg.expertise_floor, cfg.expertise_cap)
+                    } else {
+                        cfg.expertise_floor
+                    };
                 }
             }
 
@@ -331,7 +374,7 @@ impl DynamicExpertise {
                 },
             });
 
-            // (3) Convergence on the batch truths.
+            // (3) Convergence on this domain's batch truths.
             if !prev_mu.is_empty() {
                 let all_small = truths.iter().all(|(id, est)| {
                     relative_change(prev_mu[id], est.mu) < cfg.convergence_threshold
@@ -346,7 +389,7 @@ impl DynamicExpertise {
 
         // Degradation provenance on the batch truths: repair non-finite
         // estimates with the plain mean, flag single-observation tasks.
-        for t in &batch {
+        for t in batch {
             let Some(est) = truths.get_mut(&t.id) else {
                 continue;
             };
@@ -380,39 +423,31 @@ impl DynamicExpertise {
         // above the quarantine threshold — gross corruption or collusion)
         // is quarantined: its contribution is dropped so one poisoned batch
         // cannot destroy a user's accumulated standing in the domain.
-        for &d in &affected {
-            let dd = &delta[&d];
-            if !self.acc.contains_key(&d) {
-                eta2_obs::emit_with(|| eta2_obs::Event::DomainCreated { domain: d.0 as u64 });
-            }
-            let per_user = self
-                .acc
-                .entry(d)
-                .or_insert_with(|| vec![Acc::default(); self.n_users]);
-            for i in 0..self.n_users {
-                if dd[i].n > 0.0 {
-                    let mean_sq = dd[i].d / dd[i].n;
-                    if !mean_sq.is_finite() || mean_sq > cfg.quarantine_threshold {
-                        eta2_obs::counter("dynamic.quarantined", 1);
-                        eta2_obs::emit_with(|| eta2_obs::Event::UserQuarantined {
-                            user: i as u64,
-                            domain: d.0 as u64,
-                            mean_sq_error: mean_sq,
-                        });
-                        continue;
-                    }
-                    per_user[i].n = self.alpha * per_user[i].n + dd[i].n;
-                    per_user[i].d = self.alpha * per_user[i].d + dd[i].d;
+        if !self.acc.contains_key(&domain) {
+            eta2_obs::emit_with(|| eta2_obs::Event::DomainCreated {
+                domain: domain.0 as u64,
+            });
+        }
+        let per_user = self
+            .acc
+            .entry(domain)
+            .or_insert_with(|| vec![Acc::default(); self.n_users]);
+        for (i, dd) in delta.iter().enumerate() {
+            if dd.n > 0.0 {
+                let mean_sq = dd.d / dd.n;
+                if !mean_sq.is_finite() || mean_sq > cfg.quarantine_threshold {
+                    eta2_obs::counter("dynamic.quarantined", 1);
+                    eta2_obs::emit_with(|| eta2_obs::Event::UserQuarantined {
+                        user: i as u64,
+                        domain: domain.0 as u64,
+                        mean_sq_error: mean_sq,
+                    });
+                    continue;
                 }
+                per_user[i].n = self.alpha * per_user[i].n + dd.n;
+                per_user[i].d = self.alpha * per_user[i].d + dd.d;
             }
         }
-
-        eta2_obs::emit_with(|| eta2_obs::Event::MleOutcome {
-            source: "dynamic",
-            iterations: iterations as u64,
-            converged,
-            tasks: batch.len() as u64,
-        });
 
         BatchOutcome {
             truths,
@@ -430,20 +465,84 @@ impl DynamicExpertise {
     /// Panics if `kept == absorbed`.
     pub fn merge_domains(&mut self, kept: DomainId, absorbed: DomainId) {
         assert_ne!(kept, absorbed, "cannot merge a domain into itself");
-        let Some(old) = self.acc.remove(&absorbed) else {
+        let Some(old) = self.take_domain(absorbed) else {
             return;
         };
         eta2_obs::emit_with(|| eta2_obs::Event::DomainMerged {
             kept: kept.0 as u64,
             absorbed: absorbed.0 as u64,
         });
+        self.merge_in(kept, old);
+    }
+
+    /// Detaches and returns `domain`'s accumulator column, or `None` if the
+    /// domain has never accumulated data. The domain then reads as fresh
+    /// (`u = 1`) until re-inserted.
+    pub fn take_domain(&mut self, domain: DomainId) -> Option<DomainAccumulators> {
+        self.acc
+            .remove(&domain)
+            .map(|acc| DomainAccumulators { acc })
+    }
+
+    /// Re-attaches a column detached by [`DynamicExpertise::take_domain`]
+    /// (possibly from a sibling shard's instance with identical parameters).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `domain` already has accumulators here, or the column's
+    /// user count differs.
+    pub fn insert_domain(&mut self, domain: DomainId, column: DomainAccumulators) {
+        assert_eq!(
+            column.acc.len(),
+            self.n_users,
+            "column covers {} users, this state has {}",
+            column.acc.len(),
+            self.n_users
+        );
+        let prev = self.acc.insert(domain, column.acc);
+        assert!(prev.is_none(), "{domain} already has accumulators");
+    }
+
+    /// Sums a detached column into `kept` (creating it when absent) — the
+    /// cross-shard half of a domain merge, equivalent to
+    /// [`DynamicExpertise::merge_domains`] when both domains live in the
+    /// same instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column's user count differs.
+    pub fn merge_in(&mut self, kept: DomainId, column: DomainAccumulators) {
+        assert_eq!(
+            column.acc.len(),
+            self.n_users,
+            "column covers {} users, this state has {}",
+            column.acc.len(),
+            self.n_users
+        );
         let per_user = self
             .acc
             .entry(kept)
             .or_insert_with(|| vec![Acc::default(); self.n_users]);
-        for (slot, o) in per_user.iter_mut().zip(old) {
+        for (slot, o) in per_user.iter_mut().zip(column.acc) {
             slot.n += o.n;
             slot.d += o.d;
+        }
+    }
+
+    /// Moves every domain of `other` into `self`. Used to fold per-shard
+    /// expertise states back into one for checkpointing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two states disagree on `n_users`, `alpha` or the MLE
+    /// configuration, or if any domain is present in both.
+    pub fn absorb_disjoint(&mut self, other: DynamicExpertise) {
+        assert_eq!(self.n_users, other.n_users, "user counts differ");
+        assert_eq!(self.alpha, other.alpha, "decay factors differ");
+        assert_eq!(self.config, other.config, "MLE configurations differ");
+        for (domain, acc) in other.acc {
+            let prev = self.acc.insert(domain, acc);
+            assert!(prev.is_none(), "{domain} present in both states");
         }
     }
 }
@@ -660,6 +759,105 @@ mod tests {
         for i in 0..4u32 {
             assert_eq!(clean.expertise(UserId(i), d), dirty.expertise(UserId(i), d));
         }
+    }
+
+    #[test]
+    fn multi_domain_batch_equals_per_domain_calls() {
+        // The documented decomposition invariant: one ingest over a batch
+        // spanning several domains is bit-identical to ingesting each
+        // domain's slice separately — in any order.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let mut joint = DynamicExpertise::new(5, 0.5, MleConfig::default());
+        let mut split = DynamicExpertise::new(5, 0.5, MleConfig::default());
+        let skills = [3.0, 1.5, 1.0, 0.7, 0.3];
+
+        let mut all_tasks = Vec::new();
+        let mut all_obs = ObservationSet::new();
+        let mut per_domain: Vec<(Vec<Task>, ObservationSet)> = Vec::new();
+        for d in 0..3u32 {
+            let tasks = batch(d, 100 * d, 10);
+            let (obs, _) = observe(&tasks, &skills, &mut rng);
+            all_tasks.extend(tasks.iter().copied());
+            all_obs.merge(&obs);
+            per_domain.push((tasks, obs));
+        }
+
+        let out_joint = joint.ingest_batch(&all_tasks, &all_obs);
+        // Ingest the slices in *reverse* domain order to prove order
+        // independence of the committed state.
+        let mut split_truths = BTreeMap::new();
+        for (tasks, obs) in per_domain.iter().rev() {
+            let out = split.ingest_batch(tasks, obs);
+            split_truths.extend(out.truths);
+        }
+
+        assert_eq!(out_joint.truths, split_truths);
+        assert_eq!(joint, split);
+    }
+
+    #[test]
+    fn take_insert_and_merge_in_move_columns() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(22);
+        let mut a = DynamicExpertise::new(3, 0.5, MleConfig::default());
+        let tasks = batch(4, 0, 15);
+        let (obs, _) = observe(&tasks, &[2.0, 1.0, 0.5], &mut rng);
+        a.ingest_batch(&tasks, &obs);
+        let before = a.expertise(UserId(0), DomainId(4));
+        assert!(before != 1.0);
+
+        // Detach, observe the fresh default, re-attach elsewhere.
+        let col = a.take_domain(DomainId(4)).unwrap();
+        assert_eq!(col.n_users(), 3);
+        assert_eq!(a.expertise(UserId(0), DomainId(4)), 1.0);
+        assert!(a.take_domain(DomainId(4)).is_none());
+
+        let mut b = DynamicExpertise::new(3, 0.5, MleConfig::default());
+        b.insert_domain(DomainId(4), col.clone());
+        assert_eq!(b.expertise(UserId(0), DomainId(4)), before);
+
+        // merge_in into an empty target behaves like insert; into a loaded
+        // target it sums — mirroring merge_domains within one instance.
+        let mut c = DynamicExpertise::new(3, 0.5, MleConfig::default());
+        c.merge_in(DomainId(9), col.clone());
+        assert_eq!(c.expertise(UserId(0), DomainId(9)), before);
+        let mut d1 = b.clone();
+        d1.insert_domain(DomainId(9), col.clone());
+        d1.merge_domains(DomainId(4), DomainId(9));
+        let mut d2 = b;
+        d2.merge_in(DomainId(4), col);
+        assert_eq!(
+            d1.expertise(UserId(0), DomainId(4)),
+            d2.expertise(UserId(0), DomainId(4))
+        );
+    }
+
+    #[test]
+    fn absorb_disjoint_folds_shards() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        let mut whole = DynamicExpertise::new(2, 0.5, MleConfig::default());
+        let mut shard_a = DynamicExpertise::new(2, 0.5, MleConfig::default());
+        let mut shard_b = DynamicExpertise::new(2, 0.5, MleConfig::default());
+        for (d, shard) in [(0u32, &mut shard_a), (1u32, &mut shard_b)] {
+            let tasks = batch(d, 100 * d, 10);
+            let (obs, _) = observe(&tasks, &[2.0, 0.5], &mut rng);
+            whole.ingest_batch(&tasks, &obs);
+            shard.ingest_batch(&tasks, &obs);
+        }
+        shard_a.absorb_disjoint(shard_b);
+        assert_eq!(shard_a, whole);
+    }
+
+    #[test]
+    #[should_panic(expected = "present in both")]
+    fn absorb_disjoint_rejects_overlap() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(24);
+        let mut a = DynamicExpertise::new(2, 0.5, MleConfig::default());
+        let mut b = DynamicExpertise::new(2, 0.5, MleConfig::default());
+        let tasks = batch(0, 0, 5);
+        let (obs, _) = observe(&tasks, &[2.0, 0.5], &mut rng);
+        a.ingest_batch(&tasks, &obs);
+        b.ingest_batch(&tasks, &obs);
+        a.absorb_disjoint(b);
     }
 
     #[test]

@@ -20,7 +20,10 @@
 //! * [`sim`] — the day-by-day crowdsourcing simulator and sweep harness
 //!   (§6.2).
 //! * [`server`] — the paper's Figure-1 loop as an embeddable, stateful
-//!   online API (`Eta2Server`).
+//!   online API (`Eta2Server`, built with `ServerBuilder`).
+//! * [`serve`] — the concurrent serving engine: domain-sharded state,
+//!   batched ingest through the parallel MLE, and lock-free epoch-snapshot
+//!   reads (`ServeEngine`).
 //! * [`obs`] — structured observability: counters/gauges/histograms, span
 //!   timers around MLE/allocation/simulation, and typed JSONL trace events
 //!   (enable with [`obs::init_file`] or the CLI's `--trace`).
@@ -60,6 +63,28 @@ pub use eta2_core as core;
 pub use eta2_datasets as datasets;
 pub use eta2_embed as embed;
 pub use eta2_obs as obs;
+pub use eta2_serve as serve;
 pub use eta2_server as server;
 pub use eta2_sim as sim;
 pub use eta2_stats as stats;
+
+/// One-line import of the types nearly every embedding application needs.
+///
+/// ```
+/// use eta2::prelude::*;
+///
+/// let mut server = ServerBuilder::new(4).build();
+/// let ids = server
+///     .register_tasks(vec![TaskInput::domained(DomainId(0), 1.0, 1.0)])
+///     .unwrap();
+/// assert_eq!(ids.len(), 1);
+/// ```
+pub mod prelude {
+    pub use eta2_core::allocation::{Allocation, MinCostConfig};
+    pub use eta2_core::model::{DomainId, ObservationSet, Task, TaskId, UserId, UserProfile};
+    pub use eta2_core::truth::{MleConfig, TruthEstimate};
+    pub use eta2_serve::{EpochSnapshot, ServeConfig, ServeEngine, TaskSpec};
+    pub use eta2_server::{
+        Eta2Server, ServerBuilder, ServerConfig, ServerError, ServerSnapshot, TaskInput,
+    };
+}

@@ -183,6 +183,31 @@ pub enum Event {
         /// (non-finite serializes as `null`).
         mean_sq_error: f64,
     },
+    /// The serving engine flushed one shard's pending batch through the
+    /// MLE.
+    ServeBatchFlush {
+        /// Shard index.
+        shard: u64,
+        /// Reports folded in by this flush.
+        reports: u64,
+        /// Distinct tasks in the flushed batch.
+        tasks: u64,
+        /// MLE iterations the slowest domain needed.
+        iterations: u64,
+        /// Whether every domain in the batch converged.
+        converged: bool,
+    },
+    /// The serving engine published a new immutable epoch snapshot.
+    ServeEpochPublished {
+        /// Epoch counter (strictly increasing).
+        epoch: u64,
+        /// Flushed truth estimates visible at this epoch.
+        truths: u64,
+        /// Registered tasks visible at this epoch.
+        tasks: u64,
+        /// Reports still pending across all shards at publish time.
+        queue_depth: u64,
+    },
 }
 
 impl Event {
@@ -203,6 +228,8 @@ impl Event {
             Event::MleFallback { .. } => "mle_fallback",
             Event::AllocationRetry { .. } => "alloc_retry",
             Event::UserQuarantined { .. } => "user_quarantined",
+            Event::ServeBatchFlush { .. } => "serve_batch_flush",
+            Event::ServeEpochPublished { .. } => "serve_epoch_published",
         }
     }
 
@@ -353,6 +380,30 @@ impl Event {
                 o.u64("user", *user)
                     .u64("domain", *domain)
                     .f64("mean_sq_error", *mean_sq_error);
+            }
+            Event::ServeBatchFlush {
+                shard,
+                reports,
+                tasks,
+                iterations,
+                converged,
+            } => {
+                o.u64("shard", *shard)
+                    .u64("reports", *reports)
+                    .u64("tasks", *tasks)
+                    .u64("iterations", *iterations)
+                    .bool("converged", *converged);
+            }
+            Event::ServeEpochPublished {
+                epoch,
+                truths,
+                tasks,
+                queue_depth,
+            } => {
+                o.u64("epoch", *epoch)
+                    .u64("truths", *truths)
+                    .u64("tasks", *tasks)
+                    .u64("queue_depth", *queue_depth);
             }
         }
         o.finish()
@@ -531,6 +582,25 @@ mod tests {
                     mean_sq_error: f64::INFINITY,
                 },
                 vec!["user", "domain", "mean_sq_error"],
+            ),
+            (
+                Event::ServeBatchFlush {
+                    shard: 2,
+                    reports: 64,
+                    tasks: 16,
+                    iterations: 5,
+                    converged: true,
+                },
+                vec!["shard", "reports", "tasks", "iterations", "converged"],
+            ),
+            (
+                Event::ServeEpochPublished {
+                    epoch: 9,
+                    truths: 120,
+                    tasks: 40,
+                    queue_depth: 3,
+                },
+                vec!["epoch", "truths", "tasks", "queue_depth"],
             ),
         ];
         for (ev, payload_keys) in cases {

@@ -1,0 +1,816 @@
+//! The concurrent serving engine: sharded writes, epoch-published reads.
+
+use crate::snapshot::ShardView;
+use crate::{shard_of, EpochSnapshot, ServeConfig, ServeError, TaskSpec};
+use eta2_core::model::{DomainId, Observation, ObservationSet, Task, TaskId, UserId};
+use eta2_core::truth::{DynamicExpertise, TruthEstimate};
+use eta2_par::Parallelism;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+
+/// One domain shard's mutable state. Guarded by its own mutex; holds the
+/// expertise accumulators for exactly the domains that hash to it.
+struct Shard {
+    expertise: DynamicExpertise,
+    truths: BTreeMap<TaskId, TruthEstimate>,
+    pending: ObservationSet,
+    /// Distinct (user, task) pairs in `pending`.
+    pending_len: usize,
+    flushes: u64,
+}
+
+/// Task table plus the id allocator, swapped copy-on-write so readers and
+/// flushers can hold a consistent `Arc` without a lock.
+struct TaskTable {
+    map: Arc<BTreeMap<TaskId, Task>>,
+    next: u32,
+}
+
+/// Everything a flush produces: the public outcome, the rebuilt read view,
+/// and reports that belong to another shard after a domain merge.
+struct FlushResult {
+    outcome: FlushOutcome,
+    view: Arc<ShardView>,
+    rerouted: Vec<Observation>,
+}
+
+/// Summary of one shard flush.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlushOutcome {
+    /// Which shard flushed.
+    pub shard: usize,
+    /// Reports folded into the MLE by this flush.
+    pub reports: usize,
+    /// Distinct tasks in the flushed batch.
+    pub tasks: usize,
+    /// Joint iterations the slowest domain in the batch needed.
+    pub iterations: usize,
+    /// Whether every domain in the batch converged.
+    pub converged: bool,
+    /// Truth estimates produced by this flush (its batch only).
+    pub truths: BTreeMap<TaskId, TruthEstimate>,
+}
+
+/// What [`ServeEngine::submit`] did with a report batch.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SubmitReceipt {
+    /// Reports routed into a shard's pending batch (replacements included).
+    pub accepted: usize,
+    /// Reports for task ids the engine has never registered (dropped).
+    pub unknown_task: usize,
+    /// Non-finite report values quarantined at the boundary (dropped, per
+    /// the established degradation semantics — the batch is not rejected).
+    pub quarantined: usize,
+    /// Flushes this submit triggered by filling a shard's batch.
+    pub flushes: Vec<FlushOutcome>,
+}
+
+/// The concurrent serving engine. See the crate docs for the architecture.
+///
+/// All entry points take `&self`: the engine is meant to be shared across
+/// producer and reader threads (e.g. behind an `Arc`).
+pub struct ServeEngine {
+    cfg: ServeConfig,
+    shards: Vec<Mutex<Shard>>,
+    /// Each shard's last published view, outside the shard mutex so
+    /// [`publish`](Self::publish) never waits on an in-flight flush.
+    views: Vec<Mutex<Arc<ShardView>>>,
+    tasks: Mutex<TaskTable>,
+    published: RwLock<Arc<EpochSnapshot>>,
+    epoch: AtomicU64,
+    queue_depth: AtomicUsize,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl ServeEngine {
+    /// Creates an engine with no tasks and all-default expertise.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration fails [`ServeConfig::validate`].
+    pub fn new(cfg: ServeConfig) -> Self {
+        cfg.validate();
+        let shards = (0..cfg.n_shards)
+            .map(|_| {
+                Mutex::new(Shard {
+                    expertise: DynamicExpertise::new(cfg.n_users, cfg.alpha, cfg.mle),
+                    truths: BTreeMap::new(),
+                    pending: ObservationSet::new(),
+                    pending_len: 0,
+                    flushes: 0,
+                })
+            })
+            .collect();
+        let views: Vec<Mutex<Arc<ShardView>>> = (0..cfg.n_shards)
+            .map(|_| Mutex::new(Arc::new(ShardView::empty(cfg.n_users))))
+            .collect();
+        let tasks = Arc::new(BTreeMap::new());
+        let initial = Arc::new(EpochSnapshot::assemble(
+            0,
+            &cfg,
+            Arc::clone(&tasks),
+            views.iter().map(|v| Arc::clone(&lock(v))).collect(),
+        ));
+        ServeEngine {
+            cfg,
+            shards,
+            views,
+            tasks: Mutex::new(TaskTable {
+                map: tasks,
+                next: 0,
+            }),
+            published: RwLock::new(initial),
+            epoch: AtomicU64::new(0),
+            queue_depth: AtomicUsize::new(0),
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    fn tasks_arc(&self) -> Arc<BTreeMap<TaskId, Task>> {
+        Arc::clone(&lock(&self.tasks).map)
+    }
+
+    /// Registers a batch of tasks, assigning consecutive ids, and publishes
+    /// a new epoch so the tasks are visible to readers before any report
+    /// for them can be accepted. Validation is atomic: on error nothing is
+    /// registered.
+    pub fn register_tasks(&self, specs: &[TaskSpec]) -> Result<Vec<TaskId>, ServeError> {
+        for (index, s) in specs.iter().enumerate() {
+            if !(s.processing_time.is_finite() && s.processing_time > 0.0) {
+                return Err(ServeError::InvalidTask {
+                    index,
+                    field: "processing_time",
+                    value: s.processing_time,
+                });
+            }
+            if !(s.cost.is_finite() && s.cost >= 0.0) {
+                return Err(ServeError::InvalidTask {
+                    index,
+                    field: "cost",
+                    value: s.cost,
+                });
+            }
+        }
+        let ids = {
+            let mut table = lock(&self.tasks);
+            let mut map = (*table.map).clone();
+            let ids: Vec<TaskId> = specs
+                .iter()
+                .map(|s| {
+                    let id = TaskId(table.next);
+                    table.next += 1;
+                    map.insert(id, Task::new(id, s.domain, s.processing_time, s.cost));
+                    id
+                })
+                .collect();
+            table.map = Arc::new(map);
+            ids
+        };
+        self.publish();
+        Ok(ids)
+    }
+
+    /// Routes a report batch to the owning shards' pending batches.
+    ///
+    /// Non-finite values are quarantined (dropped and counted), reports for
+    /// unknown tasks are dropped, and a shard whose pending batch reaches
+    /// [`ServeConfig::batch_capacity`] is flushed through the MLE and a new
+    /// epoch is published before this returns.
+    pub fn submit(&self, reports: &ObservationSet) -> SubmitReceipt {
+        let tasks = self.tasks_arc();
+        let n = self.cfg.n_shards;
+        let mut routed: Vec<Vec<Observation>> = vec![Vec::new(); n];
+        let mut receipt = SubmitReceipt::default();
+        for o in reports.iter() {
+            if !o.value.is_finite() {
+                receipt.quarantined += 1;
+                eta2_obs::counter("serve.quarantined_reports", 1);
+                continue;
+            }
+            match tasks.get(&o.task) {
+                None => receipt.unknown_task += 1,
+                Some(t) => routed[shard_of(t.domain, n)].push(o),
+            }
+        }
+        let mut rerouted = Vec::new();
+        for (k, batch) in routed.into_iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            receipt.accepted += batch.len();
+            let mut shard = lock(&self.shards[k]);
+            for o in &batch {
+                if shard.pending.insert(o.user, o.task, o.value).is_none() {
+                    shard.pending_len += 1;
+                    self.queue_depth.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            if self.cfg.batch_capacity > 0 && shard.pending_len >= self.cfg.batch_capacity {
+                let fr = self.flush_shard(k, &mut shard);
+                drop(shard);
+                *lock(&self.views[k]) = fr.view;
+                rerouted.extend(fr.rerouted);
+                receipt.flushes.push(fr.outcome);
+            }
+        }
+        if !rerouted.is_empty() {
+            self.enqueue(&rerouted);
+        }
+        if !receipt.flushes.is_empty() {
+            self.publish();
+        }
+        eta2_obs::gauge(
+            "serve.queue_depth",
+            self.queue_depth.load(Ordering::Relaxed) as f64,
+        );
+        receipt
+    }
+
+    /// Flushes every shard with pending reports (in parallel, per
+    /// [`ServeConfig::threads`]), re-sweeping until merge-displaced
+    /// reports have drained, and publishes one new epoch covering all of
+    /// it. Returns the per-shard outcomes (one entry per flush, so a
+    /// shard can appear twice when a re-sweep was needed); empty when
+    /// nothing was pending. After `tick()` returns, [`queue_depth`]
+    /// is zero unless a concurrent `submit` raced in behind it.
+    ///
+    /// [`queue_depth`]: ServeEngine::queue_depth
+    pub fn tick(&self) -> Vec<FlushOutcome> {
+        let _span = eta2_obs::span!("serve.tick");
+        let threads = Parallelism::from_threads(self.cfg.threads).resolve();
+        let mut outcomes = Vec::new();
+        // A flush can surface reports whose domain was merged away since
+        // they were queued; they re-enqueue at their new home shard. Sweep
+        // again until no reports are left in flight, so a tick() always
+        // drains the queue completely (merges are finite, so this
+        // terminates: a report only re-routes when its task moved since
+        // the previous sweep).
+        loop {
+            let results = eta2_par::map_indexed(self.cfg.n_shards, threads, |k| {
+                let mut shard = lock(&self.shards[k]);
+                if shard.pending_len == 0 {
+                    return None;
+                }
+                let fr = self.flush_shard(k, &mut shard);
+                drop(shard);
+                *lock(&self.views[k]) = Arc::clone(&fr.view);
+                Some(fr)
+            });
+            let mut rerouted = Vec::new();
+            for fr in results.into_iter().flatten() {
+                outcomes.push(fr.outcome);
+                rerouted.extend(fr.rerouted);
+            }
+            if rerouted.is_empty() {
+                break;
+            }
+            self.enqueue(&rerouted);
+        }
+        if !outcomes.is_empty() {
+            self.publish();
+        }
+        outcomes
+    }
+
+    /// Drains one shard's pending batch through the MLE. Must be called
+    /// with the shard's lock held; never takes another shard's lock.
+    fn flush_shard(&self, k: usize, shard: &mut Shard) -> FlushResult {
+        let _span = eta2_obs::span!("serve.flush");
+        let pending = std::mem::take(&mut shard.pending);
+        let drained = shard.pending_len;
+        shard.pending_len = 0;
+        self.queue_depth.fetch_sub(drained, Ordering::Relaxed);
+
+        // Resolve against the *current* task table: tasks registered after
+        // a report was enqueued are still found, and tasks relabeled into
+        // another shard by a domain merge are re-routed, not mis-folded.
+        let tasks = self.tasks_arc();
+        let n = self.cfg.n_shards;
+        let mut batch: Vec<Task> = Vec::new();
+        let mut seen: BTreeSet<TaskId> = BTreeSet::new();
+        let mut keep = ObservationSet::new();
+        let mut kept = 0usize;
+        let mut rerouted = Vec::new();
+        for o in pending.iter() {
+            match tasks.get(&o.task) {
+                None => {}
+                Some(t) if shard_of(t.domain, n) == k => {
+                    keep.insert(o.user, o.task, o.value);
+                    kept += 1;
+                    if seen.insert(o.task) {
+                        batch.push(*t);
+                    }
+                }
+                Some(_) => rerouted.push(o),
+            }
+        }
+
+        let solved = shard.expertise.ingest_batch(&batch, &keep);
+        for (&id, est) in &solved.truths {
+            shard.truths.insert(id, *est);
+        }
+        shard.flushes += 1;
+        let view = Arc::new(ShardView {
+            truths: shard.truths.clone(),
+            expertise: shard.expertise.matrix(),
+            flushes: shard.flushes,
+        });
+        eta2_obs::counter("serve.batch_flush", 1);
+        eta2_obs::emit_with(|| eta2_obs::Event::ServeBatchFlush {
+            shard: k as u64,
+            reports: kept as u64,
+            tasks: batch.len() as u64,
+            iterations: solved.iterations as u64,
+            converged: solved.converged,
+        });
+        let outcome = FlushOutcome {
+            shard: k,
+            reports: kept,
+            tasks: batch.len(),
+            iterations: solved.iterations,
+            converged: solved.converged,
+            truths: solved.truths,
+        };
+        FlushResult {
+            outcome,
+            view,
+            rerouted,
+        }
+    }
+
+    /// Re-inserts re-routed reports into their (new) owning shards without
+    /// triggering further flushes; the next submit or tick folds them in.
+    fn enqueue(&self, reports: &[Observation]) {
+        let tasks = self.tasks_arc();
+        let n = self.cfg.n_shards;
+        for o in reports {
+            let Some(t) = tasks.get(&o.task) else {
+                continue;
+            };
+            let mut shard = lock(&self.shards[shard_of(t.domain, n)]);
+            if shard.pending.insert(o.user, o.task, o.value).is_none() {
+                shard.pending_len += 1;
+                self.queue_depth.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Publishes a new epoch snapshot assembled from the current task table
+    /// and every shard's last flushed view.
+    ///
+    /// The write critical section only clones `Arc`s — the MLE never runs
+    /// under the published-snapshot lock, so readers block for O(shards)
+    /// pointer copies at worst, never for a flush.
+    fn publish(&self) -> u64 {
+        let mut slot = self.published.write().unwrap_or_else(|e| e.into_inner());
+        let tasks = self.tasks_arc();
+        let views: Vec<Arc<ShardView>> = self.views.iter().map(|v| Arc::clone(&lock(v))).collect();
+        let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+        let snap = Arc::new(EpochSnapshot::assemble(epoch, &self.cfg, tasks, views));
+        let (truths, n_tasks) = (snap.truth_count(), snap.tasks().len());
+        *slot = snap;
+        drop(slot);
+        eta2_obs::counter("serve.epoch_published", 1);
+        eta2_obs::emit_with(|| eta2_obs::Event::ServeEpochPublished {
+            epoch,
+            truths: truths as u64,
+            tasks: n_tasks as u64,
+            queue_depth: self.queue_depth.load(Ordering::Relaxed) as u64,
+        });
+        epoch
+    }
+
+    /// The latest published epoch snapshot. Lock-free against flushes: the
+    /// read lock is only ever held (by anyone) for an `Arc` clone or swap.
+    pub fn snapshot(&self) -> Arc<EpochSnapshot> {
+        Arc::clone(&self.published.read().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Convenience: [`EpochSnapshot::truth`] on the latest snapshot.
+    pub fn truth(&self, task: TaskId) -> Option<TruthEstimate> {
+        self.snapshot().truth(task)
+    }
+
+    /// Convenience: [`EpochSnapshot::expertise`] on the latest snapshot.
+    pub fn expertise(&self, user: UserId, domain: DomainId) -> f64 {
+        self.snapshot().expertise(user, domain)
+    }
+
+    /// Reports pending across all shards (approximate under concurrency).
+    pub fn queue_depth(&self) -> usize {
+        self.queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// Merges domain `absorbed` into `kept`: tasks are relabeled, expertise
+    /// accumulators are folded (moving shards if the two domains hash
+    /// differently), flushed truths follow their tasks, and a new epoch is
+    /// published. Reports for relabeled tasks still pending in the old
+    /// shard are re-routed at that shard's next flush.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kept == absorbed`.
+    pub fn merge_domains(&self, kept: DomainId, absorbed: DomainId) {
+        assert_ne!(kept, absorbed, "cannot merge a domain into itself");
+        // Relabel first: every subsequent routing decision (submit or
+        // flush re-route) then sends absorbed-domain reports to kept's
+        // shard, so no new state for `absorbed` can appear in its old
+        // shard after the accumulator move below.
+        let tasks = {
+            let mut table = lock(&self.tasks);
+            let mut map = (*table.map).clone();
+            for t in map.values_mut() {
+                if t.domain == absorbed {
+                    t.domain = kept;
+                }
+            }
+            table.map = Arc::new(map);
+            Arc::clone(&table.map)
+        };
+
+        let n = self.cfg.n_shards;
+        let (ka, kb) = (shard_of(kept, n), shard_of(absorbed, n));
+        if ka == kb {
+            let mut shard = lock(&self.shards[ka]);
+            shard.expertise.merge_domains(kept, absorbed);
+            let view = Arc::new(ShardView {
+                truths: shard.truths.clone(),
+                expertise: shard.expertise.matrix(),
+                flushes: shard.flushes,
+            });
+            drop(shard);
+            *lock(&self.views[ka]) = view;
+        } else {
+            // Lock both shards in index order (the only place two shard
+            // locks are ever held at once).
+            let (lo, hi) = (ka.min(kb), ka.max(kb));
+            let mut guard_lo = lock(&self.shards[lo]);
+            let mut guard_hi = lock(&self.shards[hi]);
+            let (keep_shard, from_shard) = if lo == ka {
+                (&mut *guard_lo, &mut *guard_hi)
+            } else {
+                (&mut *guard_hi, &mut *guard_lo)
+            };
+            if let Some(column) = from_shard.expertise.take_domain(absorbed) {
+                keep_shard.expertise.merge_in(kept, column);
+                eta2_obs::emit_with(|| eta2_obs::Event::DomainMerged {
+                    kept: kept.0,
+                    absorbed: absorbed.0,
+                });
+            }
+            // Truths follow their (relabeled) tasks to the kept shard.
+            let moved: Vec<TaskId> = from_shard
+                .truths
+                .keys()
+                .copied()
+                .filter(|id| tasks.get(id).is_some_and(|t| shard_of(t.domain, n) != kb))
+                .collect();
+            for id in moved {
+                if let Some(est) = from_shard.truths.remove(&id) {
+                    keep_shard.truths.insert(id, est);
+                }
+            }
+            let view_keep = Arc::new(ShardView {
+                truths: keep_shard.truths.clone(),
+                expertise: keep_shard.expertise.matrix(),
+                flushes: keep_shard.flushes,
+            });
+            let view_from = Arc::new(ShardView {
+                truths: from_shard.truths.clone(),
+                expertise: from_shard.expertise.matrix(),
+                flushes: from_shard.flushes,
+            });
+            drop(guard_hi);
+            drop(guard_lo);
+            *lock(&self.views[ka]) = view_keep;
+            *lock(&self.views[kb]) = view_from;
+        }
+        self.publish();
+    }
+
+    /// Checkpoints the engine: flushes every pending report (via
+    /// [`tick`](Self::tick)), then captures the merged expertise state, the
+    /// task table and all flushed truths.
+    pub fn checkpoint(&self) -> EngineCheckpoint {
+        self.tick();
+        let (map, next) = {
+            let table = lock(&self.tasks);
+            (Arc::clone(&table.map), table.next)
+        };
+        let mut expertise = DynamicExpertise::new(self.cfg.n_users, self.cfg.alpha, self.cfg.mle);
+        let mut truths = BTreeMap::new();
+        for m in &self.shards {
+            let shard = lock(m);
+            expertise.absorb_disjoint(shard.expertise.clone());
+            truths.extend(shard.truths.iter().map(|(&id, &est)| (id, est)));
+        }
+        EngineCheckpoint {
+            expertise,
+            tasks: (*map).clone(),
+            truths,
+            next_task: next,
+        }
+    }
+
+    /// Rebuilds an engine from a checkpoint, re-sharding the expertise
+    /// columns and truths under `cfg` (which may use a different shard
+    /// count than the engine that produced the checkpoint).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cfg` disagrees with the checkpoint on `n_users`,
+    /// `alpha` or the MLE configuration — the accumulators would be
+    /// reinterpreted under different semantics.
+    pub fn restore(cfg: ServeConfig, checkpoint: EngineCheckpoint) -> Self {
+        assert_eq!(
+            cfg.n_users,
+            checkpoint.expertise.n_users(),
+            "checkpoint has {} users, config says {}",
+            checkpoint.expertise.n_users(),
+            cfg.n_users
+        );
+        assert_eq!(
+            cfg.alpha,
+            checkpoint.expertise.alpha(),
+            "checkpoint alpha differs from config"
+        );
+        assert_eq!(
+            cfg.mle,
+            checkpoint.expertise.mle_config(),
+            "checkpoint MLE config differs from config"
+        );
+        let engine = ServeEngine::new(cfg);
+        let mut source = checkpoint.expertise;
+        let n = engine.cfg.n_shards;
+        let domains: Vec<DomainId> = source.domains().collect();
+        for domain in domains {
+            if let Some(column) = source.take_domain(domain) {
+                let mut shard = lock(&engine.shards[shard_of(domain, n)]);
+                shard.expertise.insert_domain(domain, column);
+            }
+        }
+        {
+            let mut table = lock(&engine.tasks);
+            table.map = Arc::new(checkpoint.tasks);
+            table.next = checkpoint.next_task;
+        }
+        let tasks = engine.tasks_arc();
+        for (id, est) in checkpoint.truths {
+            if let Some(t) = tasks.get(&id) {
+                lock(&engine.shards[shard_of(t.domain, n)])
+                    .truths
+                    .insert(id, est);
+            }
+        }
+        for (k, m) in engine.shards.iter().enumerate() {
+            let shard = lock(m);
+            *lock(&engine.views[k]) = Arc::new(ShardView {
+                truths: shard.truths.clone(),
+                expertise: shard.expertise.matrix(),
+                flushes: shard.flushes,
+            });
+        }
+        engine.publish();
+        engine
+    }
+}
+
+/// A serializable checkpoint of a [`ServeEngine`]'s durable state (pending
+/// reports are flushed before capture; epoch counters are not durable).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineCheckpoint {
+    /// Merged expertise accumulators across all shards.
+    pub expertise: DynamicExpertise,
+    /// The task table.
+    pub tasks: BTreeMap<TaskId, Task>,
+    /// All flushed truth estimates.
+    pub truths: BTreeMap<TaskId, TruthEstimate>,
+    /// The next task id to assign.
+    pub next_task: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TaskSpec;
+
+    fn cfg(n_users: usize, n_shards: usize, batch_capacity: usize) -> ServeConfig {
+        ServeConfig {
+            n_users,
+            n_shards,
+            batch_capacity,
+            threads: 1,
+            ..ServeConfig::default()
+        }
+    }
+
+    fn obs(triples: &[(u32, TaskId, f64)]) -> ObservationSet {
+        let mut set = ObservationSet::new();
+        for &(u, t, v) in triples {
+            set.insert(UserId(u), t, v);
+        }
+        set
+    }
+
+    #[test]
+    fn register_submit_tick_read_roundtrip() {
+        let engine = ServeEngine::new(cfg(3, 4, 0));
+        let ids = engine
+            .register_tasks(&[
+                TaskSpec::new(DomainId(0), 1.0, 1.0),
+                TaskSpec::new(DomainId(1), 2.0, 1.0),
+            ])
+            .unwrap();
+        assert_eq!(ids, vec![TaskId(0), TaskId(1)]);
+        let receipt = engine.submit(&obs(&[
+            (0, ids[0], 10.0),
+            (1, ids[0], 11.0),
+            (2, ids[0], 9.0),
+            (0, ids[1], 5.0),
+            (1, ids[1], 5.5),
+        ]));
+        assert_eq!(receipt.accepted, 5);
+        assert!(receipt.flushes.is_empty(), "batch_capacity 0 never flushes");
+        assert_eq!(engine.queue_depth(), 5);
+        assert!(engine.truth(ids[0]).is_none(), "nothing flushed yet");
+
+        let flushed = engine.tick();
+        assert!(!flushed.is_empty());
+        assert_eq!(engine.queue_depth(), 0);
+        let snap = engine.snapshot();
+        snap.validate().unwrap();
+        let mu = snap.truth(ids[0]).unwrap().mu;
+        assert!((9.0..=11.0).contains(&mu), "mu {mu}");
+        assert!(snap.truth(ids[1]).is_some());
+    }
+
+    #[test]
+    fn count_trigger_flushes_inside_submit() {
+        let engine = ServeEngine::new(cfg(3, 2, 3));
+        let ids = engine
+            .register_tasks(&[TaskSpec::new(DomainId(7), 1.0, 1.0)])
+            .unwrap();
+        let receipt = engine.submit(&obs(&[
+            (0, ids[0], 1.0),
+            (1, ids[0], 1.2),
+            (2, ids[0], 0.9),
+        ]));
+        assert_eq!(receipt.flushes.len(), 1, "capacity 3 reached");
+        assert_eq!(receipt.flushes[0].reports, 3);
+        assert!(engine.truth(ids[0]).is_some());
+        assert_eq!(engine.queue_depth(), 0);
+    }
+
+    #[test]
+    fn quarantine_and_unknown_are_counted_not_fatal() {
+        let engine = ServeEngine::new(cfg(2, 2, 0));
+        let ids = engine
+            .register_tasks(&[TaskSpec::new(DomainId(0), 1.0, 1.0)])
+            .unwrap();
+        let receipt = engine.submit(&obs(&[
+            (0, ids[0], f64::NAN),
+            (1, ids[0], 4.0),
+            (0, TaskId(999), 1.0),
+        ]));
+        assert_eq!(receipt.quarantined, 1);
+        assert_eq!(receipt.unknown_task, 1);
+        assert_eq!(receipt.accepted, 1);
+    }
+
+    #[test]
+    fn register_rejects_bad_specs_atomically() {
+        let engine = ServeEngine::new(cfg(1, 2, 0));
+        let err = engine
+            .register_tasks(&[
+                TaskSpec::new(DomainId(0), 1.0, 1.0),
+                TaskSpec::new(DomainId(0), f64::INFINITY, 1.0),
+            ])
+            .unwrap_err();
+        assert!(matches!(err, ServeError::InvalidTask { index: 1, .. }));
+        assert!(engine.snapshot().tasks().is_empty(), "nothing registered");
+    }
+
+    #[test]
+    fn epochs_strictly_increase() {
+        let engine = ServeEngine::new(cfg(2, 2, 0));
+        let e0 = engine.snapshot().epoch();
+        engine
+            .register_tasks(&[TaskSpec::new(DomainId(0), 1.0, 1.0)])
+            .unwrap();
+        let e1 = engine.snapshot().epoch();
+        engine.submit(&obs(&[(0, TaskId(0), 1.0), (1, TaskId(0), 2.0)]));
+        engine.tick();
+        let e2 = engine.snapshot().epoch();
+        assert!(e0 < e1 && e1 < e2, "{e0} {e1} {e2}");
+        assert!(engine.tick().is_empty(), "nothing pending");
+        assert_eq!(
+            engine.snapshot().epoch(),
+            e2,
+            "empty tick publishes nothing"
+        );
+    }
+
+    #[test]
+    fn cross_shard_merge_moves_column_and_truths() {
+        // Find two domains that land in different shards of a 4-shard engine.
+        let n = 4;
+        let d0 = DomainId(0);
+        let d1 = (1..100)
+            .map(DomainId)
+            .find(|d| shard_of(*d, n) != shard_of(d0, n))
+            .unwrap();
+        let engine = ServeEngine::new(cfg(3, n, 0));
+        let ids = engine
+            .register_tasks(&[TaskSpec::new(d0, 1.0, 1.0), TaskSpec::new(d1, 1.0, 1.0)])
+            .unwrap();
+        engine.submit(&obs(&[
+            (0, ids[0], 10.0),
+            (1, ids[0], 10.5),
+            (0, ids[1], 3.0),
+            (1, ids[1], 3.3),
+        ]));
+        engine.tick();
+        assert!(engine.truth(ids[1]).is_some());
+
+        engine.merge_domains(d0, d1);
+        let snap = engine.snapshot();
+        snap.validate().unwrap();
+        // The relabeled task's truth is still readable through the merged
+        // domain's shard.
+        assert!(snap.truth(ids[1]).is_some(), "truth follows its task");
+        assert_eq!(snap.tasks()[&ids[1]].domain, d0, "task relabeled");
+        // Absorbed column is gone; kept column carries the folded data.
+        let m = snap.expertise_matrix();
+        assert!(m.domains().all(|d| d != d1), "absorbed column removed");
+    }
+
+    #[test]
+    fn pending_reports_survive_merge_via_reroute() {
+        let n = 4;
+        let d0 = DomainId(0);
+        let d1 = (1..100)
+            .map(DomainId)
+            .find(|d| shard_of(*d, n) != shard_of(d0, n))
+            .unwrap();
+        let engine = ServeEngine::new(cfg(2, n, 0));
+        let ids = engine
+            .register_tasks(&[TaskSpec::new(d1, 1.0, 1.0)])
+            .unwrap();
+        // Report sits pending in d1's shard when the merge relabels it.
+        engine.submit(&obs(&[(0, ids[0], 7.0), (1, ids[0], 7.5)]));
+        engine.merge_domains(d0, d1);
+        // First tick flushes d1's old shard, which re-routes the reports;
+        // the second folds them in at their new home.
+        engine.tick();
+        engine.tick();
+        let snap = engine.snapshot();
+        snap.validate().unwrap();
+        let est = snap.truth(ids[0]).expect("report survived the merge");
+        assert!((7.0..=7.5).contains(&est.mu), "mu {}", est.mu);
+    }
+
+    #[test]
+    fn checkpoint_restore_roundtrip_even_resharded() {
+        let engine = ServeEngine::new(cfg(3, 4, 0));
+        let ids = engine
+            .register_tasks(&[
+                TaskSpec::new(DomainId(0), 1.0, 1.0),
+                TaskSpec::new(DomainId(5), 1.0, 2.0),
+            ])
+            .unwrap();
+        engine.submit(&obs(&[
+            (0, ids[0], 10.0),
+            (1, ids[0], 9.0),
+            (2, ids[1], 4.0),
+            (0, ids[1], 4.4),
+        ]));
+        let checkpoint = engine.checkpoint(); // flushes pending first
+        let json = serde_json::to_string(&checkpoint).unwrap();
+        let parsed: EngineCheckpoint = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, checkpoint);
+
+        // Restore under a different shard count: reads must be identical.
+        let restored = ServeEngine::restore(cfg(3, 2, 0), parsed);
+        let (a, b) = (engine.snapshot(), restored.snapshot());
+        b.validate().unwrap();
+        for &id in &ids {
+            assert_eq!(a.truth(id), b.truth(id), "{id:?}");
+        }
+        assert_eq!(a.expertise_matrix(), b.expertise_matrix());
+        assert_eq!(a.tasks(), b.tasks());
+        // Id allocation continues where the original left off.
+        let new = restored
+            .register_tasks(&[TaskSpec::new(DomainId(0), 1.0, 1.0)])
+            .unwrap();
+        assert_eq!(new[0], TaskId(2));
+    }
+}

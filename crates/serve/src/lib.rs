@@ -1,0 +1,233 @@
+//! # eta2-serve — concurrent serving engine for the ETA² reproduction
+//!
+//! [`Eta2Server`](https://docs.rs/eta2-server) runs the paper's Figure-1
+//! loop as a single-owner `&mut self` value: every ingest re-runs the MLE
+//! synchronously and reads wait behind writes. This crate turns that loop
+//! into an always-on service:
+//!
+//! * **Domain-sharded state.** Expertise accumulators, truths and pending
+//!   reports live in `N` shards, each behind its own lock. A domain is
+//!   pinned to one shard by hashing its [`DomainId`], so two shards never
+//!   share a domain column — the per-domain decomposition invariant of
+//!   `DynamicExpertise::ingest_batch` makes the sharded result bit-identical
+//!   to a sequential one.
+//! * **Batched ingest.** [`ServeEngine::submit`] routes reports to their
+//!   domain's shard and only appends to that shard's pending batch. A shard
+//!   flushes through the MLE when its batch reaches
+//!   [`ServeConfig::batch_capacity`], or when [`ServeEngine::tick`] forces
+//!   an epoch flush across all shards in parallel (via `eta2-par`).
+//! * **Epoch snapshot reads.** Each flush publishes an immutable
+//!   [`EpochSnapshot`] behind an `Arc` swap. `truth()` / `expertise()` /
+//!   allocation reads clone the `Arc` and never take a shard lock, so they
+//!   cannot block on an in-flight MLE flush — at worst they see the
+//!   previous epoch.
+//!
+//! Non-finite report values are quarantined at the submit boundary (counted
+//! in `serve.quarantined_reports`, never enqueued), matching the
+//! degradation semantics established by the fault-injection harness.
+//!
+//! ```
+//! use eta2_core::model::{DomainId, UserId};
+//! use eta2_serve::{ServeConfig, ServeEngine, TaskSpec};
+//!
+//! let mut cfg = ServeConfig::default();
+//! cfg.n_users = 3;
+//! cfg.batch_capacity = 0; // flush manually via tick()
+//! let engine = ServeEngine::new(cfg);
+//! let ids = engine
+//!     .register_tasks(&[TaskSpec::new(DomainId(0), 1.0, 1.0)])
+//!     .unwrap();
+//! for (u, v) in [(0, 10.0), (1, 11.0), (2, 9.5)] {
+//!     let mut obs = eta2_core::model::ObservationSet::new();
+//!     obs.insert(UserId(u), ids[0], v);
+//!     engine.submit(&obs);
+//! }
+//! engine.tick();
+//! let snap = engine.snapshot();
+//! assert!(snap.truth(ids[0]).is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod snapshot;
+
+pub use engine::{EngineCheckpoint, FlushOutcome, ServeEngine, SubmitReceipt};
+pub use snapshot::EpochSnapshot;
+
+use eta2_core::model::DomainId;
+use eta2_core::truth::MleConfig;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Configuration of a [`ServeEngine`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+#[serde(default)]
+pub struct ServeConfig {
+    /// Number of registered users (fixed for the engine's lifetime).
+    pub n_users: usize,
+    /// Number of domain shards. Each domain is pinned to exactly one shard
+    /// by [`shard_of`]; more shards means more ingest concurrency.
+    pub n_shards: usize,
+    /// Pending reports per shard that trigger an automatic flush from
+    /// within [`ServeEngine::submit`]. `0` disables count-based flushing —
+    /// only [`ServeEngine::tick`] flushes.
+    pub batch_capacity: usize,
+    /// Worker threads for [`ServeEngine::tick`]'s parallel flush
+    /// (`eta2-par` convention: 0 = one per core, 1 = sequential).
+    pub threads: usize,
+    /// Expertise decay factor `α` of Eq. 9.
+    pub alpha: f64,
+    /// Allocation accuracy threshold `ε` of Eq. 11, used by
+    /// [`EpochSnapshot::allocate_max_quality`].
+    pub epsilon: f64,
+    /// MLE solver configuration.
+    pub mle: MleConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            n_users: 0,
+            n_shards: 8,
+            batch_capacity: 256,
+            threads: 0,
+            alpha: 0.5,
+            epsilon: 0.1,
+            mle: MleConfig::default(),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Validates the configuration, panicking on nonsense values.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n_shards == 0`, or `alpha` ∉ [0, 1], or `epsilon` is
+    /// not finite and positive.
+    pub fn validate(&self) {
+        assert!(self.n_shards > 0, "n_shards must be at least 1");
+        assert!(
+            (0.0..=1.0).contains(&self.alpha),
+            "alpha must be in [0, 1], got {}",
+            self.alpha
+        );
+        assert!(
+            self.epsilon.is_finite() && self.epsilon > 0.0,
+            "epsilon must be finite and positive, got {}",
+            self.epsilon
+        );
+    }
+}
+
+/// A task registration request: everything a [`Task`](eta2_core::model::Task)
+/// carries except the id, which the engine assigns.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskSpec {
+    /// The expertise domain the task belongs to.
+    pub domain: DomainId,
+    /// Processing time `t_j` (hours).
+    pub processing_time: f64,
+    /// Recruiting cost `c_j` per assigned user.
+    pub cost: f64,
+}
+
+impl TaskSpec {
+    /// Creates a task spec.
+    pub fn new(domain: DomainId, processing_time: f64, cost: f64) -> Self {
+        TaskSpec {
+            domain,
+            processing_time,
+            cost,
+        }
+    }
+}
+
+/// Errors returned by [`ServeEngine`] entry points.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// A task spec carried a non-finite or non-positive numeric field.
+    InvalidTask {
+        /// Index of the offending spec in the registration batch.
+        index: usize,
+        /// Which field was invalid (`"processing_time"` or `"cost"`).
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::InvalidTask {
+                index,
+                field,
+                value,
+            } => write!(
+                f,
+                "task spec #{index}: {field} must be finite and positive, got {value}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// The shard a domain is pinned to, for an engine with `n_shards` shards.
+///
+/// A splitmix64-style finalizer spreads consecutive domain ids across
+/// shards; the mapping is a pure function, so every component (engine,
+/// snapshots, tests) agrees on it without coordination.
+pub fn shard_of(domain: DomainId, n_shards: usize) -> usize {
+    debug_assert!(n_shards > 0);
+    let mut z = domain.0 as u64 ^ 0x9e37_79b9_7f4a_7c15;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    (z % n_shards as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        for d in 0..1000u32 {
+            let s = shard_of(DomainId(d), 8);
+            assert!(s < 8);
+            assert_eq!(s, shard_of(DomainId(d), 8), "pure function");
+        }
+        // One shard degenerates to everything-in-shard-0.
+        assert_eq!(shard_of(DomainId(123), 1), 0);
+    }
+
+    #[test]
+    fn shard_of_spreads_consecutive_domains() {
+        let mut seen = [false; 4];
+        for d in 0..64u32 {
+            seen[shard_of(DomainId(d), 4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all shards reachable: {seen:?}");
+    }
+
+    #[test]
+    fn config_validate_rejects_nonsense() {
+        let ok = ServeConfig::default();
+        ok.validate();
+        let mut bad = ok;
+        bad.n_shards = 0;
+        assert!(std::panic::catch_unwind(move || bad.validate()).is_err());
+        let mut bad = ok;
+        bad.alpha = 1.5;
+        assert!(std::panic::catch_unwind(move || bad.validate()).is_err());
+        let mut bad = ok;
+        bad.epsilon = f64::NAN;
+        assert!(std::panic::catch_unwind(move || bad.validate()).is_err());
+    }
+}

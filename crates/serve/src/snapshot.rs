@@ -1,0 +1,184 @@
+//! Immutable epoch snapshots: the read side of the serving engine.
+
+use crate::{shard_of, ServeConfig};
+use eta2_core::allocation::{Allocation, MaxQualityAllocator, MaxQualityConfig};
+use eta2_core::model::{DomainId, ExpertiseMatrix, Task, TaskId, UserId, UserProfile};
+use eta2_core::truth::TruthEstimate;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Read-only view of one shard's published state. Rebuilt by that shard's
+/// flush; shared into snapshots by `Arc`.
+#[derive(Debug)]
+pub(crate) struct ShardView {
+    /// Truth estimates for every task this shard has ever flushed.
+    pub truths: BTreeMap<TaskId, TruthEstimate>,
+    /// Expertise for the domains pinned to this shard.
+    pub expertise: ExpertiseMatrix,
+    /// Number of flushes that produced this view (0 for the empty view).
+    pub flushes: u64,
+}
+
+impl ShardView {
+    pub fn empty(n_users: usize) -> Self {
+        ShardView {
+            truths: BTreeMap::new(),
+            expertise: ExpertiseMatrix::new(n_users),
+            flushes: 0,
+        }
+    }
+}
+
+/// An immutable, internally consistent view of the engine at one epoch.
+///
+/// Snapshots are published atomically (a single `Arc` swap) after a flush,
+/// so every read made through one snapshot observes the same epoch: truths,
+/// expertise and the task table all come from the same publish. Holding a
+/// snapshot never blocks ingest, and taking one never waits for an
+/// in-flight flush.
+#[derive(Debug, Clone)]
+pub struct EpochSnapshot {
+    epoch: u64,
+    n_users: usize,
+    epsilon: f64,
+    n_shards: usize,
+    tasks: Arc<BTreeMap<TaskId, Task>>,
+    views: Vec<Arc<ShardView>>,
+}
+
+impl EpochSnapshot {
+    pub(crate) fn assemble(
+        epoch: u64,
+        cfg: &ServeConfig,
+        tasks: Arc<BTreeMap<TaskId, Task>>,
+        views: Vec<Arc<ShardView>>,
+    ) -> Self {
+        debug_assert_eq!(views.len(), cfg.n_shards);
+        EpochSnapshot {
+            epoch,
+            n_users: cfg.n_users,
+            epsilon: cfg.epsilon,
+            n_shards: cfg.n_shards,
+            tasks,
+            views,
+        }
+    }
+
+    /// The epoch counter: strictly increasing across publishes.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of registered users.
+    pub fn n_users(&self) -> usize {
+        self.n_users
+    }
+
+    /// The task table at this epoch.
+    pub fn tasks(&self) -> &BTreeMap<TaskId, Task> {
+        &self.tasks
+    }
+
+    /// Total flushed truth estimates across all shards.
+    pub fn truth_count(&self) -> usize {
+        self.views.iter().map(|v| v.truths.len()).sum()
+    }
+
+    /// Per-shard flush counters (diagnostics; non-decreasing across
+    /// successive snapshots).
+    pub fn shard_flushes(&self) -> Vec<u64> {
+        self.views.iter().map(|v| v.flushes).collect()
+    }
+
+    /// The truth estimate for `task` at this epoch, if it has been flushed.
+    pub fn truth(&self, task: TaskId) -> Option<TruthEstimate> {
+        let t = self.tasks.get(&task)?;
+        self.views[shard_of(t.domain, self.n_shards)]
+            .truths
+            .get(&task)
+            .copied()
+    }
+
+    /// The expertise `u_i^k` of `user` in `domain` at this epoch (1.0 when
+    /// nothing has been accumulated, per the paper's initialization).
+    pub fn expertise(&self, user: UserId, domain: DomainId) -> f64 {
+        self.views[shard_of(domain, self.n_shards)]
+            .expertise
+            .get(user, domain)
+    }
+
+    /// The full expertise matrix at this epoch, merged across shards.
+    pub fn expertise_matrix(&self) -> ExpertiseMatrix {
+        let mut m = ExpertiseMatrix::new(self.n_users);
+        for view in &self.views {
+            for domain in view.expertise.domains() {
+                for (i, &v) in view.expertise.column(domain).iter().enumerate() {
+                    m.set(UserId(i as u32), domain, v);
+                }
+            }
+        }
+        m
+    }
+
+    /// Greedy max-quality allocation (Algorithm 1) of the given registered
+    /// tasks to `users`, using this epoch's expertise. Unknown task ids are
+    /// skipped.
+    pub fn allocate_max_quality(&self, tasks: &[TaskId], users: &[UserProfile]) -> Allocation {
+        let batch: Vec<Task> = tasks
+            .iter()
+            .filter_map(|id| self.tasks.get(id).copied())
+            .collect();
+        let expertise = self.expertise_matrix();
+        MaxQualityAllocator::new(MaxQualityConfig {
+            epsilon: self.epsilon,
+            use_approximation_pass: true,
+        })
+        .allocate(&batch, users, &expertise)
+    }
+
+    /// Checks the snapshot's structural invariants, returning a description
+    /// of the first violation. Used by the concurrency stress tests to
+    /// assert readers never observe a torn epoch:
+    ///
+    /// * every truth belongs to a task registered in **this** snapshot's
+    ///   task table (registration is published before reports are accepted);
+    /// * every truth and every expertise domain lives in the shard its
+    ///   domain hashes to (no column ever leaks across shards).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.views.len() != self.n_shards {
+            return Err(format!(
+                "epoch {}: {} views for {} shards",
+                self.epoch,
+                self.views.len(),
+                self.n_shards
+            ));
+        }
+        for (k, view) in self.views.iter().enumerate() {
+            for &task in view.truths.keys() {
+                let t = self.tasks.get(&task).ok_or_else(|| {
+                    format!(
+                        "epoch {}: shard {k} has truth for unregistered {task:?}",
+                        self.epoch
+                    )
+                })?;
+                let home = shard_of(t.domain, self.n_shards);
+                if home != k {
+                    return Err(format!(
+                        "epoch {}: truth for {task:?} (domain {:?}) in shard {k}, belongs in {home}",
+                        self.epoch, t.domain
+                    ));
+                }
+            }
+            for domain in view.expertise.domains() {
+                let home = shard_of(domain, self.n_shards);
+                if home != k {
+                    return Err(format!(
+                        "epoch {}: expertise column {domain:?} in shard {k}, belongs in {home}",
+                        self.epoch
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}

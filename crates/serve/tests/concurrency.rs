@@ -1,0 +1,116 @@
+//! Scoped-thread stress test: concurrent producers, a racing reader and a
+//! mid-run domain merge never let a snapshot observe a torn epoch.
+
+use eta2_core::model::{DomainId, ObservationSet, UserId};
+use eta2_serve::{ServeConfig, ServeEngine, TaskSpec};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// splitmix64 finalizer — deterministic per-report values without an RNG.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[test]
+fn producers_and_reader_never_observe_torn_epoch() {
+    const PRODUCERS: u64 = 4;
+    const ROUNDS: u64 = 120;
+
+    let mut cfg = ServeConfig::default();
+    cfg.n_users = 12;
+    cfg.n_shards = 4;
+    cfg.batch_capacity = 24; // small, so flushes race the reader constantly
+    cfg.threads = 1;
+    let engine = ServeEngine::new(cfg);
+    let ids = engine
+        .register_tasks(
+            &(0..40u32)
+                .map(|j| TaskSpec::new(DomainId(j % 10), 1.0, 1.0))
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+
+    let done = AtomicBool::new(false);
+    let accepted = AtomicU64::new(0);
+
+    std::thread::scope(|s| {
+        let producers: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let (engine, ids, accepted) = (&engine, &ids, &accepted);
+                s.spawn(move || {
+                    for r in 0..ROUNDS {
+                        let mut obs = ObservationSet::new();
+                        for k in 0..6u64 {
+                            let h = mix(p ^ mix(r) ^ mix(k));
+                            let task = ids[(h % ids.len() as u64) as usize];
+                            let user = UserId((mix(h) % 12) as u32);
+                            obs.insert(user, task, 5.0 + (h % 100) as f64 * 0.1);
+                        }
+                        let receipt = engine.submit(&obs);
+                        accepted.fetch_add(receipt.accepted as u64, Ordering::Relaxed);
+                        // Half-way through, producer 0 merges two domains
+                        // while everyone else keeps submitting into them.
+                        if p == 0 && r == ROUNDS / 2 {
+                            engine.merge_domains(DomainId(0), DomainId(1));
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        let reader = s.spawn(|| {
+            let mut last_epoch = 0u64;
+            let mut last_flushes = vec![0u64; 4];
+            let mut n = 0u64;
+            while !done.load(Ordering::Acquire) {
+                let snap = engine.snapshot();
+                // The two invariants a torn epoch would break: monotone
+                // epochs, and every truth/expertise column in its home
+                // shard with its task registered.
+                assert!(
+                    snap.epoch() >= last_epoch,
+                    "epoch regressed {last_epoch} -> {}",
+                    snap.epoch()
+                );
+                last_epoch = snap.epoch();
+                snap.validate()
+                    .unwrap_or_else(|e| panic!("torn epoch: {e}"));
+                let flushes = snap.shard_flushes();
+                for (shard, (now, before)) in flushes.iter().zip(&last_flushes).enumerate() {
+                    assert!(
+                        now >= before,
+                        "shard {shard} flush counter regressed {before} -> {now}"
+                    );
+                }
+                last_flushes = flushes;
+                n += 1;
+                std::thread::yield_now();
+            }
+            n
+        });
+
+        for h in producers {
+            h.join().expect("producer panicked");
+        }
+        done.store(true, Ordering::Release);
+        let reads = reader.join().expect("reader panicked");
+        assert!(reads > 0, "reader never ran");
+    });
+
+    // Fold the sub-batch remainders and check every accepted report landed:
+    // after the final tick the queue is empty and the snapshot is whole.
+    engine.tick();
+    assert_eq!(engine.queue_depth(), 0);
+    let snap = engine.snapshot();
+    snap.validate().unwrap();
+    assert_eq!(
+        accepted.load(Ordering::Relaxed),
+        PRODUCERS * ROUNDS * 6,
+        "finite reports to registered tasks are never rejected"
+    );
+    assert!(snap.truth_count() > 0);
+    // Domain 1 was merged away: no task is labeled with it any more.
+    assert!(snap.tasks().values().all(|t| t.domain != DomainId(1)));
+}

@@ -10,7 +10,7 @@
 //! use eta2_core::model::{ObservationSet, UserId, UserProfile};
 //! use eta2_embed::corpus::TopicCorpus;
 //! use eta2_embed::{SkipGramConfig, SkipGramTrainer};
-//! use eta2_server::{Eta2Server, ServerConfig, TaskInput};
+//! use eta2_server::{ServerBuilder, TaskInput};
 //!
 //! // 1. Train (or load) word embeddings once.
 //! let corpus = TopicCorpus::builtin().generate(150, 1);
@@ -21,8 +21,9 @@
 //! })
 //! .train_sentences(&corpus)?;
 //!
-//! // 2. Boot a server for 4 registered users.
-//! let mut server = Eta2Server::discovering(4, ServerConfig::default(), embedding);
+//! // 2. Boot a server for 4 registered users. Giving an embedding turns on
+//! //    domain discovery; without one, tasks must arrive pre-domained.
+//! let mut server = ServerBuilder::new(4).embedding(embedding).build();
 //!
 //! // 3. Day 1: tasks arrive as plain text.
 //! let ids = server.register_tasks(vec![
@@ -46,24 +47,52 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
-//! Two modes cover the paper's two dataset situations:
+//! [`ServerBuilder`]'s one structural choice covers the paper's two dataset
+//! situations:
 //!
-//! * [`Eta2Server::discovering`] — tasks arrive as natural-language
+//! * [`ServerBuilder::embedding`] — tasks arrive as natural-language
 //!   descriptions; expertise domains are discovered with the pair-word +
 //!   dynamic-clustering pipeline (§3). The first registered batch plays the
 //!   warm-up role and fixes `d*`.
-//! * [`Eta2Server::with_known_domains`] — tasks arrive already labeled
-//!   with a domain (the synthetic-dataset situation, §6.1.3).
+//! * no embedding — tasks arrive already labeled with a domain (the
+//!   synthetic-dataset situation, §6.1.3).
 //!
 //! Inputs are validated at the boundary (non-finite task numerics and
 //! reports are rejected as [`ServerError`]s before any state changes), and
-//! the whole server state checkpoints to a serde-serializable
+//! the whole server state checkpoints to a serde-serializable, versioned
 //! [`ServerSnapshot`] — [`Eta2Server::restore`] resumes exactly where
-//! [`Eta2Server::snapshot`] left off.
+//! [`Eta2Server::snapshot`] left off, and [`Eta2Server::restore_json`]
+//! rejects checkpoints newer than [`SNAPSHOT_VERSION`] instead of
+//! misreading them.
+//!
+//! # Migrating from the constructor API
+//!
+//! The 0.1 constructors are deprecated shims; each maps onto the builder
+//! one-for-one:
+//!
+//! | 0.1 call | builder equivalent |
+//! |---|---|
+//! | `Eta2Server::with_known_domains(n, cfg)` | `ServerBuilder::new(n).config(cfg).build()` |
+//! | `Eta2Server::discovering(n, cfg, emb)` | `ServerBuilder::new(n).config(cfg).embedding(emb).build()` |
+//! | `Eta2Server::restore(snap)` | unchanged (or `ServerBuilder::from_snapshot(snap)`) |
+//!
+//! [`ServerConfig`], [`TaskInput`] and [`ServerError`] are now
+//! `#[non_exhaustive]`: build the config by mutating
+//! `ServerConfig::default()`, build inputs through
+//! [`TaskInput::described`] / [`TaskInput::domained`], and give error
+//! matches a wildcard arm.
+//!
+//! Since this release [`Eta2Server`] is a thin single-threaded adapter over
+//! a one-shard `eta2-serve` engine; behaviour is bit-identical, and
+//! applications that need concurrent producers with lock-free reads can use
+//! `eta2_serve::ServeEngine` directly.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod server;
 
-pub use server::{Eta2Server, ServerConfig, ServerError, ServerSnapshot, TaskInput};
+pub use server::{
+    Eta2Server, ServerBuilder, ServerConfig, ServerError, ServerSnapshot, TaskInput,
+    SNAPSHOT_VERSION,
+};

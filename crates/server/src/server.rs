@@ -1,24 +1,26 @@
-//! The stateful ETA² server.
+//! The stateful ETA² server — a thin single-threaded adapter over a
+//! one-shard [`ServeEngine`].
 
 use eta2_cluster::{ClustererState, DomainEvent, DynamicClusterer};
 use eta2_core::allocation::min_cost::DataSource;
-use eta2_core::allocation::{
-    Allocation, MaxQualityAllocator, MaxQualityConfig, MinCostAllocator, MinCostConfig,
-    MinCostOutcome,
-};
-use eta2_core::model::{
-    DomainId, ExpertiseMatrix, ObservationSet, Task, TaskId, UserId, UserProfile,
-};
-use eta2_core::truth::dynamic::{BatchOutcome, DynamicExpertise};
+use eta2_core::allocation::{Allocation, MinCostAllocator, MinCostConfig, MinCostOutcome};
+use eta2_core::model::{DomainId, ExpertiseMatrix, ObservationSet, TaskId, UserId, UserProfile};
+use eta2_core::truth::dynamic::BatchOutcome;
 use eta2_core::truth::mle::{MleConfig, TruthEstimate};
 use eta2_embed::pairword::pairword_distance;
 use eta2_embed::{Embedding, PairWordExtractor};
+use eta2_serve::{EngineCheckpoint, ServeConfig, ServeEngine, TaskSpec};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Server configuration (the knobs of §3–§5 that are not per-call).
+///
+/// `#[non_exhaustive]`: construct via [`ServerConfig::default`] and mutate
+/// the fields you need — new knobs may be added in minor releases.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub struct ServerConfig {
     /// Expertise decay factor `α` (§4.2).
     pub alpha: f64,
@@ -43,7 +45,13 @@ impl Default for ServerConfig {
 }
 
 /// Error returned by server operations.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// `#[non_exhaustive]`: match with a wildcard arm — new error conditions
+/// may be added in minor releases. Wrapped lower-level failures (snapshot
+/// decoding today) expose their cause through
+/// [`std::error::Error::source`].
+#[derive(Debug, Clone)]
+#[non_exhaustive]
 pub enum ServerError {
     /// A described task was registered on a known-domain server, or vice
     /// versa.
@@ -73,6 +81,62 @@ pub enum ServerError {
         /// The offending value.
         value: f64,
     },
+    /// A snapshot or checkpoint could not be decoded (corrupt data or an
+    /// unsupported [`ServerSnapshot`] version). The underlying decoder
+    /// error is available via [`std::error::Error::source`].
+    BadSnapshot {
+        /// What was being decoded when the failure happened.
+        context: String,
+        /// The wrapped lower-level error.
+        source: Arc<dyn std::error::Error + Send + Sync>,
+    },
+}
+
+impl PartialEq for ServerError {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (
+                ServerError::WrongTaskKind { expected: a },
+                ServerError::WrongTaskKind { expected: b },
+            ) => a == b,
+            (ServerError::UnknownTask(a), ServerError::UnknownTask(b)) => a == b,
+            (
+                ServerError::InvalidTaskInput {
+                    index: ia,
+                    field: fa,
+                    value: va,
+                },
+                ServerError::InvalidTaskInput {
+                    index: ib,
+                    field: fb,
+                    value: vb,
+                },
+            ) => ia == ib && fa == fb && va == vb,
+            (
+                ServerError::NonFiniteReport {
+                    user: ua,
+                    task: ta,
+                    value: va,
+                },
+                ServerError::NonFiniteReport {
+                    user: ub,
+                    task: tb,
+                    value: vb,
+                },
+            ) => ua == ub && ta == tb && va == vb,
+            (
+                ServerError::BadSnapshot {
+                    context: ca,
+                    source: sa,
+                },
+                ServerError::BadSnapshot {
+                    context: cb,
+                    source: sb,
+                },
+            ) => ca == cb && sa.to_string() == sb.to_string(),
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for ServerError {
@@ -92,14 +156,30 @@ impl fmt::Display for ServerError {
             ServerError::NonFiniteReport { user, task, value } => {
                 write!(f, "non-finite report {value} from {user} for {task}")
             }
+            ServerError::BadSnapshot { context, source } => {
+                write!(f, "{context}: {source}")
+            }
         }
     }
 }
 
-impl std::error::Error for ServerError {}
+impl std::error::Error for ServerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServerError::BadSnapshot { source, .. } => {
+                Some(source.as_ref() as &(dyn std::error::Error + 'static))
+            }
+            _ => None,
+        }
+    }
+}
 
 /// One task handed to [`Eta2Server::register_tasks`].
+///
+/// `#[non_exhaustive]`: build via [`TaskInput::described`] /
+/// [`TaskInput::domained`] and match with a wildcard arm.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub enum TaskInput {
     /// A natural-language task for domain discovery.
     Described {
@@ -151,15 +231,95 @@ enum Domains {
     Known,
 }
 
+/// Builds an [`Eta2Server`].
+///
+/// The embedding is the only structural choice: give one with
+/// [`ServerBuilder::embedding`] and the server *discovers* expertise
+/// domains from task descriptions (§3 pipeline); omit it and tasks must
+/// arrive pre-labeled with a [`DomainId`].
+///
+/// ```no_run
+/// # let embedding: eta2_embed::Embedding = unimplemented!();
+/// use eta2_server::{ServerBuilder, ServerConfig};
+///
+/// let mut config = ServerConfig::default();
+/// config.alpha = 0.7;
+/// let known = ServerBuilder::new(16).config(config).build();
+/// let discovering = ServerBuilder::new(16).embedding(embedding).build();
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServerBuilder {
+    n_users: usize,
+    config: ServerConfig,
+    embedding: Option<Embedding>,
+}
+
+impl ServerBuilder {
+    /// Starts a builder for a server with `n_users` registered users,
+    /// default configuration and pre-known domains.
+    pub fn new(n_users: usize) -> Self {
+        ServerBuilder {
+            n_users,
+            config: ServerConfig::default(),
+            embedding: None,
+        }
+    }
+
+    /// Replaces the server configuration.
+    pub fn config(mut self, config: ServerConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Switches the server to domain *discovery* using this trained word
+    /// embedding; tasks must then arrive as [`TaskInput::Described`].
+    pub fn embedding(mut self, embedding: Embedding) -> Self {
+        self.embedding = Some(embedding);
+        self
+    }
+
+    /// Builds the server.
+    pub fn build(self) -> Eta2Server {
+        let engine = ServeEngine::new(Eta2Server::engine_config(self.n_users, &self.config));
+        let domains = match self.embedding {
+            Some(embedding) => Domains::Discover {
+                extractor: PairWordExtractor::new(),
+                clusterer: DynamicClusterer::new(
+                    metric as fn(&Vec<f32>, &Vec<f32>) -> f64,
+                    self.config.gamma,
+                ),
+                embedding,
+            },
+            None => Domains::Known,
+        };
+        Eta2Server {
+            config: self.config,
+            domains,
+            engine,
+        }
+    }
+
+    /// Rebuilds a server from a checkpoint; equivalent to
+    /// [`Eta2Server::restore`], offered here so the whole lifecycle reads
+    /// off the builder.
+    pub fn from_snapshot(snapshot: ServerSnapshot) -> Eta2Server {
+        Eta2Server::restore(snapshot)
+    }
+}
+
 /// The stateful ETA² crowdsourcing server (see the crate docs for the
 /// end-to-end walkthrough).
+///
+/// Internally this is a single-threaded adapter over a one-shard
+/// [`ServeEngine`] with manual flushing: every [`Eta2Server::ingest`]
+/// submits the reports and immediately flushes, so results are available
+/// synchronously and bit-identical to the pre-engine implementation. Use
+/// `eta2-serve` directly for concurrent producers and lock-free epoch
+/// reads.
 pub struct Eta2Server {
     config: ServerConfig,
     domains: Domains,
-    expertise: DynamicExpertise,
-    tasks: BTreeMap<TaskId, Task>,
-    truths: BTreeMap<TaskId, TruthEstimate>,
-    next_task: u32,
+    engine: ServeEngine,
 }
 
 fn metric(a: &Vec<f32>, b: &Vec<f32>) -> f64 {
@@ -167,36 +327,43 @@ fn metric(a: &Vec<f32>, b: &Vec<f32>) -> f64 {
 }
 
 impl Eta2Server {
+    /// The adapter always runs the engine as a single shard with manual
+    /// (per-ingest) flushing so the historical synchronous semantics hold.
+    // `ServeConfig` is `#[non_exhaustive]`, so it cannot be built with a
+    // struct literal from this crate.
+    #[allow(clippy::field_reassign_with_default)]
+    fn engine_config(n_users: usize, config: &ServerConfig) -> ServeConfig {
+        let mut serve = ServeConfig::default();
+        serve.n_users = n_users;
+        serve.n_shards = 1;
+        serve.batch_capacity = 0;
+        serve.threads = 1;
+        serve.alpha = config.alpha;
+        serve.epsilon = config.epsilon;
+        serve.mle = config.mle;
+        serve
+    }
+
     /// Creates a server that *discovers* expertise domains from task
     /// descriptions with the given trained embedding (§3 pipeline).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `ServerBuilder::new(n_users).config(config).embedding(embedding).build()`"
+    )]
     pub fn discovering(n_users: usize, config: ServerConfig, embedding: Embedding) -> Self {
-        Eta2Server {
-            expertise: DynamicExpertise::new(n_users, config.alpha, config.mle),
-            domains: Domains::Discover {
-                embedding,
-                extractor: PairWordExtractor::new(),
-                clusterer: DynamicClusterer::new(
-                    metric as fn(&Vec<f32>, &Vec<f32>) -> f64,
-                    config.gamma,
-                ),
-            },
-            config,
-            tasks: BTreeMap::new(),
-            truths: BTreeMap::new(),
-            next_task: 0,
-        }
+        ServerBuilder::new(n_users)
+            .config(config)
+            .embedding(embedding)
+            .build()
     }
 
     /// Creates a server whose tasks arrive with pre-known domains.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `ServerBuilder::new(n_users).config(config).build()`"
+    )]
     pub fn with_known_domains(n_users: usize, config: ServerConfig) -> Self {
-        Eta2Server {
-            expertise: DynamicExpertise::new(n_users, config.alpha, config.mle),
-            domains: Domains::Known,
-            config,
-            tasks: BTreeMap::new(),
-            truths: BTreeMap::new(),
-            next_task: 0,
-        }
+        ServerBuilder::new(n_users).config(config).build()
     }
 
     /// The server configuration.
@@ -206,7 +373,7 @@ impl Eta2Server {
 
     /// Number of registered tasks.
     pub fn task_count(&self) -> usize {
-        self.tasks.len()
+        self.engine.snapshot().tasks().len()
     }
 
     /// Number of live expertise domains.
@@ -214,7 +381,9 @@ impl Eta2Server {
         match &self.domains {
             Domains::Discover { clusterer, .. } => clusterer.domains().len(),
             Domains::Known => self
-                .tasks
+                .engine
+                .snapshot()
+                .tasks()
                 .values()
                 .map(|t| t.domain)
                 .collect::<std::collections::BTreeSet<_>>()
@@ -249,8 +418,7 @@ impl Eta2Server {
             return Ok(Vec::new());
         }
         // Validate every numeric field before anything mutates — a rejected
-        // batch must leave the clusterer and task table untouched, and
-        // `Task::new` would panic on these values further down.
+        // batch must leave the clusterer and task table untouched.
         for (index, input) in inputs.iter().enumerate() {
             let (time, cost) = match input {
                 TaskInput::Described {
@@ -284,7 +452,7 @@ impl Eta2Server {
                 .iter()
                 .map(|i| match i {
                     TaskInput::Domained { domain, .. } => Ok(*domain),
-                    TaskInput::Described { .. } => Err(ServerError::WrongTaskKind {
+                    _ => Err(ServerError::WrongTaskKind {
                         expected: "domained",
                     }),
                 })
@@ -301,7 +469,7 @@ impl Eta2Server {
                             .extract(description)
                             .semantic_vector(embedding)
                             .unwrap_or_else(|| vec![0.0; 2 * embedding.dim()])),
-                        TaskInput::Domained { .. } => Err(ServerError::WrongTaskKind {
+                        _ => Err(ServerError::WrongTaskKind {
                             expected: "described",
                         }),
                     })
@@ -311,43 +479,42 @@ impl Eta2Server {
                 } else {
                     clusterer.add(points)
                 };
-                // Fold domain merges into the expertise accumulators and
-                // re-label affected tasks (paper §4.2, special case 2).
+                // Fold domain merges into the engine: accumulators are
+                // combined and affected tasks re-labeled (paper §4.2,
+                // special case 2).
                 for event in &update.events {
                     if let DomainEvent::Merged { kept, absorbed } = event {
-                        self.expertise
+                        self.engine
                             .merge_domains(DomainId(*kept), DomainId(*absorbed));
-                        for t in self.tasks.values_mut() {
-                            if t.domain == DomainId(*absorbed) {
-                                t.domain = DomainId(*kept);
-                            }
-                        }
                     }
                 }
                 update.assignments.iter().map(|&d| DomainId(d)).collect()
             }
         };
 
-        let mut ids = Vec::with_capacity(inputs.len());
-        for (input, domain) in inputs.iter().zip(resolved_domains) {
-            let (time, cost) = match input {
-                TaskInput::Described {
-                    processing_time,
-                    cost,
-                    ..
-                }
-                | TaskInput::Domained {
-                    processing_time,
-                    cost,
-                    ..
-                } => (*processing_time, *cost),
-            };
-            let id = TaskId(self.next_task);
-            self.next_task += 1;
-            self.tasks.insert(id, Task::new(id, domain, time, cost));
-            ids.push(id);
-        }
-        Ok(ids)
+        let specs: Vec<TaskSpec> = inputs
+            .iter()
+            .zip(resolved_domains)
+            .map(|(input, domain)| {
+                let (time, cost) = match input {
+                    TaskInput::Described {
+                        processing_time,
+                        cost,
+                        ..
+                    }
+                    | TaskInput::Domained {
+                        processing_time,
+                        cost,
+                        ..
+                    } => (*processing_time, *cost),
+                };
+                TaskSpec::new(domain, time, cost)
+            })
+            .collect();
+        Ok(self
+            .engine
+            .register_tasks(&specs)
+            .expect("inputs validated above"))
     }
 
     /// The resolved domain of a registered task.
@@ -356,7 +523,9 @@ impl Eta2Server {
     ///
     /// [`ServerError::UnknownTask`] for an unregistered id.
     pub fn domain_of(&self, task: TaskId) -> Result<DomainId, ServerError> {
-        self.tasks
+        self.engine
+            .snapshot()
+            .tasks()
             .get(&task)
             .map(|t| t.domain)
             .ok_or(ServerError::UnknownTask(task))
@@ -369,22 +538,19 @@ impl Eta2Server {
     /// case; validate with [`Eta2Server::domain_of`] first if needed).
     pub fn allocate_max_quality(&self, tasks: &[TaskId], users: &[UserProfile]) -> Allocation {
         let _span = eta2_obs::span!("server.allocate_max_quality");
-        let batch: Vec<Task> = tasks
+        let snap = self.engine.snapshot();
+        let known = tasks
             .iter()
-            .filter_map(|id| self.tasks.get(id).copied())
-            .collect();
-        let alloc = MaxQualityAllocator::new(MaxQualityConfig {
-            epsilon: self.config.epsilon,
-            use_approximation_pass: true,
-        })
-        .allocate(&batch, users, &self.expertise.matrix());
+            .filter(|id| snap.tasks().contains_key(*id))
+            .count();
+        let alloc = snap.allocate_max_quality(tasks, users);
         eta2_obs::emit_with(|| eta2_obs::Event::ServerRequest {
             op: "allocate_max_quality",
             ok: true,
             detail: format!(
                 "{} assignments over {} tasks",
                 alloc.assignment_count(),
-                batch.len()
+                known
             ),
         });
         alloc
@@ -402,14 +568,15 @@ impl Eta2Server {
         source: &mut S,
     ) -> MinCostOutcome {
         let _span = eta2_obs::span!("server.allocate_min_cost");
-        let batch: Vec<Task> = tasks
+        let snap = self.engine.snapshot();
+        let batch: Vec<_> = tasks
             .iter()
-            .filter_map(|id| self.tasks.get(id).copied())
+            .filter_map(|id| snap.tasks().get(id).copied())
             .collect();
         let outcome =
-            MinCostAllocator::new(config).allocate(&batch, users, &self.expertise.matrix(), source);
-        let ingest = self.expertise.ingest_batch(&batch, &outcome.observations);
-        self.truths.extend(ingest.truths);
+            MinCostAllocator::new(config).allocate(&batch, users, &snap.expertise_matrix(), source);
+        self.engine.submit(&outcome.observations);
+        self.engine.tick();
         eta2_obs::emit_with(|| eta2_obs::Event::ServerRequest {
             op: "allocate_min_cost",
             ok: outcome.all_passed,
@@ -430,7 +597,9 @@ impl Eta2Server {
     /// # Errors
     ///
     /// [`ServerError::NonFiniteReport`] when any report is NaN or infinite;
-    /// the whole batch is rejected and no state changes.
+    /// the whole batch is rejected and no state changes. (This strict
+    /// all-or-nothing contract is the adapter's: `eta2-serve` itself
+    /// quarantines the offending reports and keeps the rest.)
     pub fn ingest(&mut self, reports: &ObservationSet) -> Result<BatchOutcome, ServerError> {
         let _span = eta2_obs::span!("server.ingest");
         if let Some((user, task, value)) = reports.first_non_finite() {
@@ -442,13 +611,20 @@ impl Eta2Server {
             });
             return Err(err);
         }
-        let batch: Vec<Task> = reports
-            .tasks()
-            .filter_map(|id| self.tasks.get(&id).copied())
-            .collect();
-        let outcome = self.expertise.ingest_batch(&batch, reports);
-        self.truths
-            .extend(outcome.truths.iter().map(|(&k, &v)| (k, v)));
+        self.engine.submit(reports);
+        let mut truths = BTreeMap::new();
+        let mut iterations = 0;
+        let mut converged = true;
+        for flush in self.engine.tick() {
+            iterations = iterations.max(flush.iterations);
+            converged &= flush.converged;
+            truths.extend(flush.truths);
+        }
+        let outcome = BatchOutcome {
+            truths,
+            iterations,
+            converged,
+        };
         eta2_obs::emit_with(|| eta2_obs::Event::ServerRequest {
             op: "ingest",
             ok: outcome.converged,
@@ -463,12 +639,12 @@ impl Eta2Server {
 
     /// The latest truth estimate for a task, if it has been analysed.
     pub fn truth(&self, task: TaskId) -> Option<TruthEstimate> {
-        self.truths.get(&task).copied()
+        self.engine.truth(task)
     }
 
     /// A snapshot of the current expertise estimates.
     pub fn expertise(&self) -> ExpertiseMatrix {
-        self.expertise.matrix()
+        self.engine.snapshot().expertise_matrix()
     }
 
     /// Captures the complete server state as a serializable checkpoint.
@@ -480,12 +656,14 @@ impl Eta2Server {
     /// never stopped.
     pub fn snapshot(&self) -> ServerSnapshot {
         let _span = eta2_obs::span!("server.snapshot");
+        let checkpoint = self.engine.checkpoint();
         let snap = ServerSnapshot {
+            version: SNAPSHOT_VERSION,
             config: self.config,
-            expertise: self.expertise.clone(),
-            tasks: self.tasks.clone(),
-            truths: self.truths.clone(),
-            next_task: self.next_task,
+            expertise: checkpoint.expertise,
+            tasks: checkpoint.tasks,
+            truths: checkpoint.truths,
+            next_task: checkpoint.next_task,
             domains: match &self.domains {
                 Domains::Known => DomainsSnapshot::Known,
                 Domains::Discover {
@@ -506,6 +684,12 @@ impl Eta2Server {
         snap
     }
 
+    /// Serializes [`Eta2Server::snapshot`] to the versioned JSON checkpoint
+    /// format (DESIGN.md §7).
+    pub fn snapshot_json(&self) -> String {
+        serde_json::to_string(&self.snapshot()).expect("snapshot serializes")
+    }
+
     /// Rebuilds a server from a [`ServerSnapshot`] checkpoint.
     pub fn restore(snapshot: ServerSnapshot) -> Self {
         let _span = eta2_obs::span!("server.restore");
@@ -518,12 +702,18 @@ impl Eta2Server {
                 snapshot.truths.len()
             ),
         });
+        let engine = ServeEngine::restore(
+            Self::engine_config(snapshot.expertise.n_users(), &snapshot.config),
+            EngineCheckpoint {
+                expertise: snapshot.expertise,
+                tasks: snapshot.tasks,
+                truths: snapshot.truths,
+                next_task: snapshot.next_task,
+            },
+        );
         Eta2Server {
             config: snapshot.config,
-            expertise: snapshot.expertise,
-            tasks: snapshot.tasks,
-            truths: snapshot.truths,
-            next_task: snapshot.next_task,
+            engine,
             domains: match snapshot.domains {
                 DomainsSnapshot::Known => Domains::Known,
                 DomainsSnapshot::Discover {
@@ -540,22 +730,79 @@ impl Eta2Server {
             },
         }
     }
+
+    /// Decodes a JSON checkpoint (see [`Eta2Server::snapshot_json`]) and
+    /// restores from it.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::BadSnapshot`] when the JSON is corrupt or the
+    /// snapshot's `version` is not supported by this build; the underlying
+    /// decoder error is on the [`std::error::Error::source`] chain.
+    pub fn restore_json(json: &str) -> Result<Self, ServerError> {
+        let snapshot: ServerSnapshot =
+            serde_json::from_str(json).map_err(|e| ServerError::BadSnapshot {
+                context: "decoding server snapshot".to_string(),
+                source: Arc::new(e),
+            })?;
+        Ok(Self::restore(snapshot))
+    }
+}
+
+/// The snapshot format version written by this build (see
+/// [`ServerSnapshot`]).
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+fn default_snapshot_version() -> u32 {
+    // Checkpoints written before the version field existed (PR 2's format)
+    // are identical to version 1 minus the field itself, so a missing
+    // version reads as 1.
+    1
+}
+
+fn checked_snapshot_version<'de, D>(de: D) -> Result<u32, D::Error>
+where
+    D: serde::Deserializer<'de>,
+{
+    let v = u32::deserialize(de)?;
+    if !(1..=SNAPSHOT_VERSION).contains(&v) {
+        return Err(serde::de::Error::custom(format!(
+            "unsupported snapshot version {v}; this build reads versions 1..={SNAPSHOT_VERSION}"
+        )));
+    }
+    Ok(v)
 }
 
 /// Serializable checkpoint of an [`Eta2Server`] — produced by
 /// [`Eta2Server::snapshot`], consumed by [`Eta2Server::restore`].
 ///
 /// Serialized with serde; the JSON form is the checkpoint format documented
-/// in DESIGN.md §7. Only the pair-word extractor (stateless) and the
-/// clustering metric (a function pointer) are rebuilt on restore.
+/// in DESIGN.md §7. The format is versioned: a `version` field (currently
+/// [`SNAPSHOT_VERSION`]) is written with every snapshot, a snapshot with an
+/// unknown version fails to deserialize instead of being misread, and a
+/// snapshot without the field (written before versioning existed) reads as
+/// version 1. Only the pair-word extractor (stateless) and the clustering
+/// metric (a function pointer) are rebuilt on restore.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ServerSnapshot {
+    #[serde(
+        default = "default_snapshot_version",
+        deserialize_with = "checked_snapshot_version"
+    )]
+    version: u32,
     config: ServerConfig,
-    expertise: DynamicExpertise,
-    tasks: BTreeMap<TaskId, Task>,
+    expertise: eta2_core::truth::dynamic::DynamicExpertise,
+    tasks: BTreeMap<TaskId, eta2_core::model::Task>,
     truths: BTreeMap<TaskId, TruthEstimate>,
     next_task: u32,
     domains: DomainsSnapshot,
+}
+
+impl ServerSnapshot {
+    /// The format version this snapshot carries.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
 }
 
 /// Serializable mirror of the private [`Domains`] state.
@@ -578,7 +825,7 @@ impl fmt::Debug for Eta2Server {
                     Domains::Known => "known-domains",
                 },
             )
-            .field("tasks", &self.tasks.len())
+            .field("tasks", &self.task_count())
             .field("domains", &self.domain_count())
             .finish()
     }
@@ -603,6 +850,14 @@ mod tests {
         .unwrap()
     }
 
+    fn known_server(n_users: usize) -> Eta2Server {
+        ServerBuilder::new(n_users).build()
+    }
+
+    fn discovering_server(n_users: usize) -> Eta2Server {
+        ServerBuilder::new(n_users).embedding(embedding()).build()
+    }
+
     fn users(n: u32, capacity: f64) -> Vec<UserProfile> {
         (0..n)
             .map(|i| UserProfile::new(UserId(i), capacity))
@@ -611,7 +866,7 @@ mod tests {
 
     #[test]
     fn known_domain_lifecycle() {
-        let mut server = Eta2Server::with_known_domains(3, ServerConfig::default());
+        let mut server = known_server(3);
         let ids = server
             .register_tasks(vec![
                 TaskInput::domained(DomainId(0), 1.0, 1.0),
@@ -638,8 +893,21 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_still_build_working_servers() {
+        // The pre-builder API keeps functioning as a shim.
+        let mut known = Eta2Server::with_known_domains(2, ServerConfig::default());
+        let ids = known
+            .register_tasks(vec![TaskInput::domained(DomainId(0), 1.0, 1.0)])
+            .unwrap();
+        assert_eq!(ids.len(), 1);
+        let disco = Eta2Server::discovering(2, ServerConfig::default(), embedding());
+        assert!(format!("{disco:?}").contains("discover"));
+    }
+
+    #[test]
     fn kind_mismatch_rejected() {
-        let mut known = Eta2Server::with_known_domains(1, ServerConfig::default());
+        let mut known = known_server(1);
         let err = known
             .register_tasks(vec![TaskInput::described("what is this?", 1.0, 1.0)])
             .unwrap_err();
@@ -650,7 +918,7 @@ mod tests {
             }
         );
 
-        let mut disco = Eta2Server::discovering(1, ServerConfig::default(), embedding());
+        let mut disco = discovering_server(1);
         let err = disco
             .register_tasks(vec![TaskInput::domained(DomainId(0), 1.0, 1.0)])
             .unwrap_err();
@@ -664,7 +932,7 @@ mod tests {
 
     #[test]
     fn discovery_assigns_same_topic_to_same_domain() {
-        let mut server = Eta2Server::discovering(4, ServerConfig::default(), embedding());
+        let mut server = discovering_server(4);
         let ids = server
             .register_tasks(vec![
                 TaskInput::described(
@@ -699,7 +967,7 @@ mod tests {
 
     #[test]
     fn expertise_learned_over_batches() {
-        let mut server = Eta2Server::with_known_domains(4, ServerConfig::default());
+        let mut server = known_server(4);
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
         let skills = [3.0, 1.0, 1.0, 0.3];
         for _day in 0..3 {
@@ -732,7 +1000,7 @@ mod tests {
 
     #[test]
     fn min_cost_path_ingests_automatically() {
-        let mut server = Eta2Server::with_known_domains(10, ServerConfig::default());
+        let mut server = known_server(10);
         let ids = server
             .register_tasks(
                 (0..3)
@@ -740,7 +1008,7 @@ mod tests {
                     .collect(),
             )
             .unwrap();
-        let mut source = |_u: UserId, _t: &Task| 7.0_f64;
+        let mut source = |_u: UserId, _t: &eta2_core::model::Task| 7.0_f64;
         let outcome = server.allocate_min_cost(
             &ids,
             &users(10, 100.0),
@@ -756,7 +1024,7 @@ mod tests {
 
     #[test]
     fn ingest_ignores_unregistered_tasks() {
-        let mut server = Eta2Server::with_known_domains(2, ServerConfig::default());
+        let mut server = known_server(2);
         let mut reports = ObservationSet::new();
         reports.insert(UserId(0), TaskId(123), 1.0);
         let outcome = server.ingest(&reports).unwrap();
@@ -765,27 +1033,27 @@ mod tests {
 
     #[test]
     fn empty_registration_is_noop() {
-        let mut server = Eta2Server::with_known_domains(2, ServerConfig::default());
+        let mut server = known_server(2);
         assert_eq!(server.register_tasks(vec![]).unwrap(), vec![]);
         assert_eq!(server.task_count(), 0);
     }
 
     #[test]
     fn allocate_ignores_unknown_ids() {
-        let server = Eta2Server::with_known_domains(2, ServerConfig::default());
+        let server = known_server(2);
         let alloc = server.allocate_max_quality(&[TaskId(5)], &users(2, 5.0));
         assert!(alloc.is_empty());
     }
 
     #[test]
     fn debug_shows_mode() {
-        let server = Eta2Server::with_known_domains(2, ServerConfig::default());
+        let server = known_server(2);
         assert!(format!("{server:?}").contains("known-domains"));
     }
 
     #[test]
     fn register_rejects_bad_numerics_atomically() {
-        let mut server = Eta2Server::with_known_domains(2, ServerConfig::default());
+        let mut server = known_server(2);
         let err = server
             .register_tasks(vec![
                 TaskInput::domained(DomainId(0), 1.0, 1.0),
@@ -830,7 +1098,7 @@ mod tests {
 
     #[test]
     fn ingest_rejects_non_finite_reports_without_state_change() {
-        let mut server = Eta2Server::with_known_domains(2, ServerConfig::default());
+        let mut server = known_server(2);
         let ids = server
             .register_tasks(vec![TaskInput::domained(DomainId(0), 1.0, 1.0)])
             .unwrap();
@@ -874,21 +1142,20 @@ mod tests {
     #[test]
     fn known_domain_checkpoint_restores_bit_identically() {
         // Uninterrupted reference run: four days straight through.
-        let mut reference = Eta2Server::with_known_domains(3, ServerConfig::default());
+        let mut reference = known_server(3);
         let mut ref_ids = Vec::new();
         for day in 0..4 {
             ref_ids.extend(one_day(&mut reference, day));
         }
 
         // Interrupted run: two days, checkpoint through JSON, two more.
-        let mut first_half = Eta2Server::with_known_domains(3, ServerConfig::default());
+        let mut first_half = known_server(3);
         for day in 0..2 {
             one_day(&mut first_half, day);
         }
-        let json = serde_json::to_string(&first_half.snapshot()).unwrap();
+        let json = first_half.snapshot_json();
         drop(first_half);
-        let snap: ServerSnapshot = serde_json::from_str(&json).unwrap();
-        let mut restored = Eta2Server::restore(snap);
+        let mut restored = Eta2Server::restore_json(&json).unwrap();
         for day in 2..4 {
             one_day(&mut restored, day);
         }
@@ -902,8 +1169,7 @@ mod tests {
 
     #[test]
     fn discovery_checkpoint_keeps_clustering_state() {
-        let emb = embedding();
-        let mut original = Eta2Server::discovering(4, ServerConfig::default(), emb);
+        let mut original = discovering_server(4);
         original
             .register_tasks(vec![
                 TaskInput::described(
@@ -935,6 +1201,50 @@ mod tests {
             original.domain_of(a[0]).unwrap(),
             restored.domain_of(b[0]).unwrap(),
             "restored server clustered the arrival differently"
+        );
+    }
+
+    #[test]
+    fn snapshot_is_versioned_and_rejects_unknown_versions() {
+        let server = known_server(2);
+        let json = server.snapshot_json();
+        assert!(json.contains("\"version\":1"), "{json}");
+        assert_eq!(server.snapshot().version(), SNAPSHOT_VERSION);
+
+        // A pre-versioning checkpoint (no version field) reads as v1.
+        let mut value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        value.as_object_mut().unwrap().remove("version");
+        let legacy: ServerSnapshot = serde_json::from_value(value.clone()).unwrap();
+        assert_eq!(legacy.version(), 1);
+
+        // A checkpoint from the future is rejected, not misread.
+        value["version"] = serde_json::json!(99);
+        let err = serde_json::from_value::<ServerSnapshot>(value).unwrap_err();
+        assert!(
+            err.to_string().contains("unsupported snapshot version 99"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn bad_snapshot_error_carries_source_chain() {
+        let err = Eta2Server::restore_json("{ not json }").unwrap_err();
+        assert!(matches!(err, ServerError::BadSnapshot { .. }), "{err:?}");
+        let source = std::error::Error::source(&err).expect("wrapped decoder error");
+        assert!(!source.to_string().is_empty());
+        assert!(err.to_string().starts_with("decoding server snapshot:"));
+
+        // The version gate surfaces through the same wrapped error.
+        let server = known_server(1);
+        let mut value: serde_json::Value = serde_json::from_str(&server.snapshot_json()).unwrap();
+        value["version"] = serde_json::json!(7);
+        let err = Eta2Server::restore_json(&value.to_string()).unwrap_err();
+        assert!(
+            std::error::Error::source(&err)
+                .expect("source")
+                .to_string()
+                .contains("unsupported snapshot version 7"),
+            "{err}"
         );
     }
 }

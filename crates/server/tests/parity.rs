@@ -1,0 +1,108 @@
+//! Proptest parity: sharded, chunked ingest through the serving engine is
+//! bit-identical to the sequential `Eta2Server` path.
+//!
+//! The engine pins each domain to one shard and solves it there; the
+//! per-domain decomposition of `DynamicExpertise::ingest_batch` makes any
+//! sharding (and any split of a round into submit chunks) produce exactly
+//! the floats the single-threaded server produces, as long as the flush
+//! boundaries line up with the server's ingest calls.
+
+use eta2_core::model::{DomainId, Observation, ObservationSet, UserId};
+use eta2_serve::{ServeConfig, ServeEngine, TaskSpec};
+use eta2_server::{ServerBuilder, TaskInput};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sharded_chunked_ingest_matches_sequential_server(
+        seed in 0u64..1000,
+        n_users in 2usize..6,
+        n_domains in 1u32..5,
+        rounds in 1usize..4,
+        n_shards in 1usize..5,
+        chunks in 1usize..4,
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut server = ServerBuilder::new(n_users).build();
+        let mut cfg = ServeConfig::default();
+        cfg.n_users = n_users;
+        cfg.n_shards = n_shards;
+        cfg.batch_capacity = 0; // flush only on tick(), at round boundaries
+        cfg.threads = 1;
+        let engine = ServeEngine::new(cfg);
+
+        let mut all_ids = Vec::new();
+        for _round in 0..rounds {
+            let domains: Vec<u32> = (0..rng.gen_range(1..6))
+                .map(|_| rng.gen_range(0..n_domains))
+                .collect();
+            let server_ids = server
+                .register_tasks(
+                    domains
+                        .iter()
+                        .map(|&d| TaskInput::domained(DomainId(d), 1.0, 1.0))
+                        .collect(),
+                )
+                .unwrap();
+            let engine_ids = engine
+                .register_tasks(
+                    &domains
+                        .iter()
+                        .map(|&d| TaskSpec::new(DomainId(d), 1.0, 1.0))
+                        .collect::<Vec<_>>(),
+                )
+                .unwrap();
+            prop_assert_eq!(&server_ids, &engine_ids, "task id allocation diverged");
+
+            let mut obs = ObservationSet::new();
+            for &id in &server_ids {
+                for u in 0..n_users {
+                    if rng.gen_bool(0.8) {
+                        obs.insert(UserId(u as u32), id, rng.gen_range(-50.0..50.0));
+                    }
+                }
+            }
+
+            // Server: the whole round in one synchronous ingest call.
+            let server_outcome = server.ingest(&obs).unwrap();
+
+            // Engine: the same round split into arbitrary submit chunks,
+            // then one tick — one flush per shard, same batch boundary.
+            let entries: Vec<Observation> = obs.iter().collect();
+            for chunk in entries.chunks(entries.len().div_ceil(chunks).max(1)) {
+                let part: ObservationSet = chunk.iter().copied().collect();
+                let receipt = engine.submit(&part);
+                prop_assert_eq!(receipt.accepted, chunk.len());
+                prop_assert!(receipt.flushes.is_empty(), "no flush before tick");
+            }
+            let mut engine_truths = std::collections::BTreeMap::new();
+            for flush in engine.tick() {
+                engine_truths.extend(flush.truths);
+            }
+            prop_assert_eq!(&server_outcome.truths, &engine_truths,
+                "per-round truths diverged");
+            all_ids.extend(server_ids);
+        }
+
+        // Cumulative state agrees exactly: cached truths and the full
+        // expertise matrix, element by element.
+        for &id in &all_ids {
+            prop_assert_eq!(server.truth(id), engine.truth(id));
+        }
+        let matrix = server.expertise();
+        let snap = engine.snapshot();
+        for d in 0..n_domains {
+            for u in 0..n_users {
+                let (user, domain) = (UserId(u as u32), DomainId(d));
+                prop_assert_eq!(
+                    matrix.get(user, domain).to_bits(),
+                    snap.expertise(user, domain).to_bits(),
+                    "expertise diverged at user {} domain {}", u, d
+                );
+            }
+        }
+    }
+}

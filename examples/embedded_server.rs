@@ -12,7 +12,7 @@
 use eta2::core::model::{ObservationSet, UserId, UserProfile};
 use eta2::embed::corpus::TopicCorpus;
 use eta2::embed::{SkipGramConfig, SkipGramTrainer};
-use eta2::server::{Eta2Server, ServerConfig, TaskInput};
+use eta2::server::{ServerBuilder, TaskInput};
 use rand::{Rng, SeedableRng};
 
 fn main() {
@@ -27,7 +27,7 @@ fn main() {
     .expect("corpus yields vocabulary");
 
     let n_users = 12;
-    let mut server = Eta2Server::discovering(n_users, ServerConfig::default(), embedding);
+    let mut server = ServerBuilder::new(n_users).embedding(embedding).build();
     let users: Vec<UserProfile> = (0..n_users as u32)
         .map(|i| UserProfile::new(UserId(i), 6.0))
         .collect();

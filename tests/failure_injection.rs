@@ -9,7 +9,7 @@ use eta2::core::model::{
 use eta2::core::truth::dynamic::DynamicExpertise;
 use eta2::core::truth::mle::{ExpertiseAwareMle, MleConfig};
 use eta2::datasets::synthetic::SyntheticConfig;
-use eta2::server::{Eta2Server, ServerConfig, TaskInput};
+use eta2::server::{ServerBuilder, TaskInput};
 use eta2::sim::{ApproachKind, SimConfig, Simulation};
 
 #[test]
@@ -111,7 +111,7 @@ fn server_survives_empty_and_oov_descriptions() {
     })
     .train_sentences(&TopicCorpus::builtin().generate(60, 0))
     .unwrap();
-    let mut server = Eta2Server::discovering(2, ServerConfig::default(), emb);
+    let mut server = ServerBuilder::new(2).embedding(emb).build();
     // Empty, punctuation-only and fully out-of-vocabulary descriptions all
     // land in *some* domain (the zero vector) without panicking.
     let ids = server
