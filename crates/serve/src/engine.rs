@@ -28,11 +28,10 @@ struct TaskTable {
     next: u32,
 }
 
-/// Everything a flush produces: the public outcome, the rebuilt read view,
-/// and reports that belong to another shard after a domain merge.
+/// Everything a flush produces: the public outcome and reports that
+/// belong to another shard after a domain merge.
 struct FlushResult {
     outcome: FlushOutcome,
-    view: Arc<ShardView>,
     rerouted: Vec<Observation>,
 }
 
@@ -74,8 +73,13 @@ pub struct SubmitReceipt {
 pub struct ServeEngine {
     cfg: ServeConfig,
     shards: Vec<Mutex<Shard>>,
-    /// Each shard's last published view, outside the shard mutex so
+    /// Each shard's last published view, behind its own mutex so
     /// [`publish`](Self::publish) never waits on an in-flight flush.
+    /// Stores always happen while the owning shard's lock is held
+    /// (shard → view lock order, as in [`restore`](Self::restore)): two
+    /// racing flushes could otherwise store out of order, replacing a
+    /// newer view with an older one and regressing the non-decreasing
+    /// [`EpochSnapshot::shard_flushes`] counters.
     views: Vec<Mutex<Arc<ShardView>>>,
     tasks: Mutex<TaskTable>,
     published: RwLock<Arc<EpochSnapshot>>,
@@ -141,8 +145,9 @@ impl ServeEngine {
 
     /// Registers a batch of tasks, assigning consecutive ids, and publishes
     /// a new epoch so the tasks are visible to readers before any report
-    /// for them can be accepted. Validation is atomic: on error nothing is
-    /// registered.
+    /// for them can be accepted. Validation is atomic: on error — an
+    /// invalid spec, or a batch that would exhaust the `u32` id space —
+    /// nothing is registered.
     pub fn register_tasks(&self, specs: &[TaskSpec]) -> Result<Vec<TaskId>, ServeError> {
         for (index, s) in specs.iter().enumerate() {
             if !(s.processing_time.is_finite() && s.processing_time > 0.0) {
@@ -162,6 +167,18 @@ impl ServeEngine {
         }
         let ids = {
             let mut table = lock(&self.tasks);
+            // Ids are u32 and never reused; a silent wrap in release builds
+            // would alias live tasks, so exhaustion is a hard error.
+            if u32::try_from(specs.len())
+                .ok()
+                .and_then(|n| table.next.checked_add(n))
+                .is_none()
+            {
+                return Err(ServeError::TaskIdsExhausted {
+                    next: table.next,
+                    requested: specs.len(),
+                });
+            }
             let mut map = (*table.map).clone();
             let ids: Vec<TaskId> = specs
                 .iter()
@@ -217,7 +234,6 @@ impl ServeEngine {
             if self.cfg.batch_capacity > 0 && shard.pending_len >= self.cfg.batch_capacity {
                 let fr = self.flush_shard(k, &mut shard);
                 drop(shard);
-                *lock(&self.views[k]) = fr.view;
                 rerouted.extend(fr.rerouted);
                 receipt.flushes.push(fr.outcome);
             }
@@ -260,10 +276,7 @@ impl ServeEngine {
                 if shard.pending_len == 0 {
                     return None;
                 }
-                let fr = self.flush_shard(k, &mut shard);
-                drop(shard);
-                *lock(&self.views[k]) = Arc::clone(&fr.view);
-                Some(fr)
+                Some(self.flush_shard(k, &mut shard))
             });
             let mut rerouted = Vec::new();
             for fr in results.into_iter().flatten() {
@@ -281,8 +294,10 @@ impl ServeEngine {
         outcomes
     }
 
-    /// Drains one shard's pending batch through the MLE. Must be called
-    /// with the shard's lock held; never takes another shard's lock.
+    /// Drains one shard's pending batch through the MLE and stores the
+    /// rebuilt read view into `self.views[k]`. Must be called with the
+    /// shard's lock held — the store happens under it, which is what keeps
+    /// view publication ordered — and never takes another shard's lock.
     fn flush_shard(&self, k: usize, shard: &mut Shard) -> FlushResult {
         let _span = eta2_obs::span!("serve.flush");
         let pending = std::mem::take(&mut shard.pending);
@@ -319,7 +334,10 @@ impl ServeEngine {
             shard.truths.insert(id, *est);
         }
         shard.flushes += 1;
-        let view = Arc::new(ShardView {
+        // Stored while the caller still holds the shard lock: racing
+        // flushes of this shard then store their views in flush order, so
+        // an older view can never overwrite a newer one.
+        *lock(&self.views[k]) = Arc::new(ShardView {
             truths: shard.truths.clone(),
             expertise: shard.expertise.matrix(),
             flushes: shard.flushes,
@@ -340,11 +358,7 @@ impl ServeEngine {
             converged: solved.converged,
             truths: solved.truths,
         };
-        FlushResult {
-            outcome,
-            view,
-            rerouted,
-        }
+        FlushResult { outcome, rerouted }
     }
 
     /// Re-inserts re-routed reports into their (new) owning shards without
@@ -440,15 +454,16 @@ impl ServeEngine {
         let n = self.cfg.n_shards;
         let (ka, kb) = (shard_of(kept, n), shard_of(absorbed, n));
         if ka == kb {
+            // View stores happen under the shard guard(s), like a flush's:
+            // a merge does not bump the flush counter, so only the lock
+            // orders its store against concurrent flush stores.
             let mut shard = lock(&self.shards[ka]);
             shard.expertise.merge_domains(kept, absorbed);
-            let view = Arc::new(ShardView {
+            *lock(&self.views[ka]) = Arc::new(ShardView {
                 truths: shard.truths.clone(),
                 expertise: shard.expertise.matrix(),
                 flushes: shard.flushes,
             });
-            drop(shard);
-            *lock(&self.views[ka]) = view;
         } else {
             // Lock both shards in index order (the only place two shard
             // locks are ever held at once).
@@ -489,8 +504,8 @@ impl ServeEngine {
                 expertise: from_shard.expertise.matrix(),
                 flushes: from_shard.flushes,
             });
-            drop(guard_hi);
-            drop(guard_lo);
+            // Stored before the shard guards drop, for the same ordering
+            // reason as the single-shard branch above.
             *lock(&self.views[ka]) = view_keep;
             *lock(&self.views[kb]) = view_from;
         }
@@ -529,7 +544,9 @@ impl ServeEngine {
     ///
     /// Panics when `cfg` disagrees with the checkpoint on `n_users`,
     /// `alpha` or the MLE configuration — the accumulators would be
-    /// reinterpreted under different semantics.
+    /// reinterpreted under different semantics — or when the checkpoint's
+    /// `next_task` does not exceed every task id in its table, which would
+    /// make the restored engine re-assign ids of live tasks.
     pub fn restore(cfg: ServeConfig, checkpoint: EngineCheckpoint) -> Self {
         assert_eq!(
             cfg.n_users,
@@ -548,6 +565,14 @@ impl ServeEngine {
             checkpoint.expertise.mle_config(),
             "checkpoint MLE config differs from config"
         );
+        if let Some((&max_id, _)) = checkpoint.tasks.last_key_value() {
+            assert!(
+                checkpoint.next_task > max_id.0,
+                "malformed checkpoint: next_task {} does not exceed max task id {}",
+                checkpoint.next_task,
+                max_id.0
+            );
+        }
         let engine = ServeEngine::new(cfg);
         let mut source = checkpoint.expertise;
         let n = engine.cfg.n_shards;
@@ -776,6 +801,57 @@ mod tests {
         snap.validate().unwrap();
         let est = snap.truth(ids[0]).expect("report survived the merge");
         assert!((7.0..=7.5).contains(&est.mu), "mu {}", est.mu);
+    }
+
+    #[test]
+    fn register_errors_on_task_id_exhaustion() {
+        let c = cfg(1, 2, 0);
+        let engine = ServeEngine::restore(
+            c,
+            EngineCheckpoint {
+                expertise: DynamicExpertise::new(1, c.alpha, c.mle),
+                tasks: BTreeMap::new(),
+                truths: BTreeMap::new(),
+                next_task: u32::MAX - 1,
+            },
+        );
+        let err = engine
+            .register_tasks(&[
+                TaskSpec::new(DomainId(0), 1.0, 1.0),
+                TaskSpec::new(DomainId(0), 1.0, 1.0),
+            ])
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ServeError::TaskIdsExhausted { next, requested: 2 } if next == u32::MAX - 1
+            ),
+            "{err}"
+        );
+        // The rejection is atomic: nothing registered, and a batch that
+        // still fits succeeds with the id allocator untouched.
+        assert!(engine.snapshot().tasks().is_empty());
+        let ids = engine
+            .register_tasks(&[TaskSpec::new(DomainId(0), 1.0, 1.0)])
+            .unwrap();
+        assert_eq!(ids, vec![TaskId(u32::MAX - 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "next_task")]
+    fn restore_rejects_checkpoint_with_reusable_ids() {
+        let c = cfg(1, 2, 0);
+        let mut tasks = BTreeMap::new();
+        tasks.insert(TaskId(5), Task::new(TaskId(5), DomainId(0), 1.0, 1.0));
+        ServeEngine::restore(
+            c,
+            EngineCheckpoint {
+                expertise: DynamicExpertise::new(1, c.alpha, c.mle),
+                tasks,
+                truths: BTreeMap::new(),
+                next_task: 3,
+            },
+        );
     }
 
     #[test]

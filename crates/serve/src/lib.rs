@@ -159,6 +159,15 @@ pub enum ServeError {
         /// The offending value.
         value: f64,
     },
+    /// A registration batch would overflow the `u32` task id space (ids
+    /// are never reused; a wrap would alias live tasks). The batch is
+    /// rejected whole.
+    TaskIdsExhausted {
+        /// The next id the engine would have assigned.
+        next: u32,
+        /// Number of ids the rejected batch requested.
+        requested: usize,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -171,6 +180,10 @@ impl fmt::Display for ServeError {
             } => write!(
                 f,
                 "task spec #{index}: {field} must be finite and positive, got {value}"
+            ),
+            ServeError::TaskIdsExhausted { next, requested } => write!(
+                f,
+                "task id space exhausted: {requested} ids requested with next id already at {next}"
             ),
         }
     }

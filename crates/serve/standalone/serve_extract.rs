@@ -370,9 +370,8 @@ impl Engine {
                 }
             }
             if self.batch_capacity > 0 && shard.pending.len() >= self.batch_capacity {
-                let (view, re) = self.flush_shard(k, &mut shard);
+                let re = self.flush_shard(k, &mut shard);
                 drop(shard);
-                *lock(&self.views[k]) = view;
                 rerouted.extend(re);
                 flushed = true;
             }
@@ -398,9 +397,8 @@ impl Engine {
                 if shard.pending.is_empty() {
                     continue;
                 }
-                let (view, re) = self.flush_shard(k, &mut shard);
+                let re = self.flush_shard(k, &mut shard);
                 drop(shard);
-                *lock(&self.views[k]) = view;
                 rerouted.extend(re);
                 flushed += 1;
             }
@@ -415,7 +413,9 @@ impl Engine {
         flushed
     }
 
-    fn flush_shard(&self, k: usize, shard: &mut Shard) -> (Arc<View>, Vec<Obs>) {
+    // Stores the rebuilt view while the caller still holds the shard lock,
+    // so racing flushes of one shard can never store views out of order.
+    fn flush_shard(&self, k: usize, shard: &mut Shard) -> Vec<Obs> {
         let pending = std::mem::take(&mut shard.pending);
         self.queue_depth.fetch_sub(pending.len(), Ordering::Relaxed);
         let tasks = self.tasks_arc();
@@ -438,12 +438,12 @@ impl Engine {
         let truths = shard.expertise.ingest_batch(&batch, &keep, self.spin);
         shard.truths.extend(truths);
         shard.flushes += 1;
-        let view = Arc::new(View {
+        *lock(&self.views[k]) = Arc::new(View {
             truths: shard.truths.clone(),
             expertise: shard.expertise.clone(),
             flushes: shard.flushes,
         });
-        (view, rerouted)
+        rerouted
     }
 
     fn enqueue(&self, reports: &[Obs]) {
@@ -492,15 +492,16 @@ impl Engine {
             shard_of(absorbed, self.n_shards),
         );
         if ka == kb {
+            // View stores happen under the shard guard(s): a merge does not
+            // bump the flush counter, so only the lock orders its store
+            // against concurrent flush stores.
             let mut shard = lock(&self.shards[ka]);
             shard.expertise.merge_domains(kept, absorbed);
-            let view = Arc::new(View {
+            *lock(&self.views[ka]) = Arc::new(View {
                 truths: shard.truths.clone(),
                 expertise: shard.expertise.clone(),
                 flushes: shard.flushes,
             });
-            drop(shard);
-            *lock(&self.views[ka]) = view;
         } else {
             let (lo, hi) = (ka.min(kb), ka.max(kb));
             let mut guard_lo = lock(&self.shards[lo]);
@@ -538,10 +539,10 @@ impl Engine {
                 expertise: from_shard.expertise.clone(),
                 flushes: from_shard.flushes,
             });
-            drop(guard_hi);
-            drop(guard_lo);
             *lock(&self.views[ka]) = view_keep;
             *lock(&self.views[kb]) = view_from;
+            drop(guard_hi);
+            drop(guard_lo);
         }
         self.publish();
     }

@@ -83,9 +83,14 @@
 //! matches a wildcard arm.
 //!
 //! Since this release [`Eta2Server`] is a thin single-threaded adapter over
-//! a one-shard `eta2-serve` engine; behaviour is bit-identical, and
-//! applications that need concurrent producers with lock-free reads can use
-//! `eta2_serve::ServeEngine` directly.
+//! a one-shard `eta2-serve` engine. The synchronous semantics (ingest
+//! returns flushed results, whole-batch validation, checkpointing) are
+//! unchanged, with one numeric caveat: an ingest spanning several domains
+//! now converges each domain on its own 5 % criterion rather than iterating
+//! all domains until the slowest converges, so multi-domain ingests can
+//! produce slightly different floats than 0.1 (single-domain ingests are
+//! bit-identical). Applications that need concurrent producers with
+//! lock-free reads can use `eta2_serve::ServeEngine` directly.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
