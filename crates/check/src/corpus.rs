@@ -1,0 +1,116 @@
+//! Seed-corpus file format.
+//!
+//! The corpus is a plain text file, one scenario seed per line:
+//!
+//! ```text
+//! # eta2-check seed corpus — replayed by `cli check` and CI.
+//! 17           # merge + checkpoint interleaving (pending re-route)
+//! 0xdeadbeef   # hex accepted too
+//! ```
+//!
+//! Lines are `#`-comments, blank, or a decimal/hex (`0x`-prefixed) u64
+//! optionally followed by a trailing comment. Seeds are replayed in file
+//! order; duplicates are allowed (harmless) but flagged by [`parse`] so
+//! a review can catch accidental double-adds.
+
+/// A parsed corpus: ordered seeds plus any duplicate warnings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Corpus {
+    /// Seeds in file order.
+    pub seeds: Vec<u64>,
+    /// Seeds that appeared more than once.
+    pub duplicates: Vec<u64>,
+}
+
+/// Parses corpus text. Returns an error naming the first malformed line
+/// (1-based) — a corrupt corpus must fail loudly, not silently shrink
+/// coverage.
+pub fn parse(text: &str) -> Result<Corpus, String> {
+    let mut seeds = Vec::new();
+    let mut duplicates = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = match raw.find('#') {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        };
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let parsed = if let Some(hex) = line.strip_prefix("0x").or_else(|| line.strip_prefix("0X"))
+        {
+            u64::from_str_radix(hex, 16)
+        } else {
+            line.parse::<u64>()
+        };
+        match parsed {
+            Ok(seed) => {
+                if seeds.contains(&seed) && !duplicates.contains(&seed) {
+                    duplicates.push(seed);
+                }
+                seeds.push(seed);
+            }
+            Err(e) => {
+                return Err(format!(
+                    "corpus line {}: cannot parse seed from {:?}: {e}",
+                    idx + 1,
+                    raw
+                ))
+            }
+        }
+    }
+    Ok(Corpus { seeds, duplicates })
+}
+
+/// Formats one corpus entry line for appending a minimized seed.
+pub fn entry_line(seed: u64, comment: &str) -> String {
+    if comment.is_empty() {
+        format!("{seed}\n")
+    } else {
+        format!("{seed}  # {comment}\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_decimal_hex_comments_blanks() {
+        let text = "\
+# header comment
+17  # inline note
+
+0xDEADBEEF
+42
+";
+        let c = parse(text).unwrap();
+        assert_eq!(c.seeds, vec![17, 0xdead_beef, 42]);
+        assert!(c.duplicates.is_empty());
+    }
+
+    #[test]
+    fn flags_duplicates_but_keeps_order() {
+        let c = parse("5\n6\n5\n5\n").unwrap();
+        assert_eq!(c.seeds, vec![5, 6, 5, 5]);
+        assert_eq!(c.duplicates, vec![5]);
+    }
+
+    #[test]
+    fn rejects_malformed_line_with_position() {
+        let err = parse("1\nnot-a-seed\n3\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        assert!(err.contains("not-a-seed"), "{err}");
+    }
+
+    #[test]
+    fn entry_line_round_trips() {
+        let text = format!(
+            "{}{}",
+            entry_line(99, "minimized from seed 1234"),
+            entry_line(7, "")
+        );
+        let c = parse(&text).unwrap();
+        assert_eq!(c.seeds, vec![99, 7]);
+    }
+}

@@ -1,0 +1,293 @@
+//! # eta2-check — correctness harness for the ETA² reproduction
+//!
+//! Two facilities, both deterministic and dependency-free:
+//!
+//! * **Invariant registry** ([`invariant!`]): cheap predicates compiled
+//!   into production code paths (core, serve, sim) and asserted at
+//!   runtime behind a gate. The gate is a single relaxed atomic load, so
+//!   a disabled run costs one predictable branch per site — the same
+//!   discipline as `eta2-obs`. Breaches are counted through
+//!   `eta2_obs::counter("check.breach", 1)`, recorded in an in-process
+//!   registry ([`breaches`]), and — in [`Mode::Panic`] — abort the
+//!   offending operation with a message naming the invariant.
+//! * **Scenario generator** ([`scenario`]): a splitmix64-seeded composer
+//!   of random workloads × fault plans × `merge_domains` ×
+//!   checkpoint/restore × `tick()` interleavings. The generator knows
+//!   nothing about eta2 types (raw ids and floats only); the runner that
+//!   feeds scenarios through the system's oracle pairs lives in the
+//!   umbrella crate (`eta2::check`), which can see both members of each
+//!   pair.
+//!
+//! ## Gate
+//!
+//! Checking is off by default. It is enabled by, in priority order:
+//!
+//! 1. [`set_mode`] — programmatic, wins over everything;
+//! 2. the `ETA2_CHECK` environment variable, read once on first use:
+//!    `panic` (or `strict`/`abort`) → [`Mode::Panic`], any other truthy
+//!    value (`1`, `count`, `on`, …) → [`Mode::Count`], falsy/unset →
+//!    compile-time default;
+//! 3. the `strict` cargo feature, which flips the compile-time default
+//!    from [`Mode::Off`] to [`Mode::Panic`] (used by CI's check-corpus
+//!    job so a breach fails the build even if the env is lost).
+
+pub mod corpus;
+pub mod rng;
+pub mod scenario;
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Mutex;
+
+/// How invariant breaches are handled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Predicates are not evaluated (one relaxed load + branch per site).
+    Off,
+    /// Predicates run; breaches are counted and recorded, execution
+    /// continues. For soak runs where one bad epoch shouldn't end the
+    /// process but should show up in metrics.
+    Count,
+    /// Predicates run; a breach panics with the invariant name and
+    /// detail. For CI and the differential harness.
+    Panic,
+}
+
+// Encoding for the MODE atomic. 0 = not yet initialized from env.
+const MODE_UNSET: u8 = 0;
+const MODE_OFF: u8 = 1;
+const MODE_COUNT: u8 = 2;
+const MODE_PANIC: u8 = 3;
+
+static MODE: AtomicU8 = AtomicU8::new(MODE_UNSET);
+
+/// Total breaches since process start or last [`reset_breaches`].
+static BREACH_TOTAL: AtomicU64 = AtomicU64::new(0);
+
+/// Most recent breach records, capped so a hot broken invariant cannot
+/// grow memory without bound.
+const BREACH_LOG_CAP: usize = 64;
+static BREACH_LOG: Mutex<Vec<Breach>> = Mutex::new(Vec::new());
+
+/// One recorded invariant violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Breach {
+    /// Invariant name as passed to [`invariant!`], e.g. `"serve.flushes_monotone"`.
+    pub name: &'static str,
+    /// Formatted detail message from the breach site.
+    pub detail: String,
+}
+
+#[cfg(feature = "strict")]
+const DEFAULT_MODE: u8 = MODE_PANIC;
+#[cfg(not(feature = "strict"))]
+const DEFAULT_MODE: u8 = MODE_OFF;
+
+#[cold]
+fn init_mode_from_env() -> u8 {
+    let resolved = match std::env::var("ETA2_CHECK") {
+        Err(_) => DEFAULT_MODE,
+        Ok(v) => {
+            let v = v.trim().to_ascii_lowercase();
+            match v.as_str() {
+                "" | "0" | "false" | "off" | "no" => DEFAULT_MODE,
+                "panic" | "strict" | "abort" => MODE_PANIC,
+                _ => MODE_COUNT,
+            }
+        }
+    };
+    // Racing first uses agree on the value (env is stable), so a plain
+    // store is fine; set_mode may still overwrite later.
+    MODE.store(resolved, Ordering::Relaxed);
+    resolved
+}
+
+#[inline]
+fn mode_raw() -> u8 {
+    let m = MODE.load(Ordering::Relaxed);
+    if m == MODE_UNSET {
+        init_mode_from_env()
+    } else {
+        m
+    }
+}
+
+/// The current checking mode.
+pub fn mode() -> Mode {
+    match mode_raw() {
+        MODE_COUNT => Mode::Count,
+        MODE_PANIC => Mode::Panic,
+        _ => Mode::Off,
+    }
+}
+
+/// Overrides the checking mode for this process, superseding both the
+/// `ETA2_CHECK` environment variable and the `strict` feature default.
+pub fn set_mode(mode: Mode) {
+    let raw = match mode {
+        Mode::Off => MODE_OFF,
+        Mode::Count => MODE_COUNT,
+        Mode::Panic => MODE_PANIC,
+    };
+    MODE.store(raw, Ordering::Relaxed);
+}
+
+/// Whether invariant predicates should be evaluated. This is the fast
+/// path branched on by every [`invariant!`] site.
+#[inline]
+pub fn enabled() -> bool {
+    mode_raw() != MODE_OFF
+}
+
+/// Records a breach of `name`. Called by [`invariant!`] when a predicate
+/// fails; callable directly for checks that don't fit a boolean
+/// expression. Panics in [`Mode::Panic`].
+pub fn breach(name: &'static str, detail: &str) {
+    BREACH_TOTAL.fetch_add(1, Ordering::Relaxed);
+    eta2_obs::counter("check.breach", 1);
+    eta2_obs::emit_with(|| eta2_obs::Event::InvariantBreach {
+        name,
+        detail: detail.to_string(),
+    });
+    {
+        let mut log = BREACH_LOG.lock().unwrap_or_else(|e| e.into_inner());
+        if log.len() < BREACH_LOG_CAP {
+            log.push(Breach {
+                name,
+                detail: detail.to_string(),
+            });
+        }
+    }
+    if mode_raw() == MODE_PANIC {
+        panic!("eta2-check invariant breach: {name}: {detail}");
+    }
+}
+
+/// Total breaches recorded since start or last [`reset_breaches`].
+pub fn breach_count() -> u64 {
+    BREACH_TOTAL.load(Ordering::Relaxed)
+}
+
+/// The recorded breaches (most recent runs are appended; capped at an
+/// internal limit, so under a storm this holds the earliest breaches —
+/// the ones closest to the root cause).
+pub fn breaches() -> Vec<Breach> {
+    BREACH_LOG.lock().unwrap_or_else(|e| e.into_inner()).clone()
+}
+
+/// Clears the breach log and total. For tests and between harness runs.
+pub fn reset_breaches() {
+    BREACH_TOTAL.store(0, Ordering::Relaxed);
+    BREACH_LOG.lock().unwrap_or_else(|e| e.into_inner()).clear();
+}
+
+/// Asserts a named runtime invariant.
+///
+/// ```
+/// # let spent = 1.0; let cap = 2.0;
+/// eta2_check::invariant!(
+///     "alloc.round_budget",
+///     spent < cap,
+///     "round charged at {spent} with cap {cap}"
+/// );
+/// ```
+///
+/// When checking is off ([`Mode::Off`], the default) neither the
+/// condition nor the message arguments are evaluated. On breach the
+/// formatted detail is recorded via [`breach`], which counts it, logs
+/// it, and panics in [`Mode::Panic`].
+#[macro_export]
+macro_rules! invariant {
+    ($name:expr, $cond:expr $(,)?) => {
+        $crate::invariant!($name, $cond, "condition failed: {}", stringify!($cond))
+    };
+    ($name:expr, $cond:expr, $($fmt:tt)+) => {
+        if $crate::enabled() && !($cond) {
+            $crate::breach($name, &format!($($fmt)+));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The mode/breach registry is process-global; tests in this module
+    // serialize on this lock and restore Off before returning.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn off_mode_evaluates_nothing() {
+        let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_mode(Mode::Off);
+        reset_breaches();
+        let mut evaluated = false;
+        invariant!("test.off", {
+            evaluated = true;
+            false
+        });
+        assert!(!evaluated, "condition must not run when checking is off");
+        assert_eq!(breach_count(), 0);
+    }
+
+    #[test]
+    fn count_mode_records_and_continues() {
+        let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_mode(Mode::Count);
+        reset_breaches();
+        invariant!("test.count", 1 + 1 == 3, "arithmetic broke: {}", 42);
+        invariant!("test.count_ok", 1 + 1 == 2);
+        assert_eq!(breach_count(), 1);
+        let log = breaches();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].name, "test.count");
+        assert!(log[0].detail.contains("42"), "{:?}", log[0].detail);
+        set_mode(Mode::Off);
+        reset_breaches();
+    }
+
+    #[test]
+    fn panic_mode_panics_with_name() {
+        let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_mode(Mode::Panic);
+        reset_breaches();
+        let err = std::panic::catch_unwind(|| {
+            invariant!("test.panic", false, "boom");
+        })
+        .expect_err("breach must panic in Panic mode");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("test.panic"), "{msg}");
+        assert!(msg.contains("boom"), "{msg}");
+        set_mode(Mode::Off);
+        reset_breaches();
+    }
+
+    #[test]
+    fn breach_log_is_capped() {
+        let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_mode(Mode::Count);
+        reset_breaches();
+        for i in 0..(BREACH_LOG_CAP + 10) {
+            invariant!("test.storm", false, "breach {i}");
+        }
+        assert_eq!(breach_count(), (BREACH_LOG_CAP + 10) as u64);
+        let log = breaches();
+        assert_eq!(log.len(), BREACH_LOG_CAP);
+        // Earliest breaches are kept — closest to the root cause.
+        assert_eq!(log[0].detail, "breach 0");
+        set_mode(Mode::Off);
+        reset_breaches();
+    }
+
+    #[test]
+    fn default_mode_is_compile_time_default() {
+        let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        // set_mode in other tests may have run first; exercise the
+        // explicit path rather than racing the env init.
+        set_mode(Mode::Count);
+        assert_eq!(mode(), Mode::Count);
+        assert!(enabled());
+        set_mode(Mode::Off);
+        assert_eq!(mode(), Mode::Off);
+        assert!(!enabled());
+    }
+}

@@ -27,6 +27,7 @@ USAGE:
                     [--reports N] [--tasks N] [--domains N] [--users N]
                     [--threads N] [--seed N]
                     [--fault-dropout F] [--fault-corrupt F]
+  eta2-cli check    [--seeds N | --seed S | --corpus FILE] [--strict]
   eta2-cli help
 
 Approaches: eta2, eta2-mc, hubs, avglog, truthfinder, baseline, crh
@@ -53,11 +54,24 @@ serve-bench: stresses the concurrent serving engine — N producer threads
   simulate (corrupted values may go non-finite and exercise the engine's
   quarantine path).
 
+check: replays seeded differential-correctness scenarios — every op runs
+  through the sharded-engine/sequential-twin, MLE/reference and
+  heap/scan oracle pairs with runtime invariants counted. The default
+  replays the committed corpus (corpus/seeds.txt, override with
+  --corpus FILE); --seeds N scans generated seeds 0..N; --seed S
+  (decimal or 0x-hex) replays one scenario and, on failure, prints the
+  shortest failing op prefix plus a ready-to-commit corpus line.
+  --strict panics at the first invariant breach instead of counting.
+
 Observability (any command):
   --trace FILE   write structured JSONL trace events to FILE
                  (or set ETA2_TRACE=FILE)
   --verbose      per-step progress detail
   --quiet        suppress all stdout chatter
+
+Correctness (any command): set ETA2_CHECK=1 (count) or ETA2_CHECK=panic
+  to enable the eta2-check runtime invariant registry alongside any run,
+  exactly like ETA2_TRACE enables tracing.
 ";
 
 /// Builds or loads the dataset named by `--dataset`.
@@ -449,5 +463,94 @@ pub fn serve_bench(args: &Args) -> Result<(), String> {
         read_us,
         flush_ms
     );
+    Ok(())
+}
+
+/// Parses a seed in decimal or `0x`-hex, matching the corpus format.
+fn parse_seed(raw: &str) -> Result<u64, String> {
+    let parsed = if let Some(hex) = raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        raw.parse::<u64>()
+    };
+    parsed.map_err(|e| format!("cannot parse seed {raw:?}: {e}"))
+}
+
+/// `check` — replay differential correctness scenarios.
+pub fn check(args: &Args) -> Result<(), String> {
+    use eta2::check;
+
+    // Count mode reports every breach with its seed attached; --strict
+    // aborts at the first breach instead (same switch CI's strict build
+    // flips at compile time via the `strict` cargo feature).
+    if args.has("strict") {
+        check::gate::set_mode(check::gate::Mode::Panic);
+    } else {
+        check::gate::set_mode(check::gate::Mode::Count);
+    }
+
+    let (seeds, source): (Vec<u64>, String) = if let Some(raw) = args.get("seed") {
+        let seed = parse_seed(raw)?;
+        (vec![seed], format!("seed {seed:#x}"))
+    } else if args.get("seeds").is_some() {
+        let n: u64 = args.get_parsed("seeds", 64u64)?;
+        ((0..n).collect(), format!("seeds 0..{n}"))
+    } else {
+        let path = args.get("corpus").unwrap_or("corpus/seeds.txt");
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read corpus {path}: {e}"))?;
+        let corpus = check::gate::corpus::parse(&text)?;
+        if !corpus.duplicates.is_empty() {
+            eta2_obs::progress!("warning: duplicate corpus seeds: {:?}", corpus.duplicates);
+        }
+        (corpus.seeds, format!("corpus {path}"))
+    };
+
+    let mut failed = 0usize;
+    for &seed in &seeds {
+        let outcome = check::run_seed(seed);
+        if outcome.passed() {
+            eta2_obs::detail!("seed {:#x}: ok ({} ops)", seed, outcome.ops_run);
+            continue;
+        }
+        failed += 1;
+        match &outcome.divergence {
+            Some(d) => eta2_obs::progress!("FAIL {d}"),
+            None => eta2_obs::progress!(
+                "FAIL seed {:#x}: {} invariant breach(es)",
+                seed,
+                outcome.new_breaches
+            ),
+        }
+        for b in check::gate::breaches() {
+            eta2_obs::progress!("  breach [{}] {}", b.name, b.detail);
+        }
+        check::gate::reset_breaches();
+        // Shrink to the shortest failing op prefix and hand the user a
+        // line ready to append to corpus/seeds.txt.
+        let full = check::gate::scenario::Scenario::generate(seed);
+        let minimized = check::minimize(&full);
+        check::gate::reset_breaches();
+        let pair = outcome
+            .divergence
+            .as_ref()
+            .map_or("invariant breach", |d| d.pair);
+        eta2_obs::progress!(
+            "  minimized: fails within the first {} of {} ops",
+            minimized.ops.len(),
+            full.ops.len()
+        );
+        eta2_obs::progress!(
+            "  corpus line: {}",
+            check::gate::corpus::entry_line(seed, &format!("{pair} regression")).trim_end()
+        );
+    }
+    if failed > 0 {
+        return Err(format!(
+            "{failed}/{} scenario(s) failed ({source})",
+            seeds.len()
+        ));
+    }
+    eta2_obs::progress!("{} scenario(s) replayed clean ({source})", seeds.len());
     Ok(())
 }

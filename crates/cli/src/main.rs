@@ -7,6 +7,7 @@
 //! eta2-cli domains  --dataset survey
 //! eta2-cli bench fig5
 //! eta2-cli serve-bench --producers 4 --shards 8
+//! eta2-cli check --seeds 256
 //! ```
 
 mod args;
@@ -47,6 +48,7 @@ fn main() {
         Some("domains") => commands::domains(&parsed),
         Some("bench") => commands::bench(&parsed),
         Some("serve-bench") => commands::serve_bench(&parsed),
+        Some("check") => commands::check(&parsed),
         Some("help") | None => {
             print!("{}", commands::USAGE);
             Ok(())

@@ -103,6 +103,19 @@ impl MaxQualityAllocator {
     ) -> Allocation {
         let _span = eta2_obs::span!("alloc.greedy");
         let chosen = self.allocate_inner(tasks, users, expertise);
+        if eta2_check::enabled() {
+            // Differential invariant: the lazy-greedy heap must reproduce
+            // the frozen full-scan oracle's allocation exactly. Costs a
+            // full second solve, so it only runs under the check gate.
+            let oracle = self.allocate_scan(tasks, users, expertise);
+            eta2_check::invariant!(
+                "alloc.heap_matches_scan",
+                chosen == oracle,
+                "lazy-greedy diverged from scan oracle: {} vs {} assignments",
+                chosen.assignment_count(),
+                oracle.assignment_count()
+            );
+        }
         eta2_obs::emit_with(|| eta2_obs::Event::AllocationOutcome {
             strategy: "max_quality",
             assignments: chosen.assignment_count() as u64,
@@ -326,6 +339,15 @@ impl GreedyState {
         eff: f64,
     ) {
         let t = &tasks[j_star];
+        eta2_check::invariant!(
+            "alloc.pick_within_capacity",
+            remaining[i_star] >= t.processing_time && t.processing_time.is_finite(),
+            "user {:?} has {}h left but was picked for {:?} needing {}h",
+            users[i_star].id,
+            remaining[i_star],
+            t.id,
+            t.processing_time
+        );
         eta2_obs::emit_with(|| eta2_obs::Event::AllocationPick {
             strategy: match kind {
                 EfficiencyKind::PerHour => "per_hour",

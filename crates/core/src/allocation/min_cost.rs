@@ -118,6 +118,16 @@ impl BudgetGate for RoundBudget {
         self.spent < self.cap
     }
     fn charge(&mut self, cost: f64) {
+        // Every charge must have been admitted: pre-charge spend strictly
+        // below c° (the round can cross the cap by at most the final
+        // task's cost, never by an unadmitted charge).
+        eta2_check::invariant!(
+            "alloc.round_budget",
+            self.spent < self.cap && cost.is_finite() && cost >= 0.0,
+            "charged {cost} with {} already spent of cap {}",
+            self.spent,
+            self.cap
+        );
         self.spent += cost;
     }
 }

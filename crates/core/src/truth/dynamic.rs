@@ -449,6 +449,46 @@ impl DynamicExpertise {
             }
         }
 
+        // Gated invariants (ETA2_CHECK): committed accumulators stay finite
+        // and non-negative (quarantine must have caught anything else), so
+        // every expertise value derived from them is finite and lands inside
+        // the configured [floor, cap] clamp; and the batch truths handed to
+        // the caller are finite after the provenance repair above.
+        if eta2_check::enabled() {
+            for (id, est) in &truths {
+                eta2_check::invariant!(
+                    "dynamic.truth_finite",
+                    est.mu.is_finite() && est.sigma.is_finite() && est.sigma >= cfg.sigma_floor,
+                    "task {id:?}: mu {} sigma {} (floor {})",
+                    est.mu,
+                    est.sigma,
+                    cfg.sigma_floor
+                );
+            }
+            for (i, a) in per_user.iter().enumerate() {
+                eta2_check::invariant!(
+                    "dynamic.accumulators_valid",
+                    a.n.is_finite() && a.d.is_finite() && a.n >= 0.0 && a.d >= 0.0,
+                    "user {i} in {domain:?}: N {} D {}",
+                    a.n,
+                    a.d
+                );
+                if a.n > 0.0 {
+                    let s = cfg.prior_strength;
+                    let u = ((a.n + s) / (a.d + s).max(1e-12))
+                        .sqrt()
+                        .clamp(cfg.expertise_floor, cfg.expertise_cap);
+                    eta2_check::invariant!(
+                        "dynamic.expertise_bounds",
+                        u.is_finite() && u >= cfg.expertise_floor && u <= cfg.expertise_cap,
+                        "user {i} in {domain:?}: expertise {u} outside [{}, {}]",
+                        cfg.expertise_floor,
+                        cfg.expertise_cap
+                    );
+                }
+            }
+        }
+
         BatchOutcome {
             truths,
             iterations,

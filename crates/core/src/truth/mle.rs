@@ -518,6 +518,56 @@ impl ExpertiseAwareMle {
             }
         }
 
+        // Gated invariants (ETA2_CHECK): every published estimate is finite
+        // with sigma at or above the floor; every expertise value the run
+        // touched is finite and clamped into [floor, cap]; and a `converged`
+        // claim really means the paper's 5 % criterion held on the last
+        // iteration (fallback-repaired tasks excluded — their mu was
+        // replaced after the loop).
+        if eta2_check::enabled() {
+            for (id, est) in &truths {
+                eta2_check::invariant!(
+                    "mle.truth_finite",
+                    est.mu.is_finite() && est.sigma.is_finite() && est.sigma >= cfg.sigma_floor,
+                    "task {id:?}: mu {} sigma {} (floor {})",
+                    est.mu,
+                    est.sigma,
+                    cfg.sigma_floor
+                );
+            }
+            for s in &shards {
+                for i in 0..n_users {
+                    if s.acc_n[i] > 0.0 {
+                        let u = expertise.get(UserId(i as u32), s.domain);
+                        eta2_check::invariant!(
+                            "mle.expertise_bounds",
+                            u.is_finite() && u >= cfg.expertise_floor && u <= cfg.expertise_cap,
+                            "user {i} in {:?}: expertise {u} outside [{}, {}]",
+                            s.domain,
+                            cfg.expertise_floor,
+                            cfg.expertise_cap
+                        );
+                    }
+                }
+            }
+            if converged {
+                for (si, s) in shards.iter().enumerate() {
+                    for j in 0..s.ids.len() {
+                        if !fallback[si][j] {
+                            let d = relative_change(s.prev_mu[j], s.mu[j]);
+                            eta2_check::invariant!(
+                                "mle.five_pct_criterion",
+                                d < cfg.convergence_threshold,
+                                "task {:?}: converged claimed but last delta {d} >= {}",
+                                s.ids[j],
+                                cfg.convergence_threshold
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
         eta2_obs::emit_with(|| eta2_obs::Event::MleOutcome {
             source: "mle",
             iterations: iterations as u64,

@@ -129,7 +129,10 @@ impl Embedding {
                 (w.clone(), cosine(target, v))
             })
             .collect();
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite similarity"));
+        // Descending by IEEE total order: a NaN similarity (possible only
+        // if stored vectors carry NaN components) sorts to the front
+        // instead of panicking the comparator.
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1));
         scored.truncate(k);
         scored
     }
@@ -235,6 +238,27 @@ mod tests {
         assert_eq!(near[0].0, "c"); // closer to a than b is
         assert_eq!(near[1].0, "b");
         assert!(e.nearest("zzz", 3).is_empty());
+    }
+
+    #[test]
+    fn nearest_tolerates_nan_vectors() {
+        // A vector with a NaN component yields NaN similarities; the sort
+        // must not panic, and finite neighbours must still be ordered.
+        let e = Embedding::from_vectors(vec![
+            ("a".into(), vec![1.0, 0.0]),
+            ("poison".into(), vec![f32::NAN, 1.0]),
+            ("c".into(), vec![1.0, 1.0]),
+            ("b".into(), vec![0.0, 1.0]),
+        ])
+        .unwrap();
+        let near = e.nearest("a", 4);
+        assert_eq!(near.len(), 3);
+        let finite: Vec<&str> = near
+            .iter()
+            .filter(|(_, s)| s.is_finite())
+            .map(|(w, _)| w.as_str())
+            .collect();
+        assert_eq!(finite, ["c", "b"]);
     }
 
     #[test]

@@ -1,0 +1,498 @@
+//! Differential correctness runner over the [`eta2_check`] harness.
+//!
+//! [`eta2_check`] (the leaf crate) owns the pieces with no engine
+//! dependencies: the invariant gate (`ETA2_CHECK`), the seeded scenario
+//! generator and the corpus format. This module closes the loop: it maps a
+//! generated [`Scenario`] onto the *real* system and runs every op through
+//! both members of each oracle pair, failing on any divergence:
+//!
+//! * **sharded [`ServeEngine`] vs its single-shard sequential twin** — by
+//!   the per-domain decomposition invariant of
+//!   [`DynamicExpertise::ingest_batch`](eta2_core::truth::dynamic::DynamicExpertise::ingest_batch),
+//!   the two must agree bit-for-bit on every truth, every expertise value
+//!   and the pending-queue depth after every op;
+//! * **optimized MLE vs the frozen reference solver**
+//!   ([`eta2_core::truth::reference`]) on the accumulated report mirror;
+//! * **lazy-greedy heap allocator vs the full-scan oracle**
+//!   ([`MaxQualityAllocator::allocate_scan`]).
+//!
+//! Engines run with count-triggered flushing disabled (`batch_capacity: 0`)
+//! whenever the primary is sharded: an automatic flush partitions reports
+//! into *different* MLE batches on different shard counts, and batch
+//! partitioning legitimately changes the decayed-accumulator trajectory —
+//! only [`Op::Tick`] points are comparable. When the primary itself has one
+//! shard, the scenario's `flush_threshold` is applied to both twins, which
+//! turns the pair into a pure determinism check with in-line flushes
+//! exercised.
+//!
+//! Invariant breaches surface through whatever `ETA2_CHECK` mode is active
+//! (see [`eta2_check::init_mode_from_env`]); the runner reports the breach
+//! *delta* it produced so corpus replays fail loudly even in count mode.
+
+/// Re-export of the leaf harness crate: the `ETA2_CHECK` gate
+/// ([`gate::init_mode_from_env`], [`gate::set_mode`], [`gate::enabled`]),
+/// breach accounting, the seeded scenario generator and the corpus format.
+pub use eta2_check as gate;
+
+use eta2_check::rng::SplitMix64;
+use eta2_check::scenario::{Op, Scenario};
+use eta2_core::allocation::{
+    MaxQualityAllocator, MaxQualityConfig, MinCostAllocator, MinCostConfig,
+};
+use eta2_core::model::{
+    DomainId, ExpertiseMatrix, ObservationSet, Task, TaskId, UserId, UserProfile,
+};
+use eta2_core::truth::{reference, ExpertiseAwareMle, MleConfig};
+use eta2_serve::{ServeConfig, ServeEngine, TaskSpec};
+use std::collections::BTreeSet;
+
+/// A point where two members of an oracle pair disagreed.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// Seed of the scenario that produced the disagreement.
+    pub seed: u64,
+    /// Index of the op after which the disagreement was observed
+    /// (`ops.len()` means the runner's final implicit tick).
+    pub op_index: usize,
+    /// Which oracle pair disagreed.
+    pub pair: &'static str,
+    /// Human-readable description of the first mismatch found.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "seed {:#x} op {} [{}]: {}",
+            self.seed, self.op_index, self.pair, self.detail
+        )
+    }
+}
+
+/// What one scenario replay produced.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// The replayed seed.
+    pub seed: u64,
+    /// Ops executed (excluding the final implicit tick).
+    pub ops_run: usize,
+    /// Invariant breaches recorded *during this run* (global breach-counter
+    /// delta; always 0 unless an `ETA2_CHECK` mode is active).
+    pub new_breaches: u64,
+    /// First oracle-pair disagreement, if any. The run stops there.
+    pub divergence: Option<Divergence>,
+}
+
+impl RunOutcome {
+    /// Whether the replay was clean: no divergence and no new breaches.
+    pub fn passed(&self) -> bool {
+        self.divergence.is_none() && self.new_breaches == 0
+    }
+}
+
+/// Generates and replays the scenario for `seed`.
+pub fn run_seed(seed: u64) -> RunOutcome {
+    run_scenario(&Scenario::generate(seed))
+}
+
+// `ServeConfig` is `#[non_exhaustive]`, so struct literals (including
+// functional-record-update) are unavailable outside `eta2-serve`; mutating
+// a default is the supported construction path.
+#[allow(clippy::field_reassign_with_default)]
+fn serve_cfg(n_users: usize, n_shards: usize, batch_capacity: usize) -> ServeConfig {
+    let mut cfg = ServeConfig::default();
+    cfg.n_users = n_users;
+    cfg.n_shards = n_shards;
+    cfg.batch_capacity = batch_capacity;
+    cfg.threads = 1;
+    cfg
+}
+
+/// Bit-compares the externally observable state of the two engines: truth
+/// estimates for every registered task, expertise over the union of both
+/// snapshots' domains, and the pending-queue depth.
+fn state_divergence(eng: &ServeEngine, ora: &ServeEngine, task_ids: &[TaskId]) -> Option<String> {
+    for &id in task_ids {
+        let a = eng.truth(id);
+        let b = ora.truth(id);
+        if a != b {
+            return Some(format!(
+                "truth of {id:?}: sharded {a:?} vs sequential {b:?}"
+            ));
+        }
+    }
+    let snap_a = eng.snapshot();
+    let snap_b = ora.snapshot();
+    let ma = snap_a.expertise_matrix();
+    let mb = snap_b.expertise_matrix();
+    let domains: BTreeSet<DomainId> = ma.domains().chain(mb.domains()).collect();
+    let n_users = snap_a.n_users();
+    for &d in &domains {
+        for i in 0..n_users {
+            let u = UserId(i as u32);
+            let a = ma.get(u, d);
+            let b = mb.get(u, d);
+            if a.to_bits() != b.to_bits() {
+                return Some(format!(
+                    "expertise of user {i} in {d:?}: sharded {a} vs sequential {b}"
+                ));
+            }
+        }
+    }
+    if eng.queue_depth() != ora.queue_depth() {
+        return Some(format!(
+            "queue depth: sharded {} vs sequential {}",
+            eng.queue_depth(),
+            ora.queue_depth()
+        ));
+    }
+    None
+}
+
+/// Merges the truths of a set of flush outcomes into one map.
+fn merged_truths(
+    outcomes: &[eta2_serve::FlushOutcome],
+) -> std::collections::BTreeMap<TaskId, eta2_core::truth::TruthEstimate> {
+    let mut all = std::collections::BTreeMap::new();
+    for o in outcomes {
+        all.extend(o.truths.iter().map(|(&k, &v)| (k, v)));
+    }
+    all
+}
+
+/// Replays one scenario through every oracle pair.
+///
+/// The replay stops at the first divergence; invariant breaches behave
+/// according to the active `ETA2_CHECK` mode (panicking in `panic` mode,
+/// counting otherwise).
+pub fn run_scenario(scenario: &Scenario) -> RunOutcome {
+    let breaches_before = eta2_check::breach_count();
+    let seed = scenario.seed;
+    let n_users = scenario.config.n_users as usize;
+    // Count-triggered flushes are only comparable when both twins flush at
+    // identical points, i.e. when the primary is single-shard too.
+    let cap_for = |shards: usize| {
+        if shards == 1 {
+            scenario.config.flush_threshold
+        } else {
+            0
+        }
+    };
+
+    let mut eng = ServeEngine::new(serve_cfg(
+        n_users,
+        scenario.config.n_shards,
+        cap_for(scenario.config.n_shards),
+    ));
+    let mut ora = ServeEngine::new(serve_cfg(n_users, 1, cap_for(scenario.config.n_shards)));
+
+    let mut task_ids: Vec<TaskId> = Vec::new();
+    // Last-wins mirror of all finite reports since the previous tick: the
+    // input the MLE-vs-reference pair is fed at every tick point.
+    let mut mirror = ObservationSet::new();
+
+    let mut diverged: Option<Divergence> = None;
+    let mut ops_run = 0usize;
+    let fail = |op_index: usize, pair: &'static str, detail: String| Divergence {
+        seed,
+        op_index,
+        pair,
+        detail,
+    };
+
+    'ops: for (i, op) in scenario.ops.iter().enumerate() {
+        ops_run = i + 1;
+        match op {
+            Op::Register(specs) => {
+                let batch: Vec<TaskSpec> = specs
+                    .iter()
+                    .map(|s| TaskSpec::new(DomainId(s.domain as u32), s.processing_time, s.cost))
+                    .collect();
+                let a = eng.register_tasks(&batch);
+                let b = ora.register_tasks(&batch);
+                if a != b {
+                    diverged = Some(fail(
+                        i,
+                        "engine_vs_sequential",
+                        format!("register ids: {a:?} vs {b:?}"),
+                    ));
+                    break 'ops;
+                }
+                task_ids.extend(a.expect("valid specs by construction"));
+            }
+            Op::Submit(reports) => {
+                let mut batch = ObservationSet::new();
+                for r in reports {
+                    let task = task_ids[r.task_index];
+                    batch.insert(UserId(r.user as u32), task, r.value);
+                    if r.value.is_finite() {
+                        mirror.insert(UserId(r.user as u32), task, r.value);
+                    }
+                }
+                let ra = eng.submit(&batch);
+                let rb = ora.submit(&batch);
+                let counts_a = (
+                    ra.accepted,
+                    ra.unknown_task,
+                    ra.quarantined,
+                    ra.flushes.len(),
+                );
+                let counts_b = (
+                    rb.accepted,
+                    rb.unknown_task,
+                    rb.quarantined,
+                    rb.flushes.len(),
+                );
+                if counts_a != counts_b {
+                    diverged = Some(fail(
+                        i,
+                        "engine_vs_sequential",
+                        format!("submit receipts: {counts_a:?} vs {counts_b:?}"),
+                    ));
+                    break 'ops;
+                }
+                if !ra.flushes.is_empty() {
+                    // In-line flushes only occur in the single-shard twin
+                    // setup, where both must fold identical batches.
+                    mirror = ObservationSet::new();
+                    let ta = merged_truths(&ra.flushes);
+                    let tb = merged_truths(&rb.flushes);
+                    if ta != tb {
+                        diverged = Some(fail(
+                            i,
+                            "engine_vs_sequential",
+                            format!("in-line flush truths differ: {ta:?} vs {tb:?}"),
+                        ));
+                        break 'ops;
+                    }
+                }
+            }
+            Op::Tick => {
+                if let Some(d) = tick_both(&eng, &ora, &mut mirror, n_users, seed, i) {
+                    diverged = Some(d);
+                    break 'ops;
+                }
+            }
+            Op::Merge { kept, absorbed } => {
+                eng.merge_domains(DomainId(*kept as u32), DomainId(*absorbed as u32));
+                ora.merge_domains(DomainId(*kept as u32), DomainId(*absorbed as u32));
+            }
+            Op::CheckpointRestore => {
+                let shards = scenario.config.restore_shards;
+                let cap = cap_for(shards);
+                eng = ServeEngine::restore(serve_cfg(n_users, shards, cap), eng.checkpoint());
+                ora = ServeEngine::restore(serve_cfg(n_users, 1, cap), ora.checkpoint());
+            }
+            Op::Allocate {
+                capacities,
+                per_hour,
+            } => {
+                let users: Vec<UserProfile> = capacities
+                    .iter()
+                    .enumerate()
+                    .map(|(u, &c)| UserProfile::new(UserId(u as u32), c))
+                    .collect();
+                let snap = eng.snapshot();
+                let tasks: Vec<Task> = snap.tasks().values().copied().collect();
+                let expertise = snap.expertise_matrix();
+                let alloc = MaxQualityAllocator::new(MaxQualityConfig {
+                    epsilon: 0.1,
+                    use_approximation_pass: !per_hour,
+                });
+                let heap = alloc.allocate(&tasks, &users, &expertise);
+                let scan = alloc.allocate_scan(&tasks, &users, &expertise);
+                if heap != scan {
+                    diverged = Some(fail(
+                        i,
+                        "alloc_heap_vs_scan",
+                        format!(
+                            "{} vs {} assignments",
+                            heap.assignment_count(),
+                            scan.assignment_count()
+                        ),
+                    ));
+                    break 'ops;
+                }
+                let a = snap.allocate_max_quality(&task_ids, &users);
+                let b = ora.snapshot().allocate_max_quality(&task_ids, &users);
+                if a != b {
+                    diverged = Some(fail(
+                        i,
+                        "engine_vs_sequential",
+                        format!(
+                            "snapshot allocations differ: {} vs {} assignments",
+                            a.assignment_count(),
+                            b.assignment_count()
+                        ),
+                    ));
+                    break 'ops;
+                }
+            }
+            Op::MinCost {
+                round_budget,
+                max_error,
+            } => {
+                let snap = eng.snapshot();
+                let tasks: Vec<Task> = snap.tasks().values().copied().collect();
+                let users: Vec<UserProfile> = (0..n_users)
+                    .map(|u| UserProfile::new(UserId(u as u32), 8.0))
+                    .collect();
+                let cfg = MinCostConfig {
+                    round_budget: *round_budget,
+                    max_error: *max_error,
+                    max_rounds: 20,
+                    ..MinCostConfig::default()
+                };
+                // Deterministic synthetic crowd: values depend only on the
+                // scenario seed, op index and the call sequence.
+                let mut rng = SplitMix64::new(seed ^ 0x6d69_6e5f_636f_7374 ^ i as u64);
+                let mut source = |_u: UserId, _t: &Task| rng.uniform(0.0, 10.0);
+                let outcome = MinCostAllocator::new(cfg).allocate(
+                    &tasks,
+                    &users,
+                    &snap.expertise_matrix(),
+                    &mut source,
+                );
+                if !outcome.total_cost.is_finite() || outcome.rounds > cfg.max_rounds {
+                    diverged = Some(fail(
+                        i,
+                        "min_cost_postcondition",
+                        format!(
+                            "total_cost {} after {} rounds (cap {})",
+                            outcome.total_cost, outcome.rounds, cfg.max_rounds
+                        ),
+                    ));
+                    break 'ops;
+                }
+            }
+        }
+        if diverged.is_none() {
+            if let Some(detail) = state_divergence(&eng, &ora, &task_ids) {
+                diverged = Some(fail(i, "engine_vs_sequential", detail));
+                break 'ops;
+            }
+        }
+    }
+
+    // Final implicit tick: drain everything so truncated prefixes (the
+    // minimizer's probes) compare the same way full scenarios do.
+    if diverged.is_none() {
+        diverged =
+            tick_both(&eng, &ora, &mut mirror, n_users, seed, scenario.ops.len()).or_else(|| {
+                state_divergence(&eng, &ora, &task_ids)
+                    .map(|detail| fail(scenario.ops.len(), "engine_vs_sequential", detail))
+            });
+    }
+
+    RunOutcome {
+        seed,
+        ops_run,
+        new_breaches: eta2_check::breach_count() - breaches_before,
+        divergence: diverged,
+    }
+}
+
+/// Ticks both twins, comparing the folded truths, and runs the
+/// MLE-vs-reference pair on the report mirror accumulated since the last
+/// tick point.
+fn tick_both(
+    eng: &ServeEngine,
+    ora: &ServeEngine,
+    mirror: &mut ObservationSet,
+    n_users: usize,
+    seed: u64,
+    op_index: usize,
+) -> Option<Divergence> {
+    let fa = eng.tick();
+    let fb = ora.tick();
+    let ta = merged_truths(&fa);
+    let tb = merged_truths(&fb);
+    if ta != tb {
+        return Some(Divergence {
+            seed,
+            op_index,
+            pair: "engine_vs_sequential",
+            detail: format!("tick truths differ: {ta:?} vs {tb:?}"),
+        });
+    }
+    if !mirror.is_empty() {
+        let tasks: Vec<Task> = eng.snapshot().tasks().values().copied().collect();
+        let cfg = MleConfig::default();
+        let a = ExpertiseAwareMle::new(cfg).estimate_with_initial(
+            &tasks,
+            mirror,
+            ExpertiseMatrix::new(n_users),
+        );
+        let b =
+            reference::estimate_with_initial(&cfg, &tasks, mirror, ExpertiseMatrix::new(n_users));
+        if a != b {
+            return Some(Divergence {
+                seed,
+                op_index,
+                pair: "mle_vs_reference",
+                detail: format!(
+                    "optimized solver disagrees with frozen reference: \
+                     {} vs {} truths, converged {} vs {}",
+                    a.truths.len(),
+                    b.truths.len(),
+                    a.converged,
+                    b.converged
+                ),
+            });
+        }
+        *mirror = ObservationSet::new();
+    }
+    None
+}
+
+/// Shrinks a failing scenario to the shortest op prefix that still fails,
+/// re-running the prefix from scratch at each step. Returns the scenario
+/// unchanged when it does not fail at full length.
+///
+/// Run this with `ETA2_CHECK=1` (count mode): in panic mode the probe runs
+/// abort on the first breach instead of reporting it.
+pub fn minimize(scenario: &Scenario) -> Scenario {
+    if run_scenario(scenario).passed() {
+        return scenario.clone();
+    }
+    for n in 1..=scenario.ops.len() {
+        let probe = scenario.truncated(n);
+        if !run_scenario(&probe).passed() {
+            return probe;
+        }
+    }
+    scenario.clone()
+}
+
+/// Replays every seed, returning one outcome per seed (failures included —
+/// the caller decides whether to stop or report them all).
+pub fn run_seeds(seeds: &[u64]) -> Vec<RunOutcome> {
+    seeds.iter().map(|&s| run_seed(s)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_seed_range_replays_clean() {
+        // Differential comparisons hold without any ETA2_CHECK mode set;
+        // this exercises the runner machinery itself.
+        for seed in 0..8u64 {
+            let outcome = run_seed(seed);
+            assert!(
+                outcome.divergence.is_none(),
+                "seed {seed}: {}",
+                outcome.divergence.unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn minimize_returns_full_scenario_when_clean() {
+        let s = Scenario::generate(3);
+        let m = minimize(&s);
+        assert_eq!(m.ops.len(), s.ops.len());
+    }
+}

@@ -27,6 +27,10 @@
 //! * [`obs`] — structured observability: counters/gauges/histograms, span
 //!   timers around MLE/allocation/simulation, and typed JSONL trace events
 //!   (enable with [`obs::init_file`] or the CLI's `--trace`).
+//! * [`check`] — the differential + invariant correctness harness: seeded
+//!   scenario replay through the sharded-engine/sequential, MLE/reference
+//!   and heap/scan oracle pairs, with runtime invariants gated on the
+//!   `ETA2_CHECK` environment variable (see [`check::gate`]).
 //!
 //! # Quickstart
 //!
@@ -57,6 +61,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod check;
 
 pub use eta2_cluster as cluster;
 pub use eta2_core as core;

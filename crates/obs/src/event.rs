@@ -208,6 +208,13 @@ pub enum Event {
         /// Reports still pending across all shards at publish time.
         queue_depth: u64,
     },
+    /// A runtime invariant from the eta2-check registry was violated.
+    InvariantBreach {
+        /// Invariant name, e.g. `"serve.flushes_monotone"`.
+        name: &'static str,
+        /// Formatted detail from the breach site.
+        detail: String,
+    },
 }
 
 impl Event {
@@ -230,6 +237,7 @@ impl Event {
             Event::UserQuarantined { .. } => "user_quarantined",
             Event::ServeBatchFlush { .. } => "serve_batch_flush",
             Event::ServeEpochPublished { .. } => "serve_epoch_published",
+            Event::InvariantBreach { .. } => "invariant_breach",
         }
     }
 
@@ -404,6 +412,9 @@ impl Event {
                     .u64("truths", *truths)
                     .u64("tasks", *tasks)
                     .u64("queue_depth", *queue_depth);
+            }
+            Event::InvariantBreach { name, detail } => {
+                o.str("name", name).str("detail", detail);
             }
         }
         o.finish()
@@ -601,6 +612,13 @@ mod tests {
                     queue_depth: 3,
                 },
                 vec!["epoch", "truths", "tasks", "queue_depth"],
+            ),
+            (
+                Event::InvariantBreach {
+                    name: "serve.flushes_monotone",
+                    detail: "shard 1 went 5 -> 4".into(),
+                },
+                vec!["name", "detail"],
             ),
         ];
         for (ev, payload_keys) in cases {

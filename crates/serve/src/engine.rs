@@ -251,13 +251,25 @@ impl ServeEngine {
         receipt
     }
 
+    /// Upper bound on re-sweep passes inside one [`tick`](Self::tick).
+    ///
+    /// A quiescent engine needs at most two passes (one flush surfacing
+    /// merge-displaced stragglers, one folding them at their new home),
+    /// but concurrent submitters interleaved with merges can keep
+    /// displacing reports indefinitely — an unbounded loop here is a
+    /// livelock. Residue past the cap simply stays queued for the next
+    /// tick and is visible through the `serve.queue_depth` gauge.
+    const MAX_TICK_SWEEPS: usize = 8;
+
     /// Flushes every shard with pending reports (in parallel, per
     /// [`ServeConfig::threads`]), re-sweeping until merge-displaced
-    /// reports have drained, and publishes one new epoch covering all of
-    /// it. Returns the per-shard outcomes (one entry per flush, so a
-    /// shard can appear twice when a re-sweep was needed); empty when
-    /// nothing was pending. After `tick()` returns, [`queue_depth`]
-    /// is zero unless a concurrent `submit` raced in behind it.
+    /// reports have drained (bounded by [`Self::MAX_TICK_SWEEPS`] passes
+    /// so concurrent submitters cannot livelock the caller), and
+    /// publishes one new epoch covering all of it. Returns the per-shard
+    /// outcomes (one entry per flush, so a shard can appear twice when a
+    /// re-sweep was needed); empty when nothing was pending. After
+    /// `tick()` returns, [`queue_depth`] is zero unless a concurrent
+    /// `submit` raced in behind it or the sweep cap was hit.
     ///
     /// [`queue_depth`]: ServeEngine::queue_depth
     pub fn tick(&self) -> Vec<FlushOutcome> {
@@ -265,12 +277,9 @@ impl ServeEngine {
         let threads = Parallelism::from_threads(self.cfg.threads).resolve();
         let mut outcomes = Vec::new();
         // A flush can surface reports whose domain was merged away since
-        // they were queued; they re-enqueue at their new home shard. Sweep
-        // again until no reports are left in flight, so a tick() always
-        // drains the queue completely (merges are finite, so this
-        // terminates: a report only re-routes when its task moved since
-        // the previous sweep).
-        loop {
+        // they were queued; they re-enqueue at their new home shard and a
+        // further sweep folds them in.
+        for _sweep in 0..Self::MAX_TICK_SWEEPS {
             let results = eta2_par::map_indexed(self.cfg.n_shards, threads, |k| {
                 let mut shard = lock(&self.shards[k]);
                 if shard.pending_len == 0 {
@@ -288,6 +297,10 @@ impl ServeEngine {
             }
             self.enqueue(&rerouted);
         }
+        eta2_obs::gauge(
+            "serve.queue_depth",
+            self.queue_depth.load(Ordering::Relaxed) as f64,
+        );
         if !outcomes.is_empty() {
             self.publish();
         }
@@ -363,6 +376,14 @@ impl ServeEngine {
 
     /// Re-inserts re-routed reports into their (new) owning shards without
     /// triggering further flushes; the next submit or tick folds them in.
+    ///
+    /// Never overwrites: a re-routed report was submitted *before* the
+    /// domain merge that displaced it, while anything already pending at
+    /// its new home shard for the same (user, task) was routed there
+    /// *after* the relabel and is therefore newer. Overwriting here would
+    /// resurrect a stale value over a fresh one — a divergence from the
+    /// sequential last-submitted-wins semantics (reproduced by the
+    /// merge-reroute seeds in the eta2-check corpus).
     fn enqueue(&self, reports: &[Observation]) {
         let tasks = self.tasks_arc();
         let n = self.cfg.n_shards;
@@ -371,10 +392,12 @@ impl ServeEngine {
                 continue;
             };
             let mut shard = lock(&self.shards[shard_of(t.domain, n)]);
-            if shard.pending.insert(o.user, o.task, o.value).is_none() {
-                shard.pending_len += 1;
-                self.queue_depth.fetch_add(1, Ordering::Relaxed);
+            if shard.pending.contains(o.user, o.task) {
+                continue;
             }
+            shard.pending.insert(o.user, o.task, o.value);
+            shard.pending_len += 1;
+            self.queue_depth.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -391,6 +414,33 @@ impl ServeEngine {
         let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
         let snap = Arc::new(EpochSnapshot::assemble(epoch, &self.cfg, tasks, views));
         let (truths, n_tasks) = (snap.truth_count(), snap.tasks().len());
+        if eta2_check::enabled() {
+            // Under the write lock the outgoing snapshot is still in
+            // `slot`, so per-shard flush counters can be compared
+            // epoch-to-epoch: the view-store-under-shard-lock protocol
+            // guarantees they never regress.
+            for (k, (old, new)) in slot
+                .shard_flushes()
+                .iter()
+                .zip(snap.shard_flushes())
+                .enumerate()
+            {
+                eta2_check::invariant!(
+                    "serve.flushes_monotone",
+                    new >= *old,
+                    "shard {k} flush counter regressed {old} -> {new} at epoch {epoch}"
+                );
+            }
+            eta2_check::invariant!(
+                "serve.epoch_monotone",
+                epoch > slot.epoch(),
+                "epoch regressed {} -> {epoch}",
+                slot.epoch()
+            );
+            if let Err(e) = snap.validate() {
+                eta2_check::breach("serve.snapshot_consistent", &e);
+            }
+        }
         *slot = snap;
         drop(slot);
         eta2_obs::counter("serve.epoch_published", 1);
@@ -428,7 +478,10 @@ impl ServeEngine {
     /// accumulators are folded (moving shards if the two domains hash
     /// differently), flushed truths follow their tasks, and a new epoch is
     /// published. Reports for relabeled tasks still pending in the old
-    /// shard are re-routed at that shard's next flush.
+    /// shard move to the kept domain's shard under the same lock hold
+    /// (never overwriting a newer report already routed there); flush-time
+    /// re-routing remains as a backstop for reports that race in behind
+    /// the merge.
     ///
     /// # Panics
     ///
@@ -478,8 +531,8 @@ impl ServeEngine {
             if let Some(column) = from_shard.expertise.take_domain(absorbed) {
                 keep_shard.expertise.merge_in(kept, column);
                 eta2_obs::emit_with(|| eta2_obs::Event::DomainMerged {
-                    kept: kept.0,
-                    absorbed: absorbed.0,
+                    kept: u64::from(kept.0),
+                    absorbed: u64::from(absorbed.0),
                 });
             }
             // Truths follow their (relabeled) tasks to the kept shard.
@@ -493,6 +546,38 @@ impl ServeEngine {
                 if let Some(est) = from_shard.truths.remove(&id) {
                     keep_shard.truths.insert(id, est);
                 }
+            }
+            // Pending reports follow their relabeled tasks too, eagerly
+            // and under the same two guards. Left behind, they would be
+            // folded only after a flush-time re-route — and a newer
+            // report for the same (user, task) submitted to the kept
+            // shard in the meantime would either be clobbered by the
+            // stale straggler or double-folded alongside it, diverging
+            // from the sequential last-submitted-wins semantics. The
+            // destination-wins skip below covers the race where a
+            // concurrent submit (which saw the relabeled table) landed a
+            // newer report before these locks were taken.
+            let old_pending = std::mem::take(&mut from_shard.pending);
+            from_shard.pending_len = 0;
+            let mut dropped = 0usize;
+            for o in old_pending.iter() {
+                let new_home = tasks.get(&o.task).map(|t| shard_of(t.domain, n));
+                if new_home == Some(ka) {
+                    if keep_shard.pending.contains(o.user, o.task) {
+                        dropped += 1;
+                    } else {
+                        keep_shard.pending.insert(o.user, o.task, o.value);
+                        keep_shard.pending_len += 1;
+                    }
+                } else {
+                    // Still owned here (or unknown / owned by a third
+                    // shard after racing merges — flush re-routes those).
+                    from_shard.pending.insert(o.user, o.task, o.value);
+                    from_shard.pending_len += 1;
+                }
+            }
+            if dropped > 0 {
+                self.queue_depth.fetch_sub(dropped, Ordering::Relaxed);
             }
             let view_keep = Arc::new(ShardView {
                 truths: keep_shard.truths.clone(),
@@ -514,7 +599,10 @@ impl ServeEngine {
 
     /// Checkpoints the engine: flushes every pending report (via
     /// [`tick`](Self::tick)), then captures the merged expertise state, the
-    /// task table and all flushed truths.
+    /// task table, all flushed truths, and any reports still pending —
+    /// tick's sweep cap or a racing submit can leave residue, and a
+    /// checkpoint that silently dropped it would make the restored engine
+    /// diverge from the never-checkpointed run.
     pub fn checkpoint(&self) -> EngineCheckpoint {
         self.tick();
         let (map, next) = {
@@ -523,16 +611,19 @@ impl ServeEngine {
         };
         let mut expertise = DynamicExpertise::new(self.cfg.n_users, self.cfg.alpha, self.cfg.mle);
         let mut truths = BTreeMap::new();
+        let mut pending = Vec::new();
         for m in &self.shards {
             let shard = lock(m);
             expertise.absorb_disjoint(shard.expertise.clone());
             truths.extend(shard.truths.iter().map(|(&id, &est)| (id, est)));
+            pending.extend(shard.pending.iter());
         }
         EngineCheckpoint {
             expertise,
             tasks: (*map).clone(),
             truths,
             next_task: next,
+            pending,
         }
     }
 
@@ -596,6 +687,10 @@ impl ServeEngine {
                     .insert(id, est);
             }
         }
+        // Residual pending reports re-enter through the normal routing
+        // path (sharded by the restored task table), so flush-time
+        // behaviour after restore matches the never-checkpointed run.
+        engine.enqueue(&checkpoint.pending);
         for (k, m) in engine.shards.iter().enumerate() {
             let shard = lock(m);
             *lock(&engine.views[k]) = Arc::new(ShardView {
@@ -610,7 +705,8 @@ impl ServeEngine {
 }
 
 /// A serializable checkpoint of a [`ServeEngine`]'s durable state (pending
-/// reports are flushed before capture; epoch counters are not durable).
+/// reports are flushed before capture where possible; epoch counters are
+/// not durable).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EngineCheckpoint {
     /// Merged expertise accumulators across all shards.
@@ -621,6 +717,11 @@ pub struct EngineCheckpoint {
     pub truths: BTreeMap<TaskId, TruthEstimate>,
     /// The next task id to assign.
     pub next_task: u32,
+    /// Reports still pending at capture (tick residue under concurrent
+    /// load or the sweep cap). Defaults to empty so checkpoints written
+    /// before this field existed still deserialize.
+    #[serde(default)]
+    pub pending: Vec<Observation>,
 }
 
 #[cfg(test)]
@@ -804,6 +905,170 @@ mod tests {
     }
 
     #[test]
+    fn merge_pending_stale_report_cannot_clobber_newer() {
+        // Regression (found by the eta2-check differential harness, PR 5):
+        // a report queued before a cross-shard merge used to stay in the
+        // absorbed domain's old shard until flush-time re-routing, where
+        // `enqueue`'s overwriting insert let the stale value clobber (or
+        // double-fold against) a newer report for the same (user, task)
+        // submitted after the merge. Sequential semantics: the later
+        // submit wins and is folded exactly once.
+        let n = 4;
+        let d0 = DomainId(0);
+        let d1 = (1..100)
+            .map(DomainId)
+            .find(|d| shard_of(*d, n) != shard_of(d0, n))
+            .unwrap();
+        let engine = ServeEngine::new(cfg(2, n, 0));
+        let ids = engine
+            .register_tasks(&[TaskSpec::new(d1, 1.0, 1.0)])
+            .unwrap();
+        // Older report queues in d1's shard.
+        engine.submit(&obs(&[(0, ids[0], 5.0)]));
+        engine.merge_domains(d0, d1);
+        // Newer report for the same (user, task) routes to d0's shard.
+        engine.submit(&obs(&[(0, ids[0], 9.0)]));
+        assert_eq!(
+            engine.queue_depth(),
+            1,
+            "merge moved the old report; newer replaced it"
+        );
+        engine.tick();
+        let est = engine.truth(ids[0]).expect("flushed");
+        assert!(
+            (est.mu - 9.0).abs() < 1e-9,
+            "stale pre-merge report resurfaced: mu {} (want 9.0)",
+            est.mu
+        );
+        // Mirror the sequential oracle exactly: one shard, same ops.
+        let seq = ServeEngine::new(cfg(2, 1, 0));
+        let sids = seq.register_tasks(&[TaskSpec::new(d1, 1.0, 1.0)]).unwrap();
+        seq.submit(&obs(&[(0, sids[0], 5.0)]));
+        seq.merge_domains(d0, d1);
+        seq.submit(&obs(&[(0, sids[0], 9.0)]));
+        seq.tick();
+        assert_eq!(engine.truth(ids[0]), seq.truth(sids[0]));
+        assert_eq!(
+            engine.snapshot().expertise_matrix(),
+            seq.snapshot().expertise_matrix(),
+            "expertise accumulators double-counted the stale report"
+        );
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_pending_reports() {
+        // A checkpoint taken while reports are still queued (tick residue
+        // under the sweep cap or a racing submit) must carry the queue:
+        // restore re-enqueues through the normal routing path so the next
+        // flush matches the never-checkpointed run — including after the
+        // pending reports' domain was absorbed by a merge.
+        let n = 4;
+        let d0 = DomainId(0);
+        let d1 = (1..100)
+            .map(DomainId)
+            .find(|d| shard_of(*d, n) != shard_of(d0, n))
+            .unwrap();
+        let engine = ServeEngine::new(cfg(2, n, 0));
+        let ids = engine
+            .register_tasks(&[TaskSpec::new(d1, 1.0, 1.0)])
+            .unwrap();
+        engine.submit(&obs(&[(0, ids[0], 7.0), (1, ids[0], 8.0)]));
+        // Capture durable state, then simulate queued-at-capture reports
+        // by building the checkpoint an interrupted engine would write.
+        let mut checkpoint = engine.checkpoint();
+        assert!(checkpoint.pending.is_empty(), "quiescent tick drains all");
+        checkpoint.truths.clear();
+        checkpoint.expertise = DynamicExpertise::new(2, engine.cfg.alpha, engine.cfg.mle);
+        checkpoint.pending = vec![
+            Observation {
+                user: UserId(0),
+                task: ids[0],
+                value: 7.0,
+            },
+            Observation {
+                user: UserId(1),
+                task: ids[0],
+                value: 8.0,
+            },
+        ];
+        let json = serde_json::to_string(&checkpoint).unwrap();
+        let parsed: EngineCheckpoint = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed.pending, checkpoint.pending, "pending serialized");
+
+        // Restore into a different shard count; the queue must survive
+        // and fold identically to the uninterrupted engine.
+        let restored = ServeEngine::restore(cfg(2, 2, 0), parsed);
+        assert_eq!(restored.queue_depth(), 2, "pending re-enqueued");
+        restored.merge_domains(d0, d1);
+        restored.tick();
+        let seq = ServeEngine::new(cfg(2, 1, 0));
+        let sids = seq.register_tasks(&[TaskSpec::new(d1, 1.0, 1.0)]).unwrap();
+        seq.submit(&obs(&[(0, sids[0], 7.0), (1, sids[0], 8.0)]));
+        seq.merge_domains(d0, d1);
+        seq.tick();
+        assert_eq!(restored.truth(ids[0]), seq.truth(sids[0]));
+    }
+
+    #[test]
+    fn old_format_checkpoint_without_pending_still_restores() {
+        let engine = ServeEngine::new(cfg(2, 2, 0));
+        let ids = engine
+            .register_tasks(&[TaskSpec::new(DomainId(3), 1.0, 1.0)])
+            .unwrap();
+        engine.submit(&obs(&[(0, ids[0], 4.0), (1, ids[0], 4.4)]));
+        let checkpoint = engine.checkpoint();
+        let mut json: serde_json::Value = serde_json::to_value(&checkpoint).unwrap();
+        // PR-4 checkpoints have no `pending` field.
+        json.as_object_mut().unwrap().remove("pending");
+        let parsed: EngineCheckpoint = serde_json::from_value(json).unwrap();
+        assert!(parsed.pending.is_empty());
+        let restored = ServeEngine::restore(cfg(2, 2, 0), parsed);
+        assert_eq!(restored.truth(ids[0]), engine.truth(ids[0]));
+    }
+
+    #[test]
+    fn tick_is_bounded_under_concurrent_submitters() {
+        // Livelock regression: tick()'s re-sweep loop used to run until no
+        // reports were in flight, which concurrent submitters could extend
+        // forever. Now it is capped at MAX_TICK_SWEEPS passes; residue
+        // stays queued for the next tick.
+        let engine = ServeEngine::new(cfg(3, 4, 0));
+        let d = DomainId(11);
+        let ids = engine
+            .register_tasks(&[TaskSpec::new(d, 1.0, 1.0), TaskSpec::new(d, 2.0, 1.0)])
+            .unwrap();
+        std::thread::scope(|s| {
+            let eng = &engine;
+            for worker in 0..2u32 {
+                let ids = ids.clone();
+                s.spawn(move || {
+                    for i in 0..200 {
+                        let v = (i % 10) as f64 + worker as f64;
+                        eng.submit(&obs(&[
+                            (worker, ids[0], v),
+                            ((worker + 1) % 3, ids[1], v + 0.5),
+                        ]));
+                    }
+                });
+            }
+            for _ in 0..20 {
+                let outcomes = eng.tick();
+                assert!(
+                    outcomes.len() <= ServeEngine::MAX_TICK_SWEEPS * eng.cfg.n_shards,
+                    "tick exceeded its sweep bound: {} flushes",
+                    outcomes.len()
+                );
+            }
+        });
+        // Drain whatever the racing submits left behind and check reads.
+        engine.tick();
+        assert_eq!(engine.queue_depth(), 0);
+        let snap = engine.snapshot();
+        snap.validate().unwrap();
+        assert!(snap.truth(ids[0]).is_some());
+    }
+
+    #[test]
     fn register_errors_on_task_id_exhaustion() {
         let c = cfg(1, 2, 0);
         let engine = ServeEngine::restore(
@@ -813,6 +1078,7 @@ mod tests {
                 tasks: BTreeMap::new(),
                 truths: BTreeMap::new(),
                 next_task: u32::MAX - 1,
+                pending: Vec::new(),
             },
         );
         let err = engine
@@ -850,6 +1116,7 @@ mod tests {
                 tasks,
                 truths: BTreeMap::new(),
                 next_task: 3,
+                pending: Vec::new(),
             },
         );
     }

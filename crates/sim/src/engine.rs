@@ -436,6 +436,20 @@ impl Simulation {
                 error: *metrics.daily_error.last().expect("just pushed"),
                 cumulative_cost: metrics.total_cost,
             });
+            if eta2_check::enabled() {
+                let last = *metrics.daily_error.last().expect("just pushed");
+                eta2_check::invariant!(
+                    "sim.daily_error_valid",
+                    estimated == 0 || (last.is_finite() && last >= 0.0),
+                    "day {day}: error {last} over {estimated} estimated tasks"
+                );
+                eta2_check::invariant!(
+                    "sim.cost_valid",
+                    metrics.total_cost.is_finite() && metrics.total_cost >= 0.0,
+                    "day {day}: cumulative cost {}",
+                    metrics.total_cost
+                );
+            }
         }
 
         // Tasks still waiting for a retry when the horizon ends never got

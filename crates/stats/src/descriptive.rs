@@ -54,6 +54,8 @@ pub fn population_std(data: &[f64]) -> Option<f64> {
 ///
 /// * [`StatsError::InsufficientData`] for an empty slice.
 /// * [`StatsError::ProbabilityOutOfRange`] unless `0 ≤ q ≤ 1`.
+/// * [`StatsError::NonFiniteInput`] if any value is NaN/∞ (the
+///   interpolation between order statistics is meaningless there).
 ///
 /// # Examples
 ///
@@ -74,8 +76,11 @@ pub fn quantile(data: &[f64], q: f64) -> Result<f64, StatsError> {
     if !(0.0..=1.0).contains(&q) {
         return Err(StatsError::ProbabilityOutOfRange(q));
     }
+    if data.iter().any(|v| !v.is_finite()) {
+        return Err(StatsError::NonFiniteInput);
+    }
     let mut sorted: Vec<f64> = data.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    sorted.sort_by(f64::total_cmp);
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
@@ -263,10 +268,12 @@ impl Histogram {
 /// Empirical CDF evaluated at the sorted sample points — the series the
 /// paper's Fig. 12 plots for MLE iteration counts.
 ///
-/// Returns `(value, fraction ≤ value)` pairs sorted by value.
+/// Returns `(value, fraction ≤ value)` pairs sorted by value. Values are
+/// ordered by IEEE 754 total order, so NaNs (if any) sort after every
+/// number instead of panicking the sort.
 pub fn empirical_cdf(data: &[f64]) -> Vec<(f64, f64)> {
     let mut sorted: Vec<f64> = data.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in empirical_cdf input"));
+    sorted.sort_by(f64::total_cmp);
     let n = sorted.len() as f64;
     sorted
         .iter()
@@ -310,6 +317,28 @@ mod tests {
         assert!(quantile(&[], 0.5).is_err());
         assert!(quantile(&[1.0], 1.5).is_err());
         assert!(quantile(&[1.0], -0.1).is_err());
+    }
+
+    #[test]
+    fn quantile_rejects_non_finite_instead_of_panicking() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(matches!(
+                quantile(&[1.0, bad, 3.0], 0.5),
+                Err(StatsError::NonFiniteInput)
+            ));
+        }
+    }
+
+    #[test]
+    fn empirical_cdf_tolerates_nan() {
+        // NaN must not panic the sort; by total order it lands last with
+        // the final cumulative fraction.
+        let cdf = empirical_cdf(&[2.0, f64::NAN, 1.0]);
+        assert_eq!(cdf.len(), 3);
+        assert_eq!(cdf[0].0, 1.0);
+        assert_eq!(cdf[1].0, 2.0);
+        assert!(cdf[2].0.is_nan());
+        assert_eq!(cdf[2].1, 1.0);
     }
 
     #[test]

@@ -1,0 +1,42 @@
+//! Replays the committed seed corpus (`corpus/seeds.txt`) through the
+//! differential runner with invariants enabled. CI runs this target as the
+//! check-corpus job; a failure here means an oracle pair diverged or a
+//! runtime invariant was breached on a scenario that previously passed.
+
+use eta2::check;
+
+#[test]
+fn corpus_replays_clean() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../corpus/seeds.txt");
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read seed corpus at {path}: {e}"));
+    let corpus = check::gate::corpus::parse(&text).expect("well-formed corpus");
+    assert!(
+        corpus.duplicates.is_empty(),
+        "corpus contains duplicate seeds: {:?}",
+        corpus.duplicates
+    );
+    assert!(!corpus.seeds.is_empty(), "corpus is empty");
+
+    // Count mode rather than panic mode: a breach is reported through
+    // `RunOutcome::new_breaches` with the seed attached, instead of
+    // aborting the whole replay at the first hit.
+    check::gate::set_mode(check::gate::Mode::Count);
+    let mut failures = Vec::new();
+    for outcome in check::run_seeds(&corpus.seeds) {
+        if !outcome.passed() {
+            failures.push(format!(
+                "seed {:#x}: divergence {:?}, {} invariant breach(es)",
+                outcome.seed,
+                outcome.divergence.as_ref().map(|d| d.to_string()),
+                outcome.new_breaches
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} corpus seed(s) failed:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
