@@ -10,6 +10,9 @@
 //! * **Skip-gram** — sequential training vs the opt-in Hogwild trainer.
 //! * **Allocation** — the exhaustive-rescan greedy (`allocate_scan`) vs the
 //!   lazy-heap greedy, plus the min-cost allocator end to end.
+//! * **Observability** — serving-engine ingest throughput with obs fully
+//!   disabled vs metrics-only vs full causal tracing; the recorded
+//!   overhead fractions back CI's <= 10 % full-tracing gate.
 //!
 //! Each comparison also re-checks the parity contracts (parallel MLE and
 //! heap allocation bit-identical; Hogwild vectors finite) so the numbers
@@ -296,6 +299,136 @@ fn bench_allocation(opts: &Options) -> Value {
     })
 }
 
+/// A fixed serving-engine ingest workload, timed under three
+/// observability postures: everything off, metrics-only (counters /
+/// gauges / per-shard flush histograms), and full tracing (metrics plus
+/// causal trace events into a JSONL file sink). The acceptance target —
+/// full tracing costs at most 10 % of ingest throughput — is asserted by
+/// CI's perf-smoke gate over the fractions recorded here.
+fn bench_observability(opts: &Options) -> Value {
+    use eta2_serve::{ServeConfig, ServeEngine, TaskSpec};
+
+    let rounds: u64 = if opts.quick { 500 } else { 2_000 };
+    // One root trace span covers one submitted batch; 32 reports/submit is
+    // the batched-ingest posture the serving API is designed around, and
+    // the granularity the overhead target is defined against.
+    let reports_per_submit = 32u64;
+    let (n_tasks, n_domains) = (128u32, 16u32);
+    // The runs are milliseconds each; a deeper best-of keeps the overhead
+    // fractions (and CI's 10 % gate on them) out of scheduler noise.
+    let repeat = opts.repeat.max(5);
+
+    // splitmix64 finalizer, as in serve-bench: deterministic workload.
+    fn mix(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    let run_ingest = || {
+        let mut cfg = ServeConfig::default();
+        cfg.n_users = 64;
+        cfg.n_shards = 4;
+        cfg.batch_capacity = 128;
+        cfg.threads = 1;
+        let engine = ServeEngine::new(cfg);
+        let ids = engine
+            .register_tasks(
+                &(0..n_tasks)
+                    .map(|j| TaskSpec::new(DomainId(j % n_domains), 1.0, 1.0))
+                    .collect::<Vec<_>>(),
+            )
+            .expect("register tasks");
+        let mut accepted = 0usize;
+        for r in 0..rounds {
+            let mut obs = ObservationSet::new();
+            for k in 0..reports_per_submit {
+                let h = mix(r ^ mix(k));
+                let task = ids[(h % ids.len() as u64) as usize];
+                let user = UserId((mix(h) % 64) as u32);
+                obs.insert(user, task, 10.0 + (h % 100) as f64 * 0.01);
+            }
+            accepted += engine.submit(&obs).accepted;
+        }
+        engine.tick();
+        accepted
+    };
+
+    let trace_path =
+        std::env::temp_dir().join(format!("eta2-perf-trace-{}.jsonl", std::process::id()));
+    eta2_obs::trace::seed_ids(42);
+
+    // Untimed warm-up, then the three postures interleaved inside each
+    // repeat with best-of taken per posture: machine load drifts on the
+    // scale of whole posture blocks (especially on shared CI runners), so
+    // measuring the postures in separate blocks would charge whichever one
+    // ran during a spike. Interleaving exposes all three to the same
+    // noise, which is what makes the overhead *fractions* gateable.
+    eta2_obs::set_metrics(false);
+    let mut accepted = run_ingest();
+    let timed = |accepted: &mut usize| {
+        let t0 = Instant::now();
+        *accepted = run_ingest();
+        t0.elapsed().as_secs_f64()
+    };
+    let mut best = [f64::INFINITY; 3];
+    let mut sum = [0.0f64; 3];
+    for _ in 0..repeat {
+        eta2_obs::set_metrics(false);
+        let s = timed(&mut accepted);
+        best[0] = best[0].min(s);
+        sum[0] += s;
+        eta2_obs::set_metrics(true);
+        let s = timed(&mut accepted);
+        best[1] = best[1].min(s);
+        sum[1] += s;
+        eta2_obs::init_file(&trace_path).expect("open trace file");
+        let s = timed(&mut accepted);
+        best[2] = best[2].min(s);
+        sum[2] += s;
+        eta2_obs::disable();
+    }
+    let _ = std::fs::remove_file(&trace_path);
+    eta2_obs::set_metrics(true); // main()'s posture for span attachment
+    let posture = |i: usize| {
+        json!({
+            "secs_best": best[i],
+            "secs_mean": sum[i] / repeat as f64,
+            "runs": repeat,
+        })
+    };
+    let (t_off, t_metrics, t_tracing) = (posture(0), posture(1), posture(2));
+
+    let base = t_off["secs_best"].as_f64().unwrap();
+    let overhead = |t: &Value| (t["secs_best"].as_f64().unwrap() - base) / base;
+    let throughput = |t: &Value| accepted as f64 / t["secs_best"].as_f64().unwrap();
+    let (o_metrics, o_tracing) = (overhead(&t_metrics), overhead(&t_tracing));
+    eprintln!(
+        "observability {accepted} reports: off {:.3}s, metrics {:.3}s ({:+.1}%), tracing {:.3}s ({:+.1}%)",
+        base,
+        t_metrics["secs_best"].as_f64().unwrap(),
+        o_metrics * 100.0,
+        t_tracing["secs_best"].as_f64().unwrap(),
+        o_tracing * 100.0,
+    );
+    json!({
+        "rounds": rounds,
+        "reports_per_submit": reports_per_submit,
+        "reports_accepted": accepted,
+        "n_tasks": n_tasks,
+        "n_domains": n_domains,
+        "disabled": t_off,
+        "metrics_only": t_metrics,
+        "full_tracing": t_tracing,
+        "ingest_per_sec_disabled": throughput(&t_off),
+        "ingest_per_sec_metrics": throughput(&t_metrics),
+        "ingest_per_sec_tracing": throughput(&t_tracing),
+        "overhead_metrics_frac": o_metrics,
+        "overhead_tracing_frac": o_tracing,
+    })
+}
+
 fn main() {
     let opts = parse_options();
     // Span timing on: the hot paths record `mle.solve` / `alloc.greedy` /
@@ -311,6 +444,7 @@ fn main() {
     let mle = bench_mle(&opts, threads);
     let skipgram = bench_skipgram(&opts, threads);
     let allocation = bench_allocation(&opts);
+    let observability = bench_observability(&opts);
 
     let mut out = json!({
         "meta": {
@@ -324,6 +458,7 @@ fn main() {
         "mle": mle,
         "skipgram": skipgram,
         "allocation": allocation,
+        "observability": observability,
     });
     eta2_bench::harness::attach_span_timing(
         &mut out,

@@ -157,6 +157,13 @@ pub fn breach(name: &'static str, detail: &str) {
             });
         }
     }
+    // A breach is exactly the moment the flight recorder exists for: dump
+    // the recent-event ring before (possibly) panicking, so the events
+    // leading up to the violation survive as a replayable post-mortem.
+    // No-op unless `ETA2_FLIGHT_DIR` (or `flight::configure`) enabled it.
+    if let Some(path) = eta2_obs::flight::dump(&format!("invariant_breach: {name}")) {
+        eprintln!("eta2-check: flight recorder dumped to {}", path.display());
+    }
     if mode_raw() == MODE_PANIC {
         panic!("eta2-check invariant breach: {name}: {detail}");
     }

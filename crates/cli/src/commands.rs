@@ -27,6 +27,9 @@ USAGE:
                     [--reports N] [--tasks N] [--domains N] [--users N]
                     [--threads N] [--seed N]
                     [--fault-dropout F] [--fault-corrupt F]
+                    [--metrics-out FILE] [--metrics-json FILE]
+  eta2-cli top      (--replay FILE.jsonl [--follow] [--metrics FILE]
+                     | --demo) [--interval MS] [--refreshes N]
   eta2-cli check    [--seeds N | --seed S | --corpus FILE] [--strict]
   eta2-cli help
 
@@ -52,7 +55,19 @@ serve-bench: stresses the concurrent serving engine — N producer threads
   immutable epoch snapshots and never block on an in-flight flush.
   --fault-dropout / --fault-corrupt inject faults at the same rates as
   simulate (corrupted values may go non-finite and exercise the engine's
-  quarantine path).
+  quarantine path). --metrics-out FILE writes the final metrics registry
+  in Prometheus text exposition format; --metrics-json FILE writes the
+  versioned JSON snapshot (feed it to `top --replay ... --metrics FILE`).
+  Trace span ids derive from --seed, so two runs with the same seed and
+  workload produce comparable causal traces.
+
+top: a plain-text dashboard over the observability plane — ingest rate,
+  queue depth, flush-latency percentiles, epoch age, quarantine counts
+  and per-domain MLE convergence. --replay FILE.jsonl aggregates a
+  --trace capture (add --follow to tail a growing file, --metrics FILE
+  to merge a serve-bench --metrics-json snapshot); --demo drives an
+  in-process engine and samples the live registry. Refreshes redraw in
+  place on a terminal and print sequential frames when piped.
 
 check: replays seeded differential-correctness scenarios — every op runs
   through the sharded-engine/sequential-twin, MLE/reference and
@@ -68,6 +83,9 @@ Observability (any command):
                  (or set ETA2_TRACE=FILE)
   --verbose      per-step progress detail
   --quiet        suppress all stdout chatter
+  ETA2_FLIGHT_DIR=DIR  arm the flight recorder: a ring of recent events
+                 (ETA2_FLIGHT_CAP, default 1024) is dumped to DIR as
+                 flight-<pid>-<n>.jsonl on invariant breach or panic
 
 Correctness (any command): set ETA2_CHECK=1 (count) or ETA2_CHECK=panic
   to enable the eta2-check runtime invariant registry alongside any run,
@@ -324,6 +342,16 @@ pub fn serve_bench(args: &Args) -> Result<(), String> {
         return Err("--users must be at least 1".into());
     }
 
+    // Metrics exposition needs the registry recording even when no
+    // --trace sink enabled it; trace span ids derive from the workload
+    // seed so replayed runs produce comparable causal traces.
+    let metrics_out = args.get("metrics-out").map(String::from);
+    let metrics_json = args.get("metrics-json").map(String::from);
+    if metrics_out.is_some() || metrics_json.is_some() {
+        eta2_obs::set_metrics(true);
+    }
+    eta2_obs::trace::seed_ids(seed);
+
     let engine = ServeEngine::new(cfg);
     let specs: Vec<TaskSpec> = (0..n_tasks)
         .map(|j| TaskSpec::new(DomainId(j % n_domains), 1.0, 1.0))
@@ -463,6 +491,16 @@ pub fn serve_bench(args: &Args) -> Result<(), String> {
         read_us,
         flush_ms
     );
+    if let Some(path) = &metrics_out {
+        std::fs::write(path, eta2_obs::expose_prometheus())
+            .map_err(|e| format!("cannot write metrics {path}: {e}"))?;
+        eta2_obs::progress!("  wrote Prometheus metrics to {path}");
+    }
+    if let Some(path) = &metrics_json {
+        std::fs::write(path, eta2_obs::expose_json())
+            .map_err(|e| format!("cannot write metrics {path}: {e}"))?;
+        eta2_obs::progress!("  wrote JSON metrics snapshot to {path}");
+    }
     Ok(())
 }
 

@@ -7,11 +7,13 @@
 //! eta2-cli domains  --dataset survey
 //! eta2-cli bench fig5
 //! eta2-cli serve-bench --producers 4 --shards 8
+//! eta2-cli top --replay run.jsonl
 //! eta2-cli check --seeds 256
 //! ```
 
 mod args;
 mod commands;
+mod top;
 
 use args::Args;
 use std::path::PathBuf;
@@ -19,6 +21,14 @@ use std::path::PathBuf;
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let parsed = Args::parse(raw);
+
+    // Flight recorder: armed by ETA2_FLIGHT_DIR before any subcommand
+    // work, so the last moments before an invariant breach or panic are
+    // captured even on runs with no --trace sink.
+    eta2_obs::flight::init_from_env();
+    if eta2_obs::flight::enabled() {
+        eta2_obs::flight::install_panic_hook();
+    }
 
     // Observability flags apply to every subcommand and must be in place
     // before any work starts.
@@ -48,6 +58,7 @@ fn main() {
         Some("domains") => commands::domains(&parsed),
         Some("bench") => commands::bench(&parsed),
         Some("serve-bench") => commands::serve_bench(&parsed),
+        Some("top") => top::run(&parsed),
         Some("check") => commands::check(&parsed),
         Some("help") | None => {
             print!("{}", commands::USAGE);

@@ -1,0 +1,458 @@
+//! `top` — a live plain-text dashboard over the serving engine's
+//! observability plane.
+//!
+//! Two attachment modes:
+//!
+//! * **Replay** (`--replay FILE.jsonl`): aggregates a structured trace
+//!   written by any command's `--trace` flag (or `ETA2_TRACE`). With
+//!   `--follow` the file is tailed and the table refreshes as new events
+//!   land; without it one final frame is printed. Flush-latency
+//!   percentiles live in the metrics registry rather than the event
+//!   stream, so pass the companion snapshot written by
+//!   `serve-bench --metrics-json FILE` via `--metrics FILE` to fill that
+//!   row in.
+//! * **Demo** (`--demo`): starts an in-process serving engine under a
+//!   synthetic ingest load and samples the global metrics registry live —
+//!   the attach-to-in-process path, exercised without needing a second
+//!   process.
+//!
+//! Rendering is plain text. When stdout is a terminal each refresh
+//! redraws in place (ANSI home + clear); when piped, frames are printed
+//! sequentially so the output stays greppable in CI logs.
+
+use crate::args::Args;
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io::{BufRead, IsTerminal, Seek};
+
+/// Per-shard flush aggregates reconstructed from `serve_batch_flush`.
+#[derive(Debug, Default, Clone, Copy)]
+struct ShardAgg {
+    flushes: u64,
+    reports: u64,
+    iter_sum: u64,
+    iter_max: u64,
+    unconverged: u64,
+}
+
+/// Everything one dashboard frame needs, folded incrementally from a
+/// JSONL event stream (replay mode) or a registry snapshot (demo mode).
+#[derive(Debug, Default)]
+struct TopState {
+    events: u64,
+    accepted: u64,
+    quarantined: u64,
+    unknown: u64,
+    traces: u64,
+    epoch: u64,
+    truths: u64,
+    tasks: u64,
+    queue_depth: u64,
+    breaches: u64,
+    first_ts_ms: Option<u64>,
+    last_ts_ms: u64,
+    publish_ts_ms: Option<u64>,
+    shards: BTreeMap<u64, ShardAgg>,
+    /// `(quantile-label, value)` rows for the flush-latency line, sourced
+    /// from a metrics snapshot (`--metrics` file or the live registry).
+    flush_quantiles: Vec<(String, f64)>,
+    /// Per-domain MLE iteration aggregates `(count, mean, max)` from the
+    /// `mle.domain_iterations|domain=D` histogram series.
+    domain_iters: BTreeMap<u64, (u64, f64, f64)>,
+}
+
+impl TopState {
+    /// Folds one JSONL event line into the aggregates. Unknown event
+    /// types and malformed lines are skipped — a dashboard must not die
+    /// because the stream it watches has events it predates.
+    fn apply_line(&mut self, line: &str) {
+        let Ok(v) = serde_json::from_str::<Value>(line) else {
+            return;
+        };
+        let u = |key: &str| v.get(key).and_then(Value::as_u64).unwrap_or(0);
+        self.events += 1;
+        let ts = u("ts_ms");
+        if ts > 0 {
+            self.first_ts_ms.get_or_insert(ts);
+            self.last_ts_ms = self.last_ts_ms.max(ts);
+        }
+        match v.get("type").and_then(Value::as_str) {
+            Some("trace_ingest") => {
+                self.traces += 1;
+                self.accepted += u("accepted");
+                self.quarantined += u("quarantined");
+                self.unknown += u("unknown");
+            }
+            Some("serve_batch_flush") => {
+                let s = self.shards.entry(u("shard")).or_default();
+                s.flushes += 1;
+                s.reports += u("reports");
+                let it = u("iterations");
+                s.iter_sum += it;
+                s.iter_max = s.iter_max.max(it);
+                if v.get("converged").and_then(Value::as_bool) == Some(false) {
+                    s.unconverged += 1;
+                }
+            }
+            Some("serve_epoch_published") => {
+                self.epoch = self.epoch.max(u("epoch"));
+                self.truths = u("truths");
+                self.tasks = u("tasks");
+                self.queue_depth = u("queue_depth");
+                if ts > 0 {
+                    self.publish_ts_ms = Some(ts);
+                }
+            }
+            Some("invariant_breach") => self.breaches += 1,
+            _ => {}
+        }
+    }
+
+    /// Merges histogram-derived rows (flush latency quantiles, per-domain
+    /// iterations) from a metrics snapshot in [`Snapshot::to_json`] form,
+    /// accepting both the bare object and the versioned
+    /// `eta2_obs::expose_json` envelope.
+    ///
+    /// [`Snapshot::to_json`]: eta2_obs::Snapshot::to_json
+    fn apply_metrics(&mut self, snapshot: &Value) {
+        let root = snapshot.get("metrics").unwrap_or(snapshot);
+        let Some(hists) = root.get("histograms").and_then(Value::as_object) else {
+            return;
+        };
+        let mut flush = Vec::new();
+        for (name, h) in hists {
+            let f = |key: &str| h.get(key).and_then(Value::as_f64).unwrap_or(f64::NAN);
+            let (base, labels) = eta2_obs::expose::split_name(name);
+            if base == "serve.flush" && flush.is_empty() {
+                // Engine-wide series; per-shard rows below override it.
+                flush = vec![
+                    ("p50".to_string(), f("p50")),
+                    ("p95".to_string(), f("p95")),
+                    ("p99".to_string(), f("p99")),
+                ];
+            }
+            if base == "mle.domain_iterations" {
+                if let Some(d) = labels
+                    .iter()
+                    .find(|(k, _)| *k == "domain")
+                    .and_then(|(_, val)| val.parse::<u64>().ok())
+                {
+                    let count = h.get("count").and_then(Value::as_u64).unwrap_or(0);
+                    self.domain_iters.insert(d, (count, f("mean"), f("max")));
+                }
+            }
+        }
+        self.flush_quantiles = flush;
+        if let Some(gauges) = root.get("gauges").and_then(Value::as_object) {
+            let g = |key: &str| gauges.get(key).and_then(Value::as_f64);
+            if let Some(q) = g("serve.queue_depth") {
+                self.queue_depth = q.max(0.0) as u64;
+            }
+            if let Some(e) = g("serve.epoch") {
+                self.epoch = self.epoch.max(e.max(0.0) as u64);
+            }
+        }
+    }
+
+    /// Renders one dashboard frame.
+    fn render(&self, source: &str) -> String {
+        let mut out = String::new();
+        let span_s = match (self.first_ts_ms, self.last_ts_ms) {
+            (Some(a), b) if b > a => (b - a) as f64 / 1_000.0,
+            _ => 0.0,
+        };
+        let rate = if span_s > 0.0 {
+            self.accepted as f64 / span_s
+        } else {
+            0.0
+        };
+        let epoch_age = self
+            .publish_ts_ms
+            .map(|p| (self.last_ts_ms.saturating_sub(p)) as f64 / 1_000.0);
+        let _ = writeln!(out, "eta2 top — {source} ({} events)", self.events);
+        let _ = writeln!(
+            out,
+            "  ingest  accepted {:>8}  rate {:>9.1}/s  quarantined {:>5}  unknown {:>5}  traces {:>6}",
+            self.accepted, rate, self.quarantined, self.unknown, self.traces
+        );
+        let _ = writeln!(
+            out,
+            "  engine  epoch {:>6}  age {:>6}  queue {:>6}  truths {:>6}  tasks {:>6}  breaches {:>3}",
+            self.epoch,
+            epoch_age.map_or_else(|| "n/a".to_string(), |a| format!("{a:.1}s")),
+            self.queue_depth,
+            self.truths,
+            self.tasks,
+            self.breaches
+        );
+        if self.flush_quantiles.is_empty() {
+            let _ = writeln!(
+                out,
+                "  flush   latency: n/a (attach a metrics snapshot via --metrics or run --demo)"
+            );
+        } else {
+            let mut row = String::from("  flush   latency");
+            for (q, val) in &self.flush_quantiles {
+                let _ = write!(row, "  {q} {}", fmt_seconds(*val));
+            }
+            let _ = writeln!(out, "{row}");
+        }
+        if !self.shards.is_empty() {
+            let _ = writeln!(
+                out,
+                "  shard   flushes   reports   iter avg/max   unconverged"
+            );
+            for (k, s) in &self.shards {
+                let avg = if s.flushes > 0 {
+                    s.iter_sum as f64 / s.flushes as f64
+                } else {
+                    0.0
+                };
+                let _ = writeln!(
+                    out,
+                    "  {k:>5}   {:>7}   {:>7}   {avg:>6.1} / {:<3}   {:>11}",
+                    s.flushes, s.reports, s.iter_max, s.unconverged
+                );
+            }
+        }
+        if !self.domain_iters.is_empty() {
+            let _ = writeln!(out, "  domain  solves    iter mean/max");
+            for (d, (count, mean, max)) in &self.domain_iters {
+                let _ = writeln!(out, "  {d:>5}   {count:>7}   {mean:>6.1} / {max:<6.1}");
+            }
+        }
+        out
+    }
+}
+
+/// Sub-second latencies dominate here; print with enough precision that a
+/// microsecond-scale p50 is not rendered as a wall of zeros.
+fn fmt_seconds(v: f64) -> String {
+    if !v.is_finite() {
+        "n/a".to_string()
+    } else if v < 0.001 {
+        format!("{:.1}us", v * 1e6)
+    } else if v < 1.0 {
+        format!("{:.2}ms", v * 1e3)
+    } else {
+        format!("{v:.2}s")
+    }
+}
+
+/// Prints one frame, redrawing in place when stdout is a terminal.
+fn draw(frame: &str) {
+    if std::io::stdout().is_terminal() {
+        // Home + clear-to-end keeps the frame flicker-free without
+        // pulling in a terminal library.
+        print!("\x1b[H\x1b[2J{frame}");
+    } else {
+        print!("{frame}");
+    }
+}
+
+/// Loads an optional `--metrics` snapshot file into the state.
+fn load_metrics(state: &mut TopState, path: &str) -> Result<(), String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read metrics {path}: {e}"))?;
+    let v: Value =
+        serde_json::from_str(&text).map_err(|e| format!("metrics {path} is not JSON: {e}"))?;
+    state.apply_metrics(&v);
+    Ok(())
+}
+
+/// Replay mode: fold a JSONL trace into the dashboard, optionally
+/// following the file as it grows.
+fn run_replay(args: &Args, path: &str) -> Result<(), String> {
+    let follow = args.has("follow");
+    let interval = args.get_parsed("interval", 500u64)?;
+    let refreshes = args.get_parsed("refreshes", u64::MAX)?;
+    let mut state = TopState::default();
+    let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let mut reader = std::io::BufReader::new(file);
+    let mut line = String::new();
+    let mut frames = 0u64;
+    loop {
+        loop {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) => break,
+                Ok(_) => state.apply_line(line.trim_end()),
+                Err(e) => return Err(format!("read error on {path}: {e}")),
+            }
+        }
+        if let Some(m) = args.get("metrics") {
+            load_metrics(&mut state, m)?;
+        }
+        draw(&state.render(&format!("replay {path}")));
+        frames += 1;
+        if !follow || frames >= refreshes {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval.max(50)));
+        // A truncated-and-rewritten file would leave the cursor past EOF;
+        // rewind-to-start is the simple, correct answer for a dashboard.
+        let pos = reader
+            .stream_position()
+            .map_err(|e| format!("seek error on {path}: {e}"))?;
+        let len = std::fs::metadata(path).map(|m| m.len()).unwrap_or(pos);
+        if len < pos {
+            reader
+                .seek(std::io::SeekFrom::Start(0))
+                .map_err(|e| format!("seek error on {path}: {e}"))?;
+            state = TopState::default();
+        }
+    }
+}
+
+/// Demo mode: drive an in-process engine and sample the live registry.
+fn run_demo(args: &Args) -> Result<(), String> {
+    use eta2_core::model::{DomainId, ObservationSet, UserId};
+    use eta2_serve::{ServeConfig, ServeEngine, TaskSpec};
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let refreshes = args.get_parsed("refreshes", 10u64)?;
+    let interval = args.get_parsed("interval", 500u64)?;
+    let seed = args.get_parsed("seed", 0u64)?;
+    eta2_obs::set_metrics(true);
+    eta2_obs::trace::seed_ids(seed);
+
+    let mut cfg = ServeConfig::default();
+    cfg.n_users = 32;
+    cfg.n_shards = 4;
+    cfg.batch_capacity = 64;
+    cfg.threads = 1;
+    let engine = ServeEngine::new(cfg);
+    let ids = engine
+        .register_tasks(
+            &(0..64u32)
+                .map(|j| TaskSpec::new(DomainId(j % 8), 1.0, 1.0))
+                .collect::<Vec<_>>(),
+        )
+        .map_err(|e| e.to_string())?;
+
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| -> Result<(), String> {
+        let producer = s.spawn(|| {
+            let mut r = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                let mut obs = ObservationSet::new();
+                for k in 0..8u64 {
+                    let h = r
+                        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                        .wrapping_add(k)
+                        .wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                    let task = ids[(h % ids.len() as u64) as usize];
+                    let user = UserId((h >> 32) as u32 % 32);
+                    obs.insert(user, task, 10.0 + (h % 97) as f64 * 0.1);
+                }
+                engine.submit(&obs);
+                r += 1;
+                if r % 16 == 0 {
+                    std::thread::yield_now();
+                }
+            }
+            engine.tick();
+        });
+        for _ in 0..refreshes {
+            std::thread::sleep(std::time::Duration::from_millis(interval.max(50)));
+            let mut state = TopState::default();
+            let snap: Value = serde_json::from_str(&eta2_obs::expose_json())
+                .map_err(|e| format!("registry snapshot is not JSON: {e}"))?;
+            state.apply_metrics(&snap);
+            // Counters carry the ingest totals in live mode.
+            if let Some(counters) = snap
+                .get("metrics")
+                .and_then(|m| m.get("counters"))
+                .and_then(Value::as_object)
+            {
+                let c = |key: &str| counters.get(key).and_then(Value::as_u64).unwrap_or(0);
+                state.accepted = c("serve.accepted_reports");
+                state.quarantined = c("serve.quarantined_reports");
+                state.breaches = c("check.breach");
+            }
+            state.truths = engine.snapshot().truth_count() as u64;
+            state.tasks = engine.snapshot().tasks().len() as u64;
+            state.queue_depth = engine.queue_depth() as u64;
+            state.epoch = engine.snapshot().epoch();
+            draw(&state.render("demo (in-process engine)"));
+        }
+        stop.store(true, Ordering::Release);
+        producer.join().expect("demo producer panicked");
+        Ok(())
+    })
+}
+
+/// `top` entry point: dispatches on `--replay` / `--demo`.
+pub fn run(args: &Args) -> Result<(), String> {
+    match (args.get("replay"), args.has("demo")) {
+        (Some(""), _) => Err("--replay requires a JSONL file path".into()),
+        (Some(path), _) => run_replay(args, path),
+        (None, true) => run_demo(args),
+        (None, false) => Err("top needs --replay FILE.jsonl or --demo".into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_aggregation_folds_the_event_stream() {
+        let mut st = TopState::default();
+        st.apply_line(
+            r#"{"seq":1,"ts_ms":1000,"type":"trace_ingest","trace":9,"span":9,"parent":0,"accepted":8,"quarantined":1,"unknown":0}"#,
+        );
+        st.apply_line(
+            r#"{"seq":2,"ts_ms":1100,"type":"serve_batch_flush","shard":2,"reports":8,"tasks":4,"iterations":5,"converged":false}"#,
+        );
+        st.apply_line(
+            r#"{"seq":3,"ts_ms":1500,"type":"serve_epoch_published","epoch":3,"truths":4,"tasks":4,"queue_depth":2}"#,
+        );
+        st.apply_line("not json at all");
+        st.apply_line(r#"{"seq":4,"ts_ms":2000,"type":"some_future_event","x":1}"#);
+        assert_eq!(st.accepted, 8);
+        assert_eq!(st.quarantined, 1);
+        assert_eq!(st.epoch, 3);
+        assert_eq!(st.queue_depth, 2);
+        assert_eq!(st.shards[&2].flushes, 1);
+        assert_eq!(st.shards[&2].iter_max, 5);
+        assert_eq!(st.shards[&2].unconverged, 1);
+        let frame = st.render("test");
+        assert!(frame.contains("epoch      3"), "{frame}");
+        // Events span 1.0s (ts 1000..2000) with 8 accepted.
+        assert!(frame.contains("8.0/s"), "{frame}");
+        // Epoch age = last ts (2000) - publish ts (1500).
+        assert!(frame.contains("0.5s"), "{frame}");
+    }
+
+    #[test]
+    fn metrics_snapshot_fills_latency_and_domain_rows() {
+        let mut st = TopState::default();
+        let snap: Value = serde_json::from_str(
+            r#"{"schema":"eta2.metrics/1","version":1,"metrics":{
+                "counters":{},
+                "gauges":{"serve.queue_depth":7.0,"serve.epoch":12.0},
+                "histograms":{
+                    "serve.flush":{"count":4,"sum":0.4,"mean":0.1,"min":0.05,"max":0.2,"p50":0.0001,"p95":0.15,"p99":0.2,"bounds":[],"counts":[]},
+                    "mle.domain_iterations|domain=3":{"count":6,"sum":18.0,"mean":3.0,"min":1.0,"max":7.0,"p50":3.0,"p95":7.0,"p99":7.0,"bounds":[],"counts":[]}
+                }}}"#,
+        )
+        .unwrap();
+        st.apply_metrics(&snap);
+        assert_eq!(st.queue_depth, 7);
+        assert_eq!(st.epoch, 12);
+        assert_eq!(st.domain_iters[&3], (6, 3.0, 7.0));
+        let frame = st.render("test");
+        assert!(frame.contains("p50 100.0us"), "{frame}");
+        assert!(frame.contains("3.0 / 7.0"), "{frame}");
+    }
+
+    #[test]
+    fn seconds_formatting_picks_a_readable_unit() {
+        assert_eq!(fmt_seconds(0.000_05), "50.0us");
+        assert_eq!(fmt_seconds(0.012), "12.00ms");
+        assert_eq!(fmt_seconds(2.5), "2.50s");
+        assert_eq!(fmt_seconds(f64::NAN), "n/a");
+    }
+}

@@ -248,6 +248,15 @@ impl DynamicExpertise {
         for (domain, group) in &by_domain {
             tasks_solved += group.len() as u64;
             let solved = self.solve_domain(*domain, group);
+            // Per-domain convergence series (labeled, so the dashboard can
+            // surface slow domains individually). The name is only built
+            // when metrics are on.
+            if eta2_obs::metrics_enabled() {
+                eta2_obs::observe(
+                    &format!("mle.domain_iterations|domain={}", domain.0),
+                    solved.iterations as f64,
+                );
+            }
             iterations = iterations.max(solved.iterations);
             converged &= solved.converged;
             truths.extend(solved.truths);

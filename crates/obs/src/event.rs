@@ -215,6 +215,67 @@ pub enum Event {
         /// Formatted detail from the breach site.
         detail: String,
     },
+    /// Root span of a causal trace: one report batch crossed the serving
+    /// engine's submit boundary with tracing on. `parent` is always 0.
+    TraceIngest {
+        /// Trace id shared by every span on this batch's path.
+        trace: u64,
+        /// This span's id.
+        span: u64,
+        /// Parent span id (always 0 for the root).
+        parent: u64,
+        /// Reports accepted into shard pending queues.
+        accepted: u64,
+        /// Non-finite reports quarantined at the boundary.
+        quarantined: u64,
+        /// Reports naming an unregistered task, dropped at the boundary.
+        unknown: u64,
+    },
+    /// A shard flush folded its pending reports through the MLE. Fan-in
+    /// span: `parents` lists every ingest root span whose reports were in
+    /// the batch, so one event closes all of them. (A per-ingest child
+    /// event here would scale with submit rate x shard count and was the
+    /// dominant tracing cost; the multi-parent form keeps the causal DAG
+    /// exact at one event per flush.)
+    TraceFlush {
+        /// This span's id.
+        span: u64,
+        /// The ingest root spans whose reports this flush folded in.
+        parents: Vec<u64>,
+        /// Shard index that flushed.
+        shard: u64,
+        /// Reports the flush folded in.
+        reports: u64,
+        /// MLE iterations the slowest domain needed.
+        iterations: u64,
+        /// Whether every domain in the batch converged.
+        converged: bool,
+    },
+    /// An epoch publication made flushed results readable — the terminal
+    /// span of every delivered trace. Fan-in span: `parents` lists the
+    /// flush spans this epoch covers.
+    TracePublish {
+        /// This span's id.
+        span: u64,
+        /// The flush spans whose results this epoch exposes.
+        parents: Vec<u64>,
+        /// The published epoch counter.
+        epoch: u64,
+    },
+    /// Reports from the `parent` ingest span were dropped at the submit
+    /// boundary — the terminal span for quarantined/unknown-task reports.
+    TraceQuarantine {
+        /// Trace id.
+        trace: u64,
+        /// This span's id.
+        span: u64,
+        /// The ingest span whose reports were dropped.
+        parent: u64,
+        /// Non-finite reports quarantined.
+        quarantined: u64,
+        /// Unknown-task reports dropped.
+        unknown: u64,
+    },
 }
 
 impl Event {
@@ -238,6 +299,10 @@ impl Event {
             Event::ServeBatchFlush { .. } => "serve_batch_flush",
             Event::ServeEpochPublished { .. } => "serve_epoch_published",
             Event::InvariantBreach { .. } => "invariant_breach",
+            Event::TraceIngest { .. } => "trace_ingest",
+            Event::TraceFlush { .. } => "trace_flush",
+            Event::TracePublish { .. } => "trace_publish",
+            Event::TraceQuarantine { .. } => "trace_quarantine",
         }
     }
 
@@ -415,6 +480,58 @@ impl Event {
             }
             Event::InvariantBreach { name, detail } => {
                 o.str("name", name).str("detail", detail);
+            }
+            Event::TraceIngest {
+                trace,
+                span,
+                parent,
+                accepted,
+                quarantined,
+                unknown,
+            } => {
+                o.u64("trace", *trace)
+                    .u64("span", *span)
+                    .u64("parent", *parent)
+                    .u64("accepted", *accepted)
+                    .u64("quarantined", *quarantined)
+                    .u64("unknown", *unknown);
+            }
+            Event::TraceFlush {
+                span,
+                parents,
+                shard,
+                reports,
+                iterations,
+                converged,
+            } => {
+                o.u64("span", *span)
+                    .raw("parents", &crate::json::array_u64(parents))
+                    .u64("shard", *shard)
+                    .u64("reports", *reports)
+                    .u64("iterations", *iterations)
+                    .bool("converged", *converged);
+            }
+            Event::TracePublish {
+                span,
+                parents,
+                epoch,
+            } => {
+                o.u64("span", *span)
+                    .raw("parents", &crate::json::array_u64(parents))
+                    .u64("epoch", *epoch);
+            }
+            Event::TraceQuarantine {
+                trace,
+                span,
+                parent,
+                quarantined,
+                unknown,
+            } => {
+                o.u64("trace", *trace)
+                    .u64("span", *span)
+                    .u64("parent", *parent)
+                    .u64("quarantined", *quarantined)
+                    .u64("unknown", *unknown);
             }
         }
         o.finish()
@@ -619,6 +736,60 @@ mod tests {
                     detail: "shard 1 went 5 -> 4".into(),
                 },
                 vec!["name", "detail"],
+            ),
+            (
+                Event::TraceIngest {
+                    trace: 100,
+                    span: 101,
+                    parent: 0,
+                    accepted: 30,
+                    quarantined: 1,
+                    unknown: 0,
+                },
+                vec![
+                    "trace",
+                    "span",
+                    "parent",
+                    "accepted",
+                    "quarantined",
+                    "unknown",
+                ],
+            ),
+            (
+                Event::TraceFlush {
+                    span: 102,
+                    parents: vec![101, 99],
+                    shard: 3,
+                    reports: 30,
+                    iterations: 4,
+                    converged: true,
+                },
+                vec![
+                    "span",
+                    "parents",
+                    "shard",
+                    "reports",
+                    "iterations",
+                    "converged",
+                ],
+            ),
+            (
+                Event::TracePublish {
+                    span: 103,
+                    parents: vec![102],
+                    epoch: 7,
+                },
+                vec!["span", "parents", "epoch"],
+            ),
+            (
+                Event::TraceQuarantine {
+                    trace: 100,
+                    span: 104,
+                    parent: 101,
+                    quarantined: 1,
+                    unknown: 0,
+                },
+                vec!["trace", "span", "parent", "quarantined", "unknown"],
             ),
         ];
         for (ev, payload_keys) in cases {

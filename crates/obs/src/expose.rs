@@ -1,0 +1,310 @@
+//! Metrics exposition: renders the global registry as Prometheus text
+//! format (exposition format 0.0.4) or a versioned JSON snapshot, with no
+//! dependencies — ROADMAP item 1's network server can answer `/metrics`
+//! with one [`expose_prometheus`] call.
+//!
+//! # Label embedding
+//!
+//! The registry keys metrics by a single string, so dimensioned series
+//! embed their labels in the name: `base|key=value|key2=value2`, e.g.
+//! `serve.flush_seconds|shard=3`. [`split_name`] parses that convention
+//! back out; the renderer groups all series of one base name under a
+//! single `# TYPE` family with proper `{key="value"}` label sets.
+//!
+//! # Mapping
+//!
+//! * Metric names are prefixed `eta2_` and non-`[a-zA-Z0-9_]` characters
+//!   become `_` (`serve.flush_seconds` → `eta2_serve_flush_seconds`).
+//! * Counters render as `<name>_total` with `# TYPE ... counter`.
+//! * Gauges render verbatim with `# TYPE ... gauge`.
+//! * Histograms render as Prometheus *summaries*: one series per quantile
+//!   in {0.5, 0.95, 0.99, 0.999} plus `_sum` and `_count`. (Native
+//!   Prometheus histograms need cumulative `le` buckets; the registry's
+//!   quantile estimates are what operators actually alert on, and the
+//!   full bucket layout remains available from [`expose_json`].)
+
+use crate::json::JsonObject;
+use crate::registry::{self, HistogramSnapshot, Snapshot};
+
+/// Quantiles rendered for each histogram family, as (label, accessor).
+const QUANTILES: [&str; 4] = ["0.5", "0.95", "0.99", "0.999"];
+
+/// Splits a registry metric name into its base name and embedded labels.
+///
+/// `serve.flush_seconds|shard=3` → `("serve.flush_seconds",
+/// [("shard", "3")])`. Malformed segments (no `=`) are kept as a label
+/// with an empty value rather than dropped, so nothing silently vanishes
+/// from the exposition.
+pub fn split_name(name: &str) -> (&str, Vec<(&str, &str)>) {
+    let mut parts = name.split('|');
+    let base = parts.next().unwrap_or(name);
+    let labels = parts
+        .map(|seg| match seg.split_once('=') {
+            Some((k, v)) => (k, v),
+            None => (seg, ""),
+        })
+        .collect();
+    (base, labels)
+}
+
+/// `eta2_`-prefixed Prometheus-safe metric name.
+fn sanitize(base: &str) -> String {
+    let mut s = String::with_capacity(base.len() + 5);
+    s.push_str("eta2_");
+    for c in base.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            s.push(c);
+        } else {
+            s.push('_');
+        }
+    }
+    s
+}
+
+/// Prometheus sample value: `NaN` / `+Inf` / `-Inf` literals, else the
+/// shortest round-trip decimal.
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders a `{key="value",...}` label set ("" when empty). Label values
+/// escape `\`, `"` and newline per the text-format spec.
+fn fmt_labels(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&sanitize_label_key(k));
+        out.push_str("=\"");
+        for c in v.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+fn sanitize_label_key(k: &str) -> String {
+    let mut s = String::with_capacity(k.len());
+    for (i, c) in k.chars().enumerate() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            if i == 0 && c.is_ascii_digit() {
+                s.push('_');
+            }
+            s.push(c);
+        } else {
+            s.push('_');
+        }
+    }
+    if s.is_empty() {
+        s.push('_');
+    }
+    s
+}
+
+/// Escapes a HELP line payload (`\` and newline, per spec).
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// One family: every labeled series sharing a base name, in registry
+/// (BTreeMap) order so output is deterministic.
+struct Family<'a, T> {
+    base: &'a str,
+    series: Vec<(Vec<(&'a str, &'a str)>, T)>,
+}
+
+fn group<'a, T: Copy>(map: impl Iterator<Item = (&'a String, T)>) -> Vec<Family<'a, T>> {
+    let mut families: Vec<Family<'a, T>> = Vec::new();
+    for (name, value) in map {
+        let (base, labels) = split_name(name);
+        match families.iter_mut().find(|f| f.base == base) {
+            Some(f) => f.series.push((labels, value)),
+            None => families.push(Family {
+                base,
+                series: vec![(labels, value)],
+            }),
+        }
+    }
+    families
+}
+
+/// Renders `snap` in the Prometheus text exposition format.
+pub fn render_prometheus(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for fam in group(snap.counters.iter().map(|(k, &v)| (k, v))) {
+        let name = sanitize(fam.base);
+        out.push_str(&format!(
+            "# HELP {name}_total eta2-obs counter \"{}\"\n",
+            escape_help(fam.base)
+        ));
+        out.push_str(&format!("# TYPE {name}_total counter\n"));
+        for (labels, v) in &fam.series {
+            out.push_str(&format!("{name}_total{} {v}\n", fmt_labels(labels)));
+        }
+    }
+    for fam in group(snap.gauges.iter().map(|(k, &v)| (k, v))) {
+        let name = sanitize(fam.base);
+        out.push_str(&format!(
+            "# HELP {name} eta2-obs gauge \"{}\"\n",
+            escape_help(fam.base)
+        ));
+        out.push_str(&format!("# TYPE {name} gauge\n"));
+        for (labels, v) in &fam.series {
+            out.push_str(&format!("{name}{} {}\n", fmt_labels(labels), fmt_value(*v)));
+        }
+    }
+    for fam in group(snap.histograms.iter().map(|(k, v)| (k, v))) {
+        let name = sanitize(fam.base);
+        out.push_str(&format!(
+            "# HELP {name} eta2-obs histogram \"{}\"\n",
+            escape_help(fam.base)
+        ));
+        out.push_str(&format!("# TYPE {name} summary\n"));
+        for (labels, h) in &fam.series {
+            let h: &HistogramSnapshot = h;
+            for (q, v) in QUANTILES.iter().zip([h.p50, h.p95, h.p99, h.p999]) {
+                let mut with_q: Vec<(&str, &str)> = labels.clone();
+                with_q.push(("quantile", q));
+                out.push_str(&format!("{name}{} {}\n", fmt_labels(&with_q), fmt_value(v)));
+            }
+            out.push_str(&format!(
+                "{name}_sum{} {}\n",
+                fmt_labels(labels),
+                fmt_value(h.sum)
+            ));
+            out.push_str(&format!("{name}_count{} {}\n", fmt_labels(labels), h.count));
+        }
+    }
+    out
+}
+
+/// Renders `snap` as a versioned JSON document:
+/// `{"schema":"eta2.metrics/1","version":1,"metrics":{...}}` where
+/// `metrics` is the frozen [`Snapshot::to_json`] shape.
+pub fn render_json(snap: &Snapshot) -> String {
+    let mut out = JsonObject::new();
+    out.str("schema", "eta2.metrics/1")
+        .u64("version", 1)
+        .raw("metrics", &snap.to_json());
+    out.finish()
+}
+
+/// [`render_prometheus`] over the global registry's current state.
+pub fn expose_prometheus() -> String {
+    render_prometheus(&registry::global().snapshot())
+}
+
+/// [`render_json`] over the global registry's current state.
+pub fn expose_json() -> String {
+    render_json(&registry::global().snapshot())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn split_name_parses_labels() {
+        assert_eq!(split_name("plain"), ("plain", vec![]));
+        assert_eq!(
+            split_name("serve.flush_seconds|shard=3"),
+            ("serve.flush_seconds", vec![("shard", "3")])
+        );
+        assert_eq!(
+            split_name("x|a=1|b=two"),
+            ("x", vec![("a", "1"), ("b", "two")])
+        );
+        // Malformed segment: kept, empty value.
+        assert_eq!(split_name("x|oops"), ("x", vec![("oops", "")]));
+    }
+
+    #[test]
+    fn counters_gauges_and_labels_render() {
+        let r = Registry::new();
+        r.counter_add("serve.epoch_published", 3);
+        r.gauge_set("serve.queue_depth", 17.0);
+        r.gauge_set("sim.cost|domain=4", 2.5);
+        let text = render_prometheus(&r.snapshot());
+        assert!(text.contains("# TYPE eta2_serve_epoch_published_total counter\n"));
+        assert!(text.contains("eta2_serve_epoch_published_total 3\n"));
+        assert!(text.contains("# TYPE eta2_serve_queue_depth gauge\n"));
+        assert!(text.contains("eta2_serve_queue_depth 17\n"));
+        assert!(text.contains("eta2_sim_cost{domain=\"4\"} 2.5\n"));
+    }
+
+    #[test]
+    fn histogram_renders_as_summary_with_all_quantiles() {
+        let r = Registry::new();
+        for i in 0..100 {
+            r.observe("serve.flush_seconds|shard=0", 0.001 * (i + 1) as f64);
+        }
+        let text = render_prometheus(&r.snapshot());
+        assert!(text.contains("# TYPE eta2_serve_flush_seconds summary\n"));
+        for q in QUANTILES {
+            assert!(
+                text.contains(&format!(
+                    "eta2_serve_flush_seconds{{shard=\"0\",quantile=\"{q}\"}}"
+                )),
+                "missing quantile {q}:\n{text}"
+            );
+        }
+        assert!(text.contains("eta2_serve_flush_seconds_sum{shard=\"0\"}"));
+        assert!(text.contains("eta2_serve_flush_seconds_count{shard=\"0\"} 100\n"));
+    }
+
+    #[test]
+    fn one_type_line_per_family_across_shards() {
+        let r = Registry::new();
+        r.observe("f|shard=0", 1.0);
+        r.observe("f|shard=1", 2.0);
+        let text = render_prometheus(&r.snapshot());
+        let type_lines = text
+            .lines()
+            .filter(|l| l.starts_with("# TYPE eta2_f "))
+            .count();
+        assert_eq!(type_lines, 1, "{text}");
+        assert!(text.contains("eta2_f_count{shard=\"0\"} 1\n"));
+        assert!(text.contains("eta2_f_count{shard=\"1\"} 1\n"));
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_render_as_nan_literal() {
+        let r = Registry::new();
+        // A histogram that exists but has no samples: min/max/quantiles
+        // are NaN, which the text format spells "NaN" (never "null").
+        r.observe_with("empty.h", f64::NAN, crate::Histogram::duration_default);
+        let text = render_prometheus(&r.snapshot());
+        assert!(text.contains("NaN"), "{text}");
+        assert!(!text.contains("null"), "{text}");
+    }
+
+    #[test]
+    fn json_exposition_is_versioned() {
+        let r = Registry::new();
+        r.counter_add("c", 1);
+        let json = render_json(&r.snapshot());
+        assert!(json.starts_with("{\"schema\":\"eta2.metrics/1\",\"version\":1,"));
+        assert!(json.contains("\"metrics\":{"));
+        assert!(json.contains("\"counters\":{\"c\":1}"));
+    }
+}

@@ -1,0 +1,265 @@
+//! Flight recorder: a fixed-capacity ring of the most recent event lines,
+//! kept in memory at all times and written to disk only when something
+//! goes wrong (an `eta2-check` invariant breach, or a panic once
+//! [`install_panic_hook`] has run). A fuzzer failure or production crash
+//! then leaves a replayable JSONL post-mortem behind instead of a bare
+//! backtrace.
+//!
+//! The ring is lock-free across writers in the way that matters: each
+//! [`record_line`] claims a slot with one atomic `fetch_add` and only then
+//! takes that slot's own mutex, so concurrent emitters contend only when
+//! they land on the same slot (i.e. when one laps the other). Slot
+//! mutexes are held just long enough to swap a `String`.
+//!
+//! Configuration comes from [`configure`] (tests, embedders) or
+//! [`init_from_env`] (CLI): `ETA2_FLIGHT_DIR` names the dump directory
+//! and enables capture; `ETA2_FLIGHT_CAP` overrides the default capacity
+//! of 1024 events. Dumps are capped at [`MAX_DUMPS`] per process so a
+//! breach storm in `Count` mode cannot fill the disk.
+
+use crate::json::JsonObject;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Default ring capacity (events), override with `ETA2_FLIGHT_CAP`.
+pub const DEFAULT_CAPACITY: usize = 1024;
+
+/// Maximum dump files one process will write.
+pub const MAX_DUMPS: usize = 8;
+
+/// A fixed-capacity ring of recent event lines.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    slots: Vec<Mutex<String>>,
+    writes: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder holding the last `capacity` lines (min 1).
+    pub fn new(capacity: usize) -> FlightRecorder {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            slots: (0..capacity).map(|_| Mutex::new(String::new())).collect(),
+            writes: AtomicU64::new(0),
+        }
+    }
+
+    /// Ring capacity in events.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total lines ever recorded (including ones since overwritten).
+    pub fn total(&self) -> u64 {
+        self.writes.load(Ordering::Relaxed)
+    }
+
+    /// Records one line, overwriting the oldest when full.
+    pub fn record(&self, line: &str) {
+        let n = self.writes.fetch_add(1, Ordering::Relaxed);
+        let idx = (n % self.slots.len() as u64) as usize;
+        let mut slot = self.slots[idx].lock().unwrap_or_else(|e| e.into_inner());
+        slot.clear();
+        slot.push_str(line);
+    }
+
+    /// The retained lines, oldest first. Empty slots (never written, or
+    /// caught mid-overwrite) are skipped.
+    pub fn recent(&self) -> Vec<String> {
+        let total = self.writes.load(Ordering::Relaxed);
+        let cap = self.slots.len() as u64;
+        let (start, len) = if total <= cap {
+            (0, total)
+        } else {
+            (total % cap, cap)
+        };
+        let mut out = Vec::with_capacity(len as usize);
+        for i in 0..len {
+            let idx = ((start + i) % cap) as usize;
+            let slot = self.slots[idx].lock().unwrap_or_else(|e| e.into_inner());
+            if !slot.is_empty() {
+                out.push(slot.clone());
+            }
+        }
+        out
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static RECORDER: OnceLock<FlightRecorder> = OnceLock::new();
+static DUMP_DIR: Mutex<Option<PathBuf>> = Mutex::new(None);
+static DUMPS: AtomicUsize = AtomicUsize::new(0);
+static HOOK_INSTALLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether the global flight recorder is capturing events.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Enables the global recorder, dumping into `dir` on breach/panic.
+///
+/// The ring's capacity is fixed by the *first* call in the process (the
+/// buffer is allocated once and never resized); later calls only change
+/// the dump directory. Passing `None` as `dir` disables capture.
+pub fn configure(dir: Option<&Path>, capacity: usize) {
+    let _ = RECORDER.get_or_init(|| FlightRecorder::new(capacity));
+    let mut slot = DUMP_DIR.lock().unwrap_or_else(|e| e.into_inner());
+    match dir {
+        Some(d) => {
+            *slot = Some(d.to_path_buf());
+            ENABLED.store(true, Ordering::Relaxed);
+        }
+        None => {
+            *slot = None;
+            ENABLED.store(false, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Enables the recorder from `ETA2_FLIGHT_DIR` / `ETA2_FLIGHT_CAP`.
+/// Returns whether capture is now on.
+pub fn init_from_env() -> bool {
+    match crate::env_path("ETA2_FLIGHT_DIR") {
+        Some(dir) => {
+            let cap = std::env::var("ETA2_FLIGHT_CAP")
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .unwrap_or(DEFAULT_CAPACITY);
+            configure(Some(&dir), cap);
+            true
+        }
+        None => false,
+    }
+}
+
+/// Records one already-serialized event line into the global ring.
+/// Called by [`crate::emit`] for every event while capture is on.
+#[inline]
+pub fn record_line(line: &str) {
+    if let Some(rec) = RECORDER.get() {
+        rec.record(line);
+    }
+}
+
+/// The retained lines of the global ring, oldest first.
+pub fn recent() -> Vec<String> {
+    RECORDER
+        .get()
+        .map(FlightRecorder::recent)
+        .unwrap_or_default()
+}
+
+/// Dumps the ring to a fresh `flight-<pid>-<n>.jsonl` in the configured
+/// directory. The first line is a header object (`type: "flight_dump"`,
+/// the dump reason, and captured/dropped counts); the rest are the
+/// retained event lines, oldest first.
+///
+/// Returns the written path, or `None` when capture is off, the
+/// per-process [`MAX_DUMPS`] cap is reached, or I/O fails (dumping runs
+/// on breach/panic paths, so errors are swallowed — a failing dump must
+/// never mask the original failure).
+pub fn dump(reason: &str) -> Option<PathBuf> {
+    if !enabled() {
+        return None;
+    }
+    let dir = DUMP_DIR.lock().unwrap_or_else(|e| e.into_inner()).clone()?;
+    let n = DUMPS.fetch_add(1, Ordering::Relaxed);
+    if n >= MAX_DUMPS {
+        return None;
+    }
+    let rec = RECORDER.get()?;
+    let lines = rec.recent();
+    let total = rec.total();
+    if std::fs::create_dir_all(&dir).is_err() {
+        return None;
+    }
+    let path = dir.join(format!("flight-{}-{}.jsonl", std::process::id(), n));
+    let mut header = JsonObject::new();
+    header
+        .str("type", "flight_dump")
+        .str("reason", reason)
+        .u64("captured", lines.len() as u64)
+        .u64("dropped", total.saturating_sub(lines.len() as u64))
+        .u64("capacity", rec.capacity() as u64);
+    let mut body = header.finish();
+    body.push('\n');
+    for line in &lines {
+        body.push_str(line);
+        body.push('\n');
+    }
+    match std::fs::write(&path, body) {
+        Ok(()) => Some(path),
+        Err(_) => None,
+    }
+}
+
+/// Chains a panic hook that dumps the flight ring before the previous
+/// hook (backtrace printing etc.) runs. Installs at most once per
+/// process; a no-op on repeat calls.
+pub fn install_panic_hook() {
+    if HOOK_INSTALLED.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let msg = info
+            .payload()
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| info.payload().downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "panic".to_string());
+        if let Some(path) = dump(&format!("panic: {msg}")) {
+            eprintln!("eta2-obs: flight recorder dumped to {}", path.display());
+        }
+        prev(info);
+    }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_retains_last_capacity_lines_in_order() {
+        let rec = FlightRecorder::new(4);
+        assert_eq!(rec.recent(), Vec::<String>::new());
+        for i in 0..3 {
+            rec.record(&format!("l{i}"));
+        }
+        assert_eq!(rec.recent(), vec!["l0", "l1", "l2"]);
+        for i in 3..10 {
+            rec.record(&format!("l{i}"));
+        }
+        assert_eq!(rec.recent(), vec!["l6", "l7", "l8", "l9"]);
+        assert_eq!(rec.total(), 10);
+        assert_eq!(rec.capacity(), 4);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let rec = FlightRecorder::new(0);
+        rec.record("x");
+        assert_eq!(rec.capacity(), 1);
+        assert_eq!(rec.recent(), vec!["x"]);
+    }
+
+    #[test]
+    fn concurrent_recorders_never_lose_the_count() {
+        let rec = std::sync::Arc::new(FlightRecorder::new(64));
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let rec = std::sync::Arc::clone(&rec);
+                s.spawn(move || {
+                    for i in 0..500 {
+                        rec.record(&format!("t{t}-{i}"));
+                    }
+                });
+            }
+        });
+        assert_eq!(rec.total(), 2000);
+        let recent = rec.recent();
+        assert_eq!(recent.len(), 64);
+    }
+}

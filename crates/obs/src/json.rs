@@ -7,8 +7,36 @@
 //! round-trip `Display`, which is valid JSON; non-finite floats serialize as
 //! `null` (JSON has no NaN/Infinity).
 
+use std::fmt::Write as _;
+
+/// Appends `v` to `buf` in decimal. Hand-rolled digit loop: trace ids are
+/// full-range u64 (20 digits) and every event line carries several, so
+/// skipping the `fmt` machinery is worth it on the emit hot path.
+pub fn write_u64(buf: &mut String, mut v: u64) {
+    let mut tmp = [0u8; 20];
+    let mut i = tmp.len();
+    loop {
+        i -= 1;
+        tmp[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    // The slice is pure ASCII digits by construction.
+    buf.push_str(std::str::from_utf8(&tmp[i..]).unwrap());
+}
+
 /// Appends `s` to `buf` as a JSON string literal (with surrounding quotes).
 pub fn write_str(buf: &mut String, s: &str) {
+    // Event serialization sits on the ingest hot path; almost every key
+    // and value needs no escaping, so check once and memcpy when clean.
+    if s.bytes().all(|b| b >= 0x20 && b != b'"' && b != b'\\') {
+        buf.push('"');
+        buf.push_str(s);
+        buf.push('"');
+        return;
+    }
     buf.push('"');
     for c in s.chars() {
         match c {
@@ -18,7 +46,7 @@ pub fn write_str(buf: &mut String, s: &str) {
             '\r' => buf.push_str("\\r"),
             '\t' => buf.push_str("\\t"),
             c if (c as u32) < 0x20 => {
-                buf.push_str(&format!("\\u{:04x}", c as u32));
+                let _ = write!(buf, "\\u{:04x}", c as u32);
             }
             c => buf.push(c),
         }
@@ -29,7 +57,9 @@ pub fn write_str(buf: &mut String, s: &str) {
 /// Appends `v` to `buf` as a JSON number, or `null` when non-finite.
 pub fn write_f64(buf: &mut String, v: f64) {
     if v.is_finite() {
-        buf.push_str(&format!("{v}"));
+        // Writing through `fmt::Write` skips the per-field String that
+        // `format!` would allocate — measurable at trace-event rates.
+        let _ = write!(buf, "{v}");
     } else {
         buf.push_str("null");
     }
@@ -45,10 +75,11 @@ pub struct JsonObject {
 impl JsonObject {
     /// Starts an empty object (`{`).
     pub fn new() -> Self {
-        JsonObject {
-            buf: String::from("{"),
-            first: true,
-        }
+        // One JSONL event line is ~100-200 bytes; reserving up front keeps
+        // the hot emit path to a single allocation.
+        let mut buf = String::with_capacity(192);
+        buf.push('{');
+        JsonObject { buf, first: true }
     }
 
     fn key(&mut self, key: &str) {
@@ -77,7 +108,7 @@ impl JsonObject {
     /// Adds an unsigned integer field.
     pub fn u64(&mut self, key: &str, value: u64) -> &mut Self {
         self.key(key);
-        self.buf.push_str(&format!("{value}"));
+        write_u64(&mut self.buf, value);
         self
     }
 
@@ -128,7 +159,7 @@ pub fn array_u64(values: &[u64]) -> String {
         if i > 0 {
             buf.push(',');
         }
-        buf.push_str(&format!("{v}"));
+        write_u64(&mut buf, v);
     }
     buf.push(']');
     buf
@@ -163,6 +194,15 @@ mod tests {
         let mut buf = String::new();
         write_str(&mut buf, "\u{1}x");
         assert_eq!(buf, "\"\\u0001x\"");
+    }
+
+    #[test]
+    fn u64_digit_writer_edges() {
+        for v in [0u64, 1, 9, 10, 12_345, u64::MAX] {
+            let mut buf = String::new();
+            write_u64(&mut buf, v);
+            assert_eq!(buf, v.to_string());
+        }
     }
 
     #[test]

@@ -22,20 +22,25 @@
 //! ```
 
 pub mod event;
+pub mod expose;
+pub mod flight;
 pub mod hist;
 pub mod json;
 pub mod registry;
 pub mod sink;
+pub mod trace;
 
 mod log;
 mod span;
 
 pub use event::Event;
+pub use expose::{expose_json, expose_prometheus};
 pub use hist::Histogram;
 pub use log::{log_enabled, set_verbosity, verbosity, Verbosity};
 pub use registry::{HistogramSnapshot, Registry, Snapshot};
 pub use sink::{EventWriter, FileSink, MemoryHandle, MemorySink, StderrSink};
 pub use span::Span;
+pub use trace::TraceContext;
 
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -59,6 +64,15 @@ pub(crate) static TEST_FLAG_LOCK: Mutex<()> = Mutex::new(());
 #[inline]
 pub fn enabled() -> bool {
     TRACING.load(Ordering::Relaxed)
+}
+
+/// Whether events are being consumed by *anything* — an installed sink or
+/// the flight recorder. Instrumentation sites that build events eagerly
+/// (e.g. the serving engine's trace spans) should gate on this, so a run
+/// with only `ETA2_FLIGHT_DIR` set still fills the post-mortem ring.
+#[inline]
+pub fn tracing_active() -> bool {
+    enabled() || flight::enabled()
 }
 
 /// Whether span timers and metric recording are currently enabled.
@@ -126,24 +140,32 @@ pub fn flush() {
     }
 }
 
-/// Emits `event` to the installed sink. No-op when tracing is disabled;
-/// prefer [`emit_with`] in hot loops so the event is not even built.
+/// Emits `event` to the installed sink and, when capture is on, into the
+/// flight recorder's ring. No-op when neither consumer is active; prefer
+/// [`emit_with`] in hot loops so the event is not even built.
 pub fn emit(event: &Event) {
-    if !enabled() {
+    let sink = enabled();
+    let flight = flight::enabled();
+    if !sink && !flight {
         return;
     }
     let line = event.to_json_line();
-    if let Some(w) = writer_lock().as_mut() {
-        w.write_line(&line);
+    if flight {
+        flight::record_line(&line);
+    }
+    if sink {
+        if let Some(w) = writer_lock().as_mut() {
+            w.write_line(&line);
+        }
     }
 }
 
-/// Builds and emits an event only when tracing is enabled. The closure is
-/// never called on the disabled path, so argument computation (string
-/// formatting, summary math) is free when tracing is off.
+/// Builds and emits an event only when something will consume it. The
+/// closure is never called on the disabled path, so argument computation
+/// (string formatting, summary math) is free when tracing is off.
 #[inline]
 pub fn emit_with(make: impl FnOnce() -> Event) {
-    if enabled() {
+    if tracing_active() {
         emit(&make());
     }
 }

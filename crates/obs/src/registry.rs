@@ -50,6 +50,10 @@ pub struct HistogramSnapshot {
     pub p95: f64,
     /// Estimated 99th percentile.
     pub p99: f64,
+    /// Estimated 99.9th percentile (for the exposition plane's tail
+    /// series; deliberately absent from [`Snapshot::to_json`], whose
+    /// shape is frozen for `span_timing` consumers).
+    pub p999: f64,
     /// Bucket upper bounds.
     pub bounds: Vec<f64>,
     /// Per-bucket counts (last = overflow).
@@ -67,6 +71,7 @@ impl HistogramSnapshot {
             p50: h.quantile(0.50),
             p95: h.quantile(0.95),
             p99: h.quantile(0.99),
+            p999: h.quantile(0.999),
             bounds: h.bounds().to_vec(),
             counts: h.counts().to_vec(),
         }

@@ -16,19 +16,32 @@ pub trait EventWriter: Send {
     fn flush(&mut self) {}
 }
 
-/// Appends events to a file, flushing after every line. The installed sink
-/// lives in a `static` that is never dropped, so per-line flushes are the
-/// only way lines reliably reach disk before process exit.
+/// Appends events to a file through a bounded write-behind buffer.
+///
+/// Lines land on disk when the buffer fills ([`FileSink::FLUSH_EVERY`]
+/// lines at most), on [`EventWriter::flush`] (the CLI flushes at exit,
+/// `install_writer` flushes the sink it replaces), and on drop. This used
+/// to flush per line so a crash could not eat the trace tail; now that
+/// the flight recorder ring owns the post-mortem path (dumped by the
+/// panic hook and on invariant breaches), per-line write syscalls were
+/// pure ingest-throughput overhead — the [`crate::flight`] dump is both
+/// more complete and cheaper.
 #[derive(Debug)]
 pub struct FileSink {
     out: BufWriter<File>,
+    since_flush: u32,
 }
 
 impl FileSink {
+    /// Lines buffered between forced flushes: bounds trace-tail loss on
+    /// an abrupt exit (e.g. SIGKILL, where no Drop or panic hook runs).
+    const FLUSH_EVERY: u32 = 256;
+
     /// Creates (truncating) the trace file at `path`.
     pub fn create(path: &Path) -> std::io::Result<FileSink> {
         Ok(FileSink {
             out: BufWriter::new(File::create(path)?),
+            since_flush: 0,
         })
     }
 }
@@ -38,11 +51,15 @@ impl EventWriter for FileSink {
         // Tracing is best-effort: losing a line (e.g. disk full) must not
         // take the run down with it.
         let _ = writeln!(self.out, "{line}");
-        let _ = self.out.flush();
+        self.since_flush += 1;
+        if self.since_flush >= Self::FLUSH_EVERY {
+            self.flush();
+        }
     }
 
     fn flush(&mut self) {
         let _ = self.out.flush();
+        self.since_flush = 0;
     }
 }
 
@@ -138,7 +155,7 @@ mod tests {
             let mut sink = FileSink::create(&path).unwrap();
             sink.write_line("{\"x\":1}");
             sink.write_line("{\"y\":2}");
-            // No explicit flush/drop ordering: write_line flushes per line.
+            // Writes are buffered; dropping the sink flushes the tail.
         }
         let body = std::fs::read_to_string(&path).unwrap();
         assert_eq!(body, "{\"x\":1}\n{\"y\":2}\n");

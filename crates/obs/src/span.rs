@@ -5,6 +5,7 @@
 //! When metrics are disabled the guard holds no state and drop is a no-op,
 //! so spans may be left in hot loops unconditionally.
 
+use std::borrow::Cow;
 use std::time::Instant;
 
 /// A live span. Records its wall time on drop.
@@ -12,7 +13,7 @@ use std::time::Instant;
 pub struct Span {
     // `None` when metrics were disabled at start: the drop path then costs
     // only a branch on an already-loaded Option.
-    started: Option<(&'static str, Instant)>,
+    started: Option<(Cow<'static, str>, Instant)>,
 }
 
 impl Span {
@@ -21,7 +22,32 @@ impl Span {
     pub fn start(name: &'static str) -> Span {
         if crate::metrics_enabled() {
             Span {
-                started: Some((name, Instant::now())),
+                started: Some((Cow::Borrowed(name), Instant::now())),
+            }
+        } else {
+            Span { started: None }
+        }
+    }
+
+    /// Starts timing a runtime-built name (e.g. a labeled series like
+    /// `serve.flush_seconds|shard=3`). The caller pays the allocation even
+    /// when metrics are off; prefer [`Span::start_with`] on hot paths.
+    pub fn start_owned(name: String) -> Span {
+        if crate::metrics_enabled() {
+            Span {
+                started: Some((Cow::Owned(name), Instant::now())),
+            }
+        } else {
+            Span { started: None }
+        }
+    }
+
+    /// Starts timing a lazily-built name: `make` only runs when metrics
+    /// are enabled, so the formatting cost vanishes on the disabled path.
+    pub fn start_with(make: impl FnOnce() -> String) -> Span {
+        if crate::metrics_enabled() {
+            Span {
+                started: Some((Cow::Owned(make()), Instant::now())),
             }
         } else {
             Span { started: None }
@@ -40,7 +66,7 @@ impl Span {
 impl Drop for Span {
     fn drop(&mut self) {
         if let Some((name, at)) = self.started.take() {
-            crate::registry::global().observe(name, at.elapsed().as_secs_f64());
+            crate::registry::global().observe(&name, at.elapsed().as_secs_f64());
         }
     }
 }
@@ -91,6 +117,37 @@ mod tests {
         let snap = crate::registry::global().snapshot();
         assert!(!snap.histograms.contains_key("test.span.cancelled"));
         assert_eq!(snap.histograms["test.span.finished"].count, 1);
+    }
+
+    #[test]
+    fn owned_and_lazy_names_record_like_static_ones() {
+        let _guard = crate::TEST_FLAG_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        crate::set_metrics(true);
+        {
+            let _s = Span::start_owned(format!("test.span.owned|shard={}", 2));
+        }
+        {
+            let _s = Span::start_with(|| "test.span.lazy".to_string());
+        }
+        crate::set_metrics(false);
+        let mut lazy_called = false;
+        {
+            let _s = Span::start_with(|| {
+                lazy_called = true;
+                "test.span.lazy_disabled".to_string()
+            });
+        }
+        crate::set_metrics(true);
+        let snap = crate::registry::global().snapshot();
+        assert_eq!(snap.histograms["test.span.owned|shard=2"].count, 1);
+        assert_eq!(snap.histograms["test.span.lazy"].count, 1);
+        assert!(
+            !lazy_called,
+            "start_with closure must not run when disabled"
+        );
+        assert!(!snap.histograms.contains_key("test.span.lazy_disabled"));
     }
 
     #[test]

@@ -4,6 +4,7 @@ use crate::snapshot::ShardView;
 use crate::{shard_of, EpochSnapshot, ServeConfig, ServeError, TaskSpec};
 use eta2_core::model::{DomainId, Observation, ObservationSet, Task, TaskId, UserId};
 use eta2_core::truth::{DynamicExpertise, TruthEstimate};
+use eta2_obs::TraceContext;
 use eta2_par::Parallelism;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
@@ -19,6 +20,10 @@ struct Shard {
     /// Distinct (user, task) pairs in `pending`.
     pending_len: usize,
     flushes: u64,
+    /// Ingest spans whose reports sit in `pending`, drained by the next
+    /// flush (which emits one fan-in `trace_flush` span naming them all
+    /// as parents). Empty unless tracing was active at submit time.
+    pending_traces: Vec<TraceContext>,
 }
 
 /// Task table plus the id allocator, swapped copy-on-write so readers and
@@ -85,6 +90,13 @@ pub struct ServeEngine {
     published: RwLock<Arc<EpochSnapshot>>,
     epoch: AtomicU64,
     queue_depth: AtomicUsize,
+    /// Flush span ids awaiting their terminal `trace_publish` fan-in
+    /// span, drained by the next [`publish`](Self::publish). A leaf lock
+    /// (taken with a shard lock or the published write lock held, never
+    /// the reverse), so it cannot participate in a lock cycle. With two
+    /// publishes racing, a flush may be attributed to either epoch — the
+    /// causal chain is exact, the epoch attribution is advisory.
+    flushed_traces: Mutex<Vec<u64>>,
 }
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -107,6 +119,7 @@ impl ServeEngine {
                     pending: ObservationSet::new(),
                     pending_len: 0,
                     flushes: 0,
+                    pending_traces: Vec::new(),
                 })
             })
             .collect();
@@ -131,6 +144,7 @@ impl ServeEngine {
             published: RwLock::new(initial),
             epoch: AtomicU64::new(0),
             queue_depth: AtomicUsize::new(0),
+            flushed_traces: Mutex::new(Vec::new()),
         }
     }
 
@@ -202,6 +216,13 @@ impl ServeEngine {
     /// unknown tasks are dropped, and a shard whose pending batch reaches
     /// [`ServeConfig::batch_capacity`] is flushed through the MLE and a new
     /// epoch is published before this returns.
+    ///
+    /// With tracing active, the batch opens a causal trace: a root
+    /// `trace_ingest` span is emitted here, rides each receiving shard's
+    /// pending queue, and is closed by fan-in `trace_flush` /
+    /// `trace_publish` spans (each naming its covered spans in a
+    /// `parents` array) as the reports progress; dropped reports get a
+    /// terminal `trace_quarantine` child instead.
     pub fn submit(&self, reports: &ObservationSet) -> SubmitReceipt {
         let tasks = self.tasks_arc();
         let n = self.cfg.n_shards;
@@ -218,13 +239,43 @@ impl ServeEngine {
                 Some(t) => routed[shard_of(t.domain, n)].push(o),
             }
         }
+        receipt.accepted = routed.iter().map(Vec::len).sum();
+        eta2_obs::counter("serve.accepted_reports", receipt.accepted as u64);
+        // Root span allocated after the boundary counts are known and
+        // before any shard can see (and flush) the reports, so every
+        // child span's parent is already in the stream.
+        let dropped = receipt.quarantined + receipt.unknown_task;
+        let ctx =
+            (eta2_obs::tracing_active() && receipt.accepted + dropped > 0).then(TraceContext::root);
+        if let Some(ctx) = ctx {
+            eta2_obs::emit(&eta2_obs::Event::TraceIngest {
+                trace: ctx.trace,
+                span: ctx.span,
+                parent: ctx.parent,
+                accepted: receipt.accepted as u64,
+                quarantined: receipt.quarantined as u64,
+                unknown: receipt.unknown_task as u64,
+            });
+            if dropped > 0 {
+                let q = ctx.child();
+                eta2_obs::emit(&eta2_obs::Event::TraceQuarantine {
+                    trace: q.trace,
+                    span: q.span,
+                    parent: q.parent,
+                    quarantined: receipt.quarantined as u64,
+                    unknown: receipt.unknown_task as u64,
+                });
+            }
+        }
         let mut rerouted = Vec::new();
         for (k, batch) in routed.into_iter().enumerate() {
             if batch.is_empty() {
                 continue;
             }
-            receipt.accepted += batch.len();
             let mut shard = lock(&self.shards[k]);
+            if let Some(ctx) = ctx {
+                shard.pending_traces.push(ctx);
+            }
             for o in &batch {
                 if shard.pending.insert(o.user, o.task, o.value).is_none() {
                     shard.pending_len += 1;
@@ -244,10 +295,7 @@ impl ServeEngine {
         if !receipt.flushes.is_empty() {
             self.publish();
         }
-        eta2_obs::gauge(
-            "serve.queue_depth",
-            self.queue_depth.load(Ordering::Relaxed) as f64,
-        );
+        self.publish_gauges();
         receipt
     }
 
@@ -297,10 +345,7 @@ impl ServeEngine {
             }
             self.enqueue(&rerouted);
         }
-        eta2_obs::gauge(
-            "serve.queue_depth",
-            self.queue_depth.load(Ordering::Relaxed) as f64,
-        );
+        self.publish_gauges();
         if !outcomes.is_empty() {
             self.publish();
         }
@@ -313,7 +358,9 @@ impl ServeEngine {
     /// view publication ordered — and never takes another shard's lock.
     fn flush_shard(&self, k: usize, shard: &mut Shard) -> FlushResult {
         let _span = eta2_obs::span!("serve.flush");
+        let _shard_span = eta2_obs::Span::start_with(|| format!("serve.flush_seconds|shard={k}"));
         let pending = std::mem::take(&mut shard.pending);
+        let traces = std::mem::take(&mut shard.pending_traces);
         let drained = shard.pending_len;
         shard.pending_len = 0;
         self.queue_depth.fetch_sub(drained, Ordering::Relaxed);
@@ -363,6 +410,23 @@ impl ServeEngine {
             iterations: solved.iterations as u64,
             converged: solved.converged,
         });
+        if !traces.is_empty() {
+            // One fan-in span per flush: `parents` names every ingest root
+            // folded into this batch, so the whole fan-in costs a single
+            // event regardless of how many submits fed it. The span id
+            // rides `flushed_traces` (a leaf lock, safe under this shard's
+            // guard) until the covering publish closes it.
+            let span = eta2_obs::trace::next_id();
+            eta2_obs::emit(&eta2_obs::Event::TraceFlush {
+                span,
+                parents: traces.iter().map(|c| c.span).collect(),
+                shard: k as u64,
+                reports: kept as u64,
+                iterations: solved.iterations as u64,
+                converged: solved.converged,
+            });
+            lock(&self.flushed_traces).push(span);
+        }
         let outcome = FlushOutcome {
             shard: k,
             reports: kept,
@@ -444,13 +508,44 @@ impl ServeEngine {
         *slot = snap;
         drop(slot);
         eta2_obs::counter("serve.epoch_published", 1);
+        eta2_obs::gauge("serve.epoch", epoch as f64);
+        eta2_obs::gauge("serve.truths", truths as f64);
+        eta2_obs::gauge("serve.tasks", n_tasks as f64);
         eta2_obs::emit_with(|| eta2_obs::Event::ServeEpochPublished {
             epoch,
             truths: truths as u64,
             tasks: n_tasks as u64,
             queue_depth: self.queue_depth.load(Ordering::Relaxed) as u64,
         });
+        // Close every flush span this epoch covers with one fan-in span.
+        // Drained *after* the snapshot swap so a `trace_publish` record
+        // always refers to an epoch readers can already see; flushes
+        // racing in behind the drain are covered by the next publish. The
+        // epoch association is advisory (a racing publish may claim
+        // another flush's spans) — the causal chain ingest -> flush ->
+        // publish is what's exact.
+        let closed = std::mem::take(&mut *lock(&self.flushed_traces));
+        if !closed.is_empty() {
+            eta2_obs::emit(&eta2_obs::Event::TracePublish {
+                span: eta2_obs::trace::next_id(),
+                parents: closed,
+                epoch,
+            });
+        }
         epoch
+    }
+
+    /// Re-publishes the engine-level gauges from live state. Called after
+    /// every externally visible state change (`submit`, `tick`,
+    /// [`restore`](Self::restore)) so a metrics scrape between operations
+    /// never reads a gauge describing a dead engine — the bug this fixes
+    /// was `serve.queue_depth` surviving a checkpoint/restore and
+    /// reporting the pre-checkpoint engine's depth.
+    fn publish_gauges(&self) {
+        eta2_obs::gauge(
+            "serve.queue_depth",
+            self.queue_depth.load(Ordering::Relaxed) as f64,
+        );
     }
 
     /// The latest published epoch snapshot. Lock-free against flushes: the
@@ -559,6 +654,15 @@ impl ServeEngine {
             // newer report before these locks were taken.
             let old_pending = std::mem::take(&mut from_shard.pending);
             from_shard.pending_len = 0;
+            // Ingest traces follow their reports: any trace whose reports
+            // move to the kept shard must be closed by that shard's next
+            // flush, and a trace kept alive on both shards would emit two
+            // flush children — harmless for the parent-resolution
+            // invariant, but moving them wholesale keeps the common case
+            // (all of a trace's reports relabeled together) linear.
+            keep_shard
+                .pending_traces
+                .append(&mut from_shard.pending_traces);
             let mut dropped = 0usize;
             for o in old_pending.iter() {
                 let new_home = tasks.get(&o.task).map(|t| shard_of(t.domain, n));
@@ -700,6 +804,11 @@ impl ServeEngine {
             });
         }
         engine.publish();
+        // Re-publish engine gauges from the *restored* state. Without this
+        // a scrape after restore read the previous engine's last
+        // `serve.queue_depth` — stale by exactly the residual pending
+        // reports enqueued above.
+        engine.publish_gauges();
         engine
     }
 }

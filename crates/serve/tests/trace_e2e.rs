@@ -1,0 +1,249 @@
+//! End-to-end causal tracing: ingest a batch with tracing on, reconstruct
+//! the ingest -> flush -> publish span DAG from the JSONL stream (fan-in
+//! stages are multi-parent spans), and verify a forced invariant breach
+//! dumps a flight recording containing that same trace.
+//!
+//! These tests share the process-global observability state (sink,
+//! metrics flag, flight recorder, check mode), so they serialize on one
+//! lock and restore the disabled state before returning.
+
+use eta2_core::model::{DomainId, Observation, ObservationSet, Task, TaskId, UserId};
+use eta2_core::truth::dynamic::DynamicExpertise;
+use eta2_serve::{EngineCheckpoint, ServeConfig, ServeEngine, TaskSpec};
+use serde_json::Value;
+use std::collections::{BTreeMap, HashSet};
+use std::sync::Mutex;
+
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+fn cfg(n_shards: usize) -> ServeConfig {
+    let mut cfg = ServeConfig::default();
+    cfg.n_users = 4;
+    cfg.n_shards = n_shards;
+    cfg.batch_capacity = 0; // flush via tick(), so the test controls timing
+    cfg.threads = 1;
+    cfg
+}
+
+fn events(lines: &[String]) -> Vec<Value> {
+    lines
+        .iter()
+        .map(|l| serde_json::from_str(l).expect("trace line is JSON"))
+        .collect()
+}
+
+fn u(v: &Value, key: &str) -> u64 {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .unwrap_or_else(|| panic!("missing u64 field {key} in {v}"))
+}
+
+fn of_type<'a>(evs: &'a [Value], t: &str) -> Vec<&'a Value> {
+    evs.iter()
+        .filter(|v| v.get("type").and_then(Value::as_str) == Some(t))
+        .collect()
+}
+
+/// The `parents` span-id array of a fan-in trace event.
+fn parents(v: &Value) -> Vec<u64> {
+    v.get("parents")
+        .and_then(Value::as_array)
+        .unwrap_or_else(|| panic!("missing parents array in {v}"))
+        .iter()
+        .map(|p| p.as_u64().expect("span id"))
+        .collect()
+}
+
+#[test]
+fn ingest_flush_publish_span_tree_reconstructs_and_flight_dump_carries_it() {
+    let _g = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = std::env::temp_dir().join(format!("eta2-trace-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    eta2_obs::trace::seed_ids(0x5eed);
+    eta2_obs::flight::configure(Some(&dir), 4096);
+    let handle = eta2_obs::install_memory();
+
+    let engine = ServeEngine::new(cfg(2));
+    let ids = engine
+        .register_tasks(&[
+            TaskSpec::new(DomainId(0), 1.0, 1.0),
+            TaskSpec::new(DomainId(1), 1.0, 1.0),
+        ])
+        .unwrap();
+    let mut obs = ObservationSet::new();
+    obs.insert(UserId(0), ids[0], 10.0);
+    obs.insert(UserId(1), ids[0], 10.5);
+    obs.insert(UserId(2), ids[1], 4.0);
+    obs.insert(UserId(3), ids[1], f64::NAN); // quarantined
+    let receipt = engine.submit(&obs);
+    assert_eq!(receipt.accepted, 3);
+    assert_eq!(receipt.quarantined, 1);
+    engine.tick();
+
+    let evs = events(&handle.lines());
+
+    // One root ingest span for the submit, carrying the boundary counts.
+    let ingests = of_type(&evs, "trace_ingest");
+    assert_eq!(ingests.len(), 1, "{evs:?}");
+    let ingest = ingests[0];
+    assert_eq!(u(ingest, "parent"), 0, "ingest span must be a trace root");
+    assert_eq!(u(ingest, "accepted"), 3);
+    assert_eq!(u(ingest, "quarantined"), 1);
+    let trace = u(ingest, "trace");
+    assert_ne!(trace, 0);
+
+    // The dropped report closes as a quarantine child of the ingest.
+    let quarantines = of_type(&evs, "trace_quarantine");
+    assert_eq!(quarantines.len(), 1);
+    assert_eq!(u(quarantines[0], "trace"), trace);
+    assert_eq!(u(quarantines[0], "parent"), u(ingest, "span"));
+
+    // The two task domains hash to different shards, so the one ingest
+    // fans in to (up to two) flush spans — each a multi-parent span whose
+    // `parents` array names the ingest root — and the tick's single epoch
+    // publication closes every flush span under one terminal fan-in span.
+    let flushes = of_type(&evs, "trace_flush");
+    assert!(!flushes.is_empty(), "{evs:?}");
+    let flush_spans: HashSet<u64> = flushes
+        .iter()
+        .map(|f| {
+            assert!(
+                parents(f).contains(&u(ingest, "span")),
+                "flush must name the ingest root as a parent: {f}"
+            );
+            u(f, "span")
+        })
+        .collect();
+    let publishes = of_type(&evs, "trace_publish");
+    assert_eq!(publishes.len(), 1, "one tick publishes one epoch: {evs:?}");
+    let published_epoch = engine.snapshot().epoch();
+    let publish = publishes[0];
+    assert_eq!(
+        parents(publish).into_iter().collect::<HashSet<u64>>(),
+        flush_spans,
+        "the publish span must close exactly the epoch's flush spans"
+    );
+    assert!(u(publish, "epoch") <= published_epoch);
+
+    // Graph check, order-independent: every parent reference (singular
+    // `parent` on ingest/quarantine, `parents` array on fan-in spans)
+    // resolves to a span defined somewhere in the stream.
+    let trace_events: Vec<&Value> = evs
+        .iter()
+        .filter(|v| {
+            v.get("type")
+                .and_then(Value::as_str)
+                .is_some_and(|t| t.starts_with("trace_"))
+        })
+        .collect();
+    let spans: HashSet<u64> = trace_events.iter().map(|ev| u(ev, "span")).collect();
+    for ev in &trace_events {
+        let refs = match ev.get("parents") {
+            Some(_) => parents(ev),
+            None => vec![u(ev, "parent")],
+        };
+        for parent in refs {
+            if parent != 0 {
+                assert!(spans.contains(&parent), "dangling parent {parent} in {ev}");
+            }
+        }
+    }
+
+    // A forced invariant breach must dump the flight ring, and the dump
+    // must carry the causal trace that led up to it.
+    eta2_check::set_mode(eta2_check::Mode::Count);
+    eta2_check::invariant!("e2e.forced_breach", false, "forced for flight dump");
+    let dump = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(Result::ok)
+        .find(|e| e.file_name().to_string_lossy().starts_with("flight-"))
+        .expect("breach must produce a flight dump");
+    let text = std::fs::read_to_string(dump.path()).unwrap();
+    assert!(
+        text.lines()
+            .next()
+            .is_some_and(|h| h.contains("\"type\":\"flight_dump\"")),
+        "dump must start with its header: {text}"
+    );
+    assert!(
+        text.contains(&format!("\"trace\":{trace}")),
+        "flight dump must contain the ingest trace {trace}"
+    );
+    assert!(text.contains("e2e.forced_breach"), "{text}");
+
+    eta2_check::set_mode(eta2_check::Mode::Off);
+    eta2_check::reset_breaches();
+    eta2_obs::disable();
+    eta2_obs::set_metrics(false);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn restore_republishes_queue_depth_gauge() {
+    let _g = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    eta2_obs::set_metrics(true);
+
+    let c = cfg(2);
+    let engine = ServeEngine::new(c);
+    let ids = engine
+        .register_tasks(&[TaskSpec::new(DomainId(0), 1.0, 1.0)])
+        .unwrap();
+    let mut obs = ObservationSet::new();
+    obs.insert(UserId(0), ids[0], 1.0);
+    obs.insert(UserId(1), ids[0], 2.0);
+    engine.submit(&obs);
+    let mut checkpoint = engine.checkpoint(); // ticks: queue drains to 0
+                                              // Re-create pre-flush residue so the restored engine has a non-zero
+                                              // queue — the case where a stale gauge is observably wrong.
+    checkpoint.pending = (0..3)
+        .map(|u| Observation {
+            user: UserId(u),
+            task: ids[0],
+            value: 3.0 + f64::from(u),
+        })
+        .collect();
+
+    // Simulate the dead previous engine's last scrape value.
+    eta2_obs::gauge("serve.queue_depth", 999.0);
+    let restored = ServeEngine::restore(c, checkpoint);
+    assert_eq!(restored.queue_depth(), 3);
+    let snap = eta2_obs::registry::global().snapshot();
+    assert_eq!(
+        snap.gauges.get("serve.queue_depth"),
+        Some(&3.0),
+        "restore must re-publish engine gauges from restored state"
+    );
+
+    eta2_obs::set_metrics(false);
+}
+
+#[test]
+fn restore_accepts_hand_built_checkpoint_with_pending() {
+    // Belt-and-braces for the gauge test above: a from-scratch checkpoint
+    // (no donor engine) exercises the same restore path the serialized
+    // format does.
+    let _g = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let c = cfg(2);
+    let mut tasks = BTreeMap::new();
+    let t0 = TaskId(0);
+    tasks.insert(t0, Task::new(t0, DomainId(0), 1.0, 1.0));
+    let restored = ServeEngine::restore(
+        c,
+        EngineCheckpoint {
+            expertise: DynamicExpertise::new(c.n_users, c.alpha, c.mle),
+            tasks,
+            truths: BTreeMap::new(),
+            next_task: 1,
+            pending: vec![Observation {
+                user: UserId(0),
+                task: t0,
+                value: 7.0,
+            }],
+        },
+    );
+    assert_eq!(restored.queue_depth(), 1);
+    restored.tick();
+    assert_eq!(restored.queue_depth(), 0);
+    assert!(restored.truth(t0).is_some());
+}

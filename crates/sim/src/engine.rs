@@ -436,6 +436,8 @@ impl Simulation {
                 error: *metrics.daily_error.last().expect("just pushed"),
                 cumulative_cost: metrics.total_cost,
             });
+            eta2_obs::gauge("sim.day", day as f64);
+            eta2_obs::gauge("sim.cumulative_cost", metrics.total_cost);
             if eta2_check::enabled() {
                 let last = *metrics.daily_error.last().expect("just pushed");
                 eta2_check::invariant!(
