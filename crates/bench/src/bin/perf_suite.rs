@@ -13,6 +13,9 @@
 //! * **Observability** — serving-engine ingest throughput with obs fully
 //!   disabled vs metrics-only vs full causal tracing; the recorded
 //!   overhead fractions back CI's <= 10 % full-tracing gate.
+//! * **Durability** — the same ingest workload volatile vs WAL-backed
+//!   under each fsync posture (off, per-batch group commit, per-record);
+//!   the recorded overhead fractions back CI's group-commit ingest gate.
 //!
 //! Each comparison also re-checks the parity contracts (parallel MLE and
 //! heap allocation bit-identical; Hogwild vectors finite) so the numbers
@@ -383,7 +386,13 @@ fn bench_observability(opts: &Options) -> Value {
         let s = timed(&mut accepted);
         best[1] = best[1].min(s);
         sum[1] += s;
-        eta2_obs::init_file(&trace_path).expect("open trace file");
+        if let Err(e) = eta2_obs::init_file(&trace_path) {
+            eprintln!(
+                "error: trace sink i/o failed for {}: {e}",
+                trace_path.display()
+            );
+            std::process::exit(2);
+        }
         let s = timed(&mut accepted);
         best[2] = best[2].min(s);
         sum[2] += s;
@@ -429,6 +438,143 @@ fn bench_observability(opts: &Options) -> Value {
     })
 }
 
+/// The serving-engine ingest workload again, timed under four durability
+/// postures: volatile (no WAL), and WAL-backed with fsync off, per-batch
+/// (group commit at flush boundaries — the recommended posture) and
+/// per-record. Volatile and fsync-off isolate the pure logging cost;
+/// the batch-vs-record gap is the price of the stronger guarantee. CI's
+/// perf-smoke gate bounds `overhead_wal_batch_frac`.
+fn bench_durability(opts: &Options) -> Value {
+    use eta2_serve::{ServeConfig, ServeEngine, TaskSpec};
+    use eta2_wal::{FsyncPolicy, WalConfig};
+
+    // Per-record fsync pays one fsync per submit, so the round count is
+    // kept below the observability section's to hold the wall time down.
+    let rounds: u64 = if opts.quick { 200 } else { 1_000 };
+    let reports_per_submit = 32u64;
+    let (n_tasks, n_domains) = (128u32, 16u32);
+    let repeat = opts.repeat.max(5);
+
+    fn mix(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    let root = std::env::temp_dir().join(format!("eta2-perf-wal-{}", std::process::id()));
+    let run_ingest = |fsync: Option<FsyncPolicy>| {
+        let mut cfg = ServeConfig::default();
+        cfg.n_users = 64;
+        cfg.n_shards = 4;
+        cfg.batch_capacity = 128;
+        cfg.threads = 1;
+        let engine = match fsync {
+            None => ServeEngine::new(cfg),
+            Some(policy) => {
+                // A fresh log per run: recovery cost is measured by the
+                // crash sweep, not here.
+                let _ = std::fs::remove_dir_all(&root);
+                let mut wal_cfg = WalConfig::new(root.join("wal"));
+                wal_cfg.fsync = policy;
+                let (engine, _) = ServeEngine::recover(cfg, &root.join("checkpoints"), wal_cfg)
+                    .expect("fresh durable engine");
+                engine
+            }
+        };
+        let ids = engine
+            .register_tasks(
+                &(0..n_tasks)
+                    .map(|j| TaskSpec::new(DomainId(j % n_domains), 1.0, 1.0))
+                    .collect::<Vec<_>>(),
+            )
+            .expect("register tasks");
+        let mut accepted = 0usize;
+        for r in 0..rounds {
+            let mut obs = ObservationSet::new();
+            for k in 0..reports_per_submit {
+                let h = mix(r ^ mix(k));
+                let task = ids[(h % ids.len() as u64) as usize];
+                let user = UserId((mix(h) % 64) as u32);
+                obs.insert(user, task, 10.0 + (h % 100) as f64 * 0.01);
+            }
+            accepted += engine.submit(&obs).accepted;
+        }
+        engine.tick();
+        accepted
+    };
+
+    // Metrics off and postures interleaved per repeat, best-of per
+    // posture — same noise-exposure argument as the observability
+    // section, and the reason the overhead fractions are gateable.
+    eta2_obs::set_metrics(false);
+    const POSTURES: [Option<FsyncPolicy>; 4] = [
+        None,
+        Some(FsyncPolicy::Off),
+        Some(FsyncPolicy::PerBatch),
+        Some(FsyncPolicy::PerRecord),
+    ];
+    let mut accepted = run_ingest(None); // untimed warm-up
+    let mut best = [f64::INFINITY; 4];
+    let mut sum = [0.0f64; 4];
+    for _ in 0..repeat {
+        for (i, &posture) in POSTURES.iter().enumerate() {
+            let t0 = Instant::now();
+            accepted = run_ingest(posture);
+            let s = t0.elapsed().as_secs_f64();
+            best[i] = best[i].min(s);
+            sum[i] += s;
+        }
+    }
+    let _ = std::fs::remove_dir_all(&root);
+    eta2_obs::set_metrics(true); // main()'s posture for span attachment
+
+    let posture = |i: usize| {
+        json!({
+            "secs_best": best[i],
+            "secs_mean": sum[i] / repeat as f64,
+            "runs": repeat,
+        })
+    };
+    let (t_none, t_off, t_batch, t_record) = (posture(0), posture(1), posture(2), posture(3));
+    let base = best[0];
+    let overhead = |i: usize| (best[i] - base) / base;
+    let (o_off, o_batch, o_record) = (overhead(1), overhead(2), overhead(3));
+    eprintln!(
+        "durability {accepted} reports: volatile {base:.3}s, wal-off {:.3}s ({:+.1}%), \
+         wal-batch {:.3}s ({:+.1}%), wal-record {:.3}s ({:+.1}%)",
+        best[1],
+        o_off * 100.0,
+        best[2],
+        o_batch * 100.0,
+        best[3],
+        o_record * 100.0,
+    );
+    json!({
+        "rounds": rounds,
+        "reports_per_submit": reports_per_submit,
+        "reports_accepted": accepted,
+        "n_tasks": n_tasks,
+        "n_domains": n_domains,
+        "volatile": t_none,
+        "wal_fsync_off": t_off,
+        "wal_fsync_batch": t_batch,
+        "wal_fsync_record": t_record,
+        "ingest_per_sec_volatile": accepted as f64 / best[0],
+        "ingest_per_sec_wal_batch": accepted as f64 / best[2],
+        "overhead_wal_off_frac": o_off,
+        "overhead_wal_batch_frac": o_batch,
+        "overhead_wal_record_frac": o_record,
+        // CI's committed bound targets this amortized cost rather than
+        // the fractions: the fractions divide fsync latency by a
+        // sub-microsecond in-memory baseline, so they swing with the
+        // runner's storage stack, while group commit pins the fsync
+        // count per report (1 / batch_capacity) and keeps this number
+        // stable across machines.
+        "wal_batch_us_per_report": best[2] / accepted as f64 * 1e6,
+    })
+}
+
 fn main() {
     let opts = parse_options();
     // Span timing on: the hot paths record `mle.solve` / `alloc.greedy` /
@@ -445,6 +591,7 @@ fn main() {
     let skipgram = bench_skipgram(&opts, threads);
     let allocation = bench_allocation(&opts);
     let observability = bench_observability(&opts);
+    let durability = bench_durability(&opts);
 
     let mut out = json!({
         "meta": {
@@ -459,6 +606,7 @@ fn main() {
         "skipgram": skipgram,
         "allocation": allocation,
         "observability": observability,
+        "durability": durability,
     });
     eta2_bench::harness::attach_span_timing(
         &mut out,
@@ -466,6 +614,9 @@ fn main() {
     );
 
     let body = serde_json::to_string_pretty(&out).expect("serialize result");
-    std::fs::write(&opts.out, body).expect("write benchmark file");
+    if let Err(e) = eta2_bench::harness::write_output(&opts.out, body) {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
     eprintln!("[perf baseline written to {}]", opts.out);
 }

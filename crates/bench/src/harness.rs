@@ -159,6 +159,22 @@ pub fn attach_span_timing(value: &mut Value, spans: &eta2_obs::registry::Snapsho
     }
 }
 
+/// Writes `body` to `path`, creating parent directories, with the same
+/// path-context error phrasing as `eta2_datasets::io`: callers surface the
+/// message and exit nonzero instead of panicking, so an unwritable
+/// `--out` / `--metrics-out` target names the offending path.
+pub fn write_output(
+    path: impl AsRef<std::path::Path>,
+    body: impl AsRef<[u8]>,
+) -> Result<(), String> {
+    let path = path.as_ref();
+    let fail = |e: std::io::Error| format!("output file i/o failed for {}: {e}", path.display());
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent).map_err(fail)?;
+    }
+    std::fs::write(path, body).map_err(fail)
+}
+
 /// Prints a header line for an experiment.
 pub fn banner(id: &str, title: &str) {
     eta2_obs::progress!();
@@ -228,6 +244,22 @@ mod tests {
         let mut v = serde_json::json!({"ok": true});
         attach_span_timing(&mut v, &r.snapshot());
         assert!(v.get("span_timing").is_none());
+    }
+
+    #[test]
+    fn write_output_creates_parents_and_reports_unwritable_paths() {
+        let dir = std::env::temp_dir().join("eta2_harness_write_output");
+        let nested = dir.join("a/b/out.json");
+        write_output(&nested, "{}").expect("parents created on demand");
+        assert_eq!(std::fs::read_to_string(&nested).unwrap(), "{}");
+        std::fs::remove_dir_all(&dir).ok();
+
+        let bad = std::path::Path::new("/dev/null/not-a-dir/out.json");
+        let err = write_output(bad, "{}").expect_err("unwritable path must fail");
+        assert!(
+            err.contains("output file i/o failed for /dev/null/not-a-dir/out.json"),
+            "{err}"
+        );
     }
 
     #[test]

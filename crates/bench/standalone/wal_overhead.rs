@@ -1,0 +1,535 @@
+//! Durable-ingest measurement for hosts where the full workspace cannot
+//! be built (this container has no crate-registry access). Links the
+//! REAL `eta2-wal` crate — the segment writer, CRC framing, fsync
+//! gating, rotation, truncation, torn-tail chop and replay scanner being
+//! measured are the production code paths — and mirrors the serving
+//! engine's durable ingest loop shape (append the encoded op before
+//! applying it, group commit at flush boundaries, checkpoint = log the
+//! tick + write the snapshot + truncate) from
+//! `crates/serve/src/engine.rs` / `crates/serve/src/durable.rs`.
+//!
+//! Two parts:
+//!
+//! 1. **Protocol validation** — a miniature kill-replay sweep with the
+//!    same crash grammar as `eta2::check::crash`: the mirror engine runs
+//!    a seeded workload durably, the log + checkpoint directories are
+//!    snapshotted after every op, and every snapshot is killed three
+//!    ways (clean, torn mid-record tail, corrupted-checksum tail) and
+//!    recovered through the real `eta2_wal::replay`. Recovery must be
+//!    bit-identical to an uninterrupted twin at the expected op prefix,
+//!    including the checkpoint-file-supersedes-its-own-Tick-record rule.
+//! 2. **Overhead timing** — the ingest loop volatile vs WAL-backed under
+//!    each fsync posture, with WAL records sized like the real engine's
+//!    JSON-encoded `WalOp::Submit` payloads.
+//!
+//! Run:
+//! ```sh
+//! rustc -O --edition 2021 --crate-type rlib --crate-name eta2_obs \
+//!     crates/obs/src/lib.rs -o /tmp/libeta2_obs.rlib
+//! rustc -O --edition 2021 --crate-type rlib --crate-name eta2_wal \
+//!     crates/wal/src/lib.rs --extern eta2_obs=/tmp/libeta2_obs.rlib \
+//!     -o /tmp/libeta2_wal.rlib
+//! rustc -O --edition 2021 crates/bench/standalone/wal_overhead.rs \
+//!     --extern eta2_obs=/tmp/libeta2_obs.rlib \
+//!     --extern eta2_wal=/tmp/libeta2_wal.rlib -o /tmp/wal_overhead
+//! /tmp/wal_overhead
+//! ```
+//!
+//! The real `perf_suite` durability section (full workspace,
+//! `bench_durability` over the real `ServeEngine`) supersedes these
+//! numbers whenever it can run; CI's perf-smoke gate bounds the group
+//! commit overhead fraction there.
+
+use eta2_wal::{FsyncPolicy, Wal, WalConfig};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+const ROUNDS: u64 = 1_000;
+const REPORTS_PER_ROUND: u64 = 32;
+const N_TASKS: u64 = 128;
+const N_USERS: u64 = 64;
+const N_SHARDS: usize = 4;
+const BATCH_CAPACITY: usize = 128;
+const REPEAT: usize = 5;
+
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One logged op, mirroring `eta2_serve::durable::WalOp`'s shape.
+#[derive(Clone, Debug)]
+enum Op {
+    Submit(Vec<(u64, u64, f64)>), // (user, task, value)
+    Tick,
+}
+
+/// Compact encoding for the validation sweep (decode must round-trip).
+fn encode(op: &Op) -> Vec<u8> {
+    let mut out = Vec::new();
+    match op {
+        Op::Submit(reports) => {
+            out.push(1u8);
+            out.extend_from_slice(&(reports.len() as u32).to_le_bytes());
+            for &(u, t, v) in reports {
+                out.extend_from_slice(&u.to_le_bytes());
+                out.extend_from_slice(&t.to_le_bytes());
+                out.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+        }
+        Op::Tick => out.push(2u8),
+    }
+    out
+}
+
+fn decode(payload: &[u8]) -> Result<Op, String> {
+    match payload.first() {
+        Some(1) => {
+            let n = u32::from_le_bytes(payload[1..5].try_into().unwrap()) as usize;
+            let mut reports = Vec::with_capacity(n);
+            let mut at = 5usize;
+            for _ in 0..n {
+                let u = u64::from_le_bytes(payload[at..at + 8].try_into().unwrap());
+                let t = u64::from_le_bytes(payload[at + 8..at + 16].try_into().unwrap());
+                let v = f64::from_bits(u64::from_le_bytes(
+                    payload[at + 16..at + 24].try_into().unwrap(),
+                ));
+                reports.push((u, t, v));
+                at += 24;
+            }
+            Ok(Op::Submit(reports))
+        }
+        Some(2) => Ok(Op::Tick),
+        other => Err(format!("bad op tag {other:?}")),
+    }
+}
+
+/// Sharded ingest mirror with flush-partition-sensitive state: the flush
+/// fold decays the running accumulator before adding the batch, so two
+/// runs agree bit-for-bit only if every flush boundary lands on the same
+/// pending set — the same property that makes the real engine's MLE
+/// state sensitive to where ticks partition the stream.
+struct MiniEngine {
+    shards: Vec<Vec<(u64, u64, f64)>>,
+    truths: BTreeMap<u64, (f64, f64)>, // task -> (decayed weight, decayed sum)
+    epoch: u64,
+}
+
+impl MiniEngine {
+    fn new() -> MiniEngine {
+        MiniEngine {
+            shards: vec![Vec::new(); N_SHARDS],
+            truths: BTreeMap::new(),
+            epoch: 0,
+        }
+    }
+
+    fn submit(&mut self, reports: &[(u64, u64, f64)]) {
+        for &(u, t, v) in reports {
+            let s = (t as usize) % N_SHARDS;
+            self.shards[s].push((u, t, v));
+        }
+        for s in 0..N_SHARDS {
+            if self.shards[s].len() >= BATCH_CAPACITY {
+                self.flush(s);
+            }
+        }
+    }
+
+    fn flush(&mut self, s: usize) {
+        if self.shards[s].is_empty() {
+            return;
+        }
+        for (u, t, v) in std::mem::take(&mut self.shards[s]) {
+            let e = self.truths.entry(t).or_insert((0.0, 0.0));
+            let w = 1.0 + (u % 7) as f64 * 0.25;
+            e.0 = e.0 * 0.9 + w;
+            e.1 = e.1 * 0.9 + w * v;
+        }
+        self.epoch += 1;
+    }
+
+    fn tick(&mut self) {
+        for s in 0..N_SHARDS {
+            self.flush(s);
+        }
+        self.epoch += 1;
+    }
+
+    fn apply(&mut self, op: &Op) {
+        match op {
+            Op::Submit(reports) => self.submit(reports),
+            Op::Tick => self.tick(),
+        }
+    }
+
+    fn state_digest(&self) -> Vec<(u64, u64, u64)> {
+        self.truths
+            .iter()
+            .map(|(&t, &(w, s))| (t, w.to_bits(), s.to_bits()))
+            .collect()
+    }
+}
+
+fn seeded_reports(seed: u64, round: u64) -> Vec<(u64, u64, f64)> {
+    (0..REPORTS_PER_ROUND)
+        .map(|k| {
+            let h = mix(seed ^ mix(round) ^ k);
+            (
+                mix(h) % N_USERS,
+                h % N_TASKS,
+                10.0 + (h % 100) as f64 * 0.01,
+            )
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Part 1: kill-replay protocol validation (crash grammar of check::crash)
+// ---------------------------------------------------------------------
+
+/// `Checkpoint` op marker for the validation workload: op index j is a
+/// durable checkpoint when `j % 5 == 0` (several per sweep, so the
+/// truncation + supersedes-Tick paths get exercised repeatedly).
+fn is_checkpoint(j: usize) -> bool {
+    j % 5 == 0
+}
+
+fn checkpoint_file(dir: &Path, position: u64) -> PathBuf {
+    dir.join(format!("checkpoint-{position:020}.bin"))
+}
+
+fn write_checkpoint(dir: &Path, position: u64, engine: &MiniEngine) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let mut body = position.to_le_bytes().to_vec();
+    body.extend_from_slice(&engine.epoch.to_le_bytes());
+    for (t, w, s) in engine.state_digest() {
+        body.extend_from_slice(&t.to_le_bytes());
+        body.extend_from_slice(&w.to_le_bytes());
+        body.extend_from_slice(&s.to_le_bytes());
+    }
+    let tmp = dir.join("checkpoint.tmp");
+    std::fs::write(&tmp, &body)?;
+    std::fs::rename(&tmp, checkpoint_file(dir, position))
+}
+
+fn load_latest_checkpoint(dir: &Path) -> Result<Option<(u64, MiniEngine)>, String> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(format!("read {}: {e}", dir.display())),
+    };
+    let mut best: Option<PathBuf> = None;
+    for entry in entries {
+        let path = entry.map_err(|e| e.to_string())?.path();
+        let name = path.file_name().unwrap_or_default().to_string_lossy();
+        if name.starts_with("checkpoint-") && best.as_ref().map_or(true, |b| path > *b) {
+            best = Some(path);
+        }
+    }
+    let Some(path) = best else { return Ok(None) };
+    let body = std::fs::read(&path).map_err(|e| e.to_string())?;
+    let position = u64::from_le_bytes(body[0..8].try_into().unwrap());
+    let mut engine = MiniEngine::new();
+    engine.epoch = u64::from_le_bytes(body[8..16].try_into().unwrap());
+    for chunk in body[16..].chunks_exact(24) {
+        let t = u64::from_le_bytes(chunk[0..8].try_into().unwrap());
+        let w = f64::from_bits(u64::from_le_bytes(chunk[8..16].try_into().unwrap()));
+        let s = f64::from_bits(u64::from_le_bytes(chunk[16..24].try_into().unwrap()));
+        engine.truths.insert(t, (w, s));
+    }
+    Ok(Some((position, engine)))
+}
+
+/// `ServeEngine::recover`, in miniature: latest checkpoint, then replay
+/// the log tail through the real `eta2_wal::replay` (which tolerates —
+/// and reports — a torn or corrupt tail on the last segment).
+fn recover(root: &Path) -> Result<(u64, MiniEngine), String> {
+    let (position, mut engine) = match load_latest_checkpoint(&root.join("checkpoints"))? {
+        Some(loaded) => loaded,
+        None => (0, MiniEngine::new()),
+    };
+    let replayed = eta2_wal::replay(&root.join("wal")).map_err(|e| e.to_string())?;
+    let mut next = position;
+    for record in &replayed.records {
+        if record.index < position {
+            continue;
+        }
+        engine.apply(&decode(&record.payload)?);
+        next = record.index + 1;
+    }
+    Ok((next, engine))
+}
+
+fn copy_dir(src: &Path, dst: &Path) -> std::io::Result<()> {
+    if !src.exists() {
+        return Ok(());
+    }
+    std::fs::create_dir_all(dst)?;
+    for entry in std::fs::read_dir(src)? {
+        let entry = entry?;
+        let to = dst.join(entry.file_name());
+        if entry.file_type()?.is_dir() {
+            copy_dir(&entry.path(), &to)?;
+        } else {
+            std::fs::copy(entry.path(), &to)?;
+        }
+    }
+    Ok(())
+}
+
+fn reset_dir(dir: &Path) -> std::io::Result<()> {
+    if dir.exists() {
+        std::fs::remove_dir_all(dir)?;
+    }
+    std::fs::create_dir_all(dir)
+}
+
+fn wal_cfg(dir: PathBuf) -> WalConfig {
+    let mut cfg = WalConfig::new(dir);
+    cfg.fsync = FsyncPolicy::Off;
+    cfg.segment_bytes = 256; // force rotation even on short workloads
+    cfg
+}
+
+/// Runs the kill-replay sweep for one seed; returns (kill points, failures).
+fn validate_seed(seed: u64, scratch: &Path) -> Result<(usize, Vec<String>), String> {
+    let n_ops = 14usize;
+    let ops: Vec<Op> = (1..=n_ops)
+        .map(|j| {
+            if is_checkpoint(j) {
+                Op::Tick // the record a durable checkpoint logs
+            } else {
+                Op::Submit(seeded_reports(seed, j as u64))
+            }
+        })
+        .collect();
+
+    let root = scratch.join(format!("v-{seed:x}"));
+    reset_dir(&root).map_err(|e| e.to_string())?;
+    let live = root.join("live");
+    let snap_for = |j: usize| root.join(format!("snap-{j:04}"));
+
+    // Record pass: append-then-apply, exactly the engine's durable
+    // protocol, snapshotting the durability dirs after every op.
+    {
+        let (mut wal, _) = Wal::open(wal_cfg(live.join("wal"))).map_err(|e| e.to_string())?;
+        let mut engine = MiniEngine::new();
+        copy_dir(&live, &snap_for(0)).map_err(|e| e.to_string())?;
+        for (i, op) in ops.iter().enumerate() {
+            let j = i + 1;
+            wal.append(&encode(op)).map_err(|e| e.to_string())?;
+            engine.apply(op);
+            if is_checkpoint(j) {
+                let position = wal.position();
+                wal.sync().map_err(|e| e.to_string())?;
+                write_checkpoint(&live.join("checkpoints"), position, &engine)
+                    .map_err(|e| e.to_string())?;
+                wal.truncate_up_to(position).map_err(|e| e.to_string())?;
+            } else {
+                wal.sync_batched().map_err(|e| e.to_string())?;
+            }
+            if wal.position() != j as u64 {
+                return Err(format!("op {j} left wal position {}", wal.position()));
+            }
+            copy_dir(&live, &snap_for(j)).map_err(|e| e.to_string())?;
+        }
+    }
+
+    let twin_digest = |prefix: usize| {
+        let mut twin = MiniEngine::new();
+        for op in &ops[..prefix] {
+            twin.apply(op);
+        }
+        twin.state_digest()
+    };
+
+    let mut checkpoint_ops = vec![0usize; n_ops + 1];
+    for j in 1..=n_ops {
+        checkpoint_ops[j] = if is_checkpoint(j) {
+            j
+        } else {
+            checkpoint_ops[j - 1]
+        };
+    }
+
+    let mut failures = Vec::new();
+    let mut kill_points = 0usize;
+    let work = root.join("work");
+    for j in 0..=n_ops {
+        for variant in ["clean", "torn", "corrupt"] {
+            if j == 0 && variant != "clean" {
+                continue;
+            }
+            reset_dir(&work).map_err(|e| e.to_string())?;
+            copy_dir(&snap_for(j), &work).map_err(|e| e.to_string())?;
+            kill_points += 1;
+            let expected = if variant == "clean" {
+                j
+            } else {
+                // Mutilate the last record (index j-1) through the real
+                // tail-layout scanner; a checkpoint file supersedes its
+                // own trailing Tick record.
+                let layout = eta2_wal::tail_segment_layout(&work.join("wal"))
+                    .map_err(|e| e.to_string())?
+                    .filter(|l| !l.records.is_empty());
+                let Some(layout) = layout else {
+                    failures.push(format!("op {j} {variant}: no tail records"));
+                    continue;
+                };
+                let last = layout.records.last().unwrap();
+                use std::io::{Read, Seek, SeekFrom, Write};
+                let mut f = std::fs::OpenOptions::new()
+                    .read(true)
+                    .write(true)
+                    .open(&layout.segment)
+                    .map_err(|e| e.to_string())?;
+                if variant == "torn" {
+                    f.set_len(last.offset + last.frame_len / 2)
+                        .map_err(|e| e.to_string())?;
+                } else {
+                    let at = last.offset + eta2_wal::FRAME_PREFIX_BYTES;
+                    let mut byte = [0u8];
+                    f.seek(SeekFrom::Start(at)).map_err(|e| e.to_string())?;
+                    f.read_exact(&mut byte).map_err(|e| e.to_string())?;
+                    byte[0] ^= 0xff;
+                    f.seek(SeekFrom::Start(at)).map_err(|e| e.to_string())?;
+                    f.write_all(&byte).map_err(|e| e.to_string())?;
+                }
+                checkpoint_ops[j].max(j - 1)
+            };
+            match recover(&work) {
+                Err(e) => failures.push(format!("op {j} {variant}: recovery failed: {e}")),
+                Ok((_, recovered)) => {
+                    if recovered.state_digest() != twin_digest(expected) {
+                        failures.push(format!(
+                            "op {j} {variant}: recovered state != twin at prefix {expected}"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&root);
+    Ok((kill_points, failures))
+}
+
+// ---------------------------------------------------------------------
+// Part 2: ingest overhead per fsync posture
+// ---------------------------------------------------------------------
+
+/// A WAL record sized like the real engine's JSON `WalOp::Submit`: the
+/// production encoding is serde_json over the report batch, so the bytes
+/// hitting the log are this order of magnitude (~35 bytes/report).
+fn json_sized_payload(seed: u64, round: u64) -> Vec<u8> {
+    let mut s = String::with_capacity(64 + 40 * REPORTS_PER_ROUND as usize);
+    s.push_str("{\"Submit\":[");
+    for (i, (u, t, v)) in seeded_reports(seed, round).into_iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!("{{\"user\":{u},\"task\":{t},\"value\":{v}}}"));
+    }
+    s.push_str("]}");
+    s.into_bytes()
+}
+
+fn run_ingest(root: &Path, fsync: Option<FsyncPolicy>) -> u64 {
+    let mut wal = fsync.map(|policy| {
+        let _ = std::fs::remove_dir_all(root);
+        let mut cfg = WalConfig::new(root.join("wal"));
+        cfg.fsync = policy;
+        Wal::open(cfg).expect("fresh wal").0
+    });
+    let mut engine = MiniEngine::new();
+    let mut accepted = 0u64;
+    for r in 0..ROUNDS {
+        let payload = json_sized_payload(42, r);
+        let reports = seeded_reports(42, r);
+        if let Some(wal) = wal.as_mut() {
+            wal.append(&payload).expect("append");
+        }
+        let before = engine.epoch;
+        engine.submit(&reports);
+        if engine.epoch != before {
+            // A flush boundary: the engine group-commits here.
+            if let Some(wal) = wal.as_mut() {
+                wal.sync_batched().expect("group commit");
+            }
+        }
+        accepted += REPORTS_PER_ROUND;
+    }
+    engine.tick();
+    if let Some(wal) = wal.as_mut() {
+        wal.sync_batched().expect("final group commit");
+    }
+    accepted
+}
+
+fn main() {
+    let scratch = std::env::temp_dir().join(format!("eta2-wal-overhead-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    // Part 1: the kill-replay protocol must hold before the numbers mean
+    // anything.
+    let mut total_kill_points = 0usize;
+    for seed in 0..8u64 {
+        match validate_seed(seed, &scratch) {
+            Err(e) => {
+                eprintln!("validation seed {seed}: sweep failed to run: {e}");
+                std::process::exit(1);
+            }
+            Ok((kill_points, failures)) => {
+                total_kill_points += kill_points;
+                if !failures.is_empty() {
+                    eprintln!("validation seed {seed}: {} divergence(s):", failures.len());
+                    for f in &failures {
+                        eprintln!("  {f}");
+                    }
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+    println!("validation: 8 seeds, {total_kill_points} kill points, all recovered bit-identical");
+
+    // Part 2: postures interleaved per repeat, best-of per posture.
+    let root = scratch.join("bench");
+    let postures: [(&str, Option<FsyncPolicy>); 4] = [
+        ("volatile", None),
+        ("wal_fsync_off", Some(FsyncPolicy::Off)),
+        ("wal_fsync_batch", Some(FsyncPolicy::PerBatch)),
+        ("wal_fsync_record", Some(FsyncPolicy::PerRecord)),
+    ];
+    let mut accepted = run_ingest(&root, None); // warm-up
+    let mut best = [f64::INFINITY; 4];
+    let mut sum = [0.0f64; 4];
+    for _ in 0..REPEAT {
+        for (i, &(_, posture)) in postures.iter().enumerate() {
+            let t0 = Instant::now();
+            accepted = run_ingest(&root, posture);
+            let s = t0.elapsed().as_secs_f64();
+            best[i] = best[i].min(s);
+            sum[i] += s;
+        }
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let base = best[0];
+    println!(
+        "workload: {ROUNDS} rounds x {REPORTS_PER_ROUND} reports = {accepted} accepted, \
+         batch_capacity {BATCH_CAPACITY}, {N_SHARDS} shards, repeat {REPEAT}"
+    );
+    for (i, &(name, _)) in postures.iter().enumerate() {
+        println!(
+            "{name:>18}: best {:.6}s mean {:.6}s overhead {:+.4} ingest/s {:.0}",
+            best[i],
+            sum[i] / REPEAT as f64,
+            (best[i] - base) / base,
+            accepted as f64 / best[i],
+        );
+    }
+}

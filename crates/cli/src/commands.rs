@@ -28,9 +28,11 @@ USAGE:
                     [--threads N] [--seed N]
                     [--fault-dropout F] [--fault-corrupt F]
                     [--metrics-out FILE] [--metrics-json FILE]
+                    [--wal-dir DIR] [--fsync per-record|per-batch|off]
   eta2-cli top      (--replay FILE.jsonl [--follow] [--metrics FILE]
                      | --demo) [--interval MS] [--refreshes N]
   eta2-cli check    [--seeds N | --seed S | --corpus FILE] [--strict]
+                    [--crash] [--scratch DIR]
   eta2-cli help
 
 Approaches: eta2, eta2-mc, hubs, avglog, truthfinder, baseline, crh
@@ -59,7 +61,13 @@ serve-bench: stresses the concurrent serving engine — N producer threads
   in Prometheus text exposition format; --metrics-json FILE writes the
   versioned JSON snapshot (feed it to `top --replay ... --metrics FILE`).
   Trace span ids derive from --seed, so two runs with the same seed and
-  workload produce comparable causal traces.
+  workload produce comparable causal traces. --wal-dir DIR runs the
+  engine in durable mode: every accepted write is appended to a
+  segmented, checksummed write-ahead log under DIR/wal before it is
+  acked (--fsync picks the gating posture, default per-batch group
+  commit), the run starts by recovering whatever checkpoint + log tail
+  DIR already holds, and ends with a durable checkpoint that truncates
+  the log.
 
 top: a plain-text dashboard over the observability plane — ingest rate,
   queue depth, flush-latency percentiles, epoch age, quarantine counts
@@ -77,6 +85,12 @@ check: replays seeded differential-correctness scenarios — every op runs
   (decimal or 0x-hex) replays one scenario and, on failure, prints the
   shortest failing op prefix plus a ready-to-commit corpus line.
   --strict panics at the first invariant breach instead of counting.
+  --crash switches to the durable-ingest kill-replay sweep: each seed's
+  workload runs on a WAL-backed engine, the log is killed after every
+  record boundary (plus a torn mid-record tail and a corrupted-checksum
+  variant at each), and every kill point is recovered and bit-compared
+  against an uninterrupted twin. --scratch DIR overrides the sweep's
+  working directory (default: a per-process dir under the system tmp).
 
 Observability (any command):
   --trace FILE   write structured JSONL trace events to FILE
@@ -352,7 +366,35 @@ pub fn serve_bench(args: &Args) -> Result<(), String> {
     }
     eta2_obs::trace::seed_ids(seed);
 
-    let engine = ServeEngine::new(cfg);
+    let durable_root = args.get("wal-dir").map(std::path::PathBuf::from);
+    if args.has("fsync") && durable_root.is_none() {
+        return Err("--fsync requires --wal-dir".into());
+    }
+    let engine = if let Some(root) = &durable_root {
+        let raw = args.get("fsync").unwrap_or("per-batch");
+        let fsync = eta2::wal::FsyncPolicy::parse(raw).ok_or_else(|| {
+            format!("invalid value for --fsync: {raw:?} (expected per-record, per-batch or off)")
+        })?;
+        let mut wal_cfg = eta2::wal::WalConfig::new(root.join("wal"));
+        wal_cfg.fsync = fsync;
+        let (engine, recovered) = ServeEngine::recover(cfg, &root.join("checkpoints"), wal_cfg)
+            .map_err(|e| e.to_string())?;
+        eta2_obs::progress!(
+            "serve-bench: durable mode in {} ({raw} fsync): recovered to wal position {} \
+             ({} log record(s) replayed on top of {}, {} torn byte(s) dropped)",
+            root.display(),
+            recovered.checkpoint_position + recovered.records_replayed,
+            recovered.records_replayed,
+            recovered
+                .checkpoint_path
+                .as_ref()
+                .map_or("an empty state".to_string(), |p| p.display().to_string()),
+            recovered.torn_bytes,
+        );
+        engine
+    } else {
+        ServeEngine::new(cfg)
+    };
     let specs: Vec<TaskSpec> = (0..n_tasks)
         .map(|j| TaskSpec::new(DomainId(j % n_domains), 1.0, 1.0))
         .collect();
@@ -491,14 +533,21 @@ pub fn serve_bench(args: &Args) -> Result<(), String> {
         read_us,
         flush_ms
     );
+    if let Some(root) = &durable_root {
+        let path = engine
+            .checkpoint_durable(&root.join("checkpoints"))
+            .map_err(|e| e.to_string())?;
+        eta2_obs::progress!(
+            "  durable checkpoint written to {} (log truncated behind it)",
+            path.display()
+        );
+    }
     if let Some(path) = &metrics_out {
-        std::fs::write(path, eta2_obs::expose_prometheus())
-            .map_err(|e| format!("cannot write metrics {path}: {e}"))?;
+        eta2_bench::harness::write_output(path, eta2_obs::expose_prometheus())?;
         eta2_obs::progress!("  wrote Prometheus metrics to {path}");
     }
     if let Some(path) = &metrics_json {
-        std::fs::write(path, eta2_obs::expose_json())
-            .map_err(|e| format!("cannot write metrics {path}: {e}"))?;
+        eta2_bench::harness::write_output(path, eta2_obs::expose_json())?;
         eta2_obs::progress!("  wrote JSON metrics snapshot to {path}");
     }
     Ok(())
@@ -543,6 +592,10 @@ pub fn check(args: &Args) -> Result<(), String> {
         }
         (corpus.seeds, format!("corpus {path}"))
     };
+
+    if args.has("crash") {
+        return check_crash(args, &seeds, &source);
+    }
 
     let mut failed = 0usize;
     for &seed in &seeds {
@@ -590,5 +643,56 @@ pub fn check(args: &Args) -> Result<(), String> {
         ));
     }
     eta2_obs::progress!("{} scenario(s) replayed clean ({source})", seeds.len());
+    Ok(())
+}
+
+/// `check --crash` — the durable-ingest kill-replay sweep: every seed's
+/// workload runs on a WAL-backed engine and every kill point (each record
+/// boundary, plus torn-tail and corrupted-checksum variants of each
+/// record) is recovered and bit-compared against an uninterrupted twin.
+fn check_crash(args: &Args, seeds: &[u64], source: &str) -> Result<(), String> {
+    use eta2::check::crash;
+
+    let scratch = match args.get("scratch") {
+        Some("") => return Err("--scratch requires a directory path".into()),
+        Some(p) => std::path::PathBuf::from(p),
+        None => std::env::temp_dir().join(format!("eta2-crash-{}", std::process::id())),
+    };
+    let mut failed = 0usize;
+    let mut kill_points = 0usize;
+    for &seed in seeds {
+        let report =
+            crash::run_crash_seed(seed, &scratch).map_err(|e| format!("seed {seed:#x}: {e}"))?;
+        kill_points += report.kill_points;
+        if report.passed() {
+            eta2_obs::detail!(
+                "seed {:#x}: ok ({} ops, {} kill point(s) recovered)",
+                seed,
+                report.ops,
+                report.kill_points
+            );
+            continue;
+        }
+        failed += 1;
+        eta2_obs::progress!(
+            "FAIL seed {:#x}: {} of {} kill point(s) diverged from the twin",
+            seed,
+            report.failures.len(),
+            report.kill_points
+        );
+        for f in &report.failures {
+            eta2_obs::progress!("  {f}");
+        }
+    }
+    if failed > 0 {
+        return Err(format!(
+            "{failed}/{} crash sweep(s) failed ({source})",
+            seeds.len()
+        ));
+    }
+    eta2_obs::progress!(
+        "{} crash sweep(s) recovered clean at {kill_points} kill point(s) ({source})",
+        seeds.len()
+    );
     Ok(())
 }

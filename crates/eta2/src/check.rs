@@ -34,6 +34,8 @@
 /// breach accounting, the seeded scenario generator and the corpus format.
 pub use eta2_check as gate;
 
+pub mod crash;
+
 use eta2_check::rng::SplitMix64;
 use eta2_check::scenario::{Op, Scenario};
 use eta2_core::allocation::{
@@ -100,7 +102,7 @@ pub fn run_seed(seed: u64) -> RunOutcome {
 // functional-record-update) are unavailable outside `eta2-serve`; mutating
 // a default is the supported construction path.
 #[allow(clippy::field_reassign_with_default)]
-fn serve_cfg(n_users: usize, n_shards: usize, batch_capacity: usize) -> ServeConfig {
+pub(crate) fn serve_cfg(n_users: usize, n_shards: usize, batch_capacity: usize) -> ServeConfig {
     let mut cfg = ServeConfig::default();
     cfg.n_users = n_users;
     cfg.n_shards = n_shards;
@@ -112,7 +114,11 @@ fn serve_cfg(n_users: usize, n_shards: usize, batch_capacity: usize) -> ServeCon
 /// Bit-compares the externally observable state of the two engines: truth
 /// estimates for every registered task, expertise over the union of both
 /// snapshots' domains, and the pending-queue depth.
-fn state_divergence(eng: &ServeEngine, ora: &ServeEngine, task_ids: &[TaskId]) -> Option<String> {
+pub(crate) fn state_divergence(
+    eng: &ServeEngine,
+    ora: &ServeEngine,
+    task_ids: &[TaskId],
+) -> Option<String> {
     for &id in task_ids {
         let a = eng.truth(id);
         let b = ora.truth(id);

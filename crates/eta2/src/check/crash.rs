@@ -1,0 +1,406 @@
+//! Deterministic kill-replay: crash-point coverage for durable ingest.
+//!
+//! For a seeded durable workload ([`Scenario::generate_durable`]) the
+//! sweep runs the whole op sequence once on a WAL-backed
+//! [`ServeEngine`], snapshotting the durability directories (checkpoints
+//! + log segments) after *every* op. Each snapshot is then killed three
+//! ways and recovered:
+//!
+//! * **clean** — the process died between two ops; every acked record is
+//!   on disk. Recovery must reproduce the state after exactly the ops
+//!   run so far.
+//! * **torn** — the last record's frame is cut mid-way (the suffix an
+//!   interrupted write leaves). Recovery must drop exactly that op and
+//!   reproduce the state one op earlier.
+//! * **corrupt** — a payload byte of the last record is flipped, so the
+//!   frame is length-complete but fails its CRC. Same contract as torn.
+//!
+//! "Reproduce" is bit-level: the recovered engine is compared against an
+//! uninterrupted twin (a fresh volatile engine replaying the expected op
+//! prefix) through the same [`state_divergence`](super::state_divergence)
+//! used by the differential harness, plus task-table equality.
+//!
+//! When the killed op was a durable checkpoint, the checkpoint *file*
+//! supersedes its own log record: tearing or corrupting the trailing
+//! `Tick` record must not lose the op, because the checkpoint's rename
+//! was the durable commit. The expected prefix accounts for that.
+
+use eta2_check::scenario::{Op, Scenario};
+use eta2_core::model::{DomainId, ObservationSet, TaskId, UserId};
+use eta2_serve::{ServeEngine, TaskSpec};
+use eta2_wal::{FsyncPolicy, WalConfig};
+use std::path::{Path, PathBuf};
+
+/// Segment-rotation threshold for the sweep: tiny, so even short
+/// workloads spread records across several segments and recovery
+/// exercises multi-segment scans.
+const SWEEP_SEGMENT_BYTES: u64 = 256;
+
+/// One kill point whose recovery did not match the uninterrupted twin.
+#[derive(Debug, Clone)]
+pub struct CrashFailure {
+    /// Index of the last op before the kill (1-based; 0 = before any op).
+    pub op_index: usize,
+    /// Kill variant: `"clean"`, `"torn"` or `"corrupt"`.
+    pub variant: &'static str,
+    /// The op prefix the recovered engine was expected to equal.
+    pub expected_prefix: usize,
+    /// First mismatch found (or the recovery error).
+    pub detail: String,
+}
+
+impl std::fmt::Display for CrashFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "kill after op {} ({}), expected prefix {}: {}",
+            self.op_index, self.variant, self.expected_prefix, self.detail
+        )
+    }
+}
+
+/// What one seed's crash-point sweep covered.
+#[derive(Debug, Clone)]
+pub struct CrashReport {
+    /// The swept seed.
+    pub seed: u64,
+    /// Ops in the durable workload.
+    pub ops: usize,
+    /// WAL records the full run appended (one per op).
+    pub records: u64,
+    /// Kill points recovered (clean at every boundary, torn and corrupt
+    /// at every record).
+    pub kill_points: usize,
+    /// Kill points whose recovery diverged from the twin.
+    pub failures: Vec<CrashFailure>,
+}
+
+impl CrashReport {
+    /// Whether every kill point recovered to the twin's exact state.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+fn io_fail(what: &str, path: &Path, e: std::io::Error) -> String {
+    format!("{what} {}: {e}", path.display())
+}
+
+/// Recursively copies `src` into `dst` (created). A missing `src` copies
+/// as nothing: before the first checkpoint the checkpoint dir does not
+/// exist, and that absence is part of the state under test.
+fn copy_dir(src: &Path, dst: &Path) -> Result<(), String> {
+    if !src.exists() {
+        return Ok(());
+    }
+    std::fs::create_dir_all(dst).map_err(|e| io_fail("cannot create", dst, e))?;
+    let entries = std::fs::read_dir(src).map_err(|e| io_fail("cannot read", src, e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| io_fail("cannot read", src, e))?;
+        let from = entry.path();
+        let to = dst.join(entry.file_name());
+        let ty = entry
+            .file_type()
+            .map_err(|e| io_fail("cannot stat", &from, e))?;
+        if ty.is_dir() {
+            copy_dir(&from, &to)?;
+        } else {
+            std::fs::copy(&from, &to).map_err(|e| io_fail("cannot copy", &from, e))?;
+        }
+    }
+    Ok(())
+}
+
+fn reset_dir(dir: &Path) -> Result<(), String> {
+    if dir.exists() {
+        std::fs::remove_dir_all(dir).map_err(|e| io_fail("cannot clear", dir, e))?;
+    }
+    std::fs::create_dir_all(dir).map_err(|e| io_fail("cannot create", dir, e))
+}
+
+fn wal_cfg(dir: PathBuf) -> WalConfig {
+    let mut cfg = WalConfig::new(dir);
+    // Durability-under-power-loss is the WAL's own test surface; the
+    // sweep injects its crashes by mutating files, so fsync only slows
+    // the quadratic replay down.
+    cfg.fsync = FsyncPolicy::Off;
+    cfg.segment_bytes = SWEEP_SEGMENT_BYTES;
+    cfg
+}
+
+/// Applies one scenario op. `checkpoint_dir` selects the role: the
+/// durable engine checkpoints there, the volatile twin maps the same op
+/// to the `tick()` a durable checkpoint performs internally.
+fn apply_op(
+    engine: &ServeEngine,
+    op: &Op,
+    task_ids: &mut Vec<TaskId>,
+    checkpoint_dir: Option<&Path>,
+) -> Result<(), String> {
+    match op {
+        Op::Register(specs) => {
+            let batch: Vec<TaskSpec> = specs
+                .iter()
+                .map(|s| TaskSpec::new(DomainId(s.domain as u32), s.processing_time, s.cost))
+                .collect();
+            let ids = engine
+                .register_tasks(&batch)
+                .map_err(|e| format!("register failed on valid specs: {e}"))?;
+            task_ids.extend(ids);
+        }
+        Op::Submit(reports) => {
+            let mut batch = ObservationSet::new();
+            for r in reports {
+                batch.insert(UserId(r.user as u32), task_ids[r.task_index], r.value);
+            }
+            engine.submit(&batch);
+        }
+        Op::Tick => {
+            engine.tick();
+        }
+        Op::Merge { kept, absorbed } => {
+            engine.merge_domains(DomainId(*kept as u32), DomainId(*absorbed as u32));
+        }
+        Op::CheckpointRestore => match checkpoint_dir {
+            Some(dir) => {
+                engine
+                    .checkpoint_durable(dir)
+                    .map_err(|e| format!("durable checkpoint failed: {e}"))?;
+            }
+            None => {
+                engine.tick();
+            }
+        },
+        other => return Err(format!("non-durable op {other:?} in durable scenario")),
+    }
+    Ok(())
+}
+
+/// Builds the uninterrupted twin: a fresh volatile engine after the first
+/// `prefix` ops. Returns the twin and the task ids it assigned.
+fn build_twin(scenario: &Scenario, prefix: usize) -> Result<(ServeEngine, Vec<TaskId>), String> {
+    let cfg = super::serve_cfg(
+        scenario.config.n_users as usize,
+        scenario.config.n_shards,
+        scenario.config.flush_threshold,
+    );
+    let twin = ServeEngine::new(cfg);
+    let mut task_ids = Vec::new();
+    for op in &scenario.ops[..prefix] {
+        apply_op(&twin, op, &mut task_ids, None)?;
+    }
+    Ok((twin, task_ids))
+}
+
+/// Recovers the durability snapshot in `dir` and bit-compares it against
+/// the twin for `prefix` ops. Returns the first mismatch found.
+fn recover_and_compare(scenario: &Scenario, dir: &Path, prefix: usize) -> Option<String> {
+    let cfg = super::serve_cfg(
+        scenario.config.n_users as usize,
+        scenario.config.n_shards,
+        scenario.config.flush_threshold,
+    );
+    let recovered =
+        match ServeEngine::recover(cfg, &dir.join("checkpoints"), wal_cfg(dir.join("wal"))) {
+            Ok((engine, _report)) => engine,
+            Err(e) => return Some(format!("recovery failed: {e}")),
+        };
+    let (twin, task_ids) = match build_twin(scenario, prefix) {
+        Ok(t) => t,
+        Err(e) => return Some(format!("twin replay failed: {e}")),
+    };
+    if recovered.snapshot().tasks() != twin.snapshot().tasks() {
+        return Some(format!(
+            "task tables differ: {} vs {} tasks",
+            recovered.snapshot().tasks().len(),
+            twin.snapshot().tasks().len()
+        ));
+    }
+    super::state_divergence(&recovered, &twin, &task_ids)
+}
+
+/// Sweeps every crash point of the durable workload for `seed`, using
+/// `scratch` for the live directories and per-op snapshots. Returns an
+/// `Err` only for environmental problems (unwritable scratch path);
+/// recovery mismatches land in [`CrashReport::failures`].
+pub fn run_crash_seed(seed: u64, scratch: &Path) -> Result<CrashReport, String> {
+    let scenario = Scenario::generate_durable(seed);
+    let root = scratch.join(format!("crash-{seed:016x}"));
+    reset_dir(&root)?;
+    let live = root.join("live");
+    let snap_for = |j: usize| root.join(format!("snap-{j:04}"));
+
+    // Record pass: run the full workload durably, snapshotting the
+    // checkpoint + log directories after every op. Snapshots (not offsets
+    // into the final log) are what make the sweep exact — a durable
+    // checkpoint *truncates* segments, so the final directory does not
+    // contain the bytes an earlier crash would have seen.
+    {
+        let cfg = super::serve_cfg(
+            scenario.config.n_users as usize,
+            scenario.config.n_shards,
+            scenario.config.flush_threshold,
+        );
+        let (engine, _) =
+            ServeEngine::recover(cfg, &live.join("checkpoints"), wal_cfg(live.join("wal")))
+                .map_err(|e| format!("cannot start durable engine in {}: {e}", live.display()))?;
+        copy_dir(&live, &snap_for(0))?;
+        let mut task_ids = Vec::new();
+        for (i, op) in scenario.ops.iter().enumerate() {
+            let j = i + 1;
+            apply_op(&engine, op, &mut task_ids, Some(&live.join("checkpoints")))?;
+            let position = engine.wal_position().expect("durable engine");
+            if position != j as u64 {
+                return Err(format!(
+                    "op {j} left wal position {position}; every op must log exactly one record"
+                ));
+            }
+            copy_dir(&live, &snap_for(j))?;
+        }
+    }
+
+    // Kill pass. Op indices are 1-based; op j appended record j-1, so the
+    // snapshot after op j holds records 0..=j-1 (minus what checkpoints
+    // truncated). `checkpoint_ops[j]` = ops covered by the latest durable
+    // checkpoint at that boundary.
+    let n = scenario.ops.len();
+    let mut checkpoint_ops = vec![0usize; n + 1];
+    for (i, op) in scenario.ops.iter().enumerate() {
+        let j = i + 1;
+        checkpoint_ops[j] = if matches!(op, Op::CheckpointRestore) {
+            j
+        } else {
+            checkpoint_ops[j - 1]
+        };
+    }
+
+    let mut failures = Vec::new();
+    let mut kill_points = 0usize;
+    let work = root.join("work");
+    let mut fail = |j: usize, variant: &'static str, prefix: usize, detail: String| {
+        failures.push(CrashFailure {
+            op_index: j,
+            variant,
+            expected_prefix: prefix,
+            detail,
+        });
+    };
+
+    for j in 0..=n {
+        // Clean kill: everything op j acked is on disk.
+        reset_dir(&work)?;
+        copy_dir(&snap_for(j), &work)?;
+        kill_points += 1;
+        if let Some(detail) = recover_and_compare(&scenario, &work, j) {
+            fail(j, "clean", j, detail);
+        }
+        if j == 0 {
+            continue;
+        }
+
+        // Torn and corrupt kills mutilate the last record (index j-1).
+        // If op j was a checkpoint, its file already committed the op, so
+        // losing the trailing Tick record must not lose the op.
+        let expected = checkpoint_ops[j].max(j - 1);
+        for variant in ["torn", "corrupt"] {
+            reset_dir(&work)?;
+            copy_dir(&snap_for(j), &work)?;
+            kill_points += 1;
+            let layout = match eta2_wal::tail_segment_layout(&work.join("wal")) {
+                Ok(Some(layout)) if !layout.records.is_empty() => layout,
+                Ok(_) => {
+                    fail(j, variant, expected, "tail segment has no records".into());
+                    continue;
+                }
+                Err(e) => {
+                    fail(j, variant, expected, format!("cannot scan tail: {e}"));
+                    continue;
+                }
+            };
+            let last = layout.records.last().expect("checked non-empty");
+            if last.index != (j - 1) as u64 {
+                fail(
+                    j,
+                    variant,
+                    expected,
+                    format!("tail record has index {}, want {}", last.index, j - 1),
+                );
+                continue;
+            }
+            let mutate = || -> std::io::Result<()> {
+                use std::io::{Read, Seek, SeekFrom, Write};
+                let mut f = std::fs::OpenOptions::new()
+                    .read(true)
+                    .write(true)
+                    .open(&layout.segment)?;
+                if variant == "torn" {
+                    f.set_len(last.offset + last.frame_len / 2)?;
+                } else {
+                    // Flip the first payload byte: the frame stays
+                    // length-complete but its CRC no longer matches.
+                    let at = last.offset + eta2_wal::FRAME_PREFIX_BYTES;
+                    let mut byte = [0u8];
+                    f.seek(SeekFrom::Start(at))?;
+                    f.read_exact(&mut byte)?;
+                    byte[0] ^= 0xff;
+                    f.seek(SeekFrom::Start(at))?;
+                    f.write_all(&byte)?;
+                }
+                Ok(())
+            };
+            if let Err(e) = mutate() {
+                return Err(io_fail("cannot mutilate", &layout.segment, e));
+            }
+            if let Some(detail) = recover_and_compare(&scenario, &work, expected) {
+                fail(j, variant, expected, detail);
+            }
+        }
+    }
+
+    let report = CrashReport {
+        seed,
+        ops: n,
+        records: n as u64,
+        kill_points,
+        failures,
+    };
+    let _ = std::fs::remove_dir_all(&root);
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("eta2-crash-test-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn small_seed_sweep_recovers_every_kill_point() {
+        let dir = scratch("sweep");
+        for seed in 0..3u64 {
+            let report = run_crash_seed(seed, &dir).expect("sweep runs");
+            assert_eq!(report.records, report.ops as u64);
+            assert_eq!(report.kill_points, 3 * report.ops + 1);
+            assert!(
+                report.passed(),
+                "seed {seed}: {}",
+                report
+                    .failures
+                    .iter()
+                    .map(|f| f.to_string())
+                    .collect::<Vec<_>>()
+                    .join("; ")
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unwritable_scratch_is_an_error_not_a_panic() {
+        let report = run_crash_seed(1, Path::new("/dev/null/not-a-dir"));
+        let err = report.expect_err("unwritable scratch must fail");
+        assert!(err.contains("/dev/null/not-a-dir"), "{err}");
+    }
+}

@@ -30,7 +30,10 @@
 //! * [`check`] — the differential + invariant correctness harness: seeded
 //!   scenario replay through the sharded-engine/sequential, MLE/reference
 //!   and heap/scan oracle pairs, with runtime invariants gated on the
-//!   `ETA2_CHECK` environment variable (see [`check::gate`]).
+//!   `ETA2_CHECK` environment variable (see [`check::gate`]), plus the
+//!   crash-point kill-replay sweep for durable ingest ([`check::crash`]).
+//! * [`wal`] — the segmented, checksummed write-ahead log backing
+//!   `ServeEngine`'s durable mode (`ServeEngine::recover`).
 //!
 //! # Quickstart
 //!
@@ -73,6 +76,7 @@ pub use eta2_serve as serve;
 pub use eta2_server as server;
 pub use eta2_sim as sim;
 pub use eta2_stats as stats;
+pub use eta2_wal as wal;
 
 /// One-line import of the types nearly every embedding application needs.
 ///

@@ -276,6 +276,25 @@ pub enum Event {
         /// Unknown-task reports dropped.
         unknown: u64,
     },
+    /// A durable engine rebuilt itself from checkpoint plus WAL tail. A
+    /// root span: recovery causally precedes everything else the process
+    /// does.
+    TraceRecover {
+        /// Trace id.
+        trace: u64,
+        /// This span's id.
+        span: u64,
+        /// Root marker ([`crate::trace::NO_PARENT`]).
+        parent: u64,
+        /// WAL position the loaded checkpoint anchored (0 without one).
+        checkpoint_position: u64,
+        /// Log records replayed on top of the checkpoint.
+        records: u64,
+        /// Bytes of torn tail dropped by the log open.
+        torn_bytes: u64,
+        /// The epoch the recovered engine published.
+        epoch: u64,
+    },
 }
 
 impl Event {
@@ -303,6 +322,7 @@ impl Event {
             Event::TraceFlush { .. } => "trace_flush",
             Event::TracePublish { .. } => "trace_publish",
             Event::TraceQuarantine { .. } => "trace_quarantine",
+            Event::TraceRecover { .. } => "trace_recover",
         }
     }
 
@@ -532,6 +552,23 @@ impl Event {
                     .u64("parent", *parent)
                     .u64("quarantined", *quarantined)
                     .u64("unknown", *unknown);
+            }
+            Event::TraceRecover {
+                trace,
+                span,
+                parent,
+                checkpoint_position,
+                records,
+                torn_bytes,
+                epoch,
+            } => {
+                o.u64("trace", *trace)
+                    .u64("span", *span)
+                    .u64("parent", *parent)
+                    .u64("checkpoint_position", *checkpoint_position)
+                    .u64("records", *records)
+                    .u64("torn_bytes", *torn_bytes)
+                    .u64("epoch", *epoch);
             }
         }
         o.finish()
@@ -790,6 +827,26 @@ mod tests {
                     unknown: 0,
                 },
                 vec!["trace", "span", "parent", "quarantined", "unknown"],
+            ),
+            (
+                Event::TraceRecover {
+                    trace: 100,
+                    span: 105,
+                    parent: 0,
+                    checkpoint_position: 12,
+                    records: 3,
+                    torn_bytes: 17,
+                    epoch: 4,
+                },
+                vec![
+                    "trace",
+                    "span",
+                    "parent",
+                    "checkpoint_position",
+                    "records",
+                    "torn_bytes",
+                    "epoch",
+                ],
             ),
         ];
         for (ev, payload_keys) in cases {

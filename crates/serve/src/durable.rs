@@ -1,0 +1,256 @@
+//! Durable-ingest support types: the WAL record encoding, the on-disk
+//! checkpoint wrapper that anchors a log position, and recovery errors.
+//!
+//! The redo-log protocol itself (append-before-apply, group commit,
+//! recovery replay) lives on [`ServeEngine`](crate::ServeEngine); see
+//! DESIGN.md §12.
+
+use crate::engine::EngineCheckpoint;
+use eta2_core::model::Observation;
+use eta2_wal::WalError;
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// One logged engine mutation. Serialized as JSON into a WAL record;
+/// replayed in log order by [`ServeEngine::recover`](crate::ServeEngine::recover).
+///
+/// `Tick` is logged even though it carries no data: flush batching changes
+/// the MLE's decayed-accumulator trajectory, so replay must reproduce the
+/// exact tick points to stay bit-identical with the uninterrupted run.
+/// `Submit` carries only the finite observations — non-finite values are
+/// deterministically quarantined at the boundary (and JSON cannot round-trip
+/// them), so dropping them from the log does not change the replayed state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) enum WalOp {
+    /// `register_tasks` with these specs (ids are assigned deterministically
+    /// from the engine's `next_task` counter, so they are not logged).
+    Register(Vec<crate::TaskSpec>),
+    /// `submit` with these (already finite, already deduplicated) reports.
+    Submit(Vec<Observation>),
+    /// `merge_domains(kept, absorbed)`.
+    Merge {
+        /// The surviving domain label.
+        kept: u32,
+        /// The label folded into `kept`.
+        absorbed: u32,
+    },
+    /// `tick()` — a flush boundary.
+    Tick,
+}
+
+/// Why a [`recover`](crate::ServeEngine::recover) could not rebuild the
+/// engine. Every variant names the offending path (the `eta2_datasets::io`
+/// error idiom); lower-level causes are on the
+/// [`std::error::Error::source`] chain.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum RecoverError {
+    /// The log itself failed to open or scan (I/O or sealed-segment
+    /// corruption).
+    Wal(WalError),
+    /// A filesystem operation on the checkpoint directory failed.
+    Io {
+        /// File or directory the operation touched.
+        path: PathBuf,
+        /// The wrapped I/O error.
+        source: std::io::Error,
+    },
+    /// A checkpoint file or a logged record failed to decode — corrupt
+    /// JSON, or a version this build does not read.
+    Json {
+        /// The file (or log directory, for record decode failures) involved.
+        path: PathBuf,
+        /// The wrapped decoder error.
+        source: serde_json::Error,
+    },
+    /// The log and checkpoint disagree in a way replay cannot reconcile
+    /// (e.g. a logged `register_tasks` that fails against the recovered
+    /// state).
+    Corrupt {
+        /// The log directory.
+        path: PathBuf,
+        /// What exactly could not be reconciled.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for RecoverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoverError::Wal(e) => write!(f, "recovery failed: {e}"),
+            RecoverError::Io { path, source } => {
+                write!(f, "recovery i/o failed for {}: {source}", path.display())
+            }
+            RecoverError::Json { path, source } => {
+                write!(f, "recovery decode failed for {}: {source}", path.display())
+            }
+            RecoverError::Corrupt { path, detail } => {
+                write!(f, "recovery state mismatch in {}: {detail}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecoverError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RecoverError::Wal(e) => Some(e),
+            RecoverError::Io { source, .. } => Some(source),
+            RecoverError::Json { source, .. } => Some(source),
+            RecoverError::Corrupt { .. } => None,
+        }
+    }
+}
+
+impl From<WalError> for RecoverError {
+    fn from(e: WalError) -> Self {
+        RecoverError::Wal(e)
+    }
+}
+
+/// What [`ServeEngine::recover`](crate::ServeEngine::recover) found and
+/// replayed.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct RecoverReport {
+    /// The loaded checkpoint file, if any existed.
+    pub checkpoint_path: Option<PathBuf>,
+    /// WAL position the checkpoint covered (0 with no checkpoint): records
+    /// below this index were already folded into the checkpoint.
+    pub checkpoint_position: u64,
+    /// Log records replayed on top of the checkpoint.
+    pub records_replayed: u64,
+    /// Bytes of torn tail the log open dropped (0 for a clean log).
+    pub torn_bytes: u64,
+    /// Human-readable torn-tail cause, when `torn_bytes > 0`.
+    pub torn_reason: Option<String>,
+}
+
+/// Format version of the durable checkpoint *file* (the wrapper around
+/// [`EngineCheckpoint`] that anchors a WAL position).
+pub const WAL_CHECKPOINT_VERSION: u32 = 1;
+
+fn default_wal_checkpoint_version() -> u32 {
+    1
+}
+
+fn checked_wal_checkpoint_version<'de, D>(de: D) -> Result<u32, D::Error>
+where
+    D: serde::Deserializer<'de>,
+{
+    let v = u32::deserialize(de)?;
+    if !(1..=WAL_CHECKPOINT_VERSION).contains(&v) {
+        return Err(serde::de::Error::custom(format!(
+            "unsupported wal checkpoint version {v}; this build reads versions 1..={WAL_CHECKPOINT_VERSION}"
+        )));
+    }
+    Ok(v)
+}
+
+/// On-disk durable checkpoint: an [`EngineCheckpoint`] plus the WAL
+/// position it covers. File name `checkpoint-<position>.json`, written
+/// atomically (tmp + fsync + rename).
+#[derive(Debug, Serialize, Deserialize)]
+pub(crate) struct WalCheckpoint {
+    #[serde(
+        default = "default_wal_checkpoint_version",
+        deserialize_with = "checked_wal_checkpoint_version"
+    )]
+    pub(crate) version: u32,
+    /// Records with index < `wal_position` are folded into `engine`.
+    pub(crate) wal_position: u64,
+    pub(crate) engine: EngineCheckpoint,
+}
+
+fn checkpoint_file_name(position: u64) -> String {
+    format!("checkpoint-{position:020}.json")
+}
+
+fn io_err(path: &Path, source: std::io::Error) -> RecoverError {
+    RecoverError::Io {
+        path: path.to_path_buf(),
+        source,
+    }
+}
+
+/// Atomically writes `checkpoint-<position>.json` into `dir` and returns
+/// its path. The rename is the commit point: a crash mid-write leaves only
+/// a `.tmp` file that recovery ignores.
+pub(crate) fn write_checkpoint(
+    dir: &Path,
+    position: u64,
+    engine: &EngineCheckpoint,
+) -> Result<PathBuf, RecoverError> {
+    std::fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
+    let wrapped = WalCheckpoint {
+        version: WAL_CHECKPOINT_VERSION,
+        wal_position: position,
+        engine: engine.clone(),
+    };
+    let body = serde_json::to_vec(&wrapped).map_err(|e| RecoverError::Json {
+        path: dir.join(checkpoint_file_name(position)),
+        source: e,
+    })?;
+    let tmp = dir.join(format!(".tmp-{}", checkpoint_file_name(position)));
+    let path = dir.join(checkpoint_file_name(position));
+    {
+        let mut f = std::fs::File::create(&tmp).map_err(|e| io_err(&tmp, e))?;
+        use std::io::Write;
+        f.write_all(&body).map_err(|e| io_err(&tmp, e))?;
+        f.sync_data().map_err(|e| io_err(&tmp, e))?;
+    }
+    std::fs::rename(&tmp, &path).map_err(|e| io_err(&path, e))?;
+    sync_dir(dir)?;
+    Ok(path)
+}
+
+/// Loads the newest (highest-position) checkpoint in `dir`, if any.
+/// Stale `.tmp` files from a crashed write are ignored; a checkpoint that
+/// fails to decode is an error, not a silent fallback — its rename was the
+/// durable commit, so damage to it is real corruption.
+pub(crate) fn load_latest_checkpoint(
+    dir: &Path,
+) -> Result<Option<(PathBuf, WalCheckpoint)>, RecoverError> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(io_err(dir, e)),
+    };
+    let mut best: Option<(u64, PathBuf)> = None;
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err(dir, e))?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(digits) = name
+            .strip_prefix("checkpoint-")
+            .and_then(|s| s.strip_suffix(".json"))
+        {
+            if let Ok(pos) = digits.parse::<u64>() {
+                if best.as_ref().is_none_or(|(b, _)| pos > *b) {
+                    best = Some((pos, entry.path()));
+                }
+            }
+        }
+    }
+    let Some((_, path)) = best else {
+        return Ok(None);
+    };
+    let body = std::fs::read(&path).map_err(|e| io_err(&path, e))?;
+    let wrapped: WalCheckpoint = serde_json::from_slice(&body).map_err(|e| RecoverError::Json {
+        path: path.clone(),
+        source: e,
+    })?;
+    Ok(Some((path, wrapped)))
+}
+
+#[cfg(unix)]
+fn sync_dir(dir: &Path) -> Result<(), RecoverError> {
+    std::fs::File::open(dir)
+        .and_then(|f| f.sync_all())
+        .map_err(|e| io_err(dir, e))
+}
+
+#[cfg(not(unix))]
+fn sync_dir(_dir: &Path) -> Result<(), RecoverError> {
+    Ok(())
+}

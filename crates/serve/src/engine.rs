@@ -1,13 +1,16 @@
 //! The concurrent serving engine: sharded writes, epoch-published reads.
 
+use crate::durable::{self, RecoverError, RecoverReport, WalOp};
 use crate::snapshot::ShardView;
 use crate::{shard_of, EpochSnapshot, ServeConfig, ServeError, TaskSpec};
 use eta2_core::model::{DomainId, Observation, ObservationSet, Task, TaskId, UserId};
 use eta2_core::truth::{DynamicExpertise, TruthEstimate};
 use eta2_obs::TraceContext;
 use eta2_par::Parallelism;
+use eta2_wal::{Wal, WalConfig};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 
@@ -97,6 +100,15 @@ pub struct ServeEngine {
     /// publishes racing, a flush may be attributed to either epoch — the
     /// causal chain is exact, the epoch attribution is advisory.
     flushed_traces: Mutex<Vec<u64>>,
+    /// Redo log for durable ingest, attached by [`recover`](Self::recover).
+    /// `None` for volatile engines (the default — nothing is logged).
+    ///
+    /// Lock order: this mutex is the *outermost* lock in the engine. Every
+    /// durable mutation takes it first and holds it across
+    /// append-then-apply, so the log's record order always equals the
+    /// apply order (what makes replay deterministic); no path ever takes
+    /// it while holding a shard, table, or view lock.
+    wal: Option<Mutex<Wal>>,
 }
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -145,6 +157,7 @@ impl ServeEngine {
             epoch: AtomicU64::new(0),
             queue_depth: AtomicUsize::new(0),
             flushed_traces: Mutex::new(Vec::new()),
+            wal: None,
         }
     }
 
@@ -179,6 +192,11 @@ impl ServeEngine {
                 });
             }
         }
+        // Logged after validation (an invalid batch never reaches the log)
+        // but before the id check: a batch that exhausts the id space fails
+        // identically on replay, so the record is harmless — and logging
+        // before applying is what durability means.
+        let _wal = self.wal_guard(|| WalOp::Register(specs.to_vec()));
         let ids = {
             let mut table = lock(&self.tasks);
             // Ids are u32 and never reused; a silent wrap in release builds
@@ -224,6 +242,13 @@ impl ServeEngine {
     /// `parents` array) as the reports progress; dropped reports get a
     /// terminal `trace_quarantine` child instead.
     pub fn submit(&self, reports: &ObservationSet) -> SubmitReceipt {
+        // Durable mode: append the redo record before any state changes
+        // and hold the wal guard across the apply, so log order == apply
+        // order. Only finite values are logged — non-finite reports are
+        // deterministically quarantined below, so replay reaches the same
+        // state without them (and JSON could not round-trip them anyway).
+        let wal = self
+            .wal_guard(|| WalOp::Submit(reports.iter().filter(|o| o.value.is_finite()).collect()));
         let tasks = self.tasks_arc();
         let n = self.cfg.n_shards;
         let mut routed: Vec<Vec<Observation>> = vec![Vec::new(); n];
@@ -295,6 +320,14 @@ impl ServeEngine {
         if !receipt.flushes.is_empty() {
             self.publish();
         }
+        if let Some(mut g) = wal {
+            // Group commit: a flush is a batch boundary, so under the
+            // per-batch fsync posture everything up to and including this
+            // submit becomes durable here.
+            if !receipt.flushes.is_empty() {
+                Self::wal_sync_batched(&mut g);
+            }
+        }
         self.publish_gauges();
         receipt
     }
@@ -321,6 +354,19 @@ impl ServeEngine {
     ///
     /// [`queue_depth`]: ServeEngine::queue_depth
     pub fn tick(&self) -> Vec<FlushOutcome> {
+        // Tick is logged even though it carries no payload: flush batching
+        // shapes the MLE's decayed accumulators, so replay must tick at
+        // the same points to reproduce the state bit-for-bit. A tick is
+        // also a batch boundary for group commit.
+        let wal = self.wal_guard(|| WalOp::Tick);
+        let outcomes = self.tick_inner();
+        if let Some(mut g) = wal {
+            Self::wal_sync_batched(&mut g);
+        }
+        outcomes
+    }
+
+    fn tick_inner(&self) -> Vec<FlushOutcome> {
         let _span = eta2_obs::span!("serve.tick");
         let threads = Parallelism::from_threads(self.cfg.threads).resolve();
         let mut outcomes = Vec::new();
@@ -546,6 +592,11 @@ impl ServeEngine {
             "serve.queue_depth",
             self.queue_depth.load(Ordering::Relaxed) as f64,
         );
+        // The epoch gauge too: `publish()` refreshes it on every new epoch,
+        // but an engine that just restored or recovered may not have
+        // published since, and a scrape would read the previous engine's
+        // epoch.
+        eta2_obs::gauge("serve.epoch", self.epoch.load(Ordering::Relaxed) as f64);
     }
 
     /// The latest published epoch snapshot. Lock-free against flushes: the
@@ -583,6 +634,10 @@ impl ServeEngine {
     /// Panics if `kept == absorbed`.
     pub fn merge_domains(&self, kept: DomainId, absorbed: DomainId) {
         assert_ne!(kept, absorbed, "cannot merge a domain into itself");
+        let _wal = self.wal_guard(|| WalOp::Merge {
+            kept: kept.0,
+            absorbed: absorbed.0,
+        });
         // Relabel first: every subsequent routing decision (submit or
         // flush re-route) then sends absorbed-domain reports to kept's
         // shard, so no new state for `absorbed` can appear in its old
@@ -709,6 +764,14 @@ impl ServeEngine {
     /// diverge from the never-checkpointed run.
     pub fn checkpoint(&self) -> EngineCheckpoint {
         self.tick();
+        self.capture()
+    }
+
+    /// Captures the current state without ticking first. Callers must
+    /// ensure no mutation is concurrently in flight when bit-exactness
+    /// matters ([`checkpoint_durable`](Self::checkpoint_durable) holds the
+    /// wal lock across the tick and this capture for exactly that reason).
+    fn capture(&self) -> EngineCheckpoint {
         let (map, next) = {
             let table = lock(&self.tasks);
             (Arc::clone(&table.map), table.next)
@@ -723,6 +786,7 @@ impl ServeEngine {
             pending.extend(shard.pending.iter());
         }
         EngineCheckpoint {
+            version: ENGINE_CHECKPOINT_VERSION,
             expertise,
             tasks: (*map).clone(),
             truths,
@@ -743,6 +807,13 @@ impl ServeEngine {
     /// `next_task` does not exceed every task id in its table, which would
     /// make the restored engine re-assign ids of live tasks.
     pub fn restore(cfg: ServeConfig, checkpoint: EngineCheckpoint) -> Self {
+        // Deserialization already rejects unknown versions; this guards
+        // checkpoints constructed in memory.
+        assert!(
+            (1..=ENGINE_CHECKPOINT_VERSION).contains(&checkpoint.version),
+            "unsupported engine checkpoint version {}; this build reads versions 1..={ENGINE_CHECKPOINT_VERSION}",
+            checkpoint.version
+        );
         assert_eq!(
             cfg.n_users,
             checkpoint.expertise.n_users(),
@@ -811,6 +882,221 @@ impl ServeEngine {
         engine.publish_gauges();
         engine
     }
+
+    // ---- durability -----------------------------------------------------
+
+    /// Whether this engine logs mutations to a WAL before acking them.
+    pub fn is_durable(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// The WAL record index the next logged mutation will receive, or
+    /// `None` for a non-durable engine.
+    pub fn wal_position(&self) -> Option<u64> {
+        self.wal.as_ref().map(|w| lock(w).position())
+    }
+
+    /// If durable, appends `op` to the log and returns the held WAL guard
+    /// so the caller applies the mutation while the log lock pins the
+    /// ordering (log order == apply order). Returns `None` when the engine
+    /// has no WAL, which keeps every call site a one-liner.
+    fn wal_guard(&self, op: impl FnOnce() -> WalOp) -> Option<MutexGuard<'_, Wal>> {
+        let wal = self.wal.as_ref()?;
+        let mut guard = lock(wal);
+        Self::wal_append(&mut guard, &op());
+        Some(guard)
+    }
+
+    fn wal_append(wal: &mut Wal, op: &WalOp) {
+        let bytes = serde_json::to_vec(op).expect("wal ops always serialize");
+        if let Err(e) = wal.append(&bytes) {
+            // Crash-stop: an engine that cannot log must not ack. Recovery
+            // from the on-disk state is the designed restart path.
+            panic!("wal append failed; refusing to ack an unlogged write: {e}");
+        }
+    }
+
+    fn wal_sync_batched(wal: &mut Wal) {
+        if let Err(e) = wal.sync_batched() {
+            panic!("wal fsync failed; cannot guarantee acked writes: {e}");
+        }
+    }
+
+    /// Ticks, captures a checkpoint anchored at the current WAL position,
+    /// writes it atomically into `checkpoint_dir`, and truncates log
+    /// segments the checkpoint fully covers. Returns the checkpoint path.
+    ///
+    /// The WAL lock is held across the tick, the capture, and the position
+    /// read, so the checkpoint covers exactly the logged prefix — no
+    /// mutation can slip between "state captured" and "position recorded".
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a non-durable engine (use
+    /// [`checkpoint`](Self::checkpoint) there).
+    pub fn checkpoint_durable(&self, checkpoint_dir: &Path) -> Result<PathBuf, RecoverError> {
+        let wal = self
+            .wal
+            .as_ref()
+            .expect("checkpoint_durable requires a durable engine");
+        let mut guard = lock(wal);
+        // The tick is logged like any other mutation: replay from an
+        // *older* checkpoint must flush at this same point to stay
+        // bit-identical.
+        Self::wal_append(&mut guard, &WalOp::Tick);
+        self.tick_inner();
+        let checkpoint = self.capture();
+        let position = guard.position();
+        // Make everything the checkpoint claims to cover durable before
+        // the checkpoint itself commits.
+        guard.sync().map_err(RecoverError::Wal)?;
+        let path = durable::write_checkpoint(checkpoint_dir, position, &checkpoint)?;
+        guard.truncate_up_to(position).map_err(RecoverError::Wal)?;
+        drop(guard);
+        eta2_obs::counter("wal.checkpoint", 1);
+        Ok(path)
+    }
+
+    /// Rebuilds a durable engine from `checkpoint_dir` and the WAL in
+    /// `wal_cfg.dir`, replaying the log tail over the newest checkpoint.
+    /// Both directories may be empty or absent — that is a fresh durable
+    /// engine, so `recover` is also the constructor for first boot.
+    ///
+    /// Replay applies records whose index is at or past the checkpoint's
+    /// anchored position through the ordinary public mutation methods; the
+    /// WAL is only attached afterwards, so replay never re-logs.
+    pub fn recover(
+        cfg: ServeConfig,
+        checkpoint_dir: &Path,
+        wal_cfg: WalConfig,
+    ) -> Result<(Self, RecoverReport), RecoverError> {
+        let _span = eta2_obs::Span::start("serve.recover_seconds");
+        let loaded = durable::load_latest_checkpoint(checkpoint_dir)?;
+        let (checkpoint_path, position, engine) = match loaded {
+            Some((path, wrapped)) => {
+                let engine = ServeEngine::restore(cfg, wrapped.engine);
+                (Some(path), wrapped.wal_position, engine)
+            }
+            None => (None, 0, ServeEngine::new(cfg)),
+        };
+        // Read-only scan first: replay must not mutate the log (the open
+        // below chops any torn tail once, after we know the survivors).
+        let replayed = eta2_wal::replay(&wal_cfg.dir)?;
+        let mut records_replayed = 0u64;
+        for record in &replayed.records {
+            if record.index < position {
+                continue; // already folded into the checkpoint
+            }
+            let op: WalOp =
+                serde_json::from_slice(&record.payload).map_err(|e| RecoverError::Json {
+                    path: wal_cfg.dir.clone(),
+                    source: e,
+                })?;
+            engine.apply_logged(op, record.index, &wal_cfg.dir)?;
+            records_replayed += 1;
+        }
+        let torn_bytes = replayed.torn.as_ref().map_or(0, |t| t.dropped_bytes);
+        let torn_reason = replayed.torn.as_ref().map(|t| t.reason.clone());
+        let (mut wal, _open) = Wal::open(wal_cfg)?;
+        // A checkpoint can anchor past the surviving log tail (records it
+        // covered were truncated, or the tail was torn); dead indices must
+        // never be reused.
+        wal.advance_to(position).map_err(RecoverError::Wal)?;
+        let mut engine = engine;
+        engine.wal = Some(Mutex::new(wal));
+        eta2_obs::counter("wal.recover", 1);
+        eta2_obs::counter("wal.recover_records", records_replayed);
+        if eta2_obs::tracing_active() {
+            // A recovery is causally a root: nothing in this process
+            // preceded it.
+            let ctx = TraceContext::root();
+            eta2_obs::emit(&eta2_obs::Event::TraceRecover {
+                trace: ctx.trace,
+                span: ctx.span,
+                parent: ctx.parent,
+                checkpoint_position: position,
+                records: records_replayed,
+                torn_bytes,
+                epoch: engine.epoch.load(Ordering::Relaxed),
+            });
+        }
+        // Same regression class as restore: gauges must reflect the
+        // recovered engine, not whatever published last in this process.
+        engine.publish_gauges();
+        let report = RecoverReport {
+            checkpoint_path,
+            checkpoint_position: position,
+            records_replayed,
+            torn_bytes,
+            torn_reason,
+        };
+        Ok((engine, report))
+    }
+
+    /// Applies one logged op during recovery. The engine has no WAL
+    /// attached yet, so the public methods used here do not re-log.
+    fn apply_logged(&self, op: WalOp, index: u64, dir: &Path) -> Result<(), RecoverError> {
+        let corrupt = |detail: String| RecoverError::Corrupt {
+            path: dir.to_path_buf(),
+            detail,
+        };
+        match op {
+            WalOp::Register(specs) => match self.register_tasks(&specs) {
+                // Id exhaustion is deterministic: the original call failed
+                // the same way after logging, so the record is a no-op.
+                Ok(_) | Err(ServeError::TaskIdsExhausted { .. }) => Ok(()),
+                Err(e) => Err(corrupt(format!(
+                    "logged register_tasks at index {index} failed on replay: {e}"
+                ))),
+            },
+            WalOp::Submit(reports) => {
+                let mut set = ObservationSet::new();
+                for o in reports {
+                    set.insert(o.user, o.task, o.value);
+                }
+                self.submit(&set);
+                Ok(())
+            }
+            WalOp::Merge { kept, absorbed } => {
+                if kept == absorbed {
+                    return Err(corrupt(format!(
+                        "logged merge at index {index} merges domain {kept} into itself"
+                    )));
+                }
+                self.merge_domains(DomainId(kept), DomainId(absorbed));
+                Ok(())
+            }
+            WalOp::Tick => {
+                self.tick();
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Format version written into every [`EngineCheckpoint`]. Bump when the
+/// checkpoint layout changes incompatibly; deserialization rejects
+/// versions outside `1..=ENGINE_CHECKPOINT_VERSION` with a sourced error
+/// instead of silently misreading the state.
+pub const ENGINE_CHECKPOINT_VERSION: u32 = 1;
+
+fn default_checkpoint_version() -> u32 {
+    // Checkpoints written before the version field existed are the
+    // version-1 layout.
+    1
+}
+
+fn checked_checkpoint_version<'de, D>(de: D) -> Result<u32, D::Error>
+where
+    D: serde::Deserializer<'de>,
+{
+    let v = u32::deserialize(de)?;
+    if !(1..=ENGINE_CHECKPOINT_VERSION).contains(&v) {
+        return Err(serde::de::Error::custom(format!(
+            "unsupported engine checkpoint version {v}; this build reads versions 1..={ENGINE_CHECKPOINT_VERSION}"
+        )));
+    }
+    Ok(v)
 }
 
 /// A serializable checkpoint of a [`ServeEngine`]'s durable state (pending
@@ -818,6 +1104,14 @@ impl ServeEngine {
 /// not durable).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EngineCheckpoint {
+    /// Checkpoint format version. Defaults to 1 when absent so
+    /// checkpoints written before this field existed still deserialize;
+    /// unknown (newer) versions are rejected at decode time.
+    #[serde(
+        default = "default_checkpoint_version",
+        deserialize_with = "checked_checkpoint_version"
+    )]
+    pub version: u32,
     /// Merged expertise accumulators across all shards.
     pub expertise: DynamicExpertise,
     /// The task table.
@@ -1183,6 +1477,7 @@ mod tests {
         let engine = ServeEngine::restore(
             c,
             EngineCheckpoint {
+                version: ENGINE_CHECKPOINT_VERSION,
                 expertise: DynamicExpertise::new(1, c.alpha, c.mle),
                 tasks: BTreeMap::new(),
                 truths: BTreeMap::new(),
@@ -1221,6 +1516,7 @@ mod tests {
         ServeEngine::restore(
             c,
             EngineCheckpoint {
+                version: ENGINE_CHECKPOINT_VERSION,
                 expertise: DynamicExpertise::new(1, c.alpha, c.mle),
                 tasks,
                 truths: BTreeMap::new(),

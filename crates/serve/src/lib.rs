@@ -50,10 +50,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod durable;
 mod engine;
 mod snapshot;
 
-pub use engine::{EngineCheckpoint, FlushOutcome, ServeEngine, SubmitReceipt};
+pub use durable::{RecoverError, RecoverReport, WAL_CHECKPOINT_VERSION};
+pub use engine::{
+    EngineCheckpoint, FlushOutcome, ServeEngine, SubmitReceipt, ENGINE_CHECKPOINT_VERSION,
+};
 pub use snapshot::EpochSnapshot;
 
 use eta2_core::model::DomainId;

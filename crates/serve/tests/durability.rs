@@ -1,0 +1,291 @@
+//! Durable-ingest integration: WAL-backed engines recover to bit-identical
+//! state after clean restarts and torn tails, gauges reflect the recovered
+//! engine, and versioned checkpoints refuse formats this build cannot read.
+//!
+//! The exhaustive every-record-boundary kill-replay sweep lives in
+//! `eta2::check::crash` (driven by `eta2-cli check --crash`); these tests
+//! pin the engine-level recovery contract directly.
+
+use eta2_core::model::{DomainId, ObservationSet, UserId};
+use eta2_serve::{ServeConfig, ServeEngine, TaskSpec};
+use eta2_wal::{FsyncPolicy, WalConfig};
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+/// Self-cleaning scratch directory pair (checkpoints + wal).
+struct Scratch {
+    root: PathBuf,
+}
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let root =
+            std::env::temp_dir().join(format!("eta2-durability-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        Scratch { root }
+    }
+    fn checkpoints(&self) -> PathBuf {
+        self.root.join("checkpoints")
+    }
+    fn wal(&self) -> WalConfig {
+        let mut cfg = WalConfig::new(self.root.join("wal"));
+        // Tiny segments force rotation even in small tests; fsync off keeps
+        // them fast (durability-under-power-loss is the harness's job).
+        cfg.segment_bytes = 256;
+        cfg.fsync = FsyncPolicy::Off;
+        cfg
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+fn cfg(n_users: usize, n_shards: usize, batch_capacity: usize) -> ServeConfig {
+    let mut cfg = ServeConfig::default();
+    cfg.n_users = n_users;
+    cfg.n_shards = n_shards;
+    cfg.batch_capacity = batch_capacity;
+    cfg.threads = 1;
+    cfg
+}
+
+fn submit(engine: &ServeEngine, reports: &[(u32, u32, f64)]) {
+    let mut set = ObservationSet::new();
+    for &(u, t, v) in reports {
+        set.insert(UserId(u), eta2_core::model::TaskId(t), v);
+    }
+    engine.submit(&set);
+}
+
+/// Bit-compares two engines through their public surface: task table,
+/// published truths, expertise matrices (by f64 bits), and queue depth.
+fn assert_state_eq(a: &ServeEngine, b: &ServeEngine, context: &str) {
+    assert_eq!(a.queue_depth(), b.queue_depth(), "{context}: queue depth");
+    let (sa, sb) = (a.snapshot(), b.snapshot());
+    assert_eq!(sa.tasks().len(), sb.tasks().len(), "{context}: task count");
+    for (id, task) in sa.tasks().iter() {
+        assert_eq!(Some(task), sb.tasks().get(id), "{context}: task {id:?}");
+        assert_eq!(sa.truth(*id), sb.truth(*id), "{context}: truth {id:?}");
+    }
+    let (ea, eb) = (sa.expertise_matrix(), sb.expertise_matrix());
+    let domains_a: Vec<DomainId> = ea.domains().collect();
+    let domains_b: Vec<DomainId> = eb.domains().collect();
+    assert_eq!(domains_a, domains_b, "{context}: domain sets");
+    for d in domains_a {
+        for u in 0..ea.n_users() {
+            let (va, vb) = (ea.get(UserId(u as u32), d), eb.get(UserId(u as u32), d));
+            assert_eq!(
+                va.to_bits(),
+                vb.to_bits(),
+                "{context}: expertise[{u}][{}] {va} vs {vb}",
+                d.0
+            );
+        }
+    }
+}
+
+#[test]
+fn recover_replays_wal_tail_to_bit_identical_state() {
+    let scratch = Scratch::new("roundtrip");
+    let c = cfg(3, 2, 2);
+
+    // Durable engine: recover() on empty dirs is the first-boot path.
+    let (durable, report) = ServeEngine::recover(c, &scratch.checkpoints(), scratch.wal()).unwrap();
+    assert!(report.checkpoint_path.is_none());
+    assert_eq!(report.records_replayed, 0);
+    assert!(durable.is_durable());
+
+    // Volatile twin runs the identical workload.
+    let twin = ServeEngine::new(c);
+
+    for engine in [&durable, &twin] {
+        engine
+            .register_tasks(&[
+                TaskSpec::new(DomainId(0), 1.0, 1.0),
+                TaskSpec::new(DomainId(1), 2.0, 1.0),
+                TaskSpec::new(DomainId(2), 1.5, 2.0),
+            ])
+            .unwrap();
+        submit(engine, &[(0, 0, 10.0), (1, 0, 10.5), (2, 1, 4.0)]);
+        submit(engine, &[(0, 1, 4.2), (1, 2, 7.0), (2, 2, 7.5)]);
+        engine.tick();
+        submit(engine, &[(0, 2, 7.2), (1, 1, 4.1)]);
+    }
+
+    // Mid-run durable checkpoint: later records replay *on top* of it.
+    durable.checkpoint_durable(&scratch.checkpoints()).unwrap();
+    twin.tick(); // checkpoint_durable ticks; the twin must too
+
+    for engine in [&durable, &twin] {
+        submit(engine, &[(2, 0, 9.9), (0, 0, 10.1)]);
+        engine.merge_domains(DomainId(0), DomainId(2));
+        submit(engine, &[(1, 2, 7.1)]);
+    }
+
+    let position = durable.wal_position().unwrap();
+    drop(durable); // "crash" after everything was acked
+
+    let (recovered, report) =
+        ServeEngine::recover(c, &scratch.checkpoints(), scratch.wal()).unwrap();
+    assert!(report.checkpoint_path.is_some());
+    assert!(report.records_replayed > 0, "{report:?}");
+    assert_eq!(report.torn_bytes, 0);
+    assert_eq!(recovered.wal_position(), Some(position));
+    assert_state_eq(&recovered, &twin, "clean recovery");
+
+    // The recovered engine keeps logging: another cycle still matches.
+    submit(&recovered, &[(0, 1, 4.3)]);
+    submit(&twin, &[(0, 1, 4.3)]);
+    recovered.tick();
+    twin.tick();
+    drop(recovered);
+    let (again, _) = ServeEngine::recover(c, &scratch.checkpoints(), scratch.wal()).unwrap();
+    assert_state_eq(&again, &twin, "second recovery");
+}
+
+#[test]
+fn recover_from_torn_tail_matches_twin_without_the_torn_op() {
+    let scratch = Scratch::new("torn");
+    let c = cfg(2, 1, 0);
+    let (durable, _) = ServeEngine::recover(c, &scratch.checkpoints(), scratch.wal()).unwrap();
+    let twin = ServeEngine::new(c);
+    for engine in [&durable, &twin] {
+        engine
+            .register_tasks(&[TaskSpec::new(DomainId(0), 1.0, 1.0)])
+            .unwrap();
+        submit(engine, &[(0, 0, 5.0), (1, 0, 5.5)]);
+        engine.tick();
+    }
+    // One more submit on the durable engine only, then tear its record off
+    // mid-frame — the unsynced suffix a power cut could leave behind.
+    submit(&durable, &[(0, 0, 6.0)]);
+    drop(durable);
+    let layout = eta2_wal::tail_segment_layout(&scratch.wal().dir)
+        .unwrap()
+        .expect("log has segments");
+    let last = layout.records.last().expect("log has records");
+    let f = std::fs::OpenOptions::new()
+        .write(true)
+        .open(&layout.segment)
+        .unwrap();
+    f.set_len(last.offset + last.frame_len / 2).unwrap();
+    drop(f);
+
+    let (recovered, report) =
+        ServeEngine::recover(c, &scratch.checkpoints(), scratch.wal()).unwrap();
+    assert!(report.torn_bytes > 0, "{report:?}");
+    assert!(report.torn_reason.is_some());
+    assert_state_eq(&recovered, &twin, "torn-tail recovery");
+    // The torn record's index is dead: the reopened log resumes past it.
+    assert_eq!(recovered.wal_position(), Some(last.index + 1));
+}
+
+#[test]
+fn recover_republishes_engine_gauges() {
+    let _g = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    eta2_obs::set_metrics(true);
+
+    let scratch = Scratch::new("gauges");
+    let c = cfg(2, 1, 0);
+    let (durable, _) = ServeEngine::recover(c, &scratch.checkpoints(), scratch.wal()).unwrap();
+    durable
+        .register_tasks(&[TaskSpec::new(DomainId(0), 1.0, 1.0)])
+        .unwrap();
+    submit(&durable, &[(0, 0, 5.0), (1, 0, 5.5)]);
+    durable.tick();
+    // Pending residue: these two reports sit in the queue at crash time.
+    submit(&durable, &[(0, 0, 6.0), (1, 0, 6.5)]);
+    drop(durable);
+
+    // Simulate the dead engine's last scrape values lingering in the
+    // process-global registry.
+    eta2_obs::gauge("serve.queue_depth", 999.0);
+    eta2_obs::gauge("serve.epoch", 999.0);
+    let (recovered, _) = ServeEngine::recover(c, &scratch.checkpoints(), scratch.wal()).unwrap();
+    assert_eq!(recovered.queue_depth(), 2);
+    let snap = eta2_obs::registry::global().snapshot();
+    assert_eq!(
+        snap.gauges.get("serve.queue_depth"),
+        Some(&2.0),
+        "recover must republish queue depth from recovered state"
+    );
+    assert_eq!(
+        snap.gauges.get("serve.epoch"),
+        Some(&(recovered.snapshot().epoch() as f64)),
+        "recover must republish the epoch gauge"
+    );
+
+    eta2_obs::set_metrics(false);
+}
+
+#[test]
+fn future_checkpoint_versions_are_rejected_with_a_sourced_error() {
+    let scratch = Scratch::new("version");
+    let c = cfg(2, 1, 0);
+    let (durable, _) = ServeEngine::recover(c, &scratch.checkpoints(), scratch.wal()).unwrap();
+    durable
+        .register_tasks(&[TaskSpec::new(DomainId(0), 1.0, 1.0)])
+        .unwrap();
+    submit(&durable, &[(0, 0, 5.0)]);
+    let path = durable.checkpoint_durable(&scratch.checkpoints()).unwrap();
+    drop(durable);
+
+    // Forge a checkpoint from a future build.
+    let mut doc: serde_json::Value =
+        serde_json::from_slice(&std::fs::read(&path).unwrap()).unwrap();
+    doc["version"] = serde_json::json!(99);
+    std::fs::write(&path, serde_json::to_vec(&doc).unwrap()).unwrap();
+
+    let err = ServeEngine::recover(c, &scratch.checkpoints(), scratch.wal())
+        .err()
+        .expect("future version must be rejected");
+    let msg = err.to_string();
+    assert!(
+        msg.contains("recovery decode failed") && msg.contains(&path.display().to_string()),
+        "error must name the offending file: {msg}"
+    );
+    assert!(
+        std::error::Error::source(&err)
+            .expect("decode errors carry a source")
+            .to_string()
+            .contains("unsupported wal checkpoint version 99"),
+        "source must say why: {err}"
+    );
+}
+
+#[test]
+fn engine_checkpoint_version_field_roundtrips_and_rejects_future() {
+    let c = cfg(2, 1, 0);
+    let engine = ServeEngine::new(c);
+    engine
+        .register_tasks(&[TaskSpec::new(DomainId(0), 1.0, 1.0)])
+        .unwrap();
+    let checkpoint = engine.checkpoint();
+    assert_eq!(checkpoint.version, eta2_serve::ENGINE_CHECKPOINT_VERSION);
+    let json = serde_json::to_string(&checkpoint).unwrap();
+
+    // Current version round-trips.
+    let parsed: eta2_serve::EngineCheckpoint = serde_json::from_str(&json).unwrap();
+    assert_eq!(parsed, checkpoint);
+
+    // A pre-versioning checkpoint (no version field) reads as version 1.
+    let mut doc: serde_json::Value = serde_json::from_str(&json).unwrap();
+    doc.as_object_mut().unwrap().remove("version");
+    let legacy: eta2_serve::EngineCheckpoint = serde_json::from_str(&doc.to_string()).unwrap();
+    assert_eq!(legacy.version, 1);
+
+    // A future version is rejected, loudly and by name.
+    doc["version"] = serde_json::json!(2);
+    let err = serde_json::from_str::<eta2_serve::EngineCheckpoint>(&doc.to_string())
+        .expect_err("future checkpoint version must not decode");
+    assert!(
+        err.to_string()
+            .contains("unsupported engine checkpoint version 2"),
+        "{err}"
+    );
+}

@@ -231,6 +231,7 @@ fn restore_accepts_hand_built_checkpoint_with_pending() {
     let restored = ServeEngine::restore(
         c,
         EngineCheckpoint {
+            version: eta2_serve::ENGINE_CHECKPOINT_VERSION,
             expertise: DynamicExpertise::new(c.n_users, c.alpha, c.mle),
             tasks,
             truths: BTreeMap::new(),

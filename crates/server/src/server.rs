@@ -712,10 +712,14 @@ impl Eta2Server {
         let engine = ServeEngine::restore(
             Self::engine_config(snapshot.expertise.n_users(), &snapshot.config),
             EngineCheckpoint {
+                version: eta2_serve::ENGINE_CHECKPOINT_VERSION,
                 expertise: snapshot.expertise,
                 tasks: snapshot.tasks,
                 truths: snapshot.truths,
                 next_task: snapshot.next_task,
+                // ServerSnapshot predates pending-residue capture and the
+                // 1-shard adapter drains on snapshot, so nothing is lost.
+                pending: Vec::new(),
             },
         );
         Eta2Server {

@@ -1,0 +1,1049 @@
+//! Segmented write-ahead log for durable ETA2 ingest.
+//!
+//! The serving engine (`eta2-serve`) computes truth and expertise *online*:
+//! every report batch folds into decayed accumulators that cannot be
+//! recomputed once the raw observations are gone. A crash between
+//! checkpoints therefore loses history the paper's estimator (Eqs. 4–6)
+//! depends on. This crate provides the redo log that closes the gap: the
+//! engine appends a record describing each mutation *before* acking it, and
+//! recovery replays the log tail over the latest checkpoint.
+//!
+//! # On-disk format (DESIGN.md §12)
+//!
+//! A log is a directory of segment files named `wal-<first-index>.log`,
+//! where `<first-index>` is the zero-padded index of the first record the
+//! segment holds. Each segment starts with a 24-byte header:
+//!
+//! ```text
+//! magic    [u8; 8]   b"ETA2WAL\0"
+//! version  u32 LE    format version (currently 1)
+//! reserved u32 LE    zero
+//! first    u64 LE    index of the segment's first record
+//! ```
+//!
+//! followed by length-prefixed, checksummed record frames:
+//!
+//! ```text
+//! len      u32 LE    payload length in bytes
+//! crc      u32 LE    CRC32 (IEEE) over the 4 len bytes then the payload
+//! payload  [u8; len]
+//! ```
+//!
+//! # Torn tails vs. corruption
+//!
+//! A crash can tear the *end* of the log mid-frame; that is expected and
+//! recoverable: an invalid frame (bad length, failed checksum, or truncated
+//! bytes) in the **last** segment marks the end of the durable prefix, and
+//! [`Wal::open`] chops it off. The same damage in a **sealed** (non-last)
+//! segment cannot be a crash artifact — later segments prove records
+//! followed — so it is reported as [`WalError::Corrupt`] instead of being
+//! silently dropped.
+//!
+//! Fsync gating is configurable per [`FsyncPolicy`]: every record, at batch
+//! boundaries (group commit via [`Wal::sync_batched`]), or never.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Magic bytes opening every segment file.
+pub const MAGIC: [u8; 8] = *b"ETA2WAL\0";
+
+/// Segment format version written by this build. Unknown versions are
+/// rejected at open/replay with a [`WalError::Corrupt`] naming the file.
+pub const WAL_VERSION: u32 = 1;
+
+/// Byte length of the segment header (magic + version + reserved + first).
+pub const HEADER_BYTES: u64 = 24;
+
+/// Byte length of a record frame prefix (len + crc).
+pub const FRAME_PREFIX_BYTES: u64 = 8;
+
+/// Upper bound on a single record payload. Frames claiming more are treated
+/// as corruption (a torn tail in the last segment) rather than allocated.
+pub const MAX_RECORD_BYTES: u32 = 1 << 28;
+
+// ---------------------------------------------------------------------------
+// CRC32 (IEEE 802.3, polynomial 0xEDB88320), table generated at compile time.
+// ---------------------------------------------------------------------------
+
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC32 (IEEE) of `parts` concatenated, as used by the record frames.
+pub fn crc32(parts: &[&[u8]]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for part in parts {
+        for &b in *part {
+            c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        }
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Failure opening, appending to, or replaying a log. Every variant carries
+/// the offending path so callers can report actionable messages (the same
+/// contract as `eta2_datasets::io`).
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum WalError {
+    /// The underlying filesystem operation failed.
+    Io {
+        /// File or directory the operation touched.
+        path: PathBuf,
+        /// The wrapped I/O error.
+        source: std::io::Error,
+    },
+    /// A sealed segment is damaged in a way a crash cannot explain, or the
+    /// segment set itself is inconsistent (overlapping record ranges, bad
+    /// header in a sealed file, unsupported version).
+    Corrupt {
+        /// The damaged segment file.
+        path: PathBuf,
+        /// What exactly failed to validate.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io { path, source } => {
+                write!(f, "wal i/o failed for {}: {source}", path.display())
+            }
+            WalError::Corrupt { path, detail } => {
+                write!(f, "wal segment {} is corrupt: {detail}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for WalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WalError::Io { source, .. } => Some(source),
+            WalError::Corrupt { .. } => None,
+        }
+    }
+}
+
+fn io_err(path: &Path, source: std::io::Error) -> WalError {
+    WalError::Io {
+        path: path.to_path_buf(),
+        source,
+    }
+}
+
+fn corrupt(path: &Path, detail: impl Into<String>) -> WalError {
+    WalError::Corrupt {
+        path: path.to_path_buf(),
+        detail: detail.into(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------------
+
+/// When appended records are forced to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fsync` after every [`Wal::append`]. Strongest guarantee, slowest.
+    PerRecord,
+    /// `fsync` only when the writer reaches a batch boundary and calls
+    /// [`Wal::sync_batched`] (group commit). Records acked since the last
+    /// boundary can be lost to a crash, but never reordered or torn into
+    /// the durable prefix.
+    PerBatch,
+    /// Never `fsync`; durability is whatever the OS page cache provides.
+    Off,
+}
+
+impl FsyncPolicy {
+    /// Parses the CLI spelling: `per-record`, `per-batch`, or `off`.
+    pub fn parse(raw: &str) -> Option<FsyncPolicy> {
+        match raw {
+            "per-record" => Some(FsyncPolicy::PerRecord),
+            "per-batch" => Some(FsyncPolicy::PerBatch),
+            "off" => Some(FsyncPolicy::Off),
+            _ => None,
+        }
+    }
+}
+
+/// Where and how a [`Wal`] writes.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct WalConfig {
+    /// Directory holding the `wal-*.log` segments (created if missing).
+    pub dir: PathBuf,
+    /// Fsync gating. Defaults to [`FsyncPolicy::PerBatch`].
+    pub fsync: FsyncPolicy,
+    /// Rotate to a fresh segment once the active one reaches this many
+    /// bytes. Defaults to 8 MiB; tests use tiny values to force rotation.
+    pub segment_bytes: u64,
+}
+
+impl WalConfig {
+    /// Config with defaults for the segment directory `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> WalConfig {
+        WalConfig {
+            dir: dir.into(),
+            fsync: FsyncPolicy::PerBatch,
+            segment_bytes: 8 * 1024 * 1024,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Segment scanning (shared by open and replay)
+// ---------------------------------------------------------------------------
+
+fn segment_name(first_index: u64) -> String {
+    format!("wal-{first_index:020}.log")
+}
+
+/// Sorted `(first_index, path)` list of the segment files in `dir`.
+/// Returns an empty list when the directory does not exist yet.
+fn list_segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>, WalError> {
+    let mut out = Vec::new();
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(out),
+        Err(e) => return Err(io_err(dir, e)),
+    };
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err(dir, e))?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(digits) = name
+            .strip_prefix("wal-")
+            .and_then(|s| s.strip_suffix(".log"))
+        {
+            if let Ok(first) = digits.parse::<u64>() {
+                out.push((first, entry.path()));
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// How the scan of one segment ended.
+enum SegmentEnd {
+    /// Every byte accounted for.
+    Clean,
+    /// Valid records end at `valid_len`; the remaining bytes are damaged.
+    Torn { valid_len: u64, reason: String },
+}
+
+/// Parsed contents of a single segment file.
+struct SegmentScan {
+    first_index: u64,
+    records: Vec<Vec<u8>>,
+    end: SegmentEnd,
+    len: u64,
+}
+
+/// Reads and validates one segment. `Torn` is only acceptable for the last
+/// segment of a log; the caller enforces that.
+fn scan_segment(path: &Path) -> Result<SegmentScan, WalError> {
+    let mut bytes = Vec::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_end(&mut bytes))
+        .map_err(|e| io_err(path, e))?;
+    let len = bytes.len() as u64;
+    if len < HEADER_BYTES {
+        return Ok(SegmentScan {
+            first_index: 0,
+            records: Vec::new(),
+            end: SegmentEnd::Torn {
+                valid_len: 0,
+                reason: format!("truncated header ({len} of {HEADER_BYTES} bytes)"),
+            },
+            len,
+        });
+    }
+    if bytes[0..8] != MAGIC {
+        return Ok(SegmentScan {
+            first_index: 0,
+            records: Vec::new(),
+            end: SegmentEnd::Torn {
+                valid_len: 0,
+                reason: "bad magic".to_string(),
+            },
+            len,
+        });
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if version == 0 || version > WAL_VERSION {
+        return Err(corrupt(
+            path,
+            format!(
+                "unsupported wal version {version}; this build reads versions 1..={WAL_VERSION}"
+            ),
+        ));
+    }
+    let first_index = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes"));
+    let mut records = Vec::new();
+    let mut at = HEADER_BYTES as usize;
+    let end = loop {
+        if at == bytes.len() {
+            break SegmentEnd::Clean;
+        }
+        if bytes.len() - at < FRAME_PREFIX_BYTES as usize {
+            break SegmentEnd::Torn {
+                valid_len: at as u64,
+                reason: format!("truncated frame prefix ({} bytes)", bytes.len() - at),
+            };
+        }
+        let rec_len = u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes"));
+        let crc = u32::from_le_bytes(bytes[at + 4..at + 8].try_into().expect("4 bytes"));
+        if rec_len > MAX_RECORD_BYTES {
+            break SegmentEnd::Torn {
+                valid_len: at as u64,
+                reason: format!("implausible record length {rec_len}"),
+            };
+        }
+        let body_at = at + FRAME_PREFIX_BYTES as usize;
+        if bytes.len() - body_at < rec_len as usize {
+            break SegmentEnd::Torn {
+                valid_len: at as u64,
+                reason: format!(
+                    "truncated record ({} of {rec_len} payload bytes)",
+                    bytes.len() - body_at
+                ),
+            };
+        }
+        let payload = &bytes[body_at..body_at + rec_len as usize];
+        if crc32(&[&bytes[at..at + 4], payload]) != crc {
+            break SegmentEnd::Torn {
+                valid_len: at as u64,
+                reason: "checksum mismatch".to_string(),
+            };
+        }
+        records.push(payload.to_vec());
+        at = body_at + rec_len as usize;
+    };
+    Ok(SegmentScan {
+        first_index,
+        records,
+        end,
+        len,
+    })
+}
+
+/// Validated scan of a whole log directory: per-segment record lists plus
+/// where (if anywhere) the tail is torn.
+struct LogScan {
+    /// `(first_index, path, records)` per segment, sorted.
+    segments: Vec<(u64, PathBuf, Vec<Vec<u8>>)>,
+    torn: Option<TornTail>,
+}
+
+fn scan_log(dir: &Path) -> Result<LogScan, WalError> {
+    let listed = list_segments(dir)?;
+    let last = listed.len().saturating_sub(1);
+    let mut segments = Vec::with_capacity(listed.len());
+    let mut torn = None;
+    let mut next_expected = 0u64;
+    for (i, (name_first, path)) in listed.into_iter().enumerate() {
+        let scan = scan_segment(&path)?;
+        let is_last = i == last;
+        match scan.end {
+            SegmentEnd::Clean => {}
+            SegmentEnd::Torn { valid_len, reason } if is_last => {
+                torn = Some(TornTail {
+                    segment: path.clone(),
+                    valid_len,
+                    dropped_bytes: scan.len - valid_len,
+                    reason,
+                });
+            }
+            SegmentEnd::Torn { valid_len, reason } => {
+                return Err(corrupt(
+                    &path,
+                    format!("sealed segment damaged at byte {valid_len}: {reason}"),
+                ));
+            }
+        }
+        // A segment whose header never made it to disk has no trustworthy
+        // first_index; infer it from the predecessor. Only tolerable on the
+        // last segment (the torn arm above already rejected sealed damage).
+        let first = if scan.len < HEADER_BYTES
+            || matches!(torn, Some(ref t) if t.valid_len == 0 && t.segment == path)
+        {
+            next_expected.max(name_first)
+        } else {
+            scan.first_index
+        };
+        if first != name_first {
+            return Err(corrupt(
+                &path,
+                format!("header first-index {first} disagrees with file name ({name_first})"),
+            ));
+        }
+        if first < next_expected {
+            return Err(corrupt(
+                &path,
+                format!("record range overlaps predecessor (starts at {first}, expected >= {next_expected})"),
+            ));
+        }
+        next_expected = first + scan.records.len() as u64;
+        segments.push((first, path, scan.records));
+    }
+    Ok(LogScan { segments, torn })
+}
+
+// ---------------------------------------------------------------------------
+// Replay (read-only)
+// ---------------------------------------------------------------------------
+
+/// One durable record, as seen by [`replay`].
+#[derive(Debug, Clone)]
+pub struct WalRecord {
+    /// Monotone record index (stable across rotation and truncation).
+    pub index: u64,
+    /// The record payload, exactly as appended.
+    pub payload: Vec<u8>,
+}
+
+/// Where a log's tail stopped being valid.
+#[derive(Debug, Clone)]
+pub struct TornTail {
+    /// Segment holding the torn bytes.
+    pub segment: PathBuf,
+    /// Length of the valid prefix of that segment.
+    pub valid_len: u64,
+    /// Bytes past the valid prefix that will be dropped.
+    pub dropped_bytes: u64,
+    /// Human-readable cause (truncated frame, checksum mismatch, …).
+    pub reason: String,
+}
+
+/// Result of a read-only [`replay`] scan.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct Replay {
+    /// Every valid record, in index order.
+    pub records: Vec<WalRecord>,
+    /// The torn tail, if the last segment ends mid-frame.
+    pub torn: Option<TornTail>,
+    /// Number of segment files scanned.
+    pub segments: usize,
+}
+
+/// Scans the log in `dir` without modifying it. Valid records are returned
+/// in order; a damaged tail in the last segment is reported via
+/// [`Replay::torn`] rather than treated as an error, while damage in a
+/// sealed segment yields [`WalError::Corrupt`]. A missing directory reads
+/// as an empty log.
+pub fn replay(dir: &Path) -> Result<Replay, WalError> {
+    let started = Instant::now();
+    let scan = scan_log(dir)?;
+    let mut records = Vec::new();
+    for (first, _path, payloads) in &scan.segments {
+        for (k, payload) in payloads.iter().enumerate() {
+            records.push(WalRecord {
+                index: first + k as u64,
+                payload: payload.clone(),
+            });
+        }
+    }
+    eta2_obs::counter("wal.replay", 1);
+    eta2_obs::counter("wal.replay_records", records.len() as u64);
+    eta2_obs::observe("wal.replay_seconds", started.elapsed().as_secs_f64());
+    Ok(Replay {
+        records,
+        torn: scan.torn,
+        segments: scan.segments.len(),
+    })
+}
+
+/// Frame layout of the records in the last segment — `(byte_offset,
+/// frame_len, index)` per record. Exists for crash-simulation harnesses
+/// that tear or corrupt the newest record in place; `None` when the log has
+/// no segments.
+pub fn tail_segment_layout(dir: &Path) -> Result<Option<TailLayout>, WalError> {
+    let listed = list_segments(dir)?;
+    let Some((_, path)) = listed.last() else {
+        return Ok(None);
+    };
+    let scan = scan_segment(path)?;
+    let mut records = Vec::with_capacity(scan.records.len());
+    let mut at = HEADER_BYTES;
+    for (k, payload) in scan.records.iter().enumerate() {
+        let frame = FRAME_PREFIX_BYTES + payload.len() as u64;
+        records.push(TailRecord {
+            offset: at,
+            frame_len: frame,
+            index: scan.first_index + k as u64,
+        });
+        at += frame;
+    }
+    Ok(Some(TailLayout {
+        segment: path.clone(),
+        records,
+    }))
+}
+
+/// See [`tail_segment_layout`].
+#[derive(Debug, Clone)]
+pub struct TailLayout {
+    /// The last (active) segment file.
+    pub segment: PathBuf,
+    /// Valid records in that segment, in order.
+    pub records: Vec<TailRecord>,
+}
+
+/// One record's position inside the tail segment.
+#[derive(Debug, Clone, Copy)]
+pub struct TailRecord {
+    /// Byte offset of the frame (the `len` word) inside the segment.
+    pub offset: u64,
+    /// Total frame length (prefix + payload).
+    pub frame_len: u64,
+    /// The record's log index.
+    pub index: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// What [`Wal::open`] found on disk.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct OpenReport {
+    /// Valid records already in the log.
+    pub records: u64,
+    /// Segment files present after opening.
+    pub segments: usize,
+    /// The torn tail that was chopped off, if any.
+    pub torn: Option<TornTail>,
+}
+
+/// An open, appendable write-ahead log.
+///
+/// Not internally synchronized: the engine wraps it in a mutex and holds
+/// the guard across append-then-apply so log order equals apply order.
+#[derive(Debug)]
+pub struct Wal {
+    cfg: WalConfig,
+    /// Active (last) segment.
+    file: File,
+    path: PathBuf,
+    seg_len: u64,
+    next_index: u64,
+    dirty: bool,
+}
+
+impl Wal {
+    /// Opens (creating if needed) the log in `cfg.dir`, truncating any torn
+    /// tail so the file ends at a record boundary, and positions the writer
+    /// after the last valid record.
+    pub fn open(cfg: WalConfig) -> Result<(Wal, OpenReport), WalError> {
+        fs::create_dir_all(&cfg.dir).map_err(|e| io_err(&cfg.dir, e))?;
+        let scan = scan_log(&cfg.dir)?;
+        let mut records = 0u64;
+        for (_, _, payloads) in &scan.segments {
+            records += payloads.len() as u64;
+        }
+        let (next_index, path, seg_len) = match scan.segments.last() {
+            Some((first, path, payloads)) => {
+                let next = first + payloads.len() as u64;
+                if let Some(torn) = &scan.torn {
+                    // Chop the damaged bytes; if even the header was torn,
+                    // valid_len is 0 and the header is rewritten below.
+                    let f = OpenOptions::new()
+                        .write(true)
+                        .open(path)
+                        .map_err(|e| io_err(path, e))?;
+                    f.set_len(torn.valid_len).map_err(|e| io_err(path, e))?;
+                    f.sync_data().map_err(|e| io_err(path, e))?;
+                }
+                let valid_len = match &scan.torn {
+                    Some(t) => t.valid_len,
+                    None => 0, // recomputed below when no tear happened
+                };
+                let len = if scan.torn.is_some() {
+                    valid_len
+                } else {
+                    fs::metadata(path).map_err(|e| io_err(path, e))?.len()
+                };
+                if len < HEADER_BYTES {
+                    // Header never reached disk: rewrite it in place.
+                    let mut f = OpenOptions::new()
+                        .write(true)
+                        .truncate(true)
+                        .open(path)
+                        .map_err(|e| io_err(path, e))?;
+                    write_header(&mut f, path, *first)?;
+                    f.sync_data().map_err(|e| io_err(path, e))?;
+                    (next, path.clone(), HEADER_BYTES)
+                } else {
+                    (next, path.clone(), len)
+                }
+            }
+            None => {
+                let path = cfg.dir.join(segment_name(0));
+                let mut f = File::create(&path).map_err(|e| io_err(&path, e))?;
+                write_header(&mut f, &path, 0)?;
+                if cfg.fsync != FsyncPolicy::Off {
+                    f.sync_data().map_err(|e| io_err(&path, e))?;
+                    sync_dir(&cfg.dir)?;
+                }
+                (0, path, HEADER_BYTES)
+            }
+        };
+        let file = OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .map_err(|e| io_err(&path, e))?;
+        let report = OpenReport {
+            records,
+            segments: scan.segments.len().max(1),
+            torn: scan.torn,
+        };
+        Ok((
+            Wal {
+                cfg,
+                file,
+                path,
+                seg_len,
+                next_index,
+                dirty: false,
+            },
+            report,
+        ))
+    }
+
+    /// Index the next appended record will get (equivalently: the number of
+    /// records ever appended to this log).
+    pub fn position(&self) -> u64 {
+        self.next_index
+    }
+
+    /// The directory this log lives in.
+    pub fn dir(&self) -> &Path {
+        &self.cfg.dir
+    }
+
+    /// Appends one record, returning its index. Under
+    /// [`FsyncPolicy::PerRecord`] the record is durable when this returns;
+    /// under the other policies it is buffered until [`Wal::sync`].
+    pub fn append(&mut self, payload: &[u8]) -> Result<u64, WalError> {
+        self.maybe_rotate()?;
+        let len = (payload.len() as u32).to_le_bytes();
+        let crc = crc32(&[&len, payload]).to_le_bytes();
+        let mut frame = Vec::with_capacity(FRAME_PREFIX_BYTES as usize + payload.len());
+        frame.extend_from_slice(&len);
+        frame.extend_from_slice(&crc);
+        frame.extend_from_slice(payload);
+        self.file
+            .write_all(&frame)
+            .map_err(|e| io_err(&self.path, e))?;
+        self.seg_len += frame.len() as u64;
+        self.dirty = true;
+        let index = self.next_index;
+        self.next_index += 1;
+        eta2_obs::counter("wal.append", 1);
+        eta2_obs::counter("wal.append_bytes", frame.len() as u64);
+        if self.cfg.fsync == FsyncPolicy::PerRecord {
+            self.sync()?;
+        }
+        Ok(index)
+    }
+
+    /// Forces buffered appends to stable storage (no-op when nothing is
+    /// buffered). Called by the engine at checkpoint time regardless of
+    /// policy, so a checkpoint never claims a position beyond the durable
+    /// log.
+    pub fn sync(&mut self) -> Result<(), WalError> {
+        if !self.dirty {
+            return Ok(());
+        }
+        let started = Instant::now();
+        self.file.sync_data().map_err(|e| io_err(&self.path, e))?;
+        self.dirty = false;
+        eta2_obs::counter("wal.fsync", 1);
+        eta2_obs::observe("wal.fsync_seconds", started.elapsed().as_secs_f64());
+        Ok(())
+    }
+
+    /// Group-commit hook: syncs only under [`FsyncPolicy::PerBatch`]. The
+    /// engine calls this at flush boundaries (batch flush, tick).
+    pub fn sync_batched(&mut self) -> Result<(), WalError> {
+        if self.cfg.fsync == FsyncPolicy::PerBatch {
+            self.sync()
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Deletes sealed segments whose records all precede `index` (typically
+    /// a checkpoint's position). The active segment is never deleted.
+    /// Returns how many segment files were removed.
+    pub fn truncate_up_to(&mut self, index: u64) -> Result<usize, WalError> {
+        let listed = list_segments(&self.cfg.dir)?;
+        let mut removed = 0usize;
+        for pair in listed.windows(2) {
+            let (_, ref path) = pair[0];
+            let (next_first, _) = pair[1];
+            if next_first <= index && *path != self.path {
+                fs::remove_file(path).map_err(|e| io_err(path, e))?;
+                removed += 1;
+            }
+        }
+        if removed > 0 {
+            if self.cfg.fsync != FsyncPolicy::Off {
+                sync_dir(&self.cfg.dir)?;
+            }
+            eta2_obs::counter("wal.truncate_segments", removed as u64);
+        }
+        Ok(removed)
+    }
+
+    /// Fast-forwards the writer so the next record gets index `index` (at
+    /// least). Recovery uses this when a checkpoint proves records up to
+    /// `index` were applied but the log tail holding them is gone — new
+    /// appends must not reuse the dead indices.
+    pub fn advance_to(&mut self, index: u64) -> Result<(), WalError> {
+        if index <= self.next_index {
+            return Ok(());
+        }
+        self.rotate(index)
+    }
+
+    fn maybe_rotate(&mut self) -> Result<(), WalError> {
+        if self.seg_len >= self.cfg.segment_bytes && self.seg_len > HEADER_BYTES {
+            self.rotate(self.next_index)?;
+        }
+        Ok(())
+    }
+
+    fn rotate(&mut self, first_index: u64) -> Result<(), WalError> {
+        self.sync_batched()?;
+        let path = self.cfg.dir.join(segment_name(first_index));
+        let mut f = File::create(&path).map_err(|e| io_err(&path, e))?;
+        write_header(&mut f, &path, first_index)?;
+        if self.cfg.fsync != FsyncPolicy::Off {
+            f.sync_data().map_err(|e| io_err(&path, e))?;
+            sync_dir(&self.cfg.dir)?;
+        }
+        drop(f);
+        self.file = OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .map_err(|e| io_err(&path, e))?;
+        self.path = path;
+        self.seg_len = HEADER_BYTES;
+        self.next_index = first_index;
+        self.dirty = false;
+        eta2_obs::counter("wal.rotate", 1);
+        Ok(())
+    }
+}
+
+fn write_header(f: &mut File, path: &Path, first_index: u64) -> Result<(), WalError> {
+    let mut header = [0u8; HEADER_BYTES as usize];
+    header[0..8].copy_from_slice(&MAGIC);
+    header[8..12].copy_from_slice(&WAL_VERSION.to_le_bytes());
+    header[16..24].copy_from_slice(&first_index.to_le_bytes());
+    f.write_all(&header).map_err(|e| io_err(path, e))
+}
+
+#[cfg(unix)]
+fn sync_dir(dir: &Path) -> Result<(), WalError> {
+    File::open(dir)
+        .and_then(|f| f.sync_all())
+        .map_err(|e| io_err(dir, e))
+}
+
+#[cfg(not(unix))]
+fn sync_dir(_dir: &Path) -> Result<(), WalError> {
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("eta2-wal-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn open(dir: &Path, segment_bytes: u64) -> (Wal, OpenReport) {
+        let mut cfg = WalConfig::new(dir);
+        cfg.fsync = FsyncPolicy::Off;
+        cfg.segment_bytes = segment_bytes;
+        Wal::open(cfg).expect("open")
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // IEEE CRC32 of "123456789" is 0xCBF43926.
+        assert_eq!(crc32(&[b"123456789"]), 0xCBF4_3926);
+        assert_eq!(crc32(&[b"1234", b"56789"]), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn roundtrip_and_reopen() {
+        let dir = tmp("roundtrip");
+        let payloads: Vec<Vec<u8>> = (0..10u8).map(|i| vec![i; (i as usize) * 7 + 1]).collect();
+        {
+            let (mut wal, report) = open(&dir, 1 << 20);
+            assert_eq!(report.records, 0);
+            for (i, p) in payloads.iter().enumerate() {
+                assert_eq!(wal.append(p).expect("append"), i as u64);
+            }
+            wal.sync().expect("sync");
+        }
+        let rep = replay(&dir).expect("replay");
+        assert!(rep.torn.is_none());
+        assert_eq!(rep.records.len(), payloads.len());
+        for (i, rec) in rep.records.iter().enumerate() {
+            assert_eq!(rec.index, i as u64);
+            assert_eq!(rec.payload, payloads[i]);
+        }
+        let (wal, report) = open(&dir, 1 << 20);
+        assert_eq!(report.records, 10);
+        assert_eq!(wal.position(), 10);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotation_spreads_records_across_segments() {
+        let dir = tmp("rotate");
+        let (mut wal, _) = open(&dir, 64);
+        for i in 0..20u64 {
+            wal.append(&i.to_le_bytes()).expect("append");
+        }
+        wal.sync().expect("sync");
+        let segments = list_segments(&dir).expect("list");
+        assert!(segments.len() > 1, "tiny segment_bytes must force rotation");
+        let rep = replay(&dir).expect("replay");
+        assert_eq!(rep.records.len(), 20);
+        assert_eq!(rep.segments, segments.len());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_chopped_and_survivors_replay() {
+        let dir = tmp("torn");
+        let (mut wal, _) = open(&dir, 1 << 20);
+        for i in 0..5u64 {
+            wal.append(&[i as u8; 16]).expect("append");
+        }
+        wal.sync().expect("sync");
+        drop(wal);
+        // Tear the last record mid-frame.
+        let layout = tail_segment_layout(&dir).expect("layout").expect("segment");
+        let last = *layout.records.last().expect("records");
+        let f = OpenOptions::new()
+            .write(true)
+            .open(&layout.segment)
+            .expect("open");
+        f.set_len(last.offset + last.frame_len / 2)
+            .expect("truncate");
+        drop(f);
+        let rep = replay(&dir).expect("replay");
+        assert_eq!(rep.records.len(), 4, "torn record must drop");
+        let torn = rep.torn.expect("torn tail reported");
+        assert!(torn.reason.contains("truncated"), "reason: {}", torn.reason);
+        // Open chops the tail and appends continue from index 4.
+        let (mut wal, report) = open(&dir, 1 << 20);
+        assert!(report.torn.is_some());
+        assert_eq!(wal.position(), 4);
+        wal.append(b"after-crash").expect("append");
+        wal.sync().expect("sync");
+        let rep = replay(&dir).expect("replay");
+        assert!(rep.torn.is_none());
+        assert_eq!(rep.records.len(), 5);
+        assert_eq!(rep.records[4].payload, b"after-crash");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_checksum_at_tail_is_torn() {
+        let dir = tmp("crc");
+        let (mut wal, _) = open(&dir, 1 << 20);
+        for i in 0..3u64 {
+            wal.append(&[0x40 | i as u8; 12]).expect("append");
+        }
+        wal.sync().expect("sync");
+        drop(wal);
+        let layout = tail_segment_layout(&dir).expect("layout").expect("segment");
+        let last = *layout.records.last().expect("records");
+        // Flip one payload byte; the frame length stays plausible so only
+        // the checksum catches it.
+        let mut bytes = fs::read(&layout.segment).expect("read");
+        let at = (last.offset + FRAME_PREFIX_BYTES) as usize;
+        bytes[at] ^= 0xFF;
+        fs::write(&layout.segment, &bytes).expect("write");
+        let rep = replay(&dir).expect("replay");
+        assert_eq!(rep.records.len(), 2);
+        assert_eq!(rep.torn.expect("torn").reason, "checksum mismatch");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sealed_segment_corruption_is_an_error() {
+        let dir = tmp("sealed");
+        let (mut wal, _) = open(&dir, 64);
+        for i in 0..20u64 {
+            wal.append(&i.to_le_bytes()).expect("append");
+        }
+        wal.sync().expect("sync");
+        drop(wal);
+        let segments = list_segments(&dir).expect("list");
+        assert!(segments.len() > 2);
+        // Damage the first (sealed) segment's first record payload.
+        let path = &segments[0].1;
+        let mut bytes = fs::read(path).expect("read");
+        let at = (HEADER_BYTES + FRAME_PREFIX_BYTES) as usize;
+        bytes[at] ^= 0xFF;
+        fs::write(path, &bytes).expect("write");
+        let err = replay(&dir).expect_err("sealed damage must not be silently dropped");
+        match err {
+            WalError::Corrupt { path: p, detail } => {
+                assert_eq!(&p, path);
+                assert!(detail.contains("checksum mismatch"), "detail: {detail}");
+            }
+            other => panic!("expected Corrupt, got {other}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_header_on_fresh_segment_recovers() {
+        let dir = tmp("header");
+        let (mut wal, _) = open(&dir, 32);
+        for i in 0..6u64 {
+            wal.append(&i.to_le_bytes()).expect("append");
+        }
+        wal.sync().expect("sync");
+        drop(wal);
+        // Simulate a crash during rotation: the newest segment has only a
+        // partial header.
+        let segments = list_segments(&dir).expect("list");
+        let (last_first, last_path) = segments.last().expect("segments").clone();
+        let f = OpenOptions::new()
+            .write(true)
+            .open(&last_path)
+            .expect("open");
+        f.set_len(HEADER_BYTES / 2).expect("truncate");
+        drop(f);
+        let rep = replay(&dir).expect("replay");
+        let survivors = rep.records.len() as u64;
+        assert_eq!(
+            survivors, last_first,
+            "records before the torn segment survive"
+        );
+        let (wal, report) = open(&dir, 32);
+        assert!(report.torn.is_some());
+        assert_eq!(wal.position(), last_first);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncate_drops_only_fully_covered_sealed_segments() {
+        let dir = tmp("truncate");
+        let (mut wal, _) = open(&dir, 64);
+        for i in 0..20u64 {
+            wal.append(&i.to_le_bytes()).expect("append");
+        }
+        wal.sync().expect("sync");
+        let before = list_segments(&dir).expect("list").len();
+        assert!(before > 2);
+        // Position of the second segment's first record.
+        let second_first = list_segments(&dir).expect("list")[1].0;
+        let removed = wal.truncate_up_to(second_first).expect("truncate");
+        assert_eq!(removed, 1, "only the first segment is fully below the mark");
+        let removed = wal.truncate_up_to(wal.position()).expect("truncate all");
+        assert!(removed >= 1);
+        let rep = replay(&dir).expect("replay");
+        // Surviving records are exactly the active segment's.
+        assert!(rep.records.iter().all(|r| r.payload.len() == 8));
+        assert_eq!(rep.records.last().expect("tail").index, 19);
+        // The log still appends and reopens cleanly after truncation.
+        let next = wal.append(b"post-truncate").expect("append");
+        assert_eq!(next, 20);
+        wal.sync().expect("sync");
+        drop(wal);
+        let (wal, _) = open(&dir, 64);
+        assert_eq!(wal.position(), 21);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn advance_to_skips_dead_indices() {
+        let dir = tmp("advance");
+        let (mut wal, _) = open(&dir, 1 << 20);
+        wal.append(b"a").expect("append");
+        wal.advance_to(10).expect("advance");
+        assert_eq!(wal.position(), 10);
+        let idx = wal.append(b"b").expect("append");
+        assert_eq!(idx, 10);
+        wal.sync().expect("sync");
+        let rep = replay(&dir).expect("replay");
+        assert_eq!(rep.records.len(), 2);
+        assert_eq!(rep.records[1].index, 10);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fsync_policy_parse() {
+        assert_eq!(
+            FsyncPolicy::parse("per-record"),
+            Some(FsyncPolicy::PerRecord)
+        );
+        assert_eq!(FsyncPolicy::parse("per-batch"), Some(FsyncPolicy::PerBatch));
+        assert_eq!(FsyncPolicy::parse("off"), Some(FsyncPolicy::Off));
+        assert_eq!(FsyncPolicy::parse("always"), None);
+    }
+
+    #[test]
+    fn errors_carry_path_context() {
+        let dir = tmp("errpath");
+        fs::create_dir_all(&dir).expect("mkdir");
+        let bogus = dir.join(segment_name(0));
+        let mut header = vec![0u8; HEADER_BYTES as usize];
+        header[0..8].copy_from_slice(&MAGIC);
+        header[8..12].copy_from_slice(&(WAL_VERSION + 1).to_le_bytes());
+        fs::write(&bogus, &header).expect("write");
+        // Unsupported version in the header.
+        let err = replay(&dir).expect_err("bad version");
+        let msg = err.to_string();
+        assert!(msg.contains(&bogus.display().to_string()), "message: {msg}");
+        assert!(msg.contains("unsupported wal version"), "message: {msg}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,84 @@
+//! Crash-point recovery properties: for any seeded durable workload and
+//! any kill point — every record boundary, a torn mid-record tail, and a
+//! corrupted-checksum tail — `ServeEngine::recover` rebuilds state
+//! bit-identical to an uninterrupted twin.
+//!
+//! `cargo test` runs a small sample; the exhaustive sweep over the
+//! committed corpus is `eta2-cli check --crash` (the CI wal-smoke job).
+
+use eta2::check::crash;
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+fn scratch(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("eta2-wal-recovery-{tag}-{}", std::process::id()))
+}
+
+/// The corpus seeds committed for the crash sweep (the `check --crash`
+/// section of `corpus/seeds.txt`); pinned here so `cargo test` exercises
+/// the exact scenarios CI replays exhaustively.
+const CRASH_SEEDS: [u64; 8] = [10, 12, 21, 42, 74, 78, 82, 98];
+
+#[test]
+fn committed_crash_seeds_recover_at_every_kill_point() {
+    let dir = scratch("corpus");
+    for seed in CRASH_SEEDS {
+        let report = crash::run_crash_seed(seed, &dir)
+            .unwrap_or_else(|e| panic!("seed {seed}: sweep failed to run: {e}"));
+        assert_eq!(
+            report.kill_points,
+            3 * report.ops + 1,
+            "seed {seed}: clean at every boundary plus torn+corrupt at every record"
+        );
+        assert!(
+            report.passed(),
+            "seed {seed}: {} kill point(s) diverged:\n{}",
+            report.failures.len(),
+            report
+                .failures
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn crash_seeds_are_committed_to_the_corpus() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../corpus/seeds.txt");
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read seed corpus at {path}: {e}"));
+    let corpus = eta2::check::gate::corpus::parse(&text).expect("well-formed corpus");
+    for seed in CRASH_SEEDS {
+        assert!(
+            corpus.seeds.contains(&seed),
+            "crash seed {seed} missing from corpus/seeds.txt"
+        );
+    }
+}
+
+proptest! {
+    // The sweep is quadratic in the workload (every kill point replays
+    // the whole prefix), so a handful of random seeds per run is plenty —
+    // exhaustive coverage lives in the corpus + CI.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// For ANY seed and EVERY kill point the sweep covers, recovery
+    /// equals the uninterrupted twin.
+    #[test]
+    fn any_seed_recovers_at_every_kill_point(seed in 0u64..10_000) {
+        let dir = scratch("prop");
+        let report = crash::run_crash_seed(seed, &dir)
+            .unwrap_or_else(|e| panic!("seed {seed}: sweep failed to run: {e}"));
+        prop_assert!(
+            report.passed(),
+            "seed {}: {} kill point(s) diverged; first: {}",
+            seed,
+            report.failures.len(),
+            report.failures.first().map(|f| f.to_string()).unwrap_or_default()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
