@@ -26,6 +26,7 @@ USAGE:
   eta2-cli serve-bench [--producers N] [--shards N] [--batch N]
                     [--reports N] [--tasks N] [--domains N] [--users N]
                     [--threads N] [--seed N]
+                    [--dirty-frac F] [--zipf S]
                     [--fault-dropout F] [--fault-corrupt F]
                     [--metrics-out FILE] [--metrics-json FILE]
                     [--wal-dir DIR] [--fsync per-record|per-batch|off]
@@ -61,7 +62,12 @@ serve-bench: stresses the concurrent serving engine — N producer threads
   in Prometheus text exposition format; --metrics-json FILE writes the
   versioned JSON snapshot (feed it to `top --replay ... --metrics FILE`).
   Trace span ids derive from --seed, so two runs with the same seed and
-  workload produce comparable causal traces. --wal-dir DIR runs the
+  workload produce comparable causal traces. --dirty-frac F (default 1)
+  confines producer traffic to the first ceil(F * domains) domains, so
+  the engine's incremental flush path re-solves only that dirty subset;
+  --zipf S (default 0 = uniform) skews task touches by rank weight
+  1/r^S, concentrating updates on head tasks the way real collection
+  rounds do. --wal-dir DIR runs the
   engine in durable mode: every accepted write is appended to a
   segmented, checksummed write-ahead log under DIR/wal before it is
   acked (--fsync picks the gating posture, default per-batch group
@@ -78,8 +84,10 @@ top: a plain-text dashboard over the observability plane — ingest rate,
   place on a terminal and print sequential frames when piped.
 
 check: replays seeded differential-correctness scenarios — every op runs
-  through the sharded-engine/sequential-twin, MLE/reference and
-  heap/scan oracle pairs with runtime invariants counted. The default
+  through the sharded-engine/sequential-twin, incremental/full-
+  reconvergence (bit-compared), warm-started/cold (bounded divergence),
+  MLE/reference and heap/scan oracle pairs with runtime invariants
+  counted. The default
   replays the committed corpus (corpus/seeds.txt, override with
   --corpus FILE); --seeds N scans generated seeds 0..N; --seed S
   (decimal or 0x-hex) replays one scenario and, on failure, prints the
@@ -332,6 +340,14 @@ pub fn serve_bench(args: &Args) -> Result<(), String> {
     if n_tasks == 0 || n_domains == 0 {
         return Err("--tasks and --domains must be at least 1".into());
     }
+    let dirty_frac: f64 = args.get_parsed("dirty-frac", 1.0f64)?;
+    if !(dirty_frac > 0.0 && dirty_frac <= 1.0) {
+        return Err(format!("--dirty-frac must be in (0, 1], got {dirty_frac}"));
+    }
+    let zipf_s: f64 = args.get_parsed("zipf", 0.0f64)?;
+    if !zipf_s.is_finite() || zipf_s < 0.0 {
+        return Err(format!("--zipf must be a finite skew >= 0, got {zipf_s}"));
+    }
     let faults = FaultConfig {
         dropout_rate: args.get_parsed("fault-dropout", 0.0f64)?,
         corrupt_rate: args.get_parsed("fault-corrupt", 0.0f64)?,
@@ -401,6 +417,32 @@ pub fn serve_bench(args: &Args) -> Result<(), String> {
     let ids = engine.register_tasks(&specs).map_err(|e| e.to_string())?;
     let plan = FaultPlan::new(faults, seed);
 
+    // Producer traffic only ever touches the "hot" pool: the tasks whose
+    // domain index falls below ceil(--dirty-frac * --domains). At the
+    // default fraction of 1 that is every task (the historical uniform
+    // workload); smaller fractions leave the remaining domains untouched
+    // so the incremental flush path re-solves only the dirty subset.
+    let dirty_domains = ((n_domains as f64 * dirty_frac).ceil() as u32).clamp(1, n_domains);
+    let hot: Vec<_> = (0..n_tasks as usize)
+        .filter(|j| (*j as u32) % n_domains < dirty_domains)
+        .map(|j| ids[j])
+        .collect();
+    // Zipf touch skew without an external sampler: rank r (0-based) gets
+    // weight 1/(r+1)^s, and a binary search over the cumulative table
+    // turns one splitmix64 draw into a rank. s = 0 degenerates to the
+    // uniform pick this bench always used.
+    let cumw: Vec<f64> = {
+        let mut acc = 0.0;
+        hot.iter()
+            .enumerate()
+            .map(|(r, _)| {
+                acc += 1.0 / ((r + 1) as f64).powf(zipf_s);
+                acc
+            })
+            .collect()
+    };
+    let total_w = *cumw.last().expect("hot pool is never empty");
+
     // splitmix64 finalizer: deterministic per-(producer, report) values.
     fn mix(mut z: u64) -> u64 {
         z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
@@ -421,7 +463,7 @@ pub fn serve_bench(args: &Args) -> Result<(), String> {
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..producers)
             .map(|p| {
-                let (engine, ids, plan) = (&engine, &ids, &plan);
+                let (engine, plan, hot, cumw) = (&engine, &plan, &hot, &cumw);
                 let (submitted, dropped, delayed, max_submit_ns) =
                     (&submitted, &dropped, &delayed, &max_submit_ns);
                 s.spawn(move || {
@@ -431,7 +473,10 @@ pub fn serve_bench(args: &Args) -> Result<(), String> {
                         let mut obs = ObservationSet::new();
                         for k in 0..8u64 {
                             let h = mix(seed ^ mix(p as u64) ^ mix(r) ^ k);
-                            let task = ids[(h % ids.len() as u64) as usize];
+                            // 53 high bits -> uniform in [0, total_w), then
+                            // rank by cumulative-weight binary search.
+                            let u = (h >> 11) as f64 / (1u64 << 53) as f64 * total_w;
+                            let task = hot[cumw.partition_point(|&c| c <= u).min(hot.len() - 1)];
                             let user = UserId((mix(h) % engine.config().n_users as u64) as u32);
                             let clean = 10.0 + (task.0 % 7) as f64 + (h % 100) as f64 * 0.01;
                             match plan.apply(r as usize, user, task, clean).0 {
@@ -513,6 +558,16 @@ pub fn serve_bench(args: &Args) -> Result<(), String> {
         n_domains,
         engine.config().n_shards
     );
+    if dirty_frac < 1.0 || zipf_s > 0.0 {
+        eta2_obs::progress!(
+            "  touch distribution: {} of {} domains hot ({} of {} tasks, \
+             --dirty-frac {dirty_frac}), zipf skew s = {zipf_s}",
+            dirty_domains,
+            n_domains,
+            hot.len(),
+            n_tasks
+        );
+    }
     eta2_obs::progress!(
         "  accepted {} reports in {:.2}s ({:.0} reports/s), dropped {}, delayed {}",
         submitted.load(Ordering::Relaxed),

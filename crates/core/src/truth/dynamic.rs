@@ -39,6 +39,38 @@ pub struct BatchOutcome {
     pub converged: bool,
 }
 
+/// Tuning knobs for [`DynamicExpertise::ingest_batch_with`].
+///
+/// The defaults reproduce [`DynamicExpertise::ingest_batch`] exactly: no
+/// warm start, sparse (dirty-user) iteration.
+#[derive(Debug, Clone, Copy, Default)]
+#[non_exhaustive]
+pub struct IngestOptions<'a> {
+    /// Previous-epoch truth estimates seeding the convergence criterion.
+    ///
+    /// When a batch task has a finite entry here, its value becomes the
+    /// task's `prev_mu` for the *first* joint iteration, so the paper's 5 %
+    /// criterion is applied to the delta against the previous epoch and a
+    /// batch whose truths barely moved can settle after a single iteration.
+    /// Tasks without an entry converge only from their second iteration, as
+    /// in a cold start. Warm starting can therefore stop the iteration one
+    /// step earlier than a cold solve: results agree with the cold
+    /// trajectory to within one convergence step (a bounded divergence, see
+    /// DESIGN.md §13.2), not bit-exactly.
+    pub warm: Option<&'a BTreeMap<TaskId, TruthEstimate>>,
+    /// Iterate the per-user expertise update over every user column instead
+    /// of only the batch's reporters.
+    ///
+    /// The dense loop writes candidate expertise values for users without
+    /// observations in the batch, but those values are never read by the
+    /// truth or leave-one-out updates and never committed (commit requires
+    /// a batch contribution), so dense and sparse are **bit-identical** —
+    /// `dense` only restores the pre-incremental cost profile, which the
+    /// differential harness and `perf_suite` keep around as the
+    /// full-reconvergence twin.
+    pub dense: bool,
+}
+
 /// Per-`(user, domain)` accumulator pair `(N, D)`.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 struct Acc {
@@ -181,6 +213,26 @@ impl DynamicExpertise {
         self.acc.keys().copied()
     }
 
+    /// One domain's expertise as a dense per-user column (`1.0` — the
+    /// paper's initialization — for users without data), or `None` when no
+    /// user has accumulated data in the domain.
+    ///
+    /// Returns `Some` for exactly the domains [`matrix`](Self::matrix)
+    /// materializes, with identical values — this is the per-domain
+    /// building block the `eta2-serve` engine uses to refresh only the
+    /// columns a flush dirtied instead of rebuilding the whole matrix.
+    pub fn column(&self, domain: DomainId) -> Option<Vec<f64>> {
+        let per_user = self.acc.get(&domain)?;
+        if per_user.iter().all(|a| a.n <= 0.0) {
+            return None;
+        }
+        Some(
+            (0..self.n_users)
+                .map(|i| self.expertise(UserId(i as u32), domain))
+                .collect(),
+        )
+    }
+
     /// Ingests a finished batch: jointly re-estimates the batch's truths and
     /// the affected expertise values (Eqs. 5, 7–9), then commits the decayed
     /// accumulators.
@@ -193,6 +245,21 @@ impl DynamicExpertise {
     /// partition of that batch into per-domain (or per-domain-shard) calls
     /// — the invariant the `eta2-serve` sharded engine relies on.
     pub fn ingest_batch(&mut self, tasks: &[Task], obs: &ObservationSet) -> BatchOutcome {
+        self.ingest_batch_with(tasks, obs, IngestOptions::default())
+    }
+
+    /// [`ingest_batch`](Self::ingest_batch) with explicit [`IngestOptions`]:
+    /// an optional warm start from previous-epoch estimates and a dense
+    /// cost-profile toggle. The default options reproduce `ingest_batch`
+    /// bit-exactly; see the option docs for the exact semantics of each
+    /// knob. The per-domain decomposition invariant documented on
+    /// `ingest_batch` holds for every option combination.
+    pub fn ingest_batch_with(
+        &mut self,
+        tasks: &[Task],
+        obs: &ObservationSet,
+        opts: IngestOptions<'_>,
+    ) -> BatchOutcome {
         let _span = eta2_obs::span!("mle.ingest_batch");
         // Non-finite observations (corrupted reports) are rejected at the
         // boundary, mirroring `ExpertiseAwareMle::estimate_with_initial`.
@@ -247,7 +314,7 @@ impl DynamicExpertise {
         let mut tasks_solved = 0u64;
         for (domain, group) in &by_domain {
             tasks_solved += group.len() as u64;
-            let solved = self.solve_domain(*domain, group);
+            let solved = self.solve_domain(*domain, group, opts);
             // Per-domain convergence series (labeled, so the dashboard can
             // surface slow domains individually). The name is only built
             // when metrics are on.
@@ -278,16 +345,67 @@ impl DynamicExpertise {
 
     /// Runs the §4 joint truth/expertise iteration for one domain's slice
     /// of a batch, then commits the decayed accumulators for that domain.
-    fn solve_domain(&mut self, domain: DomainId, batch: &[TaskData]) -> BatchOutcome {
+    ///
+    /// The iteration state is kept per **dirty user** — the batch's
+    /// distinct reporters — because they are the only users whose candidate
+    /// expertise the truth and leave-one-out updates can read, and the only
+    /// users whose accumulators the commit can touch. `opts.dense` widens
+    /// the working set to every user (the historical cost profile) without
+    /// changing a single bit of the result; `opts.warm` seeds the
+    /// convergence criterion from previous-epoch estimates.
+    fn solve_domain(
+        &mut self,
+        domain: DomainId,
+        batch: &[TaskData],
+        opts: IngestOptions<'_>,
+    ) -> BatchOutcome {
         let cfg = self.config;
-        // Working expertise column: starts from the time-T values; updated
-        // through candidate accumulators during the joint iteration.
-        let mut work: Vec<f64> = (0..self.n_users)
-            .map(|i| self.expertise(UserId(i as u32), domain))
+        // Dirty users of this domain slice, ascending; `slot_of` maps a
+        // user id onto its compact slot in `work`/`delta`.
+        let dirty: Vec<u32> = if opts.dense {
+            (0..self.n_users as u32).collect()
+        } else {
+            let set: std::collections::BTreeSet<u32> = batch
+                .iter()
+                .flat_map(|t| t.obs.iter().map(|&(user, _)| user.0))
+                .collect();
+            set.into_iter().collect()
+        };
+        let slot_of: BTreeMap<u32, usize> =
+            dirty.iter().enumerate().map(|(s, &u)| (u, s)).collect();
+        // Each task's observations, remapped onto compact slots once so the
+        // joint iteration is O(dirty users + observations) per pass.
+        let obs_slots: Vec<Vec<(usize, f64)>> = batch
+            .iter()
+            .map(|t| {
+                t.obs
+                    .iter()
+                    .map(|&(user, x)| (slot_of[&user.0], x))
+                    .collect()
+            })
+            .collect();
+
+        // Working expertise per dirty slot: starts from the time-T values;
+        // updated through candidate accumulators during the joint iteration.
+        let mut work: Vec<f64> = dirty
+            .iter()
+            .map(|&u| self.expertise(UserId(u), domain))
             .collect();
 
         let mut truths: BTreeMap<TaskId, TruthEstimate> = BTreeMap::new();
+        // Previous-iteration truths driving the 5 % criterion. A warm start
+        // pre-seeds it from the caller's previous-epoch estimates, making
+        // the criterion live from the first iteration.
         let mut prev_mu: BTreeMap<TaskId, f64> = BTreeMap::new();
+        if let Some(warm) = opts.warm {
+            for t in batch {
+                if let Some(est) = warm.get(&t.id) {
+                    if est.mu.is_finite() {
+                        prev_mu.insert(t.id, est.mu);
+                    }
+                }
+            }
+        }
         let mut delta: Vec<Acc> = Vec::new();
         let mut iterations = 0;
         let mut converged = false;
@@ -296,21 +414,21 @@ impl DynamicExpertise {
             iterations += 1;
 
             // (1) Truths of the new tasks from the working expertise.
-            for t in batch {
+            for (t, slots) in batch.iter().zip(&obs_slots) {
                 let mut wsum = 0.0;
                 let mut wxsum = 0.0;
-                for &(user, x) in &t.obs {
-                    let u = work[user.0 as usize].max(cfg.expertise_floor);
+                for &(slot, x) in slots {
+                    let u = work[slot].max(cfg.expertise_floor);
                     wsum += u * u;
                     wxsum += u * u * x;
                 }
                 let mu = wxsum / wsum;
                 let mut ss = 0.0;
-                for &(user, x) in &t.obs {
-                    let u = work[user.0 as usize].max(cfg.expertise_floor);
+                for &(slot, x) in slots {
+                    let u = work[slot].max(cfg.expertise_floor);
                     ss += u * u * (x - mu) * (x - mu);
                 }
-                let sigma = (ss / t.obs.len() as f64).sqrt().max(cfg.sigma_floor);
+                let sigma = (ss / slots.len() as f64).sqrt().max(cfg.sigma_floor);
                 truths.insert(
                     t.id,
                     TruthEstimate {
@@ -321,42 +439,42 @@ impl DynamicExpertise {
                 );
             }
 
-            // (2) Batch contributions ΔN/ΔD, then candidate expertise
-            // u = sqrt((αN + ΔN)/(αD + ΔD)) per Eq. 9.
-            delta = vec![Acc::default(); self.n_users];
-            for t in batch {
+            // (2) Batch contributions ΔN/ΔD per dirty slot, then candidate
+            // expertise u = sqrt((αN + ΔN)/(αD + ΔD)) per Eq. 9.
+            delta = vec![Acc::default(); dirty.len()];
+            for (t, slots) in batch.iter().zip(&obs_slots) {
                 let est = truths[&t.id];
                 // Weighted sums for the leave-one-out truth (see
                 // `MleConfig::leave_one_out`).
                 let (mut wsum, mut wxsum) = (0.0, 0.0);
                 if cfg.leave_one_out {
-                    for &(user, x) in &t.obs {
-                        let u = work[user.0 as usize].max(cfg.expertise_floor);
+                    for &(slot, x) in slots {
+                        let u = work[slot].max(cfg.expertise_floor);
                         wsum += u * u;
                         wxsum += u * u * x;
                     }
                 }
-                for &(user, x) in &t.obs {
-                    let reference = if cfg.leave_one_out && t.obs.len() > 1 {
-                        let u = work[user.0 as usize].max(cfg.expertise_floor);
+                for &(slot, x) in slots {
+                    let reference = if cfg.leave_one_out && slots.len() > 1 {
+                        let u = work[slot].max(cfg.expertise_floor);
                         (wxsum - u * u * x) / (wsum - u * u)
                     } else {
                         est.mu
                     };
                     let e = (x - reference) / est.sigma;
-                    let slot = &mut delta[user.0 as usize];
-                    slot.n += 1.0;
-                    slot.d += e * e;
+                    let acc = &mut delta[slot];
+                    acc.n += 1.0;
+                    acc.d += e * e;
                 }
             }
             let hist = self.acc.get(&domain);
-            for (i, col) in work.iter_mut().enumerate() {
-                let h = hist.map_or(Acc::default(), |v| v[i]);
-                let n = self.alpha * h.n + delta[i].n;
-                let den = self.alpha * h.d + delta[i].d;
+            for (s, col) in work.iter_mut().enumerate() {
+                let h = hist.map_or(Acc::default(), |v| v[dirty[s] as usize]);
+                let n = self.alpha * h.n + delta[s].n;
+                let den = self.alpha * h.d + delta[s].d;
                 if n > 0.0 {
-                    let s = cfg.prior_strength;
-                    let raw = ((n + s) / (den + s).max(1e-12)).sqrt();
+                    let prior = cfg.prior_strength;
+                    let raw = ((n + prior) / (den + prior).max(1e-12)).sqrt();
                     // NaN only arises when gross (finite but enormous)
                     // observations overflow the error accumulator.
                     *col = if raw.is_finite() {
@@ -374,19 +492,27 @@ impl DynamicExpertise {
                 max_rel_delta: if prev_mu.is_empty() {
                     None
                 } else {
+                    // A warm map can cover only part of the batch; tasks
+                    // without a previous value contribute nothing here.
                     Some(
                         truths
                             .iter()
-                            .map(|(id, est)| relative_change(prev_mu[id], est.mu))
+                            .filter_map(|(id, est)| {
+                                prev_mu.get(id).map(|&p| relative_change(p, est.mu))
+                            })
                             .fold(0.0, f64::max),
                     )
                 },
             });
 
-            // (3) Convergence on this domain's batch truths.
+            // (3) Convergence on this domain's batch truths: every task
+            // needs a previous-iteration (or warm-seeded) value inside the
+            // threshold; a task with no previous value cannot converge yet.
             if !prev_mu.is_empty() {
                 let all_small = truths.iter().all(|(id, est)| {
-                    relative_change(prev_mu[id], est.mu) < cfg.convergence_threshold
+                    prev_mu
+                        .get(id)
+                        .is_some_and(|&p| relative_change(p, est.mu) < cfg.convergence_threshold)
                 });
                 if all_small {
                     converged = true;
@@ -441,7 +567,8 @@ impl DynamicExpertise {
             .acc
             .entry(domain)
             .or_insert_with(|| vec![Acc::default(); self.n_users]);
-        for (i, dd) in delta.iter().enumerate() {
+        for (s, dd) in delta.iter().enumerate() {
+            let i = dirty[s] as usize;
             if dd.n > 0.0 {
                 let mean_sq = dd.d / dd.n;
                 if !mean_sq.is_finite() || mean_sq > cfg.quarantine_threshold {
@@ -931,5 +1058,135 @@ mod tests {
             err_mean += (mean - truths[j]).abs();
         }
         assert!(err_dyn < err_mean, "dyn {err_dyn:.3} vs mean {err_mean:.3}");
+    }
+
+    /// Observations from only the listed `(user, skill)` pairs — the other
+    /// users never report, which is what makes a dirty set sparse.
+    fn observe_subset(tasks: &[Task], users: &[(u32, f64)], rng: &mut impl Rng) -> ObservationSet {
+        let mut obs = ObservationSet::new();
+        for t in tasks {
+            let mu: f64 = rng.gen_range(0.0..20.0);
+            for &(i, u) in users {
+                let z = eta2_stats::normal::standard_sample(rng);
+                obs.insert(UserId(i), t.id, mu + z / u);
+            }
+        }
+        obs
+    }
+
+    #[test]
+    fn sparse_dirty_set_is_bit_identical_to_dense() {
+        // The incremental solver compacts its work vectors to the batch's
+        // dirty users; `dense: true` restores the historical full-width
+        // sweep. A non-reporter's candidate expertise is never read by the
+        // truth or leave-one-out updates and never committed (commit
+        // requires delta mass), so the two paths must agree bit for bit —
+        // not approximately.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        let mut sparse = DynamicExpertise::new(12, 0.5, MleConfig::default());
+        let mut dense = DynamicExpertise::new(12, 0.5, MleConfig::default());
+        let mut dense_opts = IngestOptions::default();
+        dense_opts.dense = true;
+        for round in 0..4u32 {
+            // Each round a different 3-user slice of the 12 reports.
+            let tasks = batch(round % 2, round * 50, 10);
+            let first = (round * 3) % 12;
+            let users: Vec<(u32, f64)> =
+                (0..3u32).map(|i| (first + i, 0.5 + f64::from(i))).collect();
+            let obs = observe_subset(&tasks, &users, &mut rng);
+            let a = sparse.ingest_batch(&tasks, &obs);
+            let b = dense.ingest_batch_with(&tasks, &obs, dense_opts);
+            assert_eq!(a, b, "outcome diverged on round {round}");
+        }
+        assert_eq!(sparse, dense, "committed state diverged");
+    }
+
+    #[test]
+    fn warm_start_settles_replayed_batch_in_one_iteration() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(32);
+        let mut cold = DynamicExpertise::new(5, 0.5, MleConfig::default());
+        let skills = [3.0, 1.5, 1.0, 0.7, 0.3];
+        let tasks = batch(0, 0, 20);
+        let (obs, _) = observe(&tasks, &skills, &mut rng);
+        let first = cold.ingest_batch(&tasks, &obs);
+        assert!(first.converged);
+        let mut warmed = cold.clone();
+
+        // Replaying the same batch cold needs at least two iterations (the
+        // first pass has no previous estimate to compare against); seeded
+        // with the previous epoch's truths it settles in one.
+        let cold_again = cold.ingest_batch(&tasks, &obs);
+        let mut opts = IngestOptions::default();
+        opts.warm = Some(&first.truths);
+        let warm_again = warmed.ingest_batch_with(&tasks, &obs, opts);
+        assert!(warm_again.converged);
+        assert!(cold_again.iterations >= 2, "{}", cold_again.iterations);
+        assert_eq!(warm_again.iterations, 1, "warm start did not short-cut");
+        // Bounded divergence: stopping one step earlier keeps every truth
+        // within the convergence tolerance of the cold trajectory.
+        for (id, est) in &warm_again.truths {
+            let c = cold_again.truths[id];
+            assert!(
+                relative_change(c.mu, est.mu) < 0.1,
+                "{id:?}: warm {} vs cold {}",
+                est.mu,
+                c.mu
+            );
+        }
+    }
+
+    #[test]
+    fn partial_or_nonfinite_warm_seeds_are_safe() {
+        // A warm map covering only some of the batch (tasks first seen this
+        // flush have no previous estimate) must neither panic nor change
+        // the unseeded tasks' cold behaviour; non-finite seeds are ignored.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(33);
+        let mut de = DynamicExpertise::new(4, 0.5, MleConfig::default());
+        let skills = [2.0, 1.0, 0.8, 0.5];
+        let old = batch(0, 0, 10);
+        let (old_obs, _) = observe(&old, &skills, &mut rng);
+        let first = de.ingest_batch(&old, &old_obs);
+
+        let mut warm = first.truths.clone();
+        warm.insert(
+            TaskId(0),
+            TruthEstimate {
+                mu: f64::NAN,
+                sigma: 1.0,
+                fallback: false,
+            },
+        );
+        // Re-flush the old tasks alongside brand-new ones.
+        let mut tasks = old.clone();
+        tasks.extend(batch(0, 100, 10));
+        let (new_obs, _) = observe(&tasks[10..], &skills, &mut rng);
+        let mut obs = old_obs.clone();
+        obs.merge(&new_obs);
+        let mut opts = IngestOptions::default();
+        opts.warm = Some(&warm);
+        let out = de.ingest_batch_with(&tasks, &obs, opts);
+        assert!(out.converged);
+        assert_eq!(out.truths.len(), 20);
+        assert!(out.truths.values().all(|e| e.mu.is_finite()));
+    }
+
+    #[test]
+    fn column_matches_matrix_materialization() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(34);
+        let mut de = DynamicExpertise::new(4, 0.5, MleConfig::default());
+        for d in [0u32, 7] {
+            let tasks = batch(d, 100 * d, 10);
+            let (obs, _) = observe(&tasks, &[2.0, 1.0, 0.7, 0.4], &mut rng);
+            de.ingest_batch(&tasks, &obs);
+        }
+        let m = de.matrix();
+        // column() is Some for exactly the domains matrix() materializes,
+        // with identical (default-filled) values — the serve layer's
+        // per-domain cache depends on this equivalence.
+        let materialized: Vec<DomainId> = m.domains().collect();
+        for &d in &materialized {
+            assert_eq!(de.column(d).as_deref(), Some(&m.column(d)[..]), "{d:?}");
+        }
+        assert!(de.column(DomainId(99)).is_none(), "unseen domain");
     }
 }

@@ -9,5 +9,5 @@ pub mod reference;
 pub use baselines::{
     AverageLog, BaselineResult, Crh, HubsAuthorities, MeanBaseline, TruthFinder, TruthMethod,
 };
-pub use dynamic::{BatchOutcome, DynamicExpertise};
+pub use dynamic::{BatchOutcome, DynamicExpertise, IngestOptions};
 pub use mle::{ExpertiseAwareMle, MleConfig, MleResult, TruthEstimate};

@@ -216,7 +216,7 @@ fn recover_and_compare(scenario: &Scenario, dir: &Path, prefix: usize) -> Option
             twin.snapshot().tasks().len()
         ));
     }
-    super::state_divergence(&recovered, &twin, &task_ids)
+    super::state_divergence(&recovered, &twin, &task_ids, ("recovered", "twin"))
 }
 
 /// Sweeps every crash point of the durable workload for `seed`, using

@@ -1,10 +1,10 @@
 //! The concurrent serving engine: sharded writes, epoch-published reads.
 
 use crate::durable::{self, RecoverError, RecoverReport, WalOp};
-use crate::snapshot::ShardView;
+use crate::snapshot::{ShardView, TruthLayers};
 use crate::{shard_of, EpochSnapshot, ServeConfig, ServeError, TaskSpec};
 use eta2_core::model::{DomainId, Observation, ObservationSet, Task, TaskId, UserId};
-use eta2_core::truth::{DynamicExpertise, TruthEstimate};
+use eta2_core::truth::{DynamicExpertise, IngestOptions, TruthEstimate};
 use eta2_obs::TraceContext;
 use eta2_par::Parallelism;
 use eta2_wal::{Wal, WalConfig};
@@ -18,7 +18,14 @@ use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 /// expertise accumulators for exactly the domains that hash to it.
 struct Shard {
     expertise: DynamicExpertise,
-    truths: BTreeMap<TaskId, TruthEstimate>,
+    /// Flushed truths behind copy-on-write layers: publishing a view
+    /// clones `Arc`s, and a flush's insert clones only the small delta
+    /// layer (see [`TruthLayers`]).
+    truths: TruthLayers,
+    /// Cached dense expertise columns for this shard's domains, shared
+    /// into views by `Arc`. A flush refreshes only the columns its batch
+    /// dirtied; the rest ride along untouched across epochs.
+    columns: BTreeMap<DomainId, Arc<Vec<f64>>>,
     pending: ObservationSet,
     /// Distinct (user, task) pairs in `pending`.
     pending_len: usize,
@@ -27,6 +34,45 @@ struct Shard {
     /// flush (which emits one fan-in `trace_flush` span naming them all
     /// as parents). Empty unless tracing was active at submit time.
     pending_traces: Vec<TraceContext>,
+}
+
+impl Shard {
+    /// Rebuilds the cached read column for `domain` from the accumulators,
+    /// removing the cache entry when the domain has no live data — exactly
+    /// the domains `DynamicExpertise::matrix` would materialize, which is
+    /// what keeps [`EpochSnapshot::expertise_matrix`] identical to the
+    /// pre-cache behaviour.
+    fn refresh_column(&mut self, domain: DomainId) {
+        match self.expertise.column(domain) {
+            Some(col) => {
+                self.columns.insert(domain, Arc::new(col));
+            }
+            None => {
+                self.columns.remove(&domain);
+            }
+        }
+    }
+
+    /// Rebuilds every cached column (the non-incremental cost profile,
+    /// and the only correct move after bulk accumulator surgery like
+    /// restore).
+    fn refresh_all_columns(&mut self) {
+        let domains: Vec<DomainId> = self.expertise.domains().collect();
+        self.columns.clear();
+        for d in domains {
+            self.refresh_column(d);
+        }
+    }
+
+    /// Assembles this shard's published read view: `Arc` bumps for the
+    /// truth layers and every column — O(domains), never a deep copy.
+    fn view(&self) -> Arc<ShardView> {
+        Arc::new(ShardView {
+            truths: self.truths.clone(),
+            expertise: self.columns.clone(),
+            flushes: self.flushes,
+        })
+    }
 }
 
 /// Task table plus the id allocator, swapped copy-on-write so readers and
@@ -56,6 +102,12 @@ pub struct FlushOutcome {
     pub iterations: usize,
     /// Whether every domain in the batch converged.
     pub converged: bool,
+    /// Distinct users whose reports this flush folded in — the MLE's
+    /// iteration width on the incremental path.
+    pub dirty_users: usize,
+    /// Distinct domains the batch touched — the number of expertise
+    /// columns this flush rebuilt on the incremental path.
+    pub dirty_domains: usize,
     /// Truth estimates produced by this flush (its batch only).
     pub truths: BTreeMap<TaskId, TruthEstimate>,
 }
@@ -127,7 +179,8 @@ impl ServeEngine {
             .map(|_| {
                 Mutex::new(Shard {
                     expertise: DynamicExpertise::new(cfg.n_users, cfg.alpha, cfg.mle),
-                    truths: BTreeMap::new(),
+                    truths: TruthLayers::empty(),
+                    columns: BTreeMap::new(),
                     pending: ObservationSet::new(),
                     pending_len: 0,
                     flushes: 0,
@@ -136,7 +189,7 @@ impl ServeEngine {
             })
             .collect();
         let views: Vec<Mutex<Arc<ShardView>>> = (0..cfg.n_shards)
-            .map(|_| Mutex::new(Arc::new(ShardView::empty(cfg.n_users))))
+            .map(|_| Mutex::new(Arc::new(ShardView::empty())))
             .collect();
         let tasks = Arc::new(BTreeMap::new());
         let initial = Arc::new(EpochSnapshot::assemble(
@@ -211,17 +264,25 @@ impl ServeEngine {
                     requested: specs.len(),
                 });
             }
-            let mut map = (*table.map).clone();
+            // Copy-on-write through `make_mut` instead of an unconditional
+            // clone. Honest caveat: the published snapshot pins the
+            // previous `Arc` (every `publish` stores a clone of it), so in
+            // steady state `make_mut` still copies the table once per
+            // registration batch; it only elides the copy when the engine
+            // holds the sole reference. The structural win is that the
+            // copy now happens exactly when sharing demands it rather
+            // than by construction.
+            let TaskTable { map, next } = &mut *table;
+            let map = Arc::make_mut(map);
             let ids: Vec<TaskId> = specs
                 .iter()
                 .map(|s| {
-                    let id = TaskId(table.next);
-                    table.next += 1;
+                    let id = TaskId(*next);
+                    *next += 1;
                     map.insert(id, Task::new(id, s.domain, s.processing_time, s.cost));
                     id
                 })
                 .collect();
-            table.map = Arc::new(map);
             ids
         };
         self.publish();
@@ -435,19 +496,51 @@ impl ServeEngine {
             }
         }
 
-        let solved = shard.expertise.ingest_batch(&batch, &keep);
-        for (&id, est) in &solved.truths {
-            shard.truths.insert(id, *est);
+        // Warm start (opt-in): seed the solver's convergence criterion with
+        // the previously published estimate of every re-flushed task, so an
+        // unchanged batch can settle after one iteration instead of
+        // re-walking the cold trajectory. Bounded divergence — see
+        // DESIGN.md §13.2 and the `warm_vs_full` oracle pair.
+        let warm: Option<BTreeMap<TaskId, TruthEstimate>> = self.cfg.warm_start.then(|| {
+            batch
+                .iter()
+                .filter_map(|t| shard.truths.get(&t.id).map(|&est| (t.id, est)))
+                .collect()
+        });
+        let mut opts = IngestOptions::default();
+        opts.warm = warm.as_ref();
+        // The incremental path iterates only the batch's dirty users;
+        // `dense` restores the historical full-width sweep (bit-identical
+        // results, different cost profile).
+        opts.dense = !self.cfg.incremental;
+        let solved = shard.expertise.ingest_batch_with(&batch, &keep, opts);
+        let dirty_users = keep
+            .iter()
+            .map(|o| o.user)
+            .collect::<BTreeSet<UserId>>()
+            .len();
+        shard
+            .truths
+            .insert_all(solved.truths.iter().map(|(&id, &est)| (id, est)));
+        let dirty: BTreeSet<DomainId> = batch.iter().map(|t| t.domain).collect();
+        if self.cfg.incremental {
+            // Only the columns this batch dirtied are rebuilt; every other
+            // domain's column is republished as an `Arc` bump.
+            for &d in &dirty {
+                shard.refresh_column(d);
+            }
+        } else {
+            // Historical cost profile: full truth-map compaction and a
+            // full column rebuild on every flush, exactly what
+            // `expertise.matrix()` plus `truths.clone()` used to cost.
+            shard.truths.compact();
+            shard.refresh_all_columns();
         }
         shard.flushes += 1;
         // Stored while the caller still holds the shard lock: racing
         // flushes of this shard then store their views in flush order, so
         // an older view can never overwrite a newer one.
-        *lock(&self.views[k]) = Arc::new(ShardView {
-            truths: shard.truths.clone(),
-            expertise: shard.expertise.matrix(),
-            flushes: shard.flushes,
-        });
+        *lock(&self.views[k]) = shard.view();
         eta2_obs::counter("serve.batch_flush", 1);
         eta2_obs::emit_with(|| eta2_obs::Event::ServeBatchFlush {
             shard: k as u64,
@@ -479,6 +572,8 @@ impl ServeEngine {
             tasks: batch.len(),
             iterations: solved.iterations,
             converged: solved.converged,
+            dirty_users,
+            dirty_domains: dirty.len(),
             truths: solved.truths,
         };
         FlushResult { outcome, rerouted }
@@ -644,13 +739,17 @@ impl ServeEngine {
         // shard after the accumulator move below.
         let tasks = {
             let mut table = lock(&self.tasks);
-            let mut map = (*table.map).clone();
-            for t in map.values_mut() {
-                if t.domain == absorbed {
-                    t.domain = kept;
+            // Skip the copy-on-write clone entirely when no task carries
+            // the absorbed label — a merge of an empty or never-used
+            // domain relabels nothing.
+            if table.map.values().any(|t| t.domain == absorbed) {
+                let map = Arc::make_mut(&mut table.map);
+                for t in map.values_mut() {
+                    if t.domain == absorbed {
+                        t.domain = kept;
+                    }
                 }
             }
-            table.map = Arc::new(map);
             Arc::clone(&table.map)
         };
 
@@ -662,11 +761,13 @@ impl ServeEngine {
             // orders its store against concurrent flush stores.
             let mut shard = lock(&self.shards[ka]);
             shard.expertise.merge_domains(kept, absorbed);
-            *lock(&self.views[ka]) = Arc::new(ShardView {
-                truths: shard.truths.clone(),
-                expertise: shard.expertise.matrix(),
-                flushes: shard.flushes,
-            });
+            // Truths don't move in a same-shard merge, so the view
+            // republishes them as `Arc` bumps; only the two touched
+            // columns are rebuilt (the absorbed one disappears with its
+            // accumulators).
+            shard.refresh_column(kept);
+            shard.refresh_column(absorbed);
+            *lock(&self.views[ka]) = shard.view();
         } else {
             // Lock both shards in index order (the only place two shard
             // locks are ever held at once).
@@ -685,18 +786,13 @@ impl ServeEngine {
                     absorbed: u64::from(absorbed.0),
                 });
             }
-            // Truths follow their (relabeled) tasks to the kept shard.
-            let moved: Vec<TaskId> = from_shard
+            // Truths follow their (relabeled) tasks to the kept shard. The
+            // layered map partitions (and compacts) in one pass; the moved
+            // entries enter the kept shard through its delta layer.
+            let moved = from_shard
                 .truths
-                .keys()
-                .copied()
-                .filter(|id| tasks.get(id).is_some_and(|t| shard_of(t.domain, n) != kb))
-                .collect();
-            for id in moved {
-                if let Some(est) = from_shard.truths.remove(&id) {
-                    keep_shard.truths.insert(id, est);
-                }
-            }
+                .take_matching(|id| tasks.get(id).is_some_and(|t| shard_of(t.domain, n) != kb));
+            keep_shard.truths.insert_all(moved);
             // Pending reports follow their relabeled tasks too, eagerly
             // and under the same two guards. Left behind, they would be
             // folded only after a flush-time re-route — and a newer
@@ -738,16 +834,12 @@ impl ServeEngine {
             if dropped > 0 {
                 self.queue_depth.fetch_sub(dropped, Ordering::Relaxed);
             }
-            let view_keep = Arc::new(ShardView {
-                truths: keep_shard.truths.clone(),
-                expertise: keep_shard.expertise.matrix(),
-                flushes: keep_shard.flushes,
-            });
-            let view_from = Arc::new(ShardView {
-                truths: from_shard.truths.clone(),
-                expertise: from_shard.expertise.matrix(),
-                flushes: from_shard.flushes,
-            });
+            // The folded column is the only one either shard rebuilt; the
+            // absorbed entry vanishes with its accumulators.
+            keep_shard.refresh_column(kept);
+            from_shard.refresh_column(absorbed);
+            let view_keep = keep_shard.view();
+            let view_from = from_shard.view();
             // Stored before the shard guards drop, for the same ordering
             // reason as the single-shard branch above.
             *lock(&self.views[ka]) = view_keep;
@@ -855,24 +947,27 @@ impl ServeEngine {
             table.next = checkpoint.next_task;
         }
         let tasks = engine.tasks_arc();
+        let mut per_shard: Vec<BTreeMap<TaskId, TruthEstimate>> =
+            (0..n).map(|_| BTreeMap::new()).collect();
         for (id, est) in checkpoint.truths {
             if let Some(t) = tasks.get(&id) {
-                lock(&engine.shards[shard_of(t.domain, n)])
-                    .truths
-                    .insert(id, est);
+                per_shard[shard_of(t.domain, n)].insert(id, est);
             }
+        }
+        for (k, map) in per_shard.into_iter().enumerate() {
+            // Bulk load as an already-compacted base layer.
+            lock(&engine.shards[k]).truths = TruthLayers::from_map(map);
         }
         // Residual pending reports re-enter through the normal routing
         // path (sharded by the restored task table), so flush-time
         // behaviour after restore matches the never-checkpointed run.
         engine.enqueue(&checkpoint.pending);
         for (k, m) in engine.shards.iter().enumerate() {
-            let shard = lock(m);
-            *lock(&engine.views[k]) = Arc::new(ShardView {
-                truths: shard.truths.clone(),
-                expertise: shard.expertise.matrix(),
-                flushes: shard.flushes,
-            });
+            let mut shard = lock(m);
+            // The bulk surgery above bypassed the per-flush bookkeeping:
+            // rebuild every column cache before the first view publishes.
+            shard.refresh_all_columns();
+            *lock(&engine.views[k]) = shard.view();
         }
         engine.publish();
         // Re-publish engine gauges from the *restored* state. Without this
@@ -1560,5 +1655,174 @@ mod tests {
             .register_tasks(&[TaskSpec::new(DomainId(0), 1.0, 1.0)])
             .unwrap();
         assert_eq!(new[0], TaskId(2));
+    }
+
+    #[test]
+    fn incremental_matches_full_reconvergence_bitwise() {
+        // The dirty-set path (default) only skips domains with no pending
+        // reports, and those domains' state is never read or written by a
+        // flush — so it must be bit-identical to the historical
+        // full-recompute path (`incremental: false`) at every point.
+        let mut full_cfg = cfg(4, 4, 3);
+        full_cfg.incremental = false;
+        let inc = ServeEngine::new(cfg(4, 4, 3));
+        let full = ServeEngine::new(full_cfg);
+        let mut ids = Vec::new();
+        for round in 0..4u32 {
+            let specs: Vec<TaskSpec> = (0..3)
+                .map(|j| TaskSpec::new(DomainId((round + j) % 5), 1.0, 1.0))
+                .collect();
+            let a = inc.register_tasks(&specs).unwrap();
+            let b = full.register_tasks(&specs).unwrap();
+            assert_eq!(a, b);
+            ids.extend(a.iter().copied());
+            let mut triples = Vec::new();
+            for (k, &id) in a.iter().enumerate() {
+                for u in 0..4u32 {
+                    triples.push((u, id, f64::from(round * 7 + k as u32 * 3 + u) * 0.5 - 3.0));
+                }
+            }
+            let ra = inc.submit(&obs(&triples));
+            let rb = full.submit(&obs(&triples));
+            assert_eq!(ra.accepted, rb.accepted);
+            assert_eq!(ra.flushes.len(), rb.flushes.len(), "round {round}");
+            inc.tick();
+            full.tick();
+            if round == 2 {
+                inc.merge_domains(DomainId(0), DomainId(1));
+                full.merge_domains(DomainId(0), DomainId(1));
+            }
+        }
+        let (a, b) = (inc.snapshot(), full.snapshot());
+        a.validate().unwrap();
+        b.validate().unwrap();
+        for &id in &ids {
+            let (ta, tb) = (a.truth(id), b.truth(id));
+            assert_eq!(
+                ta.map(|e| e.mu.to_bits()),
+                tb.map(|e| e.mu.to_bits()),
+                "{id:?}"
+            );
+        }
+        assert_eq!(a.expertise_matrix(), b.expertise_matrix());
+    }
+
+    #[test]
+    fn untouched_shard_views_are_pointer_shared_across_epochs() {
+        // A flush republishes only its own shard's view; every other
+        // shard's `Arc<ShardView>` must carry over into the next epoch by
+        // pointer, not by rebuild.
+        let n = 4;
+        let d0 = DomainId(0);
+        let d1 = (1..100)
+            .map(DomainId)
+            .find(|d| shard_of(*d, n) != shard_of(d0, n))
+            .unwrap();
+        let (k0, k1) = (shard_of(d0, n), shard_of(d1, n));
+        let engine = ServeEngine::new(cfg(2, n, 0));
+        let ids = engine
+            .register_tasks(&[TaskSpec::new(d0, 1.0, 1.0), TaskSpec::new(d1, 1.0, 1.0)])
+            .unwrap();
+        engine.submit(&obs(&[(0, ids[0], 1.0), (1, ids[0], 1.5)]));
+        engine.tick();
+        let snap1 = engine.snapshot();
+        // Touch only d1's shard.
+        engine.submit(&obs(&[(0, ids[1], 2.0), (1, ids[1], 2.5)]));
+        engine.tick();
+        let snap2 = engine.snapshot();
+        assert_eq!(
+            snap1.view_ptr(k0),
+            snap2.view_ptr(k0),
+            "untouched shard was republished by value"
+        );
+        assert_ne!(
+            snap1.view_ptr(k1),
+            snap2.view_ptr(k1),
+            "flushed shard must publish a fresh view"
+        );
+        assert_eq!(snap1.truth(ids[0]), snap2.truth(ids[0]));
+        assert!(snap2.truth(ids[1]).is_some());
+    }
+
+    #[test]
+    fn small_flushes_share_the_truth_base_layer() {
+        // Incremental mode: once a large flush has compacted into the base
+        // layer, later small flushes ride the delta and share the base Arc
+        // across epochs. Non-incremental mode compacts every flush, so the
+        // base is recloned each time (the historical cost profile).
+        let d = DomainId(3);
+        let run = |incremental: bool| {
+            let mut c = cfg(2, 2, 0);
+            c.incremental = incremental;
+            let k = shard_of(d, c.n_shards);
+            let engine = ServeEngine::new(c);
+            let specs: Vec<TaskSpec> = (0..80).map(|_| TaskSpec::new(d, 1.0, 1.0)).collect();
+            let ids = engine.register_tasks(&specs).unwrap();
+            let mut triples = Vec::new();
+            for (j, &id) in ids.iter().enumerate() {
+                triples.push((0, id, j as f64));
+                triples.push((1, id, j as f64 + 0.5));
+            }
+            engine.submit(&obs(&triples));
+            engine.tick(); // 80-entry flush: compacts into the base layer
+            let snap1 = engine.snapshot();
+            engine.submit(&obs(&[(0, ids[0], 40.0), (1, ids[1], 41.0)]));
+            engine.tick(); // 2-entry flush: delta-only when incremental
+            let snap2 = engine.snapshot();
+            assert_eq!(snap2.truth_count(), 80);
+            assert!((snap2.truth(ids[0]).unwrap().mu - 40.0).abs() < 1.0);
+            (snap1.truth_base_ptr(k), snap2.truth_base_ptr(k))
+        };
+        let (inc1, inc2) = run(true);
+        assert_eq!(inc1, inc2, "small incremental flush recloned the base");
+        let (full1, full2) = run(false);
+        assert_ne!(full1, full2, "non-incremental flush must recompact");
+    }
+
+    #[test]
+    fn warm_start_tracks_cold_reconvergence_within_bound() {
+        // Warm-started MLE applies the 5% convergence criterion from the
+        // previous epoch's estimates, so it may stop earlier than a cold
+        // solve — but never settles outside the documented envelope
+        // (DESIGN.md §13.2). First flush has no prior estimates, so the two
+        // paths are bit-identical there.
+        let mut warm_cfg = cfg(3, 2, 0);
+        warm_cfg.warm_start = true;
+        let warm = ServeEngine::new(warm_cfg);
+        let cold = ServeEngine::new(cfg(3, 2, 0));
+        let specs: Vec<TaskSpec> = (0..4)
+            .map(|j| TaskSpec::new(DomainId(j % 2), 1.0, 1.0))
+            .collect();
+        let ids_w = warm.register_tasks(&specs).unwrap();
+        let ids_c = cold.register_tasks(&specs).unwrap();
+        assert_eq!(ids_w, ids_c);
+        for round in 0..6u32 {
+            let mut triples = Vec::new();
+            for (j, &id) in ids_w.iter().enumerate() {
+                for u in 0..3u32 {
+                    let v = 5.0 + j as f64 + f64::from(u) * 0.3 + f64::from(round) * 0.05;
+                    triples.push((u, id, v));
+                }
+            }
+            warm.submit(&obs(&triples));
+            cold.submit(&obs(&triples));
+            warm.tick();
+            cold.tick();
+            if round == 0 {
+                for &id in &ids_w {
+                    assert_eq!(
+                        warm.truth(id).map(|e| e.mu.to_bits()),
+                        cold.truth(id).map(|e| e.mu.to_bits()),
+                        "no prior estimates: warm must equal cold"
+                    );
+                }
+            }
+        }
+        for &id in &ids_w {
+            let (w, c) = (warm.truth(id).unwrap(), cold.truth(id).unwrap());
+            assert!(w.mu.is_finite() && w.sigma.is_finite());
+            let rel = (w.mu - c.mu).abs() / c.mu.abs().max(w.mu.abs()).max(1.0);
+            assert!(rel < 0.15, "warm {} vs cold {}: rel {rel}", w.mu, c.mu);
+        }
     }
 }

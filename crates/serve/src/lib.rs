@@ -89,6 +89,23 @@ pub struct ServeConfig {
     pub epsilon: f64,
     /// MLE solver configuration.
     pub mle: MleConfig,
+    /// Incremental flush path (default `true`): the MLE iterates only over
+    /// each batch's dirty users, only the dirty domains' expertise columns
+    /// are rebuilt, and truth maps publish through copy-on-write layers, so
+    /// per-flush cost is proportional to the change set. `false` restores
+    /// the historical full-reconvergence cost profile (dense iteration over
+    /// every user, full column rebuild, full truth-map compaction each
+    /// flush) with **bit-identical results** — kept as the measurable twin
+    /// for the differential harness and `perf_suite`'s incremental section.
+    pub incremental: bool,
+    /// Warm-start flushes from the previous epoch's truth estimates
+    /// (default `false`): a re-flushed task's convergence criterion is
+    /// seeded with its previously published truth, so an unchanged batch
+    /// can settle after a single iteration. Warm starting can stop one
+    /// iteration earlier than a cold solve, so published truths may differ
+    /// from the cold trajectory within one convergence step (bounded
+    /// divergence, see DESIGN.md §13.2) — which is why it is opt-in.
+    pub warm_start: bool,
 }
 
 impl Default for ServeConfig {
@@ -101,6 +118,8 @@ impl Default for ServeConfig {
             alpha: 0.5,
             epsilon: 0.1,
             mle: MleConfig::default(),
+            incremental: true,
+            warm_start: false,
         }
     }
 }

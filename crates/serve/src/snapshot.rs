@@ -7,23 +7,148 @@ use eta2_core::truth::TruthEstimate;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+/// Delta entries below this never trigger a compaction on their own; keeps
+/// tiny shards from compacting on every flush.
+const COMPACT_MIN: usize = 64;
+/// Compact once the delta exceeds this fraction (1/8) of the base, so the
+/// per-flush copy-on-write clone stays a bounded fraction of shard size.
+const COMPACT_RATIO: usize = 8;
+/// Hard cap on the delta layer regardless of base size: bounds the
+/// worst-case per-flush delta clone even for very large shards.
+const COMPACT_MAX_DELTA: usize = 4096;
+
+/// Copy-on-write truth map: a large immutable `base` shared across epochs
+/// plus a small `delta` overlay absorbing recent flushes (delta entries
+/// shadow base entries). Readers hold `Arc` clones, so a flush that inserts
+/// a batch clones only the delta layer — O(delta), not O(shard) — and the
+/// owning shard folds the delta into a fresh base once it grows past the
+/// compaction thresholds above. See DESIGN.md §13.3 for the lifecycle.
+#[derive(Debug, Clone)]
+pub(crate) struct TruthLayers {
+    base: Arc<BTreeMap<TaskId, TruthEstimate>>,
+    delta: Arc<BTreeMap<TaskId, TruthEstimate>>,
+    /// Number of keys present in both layers, so `len` is O(1).
+    overlap: usize,
+}
+
+impl TruthLayers {
+    pub fn empty() -> Self {
+        TruthLayers {
+            base: Arc::new(BTreeMap::new()),
+            delta: Arc::new(BTreeMap::new()),
+            overlap: 0,
+        }
+    }
+
+    /// Builds a single-layer (fully compacted) instance from `map`.
+    pub fn from_map(map: BTreeMap<TaskId, TruthEstimate>) -> Self {
+        TruthLayers {
+            base: Arc::new(map),
+            delta: Arc::new(BTreeMap::new()),
+            overlap: 0,
+        }
+    }
+
+    pub fn get(&self, id: &TaskId) -> Option<&TruthEstimate> {
+        self.delta.get(id).or_else(|| self.base.get(id))
+    }
+
+    pub fn len(&self) -> usize {
+        self.base.len() + self.delta.len() - self.overlap
+    }
+
+    /// Iterates every live entry (shadowed base entries skipped). The order
+    /// interleaves the two layers and is **not** globally ascending.
+    pub fn iter(&self) -> impl Iterator<Item = (&TaskId, &TruthEstimate)> {
+        self.base
+            .iter()
+            .filter(|(id, _)| !self.delta.contains_key(id))
+            .chain(self.delta.iter())
+    }
+
+    /// Inserts a batch of estimates through the copy-on-write delta, then
+    /// compacts if the delta has outgrown its thresholds.
+    pub fn insert_all(&mut self, entries: impl IntoIterator<Item = (TaskId, TruthEstimate)>) {
+        let mut entries = entries.into_iter().peekable();
+        if entries.peek().is_none() {
+            return;
+        }
+        let delta = Arc::make_mut(&mut self.delta);
+        for (id, est) in entries {
+            if delta.insert(id, est).is_none() && self.base.contains_key(&id) {
+                self.overlap += 1;
+            }
+        }
+        if self.delta.len() >= COMPACT_MIN
+            && (self.delta.len() * COMPACT_RATIO >= self.base.len()
+                || self.delta.len() >= COMPACT_MAX_DELTA)
+        {
+            self.compact();
+        }
+    }
+
+    /// Folds the delta into a fresh base layer. O(len); called on the
+    /// compaction thresholds, on domain merges (which must drop entries),
+    /// and unconditionally per flush in non-incremental mode to reproduce
+    /// the historical full-clone cost profile.
+    pub fn compact(&mut self) {
+        if self.delta.is_empty() {
+            return;
+        }
+        let mut base = (*self.base).clone();
+        for (&id, &est) in self.delta.iter() {
+            base.insert(id, est);
+        }
+        self.base = Arc::new(base);
+        self.delta = Arc::new(BTreeMap::new());
+        self.overlap = 0;
+    }
+
+    /// Removes and returns every entry matching `pred`, compacting the
+    /// layers in the process (the cross-shard half of a domain merge).
+    pub fn take_matching<F: FnMut(&TaskId) -> bool>(
+        &mut self,
+        mut pred: F,
+    ) -> Vec<(TaskId, TruthEstimate)> {
+        let mut kept = BTreeMap::new();
+        let mut taken = Vec::new();
+        for (&id, &est) in self.iter() {
+            if pred(&id) {
+                taken.push((id, est));
+            } else {
+                kept.insert(id, est);
+            }
+        }
+        self.base = Arc::new(kept);
+        self.delta = Arc::new(BTreeMap::new());
+        self.overlap = 0;
+        taken
+    }
+}
+
 /// Read-only view of one shard's published state. Rebuilt by that shard's
-/// flush; shared into snapshots by `Arc`.
-#[derive(Debug)]
+/// flush; shared into snapshots by `Arc`. Both fields are copy-on-write:
+/// the truth layers share their base with the owning shard, and each
+/// expertise column is an `Arc` refreshed only when a flush dirties its
+/// domain, so building a view is O(domains) pointer bumps, not a copy of
+/// the shard.
+#[derive(Debug, Clone)]
 pub(crate) struct ShardView {
     /// Truth estimates for every task this shard has ever flushed.
-    pub truths: BTreeMap<TaskId, TruthEstimate>,
-    /// Expertise for the domains pinned to this shard.
-    pub expertise: ExpertiseMatrix,
+    pub truths: TruthLayers,
+    /// Dense expertise columns (length `n_users`, the paper's 1.0 default
+    /// filled in) for the domains pinned to this shard — exactly the
+    /// domains `DynamicExpertise::matrix` would materialize.
+    pub expertise: BTreeMap<DomainId, Arc<Vec<f64>>>,
     /// Number of flushes that produced this view (0 for the empty view).
     pub flushes: u64,
 }
 
 impl ShardView {
-    pub fn empty(n_users: usize) -> Self {
+    pub fn empty() -> Self {
         ShardView {
-            truths: BTreeMap::new(),
-            expertise: ExpertiseMatrix::new(n_users),
+            truths: TruthLayers::empty(),
+            expertise: BTreeMap::new(),
             flushes: 0,
         }
     }
@@ -101,18 +226,28 @@ impl EpochSnapshot {
 
     /// The expertise `u_i^k` of `user` in `domain` at this epoch (1.0 when
     /// nothing has been accumulated, per the paper's initialization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `user` is out of range.
     pub fn expertise(&self, user: UserId, domain: DomainId) -> f64 {
+        assert!(
+            (user.0 as usize) < self.n_users,
+            "user {user} out of range for {} users",
+            self.n_users
+        );
         self.views[shard_of(domain, self.n_shards)]
             .expertise
-            .get(user, domain)
+            .get(&domain)
+            .map_or(1.0, |col| col[user.0 as usize])
     }
 
     /// The full expertise matrix at this epoch, merged across shards.
     pub fn expertise_matrix(&self) -> ExpertiseMatrix {
         let mut m = ExpertiseMatrix::new(self.n_users);
         for view in &self.views {
-            for domain in view.expertise.domains() {
-                for (i, &v) in view.expertise.column(domain).iter().enumerate() {
+            for (&domain, col) in &view.expertise {
+                for (i, &v) in col.iter().enumerate() {
                     m.set(UserId(i as u32), domain, v);
                 }
             }
@@ -154,7 +289,7 @@ impl EpochSnapshot {
             ));
         }
         for (k, view) in self.views.iter().enumerate() {
-            for &task in view.truths.keys() {
+            for (&task, _) in view.truths.iter() {
                 let t = self.tasks.get(&task).ok_or_else(|| {
                     format!(
                         "epoch {}: shard {k} has truth for unregistered {task:?}",
@@ -169,7 +304,7 @@ impl EpochSnapshot {
                     ));
                 }
             }
-            for domain in view.expertise.domains() {
+            for &domain in view.expertise.keys() {
                 let home = shard_of(domain, self.n_shards);
                 if home != k {
                     return Err(format!(
@@ -180,5 +315,97 @@ impl EpochSnapshot {
             }
         }
         Ok(())
+    }
+
+    #[cfg(test)]
+    pub(crate) fn view_ptr(&self, shard: usize) -> *const ShardView {
+        Arc::as_ptr(&self.views[shard])
+    }
+
+    #[cfg(test)]
+    pub(crate) fn truth_base_ptr(&self, shard: usize) -> *const BTreeMap<TaskId, TruthEstimate> {
+        Arc::as_ptr(&self.views[shard].truths.base)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn est(mu: f64) -> TruthEstimate {
+        TruthEstimate {
+            mu,
+            sigma: 1.0,
+            fallback: false,
+        }
+    }
+
+    fn ins(layers: &mut TruthLayers, id: u32, mu: f64) {
+        layers.insert_all(std::iter::once((TaskId(id), est(mu))));
+    }
+
+    #[test]
+    fn layers_get_len_iter_shadowing() {
+        let mut base = BTreeMap::new();
+        base.insert(TaskId(0), est(1.0));
+        base.insert(TaskId(1), est(2.0));
+        let mut layers = TruthLayers::from_map(base);
+        assert_eq!(layers.len(), 2);
+        // Shadow one base entry and add a fresh one.
+        ins(&mut layers, 1, 20.0);
+        ins(&mut layers, 2, 3.0);
+        assert_eq!(layers.len(), 3);
+        assert_eq!(layers.get(&TaskId(1)).unwrap().mu, 20.0);
+        assert_eq!(layers.get(&TaskId(0)).unwrap().mu, 1.0);
+        assert!(layers.get(&TaskId(9)).is_none());
+        let collected: BTreeMap<TaskId, f64> = layers.iter().map(|(&id, e)| (id, e.mu)).collect();
+        assert_eq!(collected.len(), 3);
+        assert_eq!(collected[&TaskId(1)], 20.0);
+        // Compaction preserves the merged contents exactly.
+        layers.compact();
+        assert_eq!(layers.len(), 3);
+        let after: BTreeMap<TaskId, f64> = layers.iter().map(|(&id, e)| (id, e.mu)).collect();
+        assert_eq!(collected, after);
+    }
+
+    #[test]
+    fn layers_insert_is_cow_for_readers() {
+        let mut layers = TruthLayers::empty();
+        ins(&mut layers, 0, 1.0);
+        let reader = layers.clone();
+        ins(&mut layers, 0, 99.0);
+        ins(&mut layers, 1, 2.0);
+        // The reader's clone still sees the old epoch.
+        assert_eq!(reader.get(&TaskId(0)).unwrap().mu, 1.0);
+        assert!(reader.get(&TaskId(1)).is_none());
+        assert_eq!(layers.get(&TaskId(0)).unwrap().mu, 99.0);
+    }
+
+    #[test]
+    fn layers_take_matching_partitions() {
+        let mut layers = TruthLayers::empty();
+        for i in 0..10u32 {
+            ins(&mut layers, i, i as f64);
+        }
+        let taken = layers.take_matching(|id| id.0 % 2 == 0);
+        assert_eq!(taken.len(), 5);
+        assert_eq!(layers.len(), 5);
+        assert!(layers.get(&TaskId(2)).is_none());
+        assert_eq!(layers.get(&TaskId(3)).unwrap().mu, 3.0);
+    }
+
+    #[test]
+    fn layers_compact_on_threshold() {
+        let mut layers = TruthLayers::empty();
+        // Fresh inserts on an empty base must compact (delta >= min and
+        // ratio trivially satisfied), keeping the delta from growing
+        // without bound.
+        layers.insert_all((0..200u32).map(|i| (TaskId(i), est(i as f64))));
+        assert_eq!(layers.len(), 200);
+        assert!(
+            layers.delta.len() < 200,
+            "delta never compacted: {} entries",
+            layers.delta.len()
+        );
     }
 }

@@ -10,6 +10,7 @@ use eta2_datasets::Dataset;
 use eta2_embed::corpus::TopicCorpus;
 use eta2_embed::pairword::pairword_distance;
 use eta2_embed::{EmbedError, Embedding, PairWordExtractor, SkipGramTrainer};
+use std::fmt;
 
 /// Error raised while setting up or running the identification pipeline.
 /// These were panics historically; surfacing them as values lets sweep
@@ -87,6 +88,21 @@ pub enum DomainTracker<'a> {
     Oracle,
     /// Description datasets: learn domains with the §3 pipeline.
     Learned(Box<LearnedTracker<'a>>),
+}
+
+// Manual impl: `LearnedTracker` holds a function-pointer-parameterized
+// clusterer that cannot derive `Debug`, but callers (and `unwrap_err` in
+// tests) need the tracker itself to be debuggable.
+impl fmt::Debug for DomainTracker<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DomainTracker::Oracle => f.write_str("DomainTracker::Oracle"),
+            DomainTracker::Learned(t) => f
+                .debug_struct("DomainTracker::Learned")
+                .field("dim", &t.dim)
+                .finish_non_exhaustive(),
+        }
+    }
 }
 
 /// State of the learned pipeline.

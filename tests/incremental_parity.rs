@@ -1,0 +1,144 @@
+//! Property suite for the incremental truth-analysis paths: for arbitrary
+//! interleavings of registers, submits, ticks and merges, the dirty-set
+//! engine (`incremental: true`, the default) must be bit-identical to the
+//! full-reconvergence engine (`incremental: false`, the historical cost
+//! profile). A second property replays generated scenarios through the
+//! differential harness, whose oracle-pair stack also compares the
+//! optimized MLE against the frozen `truth::reference` solver and checks
+//! the warm-started twin for structural parity (divergence is
+//! characterized, not constant-bounded — DESIGN.md §13.2).
+
+use eta2::check;
+use eta2_core::model::{DomainId, ObservationSet, TaskId, UserId};
+use eta2_serve::{ServeConfig, ServeEngine, TaskSpec};
+use proptest::prelude::*;
+
+// `ServeConfig` is `#[non_exhaustive]`; mutating a default is the
+// supported construction path outside `eta2-serve`.
+#[allow(clippy::field_reassign_with_default)]
+fn cfg(n_users: usize, n_shards: usize, cap: usize, incremental: bool) -> ServeConfig {
+    let mut cfg = ServeConfig::default();
+    cfg.n_users = n_users;
+    cfg.n_shards = n_shards;
+    cfg.batch_capacity = cap;
+    cfg.threads = 1;
+    cfg.incremental = incremental;
+    cfg
+}
+
+const N_USERS: usize = 4;
+const N_DOMAINS: u32 = 5;
+
+/// One generated action of an ad-hoc interleaving (independent of the
+/// seeded scenario generator, so the two properties don't share blind
+/// spots).
+#[derive(Debug, Clone)]
+enum Action {
+    /// Domains of the tasks to register.
+    Register(Vec<u32>),
+    /// `(user, task_pick, value)`; `task_pick` indexes registered ids
+    /// modulo their count.
+    Submit(Vec<(u32, usize, f64)>),
+    Tick,
+    Merge(u32, u32),
+}
+
+/// Replays the actions on one engine, mirroring id allocation, and drains
+/// the queue with a final tick.
+fn replay(engine: &ServeEngine, actions: &[Action]) -> Vec<TaskId> {
+    let mut ids = Vec::new();
+    for action in actions {
+        match action {
+            Action::Register(domains) => {
+                let specs: Vec<TaskSpec> = domains
+                    .iter()
+                    .map(|&d| TaskSpec::new(DomainId(d), 1.0, 1.0))
+                    .collect();
+                ids.extend(engine.register_tasks(&specs).expect("valid specs"));
+            }
+            Action::Submit(reports) => {
+                if ids.is_empty() {
+                    continue;
+                }
+                let mut batch = ObservationSet::new();
+                for &(u, pick, v) in reports {
+                    batch.insert(UserId(u), ids[pick % ids.len()], v);
+                }
+                engine.submit(&batch);
+            }
+            Action::Tick => {
+                engine.tick();
+            }
+            Action::Merge(kept, absorbed) => {
+                if kept != absorbed {
+                    engine.merge_domains(DomainId(*kept), DomainId(*absorbed));
+                }
+            }
+        }
+    }
+    engine.tick();
+    ids
+}
+
+/// The parity body: plain asserts so the comparison logic stays a normal
+/// function (proptest only drives the inputs).
+fn assert_incremental_parity(actions: &[Action], n_shards: usize, cap: usize) {
+    let inc = ServeEngine::new(cfg(N_USERS, n_shards, cap, true));
+    let full = ServeEngine::new(cfg(N_USERS, n_shards, cap, false));
+    let ids_a = replay(&inc, actions);
+    let ids_b = replay(&full, actions);
+    assert_eq!(ids_a, ids_b, "id allocation diverged");
+    for &id in &ids_a {
+        let key = |e: eta2_core::truth::TruthEstimate| (e.mu.to_bits(), e.sigma.to_bits());
+        assert_eq!(
+            inc.truth(id).map(key),
+            full.truth(id).map(key),
+            "truth of {id:?} diverged"
+        );
+    }
+    let (sa, sb) = (inc.snapshot(), full.snapshot());
+    sa.validate().unwrap();
+    sb.validate().unwrap();
+    assert_eq!(sa.expertise_matrix(), sb.expertise_matrix());
+    assert_eq!(inc.queue_depth(), full.queue_depth());
+}
+
+fn assert_seed_replays_clean(seed: u64) {
+    let outcome = check::run_seed(seed);
+    assert!(
+        outcome.divergence.is_none(),
+        "seed {seed}: {}",
+        outcome.divergence.unwrap()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Dirty-set flushes are bit-identical to full reconvergence for any
+    /// interleaving, across shard counts and count-triggered thresholds.
+    #[test]
+    fn incremental_bitwise_equals_full(
+        actions in prop::collection::vec(prop_oneof![
+            3 => prop::collection::vec(0..N_DOMAINS, 1..4).prop_map(Action::Register),
+            4 => prop::collection::vec(
+                (0..N_USERS as u32, 0usize..64, -20.0..20.0f64),
+                1..8,
+            ).prop_map(Action::Submit),
+            2 => Just(Action::Tick),
+            1 => (0..N_DOMAINS, 0..N_DOMAINS).prop_map(|(k, a)| Action::Merge(k, a)),
+        ], 1..14),
+        n_shards in 1usize..4,
+        cap in 0usize..6,
+    ) {
+        assert_incremental_parity(&actions, n_shards, cap);
+    }
+
+    /// The differential harness's oracle pairs (sharded vs sequential,
+    /// incremental vs full, warm vs cold, MLE vs frozen reference) replay
+    /// clean over arbitrary generated scenarios.
+    #[test]
+    fn scenario_oracle_pairs_replay_clean(seed in 0u64..4096) {
+        assert_seed_replays_clean(seed);
+    }
+}
