@@ -24,5 +24,6 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod loadgen;
 
 pub use harness::Settings;

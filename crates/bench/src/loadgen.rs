@@ -1,0 +1,482 @@
+//! Open-loop wire-protocol load generator — the million-client harness
+//! behind `BENCH_serve.json` and the CI `net-smoke` job.
+//!
+//! The generator multiplexes a large population of *simulated clients*
+//! (distinct `UserId`s, default 10⁵, scalable to 10⁶) over a small fixed
+//! pool of worker threads, one binary-protocol connection each — the
+//! standard open-loop trick for driving server-grade concurrency from a
+//! single load host. Task popularity is Zipf-skewed, reads are
+//! interleaved with ingest at a configurable ratio, and when `rate` is
+//! set the workers pace requests against a global schedule and measure
+//! latency from each request's *intended* start time, so queueing delay
+//! under overload is charged to the server rather than hidden by
+//! coordinated omission.
+//!
+//! Ingest and read latencies are recorded in separate distributions
+//! (p50/p99/p999/max, microseconds); shed responses (`Overloaded`) are
+//! counted but excluded from the ingest distribution, since a shed is
+//! the server *refusing* work, not serving it slowly.
+
+use crate::harness::write_output;
+use eta2_core::model::{DomainId, Observation, TaskId, UserId};
+use eta2_net::{NetClient, NetConfig, NetServer, Request, Response};
+use eta2_serve::{ServeConfig, ServeEngine, TaskSpec};
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Load-generator configuration.
+#[derive(Debug, Clone)]
+pub struct LoadGenConfig {
+    /// Server to drive, e.g. `"127.0.0.1:4980"`. `None` self-hosts a
+    /// [`NetServer`] on a loopback port inside the process.
+    pub addr: Option<String>,
+    /// Simulated client population: reports carry `UserId`s cycling
+    /// through `0..clients`, so with `requests * batch >= clients` every
+    /// simulated client submits at least once.
+    pub clients: usize,
+    /// Total requests to issue across all connections.
+    pub requests: u64,
+    /// Worker threads, one multiplexed connection each.
+    pub connections: usize,
+    /// Reports per submit request.
+    pub batch: usize,
+    /// Registered tasks.
+    pub tasks: usize,
+    /// Expertise domains the tasks spread over.
+    pub domains: usize,
+    /// Every `read_every`-th request is a truth read instead of a submit
+    /// (`0` = ingest only).
+    pub read_every: u64,
+    /// Zipf exponent for task popularity (`0` = uniform).
+    pub zipf_s: f64,
+    /// Open-loop target rate in requests/second across all workers
+    /// (`None` = closed loop: each worker issues back-to-back).
+    pub rate: Option<f64>,
+    /// Self-hosted server's admission bound (pending reports); ignored
+    /// when driving an external `addr`.
+    pub queue_capacity: usize,
+    /// Self-hosted server's background flush cadence in milliseconds
+    /// (`0` = no ticker, flushes only at batch boundaries).
+    pub tick_ms: u64,
+    /// Deterministic workload seed.
+    pub seed: u64,
+}
+
+impl Default for LoadGenConfig {
+    fn default() -> Self {
+        LoadGenConfig {
+            addr: None,
+            clients: 100_000,
+            requests: 20_000,
+            connections: 8,
+            batch: 8,
+            tasks: 512,
+            domains: 16,
+            read_every: 10,
+            zipf_s: 1.1,
+            rate: None,
+            queue_capacity: 1 << 16,
+            tick_ms: 25,
+            seed: 42,
+        }
+    }
+}
+
+/// Summary of one latency distribution, microseconds.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct LatencySummary {
+    /// Requests in the distribution.
+    pub count: u64,
+    /// Median.
+    pub p50_us: u64,
+    /// 99th percentile.
+    pub p99_us: u64,
+    /// 99.9th percentile.
+    pub p999_us: u64,
+    /// Worst observed.
+    pub max_us: u64,
+}
+
+impl LatencySummary {
+    fn from_sorted(lat_us: &[u64]) -> Option<LatencySummary> {
+        let n = lat_us.len();
+        if n == 0 {
+            return None;
+        }
+        let pct = |q: f64| lat_us[(((n - 1) as f64) * q).round() as usize];
+        Some(LatencySummary {
+            count: n as u64,
+            p50_us: pct(0.50),
+            p99_us: pct(0.99),
+            p999_us: pct(0.999),
+            max_us: lat_us[n - 1],
+        })
+    }
+}
+
+/// The committed result of one load-generator run (`BENCH_serve.json`).
+#[derive(Debug, Clone, Serialize)]
+pub struct LoadReport {
+    /// Where the load went: the external address, or `"self-hosted"`.
+    pub target: String,
+    /// Simulated client population.
+    pub clients: usize,
+    /// Distinct simulated clients that actually appeared in submitted
+    /// reports (equals `clients` when `requests * batch >= clients`).
+    pub clients_covered: usize,
+    /// Requests issued.
+    pub requests: u64,
+    /// Worker connections.
+    pub connections: usize,
+    /// Reports per submit.
+    pub batch: usize,
+    /// Zipf exponent of the task popularity skew.
+    pub zipf_s: f64,
+    /// Open-loop rate if one was set.
+    pub rate: Option<f64>,
+    /// Wall-clock seconds for the whole run.
+    pub elapsed_secs: f64,
+    /// Achieved requests/second.
+    pub throughput_rps: f64,
+    /// Successful submits.
+    pub submits_ok: u64,
+    /// Reports carried by successful submits.
+    pub reports_accepted: u64,
+    /// Submits shed with `Overloaded` (excluded from ingest latency).
+    pub shed: u64,
+    /// Successful truth reads.
+    pub reads_ok: u64,
+    /// Typed error responses (should be 0 under a healthy run).
+    pub errors: u64,
+    /// Ingest (submit) latency distribution. With `rate` set, measured
+    /// from each request's intended start (coordinated-omission-safe);
+    /// closed-loop otherwise.
+    pub ingest_latency: Option<LatencySummary>,
+    /// Read (truth) latency distribution, same clock discipline.
+    pub read_latency: Option<LatencySummary>,
+}
+
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Cumulative Zipf weights over `n` ranks with exponent `s`.
+fn zipf_cdf(n: usize, s: f64) -> Vec<f64> {
+    let mut acc = 0.0;
+    (0..n)
+        .map(|i| {
+            acc += ((i + 1) as f64).powf(-s);
+            acc
+        })
+        .collect()
+}
+
+fn zipf_pick(cdf: &[f64], u01: f64) -> usize {
+    let target = u01 * cdf[cdf.len() - 1];
+    cdf.partition_point(|&c| c < target).min(cdf.len() - 1)
+}
+
+struct WorkerOutcome {
+    ingest_us: Vec<u64>,
+    read_us: Vec<u64>,
+    submits_ok: u64,
+    reports_accepted: u64,
+    shed: u64,
+    reads_ok: u64,
+    errors: u64,
+}
+
+/// Runs the load generator, returning the report. `out` (when given)
+/// receives the report as pretty JSON via the shared harness writer.
+pub fn run(cfg: &LoadGenConfig, out: Option<&str>) -> Result<LoadReport, String> {
+    if cfg.requests == 0 || cfg.connections == 0 || cfg.batch == 0 || cfg.tasks == 0 {
+        return Err("requests, connections, batch and tasks must all be nonzero".into());
+    }
+    // Self-host unless an external address was given.
+    let server = match &cfg.addr {
+        Some(_) => None,
+        None => {
+            let mut serve = ServeConfig::default();
+            serve.n_users = cfg.clients;
+            serve.n_shards = 2;
+            serve.batch_capacity = 4096;
+            serve.threads = 1;
+            let engine = Arc::new(ServeEngine::new(serve));
+            let mut net = NetConfig::default();
+            net.max_connections = cfg.connections + 8;
+            net.queue_capacity = cfg.queue_capacity;
+            net.tick_ms = cfg.tick_ms;
+            Some(
+                NetServer::serve(engine, "127.0.0.1:0", net)
+                    .map_err(|e| format!("self-hosted server failed to bind: {e}"))?,
+            )
+        }
+    };
+    let target = match (&cfg.addr, &server) {
+        (Some(a), _) => a.clone(),
+        (None, Some(s)) => s.local_addr().to_string(),
+        (None, None) => unreachable!("no addr and no self-hosted server"),
+    };
+
+    // Register the task population over the wire (identical against
+    // self-hosted and external servers).
+    let domains = cfg.domains.max(1);
+    let mut setup =
+        NetClient::connect(&target).map_err(|e| format!("cannot connect to {target}: {e}"))?;
+    let specs: Vec<TaskSpec> = (0..cfg.tasks)
+        .map(|i| TaskSpec::new(DomainId((i % domains) as u32), 1.0, 1.0))
+        .collect();
+    let task_ids: Vec<TaskId> = match setup
+        .register(specs)
+        .map_err(|e| format!("register failed: {e}"))?
+    {
+        Response::Registered { ids } => ids,
+        other => return Err(format!("register answered {other:?}")),
+    };
+    drop(setup);
+
+    let cdf = Arc::new(zipf_cdf(task_ids.len(), cfg.zipf_s.max(0.0)));
+    let task_ids = Arc::new(task_ids);
+    let next_request = Arc::new(AtomicU64::new(0));
+    let next_submit = Arc::new(AtomicU64::new(0));
+    let started = Instant::now();
+
+    let workers: Vec<std::thread::JoinHandle<Result<WorkerOutcome, String>>> = (0..cfg.connections)
+        .map(|w| {
+            let cfg = cfg.clone();
+            let target = target.clone();
+            let cdf = cdf.clone();
+            let task_ids = task_ids.clone();
+            let next_request = next_request.clone();
+            let next_submit = next_submit.clone();
+            std::thread::spawn(move || {
+                let mut client = NetClient::connect(&target)
+                    .map_err(|e| format!("worker {w}: connect failed: {e}"))?;
+                let mut rng = mix(cfg.seed ^ (w as u64).wrapping_mul(0x9e37_79b9));
+                let mut outcome = WorkerOutcome {
+                    ingest_us: Vec::new(),
+                    read_us: Vec::new(),
+                    submits_ok: 0,
+                    reports_accepted: 0,
+                    shed: 0,
+                    reads_ok: 0,
+                    errors: 0,
+                };
+                loop {
+                    let k = next_request.fetch_add(1, Ordering::Relaxed);
+                    if k >= cfg.requests {
+                        break;
+                    }
+                    // Open loop: pace against the global schedule and
+                    // measure from the intended start, so server-side
+                    // queueing shows up as latency.
+                    let reference = match cfg.rate {
+                        Some(rate) => {
+                            let intended = Duration::from_secs_f64(k as f64 / rate);
+                            while started.elapsed() < intended {
+                                let behind = intended - started.elapsed();
+                                std::thread::sleep(behind.min(Duration::from_millis(1)));
+                            }
+                            started.checked_add(intended).unwrap_or_else(Instant::now)
+                        }
+                        None => Instant::now(),
+                    };
+                    let is_read = cfg.read_every > 0 && k % cfg.read_every == 0;
+                    if is_read {
+                        rng = mix(rng);
+                        let t =
+                            task_ids[zipf_pick(&cdf, (rng % (1 << 24)) as f64 / (1 << 24) as f64)];
+                        match client.truth(t) {
+                            Ok(Response::Truth { .. }) => {
+                                outcome.reads_ok += 1;
+                                outcome.read_us.push(reference.elapsed().as_micros() as u64);
+                            }
+                            Ok(_) => outcome.errors += 1,
+                            Err(e) => return Err(format!("worker {w}: read failed: {e}")),
+                        }
+                    } else {
+                        let s = next_submit.fetch_add(1, Ordering::Relaxed);
+                        let reports: Vec<Observation> = (0..cfg.batch as u64)
+                            .map(|j| {
+                                rng = mix(rng);
+                                let idx =
+                                    zipf_pick(&cdf, (rng % (1 << 24)) as f64 / (1 << 24) as f64);
+                                let user = UserId(
+                                    ((s * cfg.batch as u64 + j) % cfg.clients as u64) as u32,
+                                );
+                                let value =
+                                    10.0 + idx as f64 * 0.1 + (mix(rng ^ j) % 1000) as f64 / 5000.0;
+                                Observation {
+                                    user,
+                                    task: task_ids[idx],
+                                    value,
+                                }
+                            })
+                            .collect();
+                        match client.submit(reports) {
+                            Ok(Response::Submitted { accepted, .. }) => {
+                                outcome.submits_ok += 1;
+                                outcome.reports_accepted += accepted;
+                                outcome
+                                    .ingest_us
+                                    .push(reference.elapsed().as_micros() as u64);
+                            }
+                            Ok(Response::Overloaded { .. }) => outcome.shed += 1,
+                            Ok(_) => outcome.errors += 1,
+                            Err(e) => return Err(format!("worker {w}: submit failed: {e}")),
+                        }
+                    }
+                }
+                Ok(outcome)
+            })
+        })
+        .collect();
+
+    let mut ingest_us = Vec::new();
+    let mut read_us = Vec::new();
+    let mut submits_ok = 0;
+    let mut reports_accepted = 0;
+    let mut shed = 0;
+    let mut reads_ok = 0;
+    let mut errors = 0;
+    for handle in workers {
+        let outcome = handle
+            .join()
+            .map_err(|_| "load worker panicked".to_string())??;
+        ingest_us.extend(outcome.ingest_us);
+        read_us.extend(outcome.read_us);
+        submits_ok += outcome.submits_ok;
+        reports_accepted += outcome.reports_accepted;
+        shed += outcome.shed;
+        reads_ok += outcome.reads_ok;
+        errors += outcome.errors;
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    if let Some(server) = server {
+        server.shutdown();
+    }
+
+    ingest_us.sort_unstable();
+    read_us.sort_unstable();
+    let total_submits = submits_ok + shed;
+    let clients_covered =
+        (total_submits.saturating_mul(cfg.batch as u64)).min(cfg.clients as u64) as usize;
+    let report = LoadReport {
+        target: if cfg.addr.is_some() {
+            target
+        } else {
+            "self-hosted".to_string()
+        },
+        clients: cfg.clients,
+        clients_covered,
+        requests: cfg.requests,
+        connections: cfg.connections,
+        batch: cfg.batch,
+        zipf_s: cfg.zipf_s,
+        rate: cfg.rate,
+        elapsed_secs: elapsed,
+        throughput_rps: cfg.requests as f64 / elapsed.max(1e-9),
+        submits_ok,
+        reports_accepted,
+        shed,
+        reads_ok,
+        errors,
+        ingest_latency: LatencySummary::from_sorted(&ingest_us),
+        read_latency: LatencySummary::from_sorted(&read_us),
+    };
+    if let Some(path) = out {
+        let body = serde_json::to_string_pretty(&report)
+            .map_err(|e| format!("cannot serialize load report: {e}"))?;
+        write_output(path, body + "\n")?;
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_cdf_is_monotone_and_skewed() {
+        let cdf = zipf_cdf(100, 1.1);
+        assert_eq!(cdf.len(), 100);
+        assert!(cdf.windows(2).all(|w| w[0] < w[1]));
+        // Rank 0 carries more mass than rank 99.
+        let head = cdf[0];
+        let tail = cdf[99] - cdf[98];
+        assert!(head > 10.0 * tail);
+        // Uniform when s = 0.
+        let flat = zipf_cdf(10, 0.0);
+        assert!((flat[9] - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zipf_pick_covers_all_ranks() {
+        let cdf = zipf_cdf(8, 1.0);
+        assert_eq!(zipf_pick(&cdf, 0.0), 0);
+        assert!(zipf_pick(&cdf, 0.9999) == 7);
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..1000 {
+            seen.insert(zipf_pick(&cdf, i as f64 / 1000.0));
+        }
+        assert_eq!(seen.len(), 8, "{seen:?}");
+    }
+
+    #[test]
+    fn latency_summary_percentiles() {
+        let lat: Vec<u64> = (1..=1000).collect();
+        let s = LatencySummary::from_sorted(&lat).unwrap();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.p50_us, 500);
+        assert_eq!(s.p99_us, 990);
+        assert_eq!(s.p999_us, 999);
+        assert_eq!(s.max_us, 1000);
+        assert!(LatencySummary::from_sorted(&[]).is_none());
+    }
+
+    #[test]
+    fn small_self_hosted_run_completes() {
+        let cfg = LoadGenConfig {
+            clients: 64,
+            requests: 60,
+            connections: 2,
+            batch: 4,
+            tasks: 16,
+            domains: 4,
+            read_every: 5,
+            tick_ms: 5,
+            ..LoadGenConfig::default()
+        };
+        let report = run(&cfg, None).expect("run succeeds");
+        assert_eq!(report.submits_ok + report.shed + report.reads_ok, 60);
+        assert_eq!(report.errors, 0);
+        assert!(report.ingest_latency.is_some());
+        assert_eq!(report.clients_covered, 64);
+    }
+
+    #[test]
+    fn overload_sheds_instead_of_queueing() {
+        // No ticker and a tiny admission bound: the queue cannot drain,
+        // so most submits past the bound must shed.
+        let cfg = LoadGenConfig {
+            clients: 64,
+            requests: 200,
+            connections: 2,
+            batch: 8,
+            tasks: 16,
+            domains: 4,
+            read_every: 0,
+            queue_capacity: 32,
+            tick_ms: 0,
+            ..LoadGenConfig::default()
+        };
+        let report = run(&cfg, None).expect("run succeeds");
+        assert!(report.shed > 0, "no shedding under overload: {report:?}");
+        assert_eq!(report.errors, 0);
+    }
+}

@@ -30,10 +30,19 @@ USAGE:
                     [--fault-dropout F] [--fault-corrupt F]
                     [--metrics-out FILE] [--metrics-json FILE]
                     [--wal-dir DIR] [--fsync per-record|per-batch|off]
+  eta2-cli serve    --listen ADDR:PORT [--users N] [--tasks N]
+                    [--domains N] [--shards N] [--batch N] [--threads N]
+                    [--queue-cap N] [--tick-ms MS] [--max-conns N]
+                    [--for-secs N]
+  eta2-cli load-gen [--addr HOST:PORT] [--clients N] [--requests N]
+                    [--connections N] [--batch N] [--tasks N]
+                    [--domains N] [--read-every N] [--zipf S] [--rate R]
+                    [--queue-cap N] [--tick-ms MS] [--seed N]
+                    [--out FILE]
   eta2-cli top      (--replay FILE.jsonl [--follow] [--metrics FILE]
                      | --demo) [--interval MS] [--refreshes N]
   eta2-cli check    [--seeds N | --seed S | --corpus FILE] [--strict]
-                    [--crash] [--scratch DIR]
+                    [--crash] [--scratch DIR] [--net-fuzz N]
   eta2-cli help
 
 Approaches: eta2, eta2-mc, hubs, avglog, truthfinder, baseline, crh
@@ -54,8 +63,12 @@ serve-bench: stresses the concurrent serving engine — N producer threads
   (--producers, default 4) each submit --reports report batches into a
   --shards-sharded engine that flushes every --batch pending reports,
   while a reader thread samples epoch-snapshot reads concurrently. Prints
-  throughput, flush and read-latency statistics; reads go through
-  immutable epoch snapshots and never block on an in-flight flush.
+  throughput plus three separately-labeled latency distributions
+  (p50/p99/max each): epoch-snapshot reads (us), enqueue-only submits
+  (us, no flush crossed) and flush-crossing submits (ms, the MLE ran
+  inline) — reads go through immutable epoch snapshots and never block
+  on an in-flight flush, so conflating them with flush cost would hide
+  exactly the property the engine exists to provide.
   --fault-dropout / --fault-corrupt inject faults at the same rates as
   simulate (corrupted values may go non-finite and exercise the engine's
   quarantine path). --metrics-out FILE writes the final metrics registry
@@ -74,6 +87,30 @@ serve-bench: stresses the concurrent serving engine — N producer threads
   commit), the run starts by recovering whatever checkpoint + log tail
   DIR already holds, and ends with a durable checkpoint that truncates
   the log.
+
+serve: the wire-level front door — binds ADDR:PORT (port 0 picks an
+  ephemeral port, printed on startup) and serves the versioned binary
+  ETA2 protocol plus an HTTP/1.1 fallback (curl http://ADDR/healthz,
+  /metrics, /truth/<id>) over a --shards-sharded engine with --users
+  registered users and --tasks pre-domained tasks spread over --domains.
+  Admission is bounded: ingest past --queue-cap pending reports is shed
+  with a typed Overloaded{retry_after} response instead of queueing
+  unboundedly, and a background ticker flushes every --tick-ms ms (0
+  disables it; flushes then only happen at --batch boundaries).
+  --for-secs N exits after N seconds (default 0 = run until killed).
+
+load-gen: the wire-protocol load harness — issues --requests requests
+  on behalf of --clients simulated clients (distinct user ids, default
+  100000) multiplexed over --connections binary-protocol connections
+  against --addr, or a self-hosted loopback server when --addr is
+  omitted. Task popularity is Zipf(--zipf)-skewed and every
+  --read-every-th request is a truth read instead of a submit. --rate R
+  paces an open loop at R requests/s total and measures latency from
+  each request's intended start time, so server-side queueing is
+  charged as latency instead of hidden by coordinated omission. Shed
+  (Overloaded) submits are counted separately and excluded from the
+  ingest distribution. --out FILE writes the full p50/p99/p999 report
+  as JSON (this is how BENCH_serve.json is produced).
 
 top: a plain-text dashboard over the observability plane — ingest rate,
   queue depth, flush-latency percentiles, epoch age, quarantine counts
@@ -99,6 +136,10 @@ check: replays seeded differential-correctness scenarios — every op runs
   variant at each), and every kill point is recovered and bit-compared
   against an uninterrupted twin. --scratch DIR overrides the sweep's
   working directory (default: a per-process dir under the system tmp).
+  --net-fuzz N instead drives N seeded adversarial frames through the
+  wire codec (scribbled bytes, torn frames, oversized length prefixes,
+  wrong protocol versions, trailing garbage, pure noise): every mutant
+  must decode or be rejected with a typed error — a panic fails the run.
 
 Observability (any command):
   --trace FILE   write structured JSONL trace events to FILE
@@ -456,17 +497,23 @@ pub fn serve_bench(args: &Args) -> Result<(), String> {
     let dropped = AtomicU64::new(0);
     let delayed = AtomicU64::new(0);
     let snapshot_reads = AtomicU64::new(0);
-    let max_read_ns = AtomicU64::new(0);
-    let max_submit_ns = AtomicU64::new(0);
+    // Submit latency is two different populations: a submit that stays
+    // under the batch threshold only appends to a shard queue, while one
+    // that crosses it runs the MLE inline. Recording them separately (and
+    // separately from snapshot reads) keeps each distribution honest.
+    let mut read_ns: Vec<u64> = Vec::new();
+    let mut enqueue_ns: Vec<u64> = Vec::new();
+    let mut flush_ns: Vec<u64> = Vec::new();
     let wall = Instant::now();
 
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..producers)
             .map(|p| {
                 let (engine, plan, hot, cumw) = (&engine, &plan, &hot, &cumw);
-                let (submitted, dropped, delayed, max_submit_ns) =
-                    (&submitted, &dropped, &delayed, &max_submit_ns);
+                let (submitted, dropped, delayed) = (&submitted, &dropped, &delayed);
                 s.spawn(move || {
+                    let mut enqueue_ns: Vec<u64> = Vec::with_capacity(reports as usize);
+                    let mut flush_ns: Vec<u64> = Vec::new();
                     for r in 0..reports {
                         // One submit per "collection round": a handful of
                         // reports from this producer's user cohort.
@@ -494,14 +541,17 @@ pub fn serve_bench(args: &Args) -> Result<(), String> {
                         let t0 = Instant::now();
                         let receipt = engine.submit(&obs);
                         let dt = t0.elapsed().as_nanos() as u64;
-                        if !receipt.flushes.is_empty() {
+                        if receipt.flushes.is_empty() {
+                            enqueue_ns.push(dt);
+                        } else {
                             // This submit crossed the batch threshold and
-                            // ran the MLE inline: the longest such call
-                            // bounds how long a flush holds a shard lock.
-                            max_submit_ns.fetch_max(dt, Ordering::Relaxed);
+                            // ran the MLE inline: these calls bound how
+                            // long a flush holds a shard lock.
+                            flush_ns.push(dt);
                         }
                         submitted.fetch_add(receipt.accepted as u64, Ordering::Relaxed);
                     }
+                    (enqueue_ns, flush_ns)
                 })
             })
             .collect();
@@ -512,12 +562,12 @@ pub fn serve_bench(args: &Args) -> Result<(), String> {
         let reader = s.spawn(|| {
             let mut last_epoch = 0u64;
             let mut n = 0u64;
+            let mut read_ns: Vec<u64> = Vec::new();
             while !done.load(Ordering::Acquire) {
                 let t0 = Instant::now();
                 let snap = engine.snapshot();
                 let _ = snap.truth(ids[(n % ids.len() as u64) as usize]);
-                let dt = t0.elapsed().as_nanos() as u64;
-                max_read_ns.fetch_max(dt, Ordering::Relaxed);
+                read_ns.push(t0.elapsed().as_nanos() as u64);
                 assert!(
                     snap.epoch() >= last_epoch,
                     "epoch went backwards: {} -> {}",
@@ -531,14 +581,18 @@ pub fn serve_bench(args: &Args) -> Result<(), String> {
                 n += 1;
                 std::thread::yield_now();
             }
-            n
+            (n, read_ns)
         });
 
         for h in handles {
-            h.join().expect("producer panicked");
+            let (e, f) = h.join().expect("producer panicked");
+            enqueue_ns.extend(e);
+            flush_ns.extend(f);
         }
         done.store(true, Ordering::Release);
-        snapshot_reads.store(reader.join().expect("reader panicked"), Ordering::Relaxed);
+        let (n, r) = reader.join().expect("reader panicked");
+        snapshot_reads.store(n, Ordering::Relaxed);
+        read_ns = r;
     });
 
     // Fold any sub-batch remainder through a final epoch flush.
@@ -548,8 +602,6 @@ pub fn serve_bench(args: &Args) -> Result<(), String> {
     snap.validate()
         .map_err(|e| format!("final snapshot invalid: {e}"))?;
 
-    let read_us = max_read_ns.load(Ordering::Relaxed) as f64 / 1_000.0;
-    let flush_ms = max_submit_ns.load(Ordering::Relaxed) as f64 / 1_000_000.0;
     eta2_obs::progress!(
         "serve-bench: {} producers x {} rounds over {} tasks / {} domains / {} shards",
         producers,
@@ -582,12 +634,39 @@ pub fn serve_bench(args: &Args) -> Result<(), String> {
         snap.truth_count(),
         snap.shard_flushes()
     );
-    eta2_obs::progress!(
-        "  snapshot reads: {} concurrent, max read latency {:.1}us vs max in-line flush {:.3}ms",
-        snapshot_reads.load(Ordering::Relaxed),
-        read_us,
-        flush_ms
-    );
+    match percentiles_ns(&mut read_ns) {
+        Some((p50, p99, max)) => eta2_obs::progress!(
+            "  snapshot-read latency: p50/p99/max = {:.1}/{:.1}/{:.1} us \
+             over {} concurrent reads",
+            p50 as f64 / 1e3,
+            p99 as f64 / 1e3,
+            max as f64 / 1e3,
+            snapshot_reads.load(Ordering::Relaxed)
+        ),
+        None => eta2_obs::progress!("  snapshot-read latency: no reads sampled"),
+    }
+    match percentiles_ns(&mut enqueue_ns) {
+        Some((p50, p99, max)) => eta2_obs::progress!(
+            "  submit latency (enqueue-only, no flush crossed): \
+             p50/p99/max = {:.1}/{:.1}/{:.1} us over {} calls",
+            p50 as f64 / 1e3,
+            p99 as f64 / 1e3,
+            max as f64 / 1e3,
+            enqueue_ns.len()
+        ),
+        None => eta2_obs::progress!("  submit latency (enqueue-only): no calls stayed sub-batch"),
+    }
+    match percentiles_ns(&mut flush_ns) {
+        Some((p50, p99, max)) => eta2_obs::progress!(
+            "  submit latency (flush-crossing, MLE ran inline): \
+             p50/p99/max = {:.3}/{:.3}/{:.3} ms over {} calls",
+            p50 as f64 / 1e6,
+            p99 as f64 / 1e6,
+            max as f64 / 1e6,
+            flush_ns.len()
+        ),
+        None => eta2_obs::progress!("  submit latency (flush-crossing): no submit crossed a flush"),
+    }
     if let Some(root) = &durable_root {
         let path = engine
             .checkpoint_durable(&root.join("checkpoints"))
@@ -608,6 +687,172 @@ pub fn serve_bench(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Sorts a nanosecond latency sample in place and returns
+/// `(p50, p99, max)`, or `None` for an empty sample.
+fn percentiles_ns(ns: &mut [u64]) -> Option<(u64, u64, u64)> {
+    if ns.is_empty() {
+        return None;
+    }
+    ns.sort_unstable();
+    let n = ns.len();
+    let pct = |q: f64| ns[(((n - 1) as f64) * q).round() as usize];
+    Some((pct(0.50), pct(0.99), ns[n - 1]))
+}
+
+/// `serve` — the wire-level front door: bind a TCP listener and serve the
+/// versioned binary protocol (plus the HTTP/1.1 fallback) over a fresh
+/// engine with bounded admission.
+pub fn serve(args: &Args) -> Result<(), String> {
+    use eta2::net::{NetConfig, NetServer};
+    use eta2_core::model::DomainId;
+    use eta2_serve::{ServeConfig, ServeEngine, TaskSpec};
+    use std::sync::Arc;
+
+    let listen = args
+        .get("listen")
+        .filter(|a| !a.is_empty())
+        .ok_or_else(|| "missing --listen ADDR:PORT (e.g. --listen 127.0.0.1:4980)".to_string())?;
+    let n_tasks: u32 = args.get_parsed("tasks", 64u32)?;
+    let n_domains: u32 = args.get_parsed("domains", 16u32)?;
+    if n_domains == 0 {
+        return Err("--domains must be at least 1".into());
+    }
+    let mut cfg = ServeConfig::default();
+    cfg.n_users = args.get_parsed("users", 1024usize)?;
+    cfg.n_shards = args.get_parsed("shards", 8usize)?;
+    cfg.batch_capacity = args.get_parsed("batch", 256usize)?;
+    cfg.threads = args.get_parsed("threads", 0usize)?;
+    cfg.validate();
+    if cfg.n_users == 0 {
+        return Err("--users must be at least 1".into());
+    }
+
+    let engine = Arc::new(ServeEngine::new(cfg));
+    if n_tasks > 0 {
+        let specs: Vec<TaskSpec> = (0..n_tasks)
+            .map(|j| TaskSpec::new(DomainId(j % n_domains), 1.0, 1.0))
+            .collect();
+        engine.register_tasks(&specs).map_err(|e| e.to_string())?;
+    }
+
+    let mut net = NetConfig::default();
+    net.max_connections = args.get_parsed("max-conns", net.max_connections)?;
+    net.queue_capacity = args.get_parsed("queue-cap", net.queue_capacity)?;
+    net.retry_after_ms = args.get_parsed("retry-after-ms", net.retry_after_ms)?;
+    net.tick_ms = args.get_parsed("tick-ms", net.tick_ms)?;
+    let server = NetServer::serve(engine, listen, net)
+        .map_err(|e| format!("cannot serve on {listen}: {e}"))?;
+    let addr = server.local_addr();
+    eta2_obs::progress!(
+        "serving the ETA2 wire protocol on {addr} \
+         ({n_tasks} pre-registered task(s); try: curl http://{addr}/healthz)"
+    );
+
+    let for_secs: u64 = args.get_parsed("for-secs", 0u64)?;
+    if for_secs > 0 {
+        std::thread::sleep(std::time::Duration::from_secs(for_secs));
+        server.shutdown();
+        eta2_obs::progress!("serve: --for-secs {for_secs} elapsed, shut down cleanly");
+        Ok(())
+    } else {
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
+    }
+}
+
+/// `load-gen` — drive a front door (self-hosted by default) with the
+/// open-loop wire-protocol load harness and print/write the latency
+/// report.
+pub fn load_gen(args: &Args) -> Result<(), String> {
+    use eta2_bench::loadgen::{run, LoadGenConfig};
+
+    let defaults = LoadGenConfig::default();
+    let cfg = LoadGenConfig {
+        addr: args.get("addr").filter(|a| !a.is_empty()).map(String::from),
+        clients: args.get_parsed("clients", defaults.clients)?,
+        requests: args.get_parsed("requests", defaults.requests)?,
+        connections: args.get_parsed("connections", defaults.connections)?,
+        batch: args.get_parsed("batch", defaults.batch)?,
+        tasks: args.get_parsed("tasks", defaults.tasks)?,
+        domains: args.get_parsed("domains", defaults.domains)?,
+        read_every: args.get_parsed("read-every", defaults.read_every)?,
+        zipf_s: args.get_parsed("zipf", defaults.zipf_s)?,
+        rate: match args.get("rate") {
+            None | Some("") => None,
+            Some(v) => Some(
+                v.parse()
+                    .map_err(|_| format!("invalid value for --rate: {v:?}"))?,
+            ),
+        },
+        queue_capacity: args.get_parsed("queue-cap", defaults.queue_capacity)?,
+        tick_ms: args.get_parsed("tick-ms", defaults.tick_ms)?,
+        seed: args.get_parsed("seed", defaults.seed)?,
+    };
+    if !cfg.zipf_s.is_finite() || cfg.zipf_s < 0.0 {
+        return Err(format!(
+            "--zipf must be a finite skew >= 0, got {}",
+            cfg.zipf_s
+        ));
+    }
+    if let Some(r) = cfg.rate {
+        if !(r.is_finite() && r > 0.0) {
+            return Err(format!("--rate must be finite and positive, got {r}"));
+        }
+    }
+
+    let out = args.get("out").filter(|p| !p.is_empty());
+    let report = run(&cfg, out)?;
+    eta2_obs::progress!(
+        "load-gen: {} requests from {} simulated clients over {} connections -> {}",
+        report.requests,
+        report.clients,
+        report.connections,
+        report.target
+    );
+    eta2_obs::progress!(
+        "  {:.2}s wall, {:.0} req/s: {} submits ok ({} reports), {} shed, \
+         {} reads ok, {} errors",
+        report.elapsed_secs,
+        report.throughput_rps,
+        report.submits_ok,
+        report.reports_accepted,
+        report.shed,
+        report.reads_ok,
+        report.errors
+    );
+    if let Some(l) = &report.ingest_latency {
+        eta2_obs::progress!(
+            "  ingest latency: p50/p99/p999/max = {}/{}/{}/{} us over {} submits",
+            l.p50_us,
+            l.p99_us,
+            l.p999_us,
+            l.max_us,
+            l.count
+        );
+    }
+    if let Some(l) = &report.read_latency {
+        eta2_obs::progress!(
+            "  read latency:   p50/p99/p999/max = {}/{}/{}/{} us over {} reads",
+            l.p50_us,
+            l.p99_us,
+            l.p999_us,
+            l.max_us,
+            l.count
+        );
+    }
+    if let Some(path) = out {
+        eta2_obs::progress!("  wrote load report to {path}");
+    }
+    if report.errors > 0 {
+        return Err(format!(
+            "{} request(s) answered with typed errors",
+            report.errors
+        ));
+    }
+    Ok(())
+}
+
 /// Parses a seed in decimal or `0x`-hex, matching the corpus format.
 fn parse_seed(raw: &str) -> Result<u64, String> {
     let parsed = if let Some(hex) = raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
@@ -621,6 +866,32 @@ fn parse_seed(raw: &str) -> Result<u64, String> {
 /// `check` — replay differential correctness scenarios.
 pub fn check(args: &Args) -> Result<(), String> {
     use eta2::check;
+
+    // --net-fuzz: the protocol half of the harness — seeded adversarial
+    // frames through the wire codec instead of differential scenarios.
+    // A panic anywhere in the decoder aborts the run; typed rejection is
+    // the expected outcome for most mutants.
+    if args.has("net-fuzz") {
+        let iterations: u64 = match args.get("net-fuzz") {
+            None | Some("") => 10_000,
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value for --net-fuzz: {v:?}"))?,
+        };
+        let seed = match args.get("seed") {
+            Some(raw) => parse_seed(raw)?,
+            None => 0xE7A2,
+        };
+        let report = eta2::net::fuzz::fuzz_decoder(seed, iterations);
+        eta2_obs::progress!(
+            "net-fuzz: {} mutant frame(s), seed {seed:#x}: {} decoded, \
+             {} rejected with typed errors, 0 panics",
+            report.iterations,
+            report.decoded_ok,
+            report.rejected
+        );
+        return Ok(());
+    }
 
     // Count mode reports every breach with its seed attached; --strict
     // aborts at the first breach instead (same switch CI's strict build

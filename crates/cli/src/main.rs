@@ -7,8 +7,11 @@
 //! eta2-cli domains  --dataset survey
 //! eta2-cli bench fig5
 //! eta2-cli serve-bench --producers 4 --shards 8
+//! eta2-cli serve --listen 127.0.0.1:4980
+//! eta2-cli load-gen --clients 100000 --requests 200000 --out BENCH_serve.json
 //! eta2-cli top --replay run.jsonl
 //! eta2-cli check --seeds 256
+//! eta2-cli check --net-fuzz 100000
 //! ```
 
 mod args;
@@ -58,6 +61,8 @@ fn main() {
         Some("domains") => commands::domains(&parsed),
         Some("bench") => commands::bench(&parsed),
         Some("serve-bench") => commands::serve_bench(&parsed),
+        Some("serve") => commands::serve(&parsed),
+        Some("load-gen") => commands::load_gen(&parsed),
         Some("top") => top::run(&parsed),
         Some("check") => commands::check(&parsed),
         Some("help") | None => {

@@ -34,6 +34,11 @@
 //!   crash-point kill-replay sweep for durable ingest ([`check::crash`]).
 //! * [`wal`] — the segmented, checksummed write-ahead log backing
 //!   `ServeEngine`'s durable mode (`ServeEngine::recover`).
+//! * [`net`] — the wire-level front door: the versioned `Request` /
+//!   `Response` surface, its length-prefixed CRC-framed binary codec, a
+//!   backpressure-aware TCP server with an HTTP/1.1 fallback
+//!   (`NetServer`), a blocking client (`NetClient`), and the protocol
+//!   fuzzer (`net::fuzz`).
 //!
 //! # Quickstart
 //!
@@ -71,6 +76,7 @@ pub use eta2_cluster as cluster;
 pub use eta2_core as core;
 pub use eta2_datasets as datasets;
 pub use eta2_embed as embed;
+pub use eta2_net as net;
 pub use eta2_obs as obs;
 pub use eta2_serve as serve;
 pub use eta2_server as server;
@@ -93,6 +99,7 @@ pub mod prelude {
     pub use eta2_core::allocation::{Allocation, MinCostConfig};
     pub use eta2_core::model::{DomainId, ObservationSet, Task, TaskId, UserId, UserProfile};
     pub use eta2_core::truth::{MleConfig, TruthEstimate};
+    pub use eta2_net::{Request, Response};
     pub use eta2_serve::{EpochSnapshot, ServeConfig, ServeEngine, TaskSpec};
     pub use eta2_server::{
         Eta2Server, ServerBuilder, ServerConfig, ServerError, ServerSnapshot, TaskInput,

@@ -1,0 +1,141 @@
+//! Blocking binary-protocol client — used by the load generator, the
+//! integration tests, and anything embedding a remote ETA² engine.
+
+use crate::proto::{
+    decode_payload, encode_request, DecodeError, FrameHeader, Message, Request, Response,
+    HEADER_BYTES, MAGIC,
+};
+use eta2_core::model::{DomainId, Observation, TaskId, UserId, UserProfile};
+use eta2_serve::TaskSpec;
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Failure of one client call.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ClientError {
+    /// The underlying socket operation failed.
+    Io(io::Error),
+    /// The server's frame failed to decode.
+    Decode(DecodeError),
+    /// The server answered with a request frame, or echoed a different
+    /// correlation id than the one sent.
+    Protocol {
+        /// What went wrong.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "socket error: {e}"),
+            ClientError::Decode(e) => write!(f, "bad response frame: {e}"),
+            ClientError::Protocol { detail } => write!(f, "protocol violation: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            ClientError::Decode(e) => Some(e),
+            ClientError::Protocol { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A blocking connection multiplexing any number of logical clients'
+/// requests over one socket (requests are answered in order; the
+/// correlation id ties each response to its request).
+pub struct NetClient {
+    stream: TcpStream,
+    next_id: u64,
+}
+
+impl NetClient {
+    /// Connects to a front door.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<NetClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(NetClient { stream, next_id: 1 })
+    }
+
+    /// Sends one request and blocks for its response.
+    pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1).max(1);
+        let frame = encode_request(id, request);
+        self.stream.write_all(&frame)?;
+        let (rid, message) = self.read_message()?;
+        if rid != id {
+            return Err(ClientError::Protocol {
+                detail: format!("sent req_id {id}, response echoes {rid}"),
+            });
+        }
+        match message {
+            Message::Response(response) => Ok(response),
+            Message::Request(_) => Err(ClientError::Protocol {
+                detail: "server sent a request frame".to_string(),
+            }),
+        }
+    }
+
+    fn read_message(&mut self) -> Result<(u64, Message), ClientError> {
+        let mut header = [0u8; HEADER_BYTES];
+        self.stream.read_exact(&mut header)?;
+        if header[0..4] != MAGIC {
+            return Err(ClientError::Decode(DecodeError::BadMagic {
+                found: header[0..4].try_into().expect("4 bytes"),
+            }));
+        }
+        let parsed = crate::proto::decode_header(&header).map_err(ClientError::Decode)?;
+        let FrameHeader { req_id, len, .. } = parsed;
+        let mut payload = vec![0u8; len as usize];
+        self.stream.read_exact(&mut payload)?;
+        let message = decode_payload(&parsed, &payload).map_err(ClientError::Decode)?;
+        Ok((req_id, message))
+    }
+
+    /// Registers tasks; returns their assigned ids.
+    pub fn register(&mut self, specs: Vec<TaskSpec>) -> Result<Response, ClientError> {
+        self.call(&Request::Register { specs })
+    }
+
+    /// Submits a report batch.
+    pub fn submit(&mut self, reports: Vec<Observation>) -> Result<Response, ClientError> {
+        self.call(&Request::Submit { reports })
+    }
+
+    /// Requests a max-quality allocation.
+    pub fn allocate(
+        &mut self,
+        tasks: Vec<TaskId>,
+        users: Vec<UserProfile>,
+    ) -> Result<Response, ClientError> {
+        self.call(&Request::Allocate { tasks, users })
+    }
+
+    /// Reads one task's truth estimate.
+    pub fn truth(&mut self, task: TaskId) -> Result<Response, ClientError> {
+        self.call(&Request::Truth { task })
+    }
+
+    /// Reads one user's expertise in one domain.
+    pub fn expertise(&mut self, user: UserId, domain: DomainId) -> Result<Response, ClientError> {
+        self.call(&Request::Expertise { user, domain })
+    }
+
+    /// Reads the server's metrics snapshot.
+    pub fn metrics(&mut self) -> Result<Response, ClientError> {
+        self.call(&Request::Metrics)
+    }
+}

@@ -1,0 +1,161 @@
+//! Seeded mutation fuzz over the wire codec — the protocol half of the
+//! `eta2-check` philosophy: malformed frames (torn, oversized, bad CRC,
+//! wrong version, scribbled interiors) must map to typed
+//! [`DecodeError`](crate::proto::DecodeError)s, never panic, and never
+//! allocate beyond the bytes on hand. Run via `eta2-cli check
+//! --net-fuzz N` or the `codec` test suite.
+
+use crate::proto::{decode_message, encode_message, Message, Request, Response};
+use eta2_core::model::{DomainId, Observation, TaskId, UserId, UserProfile};
+use eta2_core::truth::TruthEstimate;
+use eta2_serve::TaskSpec;
+
+/// Outcome counts of one fuzz run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FuzzReport {
+    /// Mutated frames driven through the decoder.
+    pub iterations: u64,
+    /// Mutants that still decoded to a valid message.
+    pub decoded_ok: u64,
+    /// Mutants rejected with a typed error (the expected common case).
+    pub rejected: u64,
+}
+
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A deterministic message for fuzz seed `h`, cycling through every
+/// frame shape so each tag's decoder sees mutants.
+pub fn sample_message(h: u64) -> Message {
+    let f = |k: u64| (mix(h ^ k) % 1000) as f64 / 100.0 + 0.01;
+    match h % 14 {
+        0 => Message::Request(Request::Register {
+            specs: (0..(h % 5))
+                .map(|i| TaskSpec::new(DomainId((h ^ i) as u32 % 64), f(i), f(i + 7)))
+                .collect(),
+        }),
+        1 => Message::Request(Request::Submit {
+            reports: (0..(h % 6))
+                .map(|i| Observation {
+                    user: UserId(mix(h ^ i) as u32 % 128),
+                    task: TaskId(mix(h ^ (i + 9)) as u32 % 256),
+                    value: f(i),
+                })
+                .collect(),
+        }),
+        2 => Message::Request(Request::Allocate {
+            tasks: (0..(h % 4)).map(|i| TaskId((h ^ i) as u32 % 99)).collect(),
+            users: (0..(h % 3))
+                .map(|i| UserProfile {
+                    id: UserId(i as u32),
+                    capacity: f(i),
+                })
+                .collect(),
+        }),
+        3 => Message::Request(Request::Truth {
+            task: TaskId(h as u32),
+        }),
+        4 => Message::Request(Request::Expertise {
+            user: UserId(h as u32 % 512),
+            domain: DomainId(mix(h) as u32 % 64),
+        }),
+        5 => Message::Request(Request::Metrics),
+        6 => Message::Response(Response::Registered {
+            ids: (0..(h % 7)).map(|i| TaskId((h + i) as u32)).collect(),
+        }),
+        7 => Message::Response(Response::Submitted {
+            accepted: h % 100,
+            quarantined: mix(h) % 3,
+            unknown_task: mix(h ^ 1) % 3,
+            flushes: mix(h ^ 2) % 2,
+        }),
+        8 => Message::Response(Response::Allocated {
+            assignments: (0..(h % 3))
+                .map(|i| {
+                    (
+                        TaskId(i as u32),
+                        (0..(mix(h ^ i) % 4)).map(|u| UserId(u as u32)).collect(),
+                    )
+                })
+                .collect(),
+        }),
+        9 => Message::Response(Response::Truth {
+            estimate: (h % 2 == 0).then(|| TruthEstimate {
+                mu: f(1),
+                sigma: f(2),
+                fallback: h % 4 == 0,
+            }),
+        }),
+        10 => Message::Response(Response::Expertise { value: f(3) }),
+        11 => Message::Response(Response::Metrics {
+            json: format!("{{\"schema\":\"eta2.metrics/1\",\"n\":{}}}", h % 1000),
+        }),
+        12 => Message::Response(Response::Error {
+            code: (h % 5) as u16,
+            message: format!("synthetic error {h}"),
+        }),
+        _ => Message::Response(Response::Overloaded {
+            retry_after_ms: h % 5000,
+        }),
+    }
+}
+
+/// Drives `iterations` mutated frames through the decoder. Each round
+/// encodes a valid frame, applies a seeded mutation (byte scribbles,
+/// truncation, extension, length-prefix and version corruption), and
+/// decodes; any panic propagates to the caller (and fails the run).
+pub fn fuzz_decoder(seed: u64, iterations: u64) -> FuzzReport {
+    let mut report = FuzzReport::default();
+    for i in 0..iterations {
+        let h = mix(seed ^ i);
+        let mut frame = encode_message(h, &sample_message(h));
+        match mix(h ^ 0xF00D) % 6 {
+            0 => {
+                // Scribble 1-4 random bytes anywhere in the frame.
+                for k in 0..(1 + mix(h ^ 1) % 4) {
+                    let at = (mix(h ^ (k + 2)) as usize) % frame.len();
+                    frame[at] ^= (mix(h ^ (k + 11)) % 255 + 1) as u8;
+                }
+            }
+            1 => {
+                // Torn frame: truncate at a random point.
+                let keep = (mix(h ^ 3) as usize) % frame.len();
+                frame.truncate(keep);
+            }
+            2 => {
+                // Oversized length prefix.
+                let huge = (u32::MAX - (mix(h ^ 4) as u32 % 1024)).to_le_bytes();
+                if frame.len() >= 20 {
+                    frame[16..20].copy_from_slice(&huge);
+                }
+            }
+            3 => {
+                // Wrong protocol version.
+                let v = (mix(h ^ 5) as u32).to_le_bytes();
+                if frame.len() >= 8 {
+                    frame[4..8].copy_from_slice(&v);
+                }
+            }
+            4 => {
+                // Trailing garbage appended after the frame. The decoder
+                // reports consumed bytes, so this must still decode.
+                frame.extend((0..(mix(h ^ 6) % 32)).map(|k| mix(h ^ k) as u8));
+            }
+            _ => {
+                // Pure noise: replace the whole buffer.
+                let n = (mix(h ^ 7) as usize) % 256;
+                frame = (0..n).map(|k| mix(h ^ k as u64) as u8).collect();
+            }
+        }
+        report.iterations += 1;
+        match decode_message(&frame) {
+            Ok(_) => report.decoded_ok += 1,
+            Err(_) => report.rejected += 1,
+        }
+    }
+    report
+}

@@ -1,0 +1,275 @@
+//! HTTP/1.1 plaintext fallback — the curl-debuggable dialect of the
+//! front door (one request per connection, `Connection: close`).
+//!
+//! Routes (bodies are JSON; see the README "Serving over the network"
+//! quickstart):
+//!
+//! | Method & path | Maps to |
+//! |---|---|
+//! | `GET /healthz` | liveness probe, plain `ok` |
+//! | `GET /metrics` | Prometheus text exposition |
+//! | `GET /metrics.json` | [`Request::Metrics`] |
+//! | `GET /truth/<task>` | [`Request::Truth`] |
+//! | `GET /expertise/<user>/<domain>` | [`Request::Expertise`] |
+//! | `POST /register` | [`Request::Register`] (body: array of specs) |
+//! | `POST /submit` | [`Request::Submit`] (body: array of reports) |
+//! | `POST /allocate` | [`Request::Allocate`] (body: `{tasks, users}`) |
+//!
+//! Responses are the [`Response`] enum serialized as JSON (the same
+//! `op`-tagged shape the serde derives define), with the status code
+//! reflecting the variant: `Error` → 400, `Overloaded` → 503 plus a
+//! `Retry-After` header, everything else → 200.
+
+use crate::proto::{Request, Response};
+use crate::service::EngineService;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// Serves one HTTP request on `stream`, then returns (connection close).
+pub(crate) fn serve_http(service: &EngineService, stream: &mut TcpStream) -> io::Result<()> {
+    let (head, mut carry) = match read_head(stream) {
+        Ok(pair) => pair,
+        Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+            return respond_text(stream, 400, "text/plain", "malformed HTTP request\n")
+        }
+        Err(e) => return Err(e),
+    };
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or_default().to_ascii_uppercase();
+    let path = parts.next().unwrap_or_default().to_string();
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().unwrap_or(usize::MAX);
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return respond_text(stream, 413, "text/plain", "body too large\n");
+    }
+    while carry.len() < content_length {
+        let mut buf = [0u8; 4096];
+        let n = read_some(stream, &mut buf)?;
+        if n == 0 {
+            return respond_text(
+                stream,
+                400,
+                "text/plain",
+                "body shorter than Content-Length\n",
+            );
+        }
+        carry.extend_from_slice(&buf[..n]);
+    }
+    let body = &carry[..content_length];
+
+    match (method.as_str(), path.as_str()) {
+        ("GET", "/healthz") => respond_text(stream, 200, "text/plain", "ok\n"),
+        ("GET", "/metrics") => respond_text(
+            stream,
+            200,
+            "text/plain; version=0.0.4",
+            &eta2_obs::expose_prometheus(),
+        ),
+        ("GET", "/metrics.json") => respond_request(service, stream, Request::Metrics),
+        ("GET", p) if p.starts_with("/truth/") => match p["/truth/".len()..].parse::<u32>() {
+            Ok(id) => respond_request(
+                service,
+                stream,
+                Request::Truth {
+                    task: eta2_core::model::TaskId(id),
+                },
+            ),
+            Err(_) => respond_text(stream, 400, "text/plain", "task id must be a u32\n"),
+        },
+        ("GET", p) if p.starts_with("/expertise/") => {
+            let rest = &p["/expertise/".len()..];
+            match rest.split_once('/') {
+                Some((u, d)) => match (u.parse::<u32>(), d.parse::<u32>()) {
+                    (Ok(user), Ok(domain)) => respond_request(
+                        service,
+                        stream,
+                        Request::Expertise {
+                            user: eta2_core::model::UserId(user),
+                            domain: eta2_core::model::DomainId(domain),
+                        },
+                    ),
+                    _ => respond_text(stream, 400, "text/plain", "ids must be u32\n"),
+                },
+                None => respond_text(
+                    stream,
+                    400,
+                    "text/plain",
+                    "want /expertise/<user>/<domain>\n",
+                ),
+            }
+        }
+        ("POST", "/register") => match serde_json::from_slice(body) {
+            Ok(specs) => respond_request(service, stream, Request::Register { specs }),
+            Err(e) => respond_text(
+                stream,
+                400,
+                "text/plain",
+                &format!("bad register body: {e}\n"),
+            ),
+        },
+        ("POST", "/submit") => match serde_json::from_slice(body) {
+            Ok(reports) => respond_request(service, stream, Request::Submit { reports }),
+            Err(e) => respond_text(
+                stream,
+                400,
+                "text/plain",
+                &format!("bad submit body: {e}\n"),
+            ),
+        },
+        ("POST", "/allocate") => {
+            #[derive(serde::Deserialize)]
+            struct AllocateBody {
+                tasks: Vec<eta2_core::model::TaskId>,
+                users: Vec<eta2_core::model::UserProfile>,
+            }
+            match serde_json::from_slice::<AllocateBody>(body) {
+                Ok(b) => respond_request(
+                    service,
+                    stream,
+                    Request::Allocate {
+                        tasks: b.tasks,
+                        users: b.users,
+                    },
+                ),
+                Err(e) => respond_text(
+                    stream,
+                    400,
+                    "text/plain",
+                    &format!("bad allocate body: {e}\n"),
+                ),
+            }
+        }
+        _ => respond_text(stream, 404, "text/plain", "no such route\n"),
+    }
+}
+
+fn respond_request(
+    service: &EngineService,
+    stream: &mut TcpStream,
+    request: Request,
+) -> io::Result<()> {
+    let ctx = eta2_obs::tracing_active().then(eta2_obs::TraceContext::root);
+    if let Some(ctx) = ctx {
+        eta2_obs::emit(&eta2_obs::Event::TraceNetRequest {
+            trace: ctx.trace,
+            span: ctx.span,
+            parent: eta2_obs::trace::NO_PARENT,
+            op: request.op_name(),
+            bytes: 0,
+        });
+    }
+    let response = service.call_traced(&request, ctx);
+    if !matches!(response, Response::Overloaded { .. }) {
+        eta2_obs::counter("net.accepted", 1);
+    }
+    let (status, retry_after) = match &response {
+        Response::Error { .. } => (400, None),
+        Response::Overloaded { retry_after_ms } => {
+            (503, Some(retry_after_ms.div_ceil(1000).max(1)))
+        }
+        _ => (200, None),
+    };
+    let body = serde_json::to_string(&response).unwrap_or_else(|_| "{}".to_string());
+    respond(
+        stream,
+        status,
+        "application/json",
+        retry_after,
+        &(body + "\n"),
+    )
+}
+
+fn respond_text(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> io::Result<()> {
+    respond(stream, status, content_type, None, body)
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    retry_after_s: Option<u64>,
+    body: &str,
+) -> io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        413 => "Payload Too Large",
+        503 => "Service Unavailable",
+        _ => "Response",
+    };
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n",
+        body.len()
+    );
+    if let Some(s) = retry_after_s {
+        head.push_str(&format!("Retry-After: {s}\r\n"));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    eta2_obs::counter("net.bytes", (head.len() + body.len()) as u64);
+    Ok(())
+}
+
+/// One read retrying through timeouts (the socket carries a read
+/// timeout so handler threads can notice server shutdown).
+fn read_some(stream: &mut TcpStream, buf: &mut [u8]) -> io::Result<usize> {
+    loop {
+        match stream.read(buf) {
+            Ok(n) => return Ok(n),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Reads up to the end of the header block; returns the head text and
+/// any body bytes that arrived with it.
+fn read_head(stream: &mut TcpStream) -> io::Result<(String, Vec<u8>)> {
+    let mut buf = Vec::with_capacity(1024);
+    loop {
+        let mut chunk = [0u8; 1024];
+        let n = read_some(stream, &mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "eof in headers"));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        if let Some(at) = find_head_end(&buf) {
+            let head = String::from_utf8(buf[..at].to_vec())
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-utf8 headers"))?;
+            let carry = buf[at + 4..].to_vec();
+            return Ok((head, carry));
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "headers too large",
+            ));
+        }
+    }
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}

@@ -1,0 +1,51 @@
+//! Wire-level front door for the ETA² serving engine.
+//!
+//! This crate puts [`ServeEngine`](eta2_serve::ServeEngine) on a TCP
+//! socket behind a single versioned request surface:
+//!
+//! - [`proto`] — the [`Request`]/[`Response`] enum pair and the
+//!   length-prefixed binary codec that carries them: each frame is a
+//!   24-byte header (`"ETA2"` magic, protocol version, correlation id,
+//!   payload length, CRC32) followed by a compact payload, reusing the
+//!   `eta2-wal` CRC discipline so torn or corrupted frames are rejected
+//!   with typed [`DecodeError`]s rather than misread.
+//! - [`EngineService`] — the canonical dispatch from requests to
+//!   responses, with explicit admission control: submits that would grow
+//!   the engine's pending queue past a bound are shed with
+//!   [`Response::Overloaded`] carrying a retry hint, so the server never
+//!   queues unboundedly and `serve.queue_depth` stays bounded.
+//! - [`NetServer`] — a thread-per-connection `std::net` listener that
+//!   sniffs each connection's first bytes and speaks either the binary
+//!   protocol or a plaintext HTTP/1.1 fallback (curl-friendly; see the
+//!   README quickstart), plus a background ticker draining flushes.
+//! - [`NetClient`] — a blocking client multiplexing requests over one
+//!   socket, used by the `eta2-bench` load generator.
+//! - [`fuzz`] — a seeded codec fuzzer proving malformed frames
+//!   (truncated, oversized, bad-CRC, wrong-version) never panic.
+//!
+//! The same `Request`/`Response` types are the in-process API: the
+//! high-level `eta2-server` crate dispatches through them too, so a
+//! caller that outgrows one process keeps its request shapes when it
+//! moves to the wire.
+//!
+//! Everything here is `std::net` + `std::thread`; the crate adds no
+//! dependencies beyond the workspace's existing serde stack.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+pub mod fuzz;
+mod http;
+pub mod proto;
+mod server;
+mod service;
+
+pub use client::{ClientError, NetClient};
+pub use proto::{
+    decode_header, decode_message, decode_payload, encode_message, encode_request, encode_response,
+    DecodeError, FrameHeader, Message, Request, Response, ERR_BAD_REQUEST, ERR_MALFORMED,
+    ERR_REGISTER, ERR_UNSUPPORTED_VERSION, HEADER_BYTES, MAGIC, MAX_FRAME_BYTES, PROTOCOL_VERSION,
+};
+pub use server::{NetConfig, NetServer};
+pub use service::EngineService;

@@ -1,0 +1,782 @@
+//! The ETA² wire protocol: versioned, length-prefixed, CRC32-framed
+//! request/response messages (DESIGN.md §14).
+//!
+//! # Frame layout
+//!
+//! Every message — request or response — travels in one frame:
+//!
+//! ```text
+//! magic    [u8; 4]   b"ETA2"
+//! version  u32 LE    protocol version (currently 1)
+//! req_id   u64 LE    caller-chosen correlation id, echoed in the response
+//! len      u32 LE    payload length in bytes
+//! crc      u32 LE    CRC32 (IEEE) over the 4 len bytes then the payload
+//! payload  [u8; len]
+//! ```
+//!
+//! The length/CRC discipline is `eta2-wal`'s record framing verbatim
+//! (same polynomial, same len-then-payload coverage, same oversize
+//! guard), so one checksum implementation serves both the log and the
+//! wire. The payload opens with a one-byte message tag — requests use
+//! tags `< 0x80`, responses `>= 0x80` — followed by the tag-specific
+//! fields, all little-endian, with `u32`-prefixed counts and strings.
+//!
+//! # Version negotiation
+//!
+//! The 24-byte header layout is **frozen across versions**: a server can
+//! always read the header, skip `len` payload bytes, and answer a frame
+//! whose `version` it does not speak with a typed
+//! [`Response::Error`] carrying [`ERR_UNSUPPORTED_VERSION`] and the
+//! server's own version in the message — the same reject-don't-misread
+//! posture as `ServerSnapshot` and `EngineCheckpoint` deserialization.
+//! Clients are expected to stop (or downgrade) on that reply; the
+//! connection stays usable.
+//!
+//! # Robustness contract
+//!
+//! [`decode_message`] never panics and never allocates more than the
+//! bytes it was handed: every interior count is validated against the
+//! remaining payload before a vector is sized, oversized length prefixes
+//! are rejected before allocation, and every malformed-input class maps
+//! to a typed [`DecodeError`]. The adversarial suite in
+//! `tests/codec.rs` and [`crate::fuzz`] hold the decoder to this.
+
+use eta2_core::model::{DomainId, Observation, TaskId, UserId, UserProfile};
+use eta2_core::truth::TruthEstimate;
+use eta2_serve::TaskSpec;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Magic bytes opening every frame.
+pub const MAGIC: [u8; 4] = *b"ETA2";
+
+/// Protocol version spoken by this build. Frames carrying any other
+/// version are answered with [`ERR_UNSUPPORTED_VERSION`].
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Byte length of the fixed frame header (magic + version + req_id +
+/// len + crc). Frozen across protocol versions.
+pub const HEADER_BYTES: usize = 24;
+
+/// Upper bound on a frame payload. Length prefixes claiming more are
+/// rejected as [`DecodeError::Oversized`] *before* any allocation —
+/// the same guard discipline as `eta2_wal::MAX_RECORD_BYTES`.
+pub const MAX_FRAME_BYTES: u32 = 1 << 24;
+
+/// Error code: the frame's protocol version is not spoken by this server.
+pub const ERR_UNSUPPORTED_VERSION: u16 = 1;
+/// Error code: the payload failed to decode (bad tag, torn interior,
+/// checksum mismatch).
+pub const ERR_MALFORMED: u16 = 2;
+/// Error code: the request was well-formed but semantically invalid
+/// (out-of-range user id, wrong server mode, …).
+pub const ERR_BAD_REQUEST: u16 = 3;
+/// Error code: task registration was rejected by the engine.
+pub const ERR_REGISTER: u16 = 4;
+
+// Payload tags. Requests < 0x80, responses >= 0x80.
+const TAG_REGISTER: u8 = 0x01;
+const TAG_SUBMIT: u8 = 0x02;
+const TAG_ALLOCATE: u8 = 0x03;
+const TAG_TRUTH: u8 = 0x04;
+const TAG_EXPERTISE: u8 = 0x05;
+const TAG_METRICS: u8 = 0x06;
+const TAG_REGISTERED: u8 = 0x81;
+const TAG_SUBMITTED: u8 = 0x82;
+const TAG_ALLOCATED: u8 = 0x83;
+const TAG_TRUTH_IS: u8 = 0x84;
+const TAG_EXPERTISE_IS: u8 = 0x85;
+const TAG_METRICS_ARE: u8 = 0x86;
+const TAG_ERROR: u8 = 0x87;
+const TAG_OVERLOADED: u8 = 0x88;
+
+/// A client-to-server message — the single versioned public request
+/// surface, mirroring the wire frames one-to-one. In-process callers
+/// (`Eta2Server::request`, `EngineService::call`) and over-the-wire
+/// callers construct exactly these values.
+///
+/// `#[non_exhaustive]`: new operations may be added in minor releases;
+/// match with a wildcard arm. A server that does not understand a tag
+/// answers [`Response::Error`] with [`ERR_MALFORMED`] rather than
+/// dropping the connection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+#[serde(tag = "op", rename_all = "snake_case")]
+pub enum Request {
+    /// Register pre-domained tasks; the engine assigns their ids.
+    Register {
+        /// The task specs to register, in id-assignment order.
+        specs: Vec<TaskSpec>,
+    },
+    /// Submit a batch of collected reports for truth analysis.
+    Submit {
+        /// The reports; at most one per `(user, task)` pair is kept.
+        reports: Vec<Observation>,
+    },
+    /// Max-quality allocation (§5.1) of tasks to users under the current
+    /// expertise estimates.
+    Allocate {
+        /// Tasks to allocate (unknown ids are ignored).
+        tasks: Vec<TaskId>,
+        /// The candidate users with their capacities.
+        users: Vec<UserProfile>,
+    },
+    /// Read the latest truth estimate for one task.
+    Truth {
+        /// The task to look up.
+        task: TaskId,
+    },
+    /// Read one user's expertise in one domain.
+    Expertise {
+        /// The user.
+        user: UserId,
+        /// The domain.
+        domain: DomainId,
+    },
+    /// Read the server's metrics registry as a JSON snapshot
+    /// (`eta2.metrics/1` schema).
+    Metrics,
+}
+
+/// A server-to-client message, paired one-to-one with [`Request`].
+///
+/// `#[non_exhaustive]`: new responses may be added in minor releases;
+/// match with a wildcard arm.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+#[serde(tag = "op", rename_all = "snake_case")]
+pub enum Response {
+    /// Tasks were registered; `ids` parallels the submitted specs.
+    Registered {
+        /// The assigned task ids, in spec order.
+        ids: Vec<TaskId>,
+    },
+    /// A submit crossed the admission boundary and was folded in.
+    Submitted {
+        /// Reports accepted into shard pending queues.
+        accepted: u64,
+        /// Non-finite reports quarantined at the boundary.
+        quarantined: u64,
+        /// Reports naming an unregistered task, dropped.
+        unknown_task: u64,
+        /// Shard flushes this submit triggered inline.
+        flushes: u64,
+    },
+    /// The max-quality assignment.
+    Allocated {
+        /// `(task, assigned users)` pairs; unassigned tasks are absent.
+        assignments: Vec<(TaskId, Vec<UserId>)>,
+    },
+    /// The truth estimate for the queried task (`None` before its first
+    /// flush or for an unknown id).
+    Truth {
+        /// The estimate, if the task has been analysed.
+        estimate: Option<TruthEstimate>,
+    },
+    /// The queried expertise value.
+    Expertise {
+        /// Estimated expertise `e_{id}` of the user in the domain.
+        value: f64,
+    },
+    /// The metrics registry snapshot.
+    Metrics {
+        /// JSON document in the `eta2.metrics/1` schema.
+        json: String,
+    },
+    /// The request was rejected; the connection stays usable.
+    Error {
+        /// One of the `ERR_*` codes.
+        code: u16,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The ingest queue is full: the submit was shed at the admission
+    /// boundary instead of queueing unboundedly. Retry after the hint.
+    Overloaded {
+        /// Suggested client backoff before retrying.
+        retry_after_ms: u64,
+    },
+}
+
+/// Either message direction, as decoded from a frame payload. Request
+/// and response tags share one (disjoint) tag space, so a single decoder
+/// serves servers, clients, and the fuzzer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// A client-to-server frame.
+    Request(Request),
+    /// A server-to-client frame.
+    Response(Response),
+}
+
+/// Typed decode failure. Every malformed-input class maps here; the
+/// decoder never panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DecodeError {
+    /// The buffer ends before the frame does (header or payload). For a
+    /// streaming reader this means "read more bytes".
+    Truncated {
+        /// Bytes the frame needs in total (header + payload), when the
+        /// header was readable; [`HEADER_BYTES`] otherwise.
+        needed: usize,
+        /// Bytes actually available.
+        have: usize,
+    },
+    /// The frame does not start with [`MAGIC`].
+    BadMagic {
+        /// The four bytes found instead.
+        found: [u8; 4],
+    },
+    /// The frame's protocol version is not [`PROTOCOL_VERSION`].
+    UnsupportedVersion {
+        /// The version the frame carried.
+        version: u32,
+    },
+    /// The length prefix exceeds [`MAX_FRAME_BYTES`]; rejected before
+    /// allocation.
+    Oversized {
+        /// The claimed payload length.
+        len: u32,
+    },
+    /// The payload checksum does not match the frame's `crc` field.
+    BadCrc {
+        /// CRC the frame claimed.
+        expected: u32,
+        /// CRC computed over the received bytes.
+        found: u32,
+    },
+    /// The payload opens with a tag this build does not know.
+    UnknownTag {
+        /// The unknown tag byte.
+        tag: u8,
+    },
+    /// The payload decoded cleanly but bytes remain after the message.
+    TrailingBytes {
+        /// How many bytes were left over.
+        extra: usize,
+    },
+    /// A tag-specific field failed to validate (interior truncation is
+    /// reported as [`DecodeError::Truncated`]).
+    Malformed {
+        /// What failed.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated { needed, have } => {
+                write!(f, "truncated frame: need {needed} bytes, have {have}")
+            }
+            DecodeError::BadMagic { found } => write!(f, "bad magic {found:02x?}"),
+            DecodeError::UnsupportedVersion { version } => write!(
+                f,
+                "unsupported protocol version {version} (this build speaks {PROTOCOL_VERSION})"
+            ),
+            DecodeError::Oversized { len } => write!(
+                f,
+                "oversized frame: payload claims {len} bytes, cap is {MAX_FRAME_BYTES}"
+            ),
+            DecodeError::BadCrc { expected, found } => {
+                write!(
+                    f,
+                    "crc mismatch: frame says {expected:#010x}, payload hashes to {found:#010x}"
+                )
+            }
+            DecodeError::UnknownTag { tag } => write!(f, "unknown message tag {tag:#04x}"),
+            DecodeError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing byte(s) after message")
+            }
+            DecodeError::Malformed { what } => write!(f, "malformed payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn encode_payload(message: &Message) -> Vec<u8> {
+    let mut p = Vec::with_capacity(64);
+    match message {
+        Message::Request(Request::Register { specs }) => {
+            p.push(TAG_REGISTER);
+            put_u32(&mut p, specs.len() as u32);
+            for s in specs {
+                put_u32(&mut p, s.domain.0);
+                put_f64(&mut p, s.processing_time);
+                put_f64(&mut p, s.cost);
+            }
+        }
+        Message::Request(Request::Submit { reports }) => {
+            p.push(TAG_SUBMIT);
+            put_u32(&mut p, reports.len() as u32);
+            for o in reports {
+                put_u32(&mut p, o.user.0);
+                put_u32(&mut p, o.task.0);
+                put_f64(&mut p, o.value);
+            }
+        }
+        Message::Request(Request::Allocate { tasks, users }) => {
+            p.push(TAG_ALLOCATE);
+            put_u32(&mut p, tasks.len() as u32);
+            for t in tasks {
+                put_u32(&mut p, t.0);
+            }
+            put_u32(&mut p, users.len() as u32);
+            for u in users {
+                put_u32(&mut p, u.id.0);
+                put_f64(&mut p, u.capacity);
+            }
+        }
+        Message::Request(Request::Truth { task }) => {
+            p.push(TAG_TRUTH);
+            put_u32(&mut p, task.0);
+        }
+        Message::Request(Request::Expertise { user, domain }) => {
+            p.push(TAG_EXPERTISE);
+            put_u32(&mut p, user.0);
+            put_u32(&mut p, domain.0);
+        }
+        Message::Request(Request::Metrics) => p.push(TAG_METRICS),
+        Message::Response(Response::Registered { ids }) => {
+            p.push(TAG_REGISTERED);
+            put_u32(&mut p, ids.len() as u32);
+            for id in ids {
+                put_u32(&mut p, id.0);
+            }
+        }
+        Message::Response(Response::Submitted {
+            accepted,
+            quarantined,
+            unknown_task,
+            flushes,
+        }) => {
+            p.push(TAG_SUBMITTED);
+            put_u64(&mut p, *accepted);
+            put_u64(&mut p, *quarantined);
+            put_u64(&mut p, *unknown_task);
+            put_u64(&mut p, *flushes);
+        }
+        Message::Response(Response::Allocated { assignments }) => {
+            p.push(TAG_ALLOCATED);
+            put_u32(&mut p, assignments.len() as u32);
+            for (task, users) in assignments {
+                put_u32(&mut p, task.0);
+                put_u32(&mut p, users.len() as u32);
+                for u in users {
+                    put_u32(&mut p, u.0);
+                }
+            }
+        }
+        Message::Response(Response::Truth { estimate }) => {
+            p.push(TAG_TRUTH_IS);
+            match estimate {
+                None => p.push(0),
+                Some(e) => {
+                    p.push(1);
+                    put_f64(&mut p, e.mu);
+                    put_f64(&mut p, e.sigma);
+                    p.push(e.fallback as u8);
+                }
+            }
+        }
+        Message::Response(Response::Expertise { value }) => {
+            p.push(TAG_EXPERTISE_IS);
+            put_f64(&mut p, *value);
+        }
+        Message::Response(Response::Metrics { json }) => {
+            p.push(TAG_METRICS_ARE);
+            put_str(&mut p, json);
+        }
+        Message::Response(Response::Error { code, message }) => {
+            p.push(TAG_ERROR);
+            put_u16(&mut p, *code);
+            put_str(&mut p, message);
+        }
+        Message::Response(Response::Overloaded { retry_after_ms }) => {
+            p.push(TAG_OVERLOADED);
+            put_u64(&mut p, *retry_after_ms);
+        }
+    }
+    p
+}
+
+/// Encodes one message into a complete frame (header + payload).
+pub fn encode_message(req_id: u64, message: &Message) -> Vec<u8> {
+    let payload = encode_payload(message);
+    debug_assert!(payload.len() <= MAX_FRAME_BYTES as usize);
+    let len = payload.len() as u32;
+    let len_bytes = len.to_le_bytes();
+    let crc = eta2_wal::crc32(&[&len_bytes, &payload]);
+    let mut frame = Vec::with_capacity(HEADER_BYTES + payload.len());
+    frame.extend_from_slice(&MAGIC);
+    frame.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+    frame.extend_from_slice(&req_id.to_le_bytes());
+    frame.extend_from_slice(&len_bytes);
+    frame.extend_from_slice(&crc.to_le_bytes());
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+/// Encodes a request frame.
+pub fn encode_request(req_id: u64, request: &Request) -> Vec<u8> {
+    encode_message(req_id, &Message::Request(request.clone()))
+}
+
+/// Encodes a response frame.
+pub fn encode_response(req_id: u64, response: &Response) -> Vec<u8> {
+    encode_message(req_id, &Message::Response(response.clone()))
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// A parsed frame header. The header layout is frozen across protocol
+/// versions, so it can always be read — even for frames whose version or
+/// payload this build cannot decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// Protocol version the frame carries.
+    pub version: u32,
+    /// Correlation id.
+    pub req_id: u64,
+    /// Payload length in bytes.
+    pub len: u32,
+    /// CRC32 over the len bytes then the payload.
+    pub crc: u32,
+}
+
+/// Parses the fixed 24-byte header, validating magic and the length
+/// bound but **not** the version: callers that want to answer
+/// unsupported versions with a typed error (rather than fail the read)
+/// check [`FrameHeader::version`] themselves.
+pub fn decode_header(bytes: &[u8]) -> Result<FrameHeader, DecodeError> {
+    if bytes.len() < HEADER_BYTES {
+        return Err(DecodeError::Truncated {
+            needed: HEADER_BYTES,
+            have: bytes.len(),
+        });
+    }
+    if bytes[0..4] != MAGIC {
+        let mut found = [0u8; 4];
+        found.copy_from_slice(&bytes[0..4]);
+        return Err(DecodeError::BadMagic { found });
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    let req_id = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+    let len = u32::from_le_bytes(bytes[16..20].try_into().expect("4 bytes"));
+    let crc = u32::from_le_bytes(bytes[20..24].try_into().expect("4 bytes"));
+    if len > MAX_FRAME_BYTES {
+        return Err(DecodeError::Oversized { len });
+    }
+    Ok(FrameHeader {
+        version,
+        req_id,
+        len,
+        crc,
+    })
+}
+
+/// Verifies a payload against its header's CRC and decodes the message.
+pub fn decode_payload(header: &FrameHeader, payload: &[u8]) -> Result<Message, DecodeError> {
+    if header.version != PROTOCOL_VERSION {
+        return Err(DecodeError::UnsupportedVersion {
+            version: header.version,
+        });
+    }
+    if payload.len() != header.len as usize {
+        return Err(DecodeError::Truncated {
+            needed: HEADER_BYTES + header.len as usize,
+            have: HEADER_BYTES + payload.len(),
+        });
+    }
+    let found = eta2_wal::crc32(&[&header.len.to_le_bytes(), payload]);
+    if found != header.crc {
+        return Err(DecodeError::BadCrc {
+            expected: header.crc,
+            found,
+        });
+    }
+    let mut r = Reader::new(payload);
+    let message = decode_body(&mut r)?;
+    if r.remaining() > 0 {
+        return Err(DecodeError::TrailingBytes {
+            extra: r.remaining(),
+        });
+    }
+    Ok(message)
+}
+
+/// Decodes one complete frame from the front of `bytes`, returning the
+/// correlation id, the message, and the number of bytes consumed (so a
+/// buffer holding several frames can be walked).
+pub fn decode_message(bytes: &[u8]) -> Result<(u64, Message, usize), DecodeError> {
+    let header = decode_header(bytes)?;
+    let total = HEADER_BYTES + header.len as usize;
+    if bytes.len() < total {
+        return Err(DecodeError::Truncated {
+            needed: total,
+            have: bytes.len(),
+        });
+    }
+    let message = decode_payload(&header, &bytes[HEADER_BYTES..total])?;
+    Ok((header.req_id, message, total))
+}
+
+/// Bounds-checked little-endian payload reader. Every read is validated
+/// against the remaining bytes, and counts are validated against the
+/// bytes they imply before any vector is sized — an adversarial length
+/// can never cause an allocation larger than the payload itself.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::Truncated {
+                needed: self.pos + n,
+                have: self.bytes.len(),
+            });
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn bool(&mut self) -> Result<bool, DecodeError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(DecodeError::Malformed {
+                what: "boolean byte is neither 0 nor 1",
+            }),
+        }
+    }
+
+    /// Reads a count prefix and proves the remaining payload can hold
+    /// `count` elements of at least `min_elem_bytes` each, so the caller
+    /// may size a vector by it.
+    fn count(&mut self, min_elem_bytes: usize) -> Result<usize, DecodeError> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(min_elem_bytes) > self.remaining() {
+            return Err(DecodeError::Truncated {
+                needed: self.pos + n.saturating_mul(min_elem_bytes),
+                have: self.bytes.len(),
+            });
+        }
+        Ok(n)
+    }
+
+    fn str(&mut self) -> Result<String, DecodeError> {
+        let n = self.count(1)?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::Malformed {
+            what: "string is not valid UTF-8",
+        })
+    }
+}
+
+fn decode_body(r: &mut Reader<'_>) -> Result<Message, DecodeError> {
+    let tag = r.u8()?;
+    let message = match tag {
+        TAG_REGISTER => {
+            let n = r.count(20)?;
+            let mut specs = Vec::with_capacity(n);
+            for _ in 0..n {
+                let domain = DomainId(r.u32()?);
+                let processing_time = r.f64()?;
+                let cost = r.f64()?;
+                specs.push(TaskSpec::new(domain, processing_time, cost));
+            }
+            Message::Request(Request::Register { specs })
+        }
+        TAG_SUBMIT => {
+            let n = r.count(16)?;
+            let mut reports = Vec::with_capacity(n);
+            for _ in 0..n {
+                let user = UserId(r.u32()?);
+                let task = TaskId(r.u32()?);
+                let value = r.f64()?;
+                reports.push(Observation { user, task, value });
+            }
+            Message::Request(Request::Submit { reports })
+        }
+        TAG_ALLOCATE => {
+            let nt = r.count(4)?;
+            let mut tasks = Vec::with_capacity(nt);
+            for _ in 0..nt {
+                tasks.push(TaskId(r.u32()?));
+            }
+            let nu = r.count(12)?;
+            let mut users = Vec::with_capacity(nu);
+            for _ in 0..nu {
+                let id = UserId(r.u32()?);
+                let capacity = r.f64()?;
+                if !(capacity.is_finite() && capacity >= 0.0) {
+                    return Err(DecodeError::Malformed {
+                        what: "user capacity must be finite and >= 0",
+                    });
+                }
+                users.push(UserProfile { id, capacity });
+            }
+            Message::Request(Request::Allocate { tasks, users })
+        }
+        TAG_TRUTH => Message::Request(Request::Truth {
+            task: TaskId(r.u32()?),
+        }),
+        TAG_EXPERTISE => {
+            let user = UserId(r.u32()?);
+            let domain = DomainId(r.u32()?);
+            Message::Request(Request::Expertise { user, domain })
+        }
+        TAG_METRICS => Message::Request(Request::Metrics),
+        TAG_REGISTERED => {
+            let n = r.count(4)?;
+            let mut ids = Vec::with_capacity(n);
+            for _ in 0..n {
+                ids.push(TaskId(r.u32()?));
+            }
+            Message::Response(Response::Registered { ids })
+        }
+        TAG_SUBMITTED => Message::Response(Response::Submitted {
+            accepted: r.u64()?,
+            quarantined: r.u64()?,
+            unknown_task: r.u64()?,
+            flushes: r.u64()?,
+        }),
+        TAG_ALLOCATED => {
+            let n = r.count(8)?;
+            let mut assignments = Vec::with_capacity(n);
+            for _ in 0..n {
+                let task = TaskId(r.u32()?);
+                let nu = r.count(4)?;
+                let mut users = Vec::with_capacity(nu);
+                for _ in 0..nu {
+                    users.push(UserId(r.u32()?));
+                }
+                assignments.push((task, users));
+            }
+            Message::Response(Response::Allocated { assignments })
+        }
+        TAG_TRUTH_IS => {
+            let estimate = if r.bool()? {
+                Some(TruthEstimate {
+                    mu: r.f64()?,
+                    sigma: r.f64()?,
+                    fallback: r.bool()?,
+                })
+            } else {
+                None
+            };
+            Message::Response(Response::Truth { estimate })
+        }
+        TAG_EXPERTISE_IS => Message::Response(Response::Expertise { value: r.f64()? }),
+        TAG_METRICS_ARE => Message::Response(Response::Metrics { json: r.str()? }),
+        TAG_ERROR => {
+            let code = r.u16()?;
+            let message = r.str()?;
+            Message::Response(Response::Error { code, message })
+        }
+        TAG_OVERLOADED => Message::Response(Response::Overloaded {
+            retry_after_ms: r.u64()?,
+        }),
+        tag => return Err(DecodeError::UnknownTag { tag }),
+    };
+    Ok(message)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_smoke() {
+        let msgs = [
+            Message::Request(Request::Metrics),
+            Message::Request(Request::Truth { task: TaskId(7) }),
+            Message::Response(Response::Overloaded { retry_after_ms: 50 }),
+            Message::Response(Response::Truth {
+                estimate: Some(TruthEstimate {
+                    mu: 1.5,
+                    sigma: 0.25,
+                    fallback: true,
+                }),
+            }),
+        ];
+        for (i, m) in msgs.iter().enumerate() {
+            let frame = encode_message(i as u64, m);
+            let (id, back, used) = decode_message(&frame).expect("round trip");
+            assert_eq!(id, i as u64);
+            assert_eq!(&back, m);
+            assert_eq!(used, frame.len());
+        }
+    }
+
+    #[test]
+    fn header_is_readable_for_unknown_versions() {
+        let mut frame = encode_request(9, &Request::Metrics);
+        frame[4..8].copy_from_slice(&99u32.to_le_bytes());
+        let header = decode_header(&frame).expect("header layout is frozen");
+        assert_eq!(header.version, 99);
+        assert_eq!(header.req_id, 9);
+        let err = decode_payload(&header, &frame[HEADER_BYTES..]).unwrap_err();
+        assert_eq!(err, DecodeError::UnsupportedVersion { version: 99 });
+    }
+}

@@ -1,0 +1,379 @@
+//! The backpressure-aware TCP front door.
+//!
+//! [`NetServer`] accepts connections on a `std::net` listener and speaks
+//! two dialects on the same port, distinguished by the first bytes of
+//! the stream: frames opening with the protocol [`MAGIC`](crate::proto::MAGIC)
+//! run the binary loop (many requests per connection — the load
+//! generator multiplexes thousands of simulated clients over one
+//! socket), anything else is handed to the HTTP/1.1 fallback for
+//! curl-debuggability (one request per connection).
+//!
+//! Admission control is explicit at two boundaries:
+//!
+//! * **Connections** — at most `max_connections` handler threads; a
+//!   connection past the cap receives one `Overloaded` frame and is
+//!   closed (counted in `net.shed`).
+//! * **Ingest** — submits are shed by [`EngineService`] once the
+//!   engine's pending queue reaches the configured capacity, so
+//!   `serve.queue_depth` stays bounded under any offered load.
+//!
+//! With tracing active every decoded request opens a root
+//! `trace_net_request` span at the socket read; submits thread it into
+//! the engine so the batch's `trace_ingest` span (and transitively the
+//! flush and publish spans) become its children.
+
+use crate::proto::{
+    decode_header, decode_payload, encode_response, DecodeError, Message, Request, Response,
+    ERR_BAD_REQUEST, ERR_MALFORMED, ERR_UNSUPPORTED_VERSION, HEADER_BYTES, MAGIC, PROTOCOL_VERSION,
+};
+use crate::service::EngineService;
+use eta2_obs::trace::NO_PARENT;
+use eta2_obs::TraceContext;
+use eta2_serve::ServeEngine;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Front-door configuration.
+///
+/// `#[non_exhaustive]`: construct via [`NetConfig::default`] and mutate
+/// the fields you need.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub struct NetConfig {
+    /// Concurrent connection cap; excess connections are shed with one
+    /// `Overloaded` frame.
+    pub max_connections: usize,
+    /// Pending-report admission bound for submits (`0` = never shed).
+    /// Bounds the engine's `serve.queue_depth` gauge.
+    pub queue_capacity: usize,
+    /// Backoff hint (milliseconds) carried by `Overloaded` responses.
+    pub retry_after_ms: u64,
+    /// Background flush cadence: a ticker thread calls
+    /// [`ServeEngine::tick`] every this many milliseconds so sub-batch
+    /// residue drains without client traffic. `0` disables the ticker
+    /// (flushes then happen only at `batch_capacity` boundaries).
+    pub tick_ms: u64,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            max_connections: 1024,
+            queue_capacity: 1 << 16,
+            retry_after_ms: 50,
+            tick_ms: 25,
+        }
+    }
+}
+
+struct Shared {
+    service: EngineService,
+    stop: AtomicBool,
+    conns: AtomicUsize,
+    max_connections: usize,
+    retry_after_ms: u64,
+}
+
+/// A running front door. Dropping (or [`NetServer::shutdown`]) stops the
+/// accept loop and the ticker; connection handlers exit as their sockets
+/// drain or hit the stop flag at the next read timeout.
+pub struct NetServer {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    ticker: Option<JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"`) and starts serving `engine`.
+    ///
+    /// Serving arms the global metric registry: a front door that
+    /// exposes `/metrics` and answers [`Request::Metrics`] must be
+    /// recording `net.accepted` / `net.shed` / `net.bytes` and the
+    /// engine's serve-side gauges, whatever the host process left the
+    /// toggle at.
+    ///
+    /// [`Request::Metrics`]: crate::proto::Request::Metrics
+    pub fn serve(engine: Arc<ServeEngine>, addr: &str, cfg: NetConfig) -> io::Result<NetServer> {
+        eta2_obs::set_metrics(true);
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            service: EngineService::new(engine.clone(), cfg.queue_capacity, cfg.retry_after_ms),
+            stop: AtomicBool::new(false),
+            conns: AtomicUsize::new(0),
+            max_connections: cfg.max_connections,
+            retry_after_ms: cfg.retry_after_ms,
+        });
+        let accept = {
+            let shared = shared.clone();
+            std::thread::spawn(move || accept_loop(listener, shared))
+        };
+        let ticker = (cfg.tick_ms > 0).then(|| {
+            let shared = shared.clone();
+            let period = Duration::from_millis(cfg.tick_ms);
+            std::thread::spawn(move || {
+                while !shared.stop.load(Ordering::Acquire) {
+                    std::thread::sleep(period);
+                    shared.service.engine().tick();
+                }
+            })
+        });
+        Ok(NetServer {
+            shared,
+            addr: local,
+            accept: Some(accept),
+            ticker,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the kernel-assigned port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, joins the accept and ticker threads. Connection
+    /// handlers exit on their own as sockets drain or time out.
+    pub fn shutdown(mut self) {
+        self.stop_threads();
+    }
+
+    fn stop_threads(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.ticker.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.stop_threads();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(pair) => pair,
+            Err(_) => continue,
+        };
+        if shared.stop.load(Ordering::Acquire) {
+            return;
+        }
+        if shared.conns.load(Ordering::Acquire) >= shared.max_connections {
+            // Shed the connection itself: one typed Overloaded frame,
+            // then close. The client knows to back off instead of
+            // hanging on an accept queue.
+            eta2_obs::counter("net.shed", 1);
+            let mut stream = stream;
+            let frame = encode_response(
+                0,
+                &Response::Overloaded {
+                    retry_after_ms: shared.retry_after_ms,
+                },
+            );
+            let _ = stream.write_all(&frame);
+            continue;
+        }
+        shared.conns.fetch_add(1, Ordering::AcqRel);
+        let shared = shared.clone();
+        std::thread::spawn(move || {
+            let _ = handle_conn(&shared, stream);
+            shared.conns.fetch_sub(1, Ordering::AcqRel);
+        });
+    }
+}
+
+/// Reads exactly `buf.len()` bytes, retrying on read timeouts until the
+/// stop flag is set. Returns `Ok(false)` on a clean EOF *before the
+/// first byte* (client closed between frames); a tear mid-buffer is an
+/// `UnexpectedEof` error.
+fn read_full(shared: &Shared, stream: &mut TcpStream, buf: &mut [u8]) -> io::Result<bool> {
+    let mut at = 0usize;
+    while at < buf.len() {
+        match stream.read(&mut buf[at..]) {
+            Ok(0) => {
+                if at == 0 {
+                    return Ok(false);
+                }
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream closed mid-frame",
+                ));
+            }
+            Ok(n) => at += n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shared.stop.load(Ordering::Acquire) {
+                    return Err(io::Error::new(
+                        io::ErrorKind::Interrupted,
+                        "server stopping",
+                    ));
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+fn handle_conn(shared: &Shared, mut stream: TcpStream) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(250)))?;
+    stream.set_nodelay(true)?;
+    // Sniff the dialect: binary frames open with the protocol magic,
+    // anything else (GET, POST, …) is HTTP.
+    let mut first = [0u8; 4];
+    let mut seen = 0usize;
+    while seen < 4 {
+        match stream.peek(&mut first) {
+            Ok(0) => return Ok(()),
+            Ok(n) => {
+                seen = n;
+                if n >= 4 {
+                    break;
+                }
+                // A short peek can only stay short if the client paused
+                // mid-preamble; back off briefly instead of spinning.
+                if shared.stop.load(Ordering::Acquire) {
+                    return Ok(());
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shared.stop.load(Ordering::Acquire) {
+                    return Ok(());
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    if first == MAGIC {
+        serve_binary(shared, &mut stream)
+    } else {
+        crate::http::serve_http(&shared.service, &mut stream)
+    }
+}
+
+fn serve_binary(shared: &Shared, stream: &mut TcpStream) -> io::Result<()> {
+    let mut header = [0u8; HEADER_BYTES];
+    loop {
+        if !read_full(shared, stream, &mut header)? {
+            return Ok(()); // clean close between frames
+        }
+        let parsed = decode_header(&header);
+        let parsed = match parsed {
+            Ok(h) => h,
+            Err(e) => {
+                // Bad magic or an oversized claim: framing can no longer
+                // be trusted, so answer once and drop the connection.
+                let resp = Response::Error {
+                    code: ERR_MALFORMED,
+                    message: e.to_string(),
+                };
+                let frame = encode_response(0, &resp);
+                let _ = stream.write_all(&frame);
+                eta2_obs::counter("net.bytes", (HEADER_BYTES + frame.len()) as u64);
+                return Ok(());
+            }
+        };
+        let mut payload = vec![0u8; parsed.len as usize];
+        if !read_full(shared, stream, &mut payload)? {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "stream closed before payload",
+            ));
+        }
+        let frame_bytes = (HEADER_BYTES + payload.len()) as u64;
+        // Version negotiation: the frozen header let us frame-skip the
+        // payload; reject with the version we do speak and keep going so
+        // the client can downgrade on the same connection.
+        if parsed.version != PROTOCOL_VERSION {
+            let resp = Response::Error {
+                code: ERR_UNSUPPORTED_VERSION,
+                message: format!(
+                    "protocol version {} not supported; this server speaks {}",
+                    parsed.version, PROTOCOL_VERSION
+                ),
+            };
+            write_response(stream, parsed.req_id, &resp, frame_bytes)?;
+            continue;
+        }
+        let request = match decode_payload(&parsed, &payload) {
+            Ok(Message::Request(request)) => request,
+            Ok(Message::Response(_)) => {
+                let resp = Response::Error {
+                    code: ERR_BAD_REQUEST,
+                    message: "expected a request frame, got a response".to_string(),
+                };
+                write_response(stream, parsed.req_id, &resp, frame_bytes)?;
+                continue;
+            }
+            Err(e @ DecodeError::BadCrc { .. })
+            | Err(e @ DecodeError::UnknownTag { .. })
+            | Err(e @ DecodeError::TrailingBytes { .. })
+            | Err(e @ DecodeError::Truncated { .. })
+            | Err(e @ DecodeError::Malformed { .. }) => {
+                // The frame boundary itself was intact, so the
+                // connection survives a malformed payload.
+                let resp = Response::Error {
+                    code: ERR_MALFORMED,
+                    message: e.to_string(),
+                };
+                write_response(stream, parsed.req_id, &resp, frame_bytes)?;
+                continue;
+            }
+            Err(e) => {
+                let resp = Response::Error {
+                    code: ERR_MALFORMED,
+                    message: e.to_string(),
+                };
+                write_response(stream, parsed.req_id, &resp, frame_bytes)?;
+                return Ok(());
+            }
+        };
+        // Root span of this request's causal trace, opened at the socket
+        // read so everything the request causes (ingest, flush, publish)
+        // nests under it.
+        let ctx = eta2_obs::tracing_active().then(TraceContext::root);
+        if let Some(ctx) = ctx {
+            eta2_obs::emit(&eta2_obs::Event::TraceNetRequest {
+                trace: ctx.trace,
+                span: ctx.span,
+                parent: NO_PARENT,
+                op: request.op_name(),
+                bytes: frame_bytes,
+            });
+        }
+        let response = shared.service.call_traced(&request, ctx);
+        if !matches!(response, Response::Overloaded { .. }) {
+            eta2_obs::counter("net.accepted", 1);
+        }
+        write_response(stream, parsed.req_id, &response, frame_bytes)?;
+    }
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    req_id: u64,
+    response: &Response,
+    request_bytes: u64,
+) -> io::Result<()> {
+    let frame = encode_response(req_id, response);
+    stream.write_all(&frame)?;
+    eta2_obs::counter("net.bytes", request_bytes + frame.len() as u64);
+    Ok(())
+}

@@ -1,0 +1,145 @@
+//! [`EngineService`] — the canonical [`Request`] → [`Response`] dispatch
+//! over a [`ServeEngine`], shared by the binary TCP loop, the HTTP
+//! fallback, and in-process callers. Admission control lives here: a
+//! submit that would push the engine's pending-report queue past the
+//! configured capacity is shed with [`Response::Overloaded`] instead of
+//! queueing unboundedly, so `serve.queue_depth` stays bounded no matter
+//! how hard the network pushes.
+
+use crate::proto::{Request, Response, ERR_BAD_REQUEST, ERR_REGISTER};
+use eta2_core::model::ObservationSet;
+use eta2_obs::TraceContext;
+use eta2_serve::ServeEngine;
+use std::sync::Arc;
+
+/// Stateless request dispatcher over a shared serving engine.
+#[derive(Clone)]
+pub struct EngineService {
+    engine: Arc<ServeEngine>,
+    /// Pending-report admission bound; `0` disables shedding.
+    queue_capacity: usize,
+    /// Backoff hint carried by [`Response::Overloaded`].
+    retry_after_ms: u64,
+}
+
+impl EngineService {
+    /// Creates a service over `engine` shedding submits once the engine's
+    /// pending queue holds `queue_capacity` reports (`0` = never shed).
+    pub fn new(engine: Arc<ServeEngine>, queue_capacity: usize, retry_after_ms: u64) -> Self {
+        EngineService {
+            engine,
+            queue_capacity,
+            retry_after_ms,
+        }
+    }
+
+    /// The engine this service fronts.
+    pub fn engine(&self) -> &Arc<ServeEngine> {
+        &self.engine
+    }
+
+    /// Dispatches one request. Equivalent to
+    /// [`call_traced`](Self::call_traced) with no parent span.
+    pub fn call(&self, request: &Request) -> Response {
+        self.call_traced(request, None)
+    }
+
+    /// Dispatches one request, threading `ctx` (the per-request network
+    /// span) into the engine so a submit's `trace_ingest` span opens as
+    /// its child — the causal path then reads socket → ingest → flush →
+    /// publish in one trace.
+    pub fn call_traced(&self, request: &Request, ctx: Option<TraceContext>) -> Response {
+        match request {
+            Request::Register { specs } => match self.engine.register_tasks(specs) {
+                Ok(ids) => Response::Registered { ids },
+                Err(e) => Response::Error {
+                    code: ERR_REGISTER,
+                    message: e.to_string(),
+                },
+            },
+            Request::Submit { reports } => {
+                if self.queue_capacity > 0
+                    && self.engine.queue_depth() + reports.len() > self.queue_capacity
+                {
+                    eta2_obs::counter("net.shed", 1);
+                    return Response::Overloaded {
+                        retry_after_ms: self.retry_after_ms,
+                    };
+                }
+                let batch: ObservationSet = reports.iter().copied().collect();
+                let receipt = self.engine.submit_traced(&batch, ctx);
+                Response::Submitted {
+                    accepted: receipt.accepted as u64,
+                    quarantined: receipt.quarantined as u64,
+                    unknown_task: receipt.unknown_task as u64,
+                    flushes: receipt.flushes.len() as u64,
+                }
+            }
+            Request::Allocate { tasks, users } => {
+                let snap = self.engine.snapshot();
+                if let Some(bad) = users.iter().find(|u| u.id.0 as usize >= snap.n_users()) {
+                    return Response::Error {
+                        code: ERR_BAD_REQUEST,
+                        message: format!(
+                            "{} out of range: engine serves {} users",
+                            bad.id,
+                            snap.n_users()
+                        ),
+                    };
+                }
+                let alloc = snap.allocate_max_quality(tasks, users);
+                Response::Allocated {
+                    assignments: alloc
+                        .iter()
+                        .map(|(task, assigned)| (task, assigned.to_vec()))
+                        .collect(),
+                }
+            }
+            Request::Truth { task } => Response::Truth {
+                estimate: self.engine.snapshot().truth(*task),
+            },
+            Request::Expertise { user, domain } => {
+                let snap = self.engine.snapshot();
+                if user.0 as usize >= snap.n_users() {
+                    return Response::Error {
+                        code: ERR_BAD_REQUEST,
+                        message: format!(
+                            "{} out of range: engine serves {} users",
+                            user,
+                            snap.n_users()
+                        ),
+                    };
+                }
+                Response::Expertise {
+                    value: snap.expertise(*user, *domain),
+                }
+            }
+            Request::Metrics => Response::Metrics {
+                json: eta2_obs::expose_json(),
+            },
+            // `Request` is #[non_exhaustive]: a future operation this
+            // build predates is rejected, not dropped.
+            #[allow(unreachable_patterns)]
+            _ => Response::Error {
+                code: ERR_BAD_REQUEST,
+                message: "operation not supported by this build".to_string(),
+            },
+        }
+    }
+}
+
+impl Request {
+    /// The operation's wire name, as used in trace events and HTTP paths.
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            Request::Register { .. } => "register",
+            Request::Submit { .. } => "submit",
+            Request::Allocate { .. } => "allocate",
+            Request::Truth { .. } => "truth",
+            Request::Expertise { .. } => "expertise",
+            Request::Metrics => "metrics",
+            #[allow(unreachable_patterns)]
+            _ => "unknown",
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! Codec properties: every frame type round-trips bit-exactly through
+//! encode/decode, and every malformed-frame class (torn, oversized,
+//! CRC-corrupted, wrong-version, unknown-tag, trailing-bytes) is rejected
+//! with a typed [`DecodeError`] — never a panic, never an allocation
+//! sized by attacker-controlled lengths.
+
+use eta2_core::model::{DomainId, Observation, TaskId, UserId, UserProfile};
+use eta2_core::truth::TruthEstimate;
+use eta2_net::{
+    decode_message, encode_message, DecodeError, Message, Request, Response, HEADER_BYTES,
+    MAX_FRAME_BYTES, PROTOCOL_VERSION,
+};
+use eta2_serve::TaskSpec;
+use proptest::prelude::*;
+
+fn arb_task_spec() -> impl Strategy<Value = TaskSpec> {
+    (0u32..64, 0.01f64..100.0, 0.01f64..100.0)
+        .prop_map(|(d, t, c)| TaskSpec::new(DomainId(d), t, c))
+}
+
+fn arb_observation() -> impl Strategy<Value = Observation> {
+    (0u32..512, 0u32..512, -1e6f64..1e6).prop_map(|(u, t, v)| Observation {
+        user: UserId(u),
+        task: TaskId(t),
+        value: v,
+    })
+}
+
+fn arb_profile() -> impl Strategy<Value = UserProfile> {
+    (0u32..512, 0.0f64..100.0).prop_map(|(u, c)| UserProfile {
+        id: UserId(u),
+        capacity: c,
+    })
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        prop::collection::vec(arb_task_spec(), 0..8).prop_map(|specs| Request::Register { specs }),
+        prop::collection::vec(arb_observation(), 0..16)
+            .prop_map(|reports| Request::Submit { reports }),
+        (
+            prop::collection::vec((0u32..512).prop_map(TaskId), 0..8),
+            prop::collection::vec(arb_profile(), 0..8),
+        )
+            .prop_map(|(tasks, users)| Request::Allocate { tasks, users }),
+        (0u32..512).prop_map(|t| Request::Truth { task: TaskId(t) }),
+        (0u32..512, 0u32..64).prop_map(|(u, d)| Request::Expertise {
+            user: UserId(u),
+            domain: DomainId(d),
+        }),
+        Just(Request::Metrics),
+    ]
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        prop::collection::vec((0u32..512).prop_map(TaskId), 0..8)
+            .prop_map(|ids| Response::Registered { ids }),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(a, q, u, f)| {
+            Response::Submitted {
+                accepted: a,
+                quarantined: q,
+                unknown_task: u,
+                flushes: f,
+            }
+        }),
+        prop::collection::vec(
+            (
+                (0u32..512).prop_map(TaskId),
+                prop::collection::vec((0u32..512).prop_map(UserId), 0..5),
+            ),
+            0..6,
+        )
+        .prop_map(|assignments| Response::Allocated { assignments }),
+        prop_oneof![
+            Just(None),
+            (-1e6f64..1e6, 0.0f64..100.0, any::<bool>()).prop_map(|(mu, sigma, fallback)| Some(
+                TruthEstimate {
+                    mu,
+                    sigma,
+                    fallback
+                }
+            )),
+        ]
+        .prop_map(|estimate| Response::Truth { estimate }),
+        (0.0f64..1.0).prop_map(|value| Response::Expertise { value }),
+        "[ -~]{0,64}".prop_map(|json| Response::Metrics { json }),
+        (any::<u16>(), "[ -~]{0,48}").prop_map(|(code, message)| Response::Error { code, message }),
+        any::<u64>().prop_map(|retry_after_ms| Response::Overloaded { retry_after_ms }),
+    ]
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        arb_request().prop_map(Message::Request),
+        arb_response().prop_map(Message::Response),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn every_frame_type_round_trips(req_id in any::<u64>(), message in arb_message()) {
+        let frame = encode_message(req_id, &message);
+        let (rid, decoded, consumed) = decode_message(&frame).expect("valid frame decodes");
+        prop_assert_eq!(rid, req_id);
+        prop_assert_eq!(consumed, frame.len());
+        prop_assert_eq!(decoded, message);
+    }
+
+    #[test]
+    fn trailing_stream_bytes_do_not_disturb_the_frame(
+        message in arb_message(),
+        garbage in prop::collection::vec(any::<u8>(), 1..64),
+    ) {
+        // A pipelined stream holds the next frame's bytes right behind
+        // this one; decode must stop exactly at the frame boundary.
+        let frame = encode_message(9, &message);
+        let boundary = frame.len();
+        let mut stream = frame;
+        stream.extend_from_slice(&garbage);
+        let (_, decoded, consumed) = decode_message(&stream).expect("framed prefix decodes");
+        prop_assert_eq!(consumed, boundary);
+        prop_assert_eq!(decoded, message);
+    }
+
+    #[test]
+    fn torn_frames_report_truncated(
+        message in arb_message(),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let frame = encode_message(3, &message);
+        let cut = (((frame.len() - 1) as f64) * cut_frac) as usize;
+        match decode_message(&frame[..cut]) {
+            Err(DecodeError::Truncated { needed, have }) => {
+                prop_assert_eq!(have, cut);
+                prop_assert!(needed > have, "needed {} <= have {}", needed, have);
+            }
+            other => prop_assert!(false, "torn frame at {cut} bytes decoded: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_bit_flips_never_panic(
+        message in arb_message(),
+        byte_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        // Any one-bit corruption either still decodes (a flip inside the
+        // req_id, say) or maps to a typed error; headers and payloads are
+        // both covered because the flip position spans the whole frame.
+        let mut frame = encode_message(17, &message);
+        let at = (((frame.len() - 1) as f64) * byte_frac) as usize;
+        frame[at] ^= 1 << bit;
+        let _ = decode_message(&frame);
+    }
+
+    #[test]
+    fn payload_corruption_is_caught_by_the_crc(
+        message in arb_message(),
+        delta in 1u8..=255,
+        pos_frac in 0.0f64..1.0,
+    ) {
+        let frame = encode_message(5, &message);
+        if frame.len() == HEADER_BYTES {
+            return Ok(()); // no payload bytes to corrupt
+        }
+        let mut corrupt = frame;
+        let span = corrupt.len() - HEADER_BYTES;
+        let at = HEADER_BYTES + ((((span - 1) as f64) * pos_frac) as usize);
+        corrupt[at] ^= delta;
+        match decode_message(&corrupt) {
+            Err(DecodeError::BadCrc { expected, found }) => {
+                prop_assert_ne!(expected, found);
+            }
+            other => prop_assert!(false, "corrupted payload not caught: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_versions_are_rejected_but_header_stays_readable(
+        message in arb_message(),
+        version in (0u32..u32::MAX).prop_filter("must differ", |v| *v != PROTOCOL_VERSION),
+    ) {
+        let mut frame = encode_message(11, &message);
+        frame[4..8].copy_from_slice(&version.to_le_bytes());
+        // The header (and so the frame boundary) must stay parseable for
+        // any version, or a server could never skip a newer client's
+        // frame and answer with a typed error.
+        let header = eta2_net::decode_header(&frame).expect("header readable at any version");
+        prop_assert_eq!(header.version, version);
+        prop_assert_eq!(header.len as usize, frame.len() - HEADER_BYTES);
+        match decode_message(&frame) {
+            Err(DecodeError::UnsupportedVersion { version: v }) => prop_assert_eq!(v, version),
+            other => prop_assert!(false, "wrong version accepted: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn oversized_length_prefix_is_rejected_before_allocation() {
+    for claim in [MAX_FRAME_BYTES + 1, u32::MAX / 2, u32::MAX - 7, u32::MAX] {
+        let mut frame = encode_message(7, &Message::Request(Request::Metrics));
+        frame[16..20].copy_from_slice(&claim.to_le_bytes());
+        match decode_message(&frame) {
+            Err(DecodeError::Oversized { len }) => assert_eq!(len, claim),
+            other => panic!("length prefix {claim} accepted: {other:?}"),
+        }
+    }
+}
+
+/// Builds a raw frame around an arbitrary payload, with a valid CRC, so
+/// tests can exercise payload-level rejections in isolation.
+fn raw_frame(req_id: u64, payload: &[u8]) -> Vec<u8> {
+    let len = payload.len() as u32;
+    let crc = eta2_wal::crc32(&[&len.to_le_bytes(), payload]);
+    let mut frame = Vec::with_capacity(HEADER_BYTES + payload.len());
+    frame.extend_from_slice(b"ETA2");
+    frame.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+    frame.extend_from_slice(&req_id.to_le_bytes());
+    frame.extend_from_slice(&len.to_le_bytes());
+    frame.extend_from_slice(&crc.to_le_bytes());
+    frame.extend_from_slice(payload);
+    frame
+}
+
+#[test]
+fn interior_count_cannot_force_oversized_allocation() {
+    // A Submit frame whose element count claims ~4 billion observations
+    // in a 13-byte payload: the decoder must reject on the
+    // count/remaining mismatch instead of reserving count * 16 bytes.
+    let mut payload = vec![0x02u8]; // TAG_SUBMIT
+    payload.extend_from_slice(&u32::MAX.to_le_bytes()); // count
+    payload.extend_from_slice(&[0u8; 8]); // far too few bytes
+    let frame = raw_frame(1, &payload);
+    match decode_message(&frame) {
+        Err(DecodeError::Truncated { needed, have }) => {
+            assert!(needed > have, "count guard must flag the shortfall");
+        }
+        other => panic!("hostile element count accepted: {other:?}"),
+    }
+}
+
+#[test]
+fn bad_magic_is_typed() {
+    let mut frame = encode_message(1, &Message::Request(Request::Metrics));
+    frame[0..4].copy_from_slice(b"HTTP");
+    match decode_message(&frame) {
+        Err(DecodeError::BadMagic { found }) => assert_eq!(&found, b"HTTP"),
+        other => panic!("bad magic accepted: {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_tag_is_typed() {
+    let frame = raw_frame(2, &[0x7Fu8]); // tag no build knows
+    match decode_message(&frame) {
+        Err(DecodeError::UnknownTag { tag }) => assert_eq!(tag, 0x7F),
+        other => panic!("unknown tag accepted: {other:?}"),
+    }
+}
+
+#[test]
+fn intra_payload_trailing_bytes_are_typed() {
+    // Extra bytes *inside* the CRC-covered payload (after a complete
+    // message body) are a framing bug, not pipelining; they must be
+    // flagged even though the CRC matches.
+    let mut payload = vec![0x06u8]; // TAG_METRICS, a complete body
+    payload.extend_from_slice(&[0xAA, 0xBB, 0xCC]);
+    let frame = raw_frame(3, &payload);
+    match decode_message(&frame) {
+        Err(DecodeError::TrailingBytes { extra }) => assert_eq!(extra, 3),
+        other => panic!("intra-payload trailing bytes accepted: {other:?}"),
+    }
+}
+
+#[test]
+fn seeded_fuzz_sweep_survives() {
+    // The same sweep `eta2-cli check --net-fuzz` runs, kept in the test
+    // suite so CI exercises every mutation class on every build.
+    let report = eta2_net::fuzz::fuzz_decoder(0xE7A2, 25_000);
+    assert_eq!(report.iterations, 25_000);
+    assert_eq!(report.decoded_ok + report.rejected, report.iterations);
+    assert!(
+        report.rejected > report.iterations / 2,
+        "most mutants should be rejected: {report:?}"
+    );
+}

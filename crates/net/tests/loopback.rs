@@ -1,0 +1,190 @@
+//! End-to-end loopback tests: a real `NetServer` on an ephemeral port
+//! driven through `NetClient`, raw sockets (version negotiation) and the
+//! HTTP/1.1 fallback.
+
+use eta2_core::model::{DomainId, Observation, TaskId, UserId};
+use eta2_net::{
+    decode_message, encode_message, Message, NetClient, NetConfig, NetServer, Request, Response,
+    ERR_BAD_REQUEST, ERR_UNSUPPORTED_VERSION, HEADER_BYTES,
+};
+use eta2_serve::{ServeConfig, ServeEngine, TaskSpec};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+fn boot(queue_capacity: usize, tick_ms: u64) -> NetServer {
+    let mut cfg = ServeConfig::default();
+    cfg.n_users = 8;
+    cfg.n_shards = 1;
+    cfg.batch_capacity = 1; // flush inline on every submit
+    cfg.threads = 1;
+    let engine = Arc::new(ServeEngine::new(cfg));
+    let mut net = NetConfig::default();
+    net.queue_capacity = queue_capacity;
+    net.tick_ms = tick_ms;
+    NetServer::serve(engine, "127.0.0.1:0", net).expect("bind loopback")
+}
+
+fn read_one_frame(stream: &mut TcpStream) -> (u64, Message) {
+    let mut header = [0u8; HEADER_BYTES];
+    stream.read_exact(&mut header).expect("frame header");
+    let parsed = eta2_net::decode_header(&header).expect("header parses");
+    let mut payload = vec![0u8; parsed.len as usize];
+    stream.read_exact(&mut payload).expect("frame payload");
+    let mut frame = header.to_vec();
+    frame.extend_from_slice(&payload);
+    let (rid, message, consumed) = decode_message(&frame).expect("frame decodes");
+    assert_eq!(consumed, frame.len());
+    (rid, message)
+}
+
+#[test]
+fn register_submit_read_over_the_wire() {
+    let server = boot(1 << 16, 0);
+    let mut client = NetClient::connect(server.local_addr()).expect("connect");
+
+    let specs: Vec<TaskSpec> = (0..4)
+        .map(|i| TaskSpec::new(DomainId(i % 2), 1.0, 1.0))
+        .collect();
+    let ids = match client.register(specs).expect("register") {
+        Response::Registered { ids } => ids,
+        other => panic!("register answered {other:?}"),
+    };
+    assert_eq!(ids.len(), 4);
+
+    let reports: Vec<Observation> = (0..8)
+        .map(|i| Observation {
+            user: UserId(i % 8),
+            task: ids[(i % 4) as usize],
+            value: 20.0 + i as f64,
+        })
+        .collect();
+    match client.submit(reports).expect("submit") {
+        Response::Submitted {
+            accepted, flushes, ..
+        } => {
+            assert_eq!(accepted, 8);
+            assert!(flushes > 0, "batch_capacity=1 must flush inline");
+        }
+        other => panic!("submit answered {other:?}"),
+    }
+
+    match client.truth(ids[0]).expect("truth") {
+        Response::Truth { estimate } => {
+            let est = estimate.expect("flushed task has a truth");
+            assert!(est.mu.is_finite());
+        }
+        other => panic!("truth answered {other:?}"),
+    }
+
+    // Reads of unknown tasks answer None, not an error.
+    match client.truth(TaskId(9999)).expect("truth miss") {
+        Response::Truth { estimate } => assert!(estimate.is_none()),
+        other => panic!("truth miss answered {other:?}"),
+    }
+
+    // Out-of-range expertise reads are a typed error, not a panic.
+    match client
+        .expertise(UserId(4242), DomainId(0))
+        .expect("expertise")
+    {
+        Response::Error { code, .. } => assert_eq!(code, ERR_BAD_REQUEST),
+        other => panic!("out-of-range expertise answered {other:?}"),
+    }
+
+    match client.metrics().expect("metrics") {
+        Response::Metrics { json } => assert!(json.contains("schema")),
+        other => panic!("metrics answered {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn overload_sheds_with_retry_after() {
+    // queue_capacity 4 and no ticker: a submit carrying more reports
+    // than the bound must shed at the admission boundary.
+    let server = boot(4, 0);
+    let mut client = NetClient::connect(server.local_addr()).expect("connect");
+    let ids = match client
+        .register(vec![TaskSpec::new(DomainId(0), 1.0, 1.0)])
+        .expect("register")
+    {
+        Response::Registered { ids } => ids,
+        other => panic!("register answered {other:?}"),
+    };
+    let big: Vec<Observation> = (0..8)
+        .map(|i| Observation {
+            user: UserId(i),
+            task: ids[0],
+            value: 1.0 + i as f64,
+        })
+        .collect();
+    match client.submit(big).expect("oversized submit") {
+        Response::Overloaded { retry_after_ms } => assert!(retry_after_ms > 0),
+        other => panic!("overload answered {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn wrong_version_gets_typed_error_and_connection_survives() {
+    let server = boot(1 << 16, 0);
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+
+    // A frame claiming protocol version 99: the server must skip it,
+    // answer a typed error, and keep the connection usable.
+    let mut frame = encode_message(7, &Message::Request(Request::Metrics));
+    frame[4..8].copy_from_slice(&99u32.to_le_bytes());
+    stream.write_all(&frame).expect("write bad-version frame");
+    let (rid, message) = read_one_frame(&mut stream);
+    assert_eq!(rid, 7);
+    match message {
+        Message::Response(Response::Error { code, .. }) => {
+            assert_eq!(code, ERR_UNSUPPORTED_VERSION);
+        }
+        other => panic!("bad version answered {other:?}"),
+    }
+
+    // Same socket, correct version: still served.
+    let good = encode_message(8, &Message::Request(Request::Metrics));
+    stream.write_all(&good).expect("write good frame");
+    let (rid, message) = read_one_frame(&mut stream);
+    assert_eq!(rid, 8);
+    assert!(matches!(
+        message,
+        Message::Response(Response::Metrics { .. })
+    ));
+    server.shutdown();
+}
+
+#[test]
+fn http_fallback_serves_health_and_metrics() {
+    let server = boot(1 << 16, 0);
+    let addr = server.local_addr();
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n")
+        .expect("write request");
+    let mut body = String::new();
+    stream.read_to_string(&mut body).expect("read response");
+    assert!(body.starts_with("HTTP/1.1 200"), "got: {body}");
+    assert!(body.contains("ok"), "got: {body}");
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n")
+        .expect("write request");
+    let mut body = String::new();
+    stream.read_to_string(&mut body).expect("read response");
+    assert!(body.starts_with("HTTP/1.1 200"), "got: {body}");
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(b"GET /nope HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n")
+        .expect("write request");
+    let mut body = String::new();
+    stream.read_to_string(&mut body).expect("read response");
+    assert!(body.starts_with("HTTP/1.1 404"), "got: {body}");
+    server.shutdown();
+}

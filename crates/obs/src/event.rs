@@ -295,6 +295,21 @@ pub enum Event {
         /// The epoch the recovered engine published.
         epoch: u64,
     },
+    /// One request crossed the network front door. A root span opened at
+    /// socket read; a submit's `trace_ingest` span opens as its child, so
+    /// a delivered batch traces socket → ingest → flush → publish.
+    TraceNetRequest {
+        /// Trace id.
+        trace: u64,
+        /// This span's id.
+        span: u64,
+        /// Root marker ([`crate::trace::NO_PARENT`]).
+        parent: u64,
+        /// Wire operation name (`"submit"`, `"truth"`, ...).
+        op: &'static str,
+        /// Request frame size in bytes (0 for the HTTP dialect).
+        bytes: u64,
+    },
 }
 
 impl Event {
@@ -323,6 +338,7 @@ impl Event {
             Event::TracePublish { .. } => "trace_publish",
             Event::TraceQuarantine { .. } => "trace_quarantine",
             Event::TraceRecover { .. } => "trace_recover",
+            Event::TraceNetRequest { .. } => "trace_net_request",
         }
     }
 
@@ -569,6 +585,19 @@ impl Event {
                     .u64("records", *records)
                     .u64("torn_bytes", *torn_bytes)
                     .u64("epoch", *epoch);
+            }
+            Event::TraceNetRequest {
+                trace,
+                span,
+                parent,
+                op,
+                bytes,
+            } => {
+                o.u64("trace", *trace)
+                    .u64("span", *span)
+                    .u64("parent", *parent)
+                    .str("op", op)
+                    .u64("bytes", *bytes);
             }
         }
         o.finish()
@@ -847,6 +876,16 @@ mod tests {
                     "torn_bytes",
                     "epoch",
                 ],
+            ),
+            (
+                Event::TraceNetRequest {
+                    trace: 9,
+                    span: 10,
+                    parent: 0,
+                    op: "submit",
+                    bytes: 96,
+                },
+                vec!["trace", "span", "parent", "op", "bytes"],
             ),
         ];
         for (ev, payload_keys) in cases {

@@ -303,6 +303,20 @@ impl ServeEngine {
     /// `parents` array) as the reports progress; dropped reports get a
     /// terminal `trace_quarantine` child instead.
     pub fn submit(&self, reports: &ObservationSet) -> SubmitReceipt {
+        self.submit_traced(reports, None)
+    }
+
+    /// [`submit`](Self::submit) with an explicit trace parent: when
+    /// `parent` is `Some` (and tracing is active) the batch's
+    /// `trace_ingest` span opens as its child rather than as a root, so
+    /// a front door that opened a span at socket read (see
+    /// `trace_net_request` in `eta2-obs`) extends one causal chain from
+    /// the wire through ingest, flush, and publish.
+    pub fn submit_traced(
+        &self,
+        reports: &ObservationSet,
+        parent: Option<TraceContext>,
+    ) -> SubmitReceipt {
         // Durable mode: append the redo record before any state changes
         // and hold the wal guard across the apply, so log order == apply
         // order. Only finite values are logged — non-finite reports are
@@ -331,8 +345,8 @@ impl ServeEngine {
         // before any shard can see (and flush) the reports, so every
         // child span's parent is already in the stream.
         let dropped = receipt.quarantined + receipt.unknown_task;
-        let ctx =
-            (eta2_obs::tracing_active() && receipt.accepted + dropped > 0).then(TraceContext::root);
+        let ctx = (eta2_obs::tracing_active() && receipt.accepted + dropped > 0)
+            .then(|| parent.map_or_else(TraceContext::root, |p| p.child()));
         if let Some(ctx) = ctx {
             eta2_obs::emit(&eta2_obs::Event::TraceIngest {
                 trace: ctx.trace,

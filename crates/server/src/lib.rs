@@ -65,22 +65,30 @@
 //! rejects checkpoints newer than [`SNAPSHOT_VERSION`] instead of
 //! misreading them.
 //!
-//! # Migrating from the constructor API
+//! # Construction and the wire-shaped request surface
 //!
-//! The 0.1 constructors are deprecated shims; each maps onto the builder
-//! one-for-one:
+//! [`ServerBuilder`] is the only construction path. The 0.1 constructors
+//! (`Eta2Server::with_known_domains`, `Eta2Server::discovering`), shipped
+//! as deprecated shims through the 0.2 builder transition, are removed:
+//! each mapped one-for-one onto
+//! `ServerBuilder::new(n).config(cfg)[.embedding(emb)].build()`, and
+//! restore still reads `Eta2Server::restore(snap)` (or
+//! `ServerBuilder::from_snapshot(snap)`).
 //!
-//! | 0.1 call | builder equivalent |
-//! |---|---|
-//! | `Eta2Server::with_known_domains(n, cfg)` | `ServerBuilder::new(n).config(cfg).build()` |
-//! | `Eta2Server::discovering(n, cfg, emb)` | `ServerBuilder::new(n).config(cfg).embedding(emb).build()` |
-//! | `Eta2Server::restore(snap)` | unchanged (or `ServerBuilder::from_snapshot(snap)`) |
-//!
-//! [`ServerConfig`], [`TaskInput`] and [`ServerError`] are now
+//! [`ServerConfig`], [`TaskInput`] and [`ServerError`] are
 //! `#[non_exhaustive]`: build the config by mutating
 //! `ServerConfig::default()`, build inputs through
 //! [`TaskInput::described`] / [`TaskInput::domained`], and give error
 //! matches a wildcard arm.
+//!
+//! Besides the typed methods, the server dispatches `eta2-net`'s
+//! wire-shaped [`eta2_net::Request`] / [`eta2_net::Response`] enums
+//! directly — [`Eta2Server::request`] for mutating operations,
+//! [`Eta2Server::query`] for reads — so an application that outgrows one
+//! process keeps its request shapes when it moves behind an
+//! `eta2_net::NetServer`. The typed read methods are thin adapters over
+//! the same dispatch ([`Eta2Server::truth`] literally matches on
+//! `self.query(&Request::Truth { task })`).
 //!
 //! Since this release [`Eta2Server`] is a thin single-threaded adapter over
 //! a one-shard `eta2-serve` engine. The synchronous semantics (ingest

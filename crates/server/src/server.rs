@@ -9,6 +9,7 @@ use eta2_core::truth::dynamic::BatchOutcome;
 use eta2_core::truth::mle::{MleConfig, TruthEstimate};
 use eta2_embed::pairword::pairword_distance;
 use eta2_embed::{Embedding, PairWordExtractor};
+use eta2_net::{Request, Response};
 use eta2_serve::{EngineCheckpoint, ServeConfig, ServeEngine, TaskSpec};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -351,28 +352,6 @@ impl Eta2Server {
         serve
     }
 
-    /// Creates a server that *discovers* expertise domains from task
-    /// descriptions with the given trained embedding (§3 pipeline).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `ServerBuilder::new(n_users).config(config).embedding(embedding).build()`"
-    )]
-    pub fn discovering(n_users: usize, config: ServerConfig, embedding: Embedding) -> Self {
-        ServerBuilder::new(n_users)
-            .config(config)
-            .embedding(embedding)
-            .build()
-    }
-
-    /// Creates a server whose tasks arrive with pre-known domains.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `ServerBuilder::new(n_users).config(config).build()`"
-    )]
-    pub fn with_known_domains(n_users: usize, config: ServerConfig) -> Self {
-        ServerBuilder::new(n_users).config(config).build()
-    }
-
     /// The server configuration.
     pub fn config(&self) -> &ServerConfig {
         &self.config
@@ -644,9 +623,130 @@ impl Eta2Server {
         Ok(outcome)
     }
 
+    /// Dispatches one wire-shaped [`Request`], including mutating
+    /// operations — the in-process twin of sending the same frame to an
+    /// `eta2-net` front door. Read-only operations delegate to
+    /// [`Eta2Server::query`].
+    ///
+    /// Semantics are this adapter's, not the engine's: a submit carrying
+    /// any non-finite value is rejected atomically (the sharded engine
+    /// would quarantine just the offending reports), and registration on
+    /// a discovery-mode server is rejected because [`Request::Register`]
+    /// carries pre-domained specs.
+    pub fn request(&mut self, request: Request) -> Response {
+        match request {
+            Request::Register { specs } => {
+                let inputs = specs
+                    .iter()
+                    .map(|s| TaskInput::domained(s.domain, s.processing_time, s.cost))
+                    .collect();
+                match self.register_tasks(inputs) {
+                    Ok(ids) => Response::Registered { ids },
+                    Err(e) => Response::Error {
+                        code: eta2_net::ERR_REGISTER,
+                        message: e.to_string(),
+                    },
+                }
+            }
+            Request::Submit { reports } => {
+                let batch: ObservationSet = reports.iter().copied().collect();
+                let snap = self.engine.snapshot();
+                let unknown_task = batch
+                    .iter()
+                    .filter(|o| !snap.tasks().contains_key(&o.task))
+                    .count() as u64;
+                drop(snap);
+                match self.ingest(&batch) {
+                    Ok(outcome) => Response::Submitted {
+                        accepted: batch.len() as u64 - unknown_task,
+                        quarantined: 0,
+                        unknown_task,
+                        flushes: u64::from(!outcome.truths.is_empty()),
+                    },
+                    Err(e) => Response::Error {
+                        code: eta2_net::ERR_BAD_REQUEST,
+                        message: e.to_string(),
+                    },
+                }
+            }
+            read_only => self.query(&read_only),
+        }
+    }
+
+    /// Dispatches one read-only wire-shaped [`Request`] (`Truth`,
+    /// `Expertise`, `Allocate`, `Metrics`). Mutating operations are
+    /// rejected with a typed error — use [`Eta2Server::request`], which
+    /// takes `&mut self`.
+    pub fn query(&self, request: &Request) -> Response {
+        match request {
+            Request::Truth { task } => Response::Truth {
+                estimate: self.engine.truth(*task),
+            },
+            Request::Expertise { user, domain } => {
+                let snap = self.engine.snapshot();
+                if user.0 as usize >= snap.n_users() {
+                    return Response::Error {
+                        code: eta2_net::ERR_BAD_REQUEST,
+                        message: format!(
+                            "{} out of range: server has {} users",
+                            user,
+                            snap.n_users()
+                        ),
+                    };
+                }
+                Response::Expertise {
+                    value: snap.expertise(*user, *domain),
+                }
+            }
+            Request::Allocate { tasks, users } => {
+                let snap = self.engine.snapshot();
+                if let Some(bad) = users.iter().find(|u| u.id.0 as usize >= snap.n_users()) {
+                    return Response::Error {
+                        code: eta2_net::ERR_BAD_REQUEST,
+                        message: format!(
+                            "{} out of range: server has {} users",
+                            bad.id,
+                            snap.n_users()
+                        ),
+                    };
+                }
+                let alloc = snap.allocate_max_quality(tasks, users);
+                Response::Allocated {
+                    assignments: alloc
+                        .iter()
+                        .map(|(task, assigned)| (task, assigned.to_vec()))
+                        .collect(),
+                }
+            }
+            Request::Metrics => Response::Metrics {
+                json: eta2_obs::expose_json(),
+            },
+            Request::Register { .. } | Request::Submit { .. } => Response::Error {
+                code: eta2_net::ERR_BAD_REQUEST,
+                message: format!(
+                    "{} mutates server state; dispatch it through Eta2Server::request",
+                    request.op_name()
+                ),
+            },
+            // `Request` is #[non_exhaustive]: reject operations this
+            // build predates instead of dropping them.
+            #[allow(unreachable_patterns)]
+            _ => Response::Error {
+                code: eta2_net::ERR_BAD_REQUEST,
+                message: "operation not supported by this build".to_string(),
+            },
+        }
+    }
+
     /// The latest truth estimate for a task, if it has been analysed.
+    ///
+    /// A thin adapter over [`Eta2Server::query`] — the wire request and
+    /// this method answer from the same dispatch path.
     pub fn truth(&self, task: TaskId) -> Option<TruthEstimate> {
-        self.engine.truth(task)
+        match self.query(&Request::Truth { task }) {
+            Response::Truth { estimate } => estimate,
+            _ => None,
+        }
     }
 
     /// A snapshot of the current expertise estimates.
@@ -904,16 +1004,103 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructors_still_build_working_servers() {
-        // The pre-builder API keeps functioning as a shim.
-        let mut known = Eta2Server::with_known_domains(2, ServerConfig::default());
-        let ids = known
-            .register_tasks(vec![TaskInput::domained(DomainId(0), 1.0, 1.0)])
-            .unwrap();
-        assert_eq!(ids.len(), 1);
-        let disco = Eta2Server::discovering(2, ServerConfig::default(), embedding());
-        assert!(format!("{disco:?}").contains("discover"));
+    fn wire_request_surface_matches_typed_methods() {
+        let mut server = known_server(3);
+        // Register through the wire shape.
+        let specs = vec![
+            TaskSpec::new(DomainId(0), 1.0, 1.0),
+            TaskSpec::new(DomainId(1), 1.0, 1.0),
+        ];
+        let ids = match server.request(Request::Register { specs }) {
+            Response::Registered { ids } => ids,
+            other => panic!("register answered {other:?}"),
+        };
+        assert_eq!(ids.len(), 2);
+
+        // Submit through the wire shape; counts reflect the adapter's
+        // atomic-ingest semantics.
+        let reports: Vec<_> = (0..3u32)
+            .map(|u| eta2_core::model::Observation {
+                user: UserId(u),
+                task: ids[0],
+                value: 10.0 + u as f64 * 0.01,
+            })
+            .chain(std::iter::once(eta2_core::model::Observation {
+                user: UserId(0),
+                task: TaskId(999),
+                value: 1.0,
+            }))
+            .collect();
+        match server.request(Request::Submit { reports }) {
+            Response::Submitted {
+                accepted,
+                quarantined,
+                unknown_task,
+                flushes,
+            } => {
+                assert_eq!(accepted, 3);
+                assert_eq!(quarantined, 0);
+                assert_eq!(unknown_task, 1);
+                assert_eq!(flushes, 1);
+            }
+            other => panic!("submit answered {other:?}"),
+        }
+
+        // truth() is an adapter over query(): both views agree.
+        let direct = server.truth(ids[0]).expect("analysed");
+        match server.query(&Request::Truth { task: ids[0] }) {
+            Response::Truth { estimate } => assert_eq!(estimate, Some(direct)),
+            other => panic!("truth answered {other:?}"),
+        }
+
+        // Reads reject mutating ops instead of silently dropping them.
+        match server.query(&Request::Register { specs: vec![] }) {
+            Response::Error { code, .. } => assert_eq!(code, eta2_net::ERR_BAD_REQUEST),
+            other => panic!("mutating query answered {other:?}"),
+        }
+
+        // Out-of-range expertise reads come back typed, not as a panic.
+        match server.query(&Request::Expertise {
+            user: UserId(99),
+            domain: DomainId(0),
+        }) {
+            Response::Error { code, .. } => assert_eq!(code, eta2_net::ERR_BAD_REQUEST),
+            other => panic!("oob expertise answered {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wire_submit_rejects_non_finite_batch_atomically() {
+        let mut server = known_server(2);
+        let ids = match server.request(Request::Register {
+            specs: vec![TaskSpec::new(DomainId(0), 1.0, 1.0)],
+        }) {
+            Response::Registered { ids } => ids,
+            other => panic!("register answered {other:?}"),
+        };
+        let reports = vec![
+            eta2_core::model::Observation {
+                user: UserId(0),
+                task: ids[0],
+                value: 5.0,
+            },
+            eta2_core::model::Observation {
+                user: UserId(1),
+                task: ids[0],
+                value: f64::NAN,
+            },
+        ];
+        match server.request(Request::Submit { reports }) {
+            Response::Error { code, message } => {
+                assert_eq!(code, eta2_net::ERR_BAD_REQUEST);
+                assert!(message.contains("non-finite"), "{message}");
+            }
+            other => panic!("bad submit answered {other:?}"),
+        }
+        assert!(
+            server.truth(ids[0]).is_none(),
+            "rejected batch mutated state"
+        );
     }
 
     #[test]
