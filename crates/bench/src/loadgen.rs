@@ -16,6 +16,19 @@
 //! (p50/p99/p999/max, microseconds); shed responses (`Overloaded`) are
 //! counted but excluded from the ingest distribution, since a shed is
 //! the server *refusing* work, not serving it slowly.
+//!
+//! Shed handling depends on the loop mode. In **closed-loop** mode (no
+//! `rate`) a shed submit is retried up to [`LoadGenConfig::shed_retries`]
+//! times, honoring the server's `retry_after_ms` hint (capped at
+//! [`LoadGenConfig::max_backoff_ms`]); latency is still measured from the
+//! *first* attempt, so backoff time is charged to the server and the
+//! retries cannot hide queueing delay (coordinated omission). Only a
+//! request whose retries are exhausted counts as `shed`; each backoff
+//! sleep is counted in `backoffs`. In **open-loop** mode (`rate` set) the
+//! schedule keeps sending regardless — retrying would silently lower the
+//! offered rate — and sheds are only counted, exactly as before.
+//! (`NetClient` itself stays policy-free: retry behavior belongs to the
+//! caller, which knows its loop discipline.)
 
 use crate::harness::write_output;
 use eta2_core::model::{DomainId, Observation, TaskId, UserId};
@@ -54,6 +67,14 @@ pub struct LoadGenConfig {
     /// Open-loop target rate in requests/second across all workers
     /// (`None` = closed loop: each worker issues back-to-back).
     pub rate: Option<f64>,
+    /// Closed-loop only: retries of a shed submit before giving up and
+    /// counting it as `shed` (`0` = never retry, the pre-backoff
+    /// behavior). Ignored in open-loop mode, which must keep its offered
+    /// rate honest.
+    pub shed_retries: u32,
+    /// Upper bound in milliseconds on each backoff sleep, so a pathological
+    /// `retry_after_ms` from the server cannot stall a worker.
+    pub max_backoff_ms: u64,
     /// Self-hosted server's admission bound (pending reports); ignored
     /// when driving an external `addr`.
     pub queue_capacity: usize,
@@ -77,6 +98,8 @@ impl Default for LoadGenConfig {
             read_every: 10,
             zipf_s: 1.1,
             rate: None,
+            shed_retries: 3,
+            max_backoff_ms: 100,
             queue_capacity: 1 << 16,
             tick_ms: 25,
             seed: 42,
@@ -144,8 +167,14 @@ pub struct LoadReport {
     pub submits_ok: u64,
     /// Reports carried by successful submits.
     pub reports_accepted: u64,
-    /// Submits shed with `Overloaded` (excluded from ingest latency).
+    /// Submits abandoned as `Overloaded` (closed loop: after exhausting
+    /// `shed_retries`; open loop: on first shed). Excluded from ingest
+    /// latency.
     pub shed: u64,
+    /// Backoff sleeps taken on `Overloaded` responses (closed loop only;
+    /// each honors the server's `retry_after_ms`, capped at
+    /// `max_backoff_ms`).
+    pub backoffs: u64,
     /// Successful truth reads.
     pub reads_ok: u64,
     /// Typed error responses (should be 0 under a healthy run).
@@ -187,6 +216,7 @@ struct WorkerOutcome {
     submits_ok: u64,
     reports_accepted: u64,
     shed: u64,
+    backoffs: u64,
     reads_ok: u64,
     errors: u64,
 }
@@ -264,6 +294,7 @@ pub fn run(cfg: &LoadGenConfig, out: Option<&str>) -> Result<LoadReport, String>
                     submits_ok: 0,
                     reports_accepted: 0,
                     shed: 0,
+                    backoffs: 0,
                     reads_ok: 0,
                     errors: 0,
                 };
@@ -318,17 +349,42 @@ pub fn run(cfg: &LoadGenConfig, out: Option<&str>) -> Result<LoadReport, String>
                                 }
                             })
                             .collect();
-                        match client.submit(reports) {
-                            Ok(Response::Submitted { accepted, .. }) => {
-                                outcome.submits_ok += 1;
-                                outcome.reports_accepted += accepted;
-                                outcome
-                                    .ingest_us
-                                    .push(reference.elapsed().as_micros() as u64);
+                        // Closed loop honors the shed's retry_after_ms
+                        // with bounded backoff; open loop keeps to its
+                        // schedule and only counts. Latency on eventual
+                        // success is measured from the *first* attempt, so
+                        // backoff time is charged to the server.
+                        let mut retries_left = if cfg.rate.is_none() {
+                            cfg.shed_retries
+                        } else {
+                            0
+                        };
+                        loop {
+                            match client.submit(reports.clone()) {
+                                Ok(Response::Submitted { accepted, .. }) => {
+                                    outcome.submits_ok += 1;
+                                    outcome.reports_accepted += accepted;
+                                    outcome
+                                        .ingest_us
+                                        .push(reference.elapsed().as_micros() as u64);
+                                    break;
+                                }
+                                Ok(Response::Overloaded { retry_after_ms }) => {
+                                    if retries_left == 0 {
+                                        outcome.shed += 1;
+                                        break;
+                                    }
+                                    retries_left -= 1;
+                                    outcome.backoffs += 1;
+                                    let pause = retry_after_ms.clamp(1, cfg.max_backoff_ms.max(1));
+                                    std::thread::sleep(Duration::from_millis(pause));
+                                }
+                                Ok(_) => {
+                                    outcome.errors += 1;
+                                    break;
+                                }
+                                Err(e) => return Err(format!("worker {w}: submit failed: {e}")),
                             }
-                            Ok(Response::Overloaded { .. }) => outcome.shed += 1,
-                            Ok(_) => outcome.errors += 1,
-                            Err(e) => return Err(format!("worker {w}: submit failed: {e}")),
                         }
                     }
                 }
@@ -342,6 +398,7 @@ pub fn run(cfg: &LoadGenConfig, out: Option<&str>) -> Result<LoadReport, String>
     let mut submits_ok = 0;
     let mut reports_accepted = 0;
     let mut shed = 0;
+    let mut backoffs = 0;
     let mut reads_ok = 0;
     let mut errors = 0;
     for handle in workers {
@@ -353,6 +410,7 @@ pub fn run(cfg: &LoadGenConfig, out: Option<&str>) -> Result<LoadReport, String>
         submits_ok += outcome.submits_ok;
         reports_accepted += outcome.reports_accepted;
         shed += outcome.shed;
+        backoffs += outcome.backoffs;
         reads_ok += outcome.reads_ok;
         errors += outcome.errors;
     }
@@ -384,6 +442,7 @@ pub fn run(cfg: &LoadGenConfig, out: Option<&str>) -> Result<LoadReport, String>
         submits_ok,
         reports_accepted,
         shed,
+        backoffs,
         reads_ok,
         errors,
         ingest_latency: LatencySummary::from_sorted(&ingest_us),
@@ -462,7 +521,8 @@ mod tests {
     #[test]
     fn overload_sheds_instead_of_queueing() {
         // No ticker and a tiny admission bound: the queue cannot drain,
-        // so most submits past the bound must shed.
+        // so most submits past the bound must shed. Retries are capped
+        // at one short backoff so the test stays fast.
         let cfg = LoadGenConfig {
             clients: 64,
             requests: 200,
@@ -473,10 +533,75 @@ mod tests {
             read_every: 0,
             queue_capacity: 32,
             tick_ms: 0,
+            shed_retries: 1,
+            max_backoff_ms: 2,
             ..LoadGenConfig::default()
         };
         let report = run(&cfg, None).expect("run succeeds");
         assert!(report.shed > 0, "no shedding under overload: {report:?}");
+        assert_eq!(report.errors, 0);
+    }
+
+    #[test]
+    fn closed_loop_backs_off_on_shed() {
+        // Closed-loop mode must honor the server's retry_after_ms hint:
+        // with an undrainable queue every shed answer first burns the
+        // retry budget (counted in `backoffs`) before it is abandoned
+        // (counted in `shed`), and the request accounting still balances.
+        let cfg = LoadGenConfig {
+            clients: 32,
+            requests: 120,
+            connections: 2,
+            batch: 8,
+            tasks: 16,
+            domains: 4,
+            read_every: 0,
+            queue_capacity: 16,
+            tick_ms: 0,
+            shed_retries: 2,
+            max_backoff_ms: 2,
+            ..LoadGenConfig::default()
+        };
+        let report = run(&cfg, None).expect("run succeeds");
+        assert!(report.shed > 0, "queue never filled: {report:?}");
+        assert!(
+            report.backoffs > 0,
+            "client never backed off before shedding: {report:?}"
+        );
+        // Every abandoned submit must have exhausted its full retry budget.
+        assert!(
+            report.backoffs >= report.shed * u64::from(cfg.shed_retries),
+            "sheds skipped the retry budget: {report:?}"
+        );
+        assert_eq!(report.submits_ok + report.shed + report.reads_ok, 120);
+        assert_eq!(report.errors, 0);
+    }
+
+    #[test]
+    fn open_loop_rate_mode_never_backs_off() {
+        // With --rate set the generator is open-loop: shed answers are
+        // only counted, never retried, so the offered rate is preserved.
+        let cfg = LoadGenConfig {
+            clients: 32,
+            requests: 80,
+            connections: 2,
+            batch: 8,
+            tasks: 16,
+            domains: 4,
+            read_every: 0,
+            queue_capacity: 16,
+            tick_ms: 0,
+            rate: Some(100_000.0),
+            shed_retries: 3,
+            max_backoff_ms: 2,
+            ..LoadGenConfig::default()
+        };
+        let report = run(&cfg, None).expect("run succeeds");
+        assert!(report.shed > 0, "queue never filled: {report:?}");
+        assert_eq!(
+            report.backoffs, 0,
+            "open-loop mode must not retry shed submits: {report:?}"
+        );
         assert_eq!(report.errors, 0);
     }
 }

@@ -2,14 +2,20 @@
 //! committed BENCH_perf.json on hosts where the full workspace cannot be
 //! built. Mirrors the algorithmic structure of:
 //!   * crates/core/src/truth/reference.rs (BTreeMap-based reference MLE)
-//!   * crates/core/src/truth/mle.rs       (dense-shard incremental MLE)
+//!   * crates/core/src/truth/mle.rs       (compact-slot SoA shard MLE)
 //!   * crates/core/src/allocation/max_quality.rs (scan vs lazy-heap greedy)
-//!   * crates/embed/src/skipgram.rs       (exact vs LUT sigmoid SGNS)
+//!   * crates/embed/src/skipgram.rs       (scalar vs four-lane SGNS pair kernel)
+//! Parity is asserted inside the harness: the vectorized MLE must match the
+//! reference within PARITY_REL_TOL (lane reassociation and the hoisted
+//! 1/sigma multiply make it tolerance-close, not bit-identical) with the
+//! same iteration count; greedy pick sequences must be identical; the
+//! four-lane skip-gram embedding must stay within cosine 1 - 1e-3 of the
+//! scalar kernel's.
 //! Run: rustc -O perf_extract.rs && ./perf_extract
 
+use std::cmp::Ordering;
 use std::collections::BTreeMap;
 use std::collections::BinaryHeap;
-use std::cmp::Ordering;
 use std::time::Instant;
 
 // ---------- tiny RNG (splitmix64) ----------
@@ -109,6 +115,9 @@ const FLOOR: f64 = 1e-3;
 const CAP: f64 = 50.0;
 const SIGMA_FLOOR: f64 = 1e-6;
 const PRIOR: f64 = 1.0;
+/// Mirrors truth::PARITY_REL_TOL: the vectorized kernel must agree with
+/// the reference to nine significant digits on every truth estimate.
+const PARITY_REL_TOL: f64 = 1e-9;
 
 fn relative_change(old: f64, new: f64) -> f64 {
     (new - old).abs() / old.abs().max(1e-9)
@@ -198,22 +207,179 @@ fn mle_reference(w: &World) -> (Vec<f64>, usize) {
     (mus, iterations)
 }
 
-/// Mirrors mle.rs Shard: dense flat arrays, cached per-observation
-/// weights, O(1) leave-one-out subtraction.
+/// Mirrors mle.rs SlotMap: open-addressing user-id -> compact-slot map so
+/// the one-lookup-per-observation build phase stays a few ns per report.
+struct SlotMap {
+    /// (key, slot + 1); slot + 1 == 0 marks an empty bucket.
+    table: Vec<(u32, u32)>,
+    mask: usize,
+    len: usize,
+}
+
+impl SlotMap {
+    fn new() -> Self {
+        SlotMap {
+            table: vec![(0, 0); 16],
+            mask: 15,
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn bucket(key: u32, mask: usize) -> usize {
+        (key.wrapping_mul(0x9e37_79b9) as usize) & mask
+    }
+
+    fn grow(&mut self) {
+        let cap = self.table.len() * 2;
+        let mask = cap - 1;
+        let mut table = vec![(0u32, 0u32); cap];
+        for &(k, sp1) in &self.table {
+            if sp1 != 0 {
+                let mut i = Self::bucket(k, mask);
+                while table[i].1 != 0 {
+                    i = (i + 1) & mask;
+                }
+                table[i] = (k, sp1);
+            }
+        }
+        self.table = table;
+        self.mask = mask;
+    }
+
+    /// Slot of `key`, assigning `next` on first sight.
+    #[inline]
+    fn get_or_insert(&mut self, key: u32, next: u32) -> u32 {
+        if (self.len + 1) * 4 > self.table.len() * 3 {
+            self.grow();
+        }
+        let mut i = Self::bucket(key, self.mask);
+        loop {
+            let (k, sp1) = self.table[i];
+            if sp1 == 0 {
+                self.table[i] = (key, next + 1);
+                self.len += 1;
+                return next;
+            }
+            if k == key {
+                return sp1 - 1;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+}
+
+/// Mirrors mle.rs Shard: SoA layout over compact per-shard reporter slots,
+/// pre-clamped squared-expertise column, four-lane reductions, hoisted
+/// per-task 1/sigma, branch-free expertise pass over precomputed slot_n.
 struct Shard {
     task_ids: Vec<usize>,
     task_off: Vec<usize>,
-    obs_user: Vec<u32>,
+    obs_slot: Vec<u32>,
     obs_x: Vec<f64>,
-    obs_w: Vec<f64>,
+    slot_of: SlotMap,
+    slot_users: usize,
+    slot_n: Vec<f64>,
     mu: Vec<f64>,
     sigma: Vec<f64>,
     wsum: Vec<f64>,
     wxsum: Vec<f64>,
     prev_mu: Vec<f64>,
     expertise: Vec<f64>,
-    acc_n: Vec<f64>,
+    w_col: Vec<f64>,
     acc_d: Vec<f64>,
+}
+
+impl Shard {
+    fn iterate(&mut self) {
+        // (0) Hoist the expertise floor out of the observation loops.
+        for s in 0..self.expertise.len() {
+            let u = self.expertise[s].max(FLOOR);
+            self.w_col[s] = u * u;
+        }
+        // (1) mu_j and sigma_j via four-lane reductions.
+        for j in 0..self.task_ids.len() {
+            let (lo, hi) = (self.task_off[j], self.task_off[j + 1]);
+            let slots = &self.obs_slot[lo..hi];
+            let xs = &self.obs_x[lo..hi];
+
+            let mut lw = [0.0f64; 4];
+            let mut lwx = [0.0f64; 4];
+            let mut cs = slots.chunks_exact(4);
+            let mut cx = xs.chunks_exact(4);
+            for (s4, x4) in (&mut cs).zip(&mut cx) {
+                for k in 0..4 {
+                    let w = self.w_col[s4[k] as usize];
+                    lw[k] += w;
+                    lwx[k] += w * x4[k];
+                }
+            }
+            for (&s1, &x1) in cs.remainder().iter().zip(cx.remainder()) {
+                let w = self.w_col[s1 as usize];
+                lw[0] += w;
+                lwx[0] += w * x1;
+            }
+            let wsum = (lw[0] + lw[1]) + (lw[2] + lw[3]);
+            let wxsum = (lwx[0] + lwx[1]) + (lwx[2] + lwx[3]);
+            let mu = wxsum / wsum;
+
+            let mut lss = [0.0f64; 4];
+            let mut cs = slots.chunks_exact(4);
+            let mut cx = xs.chunks_exact(4);
+            for (s4, x4) in (&mut cs).zip(&mut cx) {
+                for k in 0..4 {
+                    let w = self.w_col[s4[k] as usize];
+                    let d = x4[k] - mu;
+                    lss[k] += w * d * d;
+                }
+            }
+            for (&s1, &x1) in cs.remainder().iter().zip(cx.remainder()) {
+                let w = self.w_col[s1 as usize];
+                let d = x1 - mu;
+                lss[0] += w * d * d;
+            }
+            let ss = (lss[0] + lss[1]) + (lss[2] + lss[3]);
+
+            self.mu[j] = mu;
+            self.sigma[j] = (ss / (hi - lo) as f64).sqrt().max(SIGMA_FLOOR);
+            self.wsum[j] = wsum;
+            self.wxsum[j] = wxsum;
+        }
+        // (2) Error accumulation with the LOO decision and sigma division
+        // hoisted per task.
+        self.acc_d.fill(0.0);
+        for j in 0..self.task_ids.len() {
+            let (lo, hi) = (self.task_off[j], self.task_off[j + 1]);
+            let slots = &self.obs_slot[lo..hi];
+            let xs = &self.obs_x[lo..hi];
+            let inv_sigma = 1.0 / self.sigma[j];
+            if hi - lo > 1 {
+                let (wsum, wxsum) = (self.wsum[j], self.wxsum[j]);
+                for (&s1, &xv) in slots.iter().zip(xs) {
+                    let s = s1 as usize;
+                    let w = self.w_col[s];
+                    let reference = (wxsum - w * xv) / (wsum - w);
+                    let e = (xv - reference) * inv_sigma;
+                    self.acc_d[s] += e * e;
+                }
+            } else {
+                let mu = self.mu[j];
+                for (&s1, &xv) in slots.iter().zip(xs) {
+                    let e = (xv - mu) * inv_sigma;
+                    self.acc_d[s1 as usize] += e * e;
+                }
+            }
+        }
+        // (3) Expertise per slot; every slot has >= 1 observation.
+        for i in 0..self.expertise.len() {
+            let raw = ((self.slot_n[i] + PRIOR) / (self.acc_d[i] + PRIOR).max(1e-12)).sqrt();
+            self.expertise[i] = if raw.is_finite() {
+                raw.clamp(FLOOR, CAP)
+            } else {
+                FLOOR
+            };
+        }
+    }
 }
 
 fn mle_optimized(w: &World) -> (Vec<f64>, usize) {
@@ -221,93 +387,71 @@ fn mle_optimized(w: &World) -> (Vec<f64>, usize) {
         .map(|_| Shard {
             task_ids: Vec::new(),
             task_off: vec![0],
-            obs_user: Vec::new(),
+            obs_slot: Vec::new(),
             obs_x: Vec::new(),
-            obs_w: Vec::new(),
+            slot_of: SlotMap::new(),
+            slot_users: 0,
+            slot_n: Vec::new(),
             mu: Vec::new(),
             sigma: Vec::new(),
             wsum: Vec::new(),
             wxsum: Vec::new(),
             prev_mu: Vec::new(),
-            expertise: vec![1.0; w.n_users],
-            acc_n: vec![0.0; w.n_users],
-            acc_d: vec![0.0; w.n_users],
+            expertise: Vec::new(),
+            w_col: Vec::new(),
+            acc_d: Vec::new(),
         })
         .collect();
+    // Pre-size every shard column so the build loop below never
+    // reallocates mid-batch (mirrors mle.rs's per-domain sizing pre-pass;
+    // the observation columns dominate and doubling copies are pure waste).
+    {
+        let mut nt = vec![0usize; w.n_domains as usize];
+        let mut no = vec![0usize; w.n_domains as usize];
+        for (d, obs) in w.tasks.iter() {
+            nt[*d as usize] += 1;
+            no[*d as usize] += obs.len();
+        }
+        for (i, s) in shards.iter_mut().enumerate() {
+            s.task_ids.reserve(nt[i]);
+            s.task_off.reserve(nt[i] + 1);
+            s.obs_slot.reserve(no[i]);
+            s.obs_x.reserve(no[i]);
+        }
+    }
     for (j, (d, obs)) in w.tasks.iter().enumerate() {
         let s = &mut shards[*d as usize];
         s.task_ids.push(j);
         for &(user, x) in obs {
-            s.obs_user.push(user);
+            let slot = s.slot_of.get_or_insert(user, s.slot_users as u32);
+            if slot as usize == s.slot_users {
+                s.slot_users += 1;
+                s.slot_n.push(0.0);
+            }
+            s.slot_n[slot as usize] += 1.0;
+            s.obs_slot.push(slot);
             s.obs_x.push(x);
         }
-        s.task_off.push(s.obs_user.len());
+        s.task_off.push(s.obs_slot.len());
     }
     for s in &mut shards {
         let nt = s.task_ids.len();
-        s.obs_w = vec![0.0; s.obs_x.len()];
+        let ns = s.slot_users;
         s.mu = vec![0.0; nt];
         s.sigma = vec![0.0; nt];
         s.wsum = vec![0.0; nt];
         s.wxsum = vec![0.0; nt];
         s.prev_mu = vec![0.0; nt];
+        s.expertise = vec![1.0; ns];
+        s.w_col = vec![0.0; ns];
+        s.acc_d = vec![0.0; ns];
     }
     let mut iterations = 0;
     let mut first = true;
     while iterations < MAX_ITERS {
         iterations += 1;
         for s in &mut shards {
-            for j in 0..s.task_ids.len() {
-                let (lo, hi) = (s.task_off[j], s.task_off[j + 1]);
-                let mut wsum = 0.0;
-                let mut wxsum = 0.0;
-                for o in lo..hi {
-                    let u = s.expertise[s.obs_user[o] as usize].max(FLOOR);
-                    let wgt = u * u;
-                    s.obs_w[o] = wgt;
-                    wsum += wgt;
-                    wxsum += wgt * s.obs_x[o];
-                }
-                let mu = wxsum / wsum;
-                let mut ss = 0.0;
-                for o in lo..hi {
-                    let xv = s.obs_x[o];
-                    ss += s.obs_w[o] * (xv - mu) * (xv - mu);
-                }
-                s.mu[j] = mu;
-                s.sigma[j] = (ss / (hi - lo) as f64).sqrt().max(SIGMA_FLOOR);
-                s.wsum[j] = wsum;
-                s.wxsum[j] = wxsum;
-            }
-            s.acc_n.fill(0.0);
-            s.acc_d.fill(0.0);
-            for j in 0..s.task_ids.len() {
-                let (lo, hi) = (s.task_off[j], s.task_off[j + 1]);
-                let loo = hi - lo > 1;
-                for o in lo..hi {
-                    let xv = s.obs_x[o];
-                    let reference = if loo {
-                        (s.wxsum[j] - s.obs_w[o] * xv) / (s.wsum[j] - s.obs_w[o])
-                    } else {
-                        s.mu[j]
-                    };
-                    let e = (xv - reference) / s.sigma[j];
-                    let i = s.obs_user[o] as usize;
-                    s.acc_n[i] += 1.0;
-                    s.acc_d[i] += e * e;
-                }
-            }
-            for i in 0..s.acc_n.len() {
-                let n = s.acc_n[i];
-                if n > 0.0 {
-                    let raw = ((n + PRIOR) / (s.acc_d[i] + PRIOR).max(1e-12)).sqrt();
-                    s.expertise[i] = if raw.is_finite() {
-                        raw.clamp(FLOOR, CAP)
-                    } else {
-                        FLOOR
-                    };
-                }
-            }
+            s.iterate();
         }
         let done = !first
             && shards.iter().all(|s| {
@@ -372,8 +516,7 @@ impl GreedyState {
         let mut p = vec![0.0; m * n];
         for (j, &(d, _)) in w.tasks.iter().enumerate() {
             for i in 0..n {
-                p[j * n + i] =
-                    erf(EPSILON * w.expertise[d as usize][i] / std::f64::consts::SQRT_2);
+                p[j * n + i] = erf(EPSILON * w.expertise[d as usize][i] / std::f64::consts::SQRT_2);
             }
         }
         GreedyState {
@@ -398,7 +541,14 @@ impl GreedyState {
         }
         best
     }
-    fn commit(&mut self, w: &AllocWorld, out: &mut Vec<(usize, usize)>, remaining: &mut [f64], j: usize, i: usize) {
+    fn commit(
+        &mut self,
+        w: &AllocWorld,
+        out: &mut Vec<(usize, usize)>,
+        remaining: &mut [f64],
+        j: usize,
+        i: usize,
+    ) {
         out.push((j, i));
         self.assigned[j * self.n + i] = true;
         self.q[j] *= 1.0 - self.p[j * self.n + i];
@@ -506,17 +656,7 @@ fn greedy_scan(w: &AllocWorld) -> Vec<(usize, usize)> {
     out
 }
 
-// ---------- skip-gram (exact vs LUT sigmoid) ----------
-fn sigmoid_exact(x: f32) -> f32 {
-    if x > 8.0 {
-        1.0
-    } else if x < -8.0 {
-        0.0
-    } else {
-        1.0 / (1.0 + (-x).exp())
-    }
-}
-
+// ---------- skip-gram (scalar vs four-lane pair kernel) ----------
 const TABLE_SIZE: usize = 4096;
 static mut SIGMOID_TABLE: [f32; TABLE_SIZE + 1] = [0.0; TABLE_SIZE + 1];
 
@@ -569,14 +709,123 @@ const EPOCHS: usize = 4;
 const LR: f32 = 0.05;
 const LR_END: f32 = 0.0001;
 
-fn sg_train(w: &SgWorld, sig: fn(f32) -> f32, seed: u64) -> Vec<f32> {
+type PairFn = fn(&mut [f32], &mut [f32], usize, usize, f32, usize, &mut Rng, &mut [f32]);
+
+/// Mirrors skipgram.rs train_pair_reference: indexed scalar dot and
+/// indexed update loops, the frozen pre-vectorization kernel.
+fn sg_pair_reference(
+    w_in: &mut [f32],
+    w_out: &mut [f32],
+    center: usize,
+    context: usize,
+    lr: f32,
+    vocab: usize,
+    rng: &mut Rng,
+    grad: &mut [f32],
+) {
+    grad.fill(0.0);
+    for k in 0..=NEGATIVE {
+        let (target, label) = if k == 0 {
+            (context, 1.0f32)
+        } else {
+            let mut neg = rng.usize(vocab);
+            if neg == context {
+                neg = rng.usize(vocab);
+                if neg == context {
+                    continue;
+                }
+            }
+            (neg, 0.0f32)
+        };
+        let mut dot = 0.0f32;
+        for d in 0..DIM {
+            dot += w_in[center * DIM + d] * w_out[target * DIM + d];
+        }
+        let g = (label - sigmoid_lut(dot)) * lr;
+        for d in 0..DIM {
+            grad[d] += g * w_out[target * DIM + d];
+            w_out[target * DIM + d] += g * w_in[center * DIM + d];
+        }
+    }
+    for d in 0..DIM {
+        w_in[center * DIM + d] += grad[d];
+    }
+}
+
+/// Mirrors skipgram.rs dot_lanes: four independent f32 accumulation lanes
+/// combined pairwise, so the multiply-adds pipeline instead of serializing
+/// on FP-add latency.
+fn dot_lanes(a: &[f32], b: &[f32]) -> f32 {
+    let mut l = [0.0f32; 4];
+    let mut ca = a.chunks_exact(4);
+    let mut cb = b.chunks_exact(4);
+    for (a4, b4) in (&mut ca).zip(&mut cb) {
+        for k in 0..4 {
+            l[k] += a4[k] * b4[k];
+        }
+    }
+    for (&x, &y) in ca.remainder().iter().zip(cb.remainder()) {
+        l[0] += x * y;
+    }
+    (l[0] + l[1]) + (l[2] + l[3])
+}
+
+/// Mirrors skipgram.rs train_pair: contiguous row slices, four-lane dot,
+/// fused grad/output update with the bounds checks hoisted into the slice
+/// construction.
+fn sg_pair_vectorized(
+    w_in: &mut [f32],
+    w_out: &mut [f32],
+    center: usize,
+    context: usize,
+    lr: f32,
+    vocab: usize,
+    rng: &mut Rng,
+    grad: &mut [f32],
+) {
+    grad.fill(0.0);
+    let in_row = &mut w_in[center * DIM..(center + 1) * DIM];
+    for k in 0..=NEGATIVE {
+        let (target, label) = if k == 0 {
+            (context, 1.0f32)
+        } else {
+            let mut neg = rng.usize(vocab);
+            if neg == context {
+                neg = rng.usize(vocab);
+                if neg == context {
+                    continue;
+                }
+            }
+            (neg, 0.0f32)
+        };
+        let out_row = &mut w_out[target * DIM..(target + 1) * DIM];
+        let pred = sigmoid_lut(dot_lanes(in_row, out_row));
+        let g = (label - pred) * lr;
+        for ((gr, o), &i) in grad.iter_mut().zip(out_row.iter_mut()).zip(in_row.iter()) {
+            *gr += g * *o;
+            *o += g * i;
+        }
+    }
+    for (i, &gr) in in_row.iter_mut().zip(grad.iter()) {
+        *i += gr;
+    }
+}
+
+/// Shared training driver, parameterized by the pair kernel exactly like
+/// skipgram.rs train_encoded_with. Both kernels consume the RNG stream
+/// identically, so a fixed seed yields the same pair/negative schedule.
+/// Returns the input embedding and the number of (center, context) pairs.
+fn sg_train(w: &SgWorld, pair: PairFn, seed: u64) -> (Vec<f32>, u64) {
     let mut rng = Rng::new(seed);
     let n = w.vocab;
-    let mut w_in: Vec<f32> = (0..n * DIM).map(|_| (rng.f32() - 0.5) / DIM as f32).collect();
+    let mut w_in: Vec<f32> = (0..n * DIM)
+        .map(|_| (rng.f32() - 0.5) / DIM as f32)
+        .collect();
     let mut w_out = vec![0.0f32; n * DIM];
     let tokens: usize = w.sentences.iter().map(|s| s.len()).sum();
     let total_steps = (tokens * EPOCHS).max(1);
     let mut step = 0usize;
+    let mut pairs = 0u64;
     let mut grad = vec![0.0f32; DIM];
     for _ in 0..EPOCHS {
         for sent in &w.sentences {
@@ -586,46 +835,26 @@ fn sg_train(w: &SgWorld, sig: fn(f32) -> f32, seed: u64) -> Vec<f32> {
                 let b = 1 + rng.usize(WINDOW);
                 let lo = c.saturating_sub(b);
                 let hi = (c + b + 1).min(sent.len());
+                pairs += (hi - lo) as u64 - 1;
                 for t in lo..hi {
                     if t == c {
                         continue;
                     }
-                    let context = sent[t];
-                    // positive + NEGATIVE sampled updates
-                    let ci = center as usize * DIM;
-                    grad.fill(0.0);
-                    for k in 0..=NEGATIVE {
-                        let (target, label) = if k == 0 {
-                            (context as usize, 1.0f32)
-                        } else {
-                            let mut neg = rng.usize(n);
-                            if neg == context as usize {
-                                neg = rng.usize(n);
-                                if neg == context as usize {
-                                    continue;
-                                }
-                            }
-                            (neg, 0.0f32)
-                        };
-                        let ti = target * DIM;
-                        let mut dot = 0.0f32;
-                        for d in 0..DIM {
-                            dot += w_in[ci + d] * w_out[ti + d];
-                        }
-                        let g = (label - sig(dot)) * lr;
-                        for d in 0..DIM {
-                            grad[d] += g * w_out[ti + d];
-                            w_out[ti + d] += g * w_in[ci + d];
-                        }
-                    }
-                    for d in 0..DIM {
-                        w_in[ci + d] += grad[d];
-                    }
+                    pair(
+                        &mut w_in,
+                        &mut w_out,
+                        center as usize,
+                        sent[t] as usize,
+                        lr,
+                        n,
+                        &mut rng,
+                        &mut grad,
+                    );
                 }
             }
         }
     }
-    w_in
+    (w_in, pairs)
 }
 
 fn cosine(a: &[f32], b: &[f32]) -> f64 {
@@ -654,14 +883,21 @@ fn main() {
     let (ref_best, ref_mean, (ref_mu, ref_iters)) = time_runs(reps, || mle_reference(&w));
     let (opt_best, opt_mean, (opt_mu, opt_iters)) = time_runs(reps, || mle_optimized(&w));
     assert_eq!(ref_iters, opt_iters, "iteration counts diverged");
-    let max_dev = ref_mu
+    let max_rel_dev = ref_mu
         .iter()
         .zip(&opt_mu)
-        .map(|(a, b)| (a - b).abs())
+        .map(|(a, b)| (a - b).abs() / a.abs().max(b.abs()).max(1.0))
         .fold(0.0f64, f64::max);
-    assert!(max_dev == 0.0, "mu diverged by {}", max_dev);
+    assert!(
+        max_rel_dev <= PARITY_REL_TOL,
+        "mu diverged by {} rel (tol {})",
+        max_rel_dev,
+        PARITY_REL_TOL
+    );
     println!(
-        "{{\"mle\": {{\"n_tasks\": 500, \"n_users\": 200, \"n_domains\": 4, \"n_observations\": {n_obs}, \"iterations\": {ref_iters}, \"reference\": {{\"secs_best\": {ref_best:.6}, \"secs_mean\": {ref_mean:.6}, \"runs\": {reps}}}, \"sequential\": {{\"secs_best\": {opt_best:.6}, \"secs_mean\": {opt_mean:.6}, \"runs\": {reps}}}, \"speedup_sequential_vs_reference\": {:.3}, \"bit_identical\": true}}}}",
+        "{{\"mle\": {{\"n_tasks\": 500, \"n_users\": 200, \"n_domains\": 4, \"n_observations\": {n_obs}, \"iterations\": {ref_iters}, \"reference\": {{\"secs_best\": {ref_best:.6}, \"secs_mean\": {ref_mean:.6}, \"runs\": {reps}}}, \"sequential\": {{\"secs_best\": {opt_best:.6}, \"secs_mean\": {opt_mean:.6}, \"runs\": {reps}}}, \"obs_per_sec_reference\": {:.0}, \"obs_per_sec_sequential\": {:.0}, \"speedup_sequential_vs_reference\": {:.3}, \"parity_rel_tol_vs_reference\": {PARITY_REL_TOL:e}, \"parity_max_rel_dev\": {max_rel_dev:.3e}}}}}",
+        n_obs as f64 / ref_best,
+        n_obs as f64 / opt_best,
         ref_best / opt_best
     );
 
@@ -672,21 +908,37 @@ fn main() {
         let (heap_best, heap_mean, picks_heap) = time_runs(reps, || greedy_heap(&aw));
         assert_eq!(picks_scan, picks_heap, "pick sequences diverged at {m}x{n}");
         println!(
-            "{{\"allocation\": {{\"n_tasks\": {m}, \"n_users\": {n}, \"picks\": {}, \"scan\": {{\"secs_best\": {scan_best:.6}, \"secs_mean\": {scan_mean:.6}, \"runs\": {reps}}}, \"heap\": {{\"secs_best\": {heap_best:.6}, \"secs_mean\": {heap_mean:.6}, \"runs\": {reps}}}, \"speedup_heap_vs_scan\": {:.3}, \"identical_picks\": true}}}}",
+            "{{\"allocation\": {{\"n_tasks\": {m}, \"n_users\": {n}, \"picks\": {}, \"scan\": {{\"secs_best\": {scan_best:.6}, \"secs_mean\": {scan_mean:.6}, \"runs\": {reps}}}, \"heap\": {{\"secs_best\": {heap_best:.6}, \"secs_mean\": {heap_mean:.6}, \"runs\": {reps}}}, \"picks_per_sec_scan\": {:.0}, \"picks_per_sec_heap\": {:.0}, \"speedup_heap_vs_scan\": {:.3}, \"identical_picks\": true}}}}",
             picks_scan.len(),
+            picks_scan.len() as f64 / scan_best,
+            picks_heap.len() as f64 / heap_best,
             scan_best / heap_best
         );
     }
 
-    // skip-gram exact vs LUT sigmoid
+    // skip-gram: frozen scalar pair kernel vs four-lane kernel
     let sw = sg_world(400, 9);
-    let (ex_best, ex_mean, emb_exact) = time_runs(reps, || sg_train(&sw, sigmoid_exact, 0x5eed));
-    let (lut_best, lut_mean, emb_lut) = time_runs(reps, || sg_train(&sw, sigmoid_lut, 0x5eed));
+    let (sg_ref_best, sg_ref_mean, (emb_ref, pairs_ref)) =
+        time_runs(reps, || sg_train(&sw, sg_pair_reference, 0x5eed));
+    let (sg_vec_best, sg_vec_mean, (emb_vec, pairs_vec)) =
+        time_runs(reps, || sg_train(&sw, sg_pair_vectorized, 0x5eed));
+    assert_eq!(pairs_ref, pairs_vec, "pair schedules diverged");
     let min_cos = (0..sw.vocab)
-        .map(|i| cosine(&emb_exact[i * DIM..(i + 1) * DIM], &emb_lut[i * DIM..(i + 1) * DIM]))
+        .map(|i| {
+            cosine(
+                &emb_ref[i * DIM..(i + 1) * DIM],
+                &emb_vec[i * DIM..(i + 1) * DIM],
+            )
+        })
         .fold(f64::INFINITY, f64::min);
+    assert!(
+        min_cos >= 1.0 - 1e-3,
+        "vectorized embedding drifted: min cosine {min_cos}"
+    );
     println!(
-        "{{\"skipgram\": {{\"documents\": 400, \"dim\": {DIM}, \"epochs\": {EPOCHS}, \"exact_sigmoid\": {{\"secs_best\": {ex_best:.6}, \"secs_mean\": {ex_mean:.6}, \"runs\": {reps}}}, \"lut_sigmoid\": {{\"secs_best\": {lut_best:.6}, \"secs_mean\": {lut_mean:.6}, \"runs\": {reps}}}, \"speedup_lut_vs_exact\": {:.3}, \"min_word_cosine_lut_vs_exact\": {min_cos:.8}}}}}",
-        ex_best / lut_best
+        "{{\"skipgram\": {{\"documents\": 400, \"dim\": {DIM}, \"epochs\": {EPOCHS}, \"training_pairs\": {pairs_ref}, \"reference\": {{\"secs_best\": {sg_ref_best:.6}, \"secs_mean\": {sg_ref_mean:.6}, \"runs\": {reps}}}, \"sequential\": {{\"secs_best\": {sg_vec_best:.6}, \"secs_mean\": {sg_vec_mean:.6}, \"runs\": {reps}}}, \"pairs_per_sec_reference\": {:.0}, \"pairs_per_sec_sequential\": {:.0}, \"speedup_sequential_vs_reference\": {:.3}, \"min_word_cosine_vectorized_vs_reference\": {min_cos:.8}}}}}",
+        pairs_ref as f64 / sg_ref_best,
+        pairs_vec as f64 / sg_vec_best,
+        sg_ref_best / sg_vec_best
     );
 }

@@ -38,7 +38,7 @@ USAGE:
                     [--connections N] [--batch N] [--tasks N]
                     [--domains N] [--read-every N] [--zipf S] [--rate R]
                     [--queue-cap N] [--tick-ms MS] [--seed N]
-                    [--out FILE]
+                    [--shed-retries N] [--max-backoff-ms MS] [--out FILE]
   eta2-cli top      (--replay FILE.jsonl [--follow] [--metrics FILE]
                      | --demo) [--interval MS] [--refreshes N]
   eta2-cli check    [--seeds N | --seed S | --corpus FILE] [--strict]
@@ -788,6 +788,8 @@ pub fn load_gen(args: &Args) -> Result<(), String> {
         queue_capacity: args.get_parsed("queue-cap", defaults.queue_capacity)?,
         tick_ms: args.get_parsed("tick-ms", defaults.tick_ms)?,
         seed: args.get_parsed("seed", defaults.seed)?,
+        shed_retries: args.get_parsed("shed-retries", defaults.shed_retries)?,
+        max_backoff_ms: args.get_parsed("max-backoff-ms", defaults.max_backoff_ms)?,
     };
     if !cfg.zipf_s.is_finite() || cfg.zipf_s < 0.0 {
         return Err(format!(
@@ -811,13 +813,14 @@ pub fn load_gen(args: &Args) -> Result<(), String> {
         report.target
     );
     eta2_obs::progress!(
-        "  {:.2}s wall, {:.0} req/s: {} submits ok ({} reports), {} shed, \
-         {} reads ok, {} errors",
+        "  {:.2}s wall, {:.0} req/s: {} submits ok ({} reports), {} shed \
+         ({} backoffs), {} reads ok, {} errors",
         report.elapsed_secs,
         report.throughput_rps,
         report.submits_ok,
         report.reports_accepted,
         report.shed,
+        report.backoffs,
         report.reads_ok,
         report.errors
     );

@@ -165,6 +165,13 @@ impl ObservationSet {
             .map(|m| m.iter().map(|(&u, &v)| (u, v)).collect())
     }
 
+    /// Number of observations recorded for `task` (0 if none). Unlike
+    /// [`ObservationSet::for_task`] this does not materialize the
+    /// observations, so sizing pre-passes can call it per task for free.
+    pub fn count_for_task(&self, task: TaskId) -> usize {
+        self.by_task.get(&task).map_or(0, |m| m.len())
+    }
+
     /// Whether user `user` has reported for `task`.
     pub fn contains(&self, user: UserId, task: TaskId) -> bool {
         self.by_task

@@ -428,7 +428,12 @@ impl DynamicExpertise {
                     let u = work[slot].max(cfg.expertise_floor);
                     ss += u * u * (x - mu) * (x - mu);
                 }
-                let sigma = (ss / slots.len() as f64).sqrt().max(cfg.sigma_floor);
+                let denom = if cfg.sigma_weighted_denominator {
+                    wsum
+                } else {
+                    slots.len() as f64
+                };
+                let sigma = (ss / denom).sqrt().max(cfg.sigma_floor);
                 truths.insert(
                     t.id,
                     TruthEstimate {

@@ -21,19 +21,37 @@
 //!
 //! # Performance architecture
 //!
-//! The solver remaps the batch once into dense per-domain shards —
-//! contiguous observation arrays with flat accumulators indexed by user —
-//! instead of walking nested maps every iteration. Per-observation weights
-//! `u²` are cached during the truth update, so each leave-one-out reference
-//! is a constant-time subtraction from the task's weighted sums rather than
-//! a rescan, and the divergence fallback reuses the plain observation sums
+//! The solver remaps the batch once into dense per-domain shards in
+//! structure-of-arrays form: contiguous observation arrays (`obs_slot`,
+//! `obs_x`) plus flat per-reporter accumulator columns indexed by *compact
+//! slot* — users are renumbered per shard to the batch's distinct
+//! reporters, so per-batch scratch is sized to who actually reported, not
+//! to the total user space (see DESIGN.md §15). The inner loops are
+//! branch-free: the `expertise_floor` clamp is hoisted into a pre-clamped,
+//! pre-squared weight column recomputed once per iteration, the
+//! leave-one-out decision is made per task (two loop bodies, no
+//! per-observation branch), and the σ-normalized error multiplies by a
+//! precomputed `1/σ_j` instead of dividing. The μ/σ reductions accumulate
+//! in four independent f64 lanes so the adds pipeline (and autovectorize)
+//! instead of serializing on the FP-add latency; each leave-one-out
+//! reference is still a constant-time subtraction from the task's weighted
+//! sums, and the divergence fallback reuses the plain observation sums
 //! accumulated at batch build. All buffers persist across iterations.
+//!
+//! The batch build itself is kept off the critical path's back: a sizing
+//! pre-pass reserves every shard column up front (no mid-batch doubling
+//! copies) and the user→slot renumbering runs through a flat
+//! open-addressing [`SlotMap`] rather than an ordered map, so the
+//! one-lookup-per-observation build costs a few ns per report.
+//!
 //! Because the expertise update touches only its own domain, shards are
 //! independent within an iteration and can run on worker threads
 //! ([`MleConfig::threads`]) with results **bit-identical** to sequential
 //! execution. The pre-optimization solver is preserved verbatim in
-//! [`crate::truth::reference`] and the property tests here assert exact
-//! (`==`) agreement with it.
+//! [`crate::truth::reference`]; lane reassociation and the `1/σ` multiply
+//! change the floating-point rounding, so agreement with it is within the
+//! documented [`PARITY_REL_TOL`] (checked by [`results_match`] and the
+//! property tests here), not bit-exact.
 
 use crate::model::{DomainId, ExpertiseMatrix, ObservationSet, Task, TaskId, UserId};
 use serde::{Deserialize, Serialize};
@@ -84,6 +102,20 @@ pub struct MleConfig {
     /// configs survive a JSON round trip.
     #[serde(default = "default_quarantine_threshold")]
     pub quarantine_threshold: f64,
+    /// Divide the σ_j² sum of squares by the weight sum `Σ ω u²` instead
+    /// of the observation count.
+    ///
+    /// The paper's Eq. 5 (as re-derived from Eq. 4 — see the module docs)
+    /// normalizes the expertise-weighted sum of squares by `Σ_i ω_ij`,
+    /// the plain observation count, which is what the default computes.
+    /// The weighted-truth literature instead matches the denominator to
+    /// the weighting scheme (a weighted mean of squared residuals, i.e.
+    /// divide by `Σ ω u²`), which keeps σ comparable when expertise is
+    /// far from 1. Both are supported; the default stays paper-as-written
+    /// so published baselines and the dynamic update are unchanged. See
+    /// DESIGN.md §15.4.
+    #[serde(default)]
+    pub sigma_weighted_denominator: bool,
     /// Worker threads for the per-domain coordinate updates: `1` runs
     /// sequentially (the default), `0` uses one worker per available core,
     /// `n` uses exactly `n`. Domains are independent within an iteration,
@@ -112,6 +144,7 @@ impl Default for MleConfig {
             leave_one_out: true,
             prior_strength: 1.0,
             quarantine_threshold: default_quarantine_threshold(),
+            sigma_weighted_denominator: false,
             threads: default_mle_threads(),
         }
     }
@@ -145,36 +178,114 @@ pub struct MleResult {
     pub converged: bool,
 }
 
-/// One domain's dense slice of the batch.
+/// Minimal open-addressing map from global user id to compact shard slot.
+///
+/// The batch build does one lookup per observation, so this sits on the
+/// ingest hot path: a Fibonacci-hashed linear probe over a flat
+/// `(key, slot + 1)` table costs a few ns where `BTreeMap`'s pointer
+/// chases cost tens — enough to dominate the whole solve once the
+/// iteration passes are vectorized. Capacity is a power of two and grows
+/// at 3/4 load; memory stays `O(distinct reporters)`.
+struct SlotMap {
+    /// `(key, slot + 1)`; `slot + 1 == 0` marks an empty bucket.
+    table: Vec<(u32, u32)>,
+    mask: usize,
+    len: usize,
+}
+
+impl SlotMap {
+    fn new() -> Self {
+        SlotMap {
+            table: vec![(0, 0); 16],
+            mask: 15,
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn bucket(key: u32, mask: usize) -> usize {
+        (key.wrapping_mul(0x9e37_79b9) as usize) & mask
+    }
+
+    fn grow(&mut self) {
+        let cap = self.table.len() * 2;
+        let mask = cap - 1;
+        let mut table = vec![(0u32, 0u32); cap];
+        for &(k, sp1) in &self.table {
+            if sp1 != 0 {
+                let mut i = Self::bucket(k, mask);
+                while table[i].1 != 0 {
+                    i = (i + 1) & mask;
+                }
+                table[i] = (k, sp1);
+            }
+        }
+        self.table = table;
+        self.mask = mask;
+    }
+
+    /// Slot of `key`, assigning `next` on first sight; the bool reports
+    /// whether the assignment happened.
+    #[inline]
+    fn get_or_insert(&mut self, key: u32, next: u32) -> (u32, bool) {
+        if (self.len + 1) * 4 > self.table.len() * 3 {
+            self.grow();
+        }
+        let mut i = Self::bucket(key, self.mask);
+        loop {
+            let (k, sp1) = self.table[i];
+            if sp1 == 0 {
+                self.table[i] = (key, next + 1);
+                self.len += 1;
+                return (next, true);
+            }
+            if k == key {
+                return (sp1 - 1, false);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+}
+
+/// One domain's dense slice of the batch, in structure-of-arrays form.
 ///
 /// Tasks are grouped by domain with their original relative order
 /// preserved, so every per-(domain, user) accumulation runs in exactly the
 /// order the pre-optimization solver used — the grouping is a pure
-/// reordering of independent work, not a change to any floating-point sum.
+/// reordering of independent work. Reporters are renumbered into compact
+/// per-shard *slots* (first-report order), so every per-reporter column is
+/// sized to the batch's distinct reporters rather than the total user
+/// space.
 struct Shard {
     domain: DomainId,
     /// Task ids, in original batch order restricted to this domain.
     ids: Vec<TaskId>,
     /// Observation offsets: task `j` owns `obs_*[task_off[j]..task_off[j+1]]`.
     task_off: Vec<usize>,
-    obs_user: Vec<u32>,
+    /// Compact reporter slot of each observation (index into `slot_user`).
+    obs_slot: Vec<u32>,
     obs_x: Vec<f64>,
     /// Plain per-task observation sums, accumulated once at batch build and
     /// reused by the divergence fallback (O(1) per repaired task).
     xsum: Vec<f64>,
-    /// Per-observation weight `u²` cached by the truth update; makes the
-    /// leave-one-out reference a constant-time subtraction.
-    obs_w: Vec<f64>,
+    /// Slot → global user id, in first-report order.
+    slot_user: Vec<u32>,
+    /// User id → slot, used only during batch build.
+    slot_of: SlotMap,
+    /// Per-slot observation count — Eq. 6's N. Constant across iterations,
+    /// so it is accumulated once at batch build, not per iteration.
+    slot_n: Vec<f64>,
     mu: Vec<f64>,
     sigma: Vec<f64>,
     wsum: Vec<f64>,
     wxsum: Vec<f64>,
     prev_mu: Vec<f64>,
-    /// Dense expertise column for this domain, indexed by user.
+    /// Compact expertise column for this domain, indexed by slot.
     expertise: Vec<f64>,
-    /// Per-user N (observation count) accumulator for Eq. 6.
-    acc_n: Vec<f64>,
-    /// Per-user D (squared normalized error) accumulator for Eq. 6.
+    /// Pre-clamped, pre-squared weight `max(u, floor)²` per slot, refreshed
+    /// once per iteration so the observation loops are branch-free gathers.
+    w_col: Vec<f64>,
+    /// Per-slot D (squared normalized error) accumulator for Eq. 6.
     acc_d: Vec<f64>,
 }
 
@@ -184,36 +295,55 @@ impl Shard {
             domain,
             ids: Vec::new(),
             task_off: vec![0],
-            obs_user: Vec::new(),
+            obs_slot: Vec::new(),
             obs_x: Vec::new(),
             xsum: Vec::new(),
-            obs_w: Vec::new(),
+            slot_user: Vec::new(),
+            slot_of: SlotMap::new(),
+            slot_n: Vec::new(),
             mu: Vec::new(),
             sigma: Vec::new(),
             wsum: Vec::new(),
             wxsum: Vec::new(),
             prev_mu: Vec::new(),
             expertise: Vec::new(),
-            acc_n: Vec::new(),
+            w_col: Vec::new(),
             acc_d: Vec::new(),
         }
     }
 
+    /// Compact slot of `user`, assigning the next one on first report.
+    fn slot_for(&mut self, user: u32) -> u32 {
+        let next = self.slot_user.len() as u32;
+        let (slot, inserted) = self.slot_of.get_or_insert(user, next);
+        if inserted {
+            self.slot_user.push(user);
+            self.slot_n.push(0.0);
+        }
+        slot
+    }
+
     /// Sizes the per-iteration buffers (allocated once, reused every
-    /// iteration) and materializes the dense expertise column.
-    fn finish(&mut self, n_users: usize, initial: &ExpertiseMatrix) {
+    /// iteration) and materializes the compact expertise column. Every
+    /// per-reporter buffer is `O(distinct reporters)`, never
+    /// `O(total users)`.
+    fn finish(&mut self, initial: &ExpertiseMatrix) {
         let nt = self.ids.len();
-        self.obs_w = vec![0.0; self.obs_x.len()];
+        let ns = self.slot_user.len();
         self.mu = vec![0.0; nt];
         self.sigma = vec![0.0; nt];
         self.wsum = vec![0.0; nt];
         self.wxsum = vec![0.0; nt];
         self.prev_mu = vec![0.0; nt];
-        self.expertise = (0..n_users)
-            .map(|i| initial.get(UserId(i as u32), self.domain))
+        self.expertise = self
+            .slot_user
+            .iter()
+            .map(|&u| initial.get(UserId(u), self.domain))
             .collect();
-        self.acc_n = vec![0.0; n_users];
-        self.acc_d = vec![0.0; n_users];
+        self.w_col = vec![0.0; ns];
+        self.acc_d = vec![0.0; ns];
+        #[cfg(test)]
+        tests::note_user_column_alloc(ns);
     }
 
     /// One coordinate-update iteration over this domain's tasks. Reads and
@@ -223,66 +353,113 @@ impl Shard {
         // One relaxed load when metrics are off; when on, concurrent
         // shards bump the registry's lock-free counter cell in parallel.
         eta2_obs::counter("mle.shard_iterations", 1);
-        // (1) μ_j and σ_j given current expertise, caching each
-        // observation's weight for the reference subtraction below.
+        // (0) Hoist the expertise floor out of the observation loops: one
+        // clamp+square per reporter, then the hot loops are pure gathers.
+        for s in 0..self.expertise.len() {
+            let u = self.expertise[s].max(cfg.expertise_floor);
+            self.w_col[s] = u * u;
+        }
+
+        // (1) μ_j and σ_j given current expertise. Both reductions run in
+        // four independent f64 lanes (combined pairwise at the end) so the
+        // adds pipeline instead of serializing on FP-add latency — this
+        // reassociation is why agreement with `truth::reference` is within
+        // [`PARITY_REL_TOL`] rather than bit-exact.
         for j in 0..self.ids.len() {
             let (lo, hi) = (self.task_off[j], self.task_off[j + 1]);
-            let mut wsum = 0.0;
-            let mut wxsum = 0.0;
-            for o in lo..hi {
-                let u = self.expertise[self.obs_user[o] as usize].max(cfg.expertise_floor);
-                let w = u * u;
-                self.obs_w[o] = w;
-                wsum += w;
-                wxsum += w * self.obs_x[o];
+            let slots = &self.obs_slot[lo..hi];
+            let xs = &self.obs_x[lo..hi];
+
+            let mut lw = [0.0f64; 4];
+            let mut lwx = [0.0f64; 4];
+            let mut cs = slots.chunks_exact(4);
+            let mut cx = xs.chunks_exact(4);
+            for (s4, x4) in (&mut cs).zip(&mut cx) {
+                for k in 0..4 {
+                    let w = self.w_col[s4[k] as usize];
+                    lw[k] += w;
+                    lwx[k] += w * x4[k];
+                }
             }
+            for (&s1, &x1) in cs.remainder().iter().zip(cx.remainder()) {
+                let w = self.w_col[s1 as usize];
+                lw[0] += w;
+                lwx[0] += w * x1;
+            }
+            let wsum = (lw[0] + lw[1]) + (lw[2] + lw[3]);
+            let wxsum = (lwx[0] + lwx[1]) + (lwx[2] + lwx[3]);
             let mu = wxsum / wsum;
-            let mut ss = 0.0;
-            for o in lo..hi {
-                let xv = self.obs_x[o];
-                ss += self.obs_w[o] * (xv - mu) * (xv - mu);
+
+            let mut lss = [0.0f64; 4];
+            let mut cs = slots.chunks_exact(4);
+            let mut cx = xs.chunks_exact(4);
+            for (s4, x4) in (&mut cs).zip(&mut cx) {
+                for k in 0..4 {
+                    let w = self.w_col[s4[k] as usize];
+                    let d = x4[k] - mu;
+                    lss[k] += w * d * d;
+                }
             }
+            for (&s1, &x1) in cs.remainder().iter().zip(cx.remainder()) {
+                let w = self.w_col[s1 as usize];
+                let d = x1 - mu;
+                lss[0] += w * d * d;
+            }
+            let ss = (lss[0] + lss[1]) + (lss[2] + lss[3]);
+            let denom = if cfg.sigma_weighted_denominator {
+                wsum
+            } else {
+                (hi - lo) as f64
+            };
+
             self.mu[j] = mu;
-            self.sigma[j] = (ss / (hi - lo) as f64).sqrt().max(cfg.sigma_floor);
+            self.sigma[j] = (ss / denom).sqrt().max(cfg.sigma_floor);
             self.wsum[j] = wsum;
             self.wxsum[j] = wxsum;
         }
 
-        // (2) u_i^k given current truths: accumulate the N/D ratio. The
-        // leave-one-out truth is the task's weighted sums minus this
-        // observation's own contribution — O(1), no per-user rescan.
-        self.acc_n.fill(0.0);
+        // (2) u_i^k given current truths: accumulate the D half of the N/D
+        // ratio (N is constant and precomputed at build). The leave-one-out
+        // truth is the task's weighted sums minus this observation's own
+        // contribution — O(1), no per-user rescan. The LOO decision and the
+        // σ division are hoisted per task, so the observation bodies are
+        // branch- and divide-free.
         self.acc_d.fill(0.0);
         for j in 0..self.ids.len() {
             let (lo, hi) = (self.task_off[j], self.task_off[j + 1]);
-            let loo = cfg.leave_one_out && hi - lo > 1;
-            for o in lo..hi {
-                let xv = self.obs_x[o];
-                let reference = if loo {
-                    (self.wxsum[j] - self.obs_w[o] * xv) / (self.wsum[j] - self.obs_w[o])
-                } else {
-                    self.mu[j]
-                };
-                let e = (xv - reference) / self.sigma[j];
-                let i = self.obs_user[o] as usize;
-                self.acc_n[i] += 1.0;
-                self.acc_d[i] += e * e;
+            let slots = &self.obs_slot[lo..hi];
+            let xs = &self.obs_x[lo..hi];
+            let inv_sigma = 1.0 / self.sigma[j];
+            if cfg.leave_one_out && hi - lo > 1 {
+                let (wsum, wxsum) = (self.wsum[j], self.wxsum[j]);
+                for (&s1, &xv) in slots.iter().zip(xs) {
+                    let s = s1 as usize;
+                    let w = self.w_col[s];
+                    let reference = (wxsum - w * xv) / (wsum - w);
+                    let e = (xv - reference) * inv_sigma;
+                    self.acc_d[s] += e * e;
+                }
+            } else {
+                let mu = self.mu[j];
+                for (&s1, &xv) in slots.iter().zip(xs) {
+                    let e = (xv - mu) * inv_sigma;
+                    self.acc_d[s1 as usize] += e * e;
+                }
             }
         }
-        for i in 0..self.acc_n.len() {
-            let n = self.acc_n[i];
-            if n > 0.0 {
-                let s = cfg.prior_strength;
-                let raw = ((n + s) / (self.acc_d[i] + s).max(1e-12)).sqrt();
-                // NaN only arises when gross (finite but enormous)
-                // observations overflow the error accumulator;
-                // treat that as "no demonstrated expertise".
-                self.expertise[i] = if raw.is_finite() {
-                    raw.clamp(cfg.expertise_floor, cfg.expertise_cap)
-                } else {
-                    cfg.expertise_floor
-                };
-            }
+        // (3) Expertise per slot. Every slot has at least one observation,
+        // so there is no occupancy branch in this pass either.
+        let prior = cfg.prior_strength;
+        for i in 0..self.expertise.len() {
+            let raw = ((self.slot_n[i] + prior) / (self.acc_d[i] + prior).max(1e-12)).sqrt();
+            // NaN only arises when gross (finite but enormous)
+            // observations overflow the error accumulator;
+            // treat that as "no demonstrated expertise".
+            self.expertise[i] = if raw.is_finite() {
+                raw.clamp(cfg.expertise_floor, cfg.expertise_cap)
+            } else {
+                cfg.expertise_floor
+            };
         }
     }
 }
@@ -344,7 +521,6 @@ impl ExpertiseAwareMle {
     ) -> MleResult {
         let _span = eta2_obs::span!("mle.solve");
         let cfg = &self.config;
-        let n_users = initial.n_users();
 
         // Materialize the batch once into dense per-domain shards.
         // Non-finite observations (corrupted reports) are rejected here so
@@ -357,6 +533,21 @@ impl ExpertiseAwareMle {
         // pass at the end.
         let mut order: Vec<(usize, usize)> = Vec::new();
         let mut scratch: Vec<(u32, f64)> = Vec::new();
+
+        // Sizing pre-pass: per-domain task and (unfiltered) observation
+        // counts, so each shard reserves its columns once at creation and
+        // the build loop below never reallocates mid-batch. The
+        // observation columns dominate the build, and letting them
+        // double-and-copy measurably dents solve throughput.
+        let mut sizes: BTreeMap<DomainId, (usize, usize)> = BTreeMap::new();
+        for t in tasks {
+            let n_raw = obs.count_for_task(t.id);
+            if n_raw > 0 {
+                let e = sizes.entry(t.domain).or_insert((0, 0));
+                e.0 += 1;
+                e.1 += n_raw;
+            }
+        }
 
         for t in tasks {
             let Some(raw) = obs.for_task(t.id) else {
@@ -383,7 +574,15 @@ impl ExpertiseAwareMle {
                 continue;
             }
             let si = *shard_of.entry(t.domain).or_insert_with(|| {
-                shards.push(Shard::new(t.domain));
+                let mut s = Shard::new(t.domain);
+                if let Some(&(nt, no)) = sizes.get(&t.domain) {
+                    s.ids.reserve(nt);
+                    s.task_off.reserve(nt + 1);
+                    s.xsum.reserve(nt);
+                    s.obs_slot.reserve(no);
+                    s.obs_x.reserve(no);
+                }
+                shards.push(s);
                 shards.len() - 1
             });
             let s = &mut shards[si];
@@ -391,7 +590,9 @@ impl ExpertiseAwareMle {
             s.ids.push(t.id);
             let mut xsum = 0.0;
             for &(u, x) in &scratch {
-                s.obs_user.push(u);
+                let slot = s.slot_for(u);
+                s.obs_slot.push(slot);
+                s.slot_n[slot as usize] += 1.0;
                 s.obs_x.push(x);
                 xsum += x;
             }
@@ -399,7 +600,7 @@ impl ExpertiseAwareMle {
             s.task_off.push(s.obs_x.len());
         }
         for s in &mut shards {
-            s.finish(n_users, &initial);
+            s.finish(&initial);
         }
 
         let n_tasks = order.len();
@@ -505,16 +706,13 @@ impl ExpertiseAwareMle {
             }
         }
 
-        // Write the dense columns back, touching exactly the (domain, user)
-        // pairs the original per-slot update wrote (users with at least one
-        // observation in the domain; the count is the same every iteration,
-        // so the final acc_n doubles as the touched mask).
+        // Write the compact columns back. Slots exist exactly for the
+        // (domain, user) pairs with at least one observation, so this
+        // touches the same set the original per-slot update wrote.
         let mut expertise = initial;
         for s in &shards {
-            for i in 0..n_users {
-                if s.acc_n[i] > 0.0 {
-                    expertise.set(UserId(i as u32), s.domain, s.expertise[i]);
-                }
+            for (slot, &u) in s.slot_user.iter().enumerate() {
+                expertise.set(UserId(u), s.domain, s.expertise[slot]);
             }
         }
 
@@ -536,18 +734,16 @@ impl ExpertiseAwareMle {
                 );
             }
             for s in &shards {
-                for i in 0..n_users {
-                    if s.acc_n[i] > 0.0 {
-                        let u = expertise.get(UserId(i as u32), s.domain);
-                        eta2_check::invariant!(
-                            "mle.expertise_bounds",
-                            u.is_finite() && u >= cfg.expertise_floor && u <= cfg.expertise_cap,
-                            "user {i} in {:?}: expertise {u} outside [{}, {}]",
-                            s.domain,
-                            cfg.expertise_floor,
-                            cfg.expertise_cap
-                        );
-                    }
+                for &i in &s.slot_user {
+                    let u = expertise.get(UserId(i), s.domain);
+                    eta2_check::invariant!(
+                        "mle.expertise_bounds",
+                        u.is_finite() && u >= cfg.expertise_floor && u <= cfg.expertise_cap,
+                        "user {i} in {:?}: expertise {u} outside [{}, {}]",
+                        s.domain,
+                        cfg.expertise_floor,
+                        cfg.expertise_cap
+                    );
                 }
             }
             if converged {
@@ -626,7 +822,12 @@ impl ExpertiseAwareMle {
                 let u = expertise.get(user, t.domain).max(cfg.expertise_floor);
                 ss += u * u * (x - mu) * (x - mu);
             }
-            let sigma = (ss / observations.len() as f64).sqrt().max(cfg.sigma_floor);
+            let denom = if cfg.sigma_weighted_denominator {
+                wsum
+            } else {
+                observations.len() as f64
+            };
+            let sigma = (ss / denom).sqrt().max(cfg.sigma_floor);
             let est = if mu.is_finite() && sigma.is_finite() {
                 TruthEstimate {
                     mu,
@@ -661,6 +862,83 @@ pub(crate) fn relative_change(old: f64, new: f64) -> f64 {
     (new - old).abs() / old.abs().max(1e-9)
 }
 
+/// Documented numerical tolerance between the vectorized solver and the
+/// frozen [`crate::truth::reference`] implementation.
+///
+/// The 4-lane accumulators reassociate floating-point additions and the
+/// N/D pass multiplies by a precomputed `1/σ_j` instead of dividing, so
+/// the optimized solver is no longer bit-identical to the reference; per
+/// coordinate update the rounding differences are a few ULP, and the 5 %
+/// convergence criterion keeps them from compounding across iterations.
+/// [`results_match`] at this tolerance is the parity contract checked by
+/// the property suites, `perf_suite`, and the `mle_vs_reference`
+/// differential oracle. Per-domain *parallelism*, by contrast, remains
+/// bit-identical to sequential execution (shards are independent), and is
+/// still asserted with `==`.
+pub const PARITY_REL_TOL: f64 = 1e-9;
+
+/// Compares two MLE results structurally and numerically.
+///
+/// Structure must match exactly: the same task set, the same per-task
+/// fallback provenance, the same iteration count and convergence verdict,
+/// and the same expertise domain set. Every numeric value (truth μ, base
+/// number σ, expertise u) must satisfy `|a − b| ≤ tol · max(|a|, |b|, 1)`
+/// — a mixed relative/absolute criterion so near-zero truths don't demand
+/// absurd absolute precision. Returns a description of the first mismatch.
+pub fn results_match(a: &MleResult, b: &MleResult, tol: f64) -> Result<(), String> {
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        a == b || (a - b).abs() <= tol * a.abs().max(b.abs()).max(1.0)
+    }
+    if a.iterations != b.iterations {
+        return Err(format!("iterations {} vs {}", a.iterations, b.iterations));
+    }
+    if a.converged != b.converged {
+        return Err(format!("converged {} vs {}", a.converged, b.converged));
+    }
+    if a.truths.len() != b.truths.len() {
+        return Err(format!("{} tasks vs {}", a.truths.len(), b.truths.len()));
+    }
+    for (id, ea) in &a.truths {
+        let Some(eb) = b.truths.get(id) else {
+            return Err(format!("task {id:?} missing on one side"));
+        };
+        if ea.fallback != eb.fallback {
+            return Err(format!(
+                "task {id:?}: fallback {} vs {}",
+                ea.fallback, eb.fallback
+            ));
+        }
+        if !close(ea.mu, eb.mu, tol) {
+            return Err(format!("task {id:?}: mu {} vs {}", ea.mu, eb.mu));
+        }
+        if !close(ea.sigma, eb.sigma, tol) {
+            return Err(format!("task {id:?}: sigma {} vs {}", ea.sigma, eb.sigma));
+        }
+    }
+    let da: Vec<DomainId> = a.expertise.domains().collect();
+    let db: Vec<DomainId> = b.expertise.domains().collect();
+    if da != db {
+        return Err(format!("expertise domains {da:?} vs {db:?}"));
+    }
+    if a.expertise.n_users() != b.expertise.n_users() {
+        return Err(format!(
+            "n_users {} vs {}",
+            a.expertise.n_users(),
+            b.expertise.n_users()
+        ));
+    }
+    for &d in &da {
+        for i in 0..a.expertise.n_users() {
+            let ua = a.expertise.get(UserId(i as u32), d);
+            let ub = b.expertise.get(UserId(i as u32), d);
+            if !close(ua, ub, tol) {
+                return Err(format!("user {i} in {d:?}: expertise {ua} vs {ub}"));
+            }
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -668,6 +946,26 @@ mod tests {
     use proptest::prelude::*;
     use rand::Rng;
     use rand::SeedableRng;
+    use std::cell::Cell;
+
+    thread_local! {
+        /// Largest per-reporter column allocated by `Shard::finish` on this
+        /// thread — the allocation-churn tripwire. `finish` always runs on
+        /// the thread that called `estimate*`, so the counter is race-free.
+        static MAX_USER_COLUMN_ALLOC: Cell<usize> = const { Cell::new(0) };
+    }
+
+    pub(super) fn note_user_column_alloc(n_slots: usize) {
+        MAX_USER_COLUMN_ALLOC.with(|c| c.set(c.get().max(n_slots)));
+    }
+
+    fn reset_user_column_alloc() {
+        MAX_USER_COLUMN_ALLOC.with(|c| c.set(0));
+    }
+
+    fn max_user_column_alloc() -> usize {
+        MAX_USER_COLUMN_ALLOC.with(|c| c.get())
+    }
 
     fn make_tasks(m: u32, domain: u32) -> Vec<Task> {
         (0..m)
@@ -881,8 +1179,72 @@ mod tests {
     fn mle_config_without_threads_field_still_deserializes() {
         let mut v = serde_json::to_value(MleConfig::default()).unwrap();
         v.as_object_mut().unwrap().remove("threads");
+        v.as_object_mut()
+            .unwrap()
+            .remove("sigma_weighted_denominator");
         let cfg: MleConfig = serde_json::from_value(v).unwrap();
         assert_eq!(cfg, MleConfig::default());
+    }
+
+    /// The per-batch scratch is sized to the batch's distinct reporters,
+    /// not to the total user space: a 5-reporter batch against a 100 000
+    /// user population must not allocate any 100 000-wide column.
+    #[test]
+    fn scratch_is_sized_to_distinct_reporters_not_user_space() {
+        let tasks = make_tasks(6, 0);
+        let mut obs = ObservationSet::new();
+        for t in &tasks {
+            for i in 0..5u32 {
+                obs.insert(UserId(i * 1000), t.id, 10.0 + i as f64);
+            }
+        }
+        reset_user_column_alloc();
+        let r = ExpertiseAwareMle::default().estimate(&tasks, &obs, 100_000);
+        assert_eq!(r.truths.len(), 6);
+        let max = max_user_column_alloc();
+        assert!(
+            (1..=5).contains(&max),
+            "per-batch reporter scratch sized {max} for 5 distinct reporters"
+        );
+    }
+
+    /// With all expertise at the initialization value 1, the weighted and
+    /// unweighted σ denominators coincide; with unequal expertise the
+    /// weighted denominator normalizes by Σu² instead of the count.
+    #[test]
+    fn sigma_weighted_denominator_changes_only_sigma() {
+        let tasks = make_tasks(1, 0);
+        let mut obs = ObservationSet::new();
+        obs.insert(UserId(0), TaskId(0), 0.0);
+        obs.insert(UserId(1), TaskId(0), 10.0);
+        let mut ex = ExpertiseMatrix::new(2);
+        ex.set(UserId(0), DomainId(0), 3.0);
+        ex.set(UserId(1), DomainId(0), 1.0);
+        let plain = ExpertiseAwareMle::default().truths_given_expertise(&tasks, &obs, &ex);
+        let weighted = ExpertiseAwareMle::new(MleConfig {
+            sigma_weighted_denominator: true,
+            ..MleConfig::default()
+        })
+        .truths_given_expertise(&tasks, &obs, &ex);
+        // Weighted mean with weights 9:1 → μ = 1; ss = 9·1 + 1·81 = 90.
+        let (p, w) = (plain[&TaskId(0)], weighted[&TaskId(0)]);
+        assert_eq!(p.mu, w.mu);
+        assert!((p.sigma - (90.0f64 / 2.0).sqrt()).abs() < 1e-12);
+        assert!((w.sigma - (90.0f64 / 10.0).sqrt()).abs() < 1e-12);
+    }
+
+    /// The σ-denominator knob flows through the full iterated solver too,
+    /// and the optimized path still matches the reference under it.
+    #[test]
+    fn sigma_weighted_denominator_parity_with_reference() {
+        let (tasks, obs) = parity_world(7, 5, 18, 3, 10);
+        let cfg = MleConfig {
+            sigma_weighted_denominator: true,
+            ..MleConfig::default()
+        };
+        let a = ExpertiseAwareMle::new(cfg).estimate(&tasks, &obs, 5);
+        let b = reference::estimate_with_initial(&cfg, &tasks, &obs, ExpertiseMatrix::new(5));
+        results_match(&a, &b, PARITY_REL_TOL).unwrap();
     }
 
     #[test]
@@ -1067,26 +1429,37 @@ mod tests {
             }
         }
 
-        /// The optimized solver is bit-identical (`==` on every truth,
-        /// every expertise value, iteration count and convergence flag) to
-        /// the frozen pre-optimization implementation, across multi-domain
-        /// worlds, both leave-one-out settings, and corrupted inputs.
+        /// The optimized solver matches the frozen pre-optimization
+        /// implementation within the documented [`PARITY_REL_TOL`]: same
+        /// task set, fallback provenance, iteration count and convergence
+        /// verdict, and every numeric value within tolerance — across
+        /// multi-domain worlds, both leave-one-out settings, both σ
+        /// denominators, and corrupted inputs. (Bit-exactness ended with
+        /// the 4-lane reassociated accumulators; see the module docs.)
         #[test]
-        fn optimized_matches_reference_bitwise(
+        fn optimized_matches_reference_within_tolerance(
             seed in 0u64..400,
             n_users in 1usize..6,
             m in 1u32..14,
             n_domains in 1u32..4,
             loo in proptest::bool::ANY,
+            weighted_sigma in proptest::bool::ANY,
             corrupt_pct in 0u32..=40,
         ) {
             let (tasks, obs) = parity_world(seed, n_users, m, n_domains, corrupt_pct);
-            let cfg = MleConfig { leave_one_out: loo, ..MleConfig::default() };
+            let cfg = MleConfig {
+                leave_one_out: loo,
+                sigma_weighted_denominator: weighted_sigma,
+                ..MleConfig::default()
+            };
             let a = ExpertiseAwareMle::new(cfg).estimate(&tasks, &obs, n_users);
             let b = reference::estimate_with_initial(
                 &cfg, &tasks, &obs, ExpertiseMatrix::new(n_users),
             );
-            prop_assert_eq!(a, b);
+            prop_assert!(
+                results_match(&a, &b, PARITY_REL_TOL).is_ok(),
+                "{}", results_match(&a, &b, PARITY_REL_TOL).unwrap_err()
+            );
         }
 
         /// Per-domain parallelism is a pure throughput knob: four worker

@@ -10,4 +10,6 @@ pub use baselines::{
     AverageLog, BaselineResult, Crh, HubsAuthorities, MeanBaseline, TruthFinder, TruthMethod,
 };
 pub use dynamic::{BatchOutcome, DynamicExpertise, IngestOptions};
-pub use mle::{ExpertiseAwareMle, MleConfig, MleResult, TruthEstimate};
+pub use mle::{
+    results_match, ExpertiseAwareMle, MleConfig, MleResult, TruthEstimate, PARITY_REL_TOL,
+};

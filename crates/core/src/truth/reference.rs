@@ -4,8 +4,11 @@
 //! accumulators, per-task leave-one-out rescans) for two purposes:
 //!
 //! * **Parity testing** — the optimized solver in [`crate::truth::mle`]
-//!   must produce bit-identical [`MleResult`]s on every input; the property
-//!   tests there compare against this implementation directly.
+//!   must agree with this implementation on every input within the
+//!   documented [`crate::truth::mle::PARITY_REL_TOL`] (bit-exactness ended
+//!   with the vectorized 4-lane accumulators); the property tests there
+//!   compare against this implementation directly via
+//!   [`crate::truth::mle::results_match`].
 //! * **Benchmark baseline** — the `perf_suite` binary in `eta2-bench` times
 //!   this path as the "before" column of `BENCH_perf.json`.
 //!
@@ -89,7 +92,12 @@ pub fn estimate_with_initial(
                 let u = expertise.get(user, t.domain).max(cfg.expertise_floor);
                 ss += u * u * (x - mu) * (x - mu);
             }
-            let sigma = (ss / t.obs.len() as f64).sqrt().max(cfg.sigma_floor);
+            let denom = if cfg.sigma_weighted_denominator {
+                wsum
+            } else {
+                t.obs.len() as f64
+            };
+            let sigma = (ss / denom).sqrt().max(cfg.sigma_floor);
             truths.insert(
                 t.id,
                 TruthEstimate {

@@ -22,6 +22,18 @@
 //! a shared atomic step counter. Hogwild output depends on thread
 //! interleaving, so the sequential path remains the determinism target —
 //! the parallel one is a throughput option for large corpora.
+//!
+//! The SGNS inner loops (the center·target dot product and the fused
+//! grad/output update) run over contiguous row slices in four independent
+//! f32 lanes, so the multiplies pipeline and autovectorize instead of
+//! serializing on the FP-add chain. Lane reassociation changes the
+//! floating-point rounding, so the pre-vectorization scalar kernel is kept
+//! frozen ([`SkipGramTrainer::train_encoded_reference`]) as the perf
+//! baseline and as the anchor of the `vectorized_*` cosine-parity test —
+//! the same parity-vs-tolerance contract the MLE kernel documents in
+//! DESIGN.md §15. Trained pairs are counted on the `sg.pairs` metric
+//! (one bump per center word), which is how `perf_suite` derives
+//! pairs/sec.
 
 use crate::embedding::Embedding;
 use crate::error::EmbedError;
@@ -181,19 +193,30 @@ impl SkipGramTrainer {
     pub fn train_encoded(&self, vocab: &Vocabulary, sentences: &[Vec<u32>]) -> Embedding {
         let threads = eta2_par::Parallelism::from_threads(self.config.threads).resolve();
         if threads <= 1 || sentences.len() < 2 {
-            self.train_encoded_with(vocab, sentences, sigmoid)
+            self.train_encoded_with(vocab, sentences, sigmoid, train_pair::<StdRng>)
         } else {
             self.train_encoded_hogwild(vocab, sentences, threads.min(sentences.len()))
         }
     }
 
-    /// The sequential trainer, parameterized over the logistic function so
-    /// the LUT can be tested end-to-end against the exact sigmoid.
+    /// The frozen pre-vectorization trainer: identical driver, scalar
+    /// [`train_pair_reference`] inner loops. Kept (like `truth::reference`)
+    /// as the "before" column of `BENCH_perf.json` and as the anchor of the
+    /// vectorization cosine-parity test; not part of the supported API.
+    pub fn train_encoded_reference(&self, vocab: &Vocabulary, sentences: &[Vec<u32>]) -> Embedding {
+        self.train_encoded_with(vocab, sentences, sigmoid, train_pair_reference::<StdRng>)
+    }
+
+    /// The sequential trainer, parameterized over the logistic function
+    /// (so the LUT can be tested end-to-end against the exact sigmoid) and
+    /// over the pair kernel (so the frozen scalar reference shares this
+    /// driver — including the `sg.pairs` accounting — exactly).
     fn train_encoded_with(
         &self,
         vocab: &Vocabulary,
         sentences: &[Vec<u32>],
         sig: fn(f32) -> f32,
+        pair: PairFn,
     ) -> Embedding {
         let cfg = &self.config;
         let n = vocab.len();
@@ -232,11 +255,12 @@ impl SkipGramTrainer {
                     let b = rng.gen_range(1..=cfg.window);
                     let lo = pos.saturating_sub(b);
                     let hi = (pos + b + 1).min(kept.len());
+                    eta2_obs::counter("sg.pairs", (hi - lo) as u64 - 1);
                     for (ctx_pos, &context) in kept.iter().enumerate().take(hi).skip(lo) {
                         if ctx_pos == pos {
                             continue;
                         }
-                        train_pair(
+                        pair(
                             &mut w_in,
                             &mut w_out,
                             dim,
@@ -307,6 +331,7 @@ impl SkipGramTrainer {
                         let b = rng.gen_range(1..=cfg.window);
                         let lo = pos.saturating_sub(b);
                         let hi = (pos + b + 1).min(kept.len());
+                        eta2_obs::counter("sg.pairs", (hi - lo) as u64 - 1);
                         for (ctx_pos, &context) in kept.iter().enumerate().take(hi).skip(lo) {
                             if ctx_pos == pos {
                                 continue;
@@ -388,10 +413,97 @@ fn splitmix64(x: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Signature shared by the vectorized pair kernel and its frozen scalar
+/// reference, so [`SkipGramTrainer::train_encoded_with`] can drive either.
+type PairFn = fn(
+    &mut [f32],
+    &mut [f32],
+    usize,
+    usize,
+    usize,
+    usize,
+    f32,
+    &Vocabulary,
+    &mut StdRng,
+    &mut [f32],
+    fn(f32) -> f32,
+);
+
+/// Dot product of two equal-length rows in four independent f32 lanes
+/// (combined pairwise), so the multiplies pipeline and autovectorize
+/// instead of serializing on the FP-add latency.
+#[inline]
+fn dot_lanes(a: &[f32], b: &[f32]) -> f32 {
+    let mut l = [0.0f32; 4];
+    let mut ca = a.chunks_exact(4);
+    let mut cb = b.chunks_exact(4);
+    for (a4, b4) in (&mut ca).zip(&mut cb) {
+        for k in 0..4 {
+            l[k] += a4[k] * b4[k];
+        }
+    }
+    for (&x, &y) in ca.remainder().iter().zip(cb.remainder()) {
+        l[0] += x * y;
+    }
+    (l[0] + l[1]) + (l[2] + l[3])
+}
+
 /// One positive + `negative` negative SGD updates for a (center, context)
-/// pair — the standard SGNS inner loop.
+/// pair — the standard SGNS inner loop, restructured over contiguous row
+/// slices: the dot runs in four lanes and the grad/output update is a
+/// single fused elementwise pass with the bounds checks hoisted into the
+/// slice construction. Lane reassociation makes this kernel agree with
+/// [`train_pair_reference`] in cosine rather than bitwise — see the
+/// module docs.
 #[allow(clippy::too_many_arguments)]
 fn train_pair<R: Rng + ?Sized>(
+    w_in: &mut [f32],
+    w_out: &mut [f32],
+    dim: usize,
+    center: usize,
+    context: usize,
+    negative: usize,
+    lr: f32,
+    vocab: &Vocabulary,
+    rng: &mut R,
+    grad: &mut [f32],
+    sig: fn(f32) -> f32,
+) {
+    grad.fill(0.0);
+    let in_row = &mut w_in[center * dim..(center + 1) * dim];
+    for sample in 0..=negative {
+        let (target, label) = if sample == 0 {
+            (context, 1.0f32)
+        } else {
+            let mut neg = vocab.sample_negative(rng) as usize;
+            if neg == context {
+                // Resample once; if it still collides, skip (cheap and
+                // unbiased enough at these vocabulary sizes).
+                neg = vocab.sample_negative(rng) as usize;
+                if neg == context {
+                    continue;
+                }
+            }
+            (neg, 0.0f32)
+        };
+        let out_row = &mut w_out[target * dim..(target + 1) * dim];
+        let pred = sig(dot_lanes(in_row, out_row));
+        let g = (label - pred) * lr;
+        for ((gr, o), &i) in grad.iter_mut().zip(out_row.iter_mut()).zip(in_row.iter()) {
+            *gr += g * *o;
+            *o += g * i;
+        }
+    }
+    for (i, &gr) in in_row.iter_mut().zip(grad.iter()) {
+        *i += gr;
+    }
+}
+
+/// The frozen pre-vectorization pair kernel, kept verbatim as the perf
+/// baseline and parity anchor for [`train_pair`] (the skip-gram analogue
+/// of `truth::reference`). Do not optimize.
+#[allow(clippy::too_many_arguments)]
+fn train_pair_reference<R: Rng + ?Sized>(
     w_in: &mut [f32],
     w_out: &mut [f32],
     dim: usize,
@@ -412,8 +524,6 @@ fn train_pair<R: Rng + ?Sized>(
         } else {
             let mut neg = vocab.sample_negative(rng) as usize;
             if neg == context {
-                // Resample once; if it still collides, skip (cheap and
-                // unbiased enough at these vocabulary sizes).
                 neg = vocab.sample_negative(rng) as usize;
                 if neg == context {
                     continue;
@@ -468,11 +578,22 @@ fn train_pair_atomic<R: Rng + ?Sized>(
             }
             (neg, 0.0f32)
         };
-        let mut dot = 0.0f32;
-        for k in 0..dim {
-            dot += w_in.get(center * dim + k) * w_out.get(target * dim + k);
+        // Same four-lane reduction as [`dot_lanes`], expressed over the
+        // atomic cells (relaxed loads; element races lose, never tear).
+        let (in_base, out_base) = (center * dim, target * dim);
+        let mut l = [0.0f32; 4];
+        let mut k = 0;
+        while k + 4 <= dim {
+            for j in 0..4 {
+                l[j] += w_in.get(in_base + k + j) * w_out.get(out_base + k + j);
+            }
+            k += 4;
         }
-        let pred = sigmoid(dot);
+        while k < dim {
+            l[0] += w_in.get(in_base + k) * w_out.get(out_base + k);
+            k += 1;
+        }
+        let pred = sigmoid((l[0] + l[1]) + (l[2] + l[3]));
         let g = (label - pred) * lr;
         for k in 0..dim {
             let o = w_out.get(target * dim + k);
@@ -636,11 +757,41 @@ mod tests {
         let trainer = SkipGramTrainer::new(cfg);
         let vocab = Vocabulary::build(&sentences, cfg.min_count).unwrap();
         let encoded: Vec<Vec<u32>> = sentences.iter().map(|s| vocab.encode(s)).collect();
-        let with_lut = trainer.train_encoded_with(&vocab, &encoded, sigmoid);
-        let exact = trainer.train_encoded_with(&vocab, &encoded, sigmoid_exact);
+        let with_lut = trainer.train_encoded_with(&vocab, &encoded, sigmoid, train_pair::<StdRng>);
+        let exact =
+            trainer.train_encoded_with(&vocab, &encoded, sigmoid_exact, train_pair::<StdRng>);
         for w in with_lut.words() {
             let c = cosine(with_lut.vector(w).unwrap(), exact.vector(w).unwrap());
             assert!(c >= 1.0 - 1e-6, "vector for {w:?} drifted: cosine = {c}");
+        }
+    }
+
+    /// The vectorized kernel against the frozen scalar reference: lane
+    /// reassociation perturbs each dot product by a few f32 ULP, and SGD
+    /// amplifies perturbations over the run, so parity is a cosine bound
+    /// (like the LUT test), not bit-equality. The bound is deliberately
+    /// looser than the LUT one — reassociation noise enters every dot
+    /// product, the LUT only where interpolation error exceeds f32
+    /// resolution.
+    #[test]
+    fn vectorized_training_matches_reference_within_cosine_tolerance() {
+        let sentences = TopicCorpus::builtin().generate(60, 5);
+        let cfg = SkipGramConfig {
+            dim: 12,
+            epochs: 2,
+            ..SkipGramConfig::default()
+        };
+        let trainer = SkipGramTrainer::new(cfg);
+        let vocab = Vocabulary::build(&sentences, cfg.min_count).unwrap();
+        let encoded: Vec<Vec<u32>> = sentences.iter().map(|s| vocab.encode(s)).collect();
+        let fast = trainer.train_encoded(&vocab, &encoded);
+        let slow = trainer.train_encoded_reference(&vocab, &encoded);
+        for w in fast.words() {
+            let c = cosine(fast.vector(w).unwrap(), slow.vector(w).unwrap());
+            assert!(
+                c >= 1.0 - 1e-3,
+                "vector for {w:?} drifted from scalar reference: cosine = {c}"
+            );
         }
     }
 

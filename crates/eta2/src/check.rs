@@ -44,7 +44,7 @@ use eta2_core::allocation::{
 use eta2_core::model::{
     DomainId, ExpertiseMatrix, ObservationSet, Task, TaskId, UserId, UserProfile,
 };
-use eta2_core::truth::{reference, ExpertiseAwareMle, MleConfig};
+use eta2_core::truth::{reference, ExpertiseAwareMle, MleConfig, PARITY_REL_TOL};
 use eta2_serve::{ServeConfig, ServeEngine, TaskSpec};
 use std::collections::BTreeSet;
 
@@ -617,18 +617,16 @@ fn tick_both(
         );
         let b =
             reference::estimate_with_initial(&cfg, &tasks, mirror, ExpertiseMatrix::new(n_users));
-        if a != b {
+        // Tolerance, not `==`: the vectorized solver's 4-lane accumulators
+        // reassociate floating-point sums (see mle::PARITY_REL_TOL).
+        if let Err(why) = eta2_core::truth::mle::results_match(&a, &b, PARITY_REL_TOL) {
             return Some(Divergence {
                 seed,
                 op_index,
                 pair: "mle_vs_reference",
                 detail: format!(
-                    "optimized solver disagrees with frozen reference: \
-                     {} vs {} truths, converged {} vs {}",
-                    a.truths.len(),
-                    b.truths.len(),
-                    a.converged,
-                    b.converged
+                    "optimized solver disagrees with frozen reference beyond \
+                     tolerance {PARITY_REL_TOL}: {why}"
                 ),
             });
         }

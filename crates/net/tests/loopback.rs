@@ -188,3 +188,87 @@ fn http_fallback_serves_health_and_metrics() {
     assert!(body.starts_with("HTTP/1.1 404"), "got: {body}");
     server.shutdown();
 }
+
+#[test]
+fn http_fallback_torn_body_is_a_400_not_a_hang() {
+    // A client that declares a body, sends part of it and half-closes
+    // must get a clean 400 — the server must notice the EOF instead of
+    // waiting for bytes that will never arrive.
+    let server = boot(1 << 16, 0);
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream
+        .write_all(
+            b"POST /submit HTTP/1.1\r\nHost: localhost\r\n\
+              Content-Length: 100\r\nConnection: close\r\n\r\n[{\"user\"",
+        )
+        .expect("write torn request");
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .expect("half-close");
+    let mut body = String::new();
+    stream.read_to_string(&mut body).expect("read response");
+    assert!(body.starts_with("HTTP/1.1 400"), "got: {body}");
+    assert!(
+        body.contains("body shorter than Content-Length"),
+        "got: {body}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn http_fallback_reassembles_a_trickled_body() {
+    // The head in one write, then the body one byte at a time: every
+    // byte lands in a separate read, so the body loop must reassemble
+    // across read boundaries (including the head/body carry split).
+    let server = boot(1 << 16, 0);
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    let body = br#"{"tasks":[],"users":[]}"#;
+    let head = format!(
+        "POST /allocate HTTP/1.1\r\nHost: localhost\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("write head");
+    for &b in body.iter() {
+        stream.write_all(&[b]).expect("write body byte");
+        stream.flush().expect("flush");
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    let mut reply = String::new();
+    stream.read_to_string(&mut reply).expect("read response");
+    assert!(reply.starts_with("HTTP/1.1 200"), "got: {reply}");
+    assert!(reply.contains("\"op\":"), "got: {reply}");
+    server.shutdown();
+}
+
+#[test]
+fn http_fallback_rejects_oversized_and_unparsable_content_length() {
+    // A declared Content-Length past the 1 MiB cap must be refused up
+    // front (413) without reading — or allocating — the body.
+    let server = boot(1 << 16, 0);
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream
+        .write_all(
+            b"POST /submit HTTP/1.1\r\nHost: localhost\r\n\
+              Content-Length: 2000000\r\nConnection: close\r\n\r\n",
+        )
+        .expect("write oversized request");
+    let mut body = String::new();
+    stream.read_to_string(&mut body).expect("read response");
+    assert!(body.starts_with("HTTP/1.1 413"), "got: {body}");
+    assert!(body.contains("body too large"), "got: {body}");
+
+    // An unparsable Content-Length saturates to the same refusal path
+    // rather than being silently treated as zero.
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream
+        .write_all(
+            b"POST /submit HTTP/1.1\r\nHost: localhost\r\n\
+              Content-Length: banana\r\nConnection: close\r\n\r\n",
+        )
+        .expect("write unparsable request");
+    let mut body = String::new();
+    stream.read_to_string(&mut body).expect("read response");
+    assert!(body.starts_with("HTTP/1.1 413"), "got: {body}");
+    server.shutdown();
+}
